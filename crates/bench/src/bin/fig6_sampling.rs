@@ -1,0 +1,56 @@
+//! Regenerates **Figure 6** (paper Section 4.3): sampling-based
+//! estimation across the nine sample-size combinations and three
+//! techniques, for each of the four joins.
+//!
+//! Per bar the paper plots estimation error, *Est. Time 1* (R-trees on
+//! the base datasets not available: the denominator is R-tree build +
+//! join) and *Est. Time 2* (R-trees available: denominator is the join
+//! alone).
+//!
+//! ```sh
+//! cargo run --release -p sj-bench --bin fig6_sampling -- --scale 1.0
+//! ```
+
+use sj_bench::{banner, pct, render_table, HarnessConfig};
+use sj_core::experiment::fig6_rows;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    banner("Figure 6: sampling techniques", &cfg);
+
+    let contexts = cfg.prepare_contexts();
+    let mut all_rows = Vec::new();
+    for ctx in &contexts {
+        println!(
+            "--- {} ---  (N1 = {}, N2 = {}, actual pairs = {}, selectivity = {:.3e})",
+            ctx.name,
+            ctx.left.len(),
+            ctx.right.len(),
+            ctx.baseline.pairs,
+            ctx.baseline.selectivity
+        );
+        let rows = fig6_rows(ctx);
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.combo.clone(),
+                    r.technique.clone(),
+                    format!("{:.3e}", r.estimated),
+                    pct(r.error_pct),
+                    pct(r.est_time_1_pct),
+                    pct(r.est_time_2_pct),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &["combo", "technique", "estimate", "error", "est.time 1", "est.time 2"],
+                &table
+            )
+        );
+        all_rows.extend(rows);
+    }
+    cfg.write_json("fig6_sampling.json", &all_rows);
+}

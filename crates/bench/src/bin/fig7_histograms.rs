@@ -1,0 +1,55 @@
+//! Regenerates **Figure 7** (paper Section 4.4): the PH and GH histogram
+//! schemes across gridding levels 0–9 on the four joins, reporting
+//! estimation error, estimation time (vs. the R-tree join), building time
+//! (vs. building the R-trees) and space cost (vs. the R-tree size).
+//!
+//! The PH point at level 0 *is* the prior parametric model of \[2\].
+//!
+//! ```sh
+//! cargo run --release -p sj-bench --bin fig7_histograms -- --scale 1.0
+//! ```
+
+use sj_bench::{banner, pct, render_table, HarnessConfig};
+use sj_core::experiment::fig7_rows;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    banner("Figure 7: histogram-based techniques", &cfg);
+
+    let contexts = cfg.prepare_contexts();
+    let mut all_rows = Vec::new();
+    for ctx in &contexts {
+        println!(
+            "--- {} ---  (N1 = {}, N2 = {}, actual pairs = {}, selectivity = {:.3e})",
+            ctx.name,
+            ctx.left.len(),
+            ctx.right.len(),
+            ctx.baseline.pairs,
+            ctx.baseline.selectivity
+        );
+        let rows = fig7_rows(ctx, cfg.levels.clone());
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.level.to_string(),
+                    r.scheme.clone(),
+                    format!("{:.3e}", r.estimated),
+                    pct(r.error_pct),
+                    pct(r.est_time_pct),
+                    pct(r.build_time_pct),
+                    pct(r.space_pct),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &["level", "scheme", "estimate", "error", "est.time", "bld.time", "space"],
+                &table
+            )
+        );
+        all_rows.extend(rows);
+    }
+    cfg.write_json("fig7_histograms.json", &all_rows);
+}

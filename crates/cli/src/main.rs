@@ -1,0 +1,12 @@
+//! `sjsel` binary: thin wrapper over the [`sj_cli`] library.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match sj_cli::run(&args) {
+        Ok(output) => println!("{output}"),
+        Err(e) => {
+            eprintln!("{}", e.message);
+            std::process::exit(e.code);
+        }
+    }
+}

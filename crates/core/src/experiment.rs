@@ -1,0 +1,281 @@
+//! Experiment runners that regenerate the paper's evaluation series.
+//!
+//! * [`fig6_rows`] — Figure 6: sampling techniques × sample-size
+//!   combinations, reporting estimation error, *Est. Time 1* (R-trees on
+//!   the base data unavailable — the denominator includes building them)
+//!   and *Est. Time 2* (R-trees available — denominator is the join
+//!   alone).
+//! * [`fig7_rows`] — Figure 7: PH and GH across gridding levels,
+//!   reporting estimation error, estimation time, building time and
+//!   space cost, all relative to the R-tree baseline.
+
+use crate::metrics::{bytes_pct, error_pct, ratio_pct};
+use crate::{Dataset, EstimatorKind, Extent, JoinBaseline, SamplingTechnique};
+use serde::Serialize;
+
+/// A prepared join: both datasets, the join universe, and the exact-join
+/// baseline every relative metric is computed against.
+#[derive(Debug, Clone)]
+pub struct JoinContext {
+    /// Display name, e.g. `"TS with TCB"`.
+    pub name: String,
+    /// Left input.
+    pub left: Dataset,
+    /// Right input.
+    pub right: Dataset,
+    /// Join universe (union of the two datasets' extents).
+    pub extent: Extent,
+    /// Exact join result and baseline costs.
+    pub baseline: JoinBaseline,
+}
+
+impl JoinContext {
+    /// Runs the exact join and captures the baseline.
+    #[must_use]
+    pub fn prepare(name: impl Into<String>, left: Dataset, right: Dataset) -> Self {
+        let extent = Extent::new(left.extent.rect().union(&right.extent.rect()));
+        let baseline = JoinBaseline::compute(&left, &right);
+        Self { name: name.into(), left, right, extent, baseline }
+    }
+}
+
+/// The nine sample-size combinations on Figure 6's x-axis, as
+/// `(left %, right %)`; `100` means the entire dataset.
+pub const FIG6_COMBOS: [(f64, f64); 9] = [
+    (0.1, 0.1),
+    (1.0, 1.0),
+    (10.0, 10.0),
+    (0.1, 100.0),
+    (100.0, 0.1),
+    (1.0, 100.0),
+    (100.0, 1.0),
+    (10.0, 100.0),
+    (100.0, 10.0),
+];
+
+/// One bar of Figure 6: a (join, technique, combo) triple.
+#[derive(Debug, Clone, Serialize)]
+pub struct SamplingRow {
+    /// Join name.
+    pub join: String,
+    /// Technique name (RSWR / RS / SS).
+    pub technique: String,
+    /// Combination label, e.g. `"10/10"` or `"0.1/100"`.
+    pub combo: String,
+    /// Left sample percent.
+    pub percent_left: f64,
+    /// Right sample percent.
+    pub percent_right: f64,
+    /// Estimated selectivity.
+    pub estimated: f64,
+    /// Exact selectivity.
+    pub actual: f64,
+    /// Estimation error in percent.
+    pub error_pct: f64,
+    /// Est. Time 1: estimation cost / (R-tree build + join) cost, percent.
+    pub est_time_1_pct: f64,
+    /// Est. Time 2: estimation cost / join cost, percent.
+    pub est_time_2_pct: f64,
+}
+
+/// Formats a percentage the way the paper's x-axis labels do
+/// (`0.1`, `1`, `10`, `100`).
+fn combo_label(l: f64, r: f64) -> String {
+    let one = |v: f64| {
+        if (v - v.round()).abs() < f64::EPSILON {
+            format!("{}", v.round() as i64)
+        } else {
+            format!("{v}")
+        }
+    };
+    format!("{}/{}", one(l), one(r))
+}
+
+/// Runs one sampling technique at one combination.
+#[must_use]
+pub fn fig6_row(
+    ctx: &JoinContext,
+    technique: SamplingTechnique,
+    percent_left: f64,
+    percent_right: f64,
+) -> SamplingRow {
+    let kind = EstimatorKind::Sampling { technique, percent_left, percent_right };
+    let report = kind.run_in_extent(&ctx.left, &ctx.right, &ctx.extent);
+    let join_only = ctx.baseline.join_time;
+    let build_and_join = ctx.baseline.rtree_build_time + ctx.baseline.join_time;
+    SamplingRow {
+        join: ctx.name.clone(),
+        technique: technique.name().to_string(),
+        combo: combo_label(percent_left, percent_right),
+        percent_left,
+        percent_right,
+        estimated: report.estimate.selectivity,
+        actual: ctx.baseline.selectivity,
+        error_pct: error_pct(report.estimate.selectivity, ctx.baseline.selectivity),
+        est_time_1_pct: ratio_pct(report.estimate_time, build_and_join),
+        est_time_2_pct: ratio_pct(report.estimate_time, join_only),
+    }
+}
+
+/// Regenerates one panel of Figure 6: all 9 combinations × 3 techniques.
+#[must_use]
+pub fn fig6_rows(ctx: &JoinContext) -> Vec<SamplingRow> {
+    let mut rows = Vec::with_capacity(FIG6_COMBOS.len() * crate::ALL_TECHNIQUES.len());
+    for (l, r) in FIG6_COMBOS {
+        for technique in crate::ALL_TECHNIQUES {
+            rows.push(fig6_row(ctx, technique, l, r));
+        }
+    }
+    rows
+}
+
+/// One point of Figure 7: a (join, scheme, level) triple.
+#[derive(Debug, Clone, Serialize)]
+pub struct HistogramRow {
+    /// Join name.
+    pub join: String,
+    /// Scheme name (`"PH"`, `"GH"`, or `"GH-basic"` for the ablation).
+    pub scheme: String,
+    /// Gridding level `h`.
+    pub level: u32,
+    /// Estimated selectivity.
+    pub estimated: f64,
+    /// Exact selectivity.
+    pub actual: f64,
+    /// Estimation error in percent.
+    pub error_pct: f64,
+    /// Estimation time / exact join time, percent.
+    pub est_time_pct: f64,
+    /// Histogram build time / R-tree build time, percent.
+    pub build_time_pct: f64,
+    /// Histogram bytes / R-tree bytes, percent.
+    pub space_pct: f64,
+}
+
+/// Which histogram schemes to run per level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HistogramScheme {
+    /// Parametric Histogram.
+    Ph,
+    /// Revised Geometric Histogram (the paper's "GH").
+    Gh,
+    /// Basic Geometric Histogram (ablation only — not in Figure 7).
+    GhBasic,
+}
+
+impl HistogramScheme {
+    /// Display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            HistogramScheme::Ph => "PH",
+            HistogramScheme::Gh => "GH",
+            HistogramScheme::GhBasic => "GH-basic",
+        }
+    }
+
+    fn kind(self, level: u32) -> EstimatorKind {
+        match self {
+            HistogramScheme::Ph => EstimatorKind::Ph { level },
+            HistogramScheme::Gh => EstimatorKind::Gh { level },
+            HistogramScheme::GhBasic => EstimatorKind::GhBasic { level },
+        }
+    }
+}
+
+/// Runs one histogram scheme at one level.
+#[must_use]
+pub fn fig7_row(ctx: &JoinContext, scheme: HistogramScheme, level: u32) -> HistogramRow {
+    let report = scheme.kind(level).run_in_extent(&ctx.left, &ctx.right, &ctx.extent);
+    HistogramRow {
+        join: ctx.name.clone(),
+        scheme: scheme.name().to_string(),
+        level,
+        estimated: report.estimate.selectivity,
+        actual: ctx.baseline.selectivity,
+        error_pct: error_pct(report.estimate.selectivity, ctx.baseline.selectivity),
+        est_time_pct: ratio_pct(report.estimate_time, ctx.baseline.join_time),
+        build_time_pct: ratio_pct(report.build_time, ctx.baseline.rtree_build_time),
+        space_pct: bytes_pct(report.space_bytes, ctx.baseline.rtree_bytes),
+    }
+}
+
+/// Regenerates one panel of Figure 7: PH and GH for `levels`
+/// (the paper sweeps 0..=9).
+#[must_use]
+pub fn fig7_rows(ctx: &JoinContext, levels: std::ops::RangeInclusive<u32>) -> Vec<HistogramRow> {
+    let mut rows = Vec::new();
+    for level in levels {
+        rows.push(fig7_row(ctx, HistogramScheme::Ph, level));
+        rows.push(fig7_row(ctx, HistogramScheme::Gh, level));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    fn ctx() -> JoinContext {
+        let (a, b) = presets::PaperJoin::ScrcSura.datasets(0.005);
+        JoinContext::prepare("SCRC with SURA", a, b)
+    }
+
+    #[test]
+    fn combo_labels_match_paper_axis() {
+        assert_eq!(combo_label(0.1, 0.1), "0.1/0.1");
+        assert_eq!(combo_label(10.0, 100.0), "10/100");
+        assert_eq!(combo_label(100.0, 1.0), "100/1");
+    }
+
+    #[test]
+    fn fig6_produces_27_rows() {
+        let rows = fig6_rows(&ctx());
+        assert_eq!(rows.len(), 27);
+        // Full-sample combos of deterministic techniques have zero error.
+        let exact_row = rows
+            .iter()
+            .find(|r| r.technique == "RS" && r.combo == "10/100")
+            .expect("row exists");
+        assert!(exact_row.error_pct.is_finite());
+        // Est. Time 1 uses a strictly larger denominator than Est. Time 2.
+        for r in &rows {
+            if r.est_time_1_pct.is_finite() && r.est_time_2_pct.is_finite() {
+                assert!(
+                    r.est_time_1_pct <= r.est_time_2_pct + 1e-9,
+                    "Est.Time1 ({}) must not exceed Est.Time2 ({})",
+                    r.est_time_1_pct,
+                    r.est_time_2_pct
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig7_produces_two_schemes_per_level() {
+        let rows = fig7_rows(&ctx(), 0..=3);
+        assert_eq!(rows.len(), 8);
+        assert!(rows.iter().any(|r| r.scheme == "PH" && r.level == 0));
+        assert!(rows.iter().any(|r| r.scheme == "GH" && r.level == 3));
+        for r in &rows {
+            assert!(r.error_pct.is_finite(), "{}/{}: error must be finite", r.scheme, r.level);
+            assert!(r.space_pct > 0.0);
+        }
+    }
+
+    #[test]
+    fn gh_space_below_ph_space() {
+        let rows = fig7_rows(&ctx(), 4..=4);
+        let ph = rows.iter().find(|r| r.scheme == "PH").unwrap();
+        let gh = rows.iter().find(|r| r.scheme == "GH").unwrap();
+        assert!(gh.space_pct < ph.space_pct);
+    }
+
+    #[test]
+    fn sampling_full_combo_is_exact() {
+        let c = ctx();
+        let row = fig6_row(&c, SamplingTechnique::Regular, 100.0, 100.0);
+        assert!(row.error_pct < 1e-9, "100/100 RS must be exact, got {}", row.error_pct);
+    }
+}

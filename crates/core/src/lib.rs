@@ -1,0 +1,66 @@
+//! Spatial join selectivity estimation — the unified public API.
+//!
+//! This crate reproduces *"Selectivity Estimation for Spatial Joins"*
+//! (An, Yang & Sivasubramaniam, ICDE 2001): given two datasets of
+//! axis-parallel rectangles (MBRs), estimate the fraction of the cross
+//! product whose MBRs intersect — without running the join.
+//!
+//! # Quick start
+//!
+//! ```
+//! use sj_core::{presets, EstimatorKind, JoinBaseline, error_pct};
+//!
+//! // Two synthetic datasets from the paper (scaled down for the doctest).
+//! let (left, right) = presets::PaperJoin::ScrcSura.datasets(0.01);
+//!
+//! // The exact join (the oracle estimators are judged against).
+//! let baseline = JoinBaseline::compute(&left, &right);
+//!
+//! // The paper's headline estimator: the Geometric Histogram at level 5.
+//! let report = EstimatorKind::Gh { level: 5 }.run(&left, &right);
+//!
+//! let err = error_pct(report.estimate.selectivity, baseline.selectivity);
+//! assert!(err < 25.0, "GH error was {err:.1}%");
+//! ```
+//!
+//! # What's inside
+//!
+//! * [`EstimatorKind`] — every estimator evaluated in the paper behind
+//!   one entry point: the prior parametric model, the Parametric
+//!   Histogram (PH), the basic and revised Geometric Histograms (GH),
+//!   and the three sampling schemes (RS / RSWR / SS).
+//! * [`JoinBaseline`] — the exact filter-step join with R-tree build and
+//!   join timings, the denominator of every relative metric in the paper.
+//! * [`experiment`] — runners that regenerate the paper's Figure 6
+//!   (sampling) and Figure 7 (histograms) series.
+//! * Re-exports of the substrate crates: geometry ([`Rect`], [`Extent`]),
+//!   [`Dataset`] and generators ([`presets`]), the R-tree, the
+//!   plane-sweep oracle, and the histogram/sampling implementations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod estimator;
+pub mod exact;
+pub mod experiment;
+pub mod metrics;
+
+pub use estimator::{EstimationReport, Estimate, EstimatorKind};
+pub use exact::{ExactBackend, JoinBaseline};
+pub use metrics::{error_pct, ratio_pct};
+
+// Substrate re-exports: the whole workspace is usable through sj-core.
+pub use sj_datagen::{presets, Dataset, DatasetStats, Generator, SizeModel};
+pub use sj_geo::{Extent, Point, Rect};
+pub use sj_histogram::{
+    parametric_selectivity, EulerHistogram, GhBasicHistogram, GhHistogram, Grid,
+    HistogramError, ParametricInputs, PhHistogram, SelectivityEstimate,
+};
+pub use sj_rtree::{
+    join_count, join_count_parallel, join_pairs, mindist, RTree, RTreeConfig, SplitAlgorithm,
+};
+pub use sj_sampling::{
+    draw_sample, JoinBackend, SamplingEstimator, SamplingOutcome, SamplingTechnique,
+    ALL_TECHNIQUES,
+};
+pub use sj_sweep::{sweep_join_count, sweep_join_pairs, sweep_join_selectivity};

@@ -1,0 +1,82 @@
+//! The paper's evaluation metrics (Section 4.2), all relative:
+//!
+//! * **Estimation error** — `|estimated − actual| / actual`, in percent.
+//! * **Estimation time** — estimation cost over the exact-join cost.
+//! * **Building time** — auxiliary-structure build cost over the R-tree
+//!   build cost.
+//! * **Space cost** — auxiliary-structure bytes over the R-tree bytes.
+
+use std::time::Duration;
+
+/// Estimation error in percent: `|est − actual| / actual × 100`.
+///
+/// When the actual selectivity is zero, returns `0` for a zero estimate
+/// and `f64::INFINITY` otherwise (any non-zero estimate of an empty join
+/// is infinitely wrong in relative terms).
+#[must_use]
+pub fn error_pct(estimated: f64, actual: f64) -> f64 {
+    if actual == 0.0 {
+        return if estimated == 0.0 { 0.0 } else { f64::INFINITY };
+    }
+    ((estimated - actual) / actual).abs() * 100.0
+}
+
+/// `numerator / denominator` in percent, guarding a zero denominator
+/// (sub-resolution baseline timings on very small inputs) by returning
+/// `f64::NAN`, which the harness prints as `n/a`.
+#[must_use]
+pub fn ratio_pct(numerator: Duration, denominator: Duration) -> f64 {
+    let d = denominator.as_secs_f64();
+    if d == 0.0 {
+        return f64::NAN;
+    }
+    numerator.as_secs_f64() / d * 100.0
+}
+
+/// Bytes ratio in percent, with the same zero-denominator guard.
+#[must_use]
+pub fn bytes_pct(numerator: usize, denominator: usize) -> f64 {
+    if denominator == 0 {
+        return f64::NAN;
+    }
+    #[allow(clippy::cast_precision_loss)]
+    {
+        numerator as f64 / denominator as f64 * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_pct_basics() {
+        assert!((error_pct(0.11, 0.10) - 10.0).abs() < 1e-9);
+        assert!((error_pct(0.09, 0.10) - 10.0).abs() < 1e-9);
+        assert_eq!(error_pct(0.10, 0.10), 0.0);
+        assert_eq!(error_pct(0.0, 0.0), 0.0);
+        assert_eq!(error_pct(0.1, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn error_is_symmetric_direction_agnostic() {
+        // Over- and under-estimation by the same factor give the same
+        // absolute relative error magnitude structure.
+        assert!((error_pct(0.2, 0.1) - 100.0).abs() < 1e-9);
+        assert!((error_pct(0.05, 0.1) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_pct_basics() {
+        let ms = Duration::from_millis;
+        assert!((ratio_pct(ms(10), ms(100)) - 10.0).abs() < 1e-9);
+        assert!((ratio_pct(ms(100), ms(10)) - 1000.0).abs() < 1e-9);
+        assert!(ratio_pct(ms(5), Duration::ZERO).is_nan());
+    }
+
+    #[test]
+    fn bytes_pct_basics() {
+        assert!((bytes_pct(10, 1000) - 1.0).abs() < 1e-12);
+        assert!(bytes_pct(10, 0).is_nan());
+    }
+}

@@ -1,0 +1,406 @@
+use sj_geo::{Extent, Rect};
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// A named collection of MBRs living in an extent.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Human-readable name, e.g. `"TS"` or `"SCRC"`.
+    pub name: String,
+    /// Spatial universe (normally the unit square for presets).
+    pub extent: Extent,
+    /// The MBRs.
+    pub rects: Vec<Rect>,
+}
+
+/// Whole-dataset statistics: the parameters of the Aref–Samet parametric
+/// model (paper Eq. 1) plus general descriptive measures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DatasetStats {
+    /// Number of data items `N`.
+    pub count: usize,
+    /// Data coverage `C`: sum of item areas over the extent area.
+    pub coverage: f64,
+    /// Average item width `W`.
+    pub avg_width: f64,
+    /// Average item height `H`.
+    pub avg_height: f64,
+    /// Fraction of items that are degenerate (points/segments).
+    pub degenerate_fraction: f64,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating every rectangle is finite.
+    ///
+    /// # Panics
+    /// Panics if any rectangle has a non-finite coordinate.
+    #[must_use]
+    pub fn new(name: impl Into<String>, extent: Extent, rects: Vec<Rect>) -> Self {
+        let name = name.into();
+        for (i, r) in rects.iter().enumerate() {
+            assert!(r.is_finite(), "dataset {name}: rect {i} is non-finite");
+        }
+        Self { name, extent, rects }
+    }
+
+    /// Number of data items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rects.len()
+    }
+
+    /// `true` when the dataset holds no items.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rects.is_empty()
+    }
+
+    /// Computes the whole-dataset statistics used by the parametric model.
+    #[must_use]
+    pub fn stats(&self) -> DatasetStats {
+        let n = self.rects.len();
+        if n == 0 {
+            return DatasetStats {
+                count: 0,
+                coverage: 0.0,
+                avg_width: 0.0,
+                avg_height: 0.0,
+                degenerate_fraction: 0.0,
+            };
+        }
+        let mut area_sum = 0.0;
+        let mut w_sum = 0.0;
+        let mut h_sum = 0.0;
+        let mut degenerate = 0usize;
+        for r in &self.rects {
+            area_sum += r.area();
+            w_sum += r.width();
+            h_sum += r.height();
+            if r.is_degenerate() {
+                degenerate += 1;
+            }
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let nf = n as f64;
+        DatasetStats {
+            count: n,
+            coverage: area_sum / self.extent.area(),
+            avg_width: w_sum / nf,
+            avg_height: h_sum / nf,
+            degenerate_fraction: degenerate as f64 / nf,
+        }
+    }
+
+    /// Writes the dataset as CSV (`xlo,ylo,xhi,yhi` per line, full `f64`
+    /// round-trip precision) to `w`.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from the writer.
+    pub fn write_csv<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let mut out = BufWriter::new(w);
+        for r in &self.rects {
+            writeln!(out, "{:?},{:?},{:?},{:?}", r.xlo, r.ylo, r.xhi, r.yhi)?;
+        }
+        out.flush()
+    }
+
+    /// Reads a dataset from CSV written by [`Dataset::write_csv`]. The
+    /// extent is recomputed from the data.
+    ///
+    /// # Errors
+    /// Returns `InvalidData` on malformed lines and propagates I/O errors.
+    pub fn read_csv<R: BufRead>(name: impl Into<String>, r: R) -> io::Result<Self> {
+        let mut rects = Vec::new();
+        for (lineno, line) in r.lines().enumerate() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut parts = line.split(',');
+            let mut next = || -> io::Result<f64> {
+                parts
+                    .next()
+                    .ok_or_else(|| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("line {}: expected 4 fields", lineno + 1),
+                        )
+                    })?
+                    .trim()
+                    .parse::<f64>()
+                    .map_err(|e| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("line {}: {e}", lineno + 1),
+                        )
+                    })
+            };
+            let (xlo, ylo, xhi, yhi) = (next()?, next()?, next()?, next()?);
+            let rect = Rect::new(xlo, ylo, xhi, yhi);
+            if !rect.is_finite() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: non-finite rectangle", lineno + 1),
+                ));
+            }
+            rects.push(rect);
+        }
+        let extent = Extent::of_rects(&rects).unwrap_or_else(Extent::unit);
+        Ok(Self::new(name, extent, rects))
+    }
+
+    /// Saves the dataset to a CSV file.
+    ///
+    /// # Errors
+    /// Propagates file-creation and write errors.
+    pub fn save_csv(&self, path: &Path) -> io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        self.write_csv(&mut f)
+    }
+
+    /// Loads a dataset from a CSV file, naming it after the file stem.
+    ///
+    /// # Errors
+    /// Propagates file-open and parse errors.
+    pub fn load_csv(path: &Path) -> io::Result<Self> {
+        let name = path
+            .file_stem()
+            .map_or_else(|| "dataset".to_string(), |s| s.to_string_lossy().into_owned());
+        let f = std::fs::File::open(path)?;
+        Self::read_csv(name, io::BufReader::new(f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_geo::Point;
+
+    fn sample() -> Dataset {
+        Dataset::new(
+            "sample",
+            Extent::unit(),
+            vec![
+                Rect::new(0.0, 0.0, 0.5, 0.5),
+                Rect::new(0.25, 0.25, 0.75, 0.75),
+                Rect::from_point(Point::new(0.9, 0.9)),
+            ],
+        )
+    }
+
+    #[test]
+    fn stats_parametric_parameters() {
+        let ds = sample();
+        let s = ds.stats();
+        assert_eq!(s.count, 3);
+        assert!((s.coverage - 0.5).abs() < 1e-12); // 0.25 + 0.25 + 0
+        assert!((s.avg_width - (0.5 + 0.5 + 0.0) / 3.0).abs() < 1e-12);
+        assert!((s.avg_height - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.degenerate_fraction - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_empty_dataset() {
+        let ds = Dataset::new("empty", Extent::unit(), vec![]);
+        let s = ds.stats();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.coverage, 0.0);
+    }
+
+    #[test]
+    fn csv_roundtrip_preserves_bits() {
+        let ds = sample();
+        let mut buf = Vec::new();
+        ds.write_csv(&mut buf).unwrap();
+        let back = Dataset::read_csv("sample", &buf[..]).unwrap();
+        assert_eq!(back.rects, ds.rects);
+    }
+
+    #[test]
+    fn csv_rejects_garbage() {
+        let err = Dataset::read_csv("x", "1.0,2.0,oops,4.0\n".as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let err = Dataset::read_csv("x", "1.0,2.0\n".as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn csv_skips_blank_lines() {
+        let ds = Dataset::read_csv("x", "\n0,0,1,1\n\n".as_bytes()).unwrap();
+        assert_eq!(ds.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn new_rejects_nan() {
+        let _ = Dataset::new(
+            "bad",
+            Extent::unit(),
+            vec![Rect { xlo: f64::NAN, ylo: 0.0, xhi: 1.0, yhi: 1.0 }],
+        );
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("sj_datagen_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.csv");
+        let ds = sample();
+        ds.save_csv(&path).unwrap();
+        let back = Dataset::load_csv(&path).unwrap();
+        assert_eq!(back.name, "sample");
+        assert_eq!(back.rects, ds.rects);
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// Binary dataset format: `SJDS` magic, version, count, then raw
+/// little-endian `f64` quadruples. Loads paper-scale datasets (millions
+/// of MBRs) an order of magnitude faster than CSV.
+impl Dataset {
+    const BIN_MAGIC: [u8; 4] = *b"SJDS";
+    const BIN_VERSION: u8 = 1;
+
+    /// Writes the binary representation.
+    ///
+    /// # Errors
+    /// Propagates I/O errors.
+    pub fn write_bin<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        let mut out = BufWriter::new(w);
+        out.write_all(&Self::BIN_MAGIC)?;
+        out.write_all(&[Self::BIN_VERSION])?;
+        out.write_all(&(self.rects.len() as u64).to_le_bytes())?;
+        for r in &self.rects {
+            for v in [r.xlo, r.ylo, r.xhi, r.yhi] {
+                out.write_all(&v.to_le_bytes())?;
+            }
+        }
+        out.flush()
+    }
+
+    /// Reads a dataset written by [`Self::write_bin`]. The extent is
+    /// recomputed from the data.
+    ///
+    /// # Errors
+    /// Returns `InvalidData` on malformed input and propagates I/O errors.
+    pub fn read_bin<R: io::Read>(name: impl Into<String>, mut r: R) -> io::Result<Self> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        let mut header = [0u8; 4 + 1 + 8];
+        r.read_exact(&mut header).map_err(|_| bad("truncated header"))?;
+        if header[..4] != Self::BIN_MAGIC {
+            return Err(bad("bad magic"));
+        }
+        if header[4] != Self::BIN_VERSION {
+            return Err(bad("unsupported version"));
+        }
+        let count = u64::from_le_bytes(header[5..13].try_into().expect("8 bytes"));
+        let count = usize::try_from(count).map_err(|_| bad("count overflows usize"))?;
+        let mut payload = Vec::new();
+        r.read_to_end(&mut payload)?;
+        if payload.len() != count * 32 {
+            return Err(bad("payload size mismatch"));
+        }
+        let mut rects = Vec::with_capacity(count);
+        for chunk in payload.chunks_exact(32) {
+            let f = |i: usize| {
+                f64::from_le_bytes(chunk[i * 8..(i + 1) * 8].try_into().expect("8 bytes"))
+            };
+            let rect = Rect { xlo: f(0), ylo: f(1), xhi: f(2), yhi: f(3) };
+            if !rect.is_finite() || rect.xhi < rect.xlo || rect.yhi < rect.ylo {
+                return Err(bad("invalid rectangle"));
+            }
+            rects.push(rect);
+        }
+        let extent = Extent::of_rects(&rects).unwrap_or_else(Extent::unit);
+        Ok(Self::new(name, extent, rects))
+    }
+
+    /// Saves the dataset in binary form.
+    ///
+    /// # Errors
+    /// Propagates file-creation and write errors.
+    pub fn save_bin(&self, path: &Path) -> io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        self.write_bin(&mut f)
+    }
+
+    /// Loads a binary dataset file, naming it after the file stem.
+    ///
+    /// # Errors
+    /// Propagates file-open and decode errors.
+    pub fn load_bin(path: &Path) -> io::Result<Self> {
+        let name = path
+            .file_stem()
+            .map_or_else(|| "dataset".to_string(), |s| s.to_string_lossy().into_owned());
+        let f = std::fs::File::open(path)?;
+        Self::read_bin(name, io::BufReader::new(f))
+    }
+}
+
+#[cfg(test)]
+mod bin_format_tests {
+    use super::*;
+    use sj_geo::Point;
+
+    fn sample() -> Dataset {
+        Dataset::new(
+            "bin_sample",
+            Extent::unit(),
+            vec![
+                Rect::new(0.125, 0.25, 0.5, 0.75),
+                Rect::from_point(Point::new(0.9, 0.1)),
+                Rect::new(1e-12, 0.0, 0.3333333333333333, 0.1),
+            ],
+        )
+    }
+
+    #[test]
+    fn bin_roundtrip_is_bit_exact() {
+        let ds = sample();
+        let mut buf = Vec::new();
+        ds.write_bin(&mut buf).unwrap();
+        let back = Dataset::read_bin("bin_sample", &buf[..]).unwrap();
+        assert_eq!(back.rects, ds.rects);
+    }
+
+    #[test]
+    fn bin_rejects_corruption() {
+        let ds = sample();
+        let mut buf = Vec::new();
+        ds.write_bin(&mut buf).unwrap();
+        assert!(Dataset::read_bin("x", &buf[..buf.len() - 1]).is_err());
+        assert!(Dataset::read_bin("x", &buf[..5]).is_err());
+        let mut bad_magic = buf.clone();
+        bad_magic[0] = b'X';
+        assert!(Dataset::read_bin("x", &bad_magic[..]).is_err());
+        let mut bad_version = buf.clone();
+        bad_version[4] = 99;
+        assert!(Dataset::read_bin("x", &bad_version[..]).is_err());
+        // NaN payload must be rejected.
+        let mut nan_payload = buf.clone();
+        nan_payload[13..21].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(Dataset::read_bin("x", &nan_payload[..]).is_err());
+    }
+
+    #[test]
+    fn bin_file_roundtrip() {
+        let dir = std::env::temp_dir().join("sj_datagen_bin_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.bin");
+        let ds = sample();
+        ds.save_bin(&path).unwrap();
+        let back = Dataset::load_bin(&path).unwrap();
+        assert_eq!(back.name, "sample");
+        assert_eq!(back.rects, ds.rects);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_dataset_bin_roundtrip() {
+        let ds = Dataset::new("empty", Extent::unit(), vec![]);
+        let mut buf = Vec::new();
+        ds.write_bin(&mut buf).unwrap();
+        let back = Dataset::read_bin("empty", &buf[..]).unwrap();
+        assert!(back.is_empty());
+    }
+}

@@ -1,0 +1,132 @@
+//! Random variates beyond `rand`'s uniform primitives.
+//!
+//! Implemented here (Box–Muller, inverse-CDF exponential, Zipf weights)
+//! rather than adding a `rand_distr` dependency: the workspace's approved
+//! dependency list is deliberately small and these are a few lines each.
+
+use rand::{Rng, RngExt};
+
+/// Standard normal variate via the Box–Muller transform, scaled to
+/// `N(mu, sigma²)`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    debug_assert!(sigma >= 0.0);
+    // Avoid ln(0) by sampling the half-open interval away from zero.
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mu + sigma * z
+}
+
+/// Log-normal variate: `exp(N(mu, sigma²))`. `mu`/`sigma` are the
+/// parameters of the underlying normal (i.e. of the log).
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Exponential variate with the given rate `lambda` (mean `1/lambda`).
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> f64 {
+    debug_assert!(lambda > 0.0);
+    let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / lambda
+}
+
+/// Zipf weights for `n` ranks with skew parameter `s`: weight of rank `k`
+/// (0-based) is `1/(k+1)^s`, normalized to sum to 1. `s = 0` is uniform;
+/// larger `s` concentrates mass on low ranks.
+#[must_use]
+pub fn zipf_weights(n: usize, s: f64) -> Vec<f64> {
+    assert!(n > 0, "need at least one rank");
+    assert!(s >= 0.0, "skew must be non-negative");
+    let mut w: Vec<f64> = (0..n).map(|k| 1.0 / ((k + 1) as f64).powf(s)).collect();
+    let total: f64 = w.iter().sum();
+    for x in &mut w {
+        *x /= total;
+    }
+    w
+}
+
+/// Samples an index from a discrete distribution given by `weights`
+/// (assumed normalized; a trailing imbalance from rounding falls on the
+/// last index).
+pub fn sample_weighted<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    debug_assert!(!weights.is_empty());
+    let mut u: f64 = rng.random_range(0.0..1.0);
+    for (i, &w) in weights.iter().enumerate() {
+        if u < w {
+            return i;
+        }
+        u -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut rng, 3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert!(lognormal(&mut rng, -3.0, 1.5) > 0.0);
+        }
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 50_000;
+        let mean = (0..n).map(|_| exponential(&mut rng, 4.0)).sum::<f64>() / f64::from(n);
+        assert!((mean - 0.25).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn zipf_weights_normalized_and_decreasing() {
+        let w = zipf_weights(100, 1.2);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(w.windows(2).all(|p| p[0] >= p[1]));
+        // s = 0 is uniform.
+        let u = zipf_weights(10, 0.0);
+        assert!(u.iter().all(|&x| (x - 0.1).abs() < 1e-12));
+    }
+
+    #[test]
+    fn sample_weighted_respects_distribution() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let w = vec![0.7, 0.2, 0.1];
+        let mut counts = [0usize; 3];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[sample_weighted(&mut rng, &w)] += 1;
+        }
+        for (i, &expected) in w.iter().enumerate() {
+            let got = counts[i] as f64 / n as f64;
+            assert!((got - expected).abs() < 0.01, "rank {i}: {got} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn sample_weighted_degenerate() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(sample_weighted(&mut rng, &[1.0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_zero_ranks_panics() {
+        let _ = zipf_weights(0, 1.0);
+    }
+}

@@ -1,0 +1,330 @@
+use crate::dataset::Dataset;
+use crate::distributions::{lognormal, sample_weighted, zipf_weights};
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+use sj_geo::{Extent, Point, Rect};
+
+/// A Gaussian mixture over the unit square: the placement model for
+/// clustered datasets (population centres for census blocks, drainage
+/// basins for streams, etc.).
+#[derive(Debug, Clone)]
+pub struct ClusterField {
+    /// Cluster centres.
+    pub centers: Vec<Point>,
+    /// Per-cluster standard deviation (isotropic).
+    pub sigmas: Vec<f64>,
+    /// Per-cluster selection weights, normalized.
+    pub weights: Vec<f64>,
+}
+
+impl ClusterField {
+    /// A single cluster, e.g. the paper's SCRC dataset clustered around
+    /// `(0.4, 0.7)`.
+    #[must_use]
+    pub fn single(center: Point, sigma: f64) -> Self {
+        Self { centers: vec![center], sigmas: vec![sigma], weights: vec![1.0] }
+    }
+
+    /// A random field of `n` clusters with sigmas drawn uniformly from
+    /// `sigma_range` and Zipf(`skew`) selection weights. Larger `skew`
+    /// concentrates more of the data in few clusters (spatial skew).
+    #[must_use]
+    pub fn random(rng: &mut StdRng, n: usize, sigma_range: (f64, f64), skew: f64) -> Self {
+        assert!(n > 0, "need at least one cluster");
+        assert!(sigma_range.0 > 0.0 && sigma_range.0 <= sigma_range.1);
+        let centers: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.random_range(0.05..0.95), rng.random_range(0.05..0.95)))
+            .collect();
+        let sigmas: Vec<f64> =
+            (0..n).map(|_| rng.random_range(sigma_range.0..=sigma_range.1)).collect();
+        Self { centers, sigmas, weights: zipf_weights(n, skew) }
+    }
+
+    /// Samples a point from the mixture, rejected back into the unit
+    /// square (with a clamping fallback so sampling always terminates).
+    pub fn sample_point<R: Rng + ?Sized>(&self, rng: &mut R) -> Point {
+        let k = sample_weighted(rng, &self.weights);
+        let (c, s) = (self.centers[k], self.sigmas[k]);
+        for _ in 0..16 {
+            let p = Point::new(
+                crate::distributions::normal(rng, c.x, s),
+                crate::distributions::normal(rng, c.y, s),
+            );
+            if (0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y) {
+                return p;
+            }
+        }
+        let p = Point::new(
+            crate::distributions::normal(rng, c.x, s),
+            crate::distributions::normal(rng, c.y, s),
+        );
+        Point::new(p.x.clamp(0.0, 1.0), p.y.clamp(0.0, 1.0))
+    }
+}
+
+/// Where objects are placed in the unit square.
+#[derive(Debug, Clone)]
+pub enum Placement {
+    /// Uniformly at random (the paper's SURA dataset).
+    Uniform,
+    /// From a Gaussian mixture (all clustered/skewed datasets).
+    Clustered(ClusterField),
+}
+
+/// How the MBR around a placement point is shaped.
+#[derive(Debug, Clone)]
+pub enum SizeModel {
+    /// Degenerate MBRs: point datasets (Sequoia SP).
+    Point,
+    /// Sides drawn independently and uniformly from `[0, max_w] × [0, max_h]`
+    /// (the paper's synthetic rectangles).
+    UniformSides {
+        /// Maximum width.
+        max_w: f64,
+        /// Maximum height.
+        max_h: f64,
+    },
+    /// Compact polygon MBRs (census blocks, Sequoia polygons): a base
+    /// size drawn log-normally, split into width/height by a controlled
+    /// aspect jitter so the boxes stay compact:
+    /// `w = base·√a`, `h = base/√a` with `ln a ~ N(0, aspect_sigma²)`.
+    LogNormalBox {
+        /// Mean of the log of the base side length.
+        mu: f64,
+        /// Std-dev of the log of the base side length.
+        sigma: f64,
+        /// Std-dev of the log aspect ratio (0 = perfect squares).
+        aspect_sigma: f64,
+        /// Upper clamp on either side.
+        max_side: f64,
+    },
+    /// MBR of a random walk starting at the placement point: elongated,
+    /// irregular MBRs like those of digitized polylines (streams, roads).
+    RandomWalk {
+        /// Number of walk steps.
+        steps: usize,
+        /// Mean step length.
+        step_len: f64,
+    },
+}
+
+impl SizeModel {
+    /// Builds an MBR anchored at `p`, clipped into the unit square.
+    fn make_rect<R: Rng + ?Sized>(&self, rng: &mut R, p: Point) -> Rect {
+        let raw = match *self {
+            SizeModel::Point => Rect::from_point(p),
+            SizeModel::UniformSides { max_w, max_h } => {
+                let w = if max_w > 0.0 { rng.random_range(0.0..max_w) } else { 0.0 };
+                let h = if max_h > 0.0 { rng.random_range(0.0..max_h) } else { 0.0 };
+                Rect::centered(p, w, h)
+            }
+            SizeModel::LogNormalBox { mu, sigma, aspect_sigma, max_side } => {
+                let base = lognormal(rng, mu, sigma);
+                let aspect = lognormal(rng, 0.0, aspect_sigma).sqrt();
+                let w = (base * aspect).min(max_side);
+                let h = (base / aspect).min(max_side);
+                Rect::centered(p, w, h)
+            }
+            SizeModel::RandomWalk { steps, step_len } => {
+                let (mut x, mut y) = (p.x, p.y);
+                let mut mbr = Rect::from_point(p);
+                for _ in 0..steps {
+                    let angle = rng.random_range(0.0..std::f64::consts::TAU);
+                    let len = rng.random_range(0.0..2.0 * step_len);
+                    x += len * angle.cos();
+                    y += len * angle.sin();
+                    mbr = mbr.union(&Rect::from_point(Point::new(x, y)));
+                }
+                mbr
+            }
+        };
+        clip_into_unit(raw)
+    }
+}
+
+/// Translates a rect into the unit square if it pokes out, then clips any
+/// remaining overhang (oversized rects). Every generated MBR therefore
+/// lies inside the unit extent, as the paper's normalized datasets do.
+fn clip_into_unit(r: Rect) -> Rect {
+    let dx = if r.xlo < 0.0 {
+        -r.xlo
+    } else if r.xhi > 1.0 {
+        1.0 - r.xhi
+    } else {
+        0.0
+    };
+    let dy = if r.ylo < 0.0 {
+        -r.ylo
+    } else if r.yhi > 1.0 {
+        1.0 - r.yhi
+    } else {
+        0.0
+    };
+    let t = r.translated(dx, dy);
+    Rect::new(t.xlo.clamp(0.0, 1.0), t.ylo.clamp(0.0, 1.0), t.xhi.clamp(0.0, 1.0), t.yhi.clamp(0.0, 1.0))
+}
+
+/// A reproducible dataset generator: placement model + size model + seed.
+#[derive(Debug, Clone)]
+pub struct Generator {
+    /// Dataset name.
+    pub name: String,
+    /// Number of MBRs to produce.
+    pub count: usize,
+    /// Placement model.
+    pub placement: Placement,
+    /// MBR shape model.
+    pub size: SizeModel,
+    /// RNG seed; same seed, same dataset.
+    pub seed: u64,
+}
+
+impl Generator {
+    /// Runs the generator, producing a [`Dataset`] over the unit extent.
+    #[must_use]
+    pub fn generate(&self) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut rects = Vec::with_capacity(self.count);
+        for _ in 0..self.count {
+            let p = match &self.placement {
+                Placement::Uniform => {
+                    Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0))
+                }
+                Placement::Clustered(field) => field.sample_point(&mut rng),
+            };
+            rects.push(self.size.make_rect(&mut rng, p));
+        }
+        Dataset::new(self.name.clone(), Extent::unit(), rects)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_contains(ds: &Dataset) -> bool {
+        let unit = Rect::new(0.0, 0.0, 1.0, 1.0);
+        ds.rects.iter().all(|r| unit.contains(r))
+    }
+
+    #[test]
+    fn uniform_generator_fills_extent() {
+        let g = Generator {
+            name: "u".into(),
+            count: 5000,
+            placement: Placement::Uniform,
+            size: SizeModel::UniformSides { max_w: 0.01, max_h: 0.01 },
+            seed: 1,
+        };
+        let ds = g.generate();
+        assert_eq!(ds.len(), 5000);
+        assert!(unit_contains(&ds));
+        // Roughly uniform: each quadrant holds ~25 %.
+        let q = ds
+            .rects
+            .iter()
+            .filter(|r| r.center().x < 0.5 && r.center().y < 0.5)
+            .count();
+        assert!((q as f64 / 5000.0 - 0.25).abs() < 0.03, "quadrant share {q}");
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let g = Generator {
+            name: "d".into(),
+            count: 100,
+            placement: Placement::Uniform,
+            size: SizeModel::UniformSides { max_w: 0.1, max_h: 0.1 },
+            seed: 42,
+        };
+        assert_eq!(g.generate().rects, g.generate().rects);
+        let g2 = Generator { seed: 43, ..g.clone() };
+        assert_ne!(g.generate().rects, g2.generate().rects);
+    }
+
+    #[test]
+    fn clustered_generator_concentrates_mass() {
+        let field = ClusterField::single(Point::new(0.4, 0.7), 0.05);
+        let g = Generator {
+            name: "c".into(),
+            count: 2000,
+            placement: Placement::Clustered(field),
+            size: SizeModel::UniformSides { max_w: 0.005, max_h: 0.005 },
+            seed: 7,
+        };
+        let ds = g.generate();
+        assert!(unit_contains(&ds));
+        let near = ds
+            .rects
+            .iter()
+            .filter(|r| r.center().distance(&Point::new(0.4, 0.7)) < 0.15)
+            .count();
+        assert!(near > 1800, "cluster mass too diffuse: {near}/2000");
+    }
+
+    #[test]
+    fn point_size_model_is_degenerate() {
+        let g = Generator {
+            name: "p".into(),
+            count: 500,
+            placement: Placement::Uniform,
+            size: SizeModel::Point,
+            seed: 3,
+        };
+        let ds = g.generate();
+        assert!(ds.rects.iter().all(Rect::is_degenerate));
+        assert!((ds.stats().degenerate_fraction - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn random_walk_mbrs_are_elongated_irregular() {
+        let g = Generator {
+            name: "w".into(),
+            count: 2000,
+            placement: Placement::Uniform,
+            size: SizeModel::RandomWalk { steps: 10, step_len: 0.004 },
+            seed: 4,
+        };
+        let ds = g.generate();
+        assert!(unit_contains(&ds));
+        let s = ds.stats();
+        assert!(s.avg_width > 0.0 && s.avg_height > 0.0);
+        // Aspect ratios vary: some wide, some tall.
+        let wide = ds.rects.iter().filter(|r| r.width() > 2.0 * r.height()).count();
+        let tall = ds.rects.iter().filter(|r| r.height() > 2.0 * r.width()).count();
+        assert!(wide > 50 && tall > 50, "wide={wide} tall={tall}");
+    }
+
+    #[test]
+    fn lognormal_box_sides_clamped() {
+        let g = Generator {
+            name: "l".into(),
+            count: 3000,
+            placement: Placement::Uniform,
+            size: SizeModel::LogNormalBox { mu: -5.0, sigma: 1.0, aspect_sigma: 0.4, max_side: 0.05 },
+            seed: 5,
+        };
+        let ds = g.generate();
+        assert!(unit_contains(&ds));
+        assert!(ds.rects.iter().all(|r| r.width() <= 0.05 + 1e-12 && r.height() <= 0.05 + 1e-12));
+    }
+
+    #[test]
+    fn clip_into_unit_handles_oversized() {
+        let big = Rect::new(-1.0, -1.0, 2.0, 2.0);
+        let c = clip_into_unit(big);
+        assert_eq!(c, Rect::new(0.0, 0.0, 1.0, 1.0));
+        let edge = Rect::new(0.95, 0.2, 1.05, 0.3);
+        let c = clip_into_unit(edge);
+        assert!(Rect::new(0.0, 0.0, 1.0, 1.0).contains(&c));
+        assert!((c.width() - 0.1).abs() < 1e-12, "translation preserves size");
+    }
+
+    #[test]
+    fn random_field_weights_are_skewed() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let f = ClusterField::random(&mut rng, 50, (0.01, 0.05), 1.5);
+        assert_eq!(f.centers.len(), 50);
+        assert!(f.weights[0] > 10.0 * f.weights[49]);
+    }
+}

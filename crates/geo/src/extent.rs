@@ -1,0 +1,190 @@
+use crate::{Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// The spatial universe a dataset lives in.
+///
+/// All histogram schemes grid the extent into `2^h × 2^h` equi-sized cells.
+/// The extent also defines the area `A` used by the parametric model
+/// (paper Eq. 1) and normalizes world coordinates into unit coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Extent {
+    rect: Rect,
+}
+
+impl Extent {
+    /// The unit square `[0,1] × [0,1]`, the extent used by the paper's
+    /// synthetic datasets.
+    #[must_use]
+    pub fn unit() -> Self {
+        Self { rect: Rect::new(0.0, 0.0, 1.0, 1.0) }
+    }
+
+    /// Creates an extent from an explicit rectangle.
+    ///
+    /// # Panics
+    /// Panics if the rectangle is degenerate or non-finite: a universe must
+    /// have positive area for selectivity formulas to be well defined.
+    #[must_use]
+    pub fn new(rect: Rect) -> Self {
+        assert!(rect.is_finite(), "extent must be finite");
+        assert!(rect.area() > 0.0, "extent must have positive area");
+        Self { rect }
+    }
+
+    /// Computes the extent of a set of MBRs, slightly padded so that every
+    /// object is strictly inside (avoids last-row boundary pile-ups when
+    /// gridding). Returns `None` for an empty input.
+    #[must_use]
+    pub fn of_rects(rects: &[Rect]) -> Option<Self> {
+        let mbr = Rect::mbr_of(rects.iter().copied())?;
+        // Pad degenerate dimensions so the extent has positive area, and
+        // add a hair of slack so max-coordinate objects do not straddle
+        // the closing boundary of the last grid cell ambiguously.
+        let pad_x = (mbr.width().max(mbr.height()).max(1.0)) * 1e-9;
+        let pad_y = pad_x;
+        let w = if mbr.width() > 0.0 { 0.0 } else { 0.5 };
+        let h = if mbr.height() > 0.0 { 0.0 } else { 0.5 };
+        Some(Self::new(Rect::new(
+            mbr.xlo - pad_x - w,
+            mbr.ylo - pad_y - h,
+            mbr.xhi + pad_x + w,
+            mbr.yhi + pad_y + h,
+        )))
+    }
+
+    /// Computes the joint extent of two datasets (the join universe).
+    #[must_use]
+    pub fn of_datasets(a: &[Rect], b: &[Rect]) -> Option<Self> {
+        match (Self::of_rects(a), Self::of_rects(b)) {
+            (Some(ea), Some(eb)) => Some(Self::new(ea.rect.union(&eb.rect))),
+            (Some(e), None) | (None, Some(e)) => Some(e),
+            (None, None) => None,
+        }
+    }
+
+    /// The underlying rectangle.
+    #[must_use]
+    pub fn rect(&self) -> Rect {
+        self.rect
+    }
+
+    /// Area `A` of the universe (paper Eq. 1).
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.rect.area()
+    }
+
+    /// Width of the universe.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.rect.width()
+    }
+
+    /// Height of the universe.
+    #[must_use]
+    pub fn height(&self) -> f64 {
+        self.rect.height()
+    }
+
+    /// Maps a world point into `[0,1]²` (values outside the extent map
+    /// outside the unit square and are clamped by callers that need it).
+    #[must_use]
+    pub fn normalize(&self, p: Point) -> Point {
+        Point::new(
+            (p.x - self.rect.xlo) / self.rect.width(),
+            (p.y - self.rect.ylo) / self.rect.height(),
+        )
+    }
+
+    /// Maps a unit-square point back into world coordinates.
+    #[must_use]
+    pub fn denormalize(&self, p: Point) -> Point {
+        Point::new(
+            self.rect.xlo + p.x * self.rect.width(),
+            self.rect.ylo + p.y * self.rect.height(),
+        )
+    }
+
+    /// `true` if the MBR lies fully inside the closed extent.
+    #[must_use]
+    pub fn contains(&self, r: &Rect) -> bool {
+        self.rect.contains(r)
+    }
+}
+
+impl Default for Extent {
+    fn default() -> Self {
+        Self::unit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn unit_extent() {
+        let e = Extent::unit();
+        assert_eq!(e.area(), 1.0);
+        assert_eq!(e.width(), 1.0);
+        assert_eq!(e.height(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive area")]
+    fn degenerate_extent_rejected() {
+        let _ = Extent::new(Rect::new(0.0, 0.0, 0.0, 1.0));
+    }
+
+    #[test]
+    fn of_rects_covers_all_and_pads() {
+        let rects = vec![Rect::new(0.0, 0.0, 1.0, 1.0), Rect::new(5.0, -2.0, 6.0, 3.0)];
+        let e = Extent::of_rects(&rects).unwrap();
+        for r in &rects {
+            assert!(e.contains(r));
+        }
+        assert!(e.area() > 0.0);
+    }
+
+    #[test]
+    fn of_rects_handles_all_points() {
+        // A pure point dataset on a single vertical line: extent must still
+        // have positive area.
+        let rects: Vec<Rect> =
+            (0..10).map(|i| Rect::from_point(Point::new(2.0, f64::from(i)))).collect();
+        let e = Extent::of_rects(&rects).unwrap();
+        assert!(e.area() > 0.0);
+        for r in &rects {
+            assert!(e.contains(r));
+        }
+    }
+
+    #[test]
+    fn of_rects_empty_is_none() {
+        assert!(Extent::of_rects(&[]).is_none());
+    }
+
+    #[test]
+    fn of_datasets_unions() {
+        let a = vec![Rect::new(0.0, 0.0, 1.0, 1.0)];
+        let b = vec![Rect::new(10.0, 10.0, 11.0, 11.0)];
+        let e = Extent::of_datasets(&a, &b).unwrap();
+        assert!(e.contains(&a[0]));
+        assert!(e.contains(&b[0]));
+        assert!(Extent::of_datasets(&[], &[]).is_none());
+        assert!(Extent::of_datasets(&a, &[]).is_some());
+    }
+
+    #[test]
+    fn normalize_roundtrip() {
+        let e = Extent::new(Rect::new(-10.0, 5.0, 30.0, 25.0));
+        let p = Point::new(2.5, 7.0);
+        let n = e.normalize(p);
+        assert!((0.0..=1.0).contains(&n.x));
+        assert!((0.0..=1.0).contains(&n.y));
+        let back = e.denormalize(n);
+        assert!(approx_eq(back.x, p.x));
+        assert!(approx_eq(back.y, p.y));
+    }
+}

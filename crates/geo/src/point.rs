@@ -1,0 +1,83 @@
+use serde::{Deserialize, Serialize};
+
+/// A point in the 2-D plane.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a new point.
+    #[must_use]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    #[must_use]
+    pub fn distance(&self, other: &Point) -> f64 {
+        (self.x - other.x).hypot(self.y - other.y)
+    }
+
+    /// Component-wise minimum of two points.
+    #[must_use]
+    pub fn min(&self, other: &Point) -> Point {
+        Point::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum of two points.
+    #[must_use]
+    pub fn max(&self, other: &Point) -> Point {
+        Point::new(self.x.max(other.x), self.y.max(other.y))
+    }
+
+    /// Returns `true` if both coordinates are finite.
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(4.0, 6.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(b.distance(&a), 5.0);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn min_max_are_componentwise() {
+        let a = Point::new(1.0, 6.0);
+        let b = Point::new(4.0, 2.0);
+        assert_eq!(a.min(&b), Point::new(1.0, 2.0));
+        assert_eq!(a.max(&b), Point::new(4.0, 6.0));
+    }
+
+    #[test]
+    fn from_tuple() {
+        let p: Point = (3.0, -1.5).into();
+        assert_eq!(p, Point::new(3.0, -1.5));
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Point::new(0.0, 0.0).is_finite());
+        assert!(!Point::new(f64::NAN, 0.0).is_finite());
+        assert!(!Point::new(0.0, f64::INFINITY).is_finite());
+    }
+}

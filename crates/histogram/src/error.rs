@@ -1,0 +1,39 @@
+use std::fmt;
+
+/// Errors produced by histogram construction, estimation and
+/// (de)serialization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HistogramError {
+    /// The two histograms being combined were built on different grids
+    /// (level and extent must match exactly).
+    GridMismatch {
+        /// Level of the left histogram.
+        left_level: u32,
+        /// Level of the right histogram.
+        right_level: u32,
+    },
+    /// A histogram file failed to decode.
+    Corrupt(String),
+    /// The requested grid level is above [`crate::Grid::MAX_LEVEL`].
+    LevelTooLarge(u32),
+}
+
+impl fmt::Display for HistogramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistogramError::GridMismatch { left_level, right_level } => write!(
+                f,
+                "histogram grids are incompatible (levels {left_level} vs {right_level}, \
+                 or differing extents)"
+            ),
+            HistogramError::Corrupt(msg) => write!(f, "corrupt histogram file: {msg}"),
+            HistogramError::LevelTooLarge(l) => write!(
+                f,
+                "grid level {l} exceeds the maximum of {}",
+                crate::Grid::MAX_LEVEL
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HistogramError {}

@@ -1,0 +1,334 @@
+use crate::error::QueryError;
+use crate::plan::{ChainJoinQuery, Plan, Planner};
+use sj_datagen::Dataset;
+use sj_geo::Extent;
+use sj_histogram::{GhHistogram, Grid};
+use sj_rtree::{RTree, RTreeConfig};
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+/// Catalog configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CatalogConfig {
+    /// Gridding level for the per-table GH histogram files.
+    pub grid_level: u32,
+    /// R-tree configuration for table indexes.
+    pub rtree: RTreeConfig,
+    /// Extent every registered table must live in (the join universe).
+    pub extent: Extent,
+    /// Execution guard: abort a plan when an intermediate result exceeds
+    /// this many tuples.
+    pub tuple_budget: usize,
+}
+
+impl Default for CatalogConfig {
+    fn default() -> Self {
+        Self {
+            grid_level: 6,
+            rtree: RTreeConfig::default(),
+            extent: Extent::unit(),
+            tuple_budget: 50_000_000,
+        }
+    }
+}
+
+pub(crate) struct Table {
+    pub(crate) dataset: Dataset,
+    pub(crate) histogram: GhHistogram,
+    rtree: OnceLock<RTree>,
+}
+
+/// A catalog of named spatial tables with precomputed statistics.
+///
+/// Registration builds the GH histogram file immediately (the cheap,
+/// always-useful statistic); R-trees are built lazily the first time a
+/// plan needs one, mirroring how an SDBMS separates statistics collection
+/// from index builds.
+pub struct Catalog {
+    config: CatalogConfig,
+    grid: Grid,
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    /// Creates a catalog with the given configuration.
+    ///
+    /// # Panics
+    /// Panics if the configured grid level exceeds [`Grid::MAX_LEVEL`] —
+    /// this is static configuration, not data.
+    #[must_use]
+    pub fn new(config: CatalogConfig) -> Self {
+        let grid = Grid::new(config.grid_level, config.extent)
+            .expect("catalog grid level within Grid::MAX_LEVEL");
+        Self { config, grid, tables: BTreeMap::new() }
+    }
+
+    /// Creates a catalog over the unit extent at the given histogram
+    /// level, with defaults for everything else.
+    #[must_use]
+    pub fn with_level(grid_level: u32) -> Self {
+        Self::new(CatalogConfig { grid_level, ..CatalogConfig::default() })
+    }
+
+    /// The catalog configuration.
+    #[must_use]
+    pub fn config(&self) -> CatalogConfig {
+        self.config
+    }
+
+    /// Registers a dataset under its own name, building its histogram
+    /// file.
+    ///
+    /// # Errors
+    /// Returns [`QueryError::DuplicateTable`] if the name is taken.
+    pub fn register(&mut self, dataset: Dataset) -> Result<(), QueryError> {
+        if self.tables.contains_key(&dataset.name) {
+            return Err(QueryError::DuplicateTable(dataset.name.clone()));
+        }
+        let histogram = GhHistogram::build(self.grid, &dataset.rects);
+        self.tables.insert(
+            dataset.name.clone(),
+            Table { dataset, histogram, rtree: OnceLock::new() },
+        );
+        Ok(())
+    }
+
+    /// Registered table names, sorted.
+    #[must_use]
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Number of objects in a table.
+    ///
+    /// # Errors
+    /// Returns [`QueryError::UnknownTable`] for unregistered names.
+    pub fn table_len(&self, name: &str) -> Result<usize, QueryError> {
+        Ok(self.table(name)?.dataset.len())
+    }
+
+    /// The GH histogram file of a table.
+    ///
+    /// # Errors
+    /// Returns [`QueryError::UnknownTable`] for unregistered names.
+    pub fn histogram(&self, name: &str) -> Result<&GhHistogram, QueryError> {
+        Ok(&self.table(name)?.histogram)
+    }
+
+    /// The R-tree index of a table, built on first request.
+    ///
+    /// # Errors
+    /// Returns [`QueryError::UnknownTable`] for unregistered names.
+    pub fn rtree(&self, name: &str) -> Result<&RTree, QueryError> {
+        let table = self.table(name)?;
+        Ok(table
+            .rtree
+            .get_or_init(|| RTree::bulk_load_str(self.config.rtree, &table.dataset.rects)))
+    }
+
+    /// The underlying dataset of a table.
+    ///
+    /// # Errors
+    /// Returns [`QueryError::UnknownTable`] for unregistered names.
+    pub fn dataset(&self, name: &str) -> Result<&Dataset, QueryError> {
+        Ok(&self.table(name)?.dataset)
+    }
+
+    /// Estimated number of intersecting pairs between two tables, from
+    /// their histogram files alone.
+    ///
+    /// # Errors
+    /// Returns [`QueryError::UnknownTable`] for unregistered names.
+    pub fn estimate_join_pairs(&self, a: &str, b: &str) -> Result<f64, QueryError> {
+        let est = self.histogram(a)?.estimate(self.histogram(b)?)?;
+        Ok(est.pairs)
+    }
+
+    /// Plans a chain join query (see [`Planner`]).
+    ///
+    /// # Errors
+    /// Propagates unknown-table and estimation errors.
+    pub fn plan(&self, query: &ChainJoinQuery) -> Result<Plan, QueryError> {
+        Planner::new(self).plan(query)
+    }
+
+    pub(crate) fn table(&self, name: &str) -> Result<&Table, QueryError> {
+        self.tables.get(name).ok_or_else(|| QueryError::UnknownTable(name.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_geo::Rect;
+
+    fn tiny(name: &str, rects: Vec<Rect>) -> Dataset {
+        Dataset::new(name, Extent::unit(), rects)
+    }
+
+    #[test]
+    fn register_and_introspect() {
+        let mut c = Catalog::with_level(3);
+        c.register(tiny("a", vec![Rect::new(0.1, 0.1, 0.2, 0.2)])).unwrap();
+        c.register(tiny("b", vec![Rect::new(0.15, 0.15, 0.3, 0.3)])).unwrap();
+        assert_eq!(c.table_names(), vec!["a", "b"]);
+        assert_eq!(c.table_len("a").unwrap(), 1);
+        assert!(c.histogram("a").is_ok());
+        assert!(matches!(c.table_len("zzz"), Err(QueryError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let mut c = Catalog::with_level(3);
+        c.register(tiny("a", vec![])).unwrap();
+        assert!(matches!(
+            c.register(tiny("a", vec![])),
+            Err(QueryError::DuplicateTable(_))
+        ));
+    }
+
+    #[test]
+    fn rtree_is_lazy_and_cached() {
+        let mut c = Catalog::with_level(3);
+        c.register(tiny("a", vec![Rect::new(0.0, 0.0, 0.5, 0.5)])).unwrap();
+        let t1 = c.rtree("a").unwrap() as *const RTree;
+        let t2 = c.rtree("a").unwrap() as *const RTree;
+        assert_eq!(t1, t2, "R-tree must be built once and cached");
+        assert_eq!(c.rtree("a").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn estimate_join_pairs_from_files() {
+        let mut c = Catalog::with_level(4);
+        c.register(tiny("a", vec![Rect::new(0.1, 0.1, 0.4, 0.4)])).unwrap();
+        c.register(tiny("b", vec![Rect::new(0.2, 0.2, 0.5, 0.5)])).unwrap();
+        let est = c.estimate_join_pairs("a", "b").unwrap();
+        assert!(est > 0.0, "overlapping singletons should estimate > 0, got {est}");
+    }
+}
+
+/// Statistics persistence: write each table's GH histogram file to a
+/// directory, and register tables from previously saved statistics
+/// (skipping the histogram build — the SDBMS pattern of collecting
+/// statistics once and reusing them across sessions).
+impl Catalog {
+    /// Writes every table's histogram file as `<dir>/<table>.gh`
+    /// (sparse encoding — see [`GhHistogram::to_sparse_bytes`]).
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn save_statistics(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        for (name, table) in &self.tables {
+            std::fs::write(dir.join(format!("{name}.gh")), table.histogram.to_sparse_bytes())?;
+        }
+        Ok(())
+    }
+
+    /// Registers a dataset reusing a previously saved histogram file
+    /// instead of rebuilding it. The file must decode and match this
+    /// catalog's grid and the dataset's cardinality, otherwise the stale
+    /// statistics are rejected.
+    ///
+    /// # Errors
+    /// [`QueryError::DuplicateTable`], or [`QueryError::Histogram`] when
+    /// the statistics file is corrupt or does not match.
+    pub fn register_with_statistics(
+        &mut self,
+        dataset: Dataset,
+        stats_file: &[u8],
+    ) -> Result<(), QueryError> {
+        if self.tables.contains_key(&dataset.name) {
+            return Err(QueryError::DuplicateTable(dataset.name.clone()));
+        }
+        let histogram = GhHistogram::from_sparse_bytes(stats_file)?;
+        let expected_grid = self.grid;
+        if !histogram.grid().compatible(&expected_grid) {
+            return Err(QueryError::Histogram(
+                sj_histogram::HistogramError::GridMismatch {
+                    left_level: histogram.grid().level(),
+                    right_level: expected_grid.level(),
+                },
+            ));
+        }
+        if histogram.dataset_len() != dataset.len() {
+            return Err(QueryError::Histogram(sj_histogram::HistogramError::Corrupt(
+                format!(
+                    "statistics cover {} objects but the dataset has {}",
+                    histogram.dataset_len(),
+                    dataset.len()
+                ),
+            )));
+        }
+        self.tables.insert(
+            dataset.name.clone(),
+            Table { dataset, histogram, rtree: OnceLock::new() },
+        );
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+    use crate::error::QueryError;
+    use sj_geo::Rect;
+
+    fn tiny(name: &str, n: usize) -> Dataset {
+        let rects = (0..n)
+            .map(|i| {
+                let t = (i as f64 + 0.5) / n as f64;
+                Rect::centered(sj_geo::Point::new(t, t), 0.02, 0.02)
+            })
+            .collect();
+        Dataset::new(name, Extent::unit(), rects)
+    }
+
+    #[test]
+    fn save_and_reload_statistics() {
+        let dir = std::env::temp_dir().join("sj_query_stats_test");
+        let mut c1 = Catalog::with_level(4);
+        c1.register(tiny("alpha", 40)).unwrap();
+        c1.register(tiny("beta", 30)).unwrap();
+        c1.save_statistics(&dir).unwrap();
+        let baseline = c1.estimate_join_pairs("alpha", "beta").unwrap();
+
+        let mut c2 = Catalog::with_level(4);
+        for name in ["alpha", "beta"] {
+            let bytes = std::fs::read(dir.join(format!("{name}.gh"))).unwrap();
+            c2.register_with_statistics(tiny(name, if name == "alpha" { 40 } else { 30 }), &bytes)
+                .unwrap();
+        }
+        assert_eq!(
+            c2.estimate_join_pairs("alpha", "beta").unwrap(),
+            baseline,
+            "reloaded statistics must estimate identically"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_statistics_rejected() {
+        let mut c = Catalog::with_level(4);
+        c.register(tiny("alpha", 40)).unwrap();
+        let bytes = c.histogram("alpha").unwrap().to_sparse_bytes();
+
+        // Wrong grid level.
+        let mut other = Catalog::with_level(5);
+        assert!(matches!(
+            other.register_with_statistics(tiny("alpha", 40), &bytes),
+            Err(QueryError::Histogram(sj_histogram::HistogramError::GridMismatch { .. }))
+        ));
+
+        // Wrong cardinality (dataset changed since stats were taken).
+        let mut same_grid = Catalog::with_level(4);
+        assert!(matches!(
+            same_grid.register_with_statistics(tiny("alpha", 41), &bytes),
+            Err(QueryError::Histogram(sj_histogram::HistogramError::Corrupt(_)))
+        ));
+
+        // Garbage bytes.
+        let mut fresh = Catalog::with_level(4);
+        assert!(fresh.register_with_statistics(tiny("alpha", 40), b"nonsense").is_err());
+    }
+}

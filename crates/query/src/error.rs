@@ -1,0 +1,58 @@
+use sj_histogram::HistogramError;
+use std::fmt;
+
+/// Errors produced by the query engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// The query references a table the catalog does not know.
+    UnknownTable(String),
+    /// A table with this name is already registered.
+    DuplicateTable(String),
+    /// A chain join needs at least two tables.
+    TooFewTables(usize),
+    /// Execution aborted because the intermediate result exceeded the
+    /// configured tuple budget (the optimizer exists precisely to avoid
+    /// plans like this).
+    ResultTooLarge {
+        /// Tuples materialized when the budget tripped.
+        produced: usize,
+        /// The configured budget.
+        budget: usize,
+    },
+    /// An estimation failed (grid mismatch etc.).
+    Histogram(HistogramError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnknownTable(name) => write!(f, "unknown table {name:?}"),
+            QueryError::DuplicateTable(name) => {
+                write!(f, "table {name:?} is already registered")
+            }
+            QueryError::TooFewTables(n) => {
+                write!(f, "a chain join needs at least 2 tables, got {n}")
+            }
+            QueryError::ResultTooLarge { produced, budget } => write!(
+                f,
+                "intermediate result exceeded the tuple budget ({produced} > {budget})"
+            ),
+            QueryError::Histogram(e) => write!(f, "estimation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QueryError::Histogram(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HistogramError> for QueryError {
+    fn from(e: HistogramError) -> Self {
+        QueryError::Histogram(e)
+    }
+}

@@ -1,0 +1,189 @@
+//! Nearest-neighbor search: best-first traversal with a min-heap ordered
+//! by the minimum possible distance (`MINDIST`) between the query point
+//! and a node MBR (Roussopoulos et al., SIGMOD 1995).
+
+use crate::node::{Entry, Node};
+use crate::tree::RTree;
+use sj_geo::{Point, Rect};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Minimum distance from a point to a (closed) rectangle; zero when the
+/// point lies inside.
+#[must_use]
+pub fn mindist(p: &Point, r: &Rect) -> f64 {
+    let dx = (r.xlo - p.x).max(0.0).max(p.x - r.xhi);
+    let dy = (r.ylo - p.y).max(0.0).max(p.y - r.yhi);
+    dx.hypot(dy)
+}
+
+/// Heap element: either a node to expand or a data entry, keyed by
+/// mindist. `BinaryHeap` is a max-heap, so the ordering is reversed.
+enum HeapItem<'a> {
+    Node(f64, &'a Node),
+    Data(f64, Entry),
+}
+
+impl HeapItem<'_> {
+    fn dist(&self) -> f64 {
+        match self {
+            HeapItem::Node(d, _) | HeapItem::Data(d, _) => *d,
+        }
+    }
+}
+
+impl PartialEq for HeapItem<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist() == other.dist()
+    }
+}
+impl Eq for HeapItem<'_> {}
+impl PartialOrd for HeapItem<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem<'_> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse for a min-heap; distances are finite by construction.
+        other.dist().total_cmp(&self.dist())
+    }
+}
+
+impl RTree {
+    /// Returns the `k` entries whose MBRs are nearest to `p` (by
+    /// `MINDIST`, i.e. distance to the closest point of the MBR), in
+    /// non-decreasing distance order. Fewer than `k` are returned when the
+    /// tree is smaller than `k`.
+    #[must_use]
+    pub fn nearest_neighbors(&self, p: Point, k: usize) -> Vec<(Entry, f64)> {
+        let mut out = Vec::with_capacity(k.min(self.len()));
+        if k == 0 {
+            return out;
+        }
+        let Some(root) = self.root() else {
+            return out;
+        };
+        let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
+        heap.push(HeapItem::Node(root.mbr().map_or(0.0, |m| mindist(&p, &m)), root));
+        while let Some(item) = heap.pop() {
+            match item {
+                HeapItem::Data(d, e) => {
+                    out.push((e, d));
+                    if out.len() == k {
+                        break;
+                    }
+                }
+                HeapItem::Node(_, node) => match node {
+                    Node::Leaf(entries) => {
+                        for e in entries {
+                            heap.push(HeapItem::Data(mindist(&p, &e.rect), *e));
+                        }
+                    }
+                    Node::Inner(children) => {
+                        for (rect, child) in children {
+                            heap.push(HeapItem::Node(mindist(&p, rect), child));
+                        }
+                    }
+                },
+            }
+        }
+        out
+    }
+
+    /// The single nearest entry to `p`, if the tree is non-empty.
+    #[must_use]
+    pub fn nearest_neighbor(&self, p: Point) -> Option<(Entry, f64)> {
+        self.nearest_neighbors(p, 1).into_iter().next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::RTreeConfig;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_rects(n: usize, seed: u64) -> Vec<Rect> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let x = rng.random_range(0.0..1.0);
+                let y = rng.random_range(0.0..1.0);
+                Rect::new(x, y, x + rng.random_range(0.0..0.03), y + rng.random_range(0.0..0.03))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn mindist_basics() {
+        let r = Rect::new(1.0, 1.0, 2.0, 2.0);
+        assert_eq!(mindist(&Point::new(1.5, 1.5), &r), 0.0, "inside");
+        assert_eq!(mindist(&Point::new(1.5, 1.0), &r), 0.0, "on boundary");
+        assert_eq!(mindist(&Point::new(0.0, 1.5), &r), 1.0, "left of");
+        assert!((mindist(&Point::new(0.0, 0.0), &r) - 2f64.sqrt()).abs() < 1e-12, "corner");
+    }
+
+    #[test]
+    fn nn_matches_brute_force() {
+        let rects = random_rects(500, 21);
+        let t = RTree::bulk_load_str(RTreeConfig::default(), &rects);
+        let mut rng = StdRng::seed_from_u64(22);
+        for _ in 0..25 {
+            let p = Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0));
+            let got = t.nearest_neighbors(p, 5);
+            let mut expected: Vec<(usize, f64)> =
+                rects.iter().enumerate().map(|(i, r)| (i, mindist(&p, r))).collect();
+            expected.sort_by(|a, b| a.1.total_cmp(&b.1));
+            assert_eq!(got.len(), 5);
+            for (rank, (entry, d)) in got.iter().enumerate() {
+                // Distances must match the brute-force ranking (ids may
+                // differ under exact ties).
+                assert!(
+                    (d - expected[rank].1).abs() < 1e-12,
+                    "rank {rank}: {d} vs {}",
+                    expected[rank].1
+                );
+                assert!((mindist(&p, &entry.rect) - d).abs() < 1e-12);
+            }
+            // Ordering is non-decreasing.
+            assert!(got.windows(2).all(|w| w[0].1 <= w[1].1));
+        }
+    }
+
+    #[test]
+    fn nn_on_dynamic_tree() {
+        let rects = random_rects(200, 23);
+        let mut t = RTree::with_defaults();
+        for (i, r) in rects.iter().enumerate() {
+            t.insert(*r, i as u64);
+        }
+        let p = Point::new(0.5, 0.5);
+        let nn = t.nearest_neighbor(p).expect("non-empty");
+        let best = rects.iter().map(|r| mindist(&p, r)).fold(f64::INFINITY, f64::min);
+        assert!((nn.1 - best).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nn_edge_cases() {
+        let t = RTree::with_defaults();
+        assert!(t.nearest_neighbor(Point::new(0.0, 0.0)).is_none());
+        let mut t = RTree::with_defaults();
+        t.insert(Rect::new(0.0, 0.0, 1.0, 1.0), 42);
+        assert_eq!(t.nearest_neighbors(Point::new(5.0, 5.0), 0).len(), 0);
+        let all = t.nearest_neighbors(Point::new(5.0, 5.0), 10);
+        assert_eq!(all.len(), 1, "k beyond tree size returns everything");
+        assert_eq!(all[0].0.id, 42);
+    }
+
+    #[test]
+    fn nn_containing_rect_has_distance_zero() {
+        let mut t = RTree::with_defaults();
+        t.insert(Rect::new(0.0, 0.0, 10.0, 10.0), 1);
+        t.insert(Rect::new(20.0, 20.0, 21.0, 21.0), 2);
+        let (e, d) = t.nearest_neighbor(Point::new(5.0, 5.0)).unwrap();
+        assert_eq!(e.id, 1);
+        assert_eq!(d, 0.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Cross-crate agreement of the three join implementations: the R-tree
+//! synchronized-traversal join, the forward plane sweep, and brute force.
+//! Every estimator in the workspace is judged against these counts, so
+//! they must agree bit-for-bit.
+
+use sj_core::{presets, Dataset, RTree, RTreeConfig, SplitAlgorithm};
+
+fn pair(scale: f64, join: presets::PaperJoin) -> (Dataset, Dataset) {
+    join.datasets(scale)
+}
+
+#[test]
+fn rtree_join_equals_sweep_on_all_preset_joins() {
+    for join in presets::ALL_JOINS {
+        let (a, b) = pair(0.01, join);
+        let sweep = sj_core::sweep_join_count(&a.rects, &b.rects);
+        let ta = RTree::bulk_load_str(RTreeConfig::default(), &a.rects);
+        let tb = RTree::bulk_load_str(RTreeConfig::default(), &b.rects);
+        let rtree = sj_core::join_count(&ta, &tb);
+        assert_eq!(rtree, sweep, "join backends disagree on {}", join.name());
+        assert!(sweep > 0, "{} should be non-empty at this scale", join.name());
+    }
+}
+
+#[test]
+fn all_rtree_variants_agree() {
+    let (a, b) = pair(0.01, presets::PaperJoin::TsTcb);
+    let reference = sj_core::sweep_join_count(&a.rects, &b.rects);
+
+    let configs = [
+        RTreeConfig::default(),
+        RTreeConfig { max_entries: 8, min_entries: 3, split: SplitAlgorithm::Linear },
+        RTreeConfig { max_entries: 16, min_entries: 4, split: SplitAlgorithm::Quadratic },
+    ];
+    for cfg in configs {
+        let str_a = RTree::bulk_load_str(cfg, &a.rects);
+        let hil_a = RTree::bulk_load_hilbert(cfg, &a.rects);
+        let mut dyn_a = RTree::new(cfg);
+        for (i, r) in a.rects.iter().enumerate() {
+            dyn_a.insert(*r, i as u64);
+        }
+        str_a.validate();
+        hil_a.validate();
+        dyn_a.validate();
+
+        let tb = RTree::bulk_load_str(cfg, &b.rects);
+        for (label, tree) in [("STR", &str_a), ("Hilbert", &hil_a), ("dynamic", &dyn_a)] {
+            assert_eq!(
+                sj_core::join_count(tree, &tb),
+                reference,
+                "{label} tree with {cfg:?} disagrees"
+            );
+        }
+    }
+}
+
+#[test]
+fn join_pairs_ids_are_valid_and_unique() {
+    let (a, b) = pair(0.005, presets::PaperJoin::SpSpg);
+    let ta = RTree::bulk_load_str(RTreeConfig::default(), &a.rects);
+    let tb = RTree::bulk_load_str(RTreeConfig::default(), &b.rects);
+    let mut pairs = Vec::new();
+    sj_core::join_pairs(&ta, &tb, |i, j| pairs.push((i, j)));
+    let n = pairs.len();
+    pairs.sort_unstable();
+    pairs.dedup();
+    assert_eq!(pairs.len(), n, "duplicate pairs emitted");
+    for (i, j) in pairs {
+        let (i, j) = (usize::try_from(i).unwrap(), usize::try_from(j).unwrap());
+        assert!(a.rects[i].intersects(&b.rects[j]), "emitted pair does not intersect");
+    }
+}
+
+#[test]
+fn self_join_symmetry() {
+    let (a, _) = pair(0.005, presets::PaperJoin::ScrcSura);
+    let t = RTree::bulk_load_str(RTreeConfig::default(), &a.rects);
+    let n = sj_core::join_count(&t, &t);
+    // A self join contains each item paired with itself, and the
+    // off-diagonal pairs come in symmetric twos.
+    assert!(n >= a.len() as u64);
+    assert_eq!((n - a.len() as u64) % 2, 0, "off-diagonal pairs must be symmetric");
+}

@@ -1,0 +1,142 @@
+//! Properties of the eight preset datasets that the DESIGN.md substitution
+//! argument relies on: cardinalities, determinism, shape distributions and
+//! the spatial relationships between joined pairs.
+
+use sj_core::{presets, Dataset, Rect};
+
+#[test]
+fn paper_cardinalities_at_full_scale_constants() {
+    // Checked via the constants (generating 2.25M rects in a unit test is
+    // wasteful; full-scale generation is exercised by the bench harness).
+    assert_eq!(presets::TS_COUNT, 194_971);
+    assert_eq!(presets::TCB_COUNT, 556_696);
+    assert_eq!(presets::CAS_COUNT, 98_451);
+    assert_eq!(presets::CAR_COUNT, 2_249_727);
+    assert_eq!(presets::SP_COUNT, 62_555);
+    assert_eq!(presets::SPG_COUNT, 79_607);
+    assert_eq!(presets::SCRC_COUNT, 100_000);
+    assert_eq!(presets::SURA_COUNT, 100_000);
+}
+
+#[test]
+fn scaled_counts_follow_paper_ratios() {
+    let scale = 0.01;
+    let (ts, tcb) = presets::PaperJoin::TsTcb.datasets(scale);
+    assert_eq!(ts.len(), 1950);
+    assert_eq!(tcb.len(), 5567);
+    let (cas, car) = presets::PaperJoin::CasCar.datasets(scale);
+    assert_eq!(cas.len(), 985);
+    assert_eq!(car.len(), 22_497);
+    let (sp, spg) = presets::PaperJoin::SpSpg.datasets(scale);
+    assert_eq!(sp.len(), 626);
+    assert_eq!(spg.len(), 796);
+    let (scrc, sura) = presets::PaperJoin::ScrcSura.datasets(scale);
+    assert_eq!(scrc.len(), 1000);
+    assert_eq!(sura.len(), 1000);
+}
+
+#[test]
+fn all_rects_inside_unit_extent() {
+    let unit = Rect::new(0.0, 0.0, 1.0, 1.0);
+    for join in presets::ALL_JOINS {
+        let (a, b) = join.datasets(0.01);
+        for ds in [&a, &b] {
+            assert!(
+                ds.rects.iter().all(|r| unit.contains(r)),
+                "{}: rect escapes the unit extent",
+                ds.name
+            );
+        }
+    }
+}
+
+#[test]
+fn generation_is_deterministic_across_calls() {
+    for join in presets::ALL_JOINS {
+        let (a1, b1) = join.datasets(0.005);
+        let (a2, b2) = join.datasets(0.005);
+        assert_eq!(a1.rects, a2.rects, "{} left not deterministic", join.name());
+        assert_eq!(b1.rects, b2.rects, "{} right not deterministic", join.name());
+    }
+}
+
+#[test]
+fn sp_is_points_spg_is_polygons() {
+    let (sp, spg) = presets::PaperJoin::SpSpg.datasets(0.02);
+    assert!((sp.stats().degenerate_fraction - 1.0).abs() < f64::EPSILON);
+    assert!(spg.stats().degenerate_fraction < 0.01);
+    assert!(spg.stats().coverage > 0.0);
+}
+
+#[test]
+fn streams_are_elongated_blocks_are_compact() {
+    // TS simulates polyline MBRs: aspect ratios vary wildly. TCB simulates
+    // census blocks: compact boxes. Compare aspect-variability.
+    fn extreme_aspect_fraction(ds: &Dataset) -> f64 {
+        let n = ds
+            .rects
+            .iter()
+            .filter(|r| {
+                let (w, h) = (r.width().max(1e-12), r.height().max(1e-12));
+                w > 3.0 * h || h > 3.0 * w
+            })
+            .count();
+        n as f64 / ds.len() as f64
+    }
+    let (ts, tcb) = presets::PaperJoin::TsTcb.datasets(0.02);
+    assert!(
+        extreme_aspect_fraction(&ts) > extreme_aspect_fraction(&tcb),
+        "streams should be more elongated than census blocks"
+    );
+}
+
+#[test]
+fn car_segments_smaller_than_cas_streams() {
+    let (cas, car) = presets::PaperJoin::CasCar.datasets(0.01);
+    let (scas, scar) = (cas.stats(), car.stats());
+    assert!(
+        scar.avg_width < scas.avg_width && scar.avg_height < scas.avg_height,
+        "road segments must be smaller than stream MBRs"
+    );
+}
+
+#[test]
+fn scrc_is_clustered_sura_is_uniform() {
+    let (scrc, sura) = presets::PaperJoin::ScrcSura.datasets(0.05);
+    let center = sj_core::Point::new(0.4, 0.7);
+    let near = |ds: &Dataset| {
+        ds.rects.iter().filter(|r| r.center().distance(&center) < 0.25).count() as f64
+            / ds.len() as f64
+    };
+    assert!(near(&scrc) > 0.85, "SCRC mass near (0.4,0.7): {:.2}", near(&scrc));
+    // The disc of radius 0.25 has area π/16 ≈ 0.196 (clipped at borders
+    // slightly less); uniform mass inside ≈ its area share.
+    let sura_near = near(&sura);
+    assert!(
+        (0.1..0.3).contains(&sura_near),
+        "SURA should be uniform: {sura_near:.2} mass near the SCRC center"
+    );
+}
+
+#[test]
+fn joined_pairs_overlap_spatially() {
+    for join in presets::ALL_JOINS {
+        let (a, b) = join.datasets(0.02);
+        let pairs = sj_core::sweep_join_count(&a.rects, &b.rects);
+        assert!(pairs > 0, "{}: join must be non-empty", join.name());
+        // Sanity on the magnitude: selectivity far below 1 (the joins are
+        // sparse in the paper too).
+        let sel = pairs as f64 / (a.len() as f64 * b.len() as f64);
+        assert!(sel < 0.05, "{}: selectivity suspiciously high: {sel}", join.name());
+    }
+}
+
+#[test]
+fn dataset_stats_match_manual_computation() {
+    let (scrc, _) = presets::PaperJoin::ScrcSura.datasets(0.01);
+    let s = scrc.stats();
+    let manual_cov: f64 = scrc.rects.iter().map(Rect::area).sum::<f64>();
+    assert!((s.coverage - manual_cov).abs() < 1e-12);
+    let manual_w: f64 = scrc.rects.iter().map(Rect::width).sum::<f64>() / scrc.len() as f64;
+    assert!((s.avg_width - manual_w).abs() < 1e-15);
+}
