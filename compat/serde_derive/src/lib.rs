@@ -1,0 +1,108 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! Written against `proc_macro` directly (no `syn`/`quote`, which are
+//! unavailable offline). Supports exactly what this workspace derives on:
+//! non-generic structs with named fields.
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by emitting every named field into a
+/// `serde::Value::Object`, in declaration order.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, fields) = parse_named_struct(input);
+    let mut pushes = String::new();
+    for f in &fields {
+        pushes.push_str(&format!(
+            "fields.push((\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})));\n"
+        ));
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut fields: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(fields)\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives the `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, _) = parse_named_struct(input);
+    format!("impl ::serde::Deserialize for {name} {{}}")
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+/// Extracts the struct name and its named-field identifiers.
+fn parse_named_struct(input: TokenStream) -> (String, Vec<String>) {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut name = None;
+    let mut body = None;
+    let mut i = 0;
+    while i < tokens.len() {
+        if let TokenTree::Ident(id) = &tokens[i] {
+            if id.to_string() == "struct" {
+                if let Some(TokenTree::Ident(n)) = tokens.get(i + 1) {
+                    name = Some(n.to_string());
+                }
+                // The fields are the next brace group (no generic structs
+                // are derived in this workspace, so nothing intervenes but
+                // the name itself).
+                for t in &tokens[i + 1..] {
+                    if let TokenTree::Group(g) = t {
+                        if g.delimiter() == Delimiter::Brace {
+                            body = Some(g.stream());
+                            break;
+                        }
+                    }
+                }
+                break;
+            }
+        }
+        i += 1;
+    }
+    let name = name.expect("derive input contains a struct name");
+    let body = body.expect("derive supports structs with named fields only");
+    (name, field_names(body))
+}
+
+/// Walks a named-field struct body, returning one identifier per field.
+fn field_names(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut at_field_start = true;
+    let mut angle_depth = 0i32;
+    let mut iter = body.into_iter().peekable();
+    while let Some(tok) = iter.next() {
+        match &tok {
+            TokenTree::Punct(p) if p.as_char() == '#' && at_field_start => {
+                // Skip the attribute's bracket group (doc comments etc.).
+                iter.next();
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                at_field_start = true;
+            }
+            TokenTree::Ident(id) if at_field_start => {
+                let s = id.to_string();
+                if s == "pub" {
+                    // A `pub(crate)`-style scope group is consumed by the
+                    // group arm below without marking a field.
+                    continue;
+                }
+                fields.push(s);
+                at_field_start = false;
+            }
+            _ => {}
+        }
+    }
+    fields
+}

@@ -13,10 +13,18 @@ fn bench_estimate(c: &mut Criterion) {
     let mut g = c.benchmark_group("histogram_estimate_ts_tcb_5pct");
     for level in [3u32, 6, 9] {
         let grid = Grid::new(level, extent).expect("level in range");
-        let (gha, ghb) = (GhHistogram::build(grid, &a.rects), GhHistogram::build(grid, &b.rects));
-        let (gba, gbb) =
-            (GhBasicHistogram::build(grid, &a.rects), GhBasicHistogram::build(grid, &b.rects));
-        let (pha, phb) = (PhHistogram::build(grid, &a.rects), PhHistogram::build(grid, &b.rects));
+        let (gha, ghb) = (
+            GhHistogram::build(grid, &a.rects),
+            GhHistogram::build(grid, &b.rects),
+        );
+        let (gba, gbb) = (
+            GhBasicHistogram::build(grid, &a.rects),
+            GhBasicHistogram::build(grid, &b.rects),
+        );
+        let (pha, phb) = (
+            PhHistogram::build(grid, &a.rects),
+            PhHistogram::build(grid, &b.rects),
+        );
 
         g.bench_with_input(BenchmarkId::new("gh_revised", level), &level, |bench, _| {
             bench.iter(|| black_box(gha.estimate(&ghb).expect("same grid")));

@@ -19,10 +19,14 @@ fn bench_sampling(c: &mut Criterion) {
             SamplingTechnique::Sorted,
         ] {
             let id = format!("{}_{percent}pct", technique.name());
-            g.bench_with_input(BenchmarkId::new(id, percent as u32), &percent, |bench, &p| {
-                let est = SamplingEstimator::new(technique, p, p);
-                bench.iter(|| black_box(est.estimate(&a.rects, &b.rects, &extent)));
-            });
+            g.bench_with_input(
+                BenchmarkId::new(id, percent as u32),
+                &percent,
+                |bench, &p| {
+                    let est = SamplingEstimator::new(technique, p, p);
+                    bench.iter(|| black_box(est.estimate(&a.rects, &b.rects, &extent)));
+                },
+            );
         }
     }
     // Backend comparison at a fixed size: R-tree join vs plane sweep on

@@ -43,7 +43,13 @@ fn main() {
         println!(
             "{}",
             render_table(
-                &["level", "basic err", "revised err", "basic space", "revised space"],
+                &[
+                    "level",
+                    "basic err",
+                    "revised err",
+                    "basic space",
+                    "revised space"
+                ],
                 &rows
             )
         );
@@ -61,9 +67,7 @@ fn main() {
             let hb = PhHistogram::build(grid, &ctx.right.rects);
             let corrected = ha.estimate(&hb).expect("same grid").selectivity;
             let uncorrected = ha.estimate_uncorrected(&hb).expect("same grid").selectivity;
-            let err = |est: f64| {
-                sj_core::error_pct(est, ctx.baseline.selectivity)
-            };
+            let err = |est: f64| sj_core::error_pct(est, ctx.baseline.selectivity);
             rows.push(vec![
                 level.to_string(),
                 pct(err(corrected)),
@@ -73,14 +77,21 @@ fn main() {
         }
         println!(
             "{}",
-            render_table(&["level", "corrected err", "uncorrected err", "mean AvgSpan"], &rows)
+            render_table(
+                &["level", "corrected err", "uncorrected err", "mean AvgSpan"],
+                &rows
+            )
         );
     }
 
     // Ablation 3: R-tree construction strategies (on the first join's
     // left dataset — construction cost is per-dataset).
     if let Some(ctx) = contexts.first() {
-        println!("--- R-tree construction: {} ({} rects) ---", ctx.left.name, ctx.left.len());
+        println!(
+            "--- R-tree construction: {} ({} rects) ---",
+            ctx.left.name,
+            ctx.left.len()
+        );
         let rects = &ctx.left.rects;
         let other = RTree::bulk_load_str(RTreeConfig::default(), &ctx.right.rects);
         let mut rows = Vec::new();
@@ -100,7 +111,9 @@ fn main() {
                 pairs.to_string(),
             ]);
         };
-        measure("STR bulk load", &|| RTree::bulk_load_str(RTreeConfig::default(), rects));
+        measure("STR bulk load", &|| {
+            RTree::bulk_load_str(RTreeConfig::default(), rects)
+        });
         measure("Hilbert bulk load", &|| {
             RTree::bulk_load_hilbert(RTreeConfig::default(), rects)
         });

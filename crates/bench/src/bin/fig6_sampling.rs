@@ -12,7 +12,7 @@
 //! ```
 
 use sj_bench::{banner, pct, render_table, HarnessConfig};
-use sj_core::experiment::fig6_rows;
+use sj_core::experiment::fig6_rows_par;
 
 fn main() {
     let cfg = HarnessConfig::from_args();
@@ -29,7 +29,7 @@ fn main() {
             ctx.baseline.pairs,
             ctx.baseline.selectivity
         );
-        let rows = fig6_rows(ctx);
+        let rows = fig6_rows_par(ctx, cfg.parallelism);
         let table: Vec<Vec<String>> = rows
             .iter()
             .map(|r| {
@@ -46,7 +46,14 @@ fn main() {
         println!(
             "{}",
             render_table(
-                &["combo", "technique", "estimate", "error", "est.time 1", "est.time 2"],
+                &[
+                    "combo",
+                    "technique",
+                    "estimate",
+                    "error",
+                    "est.time 1",
+                    "est.time 2"
+                ],
                 &table
             )
         );

@@ -10,7 +10,7 @@
 //! ```
 
 use sj_bench::{banner, pct, render_table, HarnessConfig};
-use sj_core::experiment::fig7_rows;
+use sj_core::experiment::fig7_rows_par;
 
 fn main() {
     let cfg = HarnessConfig::from_args();
@@ -27,7 +27,7 @@ fn main() {
             ctx.baseline.pairs,
             ctx.baseline.selectivity
         );
-        let rows = fig7_rows(ctx, cfg.levels.clone());
+        let rows = fig7_rows_par(ctx, cfg.levels.clone(), cfg.parallelism);
         let table: Vec<Vec<String>> = rows
             .iter()
             .map(|r| {

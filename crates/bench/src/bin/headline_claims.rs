@@ -97,7 +97,11 @@ fn main() {
                 let ph0 = fig7_row(ctx, HistogramScheme::Ph, 0).error_pct;
                 (
                     ph5 < 15.0 && ph0 > 2.0 * ph5.max(1.0),
-                    format!("PH level5 err {} vs parametric (level0) {}", pct(ph5), pct(ph0)),
+                    format!(
+                        "PH level5 err {} vs parametric (level0) {}",
+                        pct(ph5),
+                        pct(ph0)
+                    ),
                 )
             }
             None => (true, "skipped (TS join not selected)".to_string()),

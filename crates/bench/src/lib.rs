@@ -11,10 +11,12 @@
 //!   (default `results/`).
 //! * `--join <name>` — restrict to one join (`ts-tcb`, `cas-car`,
 //!   `sp-spg`, `scrc-sura`).
+//! * `--threads <n>` — worker threads for context preparation and the
+//!   experiment runners (default: available parallelism).
 
-use parking_lot::Mutex;
 use sj_core::experiment::JoinContext;
 use sj_core::presets::{self, PaperJoin};
+use sj_core::{parallel_map, Parallelism};
 use std::fmt::Write as _;
 use std::ops::RangeInclusive;
 use std::path::PathBuf;
@@ -30,6 +32,8 @@ pub struct HarnessConfig {
     pub out_dir: PathBuf,
     /// Joins to run.
     pub joins: Vec<PaperJoin>,
+    /// Worker threads for context preparation and experiment runners.
+    pub parallelism: Parallelism,
 }
 
 impl Default for HarnessConfig {
@@ -39,6 +43,7 @@ impl Default for HarnessConfig {
             levels: 0..=9,
             out_dir: PathBuf::from("results"),
             joins: presets::ALL_JOINS.to_vec(),
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -93,10 +98,18 @@ impl HarnessConfig {
                     }];
                     i += 2;
                 }
+                "--threads" => {
+                    let n: usize = need_value(i).parse().unwrap_or_else(|e| {
+                        eprintln!("bad --threads: {e}");
+                        std::process::exit(2);
+                    });
+                    cfg.parallelism = Parallelism::with_threads(n);
+                    i += 2;
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "usage: [--scale F] [--levels A..B] [--out DIR] \
-                         [--join ts-tcb|cas-car|sp-spg|scrc-sura]"
+                         [--join ts-tcb|cas-car|sp-spg|scrc-sura] [--threads N]"
                     );
                     std::process::exit(0);
                 }
@@ -113,22 +126,11 @@ impl HarnessConfig {
     /// join, the expensive part of the harness).
     #[must_use]
     pub fn prepare_contexts(&self) -> Vec<JoinContext> {
-        let results: Mutex<Vec<(usize, JoinContext)>> = Mutex::new(Vec::new());
-        crossbeam::scope(|scope| {
-            for (idx, join) in self.joins.iter().copied().enumerate() {
-                let results = &results;
-                let scale = self.scale;
-                scope.spawn(move |_| {
-                    let (a, b) = join.datasets(scale);
-                    let ctx = JoinContext::prepare(join.name(), a, b);
-                    results.lock().push((idx, ctx));
-                });
-            }
+        let scale = self.scale;
+        parallel_map(self.joins.clone(), self.parallelism, move |join| {
+            let (a, b) = join.datasets(scale);
+            JoinContext::prepare(join.name(), a, b)
         })
-        .expect("context preparation thread panicked");
-        let mut v = results.into_inner();
-        v.sort_by_key(|(idx, _)| *idx);
-        v.into_iter().map(|(_, ctx)| ctx).collect()
     }
 
     /// Writes a serializable value as pretty JSON under the output dir.
@@ -161,7 +163,12 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
                 out.push_str("  ");
             }
             // Right-align numeric-looking cells, left-align labels.
-            if i != 0 && cell.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '-') {
+            if i != 0
+                && cell
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_digit() || c == '-')
+            {
                 let _ = write!(out, "{}{}", " ".repeat(pad), cell);
             } else {
                 let _ = write!(out, "{}{}", cell, " ".repeat(pad));
@@ -171,7 +178,11 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
     };
     let headers_owned: Vec<String> = headers.iter().map(|s| (*s).to_string()).collect();
     fmt_row(&mut out, &headers_owned);
-    let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    let _ = writeln!(
+        out,
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1))
+    );
     for row in rows {
         fmt_row(&mut out, row);
     }
@@ -199,9 +210,14 @@ pub fn pct(v: f64) -> String {
 pub fn banner(title: &str, cfg: &HarnessConfig) {
     println!("=== {title} ===");
     println!(
-        "scale {} (paper = 1.0) | joins: {}",
+        "scale {} (paper = 1.0) | joins: {} | threads: {}",
         cfg.scale,
-        cfg.joins.iter().map(|j| j.name()).collect::<Vec<_>>().join(", ")
+        cfg.joins
+            .iter()
+            .map(|j| j.name())
+            .collect::<Vec<_>>()
+            .join(", "),
+        cfg.parallelism.threads()
     );
     println!();
 }
@@ -243,12 +259,20 @@ mod tests {
 
     #[test]
     fn prepare_contexts_preserves_order() {
-        let cfg = HarnessConfig { scale: 0.002, ..Default::default() };
+        let cfg = HarnessConfig {
+            scale: 0.002,
+            ..Default::default()
+        };
         let ctxs = cfg.prepare_contexts();
         let names: Vec<&str> = ctxs.iter().map(|c| c.name.as_str()).collect();
         assert_eq!(
             names,
-            vec!["TS with TCB", "CAS with CAR", "SP with SPG", "SCRC with SURA"]
+            vec![
+                "TS with TCB",
+                "CAS with CAR",
+                "SP with SPG",
+                "SCRC with SURA"
+            ]
         );
     }
 }

@@ -22,8 +22,8 @@
 #![warn(missing_docs)]
 
 use sj_core::{
-    presets, Dataset, Extent, GhBasicHistogram, GhHistogram, Grid, JoinBaseline, PhHistogram,
-    Rect,
+    presets, Dataset, Extent, GhBasicHistogram, GhHistogram, Grid, JoinBaseline, Parallelism,
+    PhHistogram, RTreeConfig, Rect,
 };
 use std::fmt::Write as _;
 use std::path::Path;
@@ -39,11 +39,17 @@ pub struct CliError {
 
 impl CliError {
     fn usage(message: impl Into<String>) -> Self {
-        Self { message: message.into(), code: 2 }
+        Self {
+            message: message.into(),
+            code: 2,
+        }
     }
 
     fn runtime(message: impl Into<String>) -> Self {
-        Self { message: message.into(), code: 1 }
+        Self {
+            message: message.into(),
+            code: 1,
+        }
     }
 }
 
@@ -64,7 +70,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "exact-join" => cmd_exact_join(rest),
         "window-count" => cmd_window_count(rest),
         "--help" | "-h" | "help" => Ok(USAGE.to_string()),
-        other => Err(CliError::usage(format!("unknown command {other:?}\n\n{USAGE}"))),
+        other => Err(CliError::usage(format!(
+            "unknown command {other:?}\n\n{USAGE}"
+        ))),
     }
 }
 
@@ -76,10 +84,13 @@ USAGE:
   sjsel generate <ts|tcb|cas|car|sp|spg|scrc|sura> [--scale F] --out FILE.{csv|bin}
   sjsel stats FILE.csv
   sjsel build-histogram FILE.csv --level L --out FILE.hist
-        [--scheme gh|gh-basic|ph] [--sparse] [--extent x0,y0,x1,y1]
+        [--scheme gh|gh-basic|ph] [--sparse] [--extent x0,y0,x1,y1] [--threads N]
   sjsel estimate A.hist B.hist
-  sjsel exact-join A.csv B.csv [--backend rtree|sweep]
-  sjsel window-count FILE.hist --window x0,y0,x1,y1";
+  sjsel exact-join A.csv B.csv [--backend rtree|sweep] [--threads N]
+  sjsel window-count FILE.hist --window x0,y0,x1,y1
+
+--threads defaults to the machine's available parallelism; results are
+identical at every thread count.";
 
 /// Pulls the value following a `--flag`, removing both from `args`.
 fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, CliError> {
@@ -95,10 +106,25 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, CliEr
     }
 }
 
+/// Parses `--threads N` (default: available parallelism).
+fn take_threads(args: &mut Vec<String>) -> Result<Parallelism, CliError> {
+    match take_flag(args, "--threads")? {
+        Some(s) => {
+            let n: usize = s
+                .parse()
+                .map_err(|e| CliError::usage(format!("bad --threads: {e}")))?;
+            Ok(Parallelism::with_threads(n))
+        }
+        None => Ok(Parallelism::default()),
+    }
+}
+
 fn parse_rect(spec: &str) -> Result<Rect, CliError> {
     let parts: Vec<&str> = spec.split(',').collect();
     if parts.len() != 4 {
-        return Err(CliError::usage(format!("expected x0,y0,x1,y1 — got {spec:?}")));
+        return Err(CliError::usage(format!(
+            "expected x0,y0,x1,y1 — got {spec:?}"
+        )));
     }
     let mut vals = [0f64; 4];
     for (v, p) in vals.iter_mut().zip(&parts) {
@@ -122,10 +148,10 @@ fn load_dataset(path: &str) -> Result<Dataset, CliError> {
 
 fn cmd_generate(args: &[String]) -> Result<String, CliError> {
     let mut args = args.to_vec();
-    let scale: f64 = take_flag(&mut args, "--scale")?
-        .map_or(Ok(1.0), |s| {
-            s.parse().map_err(|e| CliError::usage(format!("bad --scale: {e}")))
-        })?;
+    let scale: f64 = take_flag(&mut args, "--scale")?.map_or(Ok(1.0), |s| {
+        s.parse()
+            .map_err(|e| CliError::usage(format!("bad --scale: {e}")))
+    })?;
     let out = take_flag(&mut args, "--out")?
         .ok_or_else(|| CliError::usage("generate requires --out FILE.csv"))?;
     let [preset] = args.as_slice() else {
@@ -149,7 +175,11 @@ fn cmd_generate(args: &[String]) -> Result<String, CliError> {
         dataset.save_csv(out_path)
     }
     .map_err(|e| CliError::runtime(format!("failed to write {out}: {e}")))?;
-    Ok(format!("wrote {} rects ({}) to {out}", dataset.len(), dataset.name))
+    Ok(format!(
+        "wrote {} rects ({}) to {out}",
+        dataset.len(),
+        dataset.name
+    ))
 }
 
 fn cmd_stats(args: &[String]) -> Result<String, CliError> {
@@ -177,6 +207,7 @@ fn cmd_build_histogram(args: &[String]) -> Result<String, CliError> {
     let out = take_flag(&mut args, "--out")?
         .ok_or_else(|| CliError::usage("build-histogram requires --out"))?;
     let scheme = take_flag(&mut args, "--scheme")?.unwrap_or_else(|| "gh".to_string());
+    let par = take_threads(&mut args)?;
     let sparse = args.iter().any(|a| a == "--sparse");
     args.retain(|a| a != "--sparse");
     let extent = match take_flag(&mut args, "--extent")? {
@@ -184,21 +215,35 @@ fn cmd_build_histogram(args: &[String]) -> Result<String, CliError> {
         None => Extent::unit(),
     };
     let [path] = args.as_slice() else {
-        return Err(CliError::usage("build-histogram takes exactly one CSV path"));
+        return Err(CliError::usage(
+            "build-histogram takes exactly one CSV path",
+        ));
     };
     let ds = load_dataset(path)?;
-    let grid = Grid::new(level, extent)
-        .map_err(|e| CliError::usage(format!("bad grid: {e}")))?;
+    let grid = Grid::new(level, extent).map_err(|e| CliError::usage(format!("bad grid: {e}")))?;
+    let threads = par.threads();
     let (bytes, label) = match scheme.as_str() {
-        "gh" if sparse => {
-            (GhHistogram::build(grid, &ds.rects).to_sparse_bytes(), "GH (sparse)")
-        }
+        "gh" if sparse => (
+            GhHistogram::build_parallel(grid, &ds.rects, threads).to_sparse_bytes(),
+            "GH (sparse)",
+        ),
         _ if sparse => {
-            return Err(CliError::usage("--sparse is only supported for --scheme gh"))
+            return Err(CliError::usage(
+                "--sparse is only supported for --scheme gh",
+            ))
         }
-        "gh" => (GhHistogram::build(grid, &ds.rects).to_bytes(), "GH"),
-        "gh-basic" => (GhBasicHistogram::build(grid, &ds.rects).to_bytes(), "GH-basic"),
-        "ph" => (PhHistogram::build(grid, &ds.rects).to_bytes(), "PH"),
+        "gh" => (
+            GhHistogram::build_parallel(grid, &ds.rects, threads).to_bytes(),
+            "GH",
+        ),
+        "gh-basic" => (
+            GhBasicHistogram::build_parallel(grid, &ds.rects, threads).to_bytes(),
+            "GH-basic",
+        ),
+        "ph" => (
+            PhHistogram::build_parallel(grid, &ds.rects, threads).to_bytes(),
+            "PH",
+        ),
         other => return Err(CliError::usage(format!("unknown scheme {other:?}"))),
     };
     std::fs::write(&out, &bytes)
@@ -214,7 +259,9 @@ fn cmd_build_histogram(args: &[String]) -> Result<String, CliError> {
 /// closure keyed by the magic number.
 fn cmd_estimate(args: &[String]) -> Result<String, CliError> {
     let [a_path, b_path] = args else {
-        return Err(CliError::usage("estimate takes exactly two histogram paths"));
+        return Err(CliError::usage(
+            "estimate takes exactly two histogram paths",
+        ));
     };
     let read = |p: &String| {
         std::fs::read(p).map_err(|e| CliError::runtime(format!("failed to read {p}: {e}")))
@@ -232,9 +279,10 @@ fn cmd_estimate(args: &[String]) -> Result<String, CliError> {
         GhBasicHistogram::from_bytes(&b_bytes),
     ) {
         a.estimate(&b)
-    } else if let (Ok(a), Ok(b)) =
-        (PhHistogram::from_bytes(&a_bytes), PhHistogram::from_bytes(&b_bytes))
-    {
+    } else if let (Ok(a), Ok(b)) = (
+        PhHistogram::from_bytes(&a_bytes),
+        PhHistogram::from_bytes(&b_bytes),
+    ) {
         a.estimate(&b)
     } else {
         return Err(CliError::runtime(
@@ -252,16 +300,18 @@ fn cmd_estimate(args: &[String]) -> Result<String, CliError> {
 fn cmd_exact_join(args: &[String]) -> Result<String, CliError> {
     let mut args = args.to_vec();
     let backend = take_flag(&mut args, "--backend")?.unwrap_or_else(|| "rtree".to_string());
+    let par = take_threads(&mut args)?;
     let [a_path, b_path] = args.as_slice() else {
         return Err(CliError::usage("exact-join takes exactly two CSV paths"));
     };
     let (a, b) = (load_dataset(a_path)?, load_dataset(b_path)?);
     let baseline = match backend.as_str() {
-        "rtree" => JoinBaseline::compute(&a, &b),
-        "sweep" => JoinBaseline::compute_with_backend(
+        "rtree" => JoinBaseline::compute_with_parallelism(&a, &b, RTreeConfig::default(), par),
+        "sweep" => JoinBaseline::compute_with_backend_parallelism(
             &a,
             &b,
             sj_core::ExactBackend::PlaneSweep,
+            par,
         ),
         other => return Err(CliError::usage(format!("unknown backend {other:?}"))),
     };
@@ -277,14 +327,19 @@ fn cmd_window_count(args: &[String]) -> Result<String, CliError> {
         .ok_or_else(|| CliError::usage("window-count requires --window x0,y0,x1,y1"))?;
     let window = parse_rect(&window)?;
     let [path] = args.as_slice() else {
-        return Err(CliError::usage("window-count takes exactly one histogram path"));
+        return Err(CliError::usage(
+            "window-count takes exactly one histogram path",
+        ));
     };
     let bytes = std::fs::read(path)
         .map_err(|e| CliError::runtime(format!("failed to read {path}: {e}")))?;
     let h = GhHistogram::from_bytes(&bytes)
         .or_else(|_| GhHistogram::from_sparse_bytes(&bytes))
         .map_err(|e| CliError::runtime(format!("not a GH histogram file: {e}")))?;
-    Ok(format!("estimated objects intersecting window: {:.0}", h.estimate_window_count(&window)))
+    Ok(format!(
+        "estimated objects intersecting window: {:.0}",
+        h.estimate_window_count(&window)
+    ))
 }
 
 #[cfg(test)]
@@ -313,8 +368,10 @@ mod tests {
     #[test]
     fn generate_stats_roundtrip() {
         let csv = tmp("scrc_small.csv");
-        let out =
-            run(&argv(&["generate", "scrc", "--scale", "0.001", "--out", &csv])).unwrap();
+        let out = run(&argv(&[
+            "generate", "scrc", "--scale", "0.001", "--out", &csv,
+        ]))
+        .unwrap();
         assert!(out.contains("100 rects"), "{out}");
         let stats = run(&argv(&["stats", &csv])).unwrap();
         assert!(stats.contains("count          100"), "{stats}");
@@ -324,13 +381,35 @@ mod tests {
     fn full_pipeline_generate_build_estimate() {
         let a_csv = tmp("pipe_a.csv");
         let b_csv = tmp("pipe_b.csv");
-        run(&argv(&["generate", "scrc", "--scale", "0.01", "--out", &a_csv])).unwrap();
-        run(&argv(&["generate", "sura", "--scale", "0.01", "--out", &b_csv])).unwrap();
+        run(&argv(&[
+            "generate", "scrc", "--scale", "0.01", "--out", &a_csv,
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "generate", "sura", "--scale", "0.01", "--out", &b_csv,
+        ]))
+        .unwrap();
 
         let a_hist = tmp("pipe_a.hist");
         let b_hist = tmp("pipe_b.hist");
-        run(&argv(&["build-histogram", &a_csv, "--level", "5", "--out", &a_hist])).unwrap();
-        run(&argv(&["build-histogram", &b_csv, "--level", "5", "--out", &b_hist])).unwrap();
+        run(&argv(&[
+            "build-histogram",
+            &a_csv,
+            "--level",
+            "5",
+            "--out",
+            &a_hist,
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "build-histogram",
+            &b_csv,
+            "--level",
+            "5",
+            "--out",
+            &b_hist,
+        ]))
+        .unwrap();
 
         let est = run(&argv(&["estimate", &a_hist, &b_hist])).unwrap();
         assert!(est.contains("selectivity"), "{est}");
@@ -351,23 +430,53 @@ mod tests {
     #[test]
     fn window_count_command() {
         let csv = tmp("wc.csv");
-        run(&argv(&["generate", "sura", "--scale", "0.01", "--out", &csv])).unwrap();
+        run(&argv(&[
+            "generate", "sura", "--scale", "0.01", "--out", &csv,
+        ]))
+        .unwrap();
         let hist = tmp("wc.hist");
-        run(&argv(&["build-histogram", &csv, "--level", "5", "--out", &hist])).unwrap();
-        let out =
-            run(&argv(&["window-count", &hist, "--window", "0,0,0.5,0.5"])).unwrap();
+        run(&argv(&[
+            "build-histogram",
+            &csv,
+            "--level",
+            "5",
+            "--out",
+            &hist,
+        ]))
+        .unwrap();
+        let out = run(&argv(&["window-count", &hist, "--window", "0,0,0.5,0.5"])).unwrap();
         assert!(out.contains("estimated objects"), "{out}");
     }
 
     #[test]
     fn scheme_mismatch_is_an_error() {
         let csv = tmp("mix.csv");
-        run(&argv(&["generate", "sura", "--scale", "0.005", "--out", &csv])).unwrap();
+        run(&argv(&[
+            "generate", "sura", "--scale", "0.005", "--out", &csv,
+        ]))
+        .unwrap();
         let gh = tmp("mix_gh.hist");
         let ph = tmp("mix_ph.hist");
-        run(&argv(&["build-histogram", &csv, "--level", "3", "--out", &gh])).unwrap();
-        run(&argv(&["build-histogram", &csv, "--level", "3", "--scheme", "ph", "--out", &ph]))
-            .unwrap();
+        run(&argv(&[
+            "build-histogram",
+            &csv,
+            "--level",
+            "3",
+            "--out",
+            &gh,
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "build-histogram",
+            &csv,
+            "--level",
+            "3",
+            "--scheme",
+            "ph",
+            "--out",
+            &ph,
+        ]))
+        .unwrap();
         let err = run(&argv(&["estimate", &gh, &ph])).unwrap_err();
         assert_eq!(err.code, 1);
         assert!(err.message.contains("common scheme"), "{}", err.message);
@@ -375,19 +484,33 @@ mod tests {
 
     #[test]
     fn bad_arguments_are_usage_errors() {
-        assert_eq!(run(&argv(&["generate", "nope", "--out", "/tmp/x"])).unwrap_err().code, 2);
+        assert_eq!(
+            run(&argv(&["generate", "nope", "--out", "/tmp/x"]))
+                .unwrap_err()
+                .code,
+            2
+        );
         assert_eq!(run(&argv(&["generate", "ts"])).unwrap_err().code, 2);
         assert_eq!(
-            run(&argv(&["build-histogram", "x.csv", "--out", "y"])).unwrap_err().code,
+            run(&argv(&["build-histogram", "x.csv", "--out", "y"]))
+                .unwrap_err()
+                .code,
             2,
             "missing --level"
         );
         assert_eq!(
-            run(&argv(&["window-count", "x", "--window", "1,2,3"])).unwrap_err().code,
+            run(&argv(&["window-count", "x", "--window", "1,2,3"]))
+                .unwrap_err()
+                .code,
             2,
             "malformed window"
         );
-        assert_eq!(run(&argv(&["stats", "/nonexistent/x.csv"])).unwrap_err().code, 1);
+        assert_eq!(
+            run(&argv(&["stats", "/nonexistent/x.csv"]))
+                .unwrap_err()
+                .code,
+            1
+        );
     }
 
     #[test]
@@ -414,12 +537,23 @@ mod format_tests {
     #[test]
     fn binary_dataset_pipeline() {
         let bin = tmp("ds.bin");
-        run(&argv(&["generate", "sura", "--scale", "0.005", "--out", &bin])).unwrap();
+        run(&argv(&[
+            "generate", "sura", "--scale", "0.005", "--out", &bin,
+        ]))
+        .unwrap();
         let stats = run(&argv(&["stats", &bin])).unwrap();
         assert!(stats.contains("count          500"), "{stats}");
         // Binary file feeds histogram building and exact joins too.
         let hist = tmp("ds.hist");
-        run(&argv(&["build-histogram", &bin, "--level", "4", "--out", &hist])).unwrap();
+        run(&argv(&[
+            "build-histogram",
+            &bin,
+            "--level",
+            "4",
+            "--out",
+            &hist,
+        ]))
+        .unwrap();
         let out = run(&argv(&["exact-join", &bin, &bin])).unwrap();
         assert!(out.contains("pairs"), "{out}");
     }
@@ -427,12 +561,29 @@ mod format_tests {
     #[test]
     fn sparse_and_dense_gh_files_estimate_identically() {
         let csv = tmp("sp.csv");
-        run(&argv(&["generate", "scrc", "--scale", "0.005", "--out", &csv])).unwrap();
+        run(&argv(&[
+            "generate", "scrc", "--scale", "0.005", "--out", &csv,
+        ]))
+        .unwrap();
         let dense = tmp("sp_dense.hist");
         let sparse = tmp("sp_sparse.hist");
-        run(&argv(&["build-histogram", &csv, "--level", "5", "--out", &dense])).unwrap();
+        run(&argv(&[
+            "build-histogram",
+            &csv,
+            "--level",
+            "5",
+            "--out",
+            &dense,
+        ]))
+        .unwrap();
         let out = run(&argv(&[
-            "build-histogram", &csv, "--level", "5", "--sparse", "--out", &sparse,
+            "build-histogram",
+            &csv,
+            "--level",
+            "5",
+            "--sparse",
+            "--out",
+            &sparse,
         ]))
         .unwrap();
         assert!(out.contains("sparse"), "{out}");
@@ -446,17 +597,32 @@ mod format_tests {
         let sp = std::fs::metadata(&sparse).unwrap().len();
         assert!(sp < ds, "sparse {sp} !< dense {ds}");
         // window-count accepts sparse files.
-        let wc =
-            run(&argv(&["window-count", &sparse, "--window", "0.3,0.6,0.5,0.8"])).unwrap();
+        let wc = run(&argv(&[
+            "window-count",
+            &sparse,
+            "--window",
+            "0.3,0.6,0.5,0.8",
+        ]))
+        .unwrap();
         assert!(wc.contains("estimated objects"), "{wc}");
     }
 
     #[test]
     fn sparse_rejected_for_other_schemes() {
         let csv = tmp("ph.csv");
-        run(&argv(&["generate", "sura", "--scale", "0.002", "--out", &csv])).unwrap();
+        run(&argv(&[
+            "generate", "sura", "--scale", "0.002", "--out", &csv,
+        ]))
+        .unwrap();
         let err = run(&argv(&[
-            "build-histogram", &csv, "--level", "3", "--scheme", "ph", "--sparse", "--out",
+            "build-histogram",
+            &csv,
+            "--level",
+            "3",
+            "--scheme",
+            "ph",
+            "--sparse",
+            "--out",
             &tmp("ph.hist"),
         ]))
         .unwrap_err();

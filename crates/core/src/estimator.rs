@@ -1,6 +1,6 @@
 //! One entry point for every estimator evaluated in the paper.
 
-use crate::{Dataset, Extent};
+use crate::{Dataset, Extent, Parallelism};
 use serde::Serialize;
 use sj_histogram::{
     parametric_selectivity, GhBasicHistogram, GhHistogram, Grid, ParametricInputs, PhHistogram,
@@ -82,14 +82,19 @@ impl EstimatorKind {
             EstimatorKind::Ph { level } => format!("PH(level={level})"),
             EstimatorKind::GhBasic { level } => format!("GH-basic(level={level})"),
             EstimatorKind::Gh { level } => format!("GH(level={level})"),
-            EstimatorKind::Sampling { technique, percent_left, percent_right } => {
+            EstimatorKind::Sampling {
+                technique,
+                percent_left,
+                percent_right,
+            } => {
                 format!("{}({percent_left}%/{percent_right}%)", technique.name())
             }
         }
     }
 
     /// Runs the estimator on a pair of datasets, using the joint extent of
-    /// the two datasets' declared extents.
+    /// the two datasets' declared extents. Histogram builds run serially —
+    /// use [`Self::run_par`] to shard them across threads.
     ///
     /// # Panics
     /// Panics if a histogram level exceeds [`Grid::MAX_LEVEL`] — levels are
@@ -100,7 +105,18 @@ impl EstimatorKind {
         self.run_in_extent(left, right, &extent)
     }
 
-    /// Runs the estimator within an explicit extent (the join universe).
+    /// [`Self::run`] with an explicit [`Parallelism`] for the histogram
+    /// builds. Histogram builds are bit-identical across thread counts
+    /// (row-band accumulation), so only `build_time` changes; sampling and
+    /// the parametric model are unaffected by `par`.
+    #[must_use]
+    pub fn run_par(&self, left: &Dataset, right: &Dataset, par: Parallelism) -> EstimationReport {
+        let extent = Extent::new(left.extent.rect().union(&right.extent.rect()));
+        self.run_in_extent_par(left, right, &extent, par)
+    }
+
+    /// Runs the estimator within an explicit extent (the join universe),
+    /// serially.
     #[must_use]
     pub fn run_in_extent(
         &self,
@@ -108,6 +124,20 @@ impl EstimatorKind {
         right: &Dataset,
         extent: &Extent,
     ) -> EstimationReport {
+        self.run_in_extent_par(left, right, extent, Parallelism::serial())
+    }
+
+    /// [`Self::run_in_extent`] with an explicit [`Parallelism`] for the
+    /// histogram builds.
+    #[must_use]
+    pub fn run_in_extent_par(
+        &self,
+        left: &Dataset,
+        right: &Dataset,
+        extent: &Extent,
+        par: Parallelism,
+    ) -> EstimationReport {
+        let threads = par.threads();
         match *self {
             EstimatorKind::Parametric => {
                 let t0 = Instant::now();
@@ -137,15 +167,18 @@ impl EstimatorKind {
             EstimatorKind::Ph { level } => {
                 let grid = Grid::new(level, *extent).expect("level within Grid::MAX_LEVEL");
                 let t0 = Instant::now();
-                let ha = PhHistogram::build(grid, &left.rects);
-                let hb = PhHistogram::build(grid, &right.rects);
+                let ha = PhHistogram::build_parallel(grid, &left.rects, threads);
+                let hb = PhHistogram::build_parallel(grid, &right.rects, threads);
                 let build_time = t0.elapsed();
                 let t1 = Instant::now();
                 let est = ha.estimate(&hb).expect("same grid by construction");
                 let estimate_time = t1.elapsed();
                 EstimationReport {
                     estimator: self.label(),
-                    estimate: Estimate { selectivity: est.selectivity, pairs: est.pairs },
+                    estimate: Estimate {
+                        selectivity: est.selectivity,
+                        pairs: est.pairs,
+                    },
                     build_time,
                     estimate_time,
                     space_bytes: ha.size_bytes() + hb.size_bytes(),
@@ -154,15 +187,18 @@ impl EstimatorKind {
             EstimatorKind::GhBasic { level } => {
                 let grid = Grid::new(level, *extent).expect("level within Grid::MAX_LEVEL");
                 let t0 = Instant::now();
-                let ha = GhBasicHistogram::build(grid, &left.rects);
-                let hb = GhBasicHistogram::build(grid, &right.rects);
+                let ha = GhBasicHistogram::build_parallel(grid, &left.rects, threads);
+                let hb = GhBasicHistogram::build_parallel(grid, &right.rects, threads);
                 let build_time = t0.elapsed();
                 let t1 = Instant::now();
                 let est = ha.estimate(&hb).expect("same grid by construction");
                 let estimate_time = t1.elapsed();
                 EstimationReport {
                     estimator: self.label(),
-                    estimate: Estimate { selectivity: est.selectivity, pairs: est.pairs },
+                    estimate: Estimate {
+                        selectivity: est.selectivity,
+                        pairs: est.pairs,
+                    },
                     build_time,
                     estimate_time,
                     space_bytes: ha.size_bytes() + hb.size_bytes(),
@@ -171,21 +207,28 @@ impl EstimatorKind {
             EstimatorKind::Gh { level } => {
                 let grid = Grid::new(level, *extent).expect("level within Grid::MAX_LEVEL");
                 let t0 = Instant::now();
-                let ha = GhHistogram::build(grid, &left.rects);
-                let hb = GhHistogram::build(grid, &right.rects);
+                let ha = GhHistogram::build_parallel(grid, &left.rects, threads);
+                let hb = GhHistogram::build_parallel(grid, &right.rects, threads);
                 let build_time = t0.elapsed();
                 let t1 = Instant::now();
                 let est = ha.estimate(&hb).expect("same grid by construction");
                 let estimate_time = t1.elapsed();
                 EstimationReport {
                     estimator: self.label(),
-                    estimate: Estimate { selectivity: est.selectivity, pairs: est.pairs },
+                    estimate: Estimate {
+                        selectivity: est.selectivity,
+                        pairs: est.pairs,
+                    },
                     build_time,
                     estimate_time,
                     space_bytes: ha.size_bytes() + hb.size_bytes(),
                 }
             }
-            EstimatorKind::Sampling { technique, percent_left, percent_right } => {
+            EstimatorKind::Sampling {
+                technique,
+                percent_left,
+                percent_right,
+            } => {
                 let est = SamplingEstimator {
                     backend: JoinBackend::RTree,
                     ..SamplingEstimator::new(technique, percent_left, percent_right)
@@ -193,11 +236,13 @@ impl EstimatorKind {
                 let out = est.estimate(&left.rects, &right.rects, extent);
                 EstimationReport {
                     estimator: self.label(),
-                    estimate: Estimate { selectivity: out.selectivity, pairs: out.pairs },
+                    estimate: Estimate {
+                        selectivity: out.selectivity,
+                        pairs: out.pairs,
+                    },
                     build_time: Duration::ZERO,
                     estimate_time: out.timings.total(),
-                    space_bytes: (out.sample_sizes.0 + out.sample_sizes.1)
-                        * SAMPLE_ENTRY_BYTES,
+                    space_bytes: (out.sample_sizes.0 + out.sample_sizes.1) * SAMPLE_ENTRY_BYTES,
                 }
             }
         }
@@ -231,7 +276,10 @@ mod tests {
         assert_eq!(EstimatorKind::Parametric.label(), "Parametric");
         assert_eq!(EstimatorKind::Gh { level: 7 }.label(), "GH(level=7)");
         assert_eq!(EstimatorKind::Ph { level: 5 }.label(), "PH(level=5)");
-        assert_eq!(EstimatorKind::GhBasic { level: 3 }.label(), "GH-basic(level=3)");
+        assert_eq!(
+            EstimatorKind::GhBasic { level: 3 }.label(),
+            "GH-basic(level=3)"
+        );
         let s = EstimatorKind::Sampling {
             technique: SamplingTechnique::RandomWithReplacement,
             percent_left: 10.0,

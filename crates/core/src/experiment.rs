@@ -10,8 +10,9 @@
 //!   space cost, all relative to the R-tree baseline.
 
 use crate::metrics::{bytes_pct, error_pct, ratio_pct};
-use crate::{Dataset, EstimatorKind, Extent, JoinBaseline, SamplingTechnique};
+use crate::{Dataset, EstimatorKind, Extent, JoinBaseline, Parallelism, SamplingTechnique};
 use serde::Serialize;
+use sj_rtree::RTreeConfig;
 
 /// A prepared join: both datasets, the join universe, and the exact-join
 /// baseline every relative metric is computed against.
@@ -30,12 +31,33 @@ pub struct JoinContext {
 }
 
 impl JoinContext {
-    /// Runs the exact join and captures the baseline.
+    /// Runs the exact join and captures the baseline, using all available
+    /// threads for the join traversal.
     #[must_use]
     pub fn prepare(name: impl Into<String>, left: Dataset, right: Dataset) -> Self {
+        Self::prepare_with(name, left, right, Parallelism::default())
+    }
+
+    /// [`Self::prepare`] with an explicit thread count for the exact-join
+    /// traversal. The baseline pair count is identical at every thread
+    /// count; only the timings change.
+    #[must_use]
+    pub fn prepare_with(
+        name: impl Into<String>,
+        left: Dataset,
+        right: Dataset,
+        par: Parallelism,
+    ) -> Self {
         let extent = Extent::new(left.extent.rect().union(&right.extent.rect()));
-        let baseline = JoinBaseline::compute(&left, &right);
-        Self { name: name.into(), left, right, extent, baseline }
+        let baseline =
+            JoinBaseline::compute_with_parallelism(&left, &right, RTreeConfig::default(), par);
+        Self {
+            name: name.into(),
+            left,
+            right,
+            extent,
+            baseline,
+        }
     }
 }
 
@@ -76,6 +98,8 @@ pub struct SamplingRow {
     pub est_time_1_pct: f64,
     /// Est. Time 2: estimation cost / join cost, percent.
     pub est_time_2_pct: f64,
+    /// Worker threads the runner used to produce this row.
+    pub threads: usize,
 }
 
 /// Formats a percentage the way the paper's x-axis labels do
@@ -99,7 +123,11 @@ pub fn fig6_row(
     percent_left: f64,
     percent_right: f64,
 ) -> SamplingRow {
-    let kind = EstimatorKind::Sampling { technique, percent_left, percent_right };
+    let kind = EstimatorKind::Sampling {
+        technique,
+        percent_left,
+        percent_right,
+    };
     let report = kind.run_in_extent(&ctx.left, &ctx.right, &ctx.extent);
     let join_only = ctx.baseline.join_time;
     let build_and_join = ctx.baseline.rtree_build_time + ctx.baseline.join_time;
@@ -114,17 +142,32 @@ pub fn fig6_row(
         error_pct: error_pct(report.estimate.selectivity, ctx.baseline.selectivity),
         est_time_1_pct: ratio_pct(report.estimate_time, build_and_join),
         est_time_2_pct: ratio_pct(report.estimate_time, join_only),
+        threads: 1,
     }
 }
 
-/// Regenerates one panel of Figure 6: all 9 combinations × 3 techniques.
+/// Regenerates one panel of Figure 6: all 9 combinations × 3 techniques
+/// (the paper's legend), serially.
 #[must_use]
 pub fn fig6_rows(ctx: &JoinContext) -> Vec<SamplingRow> {
-    let mut rows = Vec::with_capacity(FIG6_COMBOS.len() * crate::ALL_TECHNIQUES.len());
-    for (l, r) in FIG6_COMBOS {
-        for technique in crate::ALL_TECHNIQUES {
-            rows.push(fig6_row(ctx, technique, l, r));
-        }
+    fig6_rows_par(ctx, Parallelism::serial())
+}
+
+/// [`fig6_rows`] with the independent (technique, combo) configurations
+/// fanned out over a scoped worker pool. Row order matches the serial
+/// runner; each configuration still runs its estimator serially, so
+/// estimate timings stay comparable across thread counts.
+#[must_use]
+pub fn fig6_rows_par(ctx: &JoinContext, par: Parallelism) -> Vec<SamplingRow> {
+    let configs: Vec<(SamplingTechnique, f64, f64)> = FIG6_COMBOS
+        .into_iter()
+        .flat_map(|(l, r)| crate::PAPER_TECHNIQUES.into_iter().map(move |t| (t, l, r)))
+        .collect();
+    let mut rows = crate::parallel_map(configs, par, |(technique, l, r)| {
+        fig6_row(ctx, technique, l, r)
+    });
+    for row in &mut rows {
+        row.threads = par.threads();
     }
     rows
 }
@@ -150,6 +193,8 @@ pub struct HistogramRow {
     pub build_time_pct: f64,
     /// Histogram bytes / R-tree bytes, percent.
     pub space_pct: f64,
+    /// Worker threads the runner used to produce this row.
+    pub threads: usize,
 }
 
 /// Which histogram schemes to run per level.
@@ -186,7 +231,9 @@ impl HistogramScheme {
 /// Runs one histogram scheme at one level.
 #[must_use]
 pub fn fig7_row(ctx: &JoinContext, scheme: HistogramScheme, level: u32) -> HistogramRow {
-    let report = scheme.kind(level).run_in_extent(&ctx.left, &ctx.right, &ctx.extent);
+    let report = scheme
+        .kind(level)
+        .run_in_extent(&ctx.left, &ctx.right, &ctx.extent);
     HistogramRow {
         join: ctx.name.clone(),
         scheme: scheme.name().to_string(),
@@ -197,17 +244,34 @@ pub fn fig7_row(ctx: &JoinContext, scheme: HistogramScheme, level: u32) -> Histo
         est_time_pct: ratio_pct(report.estimate_time, ctx.baseline.join_time),
         build_time_pct: ratio_pct(report.build_time, ctx.baseline.rtree_build_time),
         space_pct: bytes_pct(report.space_bytes, ctx.baseline.rtree_bytes),
+        threads: 1,
     }
 }
 
 /// Regenerates one panel of Figure 7: PH and GH for `levels`
-/// (the paper sweeps 0..=9).
+/// (the paper sweeps 0..=9), serially.
 #[must_use]
 pub fn fig7_rows(ctx: &JoinContext, levels: std::ops::RangeInclusive<u32>) -> Vec<HistogramRow> {
-    let mut rows = Vec::new();
-    for level in levels {
-        rows.push(fig7_row(ctx, HistogramScheme::Ph, level));
-        rows.push(fig7_row(ctx, HistogramScheme::Gh, level));
+    fig7_rows_par(ctx, levels, Parallelism::serial())
+}
+
+/// [`fig7_rows`] with the independent (scheme, level) configurations
+/// fanned out over a scoped worker pool. Histogram builds are
+/// bit-identical across thread counts, so the estimates match the serial
+/// runner exactly; row order matches too.
+#[must_use]
+pub fn fig7_rows_par(
+    ctx: &JoinContext,
+    levels: std::ops::RangeInclusive<u32>,
+    par: Parallelism,
+) -> Vec<HistogramRow> {
+    let configs: Vec<(HistogramScheme, u32)> = levels
+        .flat_map(|level| [(HistogramScheme::Ph, level), (HistogramScheme::Gh, level)])
+        .collect();
+    let mut rows =
+        crate::parallel_map(configs, par, |(scheme, level)| fig7_row(ctx, scheme, level));
+    for row in &mut rows {
+        row.threads = par.threads();
     }
     rows
 }
@@ -259,7 +323,12 @@ mod tests {
         assert!(rows.iter().any(|r| r.scheme == "PH" && r.level == 0));
         assert!(rows.iter().any(|r| r.scheme == "GH" && r.level == 3));
         for r in &rows {
-            assert!(r.error_pct.is_finite(), "{}/{}: error must be finite", r.scheme, r.level);
+            assert!(
+                r.error_pct.is_finite(),
+                "{}/{}: error must be finite",
+                r.scheme,
+                r.level
+            );
             assert!(r.space_pct > 0.0);
         }
     }
@@ -273,9 +342,38 @@ mod tests {
     }
 
     #[test]
+    fn parallel_runners_match_serial() {
+        let c = ctx();
+        let serial = fig7_rows(&c, 0..=2);
+        let par = fig7_rows_par(&c, 0..=2, Parallelism::with_threads(4));
+        assert_eq!(serial.len(), par.len());
+        for (s, p) in serial.iter().zip(&par) {
+            assert_eq!((s.scheme.as_str(), s.level), (p.scheme.as_str(), p.level));
+            assert_eq!(s.estimated, p.estimated, "{}/{}", s.scheme, s.level);
+            assert_eq!(s.threads, 1);
+            assert_eq!(p.threads, 4);
+        }
+        let s6 = fig6_rows(&c);
+        let p6 = fig6_rows_par(&c, Parallelism::with_threads(3));
+        assert_eq!(s6.len(), p6.len());
+        for (s, p) in s6.iter().zip(&p6) {
+            assert_eq!(
+                (s.technique.as_str(), s.combo.as_str()),
+                (p.technique.as_str(), p.combo.as_str())
+            );
+            // Sampling draws from a fixed seed, so estimates agree exactly.
+            assert_eq!(s.estimated, p.estimated, "{}/{}", s.technique, s.combo);
+        }
+    }
+
+    #[test]
     fn sampling_full_combo_is_exact() {
         let c = ctx();
         let row = fig6_row(&c, SamplingTechnique::Regular, 100.0, 100.0);
-        assert!(row.error_pct < 1e-9, "100/100 RS must be exact, got {}", row.error_pct);
+        assert!(
+            row.error_pct < 1e-9,
+            "100/100 RS must be exact, got {}",
+            row.error_pct
+        );
     }
 }

@@ -44,23 +44,27 @@ pub mod estimator;
 pub mod exact;
 pub mod experiment;
 pub mod metrics;
+pub mod parallel;
 
-pub use estimator::{EstimationReport, Estimate, EstimatorKind};
+pub use estimator::{Estimate, EstimationReport, EstimatorKind};
 pub use exact::{ExactBackend, JoinBaseline};
 pub use metrics::{error_pct, ratio_pct};
+pub use parallel::{parallel_map, Parallelism};
 
 // Substrate re-exports: the whole workspace is usable through sj-core.
 pub use sj_datagen::{presets, Dataset, DatasetStats, Generator, SizeModel};
 pub use sj_geo::{Extent, Point, Rect};
 pub use sj_histogram::{
-    parametric_selectivity, EulerHistogram, GhBasicHistogram, GhHistogram, Grid,
-    HistogramError, ParametricInputs, PhHistogram, SelectivityEstimate,
+    parametric_selectivity, EulerHistogram, GhBasicHistogram, GhHistogram, Grid, HistogramError,
+    ParametricInputs, PhHistogram, SelectivityEstimate,
 };
 pub use sj_rtree::{
     join_count, join_count_parallel, join_pairs, mindist, RTree, RTreeConfig, SplitAlgorithm,
 };
 pub use sj_sampling::{
     draw_sample, JoinBackend, SamplingEstimator, SamplingOutcome, SamplingTechnique,
-    ALL_TECHNIQUES,
+    ALL_TECHNIQUES, PAPER_TECHNIQUES,
 };
-pub use sj_sweep::{sweep_join_count, sweep_join_pairs, sweep_join_selectivity};
+pub use sj_sweep::{
+    sweep_join_count, sweep_join_count_parallel, sweep_join_pairs, sweep_join_selectivity,
+};

@@ -40,7 +40,11 @@ impl Dataset {
         for (i, r) in rects.iter().enumerate() {
             assert!(r.is_finite(), "dataset {name}: rect {i} is non-finite");
         }
-        Self { name, extent, rects }
+        Self {
+            name,
+            extent,
+            rects,
+        }
     }
 
     /// Number of data items.
@@ -163,9 +167,10 @@ impl Dataset {
     /// # Errors
     /// Propagates file-open and parse errors.
     pub fn load_csv(path: &Path) -> io::Result<Self> {
-        let name = path
-            .file_stem()
-            .map_or_else(|| "dataset".to_string(), |s| s.to_string_lossy().into_owned());
+        let name = path.file_stem().map_or_else(
+            || "dataset".to_string(),
+            |s| s.to_string_lossy().into_owned(),
+        );
         let f = std::fs::File::open(path)?;
         Self::read_csv(name, io::BufReader::new(f))
     }
@@ -236,7 +241,12 @@ mod tests {
         let _ = Dataset::new(
             "bad",
             Extent::unit(),
-            vec![Rect { xlo: f64::NAN, ylo: 0.0, xhi: 1.0, yhi: 1.0 }],
+            vec![Rect {
+                xlo: f64::NAN,
+                ylo: 0.0,
+                xhi: 1.0,
+                yhi: 1.0,
+            }],
         );
     }
 
@@ -286,7 +296,8 @@ impl Dataset {
     pub fn read_bin<R: io::Read>(name: impl Into<String>, mut r: R) -> io::Result<Self> {
         let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
         let mut header = [0u8; 4 + 1 + 8];
-        r.read_exact(&mut header).map_err(|_| bad("truncated header"))?;
+        r.read_exact(&mut header)
+            .map_err(|_| bad("truncated header"))?;
         if header[..4] != Self::BIN_MAGIC {
             return Err(bad("bad magic"));
         }
@@ -305,7 +316,12 @@ impl Dataset {
             let f = |i: usize| {
                 f64::from_le_bytes(chunk[i * 8..(i + 1) * 8].try_into().expect("8 bytes"))
             };
-            let rect = Rect { xlo: f(0), ylo: f(1), xhi: f(2), yhi: f(3) };
+            let rect = Rect {
+                xlo: f(0),
+                ylo: f(1),
+                xhi: f(2),
+                yhi: f(3),
+            };
             if !rect.is_finite() || rect.xhi < rect.xlo || rect.yhi < rect.ylo {
                 return Err(bad("invalid rectangle"));
             }
@@ -329,9 +345,10 @@ impl Dataset {
     /// # Errors
     /// Propagates file-open and decode errors.
     pub fn load_bin(path: &Path) -> io::Result<Self> {
-        let name = path
-            .file_stem()
-            .map_or_else(|| "dataset".to_string(), |s| s.to_string_lossy().into_owned());
+        let name = path.file_stem().map_or_else(
+            || "dataset".to_string(),
+            |s| s.to_string_lossy().into_owned(),
+        );
         let f = std::fs::File::open(path)?;
         Self::read_bin(name, io::BufReader::new(f))
     }

@@ -114,7 +114,10 @@ mod tests {
         }
         for (i, &expected) in w.iter().enumerate() {
             let got = counts[i] as f64 / n as f64;
-            assert!((got - expected).abs() < 0.01, "rank {i}: {got} vs {expected}");
+            assert!(
+                (got - expected).abs() < 0.01,
+                "rank {i}: {got} vs {expected}"
+            );
         }
     }
 

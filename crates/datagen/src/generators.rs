@@ -22,7 +22,11 @@ impl ClusterField {
     /// `(0.4, 0.7)`.
     #[must_use]
     pub fn single(center: Point, sigma: f64) -> Self {
-        Self { centers: vec![center], sigmas: vec![sigma], weights: vec![1.0] }
+        Self {
+            centers: vec![center],
+            sigmas: vec![sigma],
+            weights: vec![1.0],
+        }
     }
 
     /// A random field of `n` clusters with sigmas drawn uniformly from
@@ -35,9 +39,14 @@ impl ClusterField {
         let centers: Vec<Point> = (0..n)
             .map(|_| Point::new(rng.random_range(0.05..0.95), rng.random_range(0.05..0.95)))
             .collect();
-        let sigmas: Vec<f64> =
-            (0..n).map(|_| rng.random_range(sigma_range.0..=sigma_range.1)).collect();
-        Self { centers, sigmas, weights: zipf_weights(n, skew) }
+        let sigmas: Vec<f64> = (0..n)
+            .map(|_| rng.random_range(sigma_range.0..=sigma_range.1))
+            .collect();
+        Self {
+            centers,
+            sigmas,
+            weights: zipf_weights(n, skew),
+        }
     }
 
     /// Samples a point from the mixture, rejected back into the unit
@@ -114,11 +123,24 @@ impl SizeModel {
         let raw = match *self {
             SizeModel::Point => Rect::from_point(p),
             SizeModel::UniformSides { max_w, max_h } => {
-                let w = if max_w > 0.0 { rng.random_range(0.0..max_w) } else { 0.0 };
-                let h = if max_h > 0.0 { rng.random_range(0.0..max_h) } else { 0.0 };
+                let w = if max_w > 0.0 {
+                    rng.random_range(0.0..max_w)
+                } else {
+                    0.0
+                };
+                let h = if max_h > 0.0 {
+                    rng.random_range(0.0..max_h)
+                } else {
+                    0.0
+                };
                 Rect::centered(p, w, h)
             }
-            SizeModel::LogNormalBox { mu, sigma, aspect_sigma, max_side } => {
+            SizeModel::LogNormalBox {
+                mu,
+                sigma,
+                aspect_sigma,
+                max_side,
+            } => {
                 let base = lognormal(rng, mu, sigma);
                 let aspect = lognormal(rng, 0.0, aspect_sigma).sqrt();
                 let w = (base * aspect).min(max_side);
@@ -161,7 +183,12 @@ fn clip_into_unit(r: Rect) -> Rect {
         0.0
     };
     let t = r.translated(dx, dy);
-    Rect::new(t.xlo.clamp(0.0, 1.0), t.ylo.clamp(0.0, 1.0), t.xhi.clamp(0.0, 1.0), t.yhi.clamp(0.0, 1.0))
+    Rect::new(
+        t.xlo.clamp(0.0, 1.0),
+        t.ylo.clamp(0.0, 1.0),
+        t.xhi.clamp(0.0, 1.0),
+        t.yhi.clamp(0.0, 1.0),
+    )
 }
 
 /// A reproducible dataset generator: placement model + size model + seed.
@@ -213,7 +240,10 @@ mod tests {
             name: "u".into(),
             count: 5000,
             placement: Placement::Uniform,
-            size: SizeModel::UniformSides { max_w: 0.01, max_h: 0.01 },
+            size: SizeModel::UniformSides {
+                max_w: 0.01,
+                max_h: 0.01,
+            },
             seed: 1,
         };
         let ds = g.generate();
@@ -225,7 +255,10 @@ mod tests {
             .iter()
             .filter(|r| r.center().x < 0.5 && r.center().y < 0.5)
             .count();
-        assert!((q as f64 / 5000.0 - 0.25).abs() < 0.03, "quadrant share {q}");
+        assert!(
+            (q as f64 / 5000.0 - 0.25).abs() < 0.03,
+            "quadrant share {q}"
+        );
     }
 
     #[test]
@@ -234,11 +267,17 @@ mod tests {
             name: "d".into(),
             count: 100,
             placement: Placement::Uniform,
-            size: SizeModel::UniformSides { max_w: 0.1, max_h: 0.1 },
+            size: SizeModel::UniformSides {
+                max_w: 0.1,
+                max_h: 0.1,
+            },
             seed: 42,
         };
         assert_eq!(g.generate().rects, g.generate().rects);
-        let g2 = Generator { seed: 43, ..g.clone() };
+        let g2 = Generator {
+            seed: 43,
+            ..g.clone()
+        };
         assert_ne!(g.generate().rects, g2.generate().rects);
     }
 
@@ -249,7 +288,10 @@ mod tests {
             name: "c".into(),
             count: 2000,
             placement: Placement::Clustered(field),
-            size: SizeModel::UniformSides { max_w: 0.005, max_h: 0.005 },
+            size: SizeModel::UniformSides {
+                max_w: 0.005,
+                max_h: 0.005,
+            },
             seed: 7,
         };
         let ds = g.generate();
@@ -282,7 +324,10 @@ mod tests {
             name: "w".into(),
             count: 2000,
             placement: Placement::Uniform,
-            size: SizeModel::RandomWalk { steps: 10, step_len: 0.004 },
+            size: SizeModel::RandomWalk {
+                steps: 10,
+                step_len: 0.004,
+            },
             seed: 4,
         };
         let ds = g.generate();
@@ -290,8 +335,16 @@ mod tests {
         let s = ds.stats();
         assert!(s.avg_width > 0.0 && s.avg_height > 0.0);
         // Aspect ratios vary: some wide, some tall.
-        let wide = ds.rects.iter().filter(|r| r.width() > 2.0 * r.height()).count();
-        let tall = ds.rects.iter().filter(|r| r.height() > 2.0 * r.width()).count();
+        let wide = ds
+            .rects
+            .iter()
+            .filter(|r| r.width() > 2.0 * r.height())
+            .count();
+        let tall = ds
+            .rects
+            .iter()
+            .filter(|r| r.height() > 2.0 * r.width())
+            .count();
         assert!(wide > 50 && tall > 50, "wide={wide} tall={tall}");
     }
 
@@ -301,12 +354,20 @@ mod tests {
             name: "l".into(),
             count: 3000,
             placement: Placement::Uniform,
-            size: SizeModel::LogNormalBox { mu: -5.0, sigma: 1.0, aspect_sigma: 0.4, max_side: 0.05 },
+            size: SizeModel::LogNormalBox {
+                mu: -5.0,
+                sigma: 1.0,
+                aspect_sigma: 0.4,
+                max_side: 0.05,
+            },
             seed: 5,
         };
         let ds = g.generate();
         assert!(unit_contains(&ds));
-        assert!(ds.rects.iter().all(|r| r.width() <= 0.05 + 1e-12 && r.height() <= 0.05 + 1e-12));
+        assert!(ds
+            .rects
+            .iter()
+            .all(|r| r.width() <= 0.05 + 1e-12 && r.height() <= 0.05 + 1e-12));
     }
 
     #[test]
@@ -317,7 +378,10 @@ mod tests {
         let edge = Rect::new(0.95, 0.2, 1.05, 0.3);
         let c = clip_into_unit(edge);
         assert!(Rect::new(0.0, 0.0, 1.0, 1.0).contains(&c));
-        assert!((c.width() - 0.1).abs() < 1e-12, "translation preserves size");
+        assert!(
+            (c.width() - 0.1).abs() < 1e-12,
+            "translation preserves size"
+        );
     }
 
     #[test]

@@ -70,7 +70,10 @@ pub fn ts(scale: f64) -> Dataset {
         name: "TS".into(),
         count: scaled(TS_COUNT, scale),
         placement: Placement::Clustered(midwest_field()),
-        size: SizeModel::RandomWalk { steps: 12, step_len: 0.003 },
+        size: SizeModel::RandomWalk {
+            steps: 12,
+            step_len: 0.003,
+        },
         seed: 101,
     }
     .generate()
@@ -84,7 +87,12 @@ pub fn tcb(scale: f64) -> Dataset {
         name: "TCB".into(),
         count: scaled(TCB_COUNT, scale),
         placement: Placement::Clustered(midwest_field()),
-        size: SizeModel::LogNormalBox { mu: -6.3, sigma: 0.8, aspect_sigma: 0.3, max_side: 0.03 },
+        size: SizeModel::LogNormalBox {
+            mu: -6.3,
+            sigma: 0.8,
+            aspect_sigma: 0.3,
+            max_side: 0.03,
+        },
         seed: 102,
     }
     .generate()
@@ -98,7 +106,10 @@ pub fn cas(scale: f64) -> Dataset {
         name: "CAS".into(),
         count: scaled(CAS_COUNT, scale),
         placement: Placement::Clustered(california_field()),
-        size: SizeModel::RandomWalk { steps: 14, step_len: 0.003 },
+        size: SizeModel::RandomWalk {
+            steps: 14,
+            step_len: 0.003,
+        },
         seed: 103,
     }
     .generate()
@@ -111,7 +122,10 @@ pub fn car(scale: f64) -> Dataset {
         name: "CAR".into(),
         count: scaled(CAR_COUNT, scale),
         placement: Placement::Clustered(california_field()),
-        size: SizeModel::RandomWalk { steps: 3, step_len: 0.0008 },
+        size: SizeModel::RandomWalk {
+            steps: 3,
+            step_len: 0.0008,
+        },
         seed: 104,
     }
     .generate()
@@ -137,7 +151,12 @@ pub fn spg(scale: f64) -> Dataset {
         name: "SPG".into(),
         count: scaled(SPG_COUNT, scale),
         placement: Placement::Clustered(sequoia_field()),
-        size: SizeModel::LogNormalBox { mu: -5.3, sigma: 1.0, aspect_sigma: 0.5, max_side: 0.08 },
+        size: SizeModel::LogNormalBox {
+            mu: -5.3,
+            sigma: 1.0,
+            aspect_sigma: 0.5,
+            max_side: 0.08,
+        },
         seed: 106,
     }
     .generate()
@@ -151,7 +170,10 @@ pub fn scrc(scale: f64) -> Dataset {
         name: "SCRC".into(),
         count: scaled(SCRC_COUNT, scale),
         placement: Placement::Clustered(ClusterField::single(Point::new(0.4, 0.7), 0.12)),
-        size: SizeModel::UniformSides { max_w: 0.004, max_h: 0.004 },
+        size: SizeModel::UniformSides {
+            max_w: 0.004,
+            max_h: 0.004,
+        },
         seed: 107,
     }
     .generate()
@@ -165,7 +187,10 @@ pub fn sura(scale: f64) -> Dataset {
         name: "SURA".into(),
         count: scaled(SURA_COUNT, scale),
         placement: Placement::Uniform,
-        size: SizeModel::UniformSides { max_w: 0.004, max_h: 0.004 },
+        size: SizeModel::UniformSides {
+            max_w: 0.004,
+            max_h: 0.004,
+        },
         seed: 108,
     }
     .generate()
@@ -185,8 +210,12 @@ pub enum PaperJoin {
 }
 
 /// All four paper joins, in figure order.
-pub const ALL_JOINS: [PaperJoin; 4] =
-    [PaperJoin::TsTcb, PaperJoin::CasCar, PaperJoin::SpSpg, PaperJoin::ScrcSura];
+pub const ALL_JOINS: [PaperJoin; 4] = [
+    PaperJoin::TsTcb,
+    PaperJoin::CasCar,
+    PaperJoin::SpSpg,
+    PaperJoin::ScrcSura,
+];
 
 impl PaperJoin {
     /// Display name matching the paper's figure captions.
@@ -221,7 +250,11 @@ mod tests {
         assert_eq!(ts(0.01).len(), 1950);
         assert_eq!(tcb(0.001).len(), 557);
         assert_eq!(scrc(1.0e-4).len(), 10);
-        assert_eq!(sura(1.0e-6).len(), 1, "scale never produces an empty dataset");
+        assert_eq!(
+            sura(1.0e-6).len(),
+            1,
+            "scale never produces an empty dataset"
+        );
     }
 
     #[test]

@@ -16,7 +16,9 @@ impl Extent {
     /// synthetic datasets.
     #[must_use]
     pub fn unit() -> Self {
-        Self { rect: Rect::new(0.0, 0.0, 1.0, 1.0) }
+        Self {
+            rect: Rect::new(0.0, 0.0, 1.0, 1.0),
+        }
     }
 
     /// Creates an extent from an explicit rectangle.
@@ -139,7 +141,10 @@ mod tests {
 
     #[test]
     fn of_rects_covers_all_and_pads() {
-        let rects = vec![Rect::new(0.0, 0.0, 1.0, 1.0), Rect::new(5.0, -2.0, 6.0, 3.0)];
+        let rects = vec![
+            Rect::new(0.0, 0.0, 1.0, 1.0),
+            Rect::new(5.0, -2.0, 6.0, 3.0),
+        ];
         let e = Extent::of_rects(&rects).unwrap();
         for r in &rects {
             assert!(e.contains(r));
@@ -151,8 +156,9 @@ mod tests {
     fn of_rects_handles_all_points() {
         // A pure point dataset on a single vertical line: extent must still
         // have positive area.
-        let rects: Vec<Rect> =
-            (0..10).map(|i| Rect::from_point(Point::new(2.0, f64::from(i)))).collect();
+        let rects: Vec<Rect> = (0..10)
+            .map(|i| Rect::from_point(Point::new(2.0, f64::from(i))))
+            .collect();
         let e = Extent::of_rects(&rects).unwrap();
         assert!(e.area() > 0.0);
         for r in &rects {

@@ -59,7 +59,12 @@ impl Rect {
     /// Creates a degenerate rectangle covering a single point.
     #[must_use]
     pub fn from_point(p: Point) -> Self {
-        Self { xlo: p.x, ylo: p.y, xhi: p.x, yhi: p.y }
+        Self {
+            xlo: p.x,
+            ylo: p.y,
+            xhi: p.x,
+            yhi: p.y,
+        }
     }
 
     /// Creates a rectangle from its center and full side lengths.
@@ -215,8 +220,16 @@ impl Rect {
     #[must_use]
     pub fn h_edges(&self) -> [HEdge; 2] {
         [
-            HEdge { xlo: self.xlo, xhi: self.xhi, y: self.ylo },
-            HEdge { xlo: self.xlo, xhi: self.xhi, y: self.yhi },
+            HEdge {
+                xlo: self.xlo,
+                xhi: self.xhi,
+                y: self.ylo,
+            },
+            HEdge {
+                xlo: self.xlo,
+                xhi: self.xhi,
+                y: self.yhi,
+            },
         ]
     }
 
@@ -224,8 +237,16 @@ impl Rect {
     #[must_use]
     pub fn v_edges(&self) -> [VEdge; 2] {
         [
-            VEdge { ylo: self.ylo, yhi: self.yhi, x: self.xlo },
-            VEdge { ylo: self.ylo, yhi: self.yhi, x: self.xhi },
+            VEdge {
+                ylo: self.ylo,
+                yhi: self.yhi,
+                x: self.xlo,
+            },
+            VEdge {
+                ylo: self.ylo,
+                yhi: self.yhi,
+                x: self.xhi,
+            },
         ]
     }
 
@@ -327,7 +348,15 @@ mod tests {
     #[test]
     fn new_normalizes_corner_order() {
         let a = r(3.0, 4.0, 1.0, 2.0);
-        assert_eq!(a, Rect { xlo: 1.0, ylo: 2.0, xhi: 3.0, yhi: 4.0 });
+        assert_eq!(
+            a,
+            Rect {
+                xlo: 1.0,
+                ylo: 2.0,
+                xhi: 3.0,
+                yhi: 4.0
+            }
+        );
     }
 
     #[test]
@@ -372,7 +401,10 @@ mod tests {
         assert!(outer.contains(&inner));
         assert!(!inner.contains(&outer));
         assert!(outer.contains(&outer), "containment is reflexive (closed)");
-        assert!(outer.contains_point(&Point::new(0.0, 0.0)), "boundary points contained");
+        assert!(
+            outer.contains_point(&Point::new(0.0, 0.0)),
+            "boundary points contained"
+        );
         assert!(!outer.contains_point(&Point::new(-0.1, 5.0)));
     }
 
@@ -397,7 +429,10 @@ mod tests {
     fn corners_and_edges_of_degenerate_rect() {
         let p = Rect::from_point(Point::new(2.0, 3.0));
         let cs = p.corners();
-        assert!(cs.iter().all(|c| *c == Point::new(2.0, 3.0)), "4 coincident corners");
+        assert!(
+            cs.iter().all(|c| *c == Point::new(2.0, 3.0)),
+            "4 coincident corners"
+        );
         assert!(p.h_edges().iter().all(HEdge::is_empty));
         assert!(p.v_edges().iter().all(VEdge::is_empty));
     }
@@ -405,28 +440,56 @@ mod tests {
     #[test]
     fn edge_clipping() {
         let cell = r(0.0, 0.0, 1.0, 1.0);
-        let h = HEdge { xlo: -0.5, xhi: 0.5, y: 0.25 };
+        let h = HEdge {
+            xlo: -0.5,
+            xhi: 0.5,
+            y: 0.25,
+        };
         assert!(h.intersects_rect(&cell));
         assert!(approx_eq(h.clipped_len(&cell), 0.5));
 
-        let h_outside = HEdge { xlo: -0.5, xhi: 0.5, y: 2.0 };
+        let h_outside = HEdge {
+            xlo: -0.5,
+            xhi: 0.5,
+            y: 2.0,
+        };
         assert!(!h_outside.intersects_rect(&cell));
         assert_eq!(h_outside.clipped_len(&cell), 0.0);
 
-        let v = VEdge { ylo: 0.9, yhi: 3.0, x: 1.0 }; // on the right boundary
+        let v = VEdge {
+            ylo: 0.9,
+            yhi: 3.0,
+            x: 1.0,
+        }; // on the right boundary
         assert!(v.intersects_rect(&cell));
         assert!(approx_eq(v.clipped_len(&cell), 0.1));
     }
 
     #[test]
     fn edge_crossing() {
-        let h = HEdge { xlo: 0.0, xhi: 2.0, y: 1.0 };
-        let v = VEdge { ylo: 0.0, yhi: 2.0, x: 1.0 };
+        let h = HEdge {
+            xlo: 0.0,
+            xhi: 2.0,
+            y: 1.0,
+        };
+        let v = VEdge {
+            ylo: 0.0,
+            yhi: 2.0,
+            x: 1.0,
+        };
         assert!(h.crosses(&v));
-        let v_far = VEdge { ylo: 1.5, yhi: 2.0, x: 1.0 };
+        let v_far = VEdge {
+            ylo: 1.5,
+            yhi: 2.0,
+            x: 1.0,
+        };
         assert!(!h.crosses(&v_far));
         // Touching at an endpoint counts (closed semantics).
-        let v_touch = VEdge { ylo: 1.0, yhi: 2.0, x: 2.0 };
+        let v_touch = VEdge {
+            ylo: 1.0,
+            yhi: 2.0,
+            x: 2.0,
+        };
         assert!(h.crosses(&v_touch));
     }
 
@@ -444,9 +507,8 @@ mod tests {
     /// coordinates). This is the identity underlying the Geometric
     /// Histogram (paper Figure 2).
     fn intersection_points(a: &Rect, b: &Rect) -> usize {
-        let corners_in = |r1: &Rect, r2: &Rect| {
-            r1.corners().iter().filter(|c| r2.contains_point(c)).count()
-        };
+        let corners_in =
+            |r1: &Rect, r2: &Rect| r1.corners().iter().filter(|c| r2.contains_point(c)).count();
         let crossings = |r1: &Rect, r2: &Rect| {
             r1.h_edges()
                 .iter()

@@ -169,8 +169,10 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, (0..32).collect::<Vec<_>>());
         // Keys must be non-decreasing along the permutation.
-        let keys: Vec<u64> =
-            perm.iter().map(|&i| rect_key(DEFAULT_ORDER, &e, &rects[i])).collect();
+        let keys: Vec<u64> = perm
+            .iter()
+            .map(|&i| rect_key(DEFAULT_ORDER, &e, &rects[i]))
+            .collect();
         assert!(keys.windows(2).all(|w| w[0] <= w[1]));
     }
 

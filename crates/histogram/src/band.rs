@@ -1,0 +1,74 @@
+//! Row-band work partitioning for the parallel histogram builds.
+//!
+//! All four histogram schemes accumulate per-cell statistics into
+//! row-major arrays, and every contribution a rectangle makes lands in a
+//! definite grid row (its corner rows, its cell-range rows, or the rows
+//! its edges pass through). Splitting the grid rows into contiguous
+//! *bands* — one per worker thread — therefore partitions the work with
+//! no shared mutable state: each worker scans the full rectangle list in
+//! order, applies only the contributions whose row falls in its band,
+//! and writes into a band-local array. Each cell still receives its
+//! contributions in rectangle order, so concatenating the bands
+//! reproduces the serial build *bit-for-bit* — including the
+//! order-sensitive `f64` sums — for every thread count. The serial build
+//! is just the single-band case of the same code path.
+
+/// Runs `accumulate(row_lo, row_hi)` over contiguous half-open bands of
+/// grid rows covering `0..rows`, one scoped worker thread per band, and
+/// returns the band results in row order. `threads <= 1` runs a single
+/// full-range band on the caller's thread.
+pub(crate) fn map_row_bands<T, F>(rows: u32, threads: usize, accumulate: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u32, u32) -> T + Sync,
+{
+    let threads = threads.max(1).min(rows.max(1) as usize);
+    if threads == 1 {
+        return vec![accumulate(0, rows)];
+    }
+    #[allow(clippy::cast_possible_truncation)]
+    let per_band = rows.div_ceil(threads as u32);
+    let bounds: Vec<(u32, u32)> = (0..rows)
+        .step_by(per_band as usize)
+        .map(|lo| (lo, (lo + per_band).min(rows)))
+        .collect();
+    let accumulate = &accumulate;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = bounds
+            .into_iter()
+            .map(|(lo, hi)| scope.spawn(move || accumulate(lo, hi)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("band worker panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bands_cover_all_rows_in_order() {
+        for rows in [1u32, 2, 7, 8, 9, 64] {
+            for threads in [1usize, 2, 3, 8, 100] {
+                let bands = map_row_bands(rows, threads, |lo, hi| (lo, hi));
+                assert_eq!(bands[0].0, 0, "rows={rows} threads={threads}");
+                assert_eq!(bands.last().unwrap().1, rows);
+                for pair in bands.windows(2) {
+                    assert_eq!(pair[0].1, pair[1].0, "bands must be contiguous");
+                }
+                for &(lo, hi) in &bands {
+                    assert!(lo < hi, "empty band rows={rows} threads={threads}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serial_is_one_full_band() {
+        let bands = map_row_bands(16, 1, |lo, hi| (lo, hi));
+        assert_eq!(bands, vec![(0, 16)]);
+    }
+}

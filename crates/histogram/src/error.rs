@@ -21,7 +21,10 @@ pub enum HistogramError {
 impl fmt::Display for HistogramError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            HistogramError::GridMismatch { left_level, right_level } => write!(
+            HistogramError::GridMismatch {
+                left_level,
+                right_level,
+            } => write!(
                 f,
                 "histogram grids are incompatible (levels {left_level} vs {right_level}, \
                  or differing extents)"

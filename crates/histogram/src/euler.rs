@@ -51,31 +51,61 @@ impl EulerHistogram {
     /// Builds the Euler histogram of `rects` on `grid`.
     #[must_use]
     pub fn build(grid: Grid, rects: &[Rect]) -> Self {
-        let n = grid.cells_per_axis() as usize;
-        let mut faces = vec![0u32; n * n];
-        let mut v_edges = vec![0u32; n.saturating_sub(1) * n];
-        let mut h_edges = vec![0u32; n * n.saturating_sub(1)];
-        let mut vertices = vec![0u32; n.saturating_sub(1) * n.saturating_sub(1)];
+        Self::build_parallel(grid, rects, 1)
+    }
 
-        for r in rects {
-            let (c0, c1, r0, r1) = grid.cell_range(r);
-            let (c0, c1, r0, r1) = (c0 as usize, c1 as usize, r0 as usize, r1 as usize);
-            for row in r0..=r1 {
-                for col in c0..=c1 {
-                    faces[row * n + col] += 1;
+    /// Builds like [`Self::build`] with grid rows banded across `threads`
+    /// scoped worker threads; equal to the serial build for every thread
+    /// count. All four face/edge/vertex arrays are row-indexed: a band
+    /// owning face rows `[lo, hi)` also owns vertical-edge rows
+    /// `[lo, hi)` and horizontal-edge/vertex rows `[lo, min(hi, n-1))`.
+    #[must_use]
+    pub fn build_parallel(grid: Grid, rects: &[Rect], threads: usize) -> Self {
+        let n = grid.cells_per_axis() as usize;
+        let bands = crate::band::map_row_bands(grid.cells_per_axis(), threads, |lo, hi| {
+            let (lo, hi) = (lo as usize, hi as usize);
+            let face_rows = hi - lo;
+            let edge_rows = hi.min(n.saturating_sub(1)).saturating_sub(lo);
+            let mut faces = vec![0u32; face_rows * n];
+            let mut v_edges = vec![0u32; face_rows * n.saturating_sub(1)];
+            let mut h_edges = vec![0u32; edge_rows * n];
+            let mut vertices = vec![0u32; edge_rows * n.saturating_sub(1)];
+            for r in rects {
+                let (c0, c1, r0, r1) = grid.cell_range(r);
+                let (c0, c1, r0, r1) = (c0 as usize, c1 as usize, r0 as usize, r1 as usize);
+                if r1 < lo || r0 >= hi {
+                    continue;
                 }
-                for col in c0..c1 {
-                    v_edges[row * (n - 1) + col] += 1;
+                for row in r0.max(lo)..=r1.min(hi - 1) {
+                    for col in c0..=c1 {
+                        faces[(row - lo) * n + col] += 1;
+                    }
+                    for col in c0..c1 {
+                        v_edges[(row - lo) * (n - 1) + col] += 1;
+                    }
+                }
+                // Horizontal edges and vertices live on row boundaries
+                // r0..r1, always below the last grid row.
+                for row in r0.max(lo)..r1.min(hi) {
+                    for col in c0..=c1 {
+                        h_edges[(row - lo) * n + col] += 1;
+                    }
+                    for col in c0..c1 {
+                        vertices[(row - lo) * (n - 1) + col] += 1;
+                    }
                 }
             }
-            for row in r0..r1 {
-                for col in c0..=c1 {
-                    h_edges[row * n + col] += 1;
-                }
-                for col in c0..c1 {
-                    vertices[row * (n - 1) + col] += 1;
-                }
-            }
+            (faces, v_edges, h_edges, vertices)
+        });
+        let mut faces = Vec::with_capacity(n * n);
+        let mut v_edges = Vec::with_capacity(n.saturating_sub(1) * n);
+        let mut h_edges = Vec::with_capacity(n * n.saturating_sub(1));
+        let mut vertices = Vec::with_capacity(n.saturating_sub(1) * n.saturating_sub(1));
+        for (bf, bv, bh, bx) in bands {
+            faces.extend(bf);
+            v_edges.extend(bv);
+            h_edges.extend(bh);
+            vertices.extend(bx);
         }
         Self {
             grid_level: grid.level(),
@@ -170,8 +200,12 @@ impl EulerHistogram {
             return Err(corrupt("bad magic"));
         }
         let level = data.get_u32_le();
-        let (xlo, ylo, xhi, yhi) =
-            (data.get_f64_le(), data.get_f64_le(), data.get_f64_le(), data.get_f64_le());
+        let (xlo, ylo, xhi, yhi) = (
+            data.get_f64_le(),
+            data.get_f64_le(),
+            data.get_f64_le(),
+            data.get_f64_le(),
+        );
         if !(xlo.is_finite() && ylo.is_finite() && xhi.is_finite() && yhi.is_finite())
             || xhi <= xlo
             || yhi <= ylo
@@ -198,7 +232,15 @@ impl EulerHistogram {
         let v_edges = read(sizes[1], &mut data);
         let h_edges = read(sizes[2], &mut data);
         let vertices = read(sizes[3], &mut data);
-        Ok(Self { grid_level: level, extent, n, faces, v_edges, h_edges, vertices })
+        Ok(Self {
+            grid_level: level,
+            extent,
+            n,
+            faces,
+            v_edges,
+            h_edges,
+            vertices,
+        })
     }
 
     /// Histogram file size in bytes (level-dependent only).
@@ -207,8 +249,7 @@ impl EulerHistogram {
         4 + 4
             + 32
             + 8
-            + 4 * (self.faces.len() + self.v_edges.len() + self.h_edges.len()
-                + self.vertices.len())
+            + 4 * (self.faces.len() + self.v_edges.len() + self.h_edges.len() + self.vertices.len())
     }
 }
 
@@ -242,7 +283,12 @@ mod tests {
             .map(|_| {
                 let x = rng.random_range(0.0..1.0 - side);
                 let y = rng.random_range(0.0..1.0 - side);
-                Rect::new(x, y, x + rng.random_range(0.0..side), y + rng.random_range(0.0..side))
+                Rect::new(
+                    x,
+                    y,
+                    x + rng.random_range(0.0..side),
+                    y + rng.random_range(0.0..side),
+                )
             })
             .collect()
     }

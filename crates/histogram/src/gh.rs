@@ -47,39 +47,80 @@ impl GhBasicHistogram {
     /// Builds the basic GH histogram of `rects` on `grid`.
     #[must_use]
     pub fn build(grid: Grid, rects: &[Rect]) -> Self {
-        let cells = grid.num_cells();
-        let mut c = vec![0u32; cells];
-        let mut i = vec![0u32; cells];
-        let mut v = vec![0u32; cells];
-        let mut h = vec![0u32; cells];
+        Self::build_parallel(grid, rects, 1)
+    }
 
-        for r in rects {
-            for corner in r.corners() {
-                let (col, row) = grid.cell_of_point(corner);
-                c[grid.flat_index(col, row)] += 1;
-            }
-            let (c0, c1, r0, r1) = grid.cell_range(r);
-            for row in r0..=r1 {
-                for col in c0..=c1 {
-                    i[grid.flat_index(col, row)] += 1;
+    /// Builds like [`Self::build`] with grid rows banded across `threads`
+    /// scoped worker threads; equal to the serial build for every thread
+    /// count (see [`crate`] docs on row-band accumulation).
+    #[must_use]
+    pub fn build_parallel(grid: Grid, rects: &[Rect], threads: usize) -> Self {
+        let cols = grid.cells_per_axis() as usize;
+        let bands = crate::band::map_row_bands(grid.cells_per_axis(), threads, |lo, hi| {
+            let len = (hi - lo) as usize * cols;
+            let mut c = vec![0u32; len];
+            let mut i = vec![0u32; len];
+            let mut v = vec![0u32; len];
+            let mut h = vec![0u32; len];
+            let at = |col: u32, row: u32| (row - lo) as usize * cols + col as usize;
+            for r in rects {
+                // Every contribution of `r` lands in rows r0..=r1 (corner
+                // and h-edge rows are r0 or r1), so rects outside the band
+                // are skipped outright.
+                let (c0, c1, r0, r1) = grid.cell_range(r);
+                if r1 < lo || r0 >= hi {
+                    continue;
+                }
+                for corner in r.corners() {
+                    let (col, row) = grid.cell_of_point(corner);
+                    if (lo..hi).contains(&row) {
+                        c[at(col, row)] += 1;
+                    }
+                }
+                for row in r0.max(lo)..=r1.min(hi - 1) {
+                    for col in c0..=c1 {
+                        i[at(col, row)] += 1;
+                    }
+                }
+                // Two vertical edges: each occupies one column, rows r0..=r1.
+                for edge in r.v_edges() {
+                    let col = grid.col_of(edge.x);
+                    for row in r0.max(lo)..=r1.min(hi - 1) {
+                        v[at(col, row)] += 1;
+                    }
+                }
+                // Two horizontal edges: each occupies one row, cols c0..=c1.
+                for edge in r.h_edges() {
+                    let row = grid.row_of(edge.y);
+                    if (lo..hi).contains(&row) {
+                        for col in c0..=c1 {
+                            h[at(col, row)] += 1;
+                        }
+                    }
                 }
             }
-            // Two vertical edges: each occupies one column, rows r0..=r1.
-            for edge in r.v_edges() {
-                let col = grid.col_of(edge.x);
-                for row in r0..=r1 {
-                    v[grid.flat_index(col, row)] += 1;
-                }
-            }
-            // Two horizontal edges: each occupies one row, cols c0..=c1.
-            for edge in r.h_edges() {
-                let row = grid.row_of(edge.y);
-                for col in c0..=c1 {
-                    h[grid.flat_index(col, row)] += 1;
-                }
-            }
+            (c, i, v, h)
+        });
+        let cells = grid.num_cells();
+        let mut c = Vec::with_capacity(cells);
+        let mut i = Vec::with_capacity(cells);
+        let mut v = Vec::with_capacity(cells);
+        let mut h = Vec::with_capacity(cells);
+        for (bc, bi, bv, bh) in bands {
+            c.extend(bc);
+            i.extend(bi);
+            v.extend(bv);
+            h.extend(bh);
         }
-        Self { grid_level: grid.level(), extent: grid.extent(), n: rects.len() as u64, c, i, v, h }
+        Self {
+            grid_level: grid.level(),
+            extent: grid.extent(),
+            n: rects.len() as u64,
+            c,
+            i,
+            v,
+            h,
+        }
     }
 
     /// The grid the histogram was built on.
@@ -163,8 +204,12 @@ impl GhBasicHistogram {
             return Err(corrupt("bad magic"));
         }
         let level = data.get_u32_le();
-        let (xlo, ylo, xhi, yhi) =
-            (data.get_f64_le(), data.get_f64_le(), data.get_f64_le(), data.get_f64_le());
+        let (xlo, ylo, xhi, yhi) = (
+            data.get_f64_le(),
+            data.get_f64_le(),
+            data.get_f64_le(),
+            data.get_f64_le(),
+        );
         if !(xlo.is_finite() && yhi.is_finite()) || xhi <= xlo || yhi <= ylo {
             return Err(corrupt("bad extent"));
         }
@@ -175,14 +220,21 @@ impl GhBasicHistogram {
         if data.remaining() != cells * 16 {
             return Err(corrupt("payload size mismatch"));
         }
-        let read = |data: &mut &[u8]| -> Vec<u32> {
-            (0..cells).map(|_| data.get_u32_le()).collect()
-        };
+        let read =
+            |data: &mut &[u8]| -> Vec<u32> { (0..cells).map(|_| data.get_u32_le()).collect() };
         let c = read(&mut data);
         let i = read(&mut data);
         let v = read(&mut data);
         let h = read(&mut data);
-        Ok(Self { grid_level: level, extent, n, c, i, v, h })
+        Ok(Self {
+            grid_level: level,
+            extent,
+            n,
+            c,
+            i,
+            v,
+            h,
+        })
     }
 
     /// Histogram file size in bytes (level-dependent only).
@@ -227,43 +279,80 @@ impl GhHistogram {
     /// Builds the revised GH histogram of `rects` on `grid`.
     #[must_use]
     pub fn build(grid: Grid, rects: &[Rect]) -> Self {
-        let cells = grid.num_cells();
+        Self::build_parallel(grid, rects, 1)
+    }
+
+    /// Builds like [`Self::build`] with grid rows banded across `threads`
+    /// scoped worker threads. Each cell's `f64` masses accumulate in
+    /// rectangle order inside exactly one band, so the result is
+    /// *bit-identical* to the serial build for every thread count.
+    #[must_use]
+    pub fn build_parallel(grid: Grid, rects: &[Rect], threads: usize) -> Self {
+        let cols = grid.cells_per_axis() as usize;
         let cell_area = grid.cell_area();
         let cell_w = grid.cell_width();
         let cell_h = grid.cell_height();
-        let mut c = vec![0u32; cells];
-        let mut o = vec![0f64; cells];
-        let mut h = vec![0f64; cells];
-        let mut v = vec![0f64; cells];
-
-        for r in rects {
-            for corner in r.corners() {
-                let (col, row) = grid.cell_of_point(corner);
-                c[grid.flat_index(col, row)] += 1;
-            }
-            let (c0, c1, r0, r1) = grid.cell_range(r);
-            for row in r0..=r1 {
-                for col in c0..=c1 {
-                    let idx = grid.flat_index(col, row);
-                    o[idx] += r.intersection_area(&grid.cell_rect(col, row)) / cell_area;
+        let bands = crate::band::map_row_bands(grid.cells_per_axis(), threads, |lo, hi| {
+            let len = (hi - lo) as usize * cols;
+            let mut c = vec![0u32; len];
+            let mut o = vec![0f64; len];
+            let mut h = vec![0f64; len];
+            let mut v = vec![0f64; len];
+            let at = |col: u32, row: u32| (row - lo) as usize * cols + col as usize;
+            for r in rects {
+                let (c0, c1, r0, r1) = grid.cell_range(r);
+                if r1 < lo || r0 >= hi {
+                    continue;
+                }
+                for corner in r.corners() {
+                    let (col, row) = grid.cell_of_point(corner);
+                    if (lo..hi).contains(&row) {
+                        c[at(col, row)] += 1;
+                    }
+                }
+                for row in r0.max(lo)..=r1.min(hi - 1) {
+                    for col in c0..=c1 {
+                        o[at(col, row)] +=
+                            r.intersection_area(&grid.cell_rect(col, row)) / cell_area;
+                    }
+                }
+                for edge in r.h_edges() {
+                    let row = grid.row_of(edge.y);
+                    if (lo..hi).contains(&row) {
+                        for col in c0..=c1 {
+                            h[at(col, row)] += edge.clipped_len(&grid.cell_rect(col, row)) / cell_w;
+                        }
+                    }
+                }
+                for edge in r.v_edges() {
+                    let col = grid.col_of(edge.x);
+                    for row in r0.max(lo)..=r1.min(hi - 1) {
+                        v[at(col, row)] += edge.clipped_len(&grid.cell_rect(col, row)) / cell_h;
+                    }
                 }
             }
-            for edge in r.h_edges() {
-                let row = grid.row_of(edge.y);
-                for col in c0..=c1 {
-                    let idx = grid.flat_index(col, row);
-                    h[idx] += edge.clipped_len(&grid.cell_rect(col, row)) / cell_w;
-                }
-            }
-            for edge in r.v_edges() {
-                let col = grid.col_of(edge.x);
-                for row in r0..=r1 {
-                    let idx = grid.flat_index(col, row);
-                    v[idx] += edge.clipped_len(&grid.cell_rect(col, row)) / cell_h;
-                }
-            }
+            (c, o, h, v)
+        });
+        let cells = grid.num_cells();
+        let mut c = Vec::with_capacity(cells);
+        let mut o = Vec::with_capacity(cells);
+        let mut h = Vec::with_capacity(cells);
+        let mut v = Vec::with_capacity(cells);
+        for (bc, bo, bh, bv) in bands {
+            c.extend(bc);
+            o.extend(bo);
+            h.extend(bh);
+            v.extend(bv);
         }
-        Self { grid_level: grid.level(), extent: grid.extent(), n: rects.len() as u64, c, o, h, v }
+        Self {
+            grid_level: grid.level(),
+            extent: grid.extent(),
+            n: rects.len() as u64,
+            c,
+            o,
+            h,
+            v,
+        }
     }
 
     /// The grid the histogram was built on.
@@ -456,8 +545,12 @@ impl GhHistogram {
             return Err(corrupt("bad magic"));
         }
         let level = data.get_u32_le();
-        let (xlo, ylo, xhi, yhi) =
-            (data.get_f64_le(), data.get_f64_le(), data.get_f64_le(), data.get_f64_le());
+        let (xlo, ylo, xhi, yhi) = (
+            data.get_f64_le(),
+            data.get_f64_le(),
+            data.get_f64_le(),
+            data.get_f64_le(),
+        );
         if !(xlo.is_finite() && yhi.is_finite()) || xhi <= xlo || yhi <= ylo {
             return Err(corrupt("bad extent"));
         }
@@ -469,13 +562,20 @@ impl GhHistogram {
             return Err(corrupt("payload size mismatch"));
         }
         let c: Vec<u32> = (0..cells).map(|_| data.get_u32_le()).collect();
-        let read = |data: &mut &[u8]| -> Vec<f64> {
-            (0..cells).map(|_| data.get_f64_le()).collect()
-        };
+        let read =
+            |data: &mut &[u8]| -> Vec<f64> { (0..cells).map(|_| data.get_f64_le()).collect() };
         let o = read(&mut data);
         let h = read(&mut data);
         let v = read(&mut data);
-        Ok(Self { grid_level: level, extent, n, c, o, h, v })
+        Ok(Self {
+            grid_level: level,
+            extent,
+            n,
+            c,
+            o,
+            h,
+            v,
+        })
     }
 
     /// Histogram file size in bytes (level-dependent only). Note: smaller
@@ -510,7 +610,12 @@ mod tests {
             .map(|_| {
                 let x = rng.random_range(0.0..1.0 - side);
                 let y = rng.random_range(0.0..1.0 - side);
-                Rect::new(x, y, x + rng.random_range(0.0..side), y + rng.random_range(0.0..side))
+                Rect::new(
+                    x,
+                    y,
+                    x + rng.random_range(0.0..side),
+                    y + rng.random_range(0.0..side),
+                )
             })
             .collect()
     }
@@ -526,7 +631,10 @@ mod tests {
         let ha = GhBasicHistogram::build(g, &a);
         let hb = GhBasicHistogram::build(g, &b);
         let ip = ha.intersection_points(&hb).unwrap();
-        assert!((ip - 4.0).abs() < 1e-12, "expected 4 intersection points, got {ip}");
+        assert!(
+            (ip - 4.0).abs() < 1e-12,
+            "expected 4 intersection points, got {ip}"
+        );
         let est = ha.estimate(&hb).unwrap();
         assert!((est.selectivity - 1.0).abs() < 1e-12);
         assert!((est.pairs - 1.0).abs() < 1e-12);
@@ -560,8 +668,14 @@ mod tests {
         let fine_b = GhBasicHistogram::build(unit_grid(5), &b);
         let coarse = coarse_a.intersection_points(&coarse_b).unwrap();
         let fine = fine_a.intersection_points(&fine_b).unwrap();
-        assert!(coarse > 0.0, "coarse grid falsely counts co-located disjoint MBRs");
-        assert!((fine - 0.0).abs() < 1e-12, "fine grid resolves the false count");
+        assert!(
+            coarse > 0.0,
+            "coarse grid falsely counts co-located disjoint MBRs"
+        );
+        assert!(
+            (fine - 0.0).abs() < 1e-12,
+            "fine grid resolves the false count"
+        );
     }
 
     /// Revised GH mass conservation: Σ_cells C = 4N, Σ O = coverage ×
@@ -592,12 +706,15 @@ mod tests {
     #[test]
     fn revised_gh_per_cell_masses() {
         let g = unit_grid(1); // 2×2 cells of side 0.5
-        // MBR overlapping cell (0,0) by [0.25..0.5] × [0.25..0.5].
+                              // MBR overlapping cell (0,0) by [0.25..0.5] × [0.25..0.5].
         let r = vec![Rect::new(0.25, 0.25, 0.75, 0.75)];
         let h = GhHistogram::build(g, &r);
         let (c, o, hh, vv) = h.masses(&g, 0, 0);
         assert_eq!(c, 1, "one corner (0.25, 0.25) in cell (0,0)");
-        assert!((o - (0.25 * 0.25) / 0.25).abs() < 1e-12, "clipped area ratio");
+        assert!(
+            (o - (0.25 * 0.25) / 0.25).abs() < 1e-12,
+            "clipped area ratio"
+        );
         // Only the bottom h-edge passes through cell (0,0); clipped length
         // 0.25 over cell width 0.5.
         assert!((hh - 0.5).abs() < 1e-12);
@@ -615,7 +732,10 @@ mod tests {
         let hb = GhHistogram::build(g, &b);
         let est = ha.estimate(&hb).unwrap().selectivity;
         let err = (est - actual).abs() / actual;
-        assert!(err < 0.1, "revised GH error {err:.3} (est {est:.3e}, actual {actual:.3e})");
+        assert!(
+            err < 0.1,
+            "revised GH error {err:.3} (est {est:.3e}, actual {actual:.3e})"
+        );
     }
 
     /// The paper's headline property: revised GH errors decrease
@@ -635,9 +755,18 @@ mod tests {
         let e1 = err_at(1);
         let e4 = err_at(4);
         let e7 = err_at(7);
-        assert!(e4 <= e1 * 1.05, "level 4 ({e4:.4}) should improve on level 1 ({e1:.4})");
-        assert!(e7 <= e4 * 1.05, "level 7 ({e7:.4}) should improve on level 4 ({e7:.4})");
-        assert!(e7 < 0.05, "revised GH at level 7 must be <5% on uniform data: {e7:.4}");
+        assert!(
+            e4 <= e1 * 1.05,
+            "level 4 ({e4:.4}) should improve on level 1 ({e1:.4})"
+        );
+        assert!(
+            e7 <= e4 * 1.05,
+            "level 7 ({e7:.4}) should improve on level 4 ({e7:.4})"
+        );
+        assert!(
+            e7 < 0.05,
+            "revised GH at level 7 must be <5% on uniform data: {e7:.4}"
+        );
     }
 
     /// Point ⋈ box joins: the degenerate-corner convention (4 coincident
@@ -674,7 +803,10 @@ mod tests {
         let ab = ha.estimate(&hb).unwrap();
         let ba = hb.estimate(&ha).unwrap();
         assert!((ab.selectivity - ba.selectivity).abs() < 1e-15);
-        let (ba_, bb_) = (GhBasicHistogram::build(g, &a), GhBasicHistogram::build(g, &b));
+        let (ba_, bb_) = (
+            GhBasicHistogram::build(g, &a),
+            GhBasicHistogram::build(g, &b),
+        );
         assert_eq!(
             ba_.estimate(&bb_).unwrap().selectivity,
             bb_.estimate(&ba_).unwrap().selectivity
@@ -686,10 +818,16 @@ mod tests {
         let a = uniform(10, 40, 0.1);
         let h2 = GhHistogram::build(unit_grid(2), &a);
         let h3 = GhHistogram::build(unit_grid(3), &a);
-        assert!(matches!(h2.estimate(&h3), Err(HistogramError::GridMismatch { .. })));
+        assert!(matches!(
+            h2.estimate(&h3),
+            Err(HistogramError::GridMismatch { .. })
+        ));
         let b2 = GhBasicHistogram::build(unit_grid(2), &a);
         let b3 = GhBasicHistogram::build(unit_grid(3), &a);
-        assert!(matches!(b2.estimate(&b3), Err(HistogramError::GridMismatch { .. })));
+        assert!(matches!(
+            b2.estimate(&b3),
+            Err(HistogramError::GridMismatch { .. })
+        ));
     }
 
     #[test]
@@ -758,7 +896,12 @@ mod extension_tests {
             .map(|_| {
                 let x = rng.random_range(0.0..1.0 - side);
                 let y = rng.random_range(0.0..1.0 - side);
-                Rect::new(x, y, x + rng.random_range(0.0..side), y + rng.random_range(0.0..side))
+                Rect::new(
+                    x,
+                    y,
+                    x + rng.random_range(0.0..side),
+                    y + rng.random_range(0.0..side),
+                )
             })
             .collect()
     }
@@ -803,12 +946,30 @@ mod extension_tests {
             ("corner NW", Rect::new(0.1007, 0.5008, 0.4009, 0.8011)),
             ("corner SE", Rect::new(0.5012, 0.1013, 0.8014, 0.4015)),
             ("corner SW", Rect::new(0.1016, 0.1017, 0.4018, 0.4019)),
-            ("vertical band through a", Rect::new(0.4021, 0.2022, 0.5023, 0.7024)),
-            ("horizontal band through a", Rect::new(0.2025, 0.4026, 0.7027, 0.5028)),
-            ("edge notch from north", Rect::new(0.4029, 0.5031, 0.5032, 0.7033)),
-            ("edge notch from south", Rect::new(0.4034, 0.2035, 0.5036, 0.4037)),
-            ("edge notch from east", Rect::new(0.5038, 0.4039, 0.7041, 0.5042)),
-            ("edge notch from west", Rect::new(0.2043, 0.4044, 0.4045, 0.5046)),
+            (
+                "vertical band through a",
+                Rect::new(0.4021, 0.2022, 0.5023, 0.7024),
+            ),
+            (
+                "horizontal band through a",
+                Rect::new(0.2025, 0.4026, 0.7027, 0.5028),
+            ),
+            (
+                "edge notch from north",
+                Rect::new(0.4029, 0.5031, 0.5032, 0.7033),
+            ),
+            (
+                "edge notch from south",
+                Rect::new(0.4034, 0.2035, 0.5036, 0.4037),
+            ),
+            (
+                "edge notch from east",
+                Rect::new(0.5038, 0.4039, 0.7041, 0.5042),
+            ),
+            (
+                "edge notch from west",
+                Rect::new(0.2043, 0.4044, 0.4045, 0.5046),
+            ),
             ("b inside a", Rect::new(0.4047, 0.4048, 0.5049, 0.5051)),
             ("a inside b", Rect::new(0.2052, 0.2053, 0.7054, 0.7055)),
         ];
@@ -831,8 +992,9 @@ mod extension_tests {
         let g = unit_grid(5);
         let (ha, hb) = (GhHistogram::build(g, &a), GhHistogram::build(g, &b));
         let global = ha.estimate(&hb).unwrap().pairs;
-        let windowed =
-            ha.estimate_pairs_in_window(&hb, &Rect::new(0.0, 0.0, 1.0, 1.0)).unwrap();
+        let windowed = ha
+            .estimate_pairs_in_window(&hb, &Rect::new(0.0, 0.0, 1.0, 1.0))
+            .unwrap();
         assert!(
             (global - windowed).abs() < 1e-9 * global.max(1.0),
             "full-extent window must reproduce the global estimate: {global} vs {windowed}"
@@ -859,7 +1021,10 @@ mod extension_tests {
             }
         }
         let err = (est - exact as f64).abs() / exact as f64;
-        assert!(err < 0.15, "windowed estimate err {err:.3} (est {est:.0}, exact {exact})");
+        assert!(
+            err < 0.15,
+            "windowed estimate err {err:.3} (est {est:.0}, exact {exact})"
+        );
     }
 
     #[test]
@@ -870,8 +1035,12 @@ mod extension_tests {
         let b = uniform(1000, 57, 0.05);
         let g = unit_grid(4);
         let (ha, hb) = (GhHistogram::build(g, &a), GhHistogram::build(g, &b));
-        let left = ha.estimate_pairs_in_window(&hb, &Rect::new(0.0, 0.0, 0.5, 1.0)).unwrap();
-        let right = ha.estimate_pairs_in_window(&hb, &Rect::new(0.5, 0.0, 1.0, 1.0)).unwrap();
+        let left = ha
+            .estimate_pairs_in_window(&hb, &Rect::new(0.0, 0.0, 0.5, 1.0))
+            .unwrap();
+        let right = ha
+            .estimate_pairs_in_window(&hb, &Rect::new(0.5, 0.0, 1.0, 1.0))
+            .unwrap();
         let global = ha.estimate(&hb).unwrap().pairs;
         assert!(
             (left + right - global).abs() < 1e-9 * global.max(1.0),
@@ -904,8 +1073,7 @@ mod extension_tests {
             .unwrap()
             .selectivity;
 
-        let transform =
-            |r: &Rect| r.scaled(12.5, 0.25).translated(-40.0, 7.0);
+        let transform = |r: &Rect| r.scaled(12.5, 0.25).translated(-40.0, 7.0);
         let a2: Vec<Rect> = a.iter().map(&transform).collect();
         let b2: Vec<Rect> = b.iter().map(&transform).collect();
         let world = Extent::new(transform(&Rect::new(0.0, 0.0, 1.0, 1.0)));
@@ -934,7 +1102,12 @@ mod window_count_tests {
             .map(|_| {
                 let x = rng.random_range(0.0..1.0 - side);
                 let y = rng.random_range(0.0..1.0 - side);
-                Rect::new(x, y, x + rng.random_range(0.0..side), y + rng.random_range(0.0..side))
+                Rect::new(
+                    x,
+                    y,
+                    x + rng.random_range(0.0..side),
+                    y + rng.random_range(0.0..side),
+                )
             })
             .collect()
     }
@@ -944,9 +1117,11 @@ mod window_count_tests {
         let rects = uniform(5000, 61, 0.03);
         let g = Grid::new(6, Extent::unit()).unwrap();
         let h = GhHistogram::build(g, &rects);
-        for (qx0, qy0, qx1, qy1) in
-            [(0.1, 0.1, 0.4, 0.3), (0.5, 0.5, 0.9, 0.95), (0.0, 0.0, 1.0, 1.0)]
-        {
+        for (qx0, qy0, qx1, qy1) in [
+            (0.1, 0.1, 0.4, 0.3),
+            (0.5, 0.5, 0.9, 0.95),
+            (0.0, 0.0, 1.0, 1.0),
+        ] {
             let q = Rect::new(qx0, qy0, qx1, qy1);
             let est = h.estimate_window_count(&q);
             let exact = rects.iter().filter(|r| r.intersects(&q)).count() as f64;
@@ -976,7 +1151,10 @@ mod window_count_tests {
         let est = h.estimate_window_count(&q);
         let exact = pts.iter().filter(|r| r.intersects(&q)).count() as f64;
         let err = (est - exact).abs() / exact;
-        assert!(err < 0.05, "point window count err {err:.3} ({est:.0} vs {exact})");
+        assert!(
+            err < 0.05,
+            "point window count err {err:.3} ({est:.0} vs {exact})"
+        );
     }
 
     #[test]
@@ -1016,9 +1194,7 @@ impl GhHistogram {
     #[must_use]
     pub fn occupied_cells(&self) -> usize {
         (0..self.c.len())
-            .filter(|&i| {
-                self.c[i] != 0 || self.o[i] != 0.0 || self.h[i] != 0.0 || self.v[i] != 0.0
-            })
+            .filter(|&i| self.c[i] != 0 || self.o[i] != 0.0 || self.h[i] != 0.0 || self.v[i] != 0.0)
             .count()
     }
 
@@ -1070,8 +1246,12 @@ impl GhHistogram {
             return Err(corrupt("bad magic"));
         }
         let level = data.get_u32_le();
-        let (xlo, ylo, xhi, yhi) =
-            (data.get_f64_le(), data.get_f64_le(), data.get_f64_le(), data.get_f64_le());
+        let (xlo, ylo, xhi, yhi) = (
+            data.get_f64_le(),
+            data.get_f64_le(),
+            data.get_f64_le(),
+            data.get_f64_le(),
+        );
         if !(xlo.is_finite() && ylo.is_finite() && xhi.is_finite() && yhi.is_finite())
             || xhi <= xlo
             || yhi <= ylo
@@ -1109,7 +1289,15 @@ impl GhHistogram {
             h[idx as usize] = data.get_f64_le();
             v[idx as usize] = data.get_f64_le();
         }
-        Ok(Self { grid_level: level, extent, n, c, o, h, v })
+        Ok(Self {
+            grid_level: level,
+            extent,
+            n,
+            c,
+            o,
+            h,
+            v,
+        })
     }
 }
 

@@ -34,7 +34,11 @@ impl Grid {
         if level > Self::MAX_LEVEL {
             return Err(HistogramError::LevelTooLarge(level));
         }
-        Ok(Self { level, extent, cells_per_axis: 1 << level })
+        Ok(Self {
+            level,
+            extent,
+            cells_per_axis: 1 << level,
+        })
     }
 
     /// Grid level `h`.
@@ -126,7 +130,12 @@ impl Grid {
     /// rectangle occupies under the half-open convention.
     #[must_use]
     pub fn cell_range(&self, r: &Rect) -> (u32, u32, u32, u32) {
-        (self.col_of(r.xlo), self.col_of(r.xhi), self.row_of(r.ylo), self.row_of(r.yhi))
+        (
+            self.col_of(r.xlo),
+            self.col_of(r.xhi),
+            self.row_of(r.ylo),
+            self.row_of(r.yhi),
+        )
     }
 
     /// Number of cells a rectangle spans.

@@ -28,11 +28,7 @@ pub struct ParametricInputs {
 
 /// Estimated result size of the join (paper Eq. 1).
 #[must_use]
-pub fn parametric_result_size(
-    a: &ParametricInputs,
-    b: &ParametricInputs,
-    extent_area: f64,
-) -> f64 {
+pub fn parametric_result_size(a: &ParametricInputs, b: &ParametricInputs, extent_area: f64) -> f64 {
     assert!(extent_area > 0.0, "extent area must be positive");
     #[allow(clippy::cast_precision_loss)]
     let (n1, n2) = (a.count as f64, b.count as f64);
@@ -44,11 +40,7 @@ pub fn parametric_result_size(
 /// Estimated selectivity of the join (paper Eq. 2). Returns `0` when
 /// either dataset is empty.
 #[must_use]
-pub fn parametric_selectivity(
-    a: &ParametricInputs,
-    b: &ParametricInputs,
-    extent_area: f64,
-) -> f64 {
+pub fn parametric_selectivity(a: &ParametricInputs, b: &ParametricInputs, extent_area: f64) -> f64 {
     if a.count == 0 || b.count == 0 {
         return 0.0;
     }
@@ -62,7 +54,12 @@ mod tests {
     use super::*;
 
     fn inputs(count: usize, coverage: f64, w: f64, h: f64) -> ParametricInputs {
-        ParametricInputs { count, coverage, avg_width: w, avg_height: h }
+        ParametricInputs {
+            count,
+            coverage,
+            avg_width: w,
+            avg_height: h,
+        }
     }
 
     #[test]

@@ -48,45 +48,87 @@ impl PhHistogram {
     /// Builds the PH histogram of `rects` on `grid`.
     #[must_use]
     pub fn build(grid: Grid, rects: &[Rect]) -> Self {
-        let cells = grid.num_cells();
-        let cell_area = grid.cell_area();
-        let mut num = vec![0u32; cells];
-        let mut cov = vec![0f64; cells];
-        let mut xsum = vec![0f64; cells];
-        let mut ysum = vec![0f64; cells];
-        let mut num_x = vec![0u32; cells];
-        let mut cov_x = vec![0f64; cells];
-        let mut xsum_x = vec![0f64; cells];
-        let mut ysum_x = vec![0f64; cells];
-        let mut span_total: u64 = 0;
-        let mut span_rects: u64 = 0;
+        Self::build_parallel(grid, rects, 1)
+    }
 
-        for r in rects {
-            let (c0, c1, r0, r1) = grid.cell_range(r);
-            if c0 == c1 && r0 == r1 {
-                let idx = grid.flat_index(c0, r0);
-                num[idx] += 1;
-                cov[idx] += r.area() / cell_area;
-                xsum[idx] += r.width();
-                ysum[idx] += r.height();
-            } else {
-                span_total += u64::from(c1 - c0 + 1) * u64::from(r1 - r0 + 1);
-                span_rects += 1;
-                for row in r0..=r1 {
-                    for col in c0..=c1 {
-                        let idx = grid.flat_index(col, row);
-                        let cell = grid.cell_rect(col, row);
-                        // The cell range guarantees a (possibly degenerate)
-                        // closed intersection exists.
-                        let clip = r.intersection(&cell).unwrap_or_else(|| {
-                            Rect::from_point(cell.center())
-                        });
-                        num_x[idx] += 1;
-                        cov_x[idx] += clip.area() / cell_area;
-                        xsum_x[idx] += clip.width();
-                        ysum_x[idx] += clip.height();
+    /// Builds like [`Self::build`] with grid rows banded across `threads`
+    /// scoped worker threads; bit-identical to the serial build for every
+    /// thread count. The scalar `AvgSpan` statistics are row-independent,
+    /// so they come from one cheap serial pass shared by all thread
+    /// counts.
+    #[must_use]
+    pub fn build_parallel(grid: Grid, rects: &[Rect], threads: usize) -> Self {
+        let cols = grid.cells_per_axis() as usize;
+        let cell_area = grid.cell_area();
+        let bands = crate::band::map_row_bands(grid.cells_per_axis(), threads, |lo, hi| {
+            let len = (hi - lo) as usize * cols;
+            let mut num = vec![0u32; len];
+            let mut cov = vec![0f64; len];
+            let mut xsum = vec![0f64; len];
+            let mut ysum = vec![0f64; len];
+            let mut num_x = vec![0u32; len];
+            let mut cov_x = vec![0f64; len];
+            let mut xsum_x = vec![0f64; len];
+            let mut ysum_x = vec![0f64; len];
+            let at = |col: u32, row: u32| (row - lo) as usize * cols + col as usize;
+            for r in rects {
+                let (c0, c1, r0, r1) = grid.cell_range(r);
+                if r1 < lo || r0 >= hi {
+                    continue;
+                }
+                if c0 == c1 && r0 == r1 {
+                    let idx = at(c0, r0);
+                    num[idx] += 1;
+                    cov[idx] += r.area() / cell_area;
+                    xsum[idx] += r.width();
+                    ysum[idx] += r.height();
+                } else {
+                    for row in r0.max(lo)..=r1.min(hi - 1) {
+                        for col in c0..=c1 {
+                            let idx = at(col, row);
+                            let cell = grid.cell_rect(col, row);
+                            // The cell range guarantees a (possibly degenerate)
+                            // closed intersection exists.
+                            let clip = r
+                                .intersection(&cell)
+                                .unwrap_or_else(|| Rect::from_point(cell.center()));
+                            num_x[idx] += 1;
+                            cov_x[idx] += clip.area() / cell_area;
+                            xsum_x[idx] += clip.width();
+                            ysum_x[idx] += clip.height();
+                        }
                     }
                 }
+            }
+            (num, cov, xsum, ysum, num_x, cov_x, xsum_x, ysum_x)
+        });
+        let cells = grid.num_cells();
+        let mut num = Vec::with_capacity(cells);
+        let mut cov = Vec::with_capacity(cells);
+        let mut xsum = Vec::with_capacity(cells);
+        let mut ysum = Vec::with_capacity(cells);
+        let mut num_x = Vec::with_capacity(cells);
+        let mut cov_x = Vec::with_capacity(cells);
+        let mut xsum_x = Vec::with_capacity(cells);
+        let mut ysum_x = Vec::with_capacity(cells);
+        for band in bands {
+            num.extend(band.0);
+            cov.extend(band.1);
+            xsum.extend(band.2);
+            ysum.extend(band.3);
+            num_x.extend(band.4);
+            cov_x.extend(band.5);
+            xsum_x.extend(band.6);
+            ysum_x.extend(band.7);
+        }
+
+        let mut span_total: u64 = 0;
+        let mut span_rects: u64 = 0;
+        for r in rects {
+            let (c0, c1, r0, r1) = grid.cell_range(r);
+            if !(c0 == c1 && r0 == r1) {
+                span_total += u64::from(c1 - c0 + 1) * u64::from(r1 - r0 + 1);
+                span_rects += 1;
             }
         }
 
@@ -102,8 +144,11 @@ impl PhHistogram {
         let xavg_x = to_avg(xsum_x, &num_x);
         let yavg_x = to_avg(ysum_x, &num_x);
         #[allow(clippy::cast_precision_loss)]
-        let avg_span =
-            if span_rects == 0 { 1.0 } else { span_total as f64 / span_rects as f64 };
+        let avg_span = if span_rects == 0 {
+            1.0
+        } else {
+            span_total as f64 / span_rects as f64
+        };
 
         Self {
             grid,
@@ -178,16 +223,19 @@ impl PhHistogram {
         let cell_area = self.grid.cell_area();
         // The parametric kernel of Eq. 1 evaluated on per-cell statistics:
         // n1*c2 + c1*n2 + n1*n2*(w1*h2 + w2*h1)/cell_area.
-        let kernel = |n1: f64, c1: f64, w1: f64, h1: f64,
-                      n2: f64, c2: f64, w2: f64, h2: f64| {
+        let kernel = |n1: f64, c1: f64, w1: f64, h1: f64, n2: f64, c2: f64, w2: f64, h2: f64| {
             n1 * c2 + c1 * n2 + n1 * n2 * (w1 * h2 + w2 * h1) / cell_area
         };
 
         let mut sum_abc = 0.0f64;
         let mut sum_d = 0.0f64;
         for idx in 0..self.grid.num_cells() {
-            let (n1, c1, w1, h1) =
-                (f64::from(self.num[idx]), self.cov[idx], self.xavg[idx], self.yavg[idx]);
+            let (n1, c1, w1, h1) = (
+                f64::from(self.num[idx]),
+                self.cov[idx],
+                self.xavg[idx],
+                self.yavg[idx],
+            );
             let (n1x, c1x, w1x, h1x) = (
                 f64::from(self.num_x[idx]),
                 self.cov_x[idx],
@@ -213,8 +261,11 @@ impl PhHistogram {
             // Sd: Isect1 × Isect2 — the only multi-counted case.
             sum_d += kernel(n1x, c1x, w1x, h1x, n2x, c2x, w2x, h2x);
         }
-        let span_correction =
-            if correct_spans { (self.avg_span + other.avg_span) / 2.0 } else { 1.0 };
+        let span_correction = if correct_spans {
+            (self.avg_span + other.avg_span) / 2.0
+        } else {
+            1.0
+        };
         let size = sum_abc + sum_d / span_correction;
         #[allow(clippy::cast_precision_loss)]
         let denom = (self.n as f64) * (other.n as f64);
@@ -244,7 +295,14 @@ impl PhHistogram {
         for v in &self.num_x {
             buf.put_u32_le(*v);
         }
-        for arr in [&self.cov, &self.xavg, &self.yavg, &self.cov_x, &self.xavg_x, &self.yavg_x] {
+        for arr in [
+            &self.cov,
+            &self.xavg,
+            &self.yavg,
+            &self.cov_x,
+            &self.xavg_x,
+            &self.yavg_x,
+        ] {
             for v in arr.iter() {
                 buf.put_f64_le(*v);
             }
@@ -265,8 +323,12 @@ impl PhHistogram {
             return Err(corrupt("bad magic"));
         }
         let level = data.get_u32_le();
-        let (xlo, ylo, xhi, yhi) =
-            (data.get_f64_le(), data.get_f64_le(), data.get_f64_le(), data.get_f64_le());
+        let (xlo, ylo, xhi, yhi) = (
+            data.get_f64_le(),
+            data.get_f64_le(),
+            data.get_f64_le(),
+            data.get_f64_le(),
+        );
         if !(xlo.is_finite() && ylo.is_finite() && xhi.is_finite() && yhi.is_finite())
             || xhi <= xlo
             || yhi <= ylo
@@ -274,8 +336,7 @@ impl PhHistogram {
             return Err(corrupt("bad extent"));
         }
         let extent = sj_geo::Extent::new(Rect::new(xlo, ylo, xhi, yhi));
-        let grid = Grid::new(level, extent)
-            .map_err(|_| corrupt("grid level out of range"))?;
+        let grid = Grid::new(level, extent).map_err(|_| corrupt("grid level out of range"))?;
         let n = data.get_u64_le();
         let avg_span = data.get_f64_le();
         let cells = grid.num_cells();
@@ -283,21 +344,31 @@ impl PhHistogram {
         if data.remaining() != need {
             return Err(corrupt("payload size mismatch"));
         }
-        let read_u32s = |data: &mut &[u8]| -> Vec<u32> {
-            (0..cells).map(|_| data.get_u32_le()).collect()
-        };
+        let read_u32s =
+            |data: &mut &[u8]| -> Vec<u32> { (0..cells).map(|_| data.get_u32_le()).collect() };
         let num = read_u32s(&mut data);
         let num_x = read_u32s(&mut data);
-        let read_f64s = |data: &mut &[u8]| -> Vec<f64> {
-            (0..cells).map(|_| data.get_f64_le()).collect()
-        };
+        let read_f64s =
+            |data: &mut &[u8]| -> Vec<f64> { (0..cells).map(|_| data.get_f64_le()).collect() };
         let cov = read_f64s(&mut data);
         let xavg = read_f64s(&mut data);
         let yavg = read_f64s(&mut data);
         let cov_x = read_f64s(&mut data);
         let xavg_x = read_f64s(&mut data);
         let yavg_x = read_f64s(&mut data);
-        Ok(Self { grid, n, avg_span, num, cov, xavg, yavg, num_x, cov_x, xavg_x, yavg_x })
+        Ok(Self {
+            grid,
+            n,
+            avg_span,
+            num,
+            cov,
+            xavg,
+            yavg,
+            num_x,
+            cov_x,
+            xavg_x,
+            yavg_x,
+        })
     }
 
     /// Size of the histogram file in bytes — the paper's space-cost
@@ -347,7 +418,12 @@ mod tests {
             .map(|_| {
                 let x = rng.random_range(0.0..1.0 - side);
                 let y = rng.random_range(0.0..1.0 - side);
-                Rect::new(x, y, x + rng.random_range(0.0..side), y + rng.random_range(0.0..side))
+                Rect::new(
+                    x,
+                    y,
+                    x + rng.random_range(0.0..side),
+                    y + rng.random_range(0.0..side),
+                )
             })
             .collect()
     }
@@ -371,9 +447,9 @@ mod tests {
     fn contained_vs_spanning_accounting() {
         let g = unit_grid(1); // 2×2 cells of side 0.5
         let rects = vec![
-            Rect::new(0.1, 0.1, 0.2, 0.2),   // contained in (0,0)
-            Rect::new(0.4, 0.1, 0.6, 0.2),   // spans (0,0)-(1,0)
-            Rect::new(0.6, 0.6, 0.9, 0.9),   // contained in (1,1)
+            Rect::new(0.1, 0.1, 0.2, 0.2), // contained in (0,0)
+            Rect::new(0.4, 0.1, 0.6, 0.2), // spans (0,0)-(1,0)
+            Rect::new(0.6, 0.6, 0.9, 0.9), // contained in (1,1)
         ];
         let h = PhHistogram::build(g, &rects);
         assert_eq!(h.cont_count(0, 0), 1);
@@ -381,7 +457,10 @@ mod tests {
         assert_eq!(h.isect_count(0, 0), 1);
         assert_eq!(h.isect_count(1, 0), 1);
         assert_eq!(h.isect_count(0, 1), 0);
-        assert!((h.avg_span() - 2.0).abs() < 1e-12, "one spanner over 2 cells");
+        assert!(
+            (h.avg_span() - 2.0).abs() < 1e-12,
+            "one spanner over 2 cells"
+        );
     }
 
     #[test]
@@ -449,14 +528,20 @@ mod tests {
             "gridding should beat the uniform assumption on clustered data: \
              level0 err {e0:.3}, level4 err {e4:.3}"
         );
-        assert!(e4 < 0.5, "level-4 PH error too high on clustered data: {e4:.3}");
+        assert!(
+            e4 < 0.5,
+            "level-4 PH error too high on clustered data: {e4:.3}"
+        );
     }
 
     #[test]
     fn grid_mismatch_is_an_error() {
         let a = PhHistogram::build(unit_grid(2), &uniform(10, 5, 0.1));
         let b = PhHistogram::build(unit_grid(3), &uniform(10, 6, 0.1));
-        assert!(matches!(a.estimate(&b), Err(HistogramError::GridMismatch { .. })));
+        assert!(matches!(
+            a.estimate(&b),
+            Err(HistogramError::GridMismatch { .. })
+        ));
     }
 
     #[test]
@@ -517,7 +602,12 @@ mod correction_tests {
             .map(|_| {
                 let x = rng.random_range(0.0..1.0 - side);
                 let y = rng.random_range(0.0..1.0 - side);
-                Rect::new(x, y, x + rng.random_range(0.0..side), y + rng.random_range(0.0..side))
+                Rect::new(
+                    x,
+                    y,
+                    x + rng.random_range(0.0..side),
+                    y + rng.random_range(0.0..side),
+                )
             })
             .collect()
     }

@@ -60,14 +60,21 @@ impl Catalog {
     pub fn new(config: CatalogConfig) -> Self {
         let grid = Grid::new(config.grid_level, config.extent)
             .expect("catalog grid level within Grid::MAX_LEVEL");
-        Self { config, grid, tables: BTreeMap::new() }
+        Self {
+            config,
+            grid,
+            tables: BTreeMap::new(),
+        }
     }
 
     /// Creates a catalog over the unit extent at the given histogram
     /// level, with defaults for everything else.
     #[must_use]
     pub fn with_level(grid_level: u32) -> Self {
-        Self::new(CatalogConfig { grid_level, ..CatalogConfig::default() })
+        Self::new(CatalogConfig {
+            grid_level,
+            ..CatalogConfig::default()
+        })
     }
 
     /// The catalog configuration.
@@ -88,7 +95,11 @@ impl Catalog {
         let histogram = GhHistogram::build(self.grid, &dataset.rects);
         self.tables.insert(
             dataset.name.clone(),
-            Table { dataset, histogram, rtree: OnceLock::new() },
+            Table {
+                dataset,
+                histogram,
+                rtree: OnceLock::new(),
+            },
         );
         Ok(())
     }
@@ -153,7 +164,9 @@ impl Catalog {
     }
 
     pub(crate) fn table(&self, name: &str) -> Result<&Table, QueryError> {
-        self.tables.get(name).ok_or_else(|| QueryError::UnknownTable(name.to_string()))
+        self.tables
+            .get(name)
+            .ok_or_else(|| QueryError::UnknownTable(name.to_string()))
     }
 }
 
@@ -169,12 +182,17 @@ mod tests {
     #[test]
     fn register_and_introspect() {
         let mut c = Catalog::with_level(3);
-        c.register(tiny("a", vec![Rect::new(0.1, 0.1, 0.2, 0.2)])).unwrap();
-        c.register(tiny("b", vec![Rect::new(0.15, 0.15, 0.3, 0.3)])).unwrap();
+        c.register(tiny("a", vec![Rect::new(0.1, 0.1, 0.2, 0.2)]))
+            .unwrap();
+        c.register(tiny("b", vec![Rect::new(0.15, 0.15, 0.3, 0.3)]))
+            .unwrap();
         assert_eq!(c.table_names(), vec!["a", "b"]);
         assert_eq!(c.table_len("a").unwrap(), 1);
         assert!(c.histogram("a").is_ok());
-        assert!(matches!(c.table_len("zzz"), Err(QueryError::UnknownTable(_))));
+        assert!(matches!(
+            c.table_len("zzz"),
+            Err(QueryError::UnknownTable(_))
+        ));
     }
 
     #[test]
@@ -190,7 +208,8 @@ mod tests {
     #[test]
     fn rtree_is_lazy_and_cached() {
         let mut c = Catalog::with_level(3);
-        c.register(tiny("a", vec![Rect::new(0.0, 0.0, 0.5, 0.5)])).unwrap();
+        c.register(tiny("a", vec![Rect::new(0.0, 0.0, 0.5, 0.5)]))
+            .unwrap();
         let t1 = c.rtree("a").unwrap() as *const RTree;
         let t2 = c.rtree("a").unwrap() as *const RTree;
         assert_eq!(t1, t2, "R-tree must be built once and cached");
@@ -200,10 +219,15 @@ mod tests {
     #[test]
     fn estimate_join_pairs_from_files() {
         let mut c = Catalog::with_level(4);
-        c.register(tiny("a", vec![Rect::new(0.1, 0.1, 0.4, 0.4)])).unwrap();
-        c.register(tiny("b", vec![Rect::new(0.2, 0.2, 0.5, 0.5)])).unwrap();
+        c.register(tiny("a", vec![Rect::new(0.1, 0.1, 0.4, 0.4)]))
+            .unwrap();
+        c.register(tiny("b", vec![Rect::new(0.2, 0.2, 0.5, 0.5)]))
+            .unwrap();
         let est = c.estimate_join_pairs("a", "b").unwrap();
-        assert!(est > 0.0, "overlapping singletons should estimate > 0, got {est}");
+        assert!(
+            est > 0.0,
+            "overlapping singletons should estimate > 0, got {est}"
+        );
     }
 }
 
@@ -220,7 +244,10 @@ impl Catalog {
     pub fn save_statistics(&self, dir: &std::path::Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
         for (name, table) in &self.tables {
-            std::fs::write(dir.join(format!("{name}.gh")), table.histogram.to_sparse_bytes())?;
+            std::fs::write(
+                dir.join(format!("{name}.gh")),
+                table.histogram.to_sparse_bytes(),
+            )?;
         }
         Ok(())
     }
@@ -252,17 +279,21 @@ impl Catalog {
             ));
         }
         if histogram.dataset_len() != dataset.len() {
-            return Err(QueryError::Histogram(sj_histogram::HistogramError::Corrupt(
-                format!(
+            return Err(QueryError::Histogram(
+                sj_histogram::HistogramError::Corrupt(format!(
                     "statistics cover {} objects but the dataset has {}",
                     histogram.dataset_len(),
                     dataset.len()
-                ),
-            )));
+                )),
+            ));
         }
         self.tables.insert(
             dataset.name.clone(),
-            Table { dataset, histogram, rtree: OnceLock::new() },
+            Table {
+                dataset,
+                histogram,
+                rtree: OnceLock::new(),
+            },
         );
         Ok(())
     }
@@ -317,18 +348,24 @@ mod persistence_tests {
         let mut other = Catalog::with_level(5);
         assert!(matches!(
             other.register_with_statistics(tiny("alpha", 40), &bytes),
-            Err(QueryError::Histogram(sj_histogram::HistogramError::GridMismatch { .. }))
+            Err(QueryError::Histogram(
+                sj_histogram::HistogramError::GridMismatch { .. }
+            ))
         ));
 
         // Wrong cardinality (dataset changed since stats were taken).
         let mut same_grid = Catalog::with_level(4);
         assert!(matches!(
             same_grid.register_with_statistics(tiny("alpha", 41), &bytes),
-            Err(QueryError::Histogram(sj_histogram::HistogramError::Corrupt(_)))
+            Err(QueryError::Histogram(
+                sj_histogram::HistogramError::Corrupt(_)
+            ))
         ));
 
         // Garbage bytes.
         let mut fresh = Catalog::with_level(4);
-        assert!(fresh.register_with_statistics(tiny("alpha", 40), b"nonsense").is_err());
+        assert!(fresh
+            .register_with_statistics(tiny("alpha", 40), b"nonsense")
+            .is_err());
     }
 }

@@ -98,7 +98,10 @@ impl Plan {
                 }
             }
             if tuples.len() > budget {
-                return Err(QueryError::ResultTooLarge { produced: tuples.len(), budget });
+                return Err(QueryError::ResultTooLarge {
+                    produced: tuples.len(),
+                    budget,
+                });
             }
         }
 
@@ -127,7 +130,12 @@ mod tests {
             .map(|_| {
                 let x = rng.random_range(0.0..1.0 - side);
                 let y = rng.random_range(0.0..1.0 - side);
-                Rect::new(x, y, x + rng.random_range(0.0..side), y + rng.random_range(0.0..side))
+                Rect::new(
+                    x,
+                    y,
+                    x + rng.random_range(0.0..side),
+                    y + rng.random_range(0.0..side),
+                )
             })
             .collect();
         Dataset::new(name, Extent::unit(), rects)
@@ -144,9 +152,7 @@ mod tests {
     /// Brute-force chain join for verification.
     fn brute_chain(cat: &Catalog, names: &[&str], window: Option<Rect>) -> Vec<Vec<u64>> {
         let tables: Vec<&Dataset> = names.iter().map(|n| cat.dataset(n).unwrap()).collect();
-        let mut tuples: Vec<Vec<u64>> = (0..tables[0].len())
-            .map(|i| vec![i as u64])
-            .collect();
+        let mut tuples: Vec<Vec<u64>> = (0..tables[0].len()).map(|i| vec![i as u64]).collect();
         for k in 1..tables.len() {
             let mut next = Vec::new();
             for t in &tuples {
@@ -197,12 +203,17 @@ mod tests {
     fn windowed_chain_matches_brute_force() {
         let c = catalog();
         let w = Rect::new(0.2, 0.2, 0.7, 0.7);
-        let plan = c.plan(&ChainJoinQuery::new(["a", "b", "c"]).within(w)).unwrap();
+        let plan = c
+            .plan(&ChainJoinQuery::new(["a", "b", "c"]).within(w))
+            .unwrap();
         let result = plan.execute(&c).unwrap();
         let mut got = result.tuples;
         got.sort();
         assert_eq!(got, brute_chain(&c, &["a", "b", "c"], Some(w)));
-        assert!(result.stats.window_filtered > 0, "window should filter something");
+        assert!(
+            result.stats.window_filtered > 0,
+            "window should filter something"
+        );
     }
 
     #[test]
@@ -221,7 +232,10 @@ mod tests {
 
     #[test]
     fn tuple_budget_aborts_runaway_plans() {
-        let mut c = Catalog::new(CatalogConfig { tuple_budget: 10, ..CatalogConfig::default() });
+        let mut c = Catalog::new(CatalogConfig {
+            tuple_budget: 10,
+            ..CatalogConfig::default()
+        });
         c.register(random_table("x", 200, 7, 0.3)).unwrap();
         c.register(random_table("y", 200, 8, 0.3)).unwrap();
         let plan = c.plan(&ChainJoinQuery::new(["x", "y"])).unwrap();
@@ -238,8 +252,11 @@ mod tests {
         let c = catalog();
         let plan = c.plan(&ChainJoinQuery::new(["a", "b", "c"])).unwrap();
         let result = plan.execute(&c).unwrap();
-        let (da, db, dc) =
-            (c.dataset("a").unwrap(), c.dataset("b").unwrap(), c.dataset("c").unwrap());
+        let (da, db, dc) = (
+            c.dataset("a").unwrap(),
+            c.dataset("b").unwrap(),
+            c.dataset("c").unwrap(),
+        );
         for t in result.tuples.iter().take(50) {
             let (ra, rb, rc) = (
                 da.rects[t[0] as usize],

@@ -21,7 +21,10 @@ impl ChainJoinQuery {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        Self { tables: tables.into_iter().map(Into::into).collect(), window: None }
+        Self {
+            tables: tables.into_iter().map(Into::into).collect(),
+            window: None,
+        }
     }
 
     /// Restricts the query to a window.
@@ -83,12 +86,20 @@ impl fmt::Display for Plan {
         }
         for (i, step) in self.steps.iter().enumerate() {
             match step {
-                PlanStep::JoinEdge { left, right, estimated_pairs } => writeln!(
+                PlanStep::JoinEdge {
+                    left,
+                    right,
+                    estimated_pairs,
+                } => writeln!(
                     f,
                     "  {i}. rtree-join {} ⋈ {}   (~{estimated_pairs:.0} pairs)",
                     self.tables[*left], self.tables[*right]
                 )?,
-                PlanStep::Probe { table, via, estimated_tuples } => writeln!(
+                PlanStep::Probe {
+                    table,
+                    via,
+                    estimated_tuples,
+                } => writeln!(
                     f,
                     "  {i}. probe {} via {}      (~{estimated_tuples:.0} tuples)",
                     self.tables[*table], self.tables[*via]
@@ -134,15 +145,21 @@ impl<'a> Planner<'a> {
         // Edge result-size estimates from the histogram files.
         let mut edge_pairs = Vec::with_capacity(n - 1);
         for i in 0..n - 1 {
-            edge_pairs
-                .push(self.catalog.estimate_join_pairs(&query.tables[i], &query.tables[i + 1])?);
+            edge_pairs.push(
+                self.catalog
+                    .estimate_join_pairs(&query.tables[i], &query.tables[i + 1])?,
+            );
         }
         // Growth factor of attaching table b via its neighbor a: expected
         // partners in b per object of a.
         let growth = |edge: usize, via: usize| -> Result<f64, QueryError> {
             let via_len = self.catalog.table_len(&query.tables[via])?;
             #[allow(clippy::cast_precision_loss)]
-            Ok(if via_len == 0 { 0.0 } else { edge_pairs[edge] / via_len as f64 })
+            Ok(if via_len == 0 {
+                0.0
+            } else {
+                edge_pairs[edge] / via_len as f64
+            })
         };
 
         // Opening edge: the smallest estimated pair count.
@@ -161,10 +178,16 @@ impl<'a> Planner<'a> {
         let (mut lo, mut hi) = (start, start + 1);
         while lo > 0 || hi < n - 1 {
             // Candidate extensions: attach lo-1 via lo, or hi+1 via hi.
-            let left_growth =
-                if lo > 0 { Some(growth(lo - 1, lo)?) } else { None };
-            let right_growth =
-                if hi < n - 1 { Some(growth(hi, hi)?) } else { None };
+            let left_growth = if lo > 0 {
+                Some(growth(lo - 1, lo)?)
+            } else {
+                None
+            };
+            let right_growth = if hi < n - 1 {
+                Some(growth(hi, hi)?)
+            } else {
+                None
+            };
             let go_left = match (left_growth, right_growth) {
                 (Some(l), Some(r)) => l <= r,
                 (Some(_), None) => true,
@@ -255,12 +278,26 @@ mod tests {
         let q = ChainJoinQuery::new(["dense", "sparse_a", "sparse_b"]);
         let plan = c.plan(&q).unwrap();
         assert!(
-            matches!(plan.steps[0], PlanStep::JoinEdge { left: 1, right: 2, .. }),
+            matches!(
+                plan.steps[0],
+                PlanStep::JoinEdge {
+                    left: 1,
+                    right: 2,
+                    ..
+                }
+            ),
             "expected to open with the sparse edge, got {:?}",
             plan.steps[0]
         );
         // The remaining step attaches `dense` via `sparse_a`.
-        assert!(matches!(plan.steps[1], PlanStep::Probe { table: 0, via: 1, .. }));
+        assert!(matches!(
+            plan.steps[1],
+            PlanStep::Probe {
+                table: 0,
+                via: 1,
+                ..
+            }
+        ));
         assert_eq!(plan.steps.len(), 2);
     }
 
@@ -277,7 +314,9 @@ mod tests {
     #[test]
     fn estimates_are_positive_for_overlapping_tables() {
         let c = catalog();
-        let plan = c.plan(&ChainJoinQuery::new(["dense", "sparse_a", "sparse_b"])).unwrap();
+        let plan = c
+            .plan(&ChainJoinQuery::new(["dense", "sparse_a", "sparse_b"]))
+            .unwrap();
         assert!(plan.estimated_result >= 0.0);
         assert!(plan.estimated_result.is_finite());
     }
@@ -341,7 +380,11 @@ impl StarJoinQuery {
         for (i, s) in self.satellites.iter().enumerate() {
             let pairs = catalog.estimate_join_pairs(&self.center, s)?;
             #[allow(clippy::cast_precision_loss)]
-            let growth = if center_len == 0 { 0.0 } else { pairs / center_len as f64 };
+            let growth = if center_len == 0 {
+                0.0
+            } else {
+                pairs / center_len as f64
+            };
             sats.push((i, pairs, growth));
         }
         sats.sort_by(|a, b| a.2.total_cmp(&b.2));
@@ -367,7 +410,12 @@ impl StarJoinQuery {
                 estimated_tuples: estimate,
             });
         }
-        Ok(Plan { tables, steps, window: self.window, estimated_result: estimate })
+        Ok(Plan {
+            tables,
+            steps,
+            window: self.window,
+            estimated_result: estimate,
+        })
     }
 }
 
@@ -405,11 +453,25 @@ mod star_tests {
         // The sparse satellite (column 2) has the smaller fan-out, so the
         // plan must open with it, then probe the dense one (column 1).
         assert!(
-            matches!(plan.steps[0], PlanStep::JoinEdge { left: 0, right: 2, .. }),
+            matches!(
+                plan.steps[0],
+                PlanStep::JoinEdge {
+                    left: 0,
+                    right: 2,
+                    ..
+                }
+            ),
             "expected to open with the sparse satellite, got {:?}",
             plan.steps[0]
         );
-        assert!(matches!(plan.steps[1], PlanStep::Probe { table: 1, via: 0, .. }));
+        assert!(matches!(
+            plan.steps[1],
+            PlanStep::Probe {
+                table: 1,
+                via: 0,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -36,12 +36,7 @@ impl RTree {
         let slices = (leaf_count as f64).sqrt().ceil() as usize;
         let per_slice = n.div_ceil(slices);
 
-        entries.sort_by(|a, b| {
-            a.rect
-                .center()
-                .x
-                .total_cmp(&b.rect.center().x)
-        });
+        entries.sort_by(|a, b| a.rect.center().x.total_cmp(&b.rect.center().x));
         let mut leaves: Vec<Node> = Vec::with_capacity(leaf_count);
         for slice in entries.chunks_mut(per_slice) {
             slice.sort_by(|a, b| a.rect.center().y.total_cmp(&b.rect.center().y));
@@ -68,8 +63,10 @@ impl RTree {
         let m = config.max_entries;
         let mut leaves: Vec<Node> = Vec::with_capacity(rects.len().div_ceil(m));
         for run in perm.chunks(m) {
-            let entries: Vec<Entry> =
-                run.iter().map(|&i| Entry::new(rects[i], i as u64)).collect();
+            let entries: Vec<Entry> = run
+                .iter()
+                .map(|&i| Entry::new(rects[i], i as u64))
+                .collect();
             leaves.push(Node::Leaf(entries));
         }
         Self::from_root(Some(pack_levels(leaves, m)), config)
@@ -108,7 +105,12 @@ mod tests {
             .map(|_| {
                 let x = rng.random_range(0.0..1.0);
                 let y = rng.random_range(0.0..1.0);
-                Rect::new(x, y, x + rng.random_range(0.0..0.02), y + rng.random_range(0.0..0.02))
+                Rect::new(
+                    x,
+                    y,
+                    x + rng.random_range(0.0..0.02),
+                    y + rng.random_range(0.0..0.02),
+                )
             })
             .collect()
     }
@@ -154,7 +156,11 @@ mod tests {
 
     #[test]
     fn bulk_load_exact_multiple_of_fanout() {
-        let cfg = RTreeConfig { max_entries: 4, min_entries: 2, ..Default::default() };
+        let cfg = RTreeConfig {
+            max_entries: 4,
+            min_entries: 2,
+            ..Default::default()
+        };
         let rects = random_rects(64, 9);
         let t = RTree::bulk_load_str(cfg, &rects);
         t.validate();

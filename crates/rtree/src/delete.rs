@@ -152,7 +152,12 @@ mod tests {
             .map(|_| {
                 let x = rng.random_range(0.0..1.0);
                 let y = rng.random_range(0.0..1.0);
-                Rect::new(x, y, x + rng.random_range(0.0..0.05), y + rng.random_range(0.0..0.05))
+                Rect::new(
+                    x,
+                    y,
+                    x + rng.random_range(0.0..0.05),
+                    y + rng.random_range(0.0..0.05),
+                )
             })
             .collect()
     }
@@ -173,8 +178,14 @@ mod tests {
     fn remove_missing_entry_is_noop() {
         let mut t = RTree::with_defaults();
         t.insert(Rect::new(0.0, 0.0, 1.0, 1.0), 1);
-        assert!(!t.remove(&Rect::new(0.5, 0.5, 0.6, 0.6), 1), "rect must match exactly");
-        assert!(!t.remove(&Rect::new(0.0, 0.0, 1.0, 1.0), 2), "id must match");
+        assert!(
+            !t.remove(&Rect::new(0.5, 0.5, 0.6, 0.6), 1),
+            "rect must match exactly"
+        );
+        assert!(
+            !t.remove(&Rect::new(0.0, 0.0, 1.0, 1.0), 2),
+            "id must match"
+        );
         assert_eq!(t.len(), 1);
         t.validate();
     }
@@ -182,7 +193,11 @@ mod tests {
     #[test]
     fn remove_half_then_queries_stay_correct() {
         let rects = random_rects(400, 13);
-        let cfg = RTreeConfig { max_entries: 8, min_entries: 3, ..Default::default() };
+        let cfg = RTreeConfig {
+            max_entries: 8,
+            min_entries: 3,
+            ..Default::default()
+        };
         let mut t = RTree::new(cfg);
         for (i, r) in rects.iter().enumerate() {
             t.insert(*r, i as u64);
@@ -205,7 +220,11 @@ mod tests {
     #[test]
     fn remove_everything_in_random_order() {
         let rects = random_rects(150, 14);
-        let cfg = RTreeConfig { max_entries: 6, min_entries: 2, ..Default::default() };
+        let cfg = RTreeConfig {
+            max_entries: 6,
+            min_entries: 2,
+            ..Default::default()
+        };
         let mut t = RTree::new(cfg);
         for (i, r) in rects.iter().enumerate() {
             t.insert(*r, i as u64);

@@ -46,13 +46,9 @@ fn join_rec<F: FnMut(u64, u64)>(a: &Node, b: &Node, emit: &mut F) {
             );
         }
         (Node::Inner(ca), Node::Inner(cb)) => {
-            sweep_pairs(
-                ca.len(),
-                cb.len(),
-                |i| ca[i].0,
-                |j| cb[j].0,
-                &mut |i, j| join_rec(&ca[i].1, &cb[j].1, emit),
-            );
+            sweep_pairs(ca.len(), cb.len(), |i| ca[i].0, |j| cb[j].0, &mut |i, j| {
+                join_rec(&ca[i].1, &cb[j].1, emit)
+            });
         }
         // Unequal heights (samples of very different sizes): descend the
         // taller side against the whole other node.
@@ -179,7 +175,11 @@ mod tests {
         // the leaf × inner descent.
         let a = random_rects(5, 5, 0.5);
         let b = random_rects(5000, 6, 0.01);
-        let cfg = RTreeConfig { max_entries: 8, min_entries: 3, ..Default::default() };
+        let cfg = RTreeConfig {
+            max_entries: 8,
+            min_entries: 3,
+            ..Default::default()
+        };
         let ta = RTree::bulk_load_str(cfg, &a);
         let tb = RTree::bulk_load_str(cfg, &b);
         assert!(ta.height() < tb.height());
@@ -372,7 +372,11 @@ mod parallel_tests {
         assert_eq!(join_count_parallel(&ta, &empty, 4), 0);
         assert_eq!(join_count_parallel(&empty, &ta, 4), 0);
         assert_eq!(join_count_parallel(&ta, &ta, 4), join_count(&ta, &ta));
-        assert_eq!(join_count_parallel(&ta, &ta, 0), join_count(&ta, &ta), "0 clamps to 1");
+        assert_eq!(
+            join_count_parallel(&ta, &ta, 0),
+            join_count(&ta, &ta),
+            "0 clamps to 1"
+        );
     }
 
     #[test]

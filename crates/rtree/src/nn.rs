@@ -65,7 +65,10 @@ impl RTree {
             return out;
         };
         let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
-        heap.push(HeapItem::Node(root.mbr().map_or(0.0, |m| mindist(&p, &m)), root));
+        heap.push(HeapItem::Node(
+            root.mbr().map_or(0.0, |m| mindist(&p, &m)),
+            root,
+        ));
         while let Some(item) = heap.pop() {
             match item {
                 HeapItem::Data(d, e) => {
@@ -111,7 +114,12 @@ mod tests {
             .map(|_| {
                 let x = rng.random_range(0.0..1.0);
                 let y = rng.random_range(0.0..1.0);
-                Rect::new(x, y, x + rng.random_range(0.0..0.03), y + rng.random_range(0.0..0.03))
+                Rect::new(
+                    x,
+                    y,
+                    x + rng.random_range(0.0..0.03),
+                    y + rng.random_range(0.0..0.03),
+                )
             })
             .collect()
     }
@@ -122,7 +130,10 @@ mod tests {
         assert_eq!(mindist(&Point::new(1.5, 1.5), &r), 0.0, "inside");
         assert_eq!(mindist(&Point::new(1.5, 1.0), &r), 0.0, "on boundary");
         assert_eq!(mindist(&Point::new(0.0, 1.5), &r), 1.0, "left of");
-        assert!((mindist(&Point::new(0.0, 0.0), &r) - 2f64.sqrt()).abs() < 1e-12, "corner");
+        assert!(
+            (mindist(&Point::new(0.0, 0.0), &r) - 2f64.sqrt()).abs() < 1e-12,
+            "corner"
+        );
     }
 
     #[test]
@@ -133,8 +144,11 @@ mod tests {
         for _ in 0..25 {
             let p = Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0));
             let got = t.nearest_neighbors(p, 5);
-            let mut expected: Vec<(usize, f64)> =
-                rects.iter().enumerate().map(|(i, r)| (i, mindist(&p, r))).collect();
+            let mut expected: Vec<(usize, f64)> = rects
+                .iter()
+                .enumerate()
+                .map(|(i, r)| (i, mindist(&p, r)))
+                .collect();
             expected.sort_by(|a, b| a.1.total_cmp(&b.1));
             assert_eq!(got.len(), 5);
             for (rank, (entry, d)) in got.iter().enumerate() {
@@ -161,7 +175,10 @@ mod tests {
         }
         let p = Point::new(0.5, 0.5);
         let nn = t.nearest_neighbor(p).expect("non-empty");
-        let best = rects.iter().map(|r| mindist(&p, r)).fold(f64::INFINITY, f64::min);
+        let best = rects
+            .iter()
+            .map(|r| mindist(&p, r))
+            .fold(f64::INFINITY, f64::min);
         assert!((nn.1 - best).abs() < 1e-12);
     }
 

@@ -64,9 +64,7 @@ impl Node {
     pub fn height(&self) -> usize {
         match self {
             Node::Leaf(_) => 1,
-            Node::Inner(children) => {
-                1 + children.first().map_or(0, |(_, child)| child.height())
-            }
+            Node::Inner(children) => 1 + children.first().map_or(0, |(_, child)| child.height()),
         }
     }
 

@@ -123,7 +123,11 @@ where
     // (overlap, area).
     let x_margin = evals[0].margin_sum + evals[1].margin_sum;
     let y_margin = evals[2].margin_sum + evals[3].margin_sum;
-    let candidates: &[usize] = if x_margin <= y_margin { &[0, 1] } else { &[2, 3] };
+    let candidates: &[usize] = if x_margin <= y_margin {
+        &[0, 1]
+    } else {
+        &[2, 3]
+    };
     let winner = *candidates
         .iter()
         .min_by(|&&a, &&b| {
@@ -159,8 +163,7 @@ fn pick_seeds_quadratic(rects: &[Rect]) -> (usize, usize) {
     let mut pair = (0, 1);
     for i in 0..rects.len() {
         for j in (i + 1)..rects.len() {
-            let waste =
-                rects[i].union(&rects[j]).area() - rects[i].area() - rects[j].area();
+            let waste = rects[i].union(&rects[j]).area() - rects[i].area() - rects[j].area();
             if waste > worst {
                 worst = waste;
                 pair = (i, j);
@@ -379,7 +382,12 @@ mod tests {
             .map(|i| Rect::new(f64::from(i) * 0.01, 0.0, f64::from(i) * 0.01 + 0.005, 0.01))
             .collect();
         items.extend((0..5).map(|i| {
-            Rect::new(100.0 + f64::from(i) * 0.01, 0.0, 100.0 + f64::from(i) * 0.01 + 0.005, 0.01)
+            Rect::new(
+                100.0 + f64::from(i) * 0.01,
+                0.0,
+                100.0 + f64::from(i) * 0.01 + 0.005,
+                0.01,
+            )
         }));
         for algo in [SplitAlgorithm::Linear, SplitAlgorithm::Quadratic] {
             let (g1, g2) = split(algo, items.clone(), 2, |r| *r);
@@ -450,7 +458,12 @@ mod rstar_tests {
             .map(|_| {
                 let x = rng.random_range(0.0..1.0);
                 let y = rng.random_range(0.0..1.0);
-                Rect::new(x, y, x + rng.random_range(0.0..0.2), y + rng.random_range(0.0..0.2))
+                Rect::new(
+                    x,
+                    y,
+                    x + rng.random_range(0.0..0.2),
+                    y + rng.random_range(0.0..0.2),
+                )
             })
             .collect();
         let overlap = |algo| {

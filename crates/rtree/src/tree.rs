@@ -16,7 +16,11 @@ pub struct RTreeConfig {
 
 impl Default for RTreeConfig {
     fn default() -> Self {
-        Self { max_entries: 50, min_entries: 20, split: SplitAlgorithm::Quadratic }
+        Self {
+            max_entries: 50,
+            min_entries: 20,
+            split: SplitAlgorithm::Quadratic,
+        }
     }
 }
 
@@ -82,7 +86,11 @@ impl RTree {
     #[must_use]
     pub fn new(config: RTreeConfig) -> Self {
         config.validate();
-        Self { root: None, config, len: 0 }
+        Self {
+            root: None,
+            config,
+            len: 0,
+        }
     }
 
     /// Creates an empty tree with the default configuration.
@@ -173,12 +181,18 @@ impl RTree {
             }
             Some(mut root) => {
                 let mut reinsert_budget = allow_reinsert;
-                if let Some((split_rect, split_node)) =
-                    insert_rec(&mut root, entry, &self.config, &mut reinsert_budget, ejected)
-                {
+                if let Some((split_rect, split_node)) = insert_rec(
+                    &mut root,
+                    entry,
+                    &self.config,
+                    &mut reinsert_budget,
+                    ejected,
+                ) {
                     let old_rect = root.mbr().expect("non-empty root");
-                    self.root =
-                        Some(Node::Inner(vec![(old_rect, root), (split_rect, split_node)]));
+                    self.root = Some(Node::Inner(vec![
+                        (old_rect, root),
+                        (split_rect, split_node),
+                    ]));
                 } else {
                     self.root = Some(root);
                 }
@@ -335,8 +349,13 @@ fn insert_rec(
         }
         Node::Inner(children) => {
             let idx = choose_subtree(children, &entry.rect);
-            let split_result =
-                insert_rec(&mut children[idx].1, entry, config, reinsert_budget, ejected);
+            let split_result = insert_rec(
+                &mut children[idx].1,
+                entry,
+                config,
+                reinsert_budget,
+                ejected,
+            );
             // Refresh the chosen child's MBR after the descent.
             children[idx].0 = children[idx].1.mbr().expect("child non-empty");
             if let Some((rect, new_node)) = split_result {
@@ -388,9 +407,7 @@ fn choose_subtree(children: &[(Rect, Node)], rect: &Rect) -> usize {
     for (i, (r, _)) in children.iter().enumerate() {
         let enlargement = r.enlargement(rect);
         let area = r.area();
-        if enlargement < best_enlargement
-            || (enlargement == best_enlargement && area < best_area)
-        {
+        if enlargement < best_enlargement || (enlargement == best_enlargement && area < best_area) {
             best = i;
             best_enlargement = enlargement;
             best_area = area;
@@ -499,7 +516,11 @@ mod tests {
         // Stricter check than validate(): every non-root node of a purely
         // dynamic tree must have >= min_entries.
         let rects = random_rects(300, 3);
-        let cfg = RTreeConfig { max_entries: 10, min_entries: 4, split: SplitAlgorithm::Quadratic };
+        let cfg = RTreeConfig {
+            max_entries: 10,
+            min_entries: 4,
+            split: SplitAlgorithm::Quadratic,
+        };
         let mut t = RTree::new(cfg);
         for (i, r) in rects.iter().enumerate() {
             t.insert(*r, i as u64);
@@ -560,13 +581,25 @@ mod tests {
         let mut t = RTree::with_defaults();
         // Rect::new's min/max normalization silently drops a NaN in one
         // coordinate pair, so build the pathological rect directly.
-        t.insert(Rect { xlo: f64::NAN, ylo: 0.0, xhi: f64::NAN, yhi: 1.0 }, 0);
+        t.insert(
+            Rect {
+                xlo: f64::NAN,
+                ylo: 0.0,
+                xhi: f64::NAN,
+                yhi: 1.0,
+            },
+            0,
+        );
     }
 
     #[test]
     #[should_panic(expected = "min_entries")]
     fn bad_config_rejected() {
-        let _ = RTree::new(RTreeConfig { max_entries: 10, min_entries: 6, split: SplitAlgorithm::Quadratic });
+        let _ = RTree::new(RTreeConfig {
+            max_entries: 10,
+            min_entries: 6,
+            split: SplitAlgorithm::Quadratic,
+        });
     }
 }
 
@@ -582,13 +615,22 @@ mod rstar_insert_tests {
             .map(|_| {
                 let x = rng.random_range(0.0..1.0);
                 let y = rng.random_range(0.0..1.0);
-                Rect::new(x, y, x + rng.random_range(0.0..0.04), y + rng.random_range(0.0..0.04))
+                Rect::new(
+                    x,
+                    y,
+                    x + rng.random_range(0.0..0.04),
+                    y + rng.random_range(0.0..0.04),
+                )
             })
             .collect()
     }
 
     fn rstar_cfg() -> RTreeConfig {
-        RTreeConfig { max_entries: 10, min_entries: 4, split: SplitAlgorithm::RStar }
+        RTreeConfig {
+            max_entries: 10,
+            min_entries: 4,
+            split: SplitAlgorithm::RStar,
+        }
     }
 
     #[test]
@@ -640,7 +682,11 @@ mod rstar_insert_tests {
         }
         let rects = random_rects(1500, 33);
         let build = |split| {
-            let mut t = RTree::new(RTreeConfig { max_entries: 10, min_entries: 4, split });
+            let mut t = RTree::new(RTreeConfig {
+                max_entries: 10,
+                min_entries: 4,
+                split,
+            });
             for (i, r) in rects.iter().enumerate() {
                 t.insert(*r, i as u64);
             }

@@ -8,10 +8,20 @@ use sj_rtree::{RTree, RTreeConfig, SplitAlgorithm};
 
 #[derive(Debug, Clone)]
 enum Op {
-    Insert { x: f64, y: f64, w: f64, h: f64 },
+    Insert {
+        x: f64,
+        y: f64,
+        w: f64,
+        h: f64,
+    },
     /// Remove the entry at this (modular) position of the shadow set.
     RemoveNth(usize),
-    Query { x: f64, y: f64, w: f64, h: f64 },
+    Query {
+        x: f64,
+        y: f64,
+        w: f64,
+        h: f64,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {

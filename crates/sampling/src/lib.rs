@@ -73,11 +73,23 @@ impl SamplingTechnique {
     }
 }
 
-/// All techniques, in the paper's legend order.
-pub const ALL_TECHNIQUES: [SamplingTechnique; 3] = [
+/// The three techniques evaluated in the paper (Figure 6), in the
+/// paper's legend order.
+pub const PAPER_TECHNIQUES: [SamplingTechnique; 3] = [
     SamplingTechnique::RandomWithReplacement,
     SamplingTechnique::Regular,
     SamplingTechnique::Sorted,
+];
+
+/// Every technique the crate implements: the paper's three plus the
+/// RSWOR and stratified extensions. Iterate [`PAPER_TECHNIQUES`] instead
+/// when regenerating a figure from the paper.
+pub const ALL_TECHNIQUES: [SamplingTechnique; 5] = [
+    SamplingTechnique::RandomWithReplacement,
+    SamplingTechnique::Regular,
+    SamplingTechnique::Sorted,
+    SamplingTechnique::RandomWithoutReplacement,
+    SamplingTechnique::Stratified { level: 3 },
 ];
 
 /// Join algorithm used on the two samples.
@@ -130,7 +142,9 @@ pub fn draw_sample(
         SamplingTechnique::Regular => every_kth(rects, None, n),
         SamplingTechnique::RandomWithReplacement => {
             let mut rng = StdRng::seed_from_u64(seed);
-            (0..n).map(|_| rects[rng.random_range(0..rects.len())]).collect()
+            (0..n)
+                .map(|_| rects[rng.random_range(0..rects.len())])
+                .collect()
         }
         SamplingTechnique::Sorted => {
             let perm = sj_hilbert::sort_by_hilbert(sj_hilbert::DEFAULT_ORDER, extent, rects);
@@ -147,9 +161,7 @@ pub fn draw_sample(
             }
             indices[..n].iter().map(|&i| rects[i]).collect()
         }
-        SamplingTechnique::Stratified { level } => {
-            stratified_sample(rects, n, extent, level, seed)
-        }
+        SamplingTechnique::Stratified { level } => stratified_sample(rects, n, extent, level, seed),
     }
 }
 
@@ -315,8 +327,13 @@ impl SamplingEstimator {
     pub fn estimate(&self, left: &[Rect], right: &[Rect], extent: &Extent) -> SamplingOutcome {
         let t0 = Instant::now();
         let sa = draw_sample(self.technique, left, self.percent_left, extent, self.seed);
-        let sb =
-            draw_sample(self.technique, right, self.percent_right, extent, self.seed ^ 0x9E37);
+        let sb = draw_sample(
+            self.technique,
+            right,
+            self.percent_right,
+            extent,
+            self.seed ^ 0x9E37,
+        );
         let draw = t0.elapsed();
 
         let (sample_pairs, build, join) = match self.backend {
@@ -339,8 +356,11 @@ impl SamplingEstimator {
         #[allow(clippy::cast_precision_loss)]
         let denom = sa.len() as f64 * sb.len() as f64;
         #[allow(clippy::cast_precision_loss)]
-        let selectivity =
-            if denom == 0.0 { 0.0 } else { (sample_pairs as f64 / denom).clamp(0.0, 1.0) };
+        let selectivity = if denom == 0.0 {
+            0.0
+        } else {
+            (sample_pairs as f64 / denom).clamp(0.0, 1.0)
+        };
         #[allow(clippy::cast_precision_loss)]
         let pairs = selectivity * left.len() as f64 * right.len() as f64;
         SamplingOutcome {
@@ -364,7 +384,12 @@ mod tests {
             .map(|_| {
                 let x = rng.random_range(0.0..1.0 - side);
                 let y = rng.random_range(0.0..1.0 - side);
-                Rect::new(x, y, x + rng.random_range(0.0..side), y + rng.random_range(0.0..side))
+                Rect::new(
+                    x,
+                    y,
+                    x + rng.random_range(0.0..side),
+                    y + rng.random_range(0.0..side),
+                )
             })
             .collect()
     }
@@ -373,7 +398,11 @@ mod tests {
     fn sample_size_boundaries() {
         assert_eq!(sample_size(1000, 10.0), 100);
         assert_eq!(sample_size(1000, 0.1), 1);
-        assert_eq!(sample_size(3, 0.1), 1, "non-empty datasets yield non-empty samples");
+        assert_eq!(
+            sample_size(3, 0.1),
+            1,
+            "non-empty datasets yield non-empty samples"
+        );
         assert_eq!(sample_size(1000, 100.0), 1000);
         assert_eq!(sample_size(0, 10.0), 0);
     }
@@ -386,8 +415,9 @@ mod tests {
 
     #[test]
     fn regular_sampling_takes_every_kth() {
-        let rects: Vec<Rect> =
-            (0..10).map(|i| Rect::from_point(Point::new(f64::from(i), 0.0))).collect();
+        let rects: Vec<Rect> = (0..10)
+            .map(|i| Rect::from_point(Point::new(f64::from(i), 0.0)))
+            .collect();
         let s = draw_sample(SamplingTechnique::Regular, &rects, 30.0, &Extent::unit(), 0);
         // n = 3, k = ceil(10/3) = 4 → indices 0, 4, 8.
         assert_eq!(s.len(), 3);
@@ -404,7 +434,13 @@ mod tests {
             assert_eq!(s.len(), 100, "{t:?} at 100% must return N items");
         }
         // RS at 100% is the identity.
-        let s = draw_sample(SamplingTechnique::Regular, &rects, 100.0, &Extent::unit(), 0);
+        let s = draw_sample(
+            SamplingTechnique::Regular,
+            &rects,
+            100.0,
+            &Extent::unit(),
+            0,
+        );
         assert_eq!(s, rects);
     }
 
@@ -412,9 +448,27 @@ mod tests {
     fn rswr_is_seed_deterministic_and_from_dataset() {
         let rects = uniform(50, 2, 0.1);
         let e = Extent::unit();
-        let a = draw_sample(SamplingTechnique::RandomWithReplacement, &rects, 20.0, &e, 9);
-        let b = draw_sample(SamplingTechnique::RandomWithReplacement, &rects, 20.0, &e, 9);
-        let c = draw_sample(SamplingTechnique::RandomWithReplacement, &rects, 20.0, &e, 10);
+        let a = draw_sample(
+            SamplingTechnique::RandomWithReplacement,
+            &rects,
+            20.0,
+            &e,
+            9,
+        );
+        let b = draw_sample(
+            SamplingTechnique::RandomWithReplacement,
+            &rects,
+            20.0,
+            &e,
+            9,
+        );
+        let c = draw_sample(
+            SamplingTechnique::RandomWithReplacement,
+            &rects,
+            20.0,
+            &e,
+            10,
+        );
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert!(a.iter().all(|r| rects.contains(r)));
@@ -429,7 +483,10 @@ mod tests {
             .iter()
             .map(|r| sj_hilbert::rect_key(sj_hilbert::DEFAULT_ORDER, &e, r))
             .collect();
-        assert!(keys.windows(2).all(|w| w[0] <= w[1]), "SS sample must be Hilbert-sorted");
+        assert!(
+            keys.windows(2).all(|w| w[0] <= w[1]),
+            "SS sample must be Hilbert-sorted"
+        );
         assert_eq!(s.len(), 20);
     }
 
@@ -520,7 +577,12 @@ mod extension_tests {
             .map(|_| {
                 let x = rng.random_range(0.0..1.0 - side);
                 let y = rng.random_range(0.0..1.0 - side);
-                Rect::new(x, y, x + rng.random_range(0.0..side), y + rng.random_range(0.0..side))
+                Rect::new(
+                    x,
+                    y,
+                    x + rng.random_range(0.0..side),
+                    y + rng.random_range(0.0..side),
+                )
             })
             .collect()
     }
@@ -529,8 +591,9 @@ mod extension_tests {
     fn rswor_has_no_duplicates() {
         // Distinct source rects => a without-replacement sample has no
         // repeated elements (RSWR would, at this 50% fraction).
-        let rects: Vec<Rect> =
-            (0..100).map(|i| Rect::from_point(Point::new(f64::from(i), 0.0))).collect();
+        let rects: Vec<Rect> = (0..100)
+            .map(|i| Rect::from_point(Point::new(f64::from(i), 0.0)))
+            .collect();
         let s = draw_sample(
             SamplingTechnique::RandomWithoutReplacement,
             &rects,
@@ -541,7 +604,10 @@ mod extension_tests {
         assert_eq!(s.len(), 50);
         let mut xs: Vec<f64> = s.iter().map(|r| r.xlo).collect();
         xs.sort_by(f64::total_cmp);
-        assert!(xs.windows(2).all(|w| w[0] != w[1]), "duplicates in RSWOR sample");
+        assert!(
+            xs.windows(2).all(|w| w[0] != w[1]),
+            "duplicates in RSWOR sample"
+        );
     }
 
     #[test]
@@ -610,7 +676,7 @@ mod extension_tests {
             let mut rng = StdRng::seed_from_u64(seed);
             (0..3000)
                 .map(|_| {
-                    let cluster = rng.random_range(0..3);
+                    let cluster = rng.random_range(0..3usize);
                     let (cx, cy) = [(0.2, 0.2), (0.5, 0.8), (0.85, 0.4)][cluster];
                     let x = (cx + rng.random_range(-0.06..0.06f64)).clamp(0.0, 0.99);
                     let y = (cy + rng.random_range(-0.06..0.06f64)).clamp(0.0, 0.99);
@@ -631,8 +697,7 @@ mod extension_tests {
                 })
                 .collect();
             let mean = estimates.iter().sum::<f64>() / estimates.len() as f64;
-            (estimates.iter().map(|e| (e - mean).powi(2)).sum::<f64>()
-                / estimates.len() as f64)
+            (estimates.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / estimates.len() as f64)
                 .sqrt()
                 / mean
         };

@@ -38,6 +38,32 @@ pub fn sweep_join_count(a: &[Rect], b: &[Rect]) -> u64 {
     n
 }
 
+/// Counts intersecting pairs like [`sweep_join_count`], splitting `a`
+/// into contiguous chunks swept against all of `b` on `threads` scoped
+/// worker threads. Pair counts are integers, so the result is exactly
+/// equal to the serial count for every thread count.
+///
+/// `threads <= 1` (or a small input) runs the serial [`sweep_join_count`]
+/// on the caller's thread.
+#[must_use]
+pub fn sweep_join_count_parallel(a: &[Rect], b: &[Rect], threads: usize) -> u64 {
+    let threads = threads.max(1).min(a.len().max(1));
+    if threads == 1 || a.len() < 2 * threads {
+        return sweep_join_count(a, b);
+    }
+    let chunk_len = a.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = a
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(move || sweep_join_count(chunk, b)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sweep worker panicked"))
+            .sum()
+    })
+}
+
 /// Visits every intersecting pair `(index_in_a, index_in_b)` exactly once.
 pub fn sweep_join_pairs<F: FnMut(usize, usize)>(a: &[Rect], b: &[Rect], mut emit: F) {
     if a.is_empty() || b.is_empty() {
@@ -139,6 +165,22 @@ mod tests {
     }
 
     #[test]
+    fn parallel_matches_serial_for_all_thread_counts() {
+        let a = random_rects(400, 31, 0.06);
+        let b = random_rects(350, 32, 0.09);
+        let serial = sweep_join_count(&a, &b);
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(
+                sweep_join_count_parallel(&a, &b, threads),
+                serial,
+                "threads={threads}"
+            );
+        }
+        assert_eq!(sweep_join_count_parallel(&[], &b, 4), 0);
+        assert_eq!(sweep_join_count_parallel(&a, &[], 4), 0);
+    }
+
+    #[test]
     fn sweep_is_symmetric() {
         let a = random_rects(300, 23, 0.1);
         let b = random_rects(300, 24, 0.02);
@@ -182,8 +224,9 @@ mod tests {
 
     #[test]
     fn point_datasets() {
-        let pts: Vec<Rect> =
-            (0..100).map(|i| Rect::new(f64::from(i), 0.0, f64::from(i), 0.0)).collect();
+        let pts: Vec<Rect> = (0..100)
+            .map(|i| Rect::new(f64::from(i), 0.0, f64::from(i), 0.0))
+            .collect();
         // A point set joined with itself: only coincident points pair.
         assert_eq!(sweep_join_count(&pts, &pts), 100);
         let sel = sweep_join_selectivity(&pts, &pts);

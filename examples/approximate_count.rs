@@ -30,7 +30,10 @@ fn main() {
     let t = Instant::now();
     let hs = GhHistogram::build(grid, &streams.rects);
     let hr = GhHistogram::build(grid, &roads.rects);
-    println!("built 2 GH histogram files (level 7) in {:.1?}\n", t.elapsed());
+    println!(
+        "built 2 GH histogram files (level 7) in {:.1?}\n",
+        t.elapsed()
+    );
 
     let windows = [
         ("whole state", Rect::new(0.0, 0.0, 1.0, 1.0)),
@@ -53,10 +56,18 @@ fn main() {
         // Exact: run the windowed join for comparison (pairs whose
         // intersection touches the window).
         let t = Instant::now();
-        let ws: Vec<Rect> =
-            streams.rects.iter().filter(|r| r.intersects(&win)).copied().collect();
-        let wr: Vec<Rect> =
-            roads.rects.iter().filter(|r| r.intersects(&win)).copied().collect();
+        let ws: Vec<Rect> = streams
+            .rects
+            .iter()
+            .filter(|r| r.intersects(&win))
+            .copied()
+            .collect();
+        let wr: Vec<Rect> = roads
+            .rects
+            .iter()
+            .filter(|r| r.intersects(&win))
+            .copied()
+            .collect();
         let mut exact = 0u64;
         sj_core::sweep_join_pairs(&ws, &wr, |i, j| {
             if let Some(overlap) = ws[i].intersection(&wr[j]) {

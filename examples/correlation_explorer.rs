@@ -15,9 +15,7 @@
 //! cargo run --release --example correlation_explorer
 //! ```
 
-use sj_core::{
-    parametric_selectivity, presets, Dataset, EstimatorKind, Extent, ParametricInputs,
-};
+use sj_core::{parametric_selectivity, presets, Dataset, EstimatorKind, Extent, ParametricInputs};
 
 fn inputs(ds: &Dataset) -> ParametricInputs {
     let s = ds.stats();
@@ -32,24 +30,26 @@ fn inputs(ds: &Dataset) -> ParametricInputs {
 fn main() {
     let scale = 0.05;
     let layers: Vec<Dataset> = vec![
-        presets::ts(scale),   // midwest streams
-        presets::tcb(scale),  // midwest census blocks (same geography as TS)
-        presets::cas(scale),  // california streams
-        presets::car(scale),  // california roads (same geography as CAS)
-        presets::sp(scale),   // sequoia points
-        presets::spg(scale),  // sequoia polygons (same geography as SP)
+        presets::ts(scale),  // midwest streams
+        presets::tcb(scale), // midwest census blocks (same geography as TS)
+        presets::cas(scale), // california streams
+        presets::car(scale), // california roads (same geography as CAS)
+        presets::sp(scale),  // sequoia points
+        presets::spg(scale), // sequoia polygons (same geography as SP)
     ];
 
     println!("pairwise spatial correlation scores (GH level 6):\n");
-    println!("{:<12} {:>14} {:>16} {:>12}", "pair", "GH estimate", "independence", "score");
+    println!(
+        "{:<12} {:>14} {:>16} {:>12}",
+        "pair", "GH estimate", "independence", "score"
+    );
 
     let mut scored: Vec<(String, f64)> = Vec::new();
     for i in 0..layers.len() {
         for j in (i + 1)..layers.len() {
             let (a, b) = (&layers[i], &layers[j]);
             let gh = EstimatorKind::Gh { level: 6 }.run(a, b);
-            let independent =
-                parametric_selectivity(&inputs(a), &inputs(b), Extent::unit().area());
+            let independent = parametric_selectivity(&inputs(a), &inputs(b), Extent::unit().area());
             let score = if independent > 0.0 {
                 gh.estimate.selectivity / independent
             } else {

@@ -7,8 +7,8 @@
 //! ```
 
 use sj_datagen::presets;
-use sj_query::{Catalog, ChainJoinQuery};
 use sj_geo::Rect;
+use sj_query::{Catalog, ChainJoinQuery};
 
 fn main() {
     let scale = 0.01;

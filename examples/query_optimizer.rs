@@ -30,8 +30,10 @@ fn main() {
     let extent = Extent::unit();
     let grid = Grid::new(6, extent).expect("level 6 within bounds");
     let t = Instant::now();
-    let histograms: Vec<GhHistogram> =
-        datasets.iter().map(|ds| GhHistogram::build(grid, &ds.rects)).collect();
+    let histograms: Vec<GhHistogram> = datasets
+        .iter()
+        .map(|ds| GhHistogram::build(grid, &ds.rects))
+        .collect();
     println!(
         "built {} GH histogram files (level 6) in {:.1?}\n",
         histograms.len(),
@@ -44,8 +46,7 @@ fn main() {
     for i in 0..datasets.len() {
         for j in (i + 1)..datasets.len() {
             let est = histograms[i].estimate(&histograms[j]).expect("shared grid");
-            let actual =
-                sj_core::sweep_join_count(&datasets[i].rects, &datasets[j].rects);
+            let actual = sj_core::sweep_join_count(&datasets[i].rects, &datasets[j].rects);
             let name = format!("{} ⋈ {}", datasets[i].name, datasets[j].name);
             println!("{name:<14} {:>16.0} {:>16}", est.pairs, actual);
             plans.push((name, est.pairs, actual));

@@ -4,8 +4,7 @@
 
 use sj_core::experiment::{fig6_rows, fig7_rows, JoinContext};
 use sj_core::{
-    presets, EstimatorKind, Extent, GhHistogram, Grid, JoinBaseline, PhHistogram,
-    SamplingTechnique,
+    presets, EstimatorKind, Extent, GhHistogram, Grid, JoinBaseline, PhHistogram, SamplingTechnique,
 };
 
 fn ctx() -> JoinContext {
@@ -62,9 +61,15 @@ fn fig6_rows_serialize_to_json() {
     let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
     assert_eq!(parsed.as_array().unwrap().len(), 27);
     let first = &parsed[0];
-    for key in
-        ["join", "technique", "combo", "estimated", "actual", "error_pct", "est_time_1_pct"]
-    {
+    for key in [
+        "join",
+        "technique",
+        "combo",
+        "estimated",
+        "actual",
+        "error_pct",
+        "est_time_1_pct",
+    ] {
         assert!(first.get(key).is_some(), "missing key {key}");
     }
 }
@@ -112,7 +117,10 @@ fn every_estimator_kind_produces_a_sane_report() {
         assert_eq!(r.estimator, kind.label());
         // No estimator should be catastrophically wrong on this join at
         // moderate settings (within 10× of truth).
-        if matches!(kind, EstimatorKind::Gh { level: 5 } | EstimatorKind::Ph { level: 5 }) {
+        if matches!(
+            kind,
+            EstimatorKind::Gh { level: 5 } | EstimatorKind::Ph { level: 5 }
+        ) {
             let err = sj_core::error_pct(r.estimate.selectivity, baseline.selectivity);
             assert!(err < 900.0, "{}: error {err:.0}%", r.estimator);
         }

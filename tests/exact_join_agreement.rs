@@ -18,7 +18,11 @@ fn rtree_join_equals_sweep_on_all_preset_joins() {
         let tb = RTree::bulk_load_str(RTreeConfig::default(), &b.rects);
         let rtree = sj_core::join_count(&ta, &tb);
         assert_eq!(rtree, sweep, "join backends disagree on {}", join.name());
-        assert!(sweep > 0, "{} should be non-empty at this scale", join.name());
+        assert!(
+            sweep > 0,
+            "{} should be non-empty at this scale",
+            join.name()
+        );
     }
 }
 
@@ -29,8 +33,16 @@ fn all_rtree_variants_agree() {
 
     let configs = [
         RTreeConfig::default(),
-        RTreeConfig { max_entries: 8, min_entries: 3, split: SplitAlgorithm::Linear },
-        RTreeConfig { max_entries: 16, min_entries: 4, split: SplitAlgorithm::Quadratic },
+        RTreeConfig {
+            max_entries: 8,
+            min_entries: 3,
+            split: SplitAlgorithm::Linear,
+        },
+        RTreeConfig {
+            max_entries: 16,
+            min_entries: 4,
+            split: SplitAlgorithm::Quadratic,
+        },
     ];
     for cfg in configs {
         let str_a = RTree::bulk_load_str(cfg, &a.rects);
@@ -67,7 +79,10 @@ fn join_pairs_ids_are_valid_and_unique() {
     assert_eq!(pairs.len(), n, "duplicate pairs emitted");
     for (i, j) in pairs {
         let (i, j) = (usize::try_from(i).unwrap(), usize::try_from(j).unwrap());
-        assert!(a.rects[i].intersects(&b.rects[j]), "emitted pair does not intersect");
+        assert!(
+            a.rects[i].intersects(&b.rects[j]),
+            "emitted pair does not intersect"
+        );
     }
 }
 
@@ -79,5 +94,9 @@ fn self_join_symmetry() {
     // A self join contains each item paired with itself, and the
     // off-diagonal pairs come in symmetric twos.
     assert!(n >= a.len() as u64);
-    assert_eq!((n - a.len() as u64) % 2, 0, "off-diagonal pairs must be symmetric");
+    assert_eq!(
+        (n - a.len() as u64) % 2,
+        0,
+        "off-diagonal pairs must be symmetric"
+    );
 }

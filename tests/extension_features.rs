@@ -11,7 +11,10 @@ use sj_core::{
 fn windowed_join_estimates_on_preset_data() {
     let (a, b) = presets::PaperJoin::CasCar.datasets(0.02);
     let grid = Grid::new(6, Extent::unit()).unwrap();
-    let (ha, hb) = (GhHistogram::build(grid, &a.rects), GhHistogram::build(grid, &b.rects));
+    let (ha, hb) = (
+        GhHistogram::build(grid, &a.rects),
+        GhHistogram::build(grid, &b.rects),
+    );
     let window = Rect::new(0.2, 0.2, 0.8, 0.8);
     let est = ha.estimate_pairs_in_window(&hb, &window).unwrap();
     // Exact: pairs whose intersection touches the window.
@@ -25,7 +28,10 @@ fn windowed_join_estimates_on_preset_data() {
     });
     assert!(exact > 0);
     let err = error_pct(est, exact as f64);
-    assert!(err < 20.0, "windowed estimate err {err:.1}% (est {est:.0} vs {exact})");
+    assert!(
+        err < 20.0,
+        "windowed estimate err {err:.1}% (est {est:.0} vs {exact})"
+    );
 }
 
 #[test]
@@ -47,7 +53,10 @@ fn gh_and_euler_range_counts_agree_on_presets() {
         let euler_err = error_pct(euler.count_in_window(&win) as f64, exact);
         assert!(gh_err < 10.0, "GH range count err {gh_err:.1}% on {win:?}");
         // Euler only overcounts at boundary-cell resolution.
-        assert!(euler_err < 10.0, "Euler range count err {euler_err:.1}% on {win:?}");
+        assert!(
+            euler_err < 10.0,
+            "Euler range count err {euler_err:.1}% on {win:?}"
+        );
     }
 }
 

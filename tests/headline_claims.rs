@@ -77,8 +77,9 @@ fn ph_has_a_sweet_spot_then_degrades_or_stalls() {
     // multiple counting pushes it back up at higher levels. Assert the
     // weaker invariant that PH's best level beats both extremes.
     let ctx = prepared(presets::PaperJoin::TsTcb, 0.05);
-    let errs: Vec<f64> =
-        (0..=8).map(|l| fig7_row(&ctx, HistogramScheme::Ph, l).error_pct).collect();
+    let errs: Vec<f64> = (0..=8)
+        .map(|l| fig7_row(&ctx, HistogramScheme::Ph, l).error_pct)
+        .collect();
     let best = errs.iter().cloned().fold(f64::INFINITY, f64::min);
     assert!(
         best < errs[0],
@@ -165,5 +166,8 @@ fn sorted_sampling_pays_a_drawing_premium() {
 fn full_dataset_combos_are_exact_for_deterministic_techniques() {
     let ctx = prepared(presets::PaperJoin::SpSpg, 0.02);
     let row = fig6_row(&ctx, SamplingTechnique::Regular, 100.0, 100.0);
-    assert!(row.error_pct < 1e-9, "RS 100/100 must reproduce the exact join");
+    assert!(
+        row.error_pct < 1e-9,
+        "RS 100/100 must reproduce the exact join"
+    );
 }

@@ -56,7 +56,12 @@ fn generation_is_deterministic_across_calls() {
         let (a1, b1) = join.datasets(0.005);
         let (a2, b2) = join.datasets(0.005);
         assert_eq!(a1.rects, a2.rects, "{} left not deterministic", join.name());
-        assert_eq!(b1.rects, b2.rects, "{} right not deterministic", join.name());
+        assert_eq!(
+            b1.rects,
+            b2.rects,
+            "{} right not deterministic",
+            join.name()
+        );
     }
 }
 
@@ -105,10 +110,17 @@ fn scrc_is_clustered_sura_is_uniform() {
     let (scrc, sura) = presets::PaperJoin::ScrcSura.datasets(0.05);
     let center = sj_core::Point::new(0.4, 0.7);
     let near = |ds: &Dataset| {
-        ds.rects.iter().filter(|r| r.center().distance(&center) < 0.25).count() as f64
+        ds.rects
+            .iter()
+            .filter(|r| r.center().distance(&center) < 0.25)
+            .count() as f64
             / ds.len() as f64
     };
-    assert!(near(&scrc) > 0.85, "SCRC mass near (0.4,0.7): {:.2}", near(&scrc));
+    assert!(
+        near(&scrc) > 0.85,
+        "SCRC mass near (0.4,0.7): {:.2}",
+        near(&scrc)
+    );
     // The disc of radius 0.25 has area π/16 ≈ 0.196 (clipped at borders
     // slightly less); uniform mass inside ≈ its area share.
     let sura_near = near(&sura);
@@ -127,7 +139,11 @@ fn joined_pairs_overlap_spatially() {
         // Sanity on the magnitude: selectivity far below 1 (the joins are
         // sparse in the paper too).
         let sel = pairs as f64 / (a.len() as f64 * b.len() as f64);
-        assert!(sel < 0.05, "{}: selectivity suspiciously high: {sel}", join.name());
+        assert!(
+            sel < 0.05,
+            "{}: selectivity suspiciously high: {sel}",
+            join.name()
+        );
     }
 }
 

@@ -72,7 +72,9 @@ fn star_query_on_presets() {
 fn windowed_query_only_returns_window_tuples() {
     let c = preset_catalog();
     let w = Rect::new(0.1, 0.1, 0.5, 0.5);
-    let plan = c.plan(&ChainJoinQuery::new(["TS", "TCB"]).within(w)).unwrap();
+    let plan = c
+        .plan(&ChainJoinQuery::new(["TS", "TCB"]).within(w))
+        .unwrap();
     let result = plan.execute(&c).unwrap();
     let (da, db) = (c.dataset("TS").unwrap(), c.dataset("TCB").unwrap());
     assert!(!result.tuples.is_empty());
@@ -90,10 +92,7 @@ fn statistics_survive_a_catalog_rebuild() {
     let e1 = c1.estimate_join_pairs("TS", "TCB").unwrap();
 
     let mut c2 = Catalog::with_level(6);
-    for (name, ds) in [
-        ("TS", presets::ts(0.01)),
-        ("TCB", presets::tcb(0.01)),
-    ] {
+    for (name, ds) in [("TS", presets::ts(0.01)), ("TCB", presets::tcb(0.01))] {
         let bytes = std::fs::read(dir.join(format!("{name}.gh"))).unwrap();
         c2.register_with_statistics(ds, &bytes).unwrap();
     }
