@@ -220,7 +220,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::RngExt as _;
 
-    /// A size specification for [`vec`]: an exact length or a half-open
+    /// A size specification for [`vec()`]: an exact length or a half-open
     /// range of lengths.
     pub trait SizeRange {
         /// The inclusive lower and exclusive upper length bound.
@@ -239,7 +239,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         min: usize,

@@ -52,10 +52,17 @@ fn bench_join_scaling(c: &mut Criterion) {
         a.rects.len(),
         b.rects.len(),
     );
-    if cores < 4 {
+    // The 2x gate is only meaningful on hosts that can actually run four
+    // workers, and only at full scale — soft-skip (warn) otherwise.
+    if cores >= 4 && !smoke {
+        assert!(
+            speedup >= 2.0,
+            "join_scaling/speedup: expected >= 2x at 4 threads on a {cores}-core host, got {speedup:.2}x"
+        );
+    } else {
         println!(
-            "join_scaling/speedup: note: host exposes only {cores} core(s); \
-             the 4-thread speedup is only meaningful on >= 4 cores"
+            "join_scaling/speedup: skipping the 2x acceptance gate \
+             ({cores} host core(s), smoke={smoke}); measured {speedup:.2}x"
         );
     }
 }

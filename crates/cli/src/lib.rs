@@ -6,10 +6,15 @@
 //!   the paper's datasets (ts, tcb, cas, car, sp, spg, scrc, sura).
 //! * `stats FILE.csv` — cardinality, coverage, average extents.
 //! * `build-histogram FILE.csv --level L --out FILE.hist
-//!   [--scheme gh|gh-basic|ph] [--extent x0,y0,x1,y1]` — build and persist
-//!   a histogram file.
+//!   [--kind ph|gh-basic|gh|euler] [--shards N] [--extent x0,y0,x1,y1]` —
+//!   build and persist a histogram file of any family (`--scheme` is an
+//!   alias for `--kind`); with `--shards N` the input is split into N
+//!   rectangle ranges built independently and merged, byte-identical to
+//!   the direct build.
+//! * `merge-histogram A.hist B.hist [...] --out FILE.hist` — merge
+//!   histogram files of the same kind and grid into one.
 //! * `estimate A.hist B.hist` — estimate the join selectivity from two
-//!   histogram files (schemes must match; grids must be compatible).
+//!   histogram files (kinds must match; grids must be compatible).
 //! * `exact-join A.csv B.csv [--backend rtree|sweep]` — run the exact
 //!   filter-step join.
 //! * `window-count FILE.hist --window x0,y0,x1,y1` — estimate how many
@@ -22,8 +27,9 @@
 #![warn(missing_docs)]
 
 use sj_core::{
-    presets, Dataset, Extent, GhBasicHistogram, GhHistogram, Grid, JoinBaseline, Parallelism,
-    PhHistogram, RTreeConfig, Rect,
+    build_histogram_parallel, build_histogram_sharded, load_histogram, presets, Dataset,
+    EulerHistogram, Extent, GhBasicHistogram, GhHistogram, Grid, HistogramKind, JoinBaseline,
+    Parallelism, PhHistogram, RTreeConfig, Rect, SpatialHistogram,
 };
 use std::fmt::Write as _;
 use std::path::Path;
@@ -66,6 +72,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "generate" => cmd_generate(rest),
         "stats" => cmd_stats(rest),
         "build-histogram" => cmd_build_histogram(rest),
+        "merge-histogram" => cmd_merge_histogram(rest),
         "estimate" => cmd_estimate(rest),
         "exact-join" => cmd_exact_join(rest),
         "window-count" => cmd_window_count(rest),
@@ -84,7 +91,9 @@ USAGE:
   sjsel generate <ts|tcb|cas|car|sp|spg|scrc|sura> [--scale F] --out FILE.{csv|bin}
   sjsel stats FILE.csv
   sjsel build-histogram FILE.csv --level L --out FILE.hist
-        [--scheme gh|gh-basic|ph] [--sparse] [--extent x0,y0,x1,y1] [--threads N]
+        [--kind ph|gh-basic|gh|euler] [--shards N] [--sparse]
+        [--extent x0,y0,x1,y1] [--threads N]
+  sjsel merge-histogram A.hist B.hist [MORE.hist ...] --out FILE.hist
   sjsel estimate A.hist B.hist
   sjsel exact-join A.csv B.csv [--backend rtree|sweep] [--threads N]
   sjsel window-count FILE.hist --window x0,y0,x1,y1
@@ -198,6 +207,16 @@ fn cmd_stats(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Human-facing label for a histogram family.
+fn kind_label(kind: HistogramKind) -> &'static str {
+    match kind {
+        HistogramKind::Ph => "PH",
+        HistogramKind::GhBasic => "GH-basic",
+        HistogramKind::Gh => "GH",
+        HistogramKind::Euler => "Euler",
+    }
+}
+
 fn cmd_build_histogram(args: &[String]) -> Result<String, CliError> {
     let mut args = args.to_vec();
     let level: u32 = take_flag(&mut args, "--level")?
@@ -206,7 +225,24 @@ fn cmd_build_histogram(args: &[String]) -> Result<String, CliError> {
         .map_err(|e| CliError::usage(format!("bad --level: {e}")))?;
     let out = take_flag(&mut args, "--out")?
         .ok_or_else(|| CliError::usage("build-histogram requires --out"))?;
-    let scheme = take_flag(&mut args, "--scheme")?.unwrap_or_else(|| "gh".to_string());
+    // --kind is the canonical flag; --scheme is kept as an alias.
+    let kind_name = match (
+        take_flag(&mut args, "--kind")?,
+        take_flag(&mut args, "--scheme")?,
+    ) {
+        (Some(k), _) => k,
+        (None, Some(s)) => s,
+        (None, None) => "gh".to_string(),
+    };
+    let kind: HistogramKind = kind_name.parse().map_err(|_| {
+        CliError::usage(format!(
+            "unknown kind {kind_name:?} (expected ph, gh-basic, gh or euler)"
+        ))
+    })?;
+    let shards: usize = take_flag(&mut args, "--shards")?.map_or(Ok(0), |s| {
+        s.parse()
+            .map_err(|e| CliError::usage(format!("bad --shards: {e}")))
+    })?;
     let par = take_threads(&mut args)?;
     let sparse = args.iter().any(|a| a == "--sparse");
     args.retain(|a| a != "--sparse");
@@ -219,32 +255,28 @@ fn cmd_build_histogram(args: &[String]) -> Result<String, CliError> {
             "build-histogram takes exactly one CSV path",
         ));
     };
+    if sparse && kind != HistogramKind::Gh {
+        return Err(CliError::usage("--sparse is only supported for --kind gh"));
+    }
     let ds = load_dataset(path)?;
     let grid = Grid::new(level, extent).map_err(|e| CliError::usage(format!("bad grid: {e}")))?;
-    let threads = par.threads();
-    let (bytes, label) = match scheme.as_str() {
-        "gh" if sparse => (
-            GhHistogram::build_parallel(grid, &ds.rects, threads).to_sparse_bytes(),
-            "GH (sparse)",
-        ),
-        _ if sparse => {
-            return Err(CliError::usage(
-                "--sparse is only supported for --scheme gh",
-            ))
-        }
-        "gh" => (
-            GhHistogram::build_parallel(grid, &ds.rects, threads).to_bytes(),
-            "GH",
-        ),
-        "gh-basic" => (
-            GhBasicHistogram::build_parallel(grid, &ds.rects, threads).to_bytes(),
-            "GH-basic",
-        ),
-        "ph" => (
-            PhHistogram::build_parallel(grid, &ds.rects, threads).to_bytes(),
-            "PH",
-        ),
-        other => return Err(CliError::usage(format!("unknown scheme {other:?}"))),
+    // Shard-and-merge and direct builds are byte-identical, so --shards
+    // is purely a demonstration/testing knob for the merge path.
+    let hist = if shards > 1 {
+        let chunk = ds.rects.len().div_ceil(shards).max(1);
+        let pieces: Vec<&[Rect]> = ds.rects.chunks(chunk).collect();
+        build_histogram_sharded(kind, grid, &pieces)
+    } else {
+        build_histogram_parallel(kind, grid, &ds.rects, par.threads())
+    };
+    let (bytes, label) = if sparse {
+        let gh = hist
+            .as_any()
+            .downcast_ref::<GhHistogram>()
+            .expect("kind checked above");
+        (gh.to_sparse_bytes(), "GH (sparse)".to_string())
+    } else {
+        (hist.persist(), kind_label(kind).to_string())
     };
     std::fs::write(&out, &bytes)
         .map_err(|e| CliError::runtime(format!("failed to write {out}: {e}")))?;
@@ -255,8 +287,32 @@ fn cmd_build_histogram(args: &[String]) -> Result<String, CliError> {
     ))
 }
 
-/// Loads any of the three histogram formats, returning an estimate
-/// closure keyed by the magic number.
+/// Decodes a histogram file: the versioned envelope of any kind, or one
+/// of the legacy bare formats (dense/sparse GH, GH-basic, PH, Euler),
+/// distinguished by their magic numbers.
+fn decode_histogram(bytes: &[u8]) -> Result<Box<dyn SpatialHistogram>, CliError> {
+    if let Ok(h) = load_histogram(bytes) {
+        return Ok(h);
+    }
+    if let Ok(h) = GhHistogram::from_bytes(bytes).or_else(|_| GhHistogram::from_sparse_bytes(bytes))
+    {
+        return Ok(Box::new(h));
+    }
+    if let Ok(h) = GhBasicHistogram::from_bytes(bytes) {
+        return Ok(Box::new(h));
+    }
+    if let Ok(h) = PhHistogram::from_bytes(bytes) {
+        return Ok(Box::new(h));
+    }
+    if let Ok(h) = EulerHistogram::from_bytes(bytes) {
+        return Ok(Box::new(h));
+    }
+    Err(CliError::runtime(
+        "could not decode histogram file with any common scheme (gh, gh-basic, ph, euler)"
+            .to_string(),
+    ))
+}
+
 fn cmd_estimate(args: &[String]) -> Result<String, CliError> {
     let [a_path, b_path] = args else {
         return Err(CliError::usage(
@@ -266,34 +322,51 @@ fn cmd_estimate(args: &[String]) -> Result<String, CliError> {
     let read = |p: &String| {
         std::fs::read(p).map_err(|e| CliError::runtime(format!("failed to read {p}: {e}")))
     };
-    let (a_bytes, b_bytes) = (read(a_path)?, read(b_path)?);
-
-    // Dense or sparse GH files mix freely; the in-memory form is shared.
-    let gh = |bytes: &[u8]| {
-        GhHistogram::from_bytes(bytes).or_else(|_| GhHistogram::from_sparse_bytes(bytes))
-    };
-    let est = if let (Ok(a), Ok(b)) = (gh(&a_bytes), gh(&b_bytes)) {
-        a.estimate(&b)
-    } else if let (Ok(a), Ok(b)) = (
-        GhBasicHistogram::from_bytes(&a_bytes),
-        GhBasicHistogram::from_bytes(&b_bytes),
-    ) {
-        a.estimate(&b)
-    } else if let (Ok(a), Ok(b)) = (
-        PhHistogram::from_bytes(&a_bytes),
-        PhHistogram::from_bytes(&b_bytes),
-    ) {
-        a.estimate(&b)
-    } else {
-        return Err(CliError::runtime(
-            "could not decode both files with a common scheme (gh, gh-basic, ph)".to_string(),
-        ));
-    }
-    .map_err(|e| CliError::runtime(format!("estimation failed: {e}")))?;
+    let (a, b) = (
+        decode_histogram(&read(a_path)?)?,
+        decode_histogram(&read(b_path)?)?,
+    );
+    let est = a
+        .estimate_join(b.as_ref())
+        .map_err(|e| CliError::runtime(format!("estimation failed: {e}")))?;
 
     Ok(format!(
         "selectivity {:.6e}\nestimated pairs {:.0}",
         est.selectivity, est.pairs
+    ))
+}
+
+fn cmd_merge_histogram(args: &[String]) -> Result<String, CliError> {
+    let mut args = args.to_vec();
+    let out = take_flag(&mut args, "--out")?
+        .ok_or_else(|| CliError::usage("merge-histogram requires --out"))?;
+    if args.len() < 2 {
+        return Err(CliError::usage(
+            "merge-histogram takes at least two histogram paths",
+        ));
+    }
+    let mut acc: Option<Box<dyn SpatialHistogram>> = None;
+    for path in &args {
+        let bytes = std::fs::read(path)
+            .map_err(|e| CliError::runtime(format!("failed to read {path}: {e}")))?;
+        let h = decode_histogram(&bytes)?;
+        match acc.as_mut() {
+            None => acc = Some(h),
+            Some(a) => a
+                .merge(h.as_ref())
+                .map_err(|e| CliError::runtime(format!("cannot merge {path}: {e}")))?,
+        }
+    }
+    let acc = acc.expect("checked at least two inputs above");
+    let bytes = acc.persist();
+    std::fs::write(&out, &bytes)
+        .map_err(|e| CliError::runtime(format!("failed to write {out}: {e}")))?;
+    Ok(format!(
+        "merged {} {} histograms ({} objects, {} bytes) -> {out}",
+        args.len(),
+        kind_label(acc.kind()),
+        acc.dataset_len(),
+        bytes.len()
     ))
 }
 
@@ -333,12 +406,16 @@ fn cmd_window_count(args: &[String]) -> Result<String, CliError> {
     };
     let bytes = std::fs::read(path)
         .map_err(|e| CliError::runtime(format!("failed to read {path}: {e}")))?;
-    let h = GhHistogram::from_bytes(&bytes)
-        .or_else(|_| GhHistogram::from_sparse_bytes(&bytes))
-        .map_err(|e| CliError::runtime(format!("not a GH histogram file: {e}")))?;
+    let h = decode_histogram(&bytes)?;
+    let gh = h.as_any().downcast_ref::<GhHistogram>().ok_or_else(|| {
+        CliError::runtime(format!(
+            "not a GH histogram file (found kind {})",
+            kind_label(h.kind())
+        ))
+    })?;
     Ok(format!(
         "estimated objects intersecting window: {:.0}",
-        h.estimate_window_count(&window)
+        gh.estimate_window_count(&window)
     ))
 }
 
@@ -517,6 +594,165 @@ mod tests {
     fn parse_rect_accepts_whitespace() {
         let r = parse_rect("0.1, 0.2, 0.5, 0.6").unwrap();
         assert_eq!(r, Rect::new(0.1, 0.2, 0.5, 0.6));
+    }
+
+    #[test]
+    fn every_kind_builds_and_estimates() {
+        let csv = tmp("kinds.csv");
+        run(&argv(&[
+            "generate", "scrc", "--scale", "0.005", "--out", &csv,
+        ]))
+        .unwrap();
+        for kind in ["ph", "gh-basic", "gh", "euler"] {
+            let hist = tmp(&format!("kinds_{kind}.hist"));
+            let out = run(&argv(&[
+                "build-histogram",
+                &csv,
+                "--level",
+                "4",
+                "--kind",
+                kind,
+                "--out",
+                &hist,
+            ]))
+            .unwrap();
+            assert!(out.contains("built"), "{out}");
+            let est = run(&argv(&["estimate", &hist, &hist])).unwrap();
+            assert!(est.contains("selectivity"), "{kind}: {est}");
+        }
+        let err = run(&argv(&[
+            "build-histogram",
+            &csv,
+            "--level",
+            "4",
+            "--kind",
+            "voronoi",
+            "--out",
+            &tmp("nope.hist"),
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, 2);
+    }
+
+    #[test]
+    fn sharded_build_writes_identical_file() {
+        let csv = tmp("shards.csv");
+        run(&argv(&[
+            "generate", "sura", "--scale", "0.01", "--out", &csv,
+        ]))
+        .unwrap();
+        for kind in ["ph", "gh-basic", "gh", "euler"] {
+            let direct = tmp(&format!("shards_{kind}_direct.hist"));
+            let merged = tmp(&format!("shards_{kind}_merged.hist"));
+            run(&argv(&[
+                "build-histogram",
+                &csv,
+                "--level",
+                "4",
+                "--kind",
+                kind,
+                "--out",
+                &direct,
+            ]))
+            .unwrap();
+            run(&argv(&[
+                "build-histogram",
+                &csv,
+                "--level",
+                "4",
+                "--kind",
+                kind,
+                "--shards",
+                "5",
+                "--out",
+                &merged,
+            ]))
+            .unwrap();
+            assert_eq!(
+                std::fs::read(&direct).unwrap(),
+                std::fs::read(&merged).unwrap(),
+                "{kind}: --shards must produce a byte-identical file"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_histogram_command() {
+        let csv = tmp("mh.csv");
+        run(&argv(&[
+            "generate", "scrc", "--scale", "0.005", "--out", &csv,
+        ]))
+        .unwrap();
+        let hist = tmp("mh.hist");
+        run(&argv(&[
+            "build-histogram",
+            &csv,
+            "--level",
+            "4",
+            "--out",
+            &hist,
+        ]))
+        .unwrap();
+        // Merging a histogram with itself doubles the object count.
+        let merged = tmp("mh_merged.hist");
+        let out = run(&argv(&["merge-histogram", &hist, &hist, "--out", &merged])).unwrap();
+        assert!(out.contains("merged 2 GH histograms"), "{out}");
+        assert!(out.contains("1000 objects"), "{out}");
+        let est = run(&argv(&["estimate", &merged, &hist])).unwrap();
+        assert!(est.contains("selectivity"), "{est}");
+
+        // Mixed kinds refuse to merge.
+        let ph = tmp("mh_ph.hist");
+        run(&argv(&[
+            "build-histogram",
+            &csv,
+            "--level",
+            "4",
+            "--kind",
+            "ph",
+            "--out",
+            &ph,
+        ]))
+        .unwrap();
+        let err = run(&argv(&["merge-histogram", &hist, &ph, "--out", &merged])).unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(err.message.contains("common scheme"), "{}", err.message);
+
+        // Fewer than two inputs is a usage error.
+        assert_eq!(
+            run(&argv(&["merge-histogram", &hist, "--out", &merged]))
+                .unwrap_err()
+                .code,
+            2
+        );
+    }
+
+    #[test]
+    fn window_count_rejects_non_gh_kinds() {
+        let csv = tmp("wc_euler.csv");
+        run(&argv(&[
+            "generate", "sura", "--scale", "0.005", "--out", &csv,
+        ]))
+        .unwrap();
+        let hist = tmp("wc_euler.hist");
+        run(&argv(&[
+            "build-histogram",
+            &csv,
+            "--level",
+            "4",
+            "--kind",
+            "euler",
+            "--out",
+            &hist,
+        ]))
+        .unwrap();
+        let err = run(&argv(&["window-count", &hist, "--window", "0,0,0.5,0.5"])).unwrap_err();
+        assert_eq!(err.code, 1);
+        assert!(
+            err.message.contains("not a GH histogram"),
+            "{}",
+            err.message
+        );
     }
 }
 

@@ -3,7 +3,8 @@
 use crate::{Dataset, Extent, Parallelism};
 use serde::Serialize;
 use sj_histogram::{
-    parametric_selectivity, GhBasicHistogram, GhHistogram, Grid, ParametricInputs, PhHistogram,
+    build_histogram_parallel, parametric_selectivity, Grid, HistogramKind, ParametricInputs,
+    SelectivityEstimate,
 };
 use sj_sampling::{JoinBackend, SamplingEstimator, SamplingTechnique};
 use std::time::{Duration, Instant};
@@ -58,6 +59,12 @@ pub enum EstimatorKind {
         /// Gridding level `h`.
         level: u32,
     },
+    /// Euler histogram (exact block-intersection counting at cell
+    /// resolution; extension beyond the paper).
+    Euler {
+        /// Gridding level `h`.
+        level: u32,
+    },
     /// Sampling with the given technique and per-side sample percentages.
     Sampling {
         /// RS, RSWR or SS.
@@ -82,6 +89,7 @@ impl EstimatorKind {
             EstimatorKind::Ph { level } => format!("PH(level={level})"),
             EstimatorKind::GhBasic { level } => format!("GH-basic(level={level})"),
             EstimatorKind::Gh { level } => format!("GH(level={level})"),
+            EstimatorKind::Euler { level } => format!("Euler(level={level})"),
             EstimatorKind::Sampling {
                 technique,
                 percent_left,
@@ -89,6 +97,19 @@ impl EstimatorKind {
             } => {
                 format!("{}({percent_left}%/{percent_right}%)", technique.name())
             }
+        }
+    }
+
+    /// The histogram family and grid level behind this estimator, when it
+    /// is histogram-based (`None` for the parametric model and sampling).
+    #[must_use]
+    pub fn histogram_config(&self) -> Option<(HistogramKind, u32)> {
+        match *self {
+            EstimatorKind::Ph { level } => Some((HistogramKind::Ph, level)),
+            EstimatorKind::GhBasic { level } => Some((HistogramKind::GhBasic, level)),
+            EstimatorKind::Gh { level } => Some((HistogramKind::Gh, level)),
+            EstimatorKind::Euler { level } => Some((HistogramKind::Euler, level)),
+            EstimatorKind::Parametric | EstimatorKind::Sampling { .. } => None,
         }
     }
 
@@ -138,6 +159,27 @@ impl EstimatorKind {
         par: Parallelism,
     ) -> EstimationReport {
         let threads = par.threads();
+        // Every histogram family goes through the one SpatialHistogram
+        // code path; the families only differ by the boxed builder.
+        if let Some((kind, level)) = self.histogram_config() {
+            let grid = Grid::new(level, *extent).expect("level within Grid::MAX_LEVEL");
+            let t0 = Instant::now();
+            let ha = build_histogram_parallel(kind, grid, &left.rects, threads);
+            let hb = build_histogram_parallel(kind, grid, &right.rects, threads);
+            let build_time = t0.elapsed();
+            let t1 = Instant::now();
+            let est = ha
+                .estimate_join(hb.as_ref())
+                .expect("same kind and grid by construction");
+            let estimate_time = t1.elapsed();
+            return EstimationReport {
+                estimator: self.label(),
+                estimate: est.into(),
+                build_time,
+                estimate_time,
+                space_bytes: ha.space_bytes() + hb.space_bytes(),
+            };
+        }
         match *self {
             EstimatorKind::Parametric => {
                 let t0 = Instant::now();
@@ -164,65 +206,11 @@ impl EstimatorKind {
                     space_bytes: 2 * 32,
                 }
             }
-            EstimatorKind::Ph { level } => {
-                let grid = Grid::new(level, *extent).expect("level within Grid::MAX_LEVEL");
-                let t0 = Instant::now();
-                let ha = PhHistogram::build_parallel(grid, &left.rects, threads);
-                let hb = PhHistogram::build_parallel(grid, &right.rects, threads);
-                let build_time = t0.elapsed();
-                let t1 = Instant::now();
-                let est = ha.estimate(&hb).expect("same grid by construction");
-                let estimate_time = t1.elapsed();
-                EstimationReport {
-                    estimator: self.label(),
-                    estimate: Estimate {
-                        selectivity: est.selectivity,
-                        pairs: est.pairs,
-                    },
-                    build_time,
-                    estimate_time,
-                    space_bytes: ha.size_bytes() + hb.size_bytes(),
-                }
-            }
-            EstimatorKind::GhBasic { level } => {
-                let grid = Grid::new(level, *extent).expect("level within Grid::MAX_LEVEL");
-                let t0 = Instant::now();
-                let ha = GhBasicHistogram::build_parallel(grid, &left.rects, threads);
-                let hb = GhBasicHistogram::build_parallel(grid, &right.rects, threads);
-                let build_time = t0.elapsed();
-                let t1 = Instant::now();
-                let est = ha.estimate(&hb).expect("same grid by construction");
-                let estimate_time = t1.elapsed();
-                EstimationReport {
-                    estimator: self.label(),
-                    estimate: Estimate {
-                        selectivity: est.selectivity,
-                        pairs: est.pairs,
-                    },
-                    build_time,
-                    estimate_time,
-                    space_bytes: ha.size_bytes() + hb.size_bytes(),
-                }
-            }
-            EstimatorKind::Gh { level } => {
-                let grid = Grid::new(level, *extent).expect("level within Grid::MAX_LEVEL");
-                let t0 = Instant::now();
-                let ha = GhHistogram::build_parallel(grid, &left.rects, threads);
-                let hb = GhHistogram::build_parallel(grid, &right.rects, threads);
-                let build_time = t0.elapsed();
-                let t1 = Instant::now();
-                let est = ha.estimate(&hb).expect("same grid by construction");
-                let estimate_time = t1.elapsed();
-                EstimationReport {
-                    estimator: self.label(),
-                    estimate: Estimate {
-                        selectivity: est.selectivity,
-                        pairs: est.pairs,
-                    },
-                    build_time,
-                    estimate_time,
-                    space_bytes: ha.size_bytes() + hb.size_bytes(),
-                }
+            EstimatorKind::Ph { .. }
+            | EstimatorKind::GhBasic { .. }
+            | EstimatorKind::Gh { .. }
+            | EstimatorKind::Euler { .. } => {
+                unreachable!("histogram kinds are handled by the trait path above")
             }
             EstimatorKind::Sampling {
                 technique,
@@ -251,12 +239,20 @@ impl EstimatorKind {
 
 impl Estimate {
     /// Builds an estimate from a raw selectivity and cardinalities.
+    /// Delegates to [`SelectivityEstimate::from_selectivity`] so the
+    /// clamping convention lives in exactly one place.
     #[must_use]
     pub fn from_selectivity(raw: f64, n1: usize, n2: usize) -> Self {
-        let selectivity = raw.clamp(0.0, 1.0);
-        #[allow(clippy::cast_precision_loss)]
-        let pairs = selectivity * n1 as f64 * n2 as f64;
-        Self { selectivity, pairs }
+        SelectivityEstimate::from_selectivity(raw, n1, n2).into()
+    }
+}
+
+impl From<SelectivityEstimate> for Estimate {
+    fn from(est: SelectivityEstimate) -> Self {
+        Self {
+            selectivity: est.selectivity,
+            pairs: est.pairs,
+        }
     }
 }
 
@@ -280,6 +276,7 @@ mod tests {
             EstimatorKind::GhBasic { level: 3 }.label(),
             "GH-basic(level=3)"
         );
+        assert_eq!(EstimatorKind::Euler { level: 4 }.label(), "Euler(level=4)");
         let s = EstimatorKind::Sampling {
             technique: SamplingTechnique::RandomWithReplacement,
             percent_left: 10.0,
@@ -298,6 +295,7 @@ mod tests {
             EstimatorKind::Ph { level: 4 },
             EstimatorKind::GhBasic { level: 4 },
             EstimatorKind::Gh { level: 4 },
+            EstimatorKind::Euler { level: 4 },
             EstimatorKind::Sampling {
                 technique: SamplingTechnique::Regular,
                 percent_left: 10.0,

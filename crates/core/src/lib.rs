@@ -55,8 +55,10 @@ pub use parallel::{parallel_map, Parallelism};
 pub use sj_datagen::{presets, Dataset, DatasetStats, Generator, SizeModel};
 pub use sj_geo::{Extent, Point, Rect};
 pub use sj_histogram::{
-    parametric_selectivity, EulerHistogram, GhBasicHistogram, GhHistogram, Grid, HistogramError,
-    ParametricInputs, PhHistogram, SelectivityEstimate,
+    build_histogram, build_histogram_parallel, build_histogram_sharded, load_histogram,
+    load_histogram_json, parametric_selectivity, EulerHistogram, GhBasicHistogram, GhHistogram,
+    Grid, HistogramError, HistogramKind, ParametricInputs, PhHistogram, SelectivityEstimate,
+    SpatialHistogram,
 };
 pub use sj_rtree::{
     join_count, join_count_parallel, join_pairs, mindist, RTree, RTreeConfig, SplitAlgorithm,

@@ -1,4 +1,5 @@
-//! Row-band work partitioning for the parallel histogram builds.
+//! Row-band work partitioning and the generic shard-and-merge build
+//! driver shared by all four histogram families.
 //!
 //! All four histogram schemes accumulate per-cell statistics into
 //! row-major arrays, and every contribution a rectangle makes lands in a
@@ -6,12 +7,51 @@
 //! its edges pass through). Splitting the grid rows into contiguous
 //! *bands* — one per worker thread — therefore partitions the work with
 //! no shared mutable state: each worker scans the full rectangle list in
-//! order, applies only the contributions whose row falls in its band,
-//! and writes into a band-local array. Each cell still receives its
-//! contributions in rectangle order, so concatenating the bands
-//! reproduces the serial build *bit-for-bit* — including the
-//! order-sensitive `f64` sums — for every thread count. The serial build
-//! is just the single-band case of the same code path.
+//! order and applies only the contributions whose row falls in its band.
+//! Scalar statistics (cardinality, span sums) are attributed to the band
+//! owning the rectangle's bottom row, so the band builds partition *all*
+//! statistics of the serial build.
+//!
+//! Because every per-cell statistic is accumulated exactly (integers, or
+//! [`crate::mass::Mass`] fixed point), merging the band histograms with
+//! the families' ordinary `merge` reproduces the serial build
+//! *bit-for-bit* at every thread count — the serial build is just the
+//! single-band case of the same code path. The same argument covers
+//! rect-range sharding: exact addition is associative, so any partition
+//! of the input rectangles merges to the identical histogram.
+
+use crate::grid::Grid;
+use sj_geo::Rect;
+
+/// A histogram family buildable from a row-restricted accumulation pass
+/// and mergeable with another same-grid instance. Implemented by all four
+/// families; [`build_shard_merge`] is their shared build driver.
+pub(crate) trait RowBanded: Sized + Send {
+    /// Builds the histogram of `rects` on `grid`, keeping only
+    /// contributions landing in grid rows `lo..hi` and attributing
+    /// per-rectangle scalar statistics (counts, span sums) to the band
+    /// containing each rectangle's bottom row.
+    fn build_rows(grid: Grid, rects: &[Rect], lo: u32, hi: u32) -> Self;
+
+    /// Adds `other`'s statistics into `self`; both are same-grid by
+    /// construction here.
+    fn merge_same_grid(&mut self, other: &Self);
+}
+
+/// Builds a histogram by sharding the grid rows across `threads` band
+/// workers and merging the band builds. Bit-identical to the serial
+/// (single-band) build for every thread count.
+pub(crate) fn build_shard_merge<H: RowBanded>(grid: Grid, rects: &[Rect], threads: usize) -> H {
+    let bands = map_row_bands(grid.cells_per_axis(), threads, |lo, hi| {
+        H::build_rows(grid, rects, lo, hi)
+    });
+    let mut bands = bands.into_iter();
+    let mut acc = bands.next().expect("at least one band");
+    for band in bands {
+        acc.merge_same_grid(&band);
+    }
+    acc
+}
 
 /// Runs `accumulate(row_lo, row_hi)` over contiguous half-open bands of
 /// grid rows covering `0..rows`, one scoped worker thread per band, and

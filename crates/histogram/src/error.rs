@@ -12,6 +12,14 @@ pub enum HistogramError {
         /// Level of the right histogram.
         right_level: u32,
     },
+    /// The two histograms being combined belong to different families
+    /// (e.g. merging a PH into a GH).
+    KindMismatch {
+        /// Family of the left histogram.
+        left: crate::HistogramKind,
+        /// Family of the right histogram.
+        right: crate::HistogramKind,
+    },
     /// A histogram file failed to decode.
     Corrupt(String),
     /// The requested grid level is above [`crate::Grid::MAX_LEVEL`].
@@ -28,6 +36,12 @@ impl fmt::Display for HistogramError {
                 f,
                 "histogram grids are incompatible (levels {left_level} vs {right_level}, \
                  or differing extents)"
+            ),
+            HistogramError::KindMismatch { left, right } => write!(
+                f,
+                "histograms do not share a common scheme ({} vs {})",
+                left.name(),
+                right.name()
             ),
             HistogramError::Corrupt(msg) => write!(f, "corrupt histogram file: {msg}"),
             HistogramError::LevelTooLarge(l) => write!(

@@ -22,8 +22,9 @@
 //! over `Q`'s interior therefore counts each intersecting object exactly
 //! once — no double counting, the problem PH fights with `AvgSpan`.
 
+use crate::band::RowBanded;
 use crate::grid::Grid;
-use crate::HistogramError;
+use crate::{HistogramError, SelectivityEstimate};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use sj_geo::Rect;
 
@@ -55,67 +56,11 @@ impl EulerHistogram {
     }
 
     /// Builds like [`Self::build`] with grid rows banded across `threads`
-    /// scoped worker threads; equal to the serial build for every thread
-    /// count. All four face/edge/vertex arrays are row-indexed: a band
-    /// owning face rows `[lo, hi)` also owns vertical-edge rows
-    /// `[lo, hi)` and horizontal-edge/vertex rows `[lo, min(hi, n-1))`.
+    /// scoped worker threads and the band histograms merged; equal to the
+    /// serial build for every thread count (see the row-band driver in `band.rs`).
     #[must_use]
     pub fn build_parallel(grid: Grid, rects: &[Rect], threads: usize) -> Self {
-        let n = grid.cells_per_axis() as usize;
-        let bands = crate::band::map_row_bands(grid.cells_per_axis(), threads, |lo, hi| {
-            let (lo, hi) = (lo as usize, hi as usize);
-            let face_rows = hi - lo;
-            let edge_rows = hi.min(n.saturating_sub(1)).saturating_sub(lo);
-            let mut faces = vec![0u32; face_rows * n];
-            let mut v_edges = vec![0u32; face_rows * n.saturating_sub(1)];
-            let mut h_edges = vec![0u32; edge_rows * n];
-            let mut vertices = vec![0u32; edge_rows * n.saturating_sub(1)];
-            for r in rects {
-                let (c0, c1, r0, r1) = grid.cell_range(r);
-                let (c0, c1, r0, r1) = (c0 as usize, c1 as usize, r0 as usize, r1 as usize);
-                if r1 < lo || r0 >= hi {
-                    continue;
-                }
-                for row in r0.max(lo)..=r1.min(hi - 1) {
-                    for col in c0..=c1 {
-                        faces[(row - lo) * n + col] += 1;
-                    }
-                    for col in c0..c1 {
-                        v_edges[(row - lo) * (n - 1) + col] += 1;
-                    }
-                }
-                // Horizontal edges and vertices live on row boundaries
-                // r0..r1, always below the last grid row.
-                for row in r0.max(lo)..r1.min(hi) {
-                    for col in c0..=c1 {
-                        h_edges[(row - lo) * n + col] += 1;
-                    }
-                    for col in c0..c1 {
-                        vertices[(row - lo) * (n - 1) + col] += 1;
-                    }
-                }
-            }
-            (faces, v_edges, h_edges, vertices)
-        });
-        let mut faces = Vec::with_capacity(n * n);
-        let mut v_edges = Vec::with_capacity(n.saturating_sub(1) * n);
-        let mut h_edges = Vec::with_capacity(n * n.saturating_sub(1));
-        let mut vertices = Vec::with_capacity(n.saturating_sub(1) * n.saturating_sub(1));
-        for (bf, bv, bh, bx) in bands {
-            faces.extend(bf);
-            v_edges.extend(bv);
-            h_edges.extend(bh);
-            vertices.extend(bx);
-        }
-        Self {
-            grid_level: grid.level(),
-            extent: grid.extent(),
-            n: rects.len() as u64,
-            faces,
-            v_edges,
-            h_edges,
-            vertices,
-        }
+        crate::band::build_shard_merge(grid, rects, threads)
     }
 
     /// The grid the histogram was built on.
@@ -166,6 +111,63 @@ impl EulerHistogram {
     #[must_use]
     pub fn total_count(&self) -> u64 {
         self.count_in_window(&self.extent.rect())
+    }
+
+    /// Counts the pairs of objects (one from each histogram) whose cell
+    /// blocks intersect — the Euler-characteristic join. For every pair
+    /// with intersecting blocks, the shared sub-block's Euler
+    /// characteristic (#faces − #edges + #vertices) is exactly 1, so the
+    /// signed sum of per-face count products counts each such pair once:
+    /// **exact** at cell resolution, with no multiple counting.
+    ///
+    /// # Errors
+    /// Returns [`HistogramError::GridMismatch`] on incompatible grids.
+    pub fn intersection_pairs(&self, other: &Self) -> Result<u64, HistogramError> {
+        if self.grid_level != other.grid_level || self.extent != other.extent {
+            return Err(HistogramError::GridMismatch {
+                left_level: self.grid_level,
+                right_level: other.grid_level,
+            });
+        }
+        let mut total: i128 = 0;
+        for (a, b) in self.faces.iter().zip(&other.faces) {
+            total += i128::from(*a) * i128::from(*b);
+        }
+        for (a, b) in self.v_edges.iter().zip(&other.v_edges) {
+            total -= i128::from(*a) * i128::from(*b);
+        }
+        for (a, b) in self.h_edges.iter().zip(&other.h_edges) {
+            total -= i128::from(*a) * i128::from(*b);
+        }
+        for (a, b) in self.vertices.iter().zip(&other.vertices) {
+            total += i128::from(*a) * i128::from(*b);
+        }
+        debug_assert!(total >= 0, "Euler join sum must be non-negative");
+        Ok(u64::try_from(total.max(0)).unwrap_or(u64::MAX))
+    }
+
+    /// Estimates the join selectivity as block-intersecting pairs over
+    /// `N₁·N₂`. A slight overcount of the true MBR join: pairs sharing a
+    /// cell without touching inside it are included (cell-resolution
+    /// semantics, like [`Self::count_in_window`]).
+    ///
+    /// # Errors
+    /// Returns [`HistogramError::GridMismatch`] on incompatible grids.
+    pub fn estimate(&self, other: &Self) -> Result<SelectivityEstimate, HistogramError> {
+        let pairs = self.intersection_pairs(other)?;
+        #[allow(clippy::cast_precision_loss)]
+        let denom = (self.n as f64) * (other.n as f64);
+        #[allow(clippy::cast_precision_loss)]
+        let raw = if denom == 0.0 {
+            0.0
+        } else {
+            pairs as f64 / denom
+        };
+        Ok(SelectivityEstimate::from_selectivity(
+            raw,
+            self.dataset_len(),
+            other.dataset_len(),
+        ))
     }
 
     /// Serializes the histogram file.
@@ -250,6 +252,69 @@ impl EulerHistogram {
             + 32
             + 8
             + 4 * (self.faces.len() + self.v_edges.len() + self.h_edges.len() + self.vertices.len())
+    }
+}
+
+impl RowBanded for EulerHistogram {
+    fn build_rows(grid: Grid, rects: &[Rect], lo: u32, hi: u32) -> Self {
+        let n = grid.cells_per_axis() as usize;
+        let (lo, hi) = (lo as usize, hi as usize);
+        let mut count = 0u64;
+        let mut faces = vec![0u32; n * n];
+        let mut v_edges = vec![0u32; n.saturating_sub(1) * n];
+        let mut h_edges = vec![0u32; n * n.saturating_sub(1)];
+        let mut vertices = vec![0u32; n.saturating_sub(1) * n.saturating_sub(1)];
+        for r in rects {
+            let (c0, c1, r0, r1) = grid.cell_range(r);
+            let (c0, c1, r0, r1) = (c0 as usize, c1 as usize, r0 as usize, r1 as usize);
+            if r1 < lo || r0 >= hi {
+                continue;
+            }
+            if (lo..hi).contains(&r0) {
+                count += 1;
+            }
+            for row in r0.max(lo)..=r1.min(hi - 1) {
+                for col in c0..=c1 {
+                    faces[row * n + col] += 1;
+                }
+                for col in c0..c1 {
+                    v_edges[row * (n - 1) + col] += 1;
+                }
+            }
+            // Horizontal edges and vertices live on row boundaries r0..r1,
+            // always below the last grid row.
+            for row in r0.max(lo)..r1.min(hi) {
+                for col in c0..=c1 {
+                    h_edges[row * n + col] += 1;
+                }
+                for col in c0..c1 {
+                    vertices[row * (n - 1) + col] += 1;
+                }
+            }
+        }
+        Self {
+            grid_level: grid.level(),
+            extent: grid.extent(),
+            n: count,
+            faces,
+            v_edges,
+            h_edges,
+            vertices,
+        }
+    }
+
+    fn merge_same_grid(&mut self, other: &Self) {
+        self.n += other.n;
+        for (into, from) in [
+            (&mut self.faces, &other.faces),
+            (&mut self.v_edges, &other.v_edges),
+            (&mut self.h_edges, &other.h_edges),
+            (&mut self.vertices, &other.vertices),
+        ] {
+            for (a, b) in into.iter_mut().zip(from) {
+                *a += *b;
+            }
+        }
     }
 }
 
@@ -381,6 +446,63 @@ mod tests {
         let mut garbled = bytes.to_vec();
         garbled[0] ^= 0xFF;
         assert!(EulerHistogram::from_bytes(&garbled).is_err());
+    }
+
+    /// The Euler join is exact at cell resolution: it must equal the
+    /// brute-force count of pairs whose cell blocks intersect.
+    #[test]
+    fn join_counts_block_intersecting_pairs_exactly() {
+        let a = uniform(300, 95, 0.1);
+        let b = uniform(400, 96, 0.08);
+        for level in [0u32, 1, 3, 5] {
+            let g = unit_grid(level);
+            let (ha, hb) = (EulerHistogram::build(g, &a), EulerHistogram::build(g, &b));
+            let mut exact = 0u64;
+            for ra in &a {
+                let (c0, c1, r0, r1) = g.cell_range(ra);
+                for rb in &b {
+                    let (d0, d1, s0, s1) = g.cell_range(rb);
+                    if c0 <= d1 && d0 <= c1 && r0 <= s1 && s0 <= r1 {
+                        exact += 1;
+                    }
+                }
+            }
+            assert_eq!(ha.intersection_pairs(&hb).unwrap(), exact, "level {level}");
+            assert_eq!(hb.intersection_pairs(&ha).unwrap(), exact, "symmetry");
+        }
+    }
+
+    /// On a fine grid the cell-resolution overcount shrinks and the join
+    /// estimate approaches the true selectivity from above.
+    #[test]
+    fn join_estimate_close_on_fine_grid() {
+        // Objects large relative to the cells, so snapping their blocks to
+        // cell boundaries dilates each pair test only slightly.
+        let a = uniform(700, 97, 0.1);
+        let b = uniform(700, 98, 0.1);
+        let actual = sj_sweep::sweep_join_selectivity(&a, &b);
+        let g = unit_grid(9);
+        let est = EulerHistogram::build(g, &a)
+            .estimate(&EulerHistogram::build(g, &b))
+            .unwrap()
+            .selectivity;
+        let err = (est - actual).abs() / actual;
+        assert!(
+            err < 0.15,
+            "euler join err {err:.3} (est {est:.3e}, actual {actual:.3e})"
+        );
+        assert!(est >= actual * 0.999, "cell-resolution join overcounts");
+    }
+
+    #[test]
+    fn join_grid_mismatch_is_an_error() {
+        let rects = uniform(20, 99, 0.1);
+        let h2 = EulerHistogram::build(unit_grid(2), &rects);
+        let h3 = EulerHistogram::build(unit_grid(3), &rects);
+        assert!(matches!(
+            h2.estimate(&h3),
+            Err(HistogramError::GridMismatch { .. })
+        ));
     }
 
     /// Compare against GH's statistical window count: on the same grid,

@@ -19,7 +19,9 @@
 //!   over cell width `H`, clipped vertical edge length over cell height
 //!   `V`, and estimates `IP = Σ C₁·O₂ + C₂·O₁ + H₁·V₂ + H₂·V₁`.
 
+use crate::band::RowBanded;
 use crate::grid::Grid;
+use crate::mass::Mass;
 use crate::{HistogramError, SelectivityEstimate};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use sj_geo::Rect;
@@ -51,76 +53,11 @@ impl GhBasicHistogram {
     }
 
     /// Builds like [`Self::build`] with grid rows banded across `threads`
-    /// scoped worker threads; equal to the serial build for every thread
-    /// count (see [`crate`] docs on row-band accumulation).
+    /// scoped worker threads and the band histograms merged; equal to the
+    /// serial build for every thread count (see the row-band driver in `band.rs`).
     #[must_use]
     pub fn build_parallel(grid: Grid, rects: &[Rect], threads: usize) -> Self {
-        let cols = grid.cells_per_axis() as usize;
-        let bands = crate::band::map_row_bands(grid.cells_per_axis(), threads, |lo, hi| {
-            let len = (hi - lo) as usize * cols;
-            let mut c = vec![0u32; len];
-            let mut i = vec![0u32; len];
-            let mut v = vec![0u32; len];
-            let mut h = vec![0u32; len];
-            let at = |col: u32, row: u32| (row - lo) as usize * cols + col as usize;
-            for r in rects {
-                // Every contribution of `r` lands in rows r0..=r1 (corner
-                // and h-edge rows are r0 or r1), so rects outside the band
-                // are skipped outright.
-                let (c0, c1, r0, r1) = grid.cell_range(r);
-                if r1 < lo || r0 >= hi {
-                    continue;
-                }
-                for corner in r.corners() {
-                    let (col, row) = grid.cell_of_point(corner);
-                    if (lo..hi).contains(&row) {
-                        c[at(col, row)] += 1;
-                    }
-                }
-                for row in r0.max(lo)..=r1.min(hi - 1) {
-                    for col in c0..=c1 {
-                        i[at(col, row)] += 1;
-                    }
-                }
-                // Two vertical edges: each occupies one column, rows r0..=r1.
-                for edge in r.v_edges() {
-                    let col = grid.col_of(edge.x);
-                    for row in r0.max(lo)..=r1.min(hi - 1) {
-                        v[at(col, row)] += 1;
-                    }
-                }
-                // Two horizontal edges: each occupies one row, cols c0..=c1.
-                for edge in r.h_edges() {
-                    let row = grid.row_of(edge.y);
-                    if (lo..hi).contains(&row) {
-                        for col in c0..=c1 {
-                            h[at(col, row)] += 1;
-                        }
-                    }
-                }
-            }
-            (c, i, v, h)
-        });
-        let cells = grid.num_cells();
-        let mut c = Vec::with_capacity(cells);
-        let mut i = Vec::with_capacity(cells);
-        let mut v = Vec::with_capacity(cells);
-        let mut h = Vec::with_capacity(cells);
-        for (bc, bi, bv, bh) in bands {
-            c.extend(bc);
-            i.extend(bi);
-            v.extend(bv);
-            h.extend(bh);
-        }
-        Self {
-            grid_level: grid.level(),
-            extent: grid.extent(),
-            n: rects.len() as u64,
-            c,
-            i,
-            v,
-            h,
-        }
+        crate::band::build_shard_merge(grid, rects, threads)
     }
 
     /// The grid the histogram was built on.
@@ -244,6 +181,80 @@ impl GhBasicHistogram {
     }
 }
 
+impl RowBanded for GhBasicHistogram {
+    fn build_rows(grid: Grid, rects: &[Rect], lo: u32, hi: u32) -> Self {
+        let cells = grid.num_cells();
+        let mut n = 0u64;
+        let mut c = vec![0u32; cells];
+        let mut i = vec![0u32; cells];
+        let mut v = vec![0u32; cells];
+        let mut h = vec![0u32; cells];
+        for r in rects {
+            // Every contribution of `r` lands in rows r0..=r1 (corner and
+            // h-edge rows are r0 or r1), so rects outside the band are
+            // skipped outright; the band owning the bottom row counts the
+            // rect itself.
+            let (c0, c1, r0, r1) = grid.cell_range(r);
+            if r1 < lo || r0 >= hi {
+                continue;
+            }
+            if (lo..hi).contains(&r0) {
+                n += 1;
+            }
+            for corner in r.corners() {
+                let (col, row) = grid.cell_of_point(corner);
+                if (lo..hi).contains(&row) {
+                    c[grid.flat_index(col, row)] += 1;
+                }
+            }
+            for row in r0.max(lo)..=r1.min(hi - 1) {
+                for col in c0..=c1 {
+                    i[grid.flat_index(col, row)] += 1;
+                }
+            }
+            // Two vertical edges: each occupies one column, rows r0..=r1.
+            for edge in r.v_edges() {
+                let col = grid.col_of(edge.x);
+                for row in r0.max(lo)..=r1.min(hi - 1) {
+                    v[grid.flat_index(col, row)] += 1;
+                }
+            }
+            // Two horizontal edges: each occupies one row, cols c0..=c1.
+            for edge in r.h_edges() {
+                let row = grid.row_of(edge.y);
+                if (lo..hi).contains(&row) {
+                    for col in c0..=c1 {
+                        h[grid.flat_index(col, row)] += 1;
+                    }
+                }
+            }
+        }
+        Self {
+            grid_level: grid.level(),
+            extent: grid.extent(),
+            n,
+            c,
+            i,
+            v,
+            h,
+        }
+    }
+
+    fn merge_same_grid(&mut self, other: &Self) {
+        self.n += other.n;
+        for (into, from) in [
+            (&mut self.c, &other.c),
+            (&mut self.i, &other.i),
+            (&mut self.v, &other.v),
+            (&mut self.h, &other.h),
+        ] {
+            for (a, b) in into.iter_mut().zip(from) {
+                *a += *b;
+            }
+        }
+    }
+}
+
 /// Revised Geometric Histogram — the paper's headline "GH" scheme
 /// (Table 2, Eq. 5).
 ///
@@ -267,12 +278,12 @@ pub struct GhHistogram {
     n: u64,
     /// `C(i,j)`: number of MBR corner points falling in the cell.
     c: Vec<u32>,
-    /// `O(i,j)`: Σ (area of MBR ∩ cell) / cell area.
-    o: Vec<f64>,
+    /// `O(i,j)`: Σ (area of MBR ∩ cell) / cell area, exactly accumulated.
+    o: Vec<Mass>,
     /// `H(i,j)`: Σ (length of horizontal edge ∩ cell) / cell width.
-    h: Vec<f64>,
+    h: Vec<Mass>,
     /// `V(i,j)`: Σ (length of vertical edge ∩ cell) / cell height.
-    v: Vec<f64>,
+    v: Vec<Mass>,
 }
 
 impl GhHistogram {
@@ -283,76 +294,12 @@ impl GhHistogram {
     }
 
     /// Builds like [`Self::build`] with grid rows banded across `threads`
-    /// scoped worker threads. Each cell's `f64` masses accumulate in
-    /// rectangle order inside exactly one band, so the result is
+    /// scoped worker threads and the band histograms merged. Each cell's
+    /// masses accumulate exactly (fixed point), so the result is
     /// *bit-identical* to the serial build for every thread count.
     #[must_use]
     pub fn build_parallel(grid: Grid, rects: &[Rect], threads: usize) -> Self {
-        let cols = grid.cells_per_axis() as usize;
-        let cell_area = grid.cell_area();
-        let cell_w = grid.cell_width();
-        let cell_h = grid.cell_height();
-        let bands = crate::band::map_row_bands(grid.cells_per_axis(), threads, |lo, hi| {
-            let len = (hi - lo) as usize * cols;
-            let mut c = vec![0u32; len];
-            let mut o = vec![0f64; len];
-            let mut h = vec![0f64; len];
-            let mut v = vec![0f64; len];
-            let at = |col: u32, row: u32| (row - lo) as usize * cols + col as usize;
-            for r in rects {
-                let (c0, c1, r0, r1) = grid.cell_range(r);
-                if r1 < lo || r0 >= hi {
-                    continue;
-                }
-                for corner in r.corners() {
-                    let (col, row) = grid.cell_of_point(corner);
-                    if (lo..hi).contains(&row) {
-                        c[at(col, row)] += 1;
-                    }
-                }
-                for row in r0.max(lo)..=r1.min(hi - 1) {
-                    for col in c0..=c1 {
-                        o[at(col, row)] +=
-                            r.intersection_area(&grid.cell_rect(col, row)) / cell_area;
-                    }
-                }
-                for edge in r.h_edges() {
-                    let row = grid.row_of(edge.y);
-                    if (lo..hi).contains(&row) {
-                        for col in c0..=c1 {
-                            h[at(col, row)] += edge.clipped_len(&grid.cell_rect(col, row)) / cell_w;
-                        }
-                    }
-                }
-                for edge in r.v_edges() {
-                    let col = grid.col_of(edge.x);
-                    for row in r0.max(lo)..=r1.min(hi - 1) {
-                        v[at(col, row)] += edge.clipped_len(&grid.cell_rect(col, row)) / cell_h;
-                    }
-                }
-            }
-            (c, o, h, v)
-        });
-        let cells = grid.num_cells();
-        let mut c = Vec::with_capacity(cells);
-        let mut o = Vec::with_capacity(cells);
-        let mut h = Vec::with_capacity(cells);
-        let mut v = Vec::with_capacity(cells);
-        for (bc, bo, bh, bv) in bands {
-            c.extend(bc);
-            o.extend(bo);
-            h.extend(bh);
-            v.extend(bv);
-        }
-        Self {
-            grid_level: grid.level(),
-            extent: grid.extent(),
-            n: rects.len() as u64,
-            c,
-            o,
-            h,
-            v,
-        }
+        crate::band::build_shard_merge(grid, rects, threads)
     }
 
     /// The grid the histogram was built on.
@@ -381,10 +328,10 @@ impl GhHistogram {
         }
         let mut total = 0.0f64;
         for idx in 0..self.c.len() {
-            total += f64::from(self.c[idx]) * other.o[idx]
-                + f64::from(other.c[idx]) * self.o[idx]
-                + self.h[idx] * other.v[idx]
-                + other.h[idx] * self.v[idx];
+            total += f64::from(self.c[idx]) * other.o[idx].to_f64()
+                + f64::from(other.c[idx]) * self.o[idx].to_f64()
+                + self.h[idx].to_f64() * other.v[idx].to_f64()
+                + other.h[idx].to_f64() * self.v[idx].to_f64();
         }
         Ok(total)
     }
@@ -437,7 +384,7 @@ impl GhHistogram {
         // dataset's clipped-area mass there.
         for corner in query.corners() {
             let (col, row) = grid.cell_of_point(corner);
-            total += self.o[grid.flat_index(col, row)];
+            total += self.o[grid.flat_index(col, row)].to_f64();
         }
 
         let (c0, c1, r0, r1) = grid.cell_range(query);
@@ -456,7 +403,7 @@ impl GhHistogram {
             for col in c0..=c1 {
                 let idx = grid.flat_index(col, row);
                 let h_q = edge.clipped_len(&grid.cell_rect(col, row)) / cell_w;
-                total += h_q * self.v[idx];
+                total += h_q * self.v[idx].to_f64();
             }
         }
         for edge in query.v_edges() {
@@ -464,7 +411,7 @@ impl GhHistogram {
             for row in r0..=r1 {
                 let idx = grid.flat_index(col, row);
                 let v_q = edge.clipped_len(&grid.cell_rect(col, row)) / cell_h;
-                total += v_q * self.h[idx];
+                total += v_q * self.h[idx].to_f64();
             }
         }
         (total / 4.0).max(0.0)
@@ -501,10 +448,10 @@ impl GhHistogram {
                     continue;
                 }
                 total += weight
-                    * (f64::from(self.c[idx]) * other.o[idx]
-                        + f64::from(other.c[idx]) * self.o[idx]
-                        + self.h[idx] * other.v[idx]
-                        + other.h[idx] * self.v[idx]);
+                    * (f64::from(self.c[idx]) * other.o[idx].to_f64()
+                        + f64::from(other.c[idx]) * self.o[idx].to_f64()
+                        + self.h[idx].to_f64() * other.v[idx].to_f64()
+                        + other.h[idx].to_f64() * self.v[idx].to_f64());
             }
         }
         Ok((total / 4.0).max(0.0))
@@ -526,7 +473,7 @@ impl GhHistogram {
         }
         for arr in [&self.o, &self.h, &self.v] {
             for x in arr.iter() {
-                buf.put_f64_le(*x);
+                x.put_le(&mut buf);
             }
         }
         buf.freeze()
@@ -558,12 +505,12 @@ impl GhHistogram {
         let grid = Grid::new(level, extent).map_err(|_| corrupt("grid level out of range"))?;
         let n = data.get_u64_le();
         let cells = grid.num_cells();
-        if data.remaining() != cells * (4 + 24) {
+        if data.remaining() != cells * (4 + 48) {
             return Err(corrupt("payload size mismatch"));
         }
         let c: Vec<u32> = (0..cells).map(|_| data.get_u32_le()).collect();
         let read =
-            |data: &mut &[u8]| -> Vec<f64> { (0..cells).map(|_| data.get_f64_le()).collect() };
+            |data: &mut &[u8]| -> Vec<Mass> { (0..cells).map(|_| Mass::get_le(data)).collect() };
         let o = read(&mut data);
         let h = read(&mut data);
         let v = read(&mut data);
@@ -583,13 +530,94 @@ impl GhHistogram {
     /// the paper's arguments for GH over PH.
     #[must_use]
     pub fn size_bytes(&self) -> usize {
-        4 + 4 + 32 + 8 + self.c.len() * (4 + 24)
+        4 + 4 + 32 + 8 + self.c.len() * (4 + 48)
     }
 
     #[cfg(test)]
     pub(crate) fn masses(&self, grid: &Grid, col: u32, row: u32) -> (u32, f64, f64, f64) {
         let idx = grid.flat_index(col, row);
-        (self.c[idx], self.o[idx], self.h[idx], self.v[idx])
+        (
+            self.c[idx],
+            self.o[idx].to_f64(),
+            self.h[idx].to_f64(),
+            self.v[idx].to_f64(),
+        )
+    }
+}
+
+impl RowBanded for GhHistogram {
+    fn build_rows(grid: Grid, rects: &[Rect], lo: u32, hi: u32) -> Self {
+        let cells = grid.num_cells();
+        let cell_area = grid.cell_area();
+        let cell_w = grid.cell_width();
+        let cell_h = grid.cell_height();
+        let mut n = 0u64;
+        let mut c = vec![0u32; cells];
+        let mut o = vec![Mass::ZERO; cells];
+        let mut h = vec![Mass::ZERO; cells];
+        let mut v = vec![Mass::ZERO; cells];
+        for r in rects {
+            let (c0, c1, r0, r1) = grid.cell_range(r);
+            if r1 < lo || r0 >= hi {
+                continue;
+            }
+            if (lo..hi).contains(&r0) {
+                n += 1;
+            }
+            for corner in r.corners() {
+                let (col, row) = grid.cell_of_point(corner);
+                if (lo..hi).contains(&row) {
+                    c[grid.flat_index(col, row)] += 1;
+                }
+            }
+            for row in r0.max(lo)..=r1.min(hi - 1) {
+                for col in c0..=c1 {
+                    o[grid.flat_index(col, row)] +=
+                        Mass::from_f64(r.intersection_area(&grid.cell_rect(col, row)) / cell_area);
+                }
+            }
+            for edge in r.h_edges() {
+                let row = grid.row_of(edge.y);
+                if (lo..hi).contains(&row) {
+                    for col in c0..=c1 {
+                        h[grid.flat_index(col, row)] +=
+                            Mass::from_f64(edge.clipped_len(&grid.cell_rect(col, row)) / cell_w);
+                    }
+                }
+            }
+            for edge in r.v_edges() {
+                let col = grid.col_of(edge.x);
+                for row in r0.max(lo)..=r1.min(hi - 1) {
+                    v[grid.flat_index(col, row)] +=
+                        Mass::from_f64(edge.clipped_len(&grid.cell_rect(col, row)) / cell_h);
+                }
+            }
+        }
+        Self {
+            grid_level: grid.level(),
+            extent: grid.extent(),
+            n,
+            c,
+            o,
+            h,
+            v,
+        }
+    }
+
+    fn merge_same_grid(&mut self, other: &Self) {
+        self.n += other.n;
+        for (a, b) in self.c.iter_mut().zip(&other.c) {
+            *a += *b;
+        }
+        for (into, from) in [
+            (&mut self.o, &other.o),
+            (&mut self.h, &other.h),
+            (&mut self.v, &other.v),
+        ] {
+            for (a, b) in into.iter_mut().zip(from) {
+                *a += *b;
+            }
+        }
     }
 }
 
@@ -688,15 +716,15 @@ mod tests {
         let sum_c: u64 = h.c.iter().map(|&x| u64::from(x)).sum();
         assert_eq!(sum_c, 4 * rects.len() as u64);
 
-        let sum_o: f64 = h.o.iter().sum();
+        let sum_o: f64 = h.o.iter().map(|m| m.to_f64()).sum();
         let coverage: f64 = rects.iter().map(Rect::area).sum::<f64>() / g.cell_area();
         assert!((sum_o - coverage).abs() < 1e-9 * coverage.max(1.0));
 
-        let sum_h: f64 = h.h.iter().sum();
+        let sum_h: f64 = h.h.iter().map(|m| m.to_f64()).sum();
         let total_w: f64 = 2.0 * rects.iter().map(Rect::width).sum::<f64>() / g.cell_width();
         assert!((sum_h - total_w).abs() < 1e-9 * total_w.max(1.0));
 
-        let sum_v: f64 = h.v.iter().sum();
+        let sum_v: f64 = h.v.iter().map(|m| m.to_f64()).sum();
         let total_h: f64 = 2.0 * rects.iter().map(Rect::height).sum::<f64>() / g.cell_height();
         assert!((sum_v - total_h).abs() < 1e-9 * total_h.max(1.0));
     }
@@ -1194,7 +1222,12 @@ impl GhHistogram {
     #[must_use]
     pub fn occupied_cells(&self) -> usize {
         (0..self.c.len())
-            .filter(|&i| self.c[i] != 0 || self.o[i] != 0.0 || self.h[i] != 0.0 || self.v[i] != 0.0)
+            .filter(|&i| {
+                self.c[i] != 0
+                    || !self.o[i].is_zero()
+                    || !self.h[i].is_zero()
+                    || !self.v[i].is_zero()
+            })
             .count()
     }
 
@@ -1204,7 +1237,7 @@ impl GhHistogram {
     #[must_use]
     pub fn to_sparse_bytes(&self) -> Bytes {
         let occupied = self.occupied_cells();
-        let mut buf = BytesMut::with_capacity(60 + occupied * 32);
+        let mut buf = BytesMut::with_capacity(56 + occupied * 56);
         buf.put_u32_le(MAGIC_SPARSE);
         buf.put_u32_le(self.grid_level);
         let e = self.extent.rect();
@@ -1214,12 +1247,16 @@ impl GhHistogram {
         buf.put_u64_le(self.n);
         buf.put_u64_le(occupied as u64);
         for i in 0..self.c.len() {
-            if self.c[i] != 0 || self.o[i] != 0.0 || self.h[i] != 0.0 || self.v[i] != 0.0 {
+            if self.c[i] != 0
+                || !self.o[i].is_zero()
+                || !self.h[i].is_zero()
+                || !self.v[i].is_zero()
+            {
                 buf.put_u32_le(u32::try_from(i).expect("cell index fits u32"));
                 buf.put_u32_le(self.c[i]);
-                buf.put_f64_le(self.o[i]);
-                buf.put_f64_le(self.h[i]);
-                buf.put_f64_le(self.v[i]);
+                self.o[i].put_le(&mut buf);
+                self.h[i].put_le(&mut buf);
+                self.v[i].put_le(&mut buf);
             }
         }
         buf.freeze()
@@ -1229,7 +1266,7 @@ impl GhHistogram {
     /// [`Self::size_bytes`]).
     #[must_use]
     pub fn sparse_size_bytes(&self) -> usize {
-        4 + 4 + 32 + 8 + 8 + self.occupied_cells() * (4 + 4 + 24)
+        4 + 4 + 32 + 8 + 8 + self.occupied_cells() * (4 + 4 + 48)
     }
 
     /// Decodes a sparse histogram file produced by
@@ -1266,14 +1303,14 @@ impl GhHistogram {
         if occupied > cells as u64 {
             return Err(corrupt("occupied count exceeds cell count"));
         }
-        let need = usize::try_from(occupied).expect("bounded by cells") * 32;
+        let need = usize::try_from(occupied).expect("bounded by cells") * 56;
         if data.remaining() != need {
             return Err(corrupt("payload size mismatch"));
         }
         let mut c = vec![0u32; cells];
-        let mut o = vec![0f64; cells];
-        let mut h = vec![0f64; cells];
-        let mut v = vec![0f64; cells];
+        let mut o = vec![Mass::ZERO; cells];
+        let mut h = vec![Mass::ZERO; cells];
+        let mut v = vec![Mass::ZERO; cells];
         let mut last_idx: Option<u32> = None;
         for _ in 0..occupied {
             let idx = data.get_u32_le();
@@ -1285,9 +1322,9 @@ impl GhHistogram {
             }
             last_idx = Some(idx);
             c[idx as usize] = data.get_u32_le();
-            o[idx as usize] = data.get_f64_le();
-            h[idx as usize] = data.get_f64_le();
-            v[idx as usize] = data.get_f64_le();
+            o[idx as usize] = Mass::get_le(&mut data);
+            h[idx as usize] = Mass::get_le(&mut data);
+            v[idx as usize] = Mass::get_le(&mut data);
         }
         Ok(Self {
             grid_level: level,
@@ -1378,7 +1415,7 @@ mod sparse_tests {
         // Duplicate the first cell record over the second (indices no
         // longer strictly increasing).
         let header = 56;
-        let record = 32;
+        let record = 56;
         if bytes.len() >= header + 2 * record {
             let (first, rest) = bytes.split_at_mut(header + record);
             rest[..record].copy_from_slice(&first[header..header + record]);

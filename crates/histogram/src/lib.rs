@@ -24,6 +24,12 @@
 //! All histograms serialize to a compact *histogram file* byte format
 //! ([`PhHistogram::to_bytes`] etc.) whose size — dependent only on the
 //! grid level, never on the dataset — is the paper's space-cost metric.
+//!
+//! All four families additionally implement the [`SpatialHistogram`]
+//! trait: they are *mergeable sketches* whose per-cell statistics are
+//! pure sums over the input MBRs, so shard builds merge — bit-for-bit
+//! identically to a serial build — and any kind round-trips through the
+//! versioned [`SpatialHistogram::persist`] / [`load_histogram`] envelope.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,8 +39,10 @@ mod error;
 mod euler;
 mod gh;
 mod grid;
+mod mass;
 mod parametric;
 mod ph;
+mod traits;
 
 pub use error::HistogramError;
 pub use euler::EulerHistogram;
@@ -42,6 +50,10 @@ pub use gh::{GhBasicHistogram, GhHistogram};
 pub use grid::Grid;
 pub use parametric::{parametric_result_size, parametric_selectivity, ParametricInputs};
 pub use ph::PhHistogram;
+pub use traits::{
+    build_histogram, build_histogram_parallel, build_histogram_sharded, load_histogram,
+    load_histogram_json, HistogramKind, SpatialHistogram,
+};
 
 /// A selectivity estimate together with the implied result size.
 #[derive(Debug, Clone, Copy, PartialEq)]

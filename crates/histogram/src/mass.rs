@@ -1,0 +1,143 @@
+//! Exact fixed-point accumulator for fractional histogram masses.
+//!
+//! The revised-GH and PH statistics are per-cell sums of fractional
+//! contributions (clipped areas, clipped edge lengths). Accumulating them
+//! in `f64` makes the sum depend on the order of addition, so two shard
+//! builds merged together would differ from the serial build in the last
+//! bits — breaking the byte-identical shard-and-merge contract. [`Mass`]
+//! instead quantizes every contribution once to a fixed-point grid of
+//! 2⁻⁷⁵ and accumulates in `i128`, where addition is associative and
+//! commutative: *any* partition of the input produces the identical sum.
+//!
+//! Capacity and precision: with 75 fractional bits, |sum| < 2⁵² in
+//! contribution units is representable; the quantization error is at most
+//! 2⁻⁷⁶ per contribution — about 10⁻²³, far below both `f64` round-off on
+//! the contributions themselves and every tolerance in the estimator
+//! stack. Pathological magnitudes saturate instead of wrapping.
+
+use bytes::{Buf, BufMut};
+
+/// Number of fractional bits in the fixed-point representation.
+const FRAC_BITS: i32 = 75;
+
+/// An exactly-mergeable sum of fractional contributions, stored as a
+/// fixed-point `i128` in units of 2⁻⁷⁵.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct Mass(i128);
+
+impl Mass {
+    /// The zero mass.
+    pub(crate) const ZERO: Mass = Mass(0);
+
+    /// Quantizes one `f64` contribution. Multiplying by a power of two is
+    /// exact in `f64` (an exponent shift), so the only inexact step is the
+    /// final round to the 2⁻⁷⁵ grid; `as` saturates out-of-range values
+    /// and maps NaN to zero.
+    pub(crate) fn from_f64(x: f64) -> Self {
+        #[allow(clippy::cast_possible_truncation)]
+        Self((x * 2f64.powi(FRAC_BITS)).round() as i128)
+    }
+
+    /// The closest `f64` to the exact stored sum.
+    #[allow(clippy::cast_precision_loss)]
+    pub(crate) fn to_f64(self) -> f64 {
+        self.0 as f64 * 2f64.powi(-FRAC_BITS)
+    }
+
+    /// Whether any mass has been accumulated.
+    pub(crate) fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Serializes as 16 little-endian bytes.
+    pub(crate) fn put_le(self, buf: &mut impl BufMut) {
+        buf.put_slice(&self.0.to_le_bytes());
+    }
+
+    /// Reads 16 little-endian bytes written by [`Self::put_le`].
+    ///
+    /// # Panics
+    /// Panics when fewer than 16 bytes remain (callers size-check first).
+    pub(crate) fn get_le(data: &mut &[u8]) -> Self {
+        let lo = data.get_u64_le();
+        let hi = data.get_u64_le();
+        Self((i128::from(hi as i64) << 64) | i128::from(lo))
+    }
+}
+
+impl std::ops::AddAssign for Mass {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dyadic_ratios_are_exact() {
+        for x in [0.0, 0.25, 0.5, 1.0, 123.0625, -0.125] {
+            assert_eq!(Mass::from_f64(x).to_f64(), x);
+        }
+    }
+
+    #[test]
+    fn addition_is_associative_and_commutative() {
+        let xs = [0.1, 0.7, 1e-9, 3.17159, 0.333_333_333];
+        let mut left = Mass::ZERO;
+        for &x in &xs {
+            left += Mass::from_f64(x);
+        }
+        let mut right = Mass::ZERO;
+        for &x in xs.iter().rev() {
+            right += Mass::from_f64(x);
+        }
+        let mut pairs = Mass::ZERO;
+        for chunk in xs.chunks(2) {
+            let mut partial = Mass::ZERO;
+            for &x in chunk {
+                partial += Mass::from_f64(x);
+            }
+            pairs += partial;
+        }
+        assert_eq!(left, right);
+        assert_eq!(left, pairs);
+    }
+
+    #[test]
+    fn quantization_error_is_negligible() {
+        let x = 0.123_456_789_012_345_6;
+        let err = (Mass::from_f64(x).to_f64() - x).abs();
+        assert!(err < 1e-20, "quantization error {err:e}");
+    }
+
+    #[test]
+    fn pathological_inputs_saturate_or_zero() {
+        assert_eq!(Mass::from_f64(f64::NAN), Mass::ZERO);
+        let huge = Mass::from_f64(f64::INFINITY);
+        let mut sum = huge;
+        sum += huge;
+        assert_eq!(sum.0, i128::MAX, "saturates instead of wrapping");
+        assert_eq!(Mass::from_f64(f64::NEG_INFINITY).0, i128::MIN);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        for v in [
+            Mass::ZERO,
+            Mass::from_f64(0.625),
+            Mass::from_f64(-1234.5),
+            Mass(i128::MAX),
+            Mass(i128::MIN),
+            Mass(-1),
+        ] {
+            let mut buf = bytes::BytesMut::new();
+            v.put_le(&mut buf);
+            let frozen = buf.freeze();
+            assert_eq!(frozen.len(), 16);
+            let mut cursor: &[u8] = &frozen;
+            assert_eq!(Mass::get_le(&mut cursor), v);
+        }
+    }
+}

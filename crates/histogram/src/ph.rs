@@ -15,7 +15,9 @@
 //! correct the multiple counting of boundary-crossing × boundary-crossing
 //! intersections (paper Eq. 3 and Figure 1).
 
+use crate::band::RowBanded;
 use crate::grid::Grid;
+use crate::mass::Mass;
 use crate::{HistogramError, SelectivityEstimate};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use sj_geo::Rect;
@@ -24,24 +26,31 @@ use sj_geo::Rect;
 const MAGIC: u32 = 0x534a_5048; // "SJPH"
 
 /// Per-dataset Parametric Histogram.
+///
+/// All statistics are stored as mergeable *sums* (exact fixed point for
+/// fractional masses); Table 1's averages `Xavg`/`Yavg` and the scalar
+/// `AvgSpan` are derived at estimate time. This is what makes PH a
+/// mergeable sketch like the other families.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PhHistogram {
     grid: Grid,
     /// Dataset cardinality.
     n: u64,
-    /// Average number of cells spanned by boundary-crossing MBRs
-    /// (`AvgSpan`); `1.0` when no MBR crosses a boundary.
-    avg_span: f64,
-    // Cont group, per cell.
+    /// Total cells spanned by boundary-crossing MBRs (`AvgSpan`
+    /// numerator).
+    span_total: u64,
+    /// Number of boundary-crossing MBRs (`AvgSpan` denominator).
+    span_rects: u64,
+    // Cont group, per cell: count, coverage sum, width/height sums.
     num: Vec<u32>,
-    cov: Vec<f64>,
-    xavg: Vec<f64>,
-    yavg: Vec<f64>,
-    // Isect group, per cell.
+    cov: Vec<Mass>,
+    xsum: Vec<Mass>,
+    ysum: Vec<Mass>,
+    // Isect group, per cell, over clipped intersections.
     num_x: Vec<u32>,
-    cov_x: Vec<f64>,
-    xavg_x: Vec<f64>,
-    yavg_x: Vec<f64>,
+    cov_x: Vec<Mass>,
+    xsum_x: Vec<Mass>,
+    ysum_x: Vec<Mass>,
 }
 
 impl PhHistogram {
@@ -52,117 +61,11 @@ impl PhHistogram {
     }
 
     /// Builds like [`Self::build`] with grid rows banded across `threads`
-    /// scoped worker threads; bit-identical to the serial build for every
-    /// thread count. The scalar `AvgSpan` statistics are row-independent,
-    /// so they come from one cheap serial pass shared by all thread
-    /// counts.
+    /// scoped worker threads and the band histograms merged; bit-identical
+    /// to the serial build for every thread count.
     #[must_use]
     pub fn build_parallel(grid: Grid, rects: &[Rect], threads: usize) -> Self {
-        let cols = grid.cells_per_axis() as usize;
-        let cell_area = grid.cell_area();
-        let bands = crate::band::map_row_bands(grid.cells_per_axis(), threads, |lo, hi| {
-            let len = (hi - lo) as usize * cols;
-            let mut num = vec![0u32; len];
-            let mut cov = vec![0f64; len];
-            let mut xsum = vec![0f64; len];
-            let mut ysum = vec![0f64; len];
-            let mut num_x = vec![0u32; len];
-            let mut cov_x = vec![0f64; len];
-            let mut xsum_x = vec![0f64; len];
-            let mut ysum_x = vec![0f64; len];
-            let at = |col: u32, row: u32| (row - lo) as usize * cols + col as usize;
-            for r in rects {
-                let (c0, c1, r0, r1) = grid.cell_range(r);
-                if r1 < lo || r0 >= hi {
-                    continue;
-                }
-                if c0 == c1 && r0 == r1 {
-                    let idx = at(c0, r0);
-                    num[idx] += 1;
-                    cov[idx] += r.area() / cell_area;
-                    xsum[idx] += r.width();
-                    ysum[idx] += r.height();
-                } else {
-                    for row in r0.max(lo)..=r1.min(hi - 1) {
-                        for col in c0..=c1 {
-                            let idx = at(col, row);
-                            let cell = grid.cell_rect(col, row);
-                            // The cell range guarantees a (possibly degenerate)
-                            // closed intersection exists.
-                            let clip = r
-                                .intersection(&cell)
-                                .unwrap_or_else(|| Rect::from_point(cell.center()));
-                            num_x[idx] += 1;
-                            cov_x[idx] += clip.area() / cell_area;
-                            xsum_x[idx] += clip.width();
-                            ysum_x[idx] += clip.height();
-                        }
-                    }
-                }
-            }
-            (num, cov, xsum, ysum, num_x, cov_x, xsum_x, ysum_x)
-        });
-        let cells = grid.num_cells();
-        let mut num = Vec::with_capacity(cells);
-        let mut cov = Vec::with_capacity(cells);
-        let mut xsum = Vec::with_capacity(cells);
-        let mut ysum = Vec::with_capacity(cells);
-        let mut num_x = Vec::with_capacity(cells);
-        let mut cov_x = Vec::with_capacity(cells);
-        let mut xsum_x = Vec::with_capacity(cells);
-        let mut ysum_x = Vec::with_capacity(cells);
-        for band in bands {
-            num.extend(band.0);
-            cov.extend(band.1);
-            xsum.extend(band.2);
-            ysum.extend(band.3);
-            num_x.extend(band.4);
-            cov_x.extend(band.5);
-            xsum_x.extend(band.6);
-            ysum_x.extend(band.7);
-        }
-
-        let mut span_total: u64 = 0;
-        let mut span_rects: u64 = 0;
-        for r in rects {
-            let (c0, c1, r0, r1) = grid.cell_range(r);
-            if !(c0 == c1 && r0 == r1) {
-                span_total += u64::from(c1 - c0 + 1) * u64::from(r1 - r0 + 1);
-                span_rects += 1;
-            }
-        }
-
-        // Convert sums to the averages of Table 1.
-        let to_avg = |sums: Vec<f64>, counts: &[u32]| -> Vec<f64> {
-            sums.into_iter()
-                .zip(counts)
-                .map(|(s, &c)| if c == 0 { 0.0 } else { s / f64::from(c) })
-                .collect()
-        };
-        let xavg = to_avg(xsum, &num);
-        let yavg = to_avg(ysum, &num);
-        let xavg_x = to_avg(xsum_x, &num_x);
-        let yavg_x = to_avg(ysum_x, &num_x);
-        #[allow(clippy::cast_precision_loss)]
-        let avg_span = if span_rects == 0 {
-            1.0
-        } else {
-            span_total as f64 / span_rects as f64
-        };
-
-        Self {
-            grid,
-            n: rects.len() as u64,
-            avg_span,
-            num,
-            cov,
-            xavg,
-            yavg,
-            num_x,
-            cov_x,
-            xavg_x,
-            yavg_x,
-        }
+        crate::band::build_shard_merge(grid, rects, threads)
     }
 
     /// The grid the histogram was built on.
@@ -177,10 +80,16 @@ impl PhHistogram {
         usize::try_from(self.n).expect("cardinality fits usize")
     }
 
-    /// `AvgSpan`: mean number of cells spanned by boundary-crossing MBRs.
+    /// `AvgSpan`: mean number of cells spanned by boundary-crossing MBRs;
+    /// `1.0` when no MBR crosses a cell boundary.
     #[must_use]
     pub fn avg_span(&self) -> f64 {
-        self.avg_span
+        #[allow(clippy::cast_precision_loss)]
+        if self.span_rects == 0 {
+            1.0
+        } else {
+            self.span_total as f64 / self.span_rects as f64
+        }
     }
 
     /// Estimates the join selectivity between the datasets summarized by
@@ -227,32 +136,40 @@ impl PhHistogram {
             n1 * c2 + c1 * n2 + n1 * n2 * (w1 * h2 + w2 * h1) / cell_area
         };
 
+        // Table 1 averages, derived on the fly from the stored sums.
+        let avg = |sum: Mass, count: u32| {
+            if count == 0 {
+                0.0
+            } else {
+                sum.to_f64() / f64::from(count)
+            }
+        };
         let mut sum_abc = 0.0f64;
         let mut sum_d = 0.0f64;
         for idx in 0..self.grid.num_cells() {
             let (n1, c1, w1, h1) = (
                 f64::from(self.num[idx]),
-                self.cov[idx],
-                self.xavg[idx],
-                self.yavg[idx],
+                self.cov[idx].to_f64(),
+                avg(self.xsum[idx], self.num[idx]),
+                avg(self.ysum[idx], self.num[idx]),
             );
             let (n1x, c1x, w1x, h1x) = (
                 f64::from(self.num_x[idx]),
-                self.cov_x[idx],
-                self.xavg_x[idx],
-                self.yavg_x[idx],
+                self.cov_x[idx].to_f64(),
+                avg(self.xsum_x[idx], self.num_x[idx]),
+                avg(self.ysum_x[idx], self.num_x[idx]),
             );
             let (n2, c2, w2, h2) = (
                 f64::from(other.num[idx]),
-                other.cov[idx],
-                other.xavg[idx],
-                other.yavg[idx],
+                other.cov[idx].to_f64(),
+                avg(other.xsum[idx], other.num[idx]),
+                avg(other.ysum[idx], other.num[idx]),
             );
             let (n2x, c2x, w2x, h2x) = (
                 f64::from(other.num_x[idx]),
-                other.cov_x[idx],
-                other.xavg_x[idx],
-                other.yavg_x[idx],
+                other.cov_x[idx].to_f64(),
+                avg(other.xsum_x[idx], other.num_x[idx]),
+                avg(other.ysum_x[idx], other.num_x[idx]),
             );
             // Sa: Cont1 × Cont2; Sb: Cont1 × Isect2; Sc: Isect1 × Cont2.
             sum_abc += kernel(n1, c1, w1, h1, n2, c2, w2, h2);
@@ -262,7 +179,7 @@ impl PhHistogram {
             sum_d += kernel(n1x, c1x, w1x, h1x, n2x, c2x, w2x, h2x);
         }
         let span_correction = if correct_spans {
-            (self.avg_span + other.avg_span) / 2.0
+            (self.avg_span() + other.avg_span()) / 2.0
         } else {
             1.0
         };
@@ -280,7 +197,7 @@ impl PhHistogram {
     /// Serializes the histogram file.
     #[must_use]
     pub fn to_bytes(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(64 + self.grid.num_cells() * 56);
+        let mut buf = BytesMut::with_capacity(self.size_bytes());
         buf.put_u32_le(MAGIC);
         buf.put_u32_le(self.grid.level());
         let e = self.grid.extent().rect();
@@ -288,7 +205,8 @@ impl PhHistogram {
             buf.put_f64_le(v);
         }
         buf.put_u64_le(self.n);
-        buf.put_f64_le(self.avg_span);
+        buf.put_u64_le(self.span_total);
+        buf.put_u64_le(self.span_rects);
         for v in &self.num {
             buf.put_u32_le(*v);
         }
@@ -297,14 +215,14 @@ impl PhHistogram {
         }
         for arr in [
             &self.cov,
-            &self.xavg,
-            &self.yavg,
+            &self.xsum,
+            &self.ysum,
             &self.cov_x,
-            &self.xavg_x,
-            &self.yavg_x,
+            &self.xsum_x,
+            &self.ysum_x,
         ] {
             for v in arr.iter() {
-                buf.put_f64_le(*v);
+                v.put_le(&mut buf);
             }
         }
         buf.freeze()
@@ -316,7 +234,7 @@ impl PhHistogram {
     /// Returns [`HistogramError::Corrupt`] on malformed input.
     pub fn from_bytes(mut data: &[u8]) -> Result<Self, HistogramError> {
         let corrupt = |msg: &str| HistogramError::Corrupt(msg.to_string());
-        if data.remaining() < 4 + 4 + 32 + 8 + 8 {
+        if data.remaining() < 4 + 4 + 32 + 8 + 8 + 8 {
             return Err(corrupt("truncated header"));
         }
         if data.get_u32_le() != MAGIC {
@@ -338,9 +256,10 @@ impl PhHistogram {
         let extent = sj_geo::Extent::new(Rect::new(xlo, ylo, xhi, yhi));
         let grid = Grid::new(level, extent).map_err(|_| corrupt("grid level out of range"))?;
         let n = data.get_u64_le();
-        let avg_span = data.get_f64_le();
+        let span_total = data.get_u64_le();
+        let span_rects = data.get_u64_le();
         let cells = grid.num_cells();
-        let need = cells * (2 * 4 + 6 * 8);
+        let need = cells * (2 * 4 + 6 * 16);
         if data.remaining() != need {
             return Err(corrupt("payload size mismatch"));
         }
@@ -348,26 +267,27 @@ impl PhHistogram {
             |data: &mut &[u8]| -> Vec<u32> { (0..cells).map(|_| data.get_u32_le()).collect() };
         let num = read_u32s(&mut data);
         let num_x = read_u32s(&mut data);
-        let read_f64s =
-            |data: &mut &[u8]| -> Vec<f64> { (0..cells).map(|_| data.get_f64_le()).collect() };
-        let cov = read_f64s(&mut data);
-        let xavg = read_f64s(&mut data);
-        let yavg = read_f64s(&mut data);
-        let cov_x = read_f64s(&mut data);
-        let xavg_x = read_f64s(&mut data);
-        let yavg_x = read_f64s(&mut data);
+        let read_masses =
+            |data: &mut &[u8]| -> Vec<Mass> { (0..cells).map(|_| Mass::get_le(data)).collect() };
+        let cov = read_masses(&mut data);
+        let xsum = read_masses(&mut data);
+        let ysum = read_masses(&mut data);
+        let cov_x = read_masses(&mut data);
+        let xsum_x = read_masses(&mut data);
+        let ysum_x = read_masses(&mut data);
         Ok(Self {
             grid,
             n,
-            avg_span,
+            span_total,
+            span_rects,
             num,
             cov,
-            xavg,
-            yavg,
+            xsum,
+            ysum,
             num_x,
             cov_x,
-            xavg_x,
-            yavg_x,
+            xsum_x,
+            ysum_x,
         })
     }
 
@@ -375,7 +295,7 @@ impl PhHistogram {
     /// numerator. Depends only on the grid level.
     #[must_use]
     pub fn size_bytes(&self) -> usize {
-        4 + 4 + 32 + 8 + 8 + self.grid.num_cells() * (2 * 4 + 6 * 8)
+        4 + 4 + 32 + 8 + 8 + 8 + self.grid.num_cells() * (2 * 4 + 6 * 16)
     }
 
     #[cfg(test)]
@@ -386,6 +306,101 @@ impl PhHistogram {
     #[cfg(test)]
     pub(crate) fn isect_count(&self, col: u32, row: u32) -> u32 {
         self.num_x[self.grid.flat_index(col, row)]
+    }
+}
+
+impl RowBanded for PhHistogram {
+    fn build_rows(grid: Grid, rects: &[Rect], lo: u32, hi: u32) -> Self {
+        let cells = grid.num_cells();
+        let cell_area = grid.cell_area();
+        let mut n = 0u64;
+        let mut span_total = 0u64;
+        let mut span_rects = 0u64;
+        let mut num = vec![0u32; cells];
+        let mut cov = vec![Mass::ZERO; cells];
+        let mut xsum = vec![Mass::ZERO; cells];
+        let mut ysum = vec![Mass::ZERO; cells];
+        let mut num_x = vec![0u32; cells];
+        let mut cov_x = vec![Mass::ZERO; cells];
+        let mut xsum_x = vec![Mass::ZERO; cells];
+        let mut ysum_x = vec![Mass::ZERO; cells];
+        for r in rects {
+            let (c0, c1, r0, r1) = grid.cell_range(r);
+            if r1 < lo || r0 >= hi {
+                continue;
+            }
+            // Scalar statistics go to the band owning the bottom row, so
+            // band builds partition them exactly.
+            if (lo..hi).contains(&r0) {
+                n += 1;
+                if !(c0 == c1 && r0 == r1) {
+                    span_total += u64::from(c1 - c0 + 1) * u64::from(r1 - r0 + 1);
+                    span_rects += 1;
+                }
+            }
+            if c0 == c1 && r0 == r1 {
+                if (lo..hi).contains(&r0) {
+                    let idx = grid.flat_index(c0, r0);
+                    num[idx] += 1;
+                    cov[idx] += Mass::from_f64(r.area() / cell_area);
+                    xsum[idx] += Mass::from_f64(r.width());
+                    ysum[idx] += Mass::from_f64(r.height());
+                }
+            } else {
+                for row in r0.max(lo)..=r1.min(hi - 1) {
+                    for col in c0..=c1 {
+                        let idx = grid.flat_index(col, row);
+                        let cell = grid.cell_rect(col, row);
+                        // The cell range guarantees a (possibly degenerate)
+                        // closed intersection exists.
+                        let clip = r
+                            .intersection(&cell)
+                            .unwrap_or_else(|| Rect::from_point(cell.center()));
+                        num_x[idx] += 1;
+                        cov_x[idx] += Mass::from_f64(clip.area() / cell_area);
+                        xsum_x[idx] += Mass::from_f64(clip.width());
+                        ysum_x[idx] += Mass::from_f64(clip.height());
+                    }
+                }
+            }
+        }
+        Self {
+            grid,
+            n,
+            span_total,
+            span_rects,
+            num,
+            cov,
+            xsum,
+            ysum,
+            num_x,
+            cov_x,
+            xsum_x,
+            ysum_x,
+        }
+    }
+
+    fn merge_same_grid(&mut self, other: &Self) {
+        self.n += other.n;
+        self.span_total += other.span_total;
+        self.span_rects += other.span_rects;
+        for (into, from) in [(&mut self.num, &other.num), (&mut self.num_x, &other.num_x)] {
+            for (a, b) in into.iter_mut().zip(from) {
+                *a += *b;
+            }
+        }
+        for (into, from) in [
+            (&mut self.cov, &other.cov),
+            (&mut self.xsum, &other.xsum),
+            (&mut self.ysum, &other.ysum),
+            (&mut self.cov_x, &other.cov_x),
+            (&mut self.xsum_x, &other.xsum_x),
+            (&mut self.ysum_x, &other.ysum_x),
+        ] {
+            for (a, b) in into.iter_mut().zip(from) {
+                *a += *b;
+            }
+        }
     }
 }
 
@@ -580,8 +595,8 @@ mod tests {
         let large = PhHistogram::build(unit_grid(4), &uniform(5000, 11, 0.01));
         assert_eq!(small.size_bytes(), large.size_bytes());
         let finer = PhHistogram::build(unit_grid(5), &uniform(10, 12, 0.01));
-        // 4× the cells at the next level ⇒ 4× the payload (56-byte header).
-        assert_eq!(finer.size_bytes() - 56, (small.size_bytes() - 56) * 4);
+        // 4× the cells at the next level ⇒ 4× the payload (64-byte header).
+        assert_eq!(finer.size_bytes() - 64, (small.size_bytes() - 64) * 4);
     }
 }
 

@@ -1,0 +1,580 @@
+//! The [`SpatialHistogram`] trait: one mergeable-sketch interface over
+//! all four histogram families, plus versioned persistence envelopes.
+//!
+//! Every family's per-cell statistics are pure sums over the input MBRs,
+//! so any two histograms of the same kind on the same grid can be merged
+//! by adding their statistics — and because the fractional masses are
+//! accumulated exactly ([`crate::mass`]), merging *any* sharding of a
+//! dataset (row bands or rectangle ranges) reproduces the serial build
+//! bit-for-bit. The trait packages that contract behind one object-safe
+//! interface so the estimator, catalog and CLI layers can treat the
+//! families uniformly.
+//!
+//! Persistence wraps each family's native byte format in a small
+//! versioned envelope (magic, version, kind tag) so a single
+//! [`load_histogram`] call can revive any kind; [`persist_json`] offers
+//! the same envelope as a JSON document for text-based pipelines.
+//!
+//! [`persist_json`]: SpatialHistogram::persist_json
+
+use crate::band::RowBanded;
+use crate::{
+    EulerHistogram, GhBasicHistogram, GhHistogram, Grid, HistogramError, PhHistogram,
+    SelectivityEstimate,
+};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sj_geo::Rect;
+use std::any::Any;
+
+/// Envelope magic for persisted histograms of any kind.
+const ENVELOPE_MAGIC: u32 = 0x534a_5348; // "SJSH"
+/// Envelope format version; bump on incompatible layout changes.
+const ENVELOPE_VERSION: u32 = 1;
+/// `format` field value of the JSON envelope.
+const JSON_FORMAT: &str = "sjsel-histogram";
+
+/// Identifies one of the four histogram families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HistogramKind {
+    /// Parametric Histogram (paper Section 3.1.2).
+    Ph,
+    /// Basic Geometric Histogram (paper Eq. 4).
+    GhBasic,
+    /// Revised Geometric Histogram — the paper's headline scheme (Eq. 5).
+    Gh,
+    /// Euler histogram (exact cell-resolution counting).
+    Euler,
+}
+
+impl HistogramKind {
+    /// All four kinds, in tag order.
+    pub const ALL: [HistogramKind; 4] = [
+        HistogramKind::Ph,
+        HistogramKind::GhBasic,
+        HistogramKind::Gh,
+        HistogramKind::Euler,
+    ];
+
+    /// Stable lowercase name, matching the CLI `--kind` spelling.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            HistogramKind::Ph => "ph",
+            HistogramKind::GhBasic => "gh-basic",
+            HistogramKind::Gh => "gh",
+            HistogramKind::Euler => "euler",
+        }
+    }
+
+    /// Stable numeric tag used in the persistence envelope.
+    #[must_use]
+    pub fn tag(self) -> u32 {
+        match self {
+            HistogramKind::Ph => 1,
+            HistogramKind::GhBasic => 2,
+            HistogramKind::Gh => 3,
+            HistogramKind::Euler => 4,
+        }
+    }
+
+    /// Inverse of [`Self::tag`].
+    #[must_use]
+    pub fn from_tag(tag: u32) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.tag() == tag)
+    }
+}
+
+impl std::fmt::Display for HistogramKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for HistogramKind {
+    type Err = HistogramError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::ALL
+            .into_iter()
+            .find(|k| k.name() == s)
+            .ok_or_else(|| HistogramError::Corrupt(format!("unknown histogram kind {s:?}")))
+    }
+}
+
+/// A grid histogram usable as a mergeable sketch: buildable from MBRs,
+/// mergeable with another same-kind/same-grid histogram, able to estimate
+/// join selectivity against its own kind, and persistable.
+///
+/// Implemented by [`PhHistogram`], [`GhBasicHistogram`], [`GhHistogram`]
+/// and [`EulerHistogram`]. Merging shard builds is *bit-for-bit* equal to
+/// building serially over the concatenated input — see the row-band driver in `band.rs`.
+pub trait SpatialHistogram: std::fmt::Debug + Send + Sync {
+    /// Which family this histogram belongs to.
+    fn kind(&self) -> HistogramKind;
+
+    /// The grid the histogram was built on.
+    fn grid(&self) -> Grid;
+
+    /// Cardinality of the summarized dataset.
+    fn dataset_len(&self) -> usize;
+
+    /// Size of the native histogram file in bytes — the paper's space
+    /// cost.
+    fn space_bytes(&self) -> usize;
+
+    /// Serializes the family's native (un-enveloped) byte format.
+    fn to_bytes(&self) -> Bytes;
+
+    /// Adds `other`'s statistics into `self`.
+    ///
+    /// # Errors
+    /// [`HistogramError::KindMismatch`] when `other` is a different
+    /// family, [`HistogramError::GridMismatch`] when the grids differ.
+    fn merge(&mut self, other: &dyn SpatialHistogram) -> Result<(), HistogramError>;
+
+    /// Estimates the join selectivity against `other`.
+    ///
+    /// # Errors
+    /// [`HistogramError::KindMismatch`] when `other` is a different
+    /// family, [`HistogramError::GridMismatch`] when the grids differ.
+    fn estimate_join(
+        &self,
+        other: &dyn SpatialHistogram,
+    ) -> Result<SelectivityEstimate, HistogramError>;
+
+    /// Upcast for kind-checked downcasting (used by [`Self::merge`] and
+    /// [`Self::estimate_join`] implementations).
+    fn as_any(&self) -> &dyn Any;
+
+    /// Clones into a boxed trait object.
+    fn clone_box(&self) -> Box<dyn SpatialHistogram>;
+
+    /// Builds the histogram of `rects` on `grid` (serial).
+    #[must_use]
+    fn build_from(grid: Grid, rects: &[Rect]) -> Self
+    where
+        Self: Sized;
+
+    /// Serializes into the versioned kind-tagged envelope decodable by
+    /// [`load_histogram`], regardless of family.
+    fn persist(&self) -> Bytes {
+        let payload = self.to_bytes();
+        let mut buf = BytesMut::with_capacity(12 + payload.len());
+        buf.put_u32_le(ENVELOPE_MAGIC);
+        buf.put_u32_le(ENVELOPE_VERSION);
+        buf.put_u32_le(self.kind().tag());
+        buf.put_slice(&payload);
+        buf.freeze()
+    }
+
+    /// Serializes into a versioned JSON envelope decodable by
+    /// [`load_histogram_json`]. The native payload travels hex-encoded.
+    fn persist_json(&self) -> String {
+        format!(
+            "{{\"format\":\"{JSON_FORMAT}\",\"version\":{ENVELOPE_VERSION},\
+             \"kind\":\"{}\",\"payload_hex\":\"{}\"}}",
+            self.kind().name(),
+            hex_encode(&self.to_bytes())
+        )
+    }
+}
+
+impl Clone for Box<dyn SpatialHistogram> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Downcasts `other` to `H`, reporting a kind mismatch otherwise.
+fn same_kind<H: SpatialHistogram + 'static>(
+    left: HistogramKind,
+    other: &dyn SpatialHistogram,
+) -> Result<&H, HistogramError> {
+    other
+        .as_any()
+        .downcast_ref::<H>()
+        .ok_or(HistogramError::KindMismatch {
+            left,
+            right: other.kind(),
+        })
+}
+
+/// Shared [`SpatialHistogram::merge`] implementation: kind check, grid
+/// check, then the family's exact statistic addition.
+fn merge_impl<H>(this: &mut H, other: &dyn SpatialHistogram) -> Result<(), HistogramError>
+where
+    H: SpatialHistogram + RowBanded + 'static,
+{
+    let kind = this.kind();
+    let other = same_kind::<H>(kind, other)?;
+    let (left, right) = (this.grid(), SpatialHistogram::grid(other));
+    if !left.compatible(&right) {
+        return Err(HistogramError::GridMismatch {
+            left_level: left.level(),
+            right_level: right.level(),
+        });
+    }
+    this.merge_same_grid(other);
+    Ok(())
+}
+
+macro_rules! impl_spatial_histogram {
+    ($ty:ty, $kind:expr) => {
+        impl SpatialHistogram for $ty {
+            fn kind(&self) -> HistogramKind {
+                $kind
+            }
+
+            fn grid(&self) -> Grid {
+                <$ty>::grid(self)
+            }
+
+            fn dataset_len(&self) -> usize {
+                <$ty>::dataset_len(self)
+            }
+
+            fn space_bytes(&self) -> usize {
+                self.size_bytes()
+            }
+
+            fn to_bytes(&self) -> Bytes {
+                <$ty>::to_bytes(self)
+            }
+
+            fn merge(&mut self, other: &dyn SpatialHistogram) -> Result<(), HistogramError> {
+                merge_impl(self, other)
+            }
+
+            fn estimate_join(
+                &self,
+                other: &dyn SpatialHistogram,
+            ) -> Result<SelectivityEstimate, HistogramError> {
+                let other = same_kind::<$ty>($kind, other)?;
+                self.estimate(other)
+            }
+
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+
+            fn clone_box(&self) -> Box<dyn SpatialHistogram> {
+                Box::new(self.clone())
+            }
+
+            fn build_from(grid: Grid, rects: &[Rect]) -> Self {
+                <$ty>::build(grid, rects)
+            }
+        }
+    };
+}
+
+impl_spatial_histogram!(PhHistogram, HistogramKind::Ph);
+impl_spatial_histogram!(GhBasicHistogram, HistogramKind::GhBasic);
+impl_spatial_histogram!(GhHistogram, HistogramKind::Gh);
+impl_spatial_histogram!(EulerHistogram, HistogramKind::Euler);
+
+/// Builds a boxed histogram of the given `kind` (serial).
+#[must_use]
+pub fn build_histogram(
+    kind: HistogramKind,
+    grid: Grid,
+    rects: &[Rect],
+) -> Box<dyn SpatialHistogram> {
+    build_histogram_parallel(kind, grid, rects, 1)
+}
+
+/// Builds a boxed histogram of the given `kind`, banding grid rows across
+/// `threads` workers; bit-identical to the serial build for every thread
+/// count.
+#[must_use]
+pub fn build_histogram_parallel(
+    kind: HistogramKind,
+    grid: Grid,
+    rects: &[Rect],
+    threads: usize,
+) -> Box<dyn SpatialHistogram> {
+    match kind {
+        HistogramKind::Ph => Box::new(PhHistogram::build_parallel(grid, rects, threads)),
+        HistogramKind::GhBasic => Box::new(GhBasicHistogram::build_parallel(grid, rects, threads)),
+        HistogramKind::Gh => Box::new(GhHistogram::build_parallel(grid, rects, threads)),
+        HistogramKind::Euler => Box::new(EulerHistogram::build_parallel(grid, rects, threads)),
+    }
+}
+
+/// Builds each rectangle shard independently and merges the shard
+/// histograms — bit-identical to one serial build over the concatenated
+/// shards (exact accumulation makes the merge order irrelevant). An empty
+/// shard list yields an empty histogram.
+#[must_use]
+pub fn build_histogram_sharded(
+    kind: HistogramKind,
+    grid: Grid,
+    shards: &[&[Rect]],
+) -> Box<dyn SpatialHistogram> {
+    let mut acc = build_histogram(kind, grid, shards.first().copied().unwrap_or(&[]));
+    for shard in shards.iter().skip(1) {
+        let part = build_histogram(kind, grid, shard);
+        acc.merge(part.as_ref())
+            .expect("same kind and grid by construction");
+    }
+    acc
+}
+
+/// Decodes the payload of a known kind into a boxed histogram.
+fn load_payload(
+    kind: HistogramKind,
+    data: &[u8],
+) -> Result<Box<dyn SpatialHistogram>, HistogramError> {
+    Ok(match kind {
+        HistogramKind::Ph => Box::new(PhHistogram::from_bytes(data)?),
+        HistogramKind::GhBasic => Box::new(GhBasicHistogram::from_bytes(data)?),
+        HistogramKind::Gh => Box::new(GhHistogram::from_bytes(data)?),
+        HistogramKind::Euler => Box::new(EulerHistogram::from_bytes(data)?),
+    })
+}
+
+/// Decodes a histogram of any kind from the envelope written by
+/// [`SpatialHistogram::persist`].
+///
+/// # Errors
+/// Returns [`HistogramError::Corrupt`] on malformed input, a bad version,
+/// or an unknown kind tag.
+pub fn load_histogram(mut data: &[u8]) -> Result<Box<dyn SpatialHistogram>, HistogramError> {
+    if data.remaining() < 12 {
+        return Err(HistogramError::Corrupt(
+            "truncated histogram envelope".to_string(),
+        ));
+    }
+    if data.get_u32_le() != ENVELOPE_MAGIC {
+        return Err(HistogramError::Corrupt("bad envelope magic".to_string()));
+    }
+    let version = data.get_u32_le();
+    if version != ENVELOPE_VERSION {
+        return Err(HistogramError::Corrupt(format!(
+            "unsupported envelope version {version}"
+        )));
+    }
+    let tag = data.get_u32_le();
+    let kind = HistogramKind::from_tag(tag)
+        .ok_or_else(|| HistogramError::Corrupt(format!("unknown histogram kind tag {tag}")))?;
+    load_payload(kind, data)
+}
+
+/// Decodes a histogram of any kind from the JSON envelope written by
+/// [`SpatialHistogram::persist_json`].
+///
+/// # Errors
+/// Returns [`HistogramError::Corrupt`] on malformed input, a bad version,
+/// or an unknown kind name.
+pub fn load_histogram_json(json: &str) -> Result<Box<dyn SpatialHistogram>, HistogramError> {
+    let corrupt = |m: &str| HistogramError::Corrupt(m.to_string());
+    let format = json_string_field(json, "format").ok_or_else(|| corrupt("missing format"))?;
+    if format != JSON_FORMAT {
+        return Err(HistogramError::Corrupt(format!(
+            "unrecognized format {format:?}"
+        )));
+    }
+    let version = json_u64_field(json, "version").ok_or_else(|| corrupt("missing version"))?;
+    if version != u64::from(ENVELOPE_VERSION) {
+        return Err(HistogramError::Corrupt(format!(
+            "unsupported envelope version {version}"
+        )));
+    }
+    let kind: HistogramKind = json_string_field(json, "kind")
+        .ok_or_else(|| corrupt("missing kind"))?
+        .parse()?;
+    let payload = hex_decode(
+        json_string_field(json, "payload_hex").ok_or_else(|| corrupt("missing payload_hex"))?,
+    )?;
+    load_payload(kind, &payload)
+}
+
+/// Extracts the string value of `"field":"…"` from the flat JSON envelope
+/// (the values this format writes never contain escapes).
+fn json_string_field<'a>(json: &'a str, field: &str) -> Option<&'a str> {
+    let needle = format!("\"{field}\":\"");
+    let start = json.find(&needle)? + needle.len();
+    let rest = &json[start..];
+    Some(&rest[..rest.find('"')?])
+}
+
+/// Extracts the numeric value of `"field":N` from the flat JSON envelope.
+fn json_u64_field(json: &str, field: &str) -> Option<u64> {
+    let needle = format!("\"{field}\":");
+    let start = json.find(&needle)? + needle.len();
+    let digits: String = json[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Lowercase hex encoding of `data`.
+fn hex_encode(data: &[u8]) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(data.len() * 2);
+    for b in data {
+        out.push(DIGITS[usize::from(b >> 4)] as char);
+        out.push(DIGITS[usize::from(b & 0x0f)] as char);
+    }
+    out
+}
+
+/// Inverse of [`hex_encode`].
+fn hex_decode(s: &str) -> Result<Vec<u8>, HistogramError> {
+    if !s.len().is_multiple_of(2) || !s.is_ascii() {
+        return Err(HistogramError::Corrupt(
+            "payload_hex must be an even-length hex string".to_string(),
+        ));
+    }
+    s.as_bytes()
+        .chunks(2)
+        .map(|pair| {
+            u8::from_str_radix(std::str::from_utf8(pair).expect("ascii checked"), 16).map_err(
+                |_| HistogramError::Corrupt("invalid hex digit in payload_hex".to_string()),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_geo::Extent;
+
+    fn unit_grid(level: u32) -> Grid {
+        Grid::new(level, Extent::unit()).unwrap()
+    }
+
+    fn uniform(n: usize, seed: u64, side: f64) -> Vec<Rect> {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let x = rng.random_range(0.0..1.0 - side);
+                let y = rng.random_range(0.0..1.0 - side);
+                Rect::new(
+                    x,
+                    y,
+                    x + rng.random_range(0.0..side),
+                    y + rng.random_range(0.0..side),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn kind_names_tags_roundtrip() {
+        for kind in HistogramKind::ALL {
+            assert_eq!(kind.name().parse::<HistogramKind>().unwrap(), kind);
+            assert_eq!(HistogramKind::from_tag(kind.tag()), Some(kind));
+            assert_eq!(kind.to_string(), kind.name());
+        }
+        assert!("nope".parse::<HistogramKind>().is_err());
+        assert_eq!(HistogramKind::from_tag(0), None);
+        assert_eq!(HistogramKind::from_tag(99), None);
+    }
+
+    #[test]
+    fn envelope_roundtrip_every_kind() {
+        let a = uniform(200, 140, 0.06);
+        let b = uniform(250, 141, 0.05);
+        let g = unit_grid(4);
+        for kind in HistogramKind::ALL {
+            let ha = build_histogram(kind, g, &a);
+            let hb = build_histogram(kind, g, &b);
+            let expected = ha.estimate_join(hb.as_ref()).unwrap();
+
+            let back = load_histogram(&ha.persist()).unwrap();
+            assert_eq!(back.kind(), kind);
+            assert_eq!(back.to_bytes(), ha.to_bytes(), "{kind}: lossless");
+            assert_eq!(
+                back.estimate_join(hb.as_ref()).unwrap(),
+                expected,
+                "{kind}: identical estimates after reload"
+            );
+
+            let back = load_histogram_json(&ha.persist_json()).unwrap();
+            assert_eq!(back.kind(), kind);
+            assert_eq!(back.to_bytes(), ha.to_bytes(), "{kind}: JSON lossless");
+        }
+    }
+
+    #[test]
+    fn envelope_rejects_corruption() {
+        let h = build_histogram(HistogramKind::Gh, unit_grid(2), &uniform(30, 142, 0.1));
+        let bytes = h.persist();
+        assert!(load_histogram(&bytes[..8]).is_err());
+        let mut bad_magic = bytes.to_vec();
+        bad_magic[0] ^= 1;
+        assert!(load_histogram(&bad_magic).is_err());
+        let mut bad_version = bytes.to_vec();
+        bad_version[4] = 99;
+        assert!(load_histogram(&bad_version).is_err());
+        let mut bad_tag = bytes.to_vec();
+        bad_tag[8] = 99;
+        assert!(load_histogram(&bad_tag).is_err());
+        // A bare family file is not an envelope.
+        assert!(load_histogram(&h.to_bytes()).is_err());
+        // JSON with the wrong format marker or broken hex.
+        assert!(load_histogram_json("{\"format\":\"other\"}").is_err());
+        let json = h.persist_json();
+        assert!(load_histogram_json(&json.replace("sjsel-histogram", "x")).is_err());
+        assert!(load_histogram_json(&json.replace("\"version\":1", "\"version\":9")).is_err());
+    }
+
+    #[test]
+    fn merge_rejects_kind_and_grid_mismatch() {
+        let rects = uniform(50, 143, 0.08);
+        let g = unit_grid(3);
+        let mut gh = build_histogram(HistogramKind::Gh, g, &rects);
+        let ph = build_histogram(HistogramKind::Ph, g, &rects);
+        let err = gh.merge(ph.as_ref()).unwrap_err();
+        assert!(
+            err.to_string().contains("common scheme"),
+            "kind mismatch message: {err}"
+        );
+        assert!(matches!(err, HistogramError::KindMismatch { .. }));
+        let other_grid = build_histogram(HistogramKind::Gh, unit_grid(4), &rects);
+        assert!(matches!(
+            gh.merge(other_grid.as_ref()),
+            Err(HistogramError::GridMismatch { .. })
+        ));
+        assert!(matches!(
+            gh.estimate_join(ph.as_ref()),
+            Err(HistogramError::KindMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn sharded_build_matches_serial_for_every_kind() {
+        let rects = uniform(400, 144, 0.07);
+        let g = unit_grid(4);
+        for kind in HistogramKind::ALL {
+            let serial = build_histogram(kind, g, &rects);
+            for pieces in [1usize, 2, 3, 8] {
+                let chunk = rects.len().div_ceil(pieces);
+                let shards: Vec<&[Rect]> = rects.chunks(chunk).collect();
+                let merged = build_histogram_sharded(kind, g, &shards);
+                assert_eq!(
+                    merged.to_bytes(),
+                    serial.to_bytes(),
+                    "{kind} sharded into {pieces} must be byte-identical"
+                );
+                assert_eq!(merged.dataset_len(), rects.len());
+            }
+        }
+    }
+
+    #[test]
+    fn boxed_clone_is_independent() {
+        let rects = uniform(60, 145, 0.08);
+        let g = unit_grid(3);
+        let original = build_histogram(HistogramKind::Euler, g, &rects);
+        let mut copy = original.clone();
+        copy.merge(original.as_ref()).unwrap();
+        assert_eq!(copy.dataset_len(), 2 * original.dataset_len());
+        assert_eq!(original.dataset_len(), rects.len(), "original untouched");
+    }
+}

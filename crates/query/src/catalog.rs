@@ -1,16 +1,21 @@
 use crate::error::QueryError;
 use crate::plan::{ChainJoinQuery, Plan, Planner};
 use sj_datagen::Dataset;
-use sj_geo::Extent;
-use sj_histogram::{GhHistogram, Grid};
+use sj_geo::{Extent, Rect};
+use sj_histogram::{
+    build_histogram, load_histogram, GhHistogram, Grid, HistogramKind, SpatialHistogram,
+};
 use sj_rtree::{RTree, RTreeConfig};
+use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 use std::sync::OnceLock;
 
 /// Catalog configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct CatalogConfig {
-    /// Gridding level for the per-table GH histogram files.
+    /// Histogram family used for every table's statistics file.
+    pub kind: HistogramKind,
+    /// Gridding level for the per-table histogram files.
     pub grid_level: u32,
     /// R-tree configuration for table indexes.
     pub rtree: RTreeConfig,
@@ -24,6 +29,7 @@ pub struct CatalogConfig {
 impl Default for CatalogConfig {
     fn default() -> Self {
         Self {
+            kind: HistogramKind::Gh,
             grid_level: 6,
             rtree: RTreeConfig::default(),
             extent: Extent::unit(),
@@ -34,20 +40,35 @@ impl Default for CatalogConfig {
 
 pub(crate) struct Table {
     pub(crate) dataset: Dataset,
-    pub(crate) histogram: GhHistogram,
+    pub(crate) histogram: Box<dyn SpatialHistogram>,
     rtree: OnceLock<RTree>,
+}
+
+/// A table still being assembled from shards (see
+/// [`Catalog::register_shard`]).
+struct PendingTable {
+    rects: Vec<Rect>,
+    histogram: Box<dyn SpatialHistogram>,
 }
 
 /// A catalog of named spatial tables with precomputed statistics.
 ///
-/// Registration builds the GH histogram file immediately (the cheap,
-/// always-useful statistic); R-trees are built lazily the first time a
-/// plan needs one, mirroring how an SDBMS separates statistics collection
-/// from index builds.
+/// Registration builds the configured histogram file immediately (the
+/// cheap, always-useful statistic); R-trees are built lazily the first
+/// time a plan needs one, mirroring how an SDBMS separates statistics
+/// collection from index builds.
+///
+/// Tables can also arrive in *shards* ([`Catalog::register_shard`] +
+/// [`Catalog::merge_shards`]): each shard's histogram is built
+/// independently and merged, and — because every family is a mergeable
+/// sketch with exact accumulation — the merged statistics are
+/// byte-identical to a direct [`Catalog::register`] over the
+/// concatenated shards.
 pub struct Catalog {
     config: CatalogConfig,
     grid: Grid,
     tables: BTreeMap<String, Table>,
+    pending: BTreeMap<String, PendingTable>,
 }
 
 impl Catalog {
@@ -64,14 +85,26 @@ impl Catalog {
             config,
             grid,
             tables: BTreeMap::new(),
+            pending: BTreeMap::new(),
         }
     }
 
     /// Creates a catalog over the unit extent at the given histogram
-    /// level, with defaults for everything else.
+    /// level, with defaults for everything else (GH statistics).
     #[must_use]
     pub fn with_level(grid_level: u32) -> Self {
         Self::new(CatalogConfig {
+            grid_level,
+            ..CatalogConfig::default()
+        })
+    }
+
+    /// Creates a catalog using the given histogram family at the given
+    /// level, with defaults for everything else.
+    #[must_use]
+    pub fn with_kind(kind: HistogramKind, grid_level: u32) -> Self {
+        Self::new(CatalogConfig {
+            kind,
             grid_level,
             ..CatalogConfig::default()
         })
@@ -92,12 +125,72 @@ impl Catalog {
         if self.tables.contains_key(&dataset.name) {
             return Err(QueryError::DuplicateTable(dataset.name.clone()));
         }
-        let histogram = GhHistogram::build(self.grid, &dataset.rects);
+        let histogram = build_histogram(self.config.kind, self.grid, &dataset.rects);
         self.tables.insert(
             dataset.name.clone(),
             Table {
                 dataset,
                 histogram,
+                rtree: OnceLock::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Adds one shard of a table that is being loaded piecewise: builds
+    /// the shard's histogram and merges it into the pending statistics
+    /// for `name`. Finish with [`Catalog::merge_shards`].
+    ///
+    /// Shard-and-merge registration produces statistics byte-identical
+    /// to a single [`Catalog::register`] over the concatenated shards,
+    /// in any shard order that preserves rectangle order.
+    ///
+    /// # Errors
+    /// Returns [`QueryError::DuplicateTable`] if a *finalized* table
+    /// already has this name, or propagates a histogram merge error.
+    pub fn register_shard(&mut self, name: &str, rects: &[Rect]) -> Result<(), QueryError> {
+        if self.tables.contains_key(name) {
+            return Err(QueryError::DuplicateTable(name.to_string()));
+        }
+        let shard = build_histogram(self.config.kind, self.grid, rects);
+        match self.pending.entry(name.to_string()) {
+            Entry::Occupied(mut e) => {
+                let p = e.get_mut();
+                p.histogram.merge(shard.as_ref())?;
+                p.rects.extend_from_slice(rects);
+            }
+            Entry::Vacant(v) => {
+                v.insert(PendingTable {
+                    rects: rects.to_vec(),
+                    histogram: shard,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Finalizes a table assembled via [`Catalog::register_shard`]: the
+    /// merged histogram becomes the table's statistics and the
+    /// concatenated shards become its dataset.
+    ///
+    /// # Errors
+    /// [`QueryError::UnknownTable`] if no shards were registered under
+    /// `name`, [`QueryError::DuplicateTable`] if a finalized table took
+    /// the name in the meantime.
+    pub fn merge_shards(&mut self, name: &str) -> Result<(), QueryError> {
+        if self.tables.contains_key(name) {
+            return Err(QueryError::DuplicateTable(name.to_string()));
+        }
+        let p = self
+            .pending
+            .remove(name)
+            .ok_or_else(|| QueryError::UnknownTable(name.to_string()))?;
+        let dataset = Dataset::new(name, self.config.extent, p.rects);
+        self.tables.insert(
+            name.to_string(),
+            Table {
+                dataset,
+                histogram: p.histogram,
                 rtree: OnceLock::new(),
             },
         );
@@ -118,12 +211,30 @@ impl Catalog {
         Ok(self.table(name)?.dataset.len())
     }
 
-    /// The GH histogram file of a table.
+    /// The histogram file of a table, whatever its configured family.
     ///
     /// # Errors
     /// Returns [`QueryError::UnknownTable`] for unregistered names.
-    pub fn histogram(&self, name: &str) -> Result<&GhHistogram, QueryError> {
-        Ok(&self.table(name)?.histogram)
+    pub fn histogram(&self, name: &str) -> Result<&dyn SpatialHistogram, QueryError> {
+        Ok(self.table(name)?.histogram.as_ref())
+    }
+
+    /// The table's histogram downcast to the revised Geometric
+    /// Histogram, for callers that need GH-specific accessors (sparse
+    /// encoding, window estimates).
+    ///
+    /// # Errors
+    /// [`QueryError::UnknownTable`] for unregistered names, or
+    /// [`QueryError::Histogram`] with a kind mismatch when the catalog
+    /// is configured for a different family.
+    pub fn gh_histogram(&self, name: &str) -> Result<&GhHistogram, QueryError> {
+        let hist = self.histogram(name)?;
+        hist.as_any().downcast_ref::<GhHistogram>().ok_or_else(|| {
+            QueryError::Histogram(sj_histogram::HistogramError::KindMismatch {
+                left: hist.kind(),
+                right: HistogramKind::Gh,
+            })
+        })
     }
 
     /// The R-tree index of a table, built on first request.
@@ -151,7 +262,7 @@ impl Catalog {
     /// # Errors
     /// Returns [`QueryError::UnknownTable`] for unregistered names.
     pub fn estimate_join_pairs(&self, a: &str, b: &str) -> Result<f64, QueryError> {
-        let est = self.histogram(a)?.estimate(self.histogram(b)?)?;
+        let est = self.histogram(a)?.estimate_join(self.histogram(b)?)?;
         Ok(est.pairs)
     }
 
@@ -189,6 +300,8 @@ mod tests {
         assert_eq!(c.table_names(), vec!["a", "b"]);
         assert_eq!(c.table_len("a").unwrap(), 1);
         assert!(c.histogram("a").is_ok());
+        assert_eq!(c.histogram("a").unwrap().kind(), HistogramKind::Gh);
+        assert!(c.gh_histogram("a").is_ok());
         assert!(matches!(
             c.table_len("zzz"),
             Err(QueryError::UnknownTable(_))
@@ -229,33 +342,111 @@ mod tests {
             "overlapping singletons should estimate > 0, got {est}"
         );
     }
+
+    #[test]
+    fn every_kind_registers_and_estimates() {
+        for kind in HistogramKind::ALL {
+            let mut c = Catalog::with_kind(kind, 4);
+            c.register(tiny("a", vec![Rect::new(0.1, 0.1, 0.4, 0.4)]))
+                .unwrap();
+            c.register(tiny("b", vec![Rect::new(0.2, 0.2, 0.5, 0.5)]))
+                .unwrap();
+            assert_eq!(c.histogram("a").unwrap().kind(), kind);
+            let est = c.estimate_join_pairs("a", "b").unwrap();
+            assert!(est > 0.0, "{kind}: overlapping singletons gave {est}");
+        }
+    }
+
+    #[test]
+    fn gh_downcast_rejects_other_kinds() {
+        let mut c = Catalog::with_kind(HistogramKind::Euler, 3);
+        c.register(tiny("a", vec![Rect::new(0.1, 0.1, 0.2, 0.2)]))
+            .unwrap();
+        assert!(matches!(
+            c.gh_histogram("a"),
+            Err(QueryError::Histogram(
+                sj_histogram::HistogramError::KindMismatch { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn sharded_registration_matches_direct() {
+        let rects: Vec<Rect> = (0..60)
+            .map(|i| {
+                let t = f64::from(i) / 60.0;
+                Rect::new(
+                    t * 0.9,
+                    (1.0 - t) * 0.8,
+                    t * 0.9 + 0.05,
+                    (1.0 - t) * 0.8 + 0.07,
+                )
+            })
+            .collect();
+        for kind in HistogramKind::ALL {
+            let mut direct = Catalog::with_kind(kind, 4);
+            direct.register(tiny("t", rects.clone())).unwrap();
+
+            let mut sharded = Catalog::with_kind(kind, 4);
+            for chunk in rects.chunks(17) {
+                sharded.register_shard("t", chunk).unwrap();
+            }
+            sharded.merge_shards("t").unwrap();
+
+            assert_eq!(
+                sharded.histogram("t").unwrap().to_bytes(),
+                direct.histogram("t").unwrap().to_bytes(),
+                "{kind}: shard-and-merge must be byte-identical to direct registration"
+            );
+            assert_eq!(sharded.table_len("t").unwrap(), rects.len());
+        }
+    }
+
+    #[test]
+    fn merge_shards_without_shards_is_an_error() {
+        let mut c = Catalog::with_level(3);
+        assert!(matches!(
+            c.merge_shards("ghost"),
+            Err(QueryError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn shard_name_conflicts_with_finalized_table() {
+        let mut c = Catalog::with_level(3);
+        c.register(tiny("a", vec![])).unwrap();
+        assert!(matches!(
+            c.register_shard("a", &[]),
+            Err(QueryError::DuplicateTable(_))
+        ));
+    }
 }
 
-/// Statistics persistence: write each table's GH histogram file to a
+/// Statistics persistence: write each table's histogram file to a
 /// directory, and register tables from previously saved statistics
 /// (skipping the histogram build — the SDBMS pattern of collecting
 /// statistics once and reusing them across sessions).
 impl Catalog {
-    /// Writes every table's histogram file as `<dir>/<table>.gh`
-    /// (sparse encoding — see [`GhHistogram::to_sparse_bytes`]).
+    /// Writes every table's histogram file as `<dir>/<table>.hist`
+    /// using the versioned [`SpatialHistogram::persist`] envelope, so
+    /// any configured family round-trips.
     ///
     /// # Errors
     /// Propagates filesystem errors.
     pub fn save_statistics(&self, dir: &std::path::Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
         for (name, table) in &self.tables {
-            std::fs::write(
-                dir.join(format!("{name}.gh")),
-                table.histogram.to_sparse_bytes(),
-            )?;
+            std::fs::write(dir.join(format!("{name}.hist")), table.histogram.persist())?;
         }
         Ok(())
     }
 
     /// Registers a dataset reusing a previously saved histogram file
-    /// instead of rebuilding it. The file must decode and match this
-    /// catalog's grid and the dataset's cardinality, otherwise the stale
-    /// statistics are rejected.
+    /// instead of rebuilding it. Accepts the versioned envelope of any
+    /// family (falling back to the legacy sparse-GH format for files
+    /// written by older versions). The statistics must match this
+    /// catalog's configured family and grid and the dataset's
+    /// cardinality, otherwise they are rejected as stale.
     ///
     /// # Errors
     /// [`QueryError::DuplicateTable`], or [`QueryError::Histogram`] when
@@ -268,7 +459,19 @@ impl Catalog {
         if self.tables.contains_key(&dataset.name) {
             return Err(QueryError::DuplicateTable(dataset.name.clone()));
         }
-        let histogram = GhHistogram::from_sparse_bytes(stats_file)?;
+        let histogram: Box<dyn SpatialHistogram> = match load_histogram(stats_file) {
+            Ok(h) => h,
+            // Legacy statistics predate the envelope: bare sparse GH.
+            Err(_) => Box::new(GhHistogram::from_sparse_bytes(stats_file)?),
+        };
+        if histogram.kind() != self.config.kind {
+            return Err(QueryError::Histogram(
+                sj_histogram::HistogramError::KindMismatch {
+                    left: histogram.kind(),
+                    right: self.config.kind,
+                },
+            ));
+        }
         let expected_grid = self.grid;
         if !histogram.grid().compatible(&expected_grid) {
             return Err(QueryError::Histogram(
@@ -316,33 +519,54 @@ mod persistence_tests {
     }
 
     #[test]
-    fn save_and_reload_statistics() {
-        let dir = std::env::temp_dir().join("sj_query_stats_test");
+    fn save_and_reload_statistics_every_kind() {
+        for kind in HistogramKind::ALL {
+            let dir = std::env::temp_dir().join(format!("sj_query_stats_test_{kind}"));
+            let mut c1 = Catalog::with_kind(kind, 4);
+            c1.register(tiny("alpha", 40)).unwrap();
+            c1.register(tiny("beta", 30)).unwrap();
+            c1.save_statistics(&dir).unwrap();
+            let baseline = c1.estimate_join_pairs("alpha", "beta").unwrap();
+
+            let mut c2 = Catalog::with_kind(kind, 4);
+            for name in ["alpha", "beta"] {
+                let bytes = std::fs::read(dir.join(format!("{name}.hist"))).unwrap();
+                c2.register_with_statistics(
+                    tiny(name, if name == "alpha" { 40 } else { 30 }),
+                    &bytes,
+                )
+                .unwrap();
+            }
+            assert_eq!(
+                c2.estimate_join_pairs("alpha", "beta").unwrap(),
+                baseline,
+                "{kind}: reloaded statistics must estimate identically"
+            );
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn legacy_sparse_gh_statistics_still_load() {
         let mut c1 = Catalog::with_level(4);
         c1.register(tiny("alpha", 40)).unwrap();
-        c1.register(tiny("beta", 30)).unwrap();
-        c1.save_statistics(&dir).unwrap();
-        let baseline = c1.estimate_join_pairs("alpha", "beta").unwrap();
+        let legacy = c1.gh_histogram("alpha").unwrap().to_sparse_bytes();
 
         let mut c2 = Catalog::with_level(4);
-        for name in ["alpha", "beta"] {
-            let bytes = std::fs::read(dir.join(format!("{name}.gh"))).unwrap();
-            c2.register_with_statistics(tiny(name, if name == "alpha" { 40 } else { 30 }), &bytes)
-                .unwrap();
-        }
+        c2.register_with_statistics(tiny("alpha", 40), &legacy)
+            .unwrap();
         assert_eq!(
-            c2.estimate_join_pairs("alpha", "beta").unwrap(),
-            baseline,
-            "reloaded statistics must estimate identically"
+            c2.gh_histogram("alpha").unwrap().to_bytes(),
+            c1.gh_histogram("alpha").unwrap().to_bytes(),
+            "legacy sparse statistics must decode to the same histogram"
         );
-        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn stale_statistics_rejected() {
         let mut c = Catalog::with_level(4);
         c.register(tiny("alpha", 40)).unwrap();
-        let bytes = c.histogram("alpha").unwrap().to_sparse_bytes();
+        let bytes = c.histogram("alpha").unwrap().persist();
 
         // Wrong grid level.
         let mut other = Catalog::with_level(5);
@@ -350,6 +574,15 @@ mod persistence_tests {
             other.register_with_statistics(tiny("alpha", 40), &bytes),
             Err(QueryError::Histogram(
                 sj_histogram::HistogramError::GridMismatch { .. }
+            ))
+        ));
+
+        // Wrong family (catalog wants Euler statistics, file holds GH).
+        let mut euler = Catalog::with_kind(HistogramKind::Euler, 4);
+        assert!(matches!(
+            euler.register_with_statistics(tiny("alpha", 40), &bytes),
+            Err(QueryError::Histogram(
+                sj_histogram::HistogramError::KindMismatch { .. }
             ))
         ));
 

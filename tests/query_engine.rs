@@ -93,7 +93,7 @@ fn statistics_survive_a_catalog_rebuild() {
 
     let mut c2 = Catalog::with_level(6);
     for (name, ds) in [("TS", presets::ts(0.01)), ("TCB", presets::tcb(0.01))] {
-        let bytes = std::fs::read(dir.join(format!("{name}.gh"))).unwrap();
+        let bytes = std::fs::read(dir.join(format!("{name}.hist"))).unwrap();
         c2.register_with_statistics(ds, &bytes).unwrap();
     }
     assert_eq!(c2.estimate_join_pairs("TS", "TCB").unwrap(), e1);
