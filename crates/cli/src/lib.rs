@@ -15,31 +15,69 @@
 //!   histogram files of the same kind and grid into one.
 //! * `estimate A.hist B.hist` — estimate the join selectivity from two
 //!   histogram files (kinds must match; grids must be compatible).
+//! * `catalog-estimate A.csv B.csv [--stats-dir DIR] [--json]` — estimate
+//!   through the catalog's graceful-degradation ladder: saved statistics
+//!   when usable, otherwise PH rebuild → parametric → sampling, with the
+//!   serving tier reported as provenance (JSON `provenance` field under
+//!   `--json`) and every degradation surfaced as a stderr warning.
 //! * `exact-join A.csv B.csv [--backend rtree|sweep]` — run the exact
 //!   filter-step join.
 //! * `window-count FILE.hist --window x0,y0,x1,y1` — estimate how many
 //!   objects intersect a window (GH files only).
+//!
+//! Dataset-reading commands accept `--validate strict|repair|skip`
+//! (default `strict`): CSV records with non-finite coordinates, inverted
+//! corners or out-of-extent rectangles are rejected with the offending
+//! line and field, repaired where well-defined, or dropped — repairs and
+//! drops are reported as warnings on stderr.
+//!
+//! Failures exit with a documented nonzero code (see [`exit_code`]) and a
+//! single human-readable stderr line — never a backtrace.
 //!
 //! The logic lives in this library crate so it is unit-testable; the
 //! binary (`src/main.rs`) is a thin wrapper.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 use sj_core::{
     build_histogram_parallel, build_histogram_sharded, load_histogram, presets, Dataset,
-    EulerHistogram, Extent, GhBasicHistogram, GhHistogram, Grid, HistogramKind, JoinBaseline,
-    Parallelism, PhHistogram, RTreeConfig, Rect, SpatialHistogram,
+    DatasetError, EulerHistogram, Extent, GhBasicHistogram, GhHistogram, Grid, HistogramError,
+    HistogramKind, JoinBaseline, Parallelism, PhHistogram, RTreeConfig, Rect, SpatialHistogram,
+    ValidationPolicy,
 };
+use sj_query::{Catalog, CatalogConfig, DegradationPolicy, EstimateOutcome, QueryError};
 use std::fmt::Write as _;
 use std::path::Path;
+
+/// Documented process exit codes. Each failure category maps to one code
+/// so scripts can react without parsing stderr text.
+pub mod exit_code {
+    /// Generic runtime failure not covered by a more specific code.
+    pub const RUNTIME: i32 = 1;
+    /// Bad command line: unknown command/flag/value, missing argument.
+    pub const USAGE: i32 = 2;
+    /// The filesystem failed: a file could not be read or written.
+    pub const IO: i32 = 3;
+    /// A histogram/statistics file is corrupt (bad envelope, failed
+    /// checksum, malformed payload, stale cardinality).
+    pub const CORRUPT: i32 = 4;
+    /// Histogram kind or grid mismatch between the supplied files.
+    pub const MISMATCH: i32 = 5;
+    /// A dataset file is invalid: malformed record, failed validation
+    /// under `--validate strict`, or no surviving records.
+    pub const INVALID_DATA: i32 = 6;
+    /// Every tier of the estimation ladder was disabled or failed.
+    pub const EXHAUSTED: i32 = 7;
+}
 
 /// A CLI failure: message for stderr plus an exit code.
 #[derive(Debug)]
 pub struct CliError {
     /// Human-readable message.
     pub message: String,
-    /// Process exit code.
+    /// Process exit code (see [`exit_code`]).
     pub code: i32,
 }
 
@@ -47,24 +85,119 @@ impl CliError {
     fn usage(message: impl Into<String>) -> Self {
         Self {
             message: message.into(),
-            code: 2,
+            code: exit_code::USAGE,
         }
     }
 
     fn runtime(message: impl Into<String>) -> Self {
         Self {
             message: message.into(),
-            code: 1,
+            code: exit_code::RUNTIME,
+        }
+    }
+
+    fn io(message: impl Into<String>) -> Self {
+        Self {
+            message: message.into(),
+            code: exit_code::IO,
+        }
+    }
+
+    /// Maps a histogram-layer error onto the exit-code taxonomy.
+    fn from_histogram(context: &str, e: &HistogramError) -> Self {
+        let code = match e {
+            HistogramError::Corrupt { .. } => exit_code::CORRUPT,
+            HistogramError::KindMismatch { .. } | HistogramError::GridMismatch { .. } => {
+                exit_code::MISMATCH
+            }
+            HistogramError::LevelTooLarge(_) => exit_code::USAGE,
+        };
+        Self {
+            message: format!("{context}: {e}"),
+            code,
+        }
+    }
+
+    /// Maps a query-layer error onto the exit-code taxonomy.
+    fn from_query(context: &str, e: &QueryError) -> Self {
+        match e {
+            QueryError::Histogram(h) => Self::from_histogram(context, h),
+            QueryError::EstimatorsExhausted(_) => Self {
+                message: format!("{context}: {e}"),
+                code: exit_code::EXHAUSTED,
+            },
+            QueryError::StatisticsUnavailable { .. } => Self {
+                message: format!("{context}: {e}"),
+                code: exit_code::CORRUPT,
+            },
+            QueryError::TooFewTables(_) => Self::usage(format!("{context}: {e}")),
+            QueryError::UnknownTable(_)
+            | QueryError::DuplicateTable(_)
+            | QueryError::ResultTooLarge { .. } => Self::runtime(format!("{context}: {e}")),
+        }
+    }
+
+    /// Maps a dataset-ingestion error onto the exit-code taxonomy.
+    fn from_dataset(path: &str, e: &DatasetError) -> Self {
+        match e {
+            DatasetError::Io(_) => Self::io(format!("failed to load {path}: {e}")),
+            DatasetError::Parse { .. } | DatasetError::Invalid { .. } | DatasetError::Empty => {
+                Self {
+                    message: format!("{path}: {e}"),
+                    code: exit_code::INVALID_DATA,
+                }
+            }
         }
     }
 }
 
+/// A successful command's output: the stdout payload plus any warnings
+/// the binary prints to stderr (validation repairs/drops, degraded
+/// estimates) so that piping stdout stays clean.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliOutput {
+    /// Payload for stdout.
+    pub stdout: String,
+    /// Warnings for stderr, in emission order.
+    pub warnings: Vec<String>,
+}
+
+impl CliOutput {
+    fn new(stdout: impl Into<String>) -> Self {
+        Self {
+            stdout: stdout.into(),
+            warnings: Vec::new(),
+        }
+    }
+
+    fn with_warnings(stdout: impl Into<String>, warnings: Vec<String>) -> Self {
+        Self {
+            stdout: stdout.into(),
+            warnings,
+        }
+    }
+}
+
+impl std::ops::Deref for CliOutput {
+    type Target = String;
+
+    fn deref(&self) -> &String {
+        &self.stdout
+    }
+}
+
+impl std::fmt::Display for CliOutput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.stdout)
+    }
+}
+
 /// Runs the CLI on pre-split arguments (excluding `argv[0]`) and returns
-/// the stdout payload.
+/// the stdout payload plus warnings.
 ///
 /// # Errors
-/// Returns a [`CliError`] with a usage (2) or runtime (1) exit code.
-pub fn run(args: &[String]) -> Result<String, CliError> {
+/// Returns a [`CliError`] carrying one of the documented [`exit_code`]s.
+pub fn run(args: &[String]) -> Result<CliOutput, CliError> {
     let Some((cmd, rest)) = args.split_first() else {
         return Err(CliError::usage(USAGE.to_string()));
     };
@@ -74,9 +207,10 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "build-histogram" => cmd_build_histogram(rest),
         "merge-histogram" => cmd_merge_histogram(rest),
         "estimate" => cmd_estimate(rest),
+        "catalog-estimate" => cmd_catalog_estimate(rest),
         "exact-join" => cmd_exact_join(rest),
         "window-count" => cmd_window_count(rest),
-        "--help" | "-h" | "help" => Ok(USAGE.to_string()),
+        "--help" | "-h" | "help" => Ok(CliOutput::new(USAGE)),
         other => Err(CliError::usage(format!(
             "unknown command {other:?}\n\n{USAGE}"
         ))),
@@ -89,17 +223,25 @@ sjsel — spatial join selectivity toolkit
 
 USAGE:
   sjsel generate <ts|tcb|cas|car|sp|spg|scrc|sura> [--scale F] --out FILE.{csv|bin}
-  sjsel stats FILE.csv
+  sjsel stats FILE.csv [--validate strict|repair|skip]
   sjsel build-histogram FILE.csv --level L --out FILE.hist
         [--kind ph|gh-basic|gh|euler] [--shards N] [--sparse]
-        [--extent x0,y0,x1,y1] [--threads N]
+        [--extent x0,y0,x1,y1] [--threads N] [--validate P]
   sjsel merge-histogram A.hist B.hist [MORE.hist ...] --out FILE.hist
   sjsel estimate A.hist B.hist
-  sjsel exact-join A.csv B.csv [--backend rtree|sweep] [--threads N]
+  sjsel catalog-estimate A.csv B.csv [--kind K] [--level L]
+        [--stats-dir DIR] [--json] [--validate P]
+        [--no-ph-rebuild] [--no-parametric] [--no-sampling]
+        [--sample-percent F] [--ph-level L]
+  sjsel exact-join A.csv B.csv [--backend rtree|sweep] [--threads N] [--validate P]
   sjsel window-count FILE.hist --window x0,y0,x1,y1
 
---threads defaults to the machine's available parallelism; results are
-identical at every thread count.";
+--threads defaults to the machine's available parallelism (must be >= 1);
+results are identical at every thread count.
+
+EXIT CODES:
+  0 success       1 runtime failure   2 usage error      3 I/O failure
+  4 corrupt file  5 kind/grid mismatch  6 invalid dataset  7 estimators exhausted";
 
 /// Pulls the value following a `--flag`, removing both from `args`.
 fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, CliError> {
@@ -115,16 +257,37 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, CliEr
     }
 }
 
-/// Parses `--threads N` (default: available parallelism).
+/// Removes a boolean `--flag`, reporting whether it was present.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    let present = args.iter().any(|a| a == flag);
+    args.retain(|a| a != flag);
+    present
+}
+
+/// Parses `--threads N` (default: available parallelism). Zero threads is
+/// a usage error, not a panic or a silent clamp.
 fn take_threads(args: &mut Vec<String>) -> Result<Parallelism, CliError> {
     match take_flag(args, "--threads")? {
         Some(s) => {
             let n: usize = s
                 .parse()
                 .map_err(|e| CliError::usage(format!("bad --threads: {e}")))?;
+            if n == 0 {
+                return Err(CliError::usage(
+                    "--threads must be at least 1 (0 threads cannot run anything)",
+                ));
+            }
             Ok(Parallelism::with_threads(n))
         }
         None => Ok(Parallelism::default()),
+    }
+}
+
+/// Parses `--validate strict|repair|skip` (default: strict).
+fn take_validation(args: &mut Vec<String>) -> Result<ValidationPolicy, CliError> {
+    match take_flag(args, "--validate")? {
+        Some(s) => ValidationPolicy::parse(&s).map_err(CliError::usage),
+        None => Ok(ValidationPolicy::Strict),
     }
 }
 
@@ -145,17 +308,35 @@ fn parse_rect(spec: &str) -> Result<Rect, CliError> {
     Ok(Rect::new(vals[0], vals[1], vals[2], vals[3]))
 }
 
-fn load_dataset(path: &str) -> Result<Dataset, CliError> {
+/// Loads a dataset file under `policy`. Binary files carry their own
+/// strict internal validation; CSV files go through the policy-driven
+/// validated reader, pushing a warning when records were repaired or
+/// dropped.
+fn load_dataset(
+    path: &str,
+    policy: ValidationPolicy,
+    warnings: &mut Vec<String>,
+) -> Result<Dataset, CliError> {
     let p = Path::new(path);
-    let result = if p.extension().is_some_and(|e| e == "bin") {
-        Dataset::load_bin(p)
-    } else {
-        Dataset::load_csv(p)
-    };
-    result.map_err(|e| CliError::runtime(format!("failed to load {path}: {e}")))
+    if p.extension().is_some_and(|e| e == "bin") {
+        return Dataset::load_bin(p)
+            .map_err(|e| CliError::io(format!("failed to load {path}: {e}")));
+    }
+    let (ds, report) = Dataset::load_csv_validated(p, policy, None)
+        .map_err(|e| CliError::from_dataset(path, &e))?;
+    if report.repaired > 0 || report.skipped > 0 {
+        warnings.push(format!(
+            "{path}: {} record(s) repaired, {} dropped of {} checked (--validate {})",
+            report.repaired,
+            report.skipped,
+            report.checked,
+            policy.name()
+        ));
+    }
+    Ok(ds)
 }
 
-fn cmd_generate(args: &[String]) -> Result<String, CliError> {
+fn cmd_generate(args: &[String]) -> Result<CliOutput, CliError> {
     let mut args = args.to_vec();
     let scale: f64 = take_flag(&mut args, "--scale")?.map_or(Ok(1.0), |s| {
         s.parse()
@@ -183,19 +364,22 @@ fn cmd_generate(args: &[String]) -> Result<String, CliError> {
     } else {
         dataset.save_csv(out_path)
     }
-    .map_err(|e| CliError::runtime(format!("failed to write {out}: {e}")))?;
-    Ok(format!(
+    .map_err(|e| CliError::io(format!("failed to write {out}: {e}")))?;
+    Ok(CliOutput::new(format!(
         "wrote {} rects ({}) to {out}",
         dataset.len(),
         dataset.name
-    ))
+    )))
 }
 
-fn cmd_stats(args: &[String]) -> Result<String, CliError> {
-    let [path] = args else {
+fn cmd_stats(args: &[String]) -> Result<CliOutput, CliError> {
+    let mut args = args.to_vec();
+    let policy = take_validation(&mut args)?;
+    let [path] = args.as_slice() else {
         return Err(CliError::usage("stats takes exactly one CSV path"));
     };
-    let ds = load_dataset(path)?;
+    let mut warnings = Vec::new();
+    let ds = load_dataset(path, policy, &mut warnings)?;
     let s = ds.stats();
     let mut out = String::new();
     let _ = writeln!(out, "dataset        {}", ds.name);
@@ -204,7 +388,7 @@ fn cmd_stats(args: &[String]) -> Result<String, CliError> {
     let _ = writeln!(out, "avg width      {:.6}", s.avg_width);
     let _ = writeln!(out, "avg height     {:.6}", s.avg_height);
     let _ = write!(out, "degenerate     {:.1}%", s.degenerate_fraction * 100.0);
-    Ok(out)
+    Ok(CliOutput::with_warnings(out, warnings))
 }
 
 /// Human-facing label for a histogram family.
@@ -217,7 +401,7 @@ fn kind_label(kind: HistogramKind) -> &'static str {
     }
 }
 
-fn cmd_build_histogram(args: &[String]) -> Result<String, CliError> {
+fn cmd_build_histogram(args: &[String]) -> Result<CliOutput, CliError> {
     let mut args = args.to_vec();
     let level: u32 = take_flag(&mut args, "--level")?
         .ok_or_else(|| CliError::usage("build-histogram requires --level"))?
@@ -244,8 +428,8 @@ fn cmd_build_histogram(args: &[String]) -> Result<String, CliError> {
             .map_err(|e| CliError::usage(format!("bad --shards: {e}")))
     })?;
     let par = take_threads(&mut args)?;
-    let sparse = args.iter().any(|a| a == "--sparse");
-    args.retain(|a| a != "--sparse");
+    let policy = take_validation(&mut args)?;
+    let sparse = take_switch(&mut args, "--sparse");
     let extent = match take_flag(&mut args, "--extent")? {
         Some(spec) => Extent::new(parse_rect(&spec)?),
         None => Extent::unit(),
@@ -258,7 +442,8 @@ fn cmd_build_histogram(args: &[String]) -> Result<String, CliError> {
     if sparse && kind != HistogramKind::Gh {
         return Err(CliError::usage("--sparse is only supported for --kind gh"));
     }
-    let ds = load_dataset(path)?;
+    let mut warnings = Vec::new();
+    let ds = load_dataset(path, policy, &mut warnings)?;
     let grid = Grid::new(level, extent).map_err(|e| CliError::usage(format!("bad grid: {e}")))?;
     // Shard-and-merge and direct builds are byte-identical, so --shards
     // is purely a demonstration/testing knob for the merge path.
@@ -273,26 +458,38 @@ fn cmd_build_histogram(args: &[String]) -> Result<String, CliError> {
         let gh = hist
             .as_any()
             .downcast_ref::<GhHistogram>()
-            .expect("kind checked above");
+            .ok_or_else(|| CliError::runtime("internal: --sparse on a non-GH histogram"))?;
         (gh.to_sparse_bytes(), "GH (sparse)".to_string())
     } else {
         (hist.persist(), kind_label(kind).to_string())
     };
     std::fs::write(&out, &bytes)
-        .map_err(|e| CliError::runtime(format!("failed to write {out}: {e}")))?;
-    Ok(format!(
-        "built {label} histogram (level {level}, {} bytes) from {} rects -> {out}",
-        bytes.len(),
-        ds.len()
+        .map_err(|e| CliError::io(format!("failed to write {out}: {e}")))?;
+    Ok(CliOutput::with_warnings(
+        format!(
+            "built {label} histogram (level {level}, {} bytes) from {} rects -> {out}",
+            bytes.len(),
+            ds.len()
+        ),
+        warnings,
     ))
 }
 
+/// Little-endian bytes of the versioned envelope magic ("SJSH").
+const ENVELOPE_MAGIC_LE: [u8; 4] = 0x534a_5348u32.to_le_bytes();
+
 /// Decodes a histogram file: the versioned envelope of any kind, or one
 /// of the legacy bare formats (dense/sparse GH, GH-basic, PH, Euler),
-/// distinguished by their magic numbers.
-fn decode_histogram(bytes: &[u8]) -> Result<Box<dyn SpatialHistogram>, CliError> {
-    if let Ok(h) = load_histogram(bytes) {
-        return Ok(h);
+/// distinguished by their magic numbers. A file that *is* an envelope but
+/// fails to decode keeps its typed error (and exit code) instead of
+/// falling through to the legacy guessing.
+fn decode_histogram(path: &str, bytes: &[u8]) -> Result<Box<dyn SpatialHistogram>, CliError> {
+    match load_histogram(bytes) {
+        Ok(h) => return Ok(h),
+        Err(e) if bytes.len() >= 4 && bytes[..4] == ENVELOPE_MAGIC_LE => {
+            return Err(CliError::from_histogram(path, &e));
+        }
+        Err(_) => {}
     }
     if let Ok(h) = GhHistogram::from_bytes(bytes).or_else(|_| GhHistogram::from_sparse_bytes(bytes))
     {
@@ -307,77 +504,254 @@ fn decode_histogram(bytes: &[u8]) -> Result<Box<dyn SpatialHistogram>, CliError>
     if let Ok(h) = EulerHistogram::from_bytes(bytes) {
         return Ok(Box::new(h));
     }
-    Err(CliError::runtime(
-        "could not decode histogram file with any common scheme (gh, gh-basic, ph, euler)"
-            .to_string(),
-    ))
+    Err(CliError {
+        message: format!(
+            "{path}: could not decode histogram file with any common scheme \
+             (gh, gh-basic, ph, euler)"
+        ),
+        code: exit_code::CORRUPT,
+    })
 }
 
-fn cmd_estimate(args: &[String]) -> Result<String, CliError> {
+fn cmd_estimate(args: &[String]) -> Result<CliOutput, CliError> {
     let [a_path, b_path] = args else {
         return Err(CliError::usage(
             "estimate takes exactly two histogram paths",
         ));
     };
-    let read = |p: &String| {
-        std::fs::read(p).map_err(|e| CliError::runtime(format!("failed to read {p}: {e}")))
-    };
+    let read =
+        |p: &String| std::fs::read(p).map_err(|e| CliError::io(format!("failed to read {p}: {e}")));
     let (a, b) = (
-        decode_histogram(&read(a_path)?)?,
-        decode_histogram(&read(b_path)?)?,
+        decode_histogram(a_path, &read(a_path)?)?,
+        decode_histogram(b_path, &read(b_path)?)?,
     );
     let est = a
         .estimate_join(b.as_ref())
-        .map_err(|e| CliError::runtime(format!("estimation failed: {e}")))?;
+        .map_err(|e| CliError::from_histogram("estimation failed", &e))?;
 
-    Ok(format!(
+    Ok(CliOutput::new(format!(
         "selectivity {:.6e}\nestimated pairs {:.0}",
         est.selectivity, est.pairs
-    ))
+    )))
 }
 
-fn cmd_merge_histogram(args: &[String]) -> Result<String, CliError> {
+/// Escapes a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a ladder outcome as the documented JSON document with its
+/// `provenance` field.
+fn outcome_json(outcome: &EstimateOutcome) -> String {
+    let skipped = outcome
+        .skipped
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"tier\":\"{}\",\"reason\":\"{}\"}}",
+                s.tier.name(),
+                json_escape(&s.reason)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"pairs\":{},\"selectivity\":{},\"provenance\":{{\"tier\":\"{}\",\
+         \"degraded\":{},\"skipped\":[{}]}}}}",
+        outcome.pairs,
+        outcome.selectivity,
+        outcome.tier.name(),
+        outcome.is_degraded(),
+        skipped
+    )
+}
+
+fn cmd_catalog_estimate(args: &[String]) -> Result<CliOutput, CliError> {
+    let mut args = args.to_vec();
+    let level: u32 = take_flag(&mut args, "--level")?.map_or(Ok(6), |s| {
+        s.parse()
+            .map_err(|e| CliError::usage(format!("bad --level: {e}")))
+    })?;
+    let kind: HistogramKind = match take_flag(&mut args, "--kind")? {
+        Some(name) => name.parse().map_err(|_| {
+            CliError::usage(format!(
+                "unknown kind {name:?} (expected ph, gh-basic, gh or euler)"
+            ))
+        })?,
+        None => HistogramKind::Gh,
+    };
+    let stats_dir = take_flag(&mut args, "--stats-dir")?;
+    let json = take_switch(&mut args, "--json");
+    let validate = take_validation(&mut args)?;
+
+    let mut policy = DegradationPolicy::default();
+    if take_switch(&mut args, "--no-ph-rebuild") {
+        policy.allow_ph_rebuild = false;
+    }
+    if take_switch(&mut args, "--no-parametric") {
+        policy.allow_parametric = false;
+    }
+    if take_switch(&mut args, "--no-sampling") {
+        policy.sampling_percent = None;
+    }
+    if let Some(p) = take_flag(&mut args, "--sample-percent")? {
+        let p: f64 = p
+            .parse()
+            .map_err(|e| CliError::usage(format!("bad --sample-percent: {e}")))?;
+        policy.sampling_percent = Some(p);
+    }
+    if let Some(l) = take_flag(&mut args, "--ph-level")? {
+        policy.ph_level = l
+            .parse()
+            .map_err(|e| CliError::usage(format!("bad --ph-level: {e}")))?;
+    }
+
+    let [a_path, b_path] = args.as_slice() else {
+        return Err(CliError::usage(
+            "catalog-estimate takes exactly two dataset paths",
+        ));
+    };
+
+    let mut warnings = Vec::new();
+    let mut a = load_dataset(a_path, validate, &mut warnings)?;
+    let mut b = load_dataset(b_path, validate, &mut warnings)?;
+    // Joining a dataset file against itself is legitimate; keep the
+    // catalog names unique.
+    a.name = format!("{}#a", a.name);
+    b.name = format!("{}#b", b.name);
+    let (name_a, name_b) = (a.name.clone(), b.name.clone());
+
+    let mut catalog = Catalog::try_new(CatalogConfig {
+        kind,
+        grid_level: level,
+        ..CatalogConfig::default()
+    })
+    .map_err(|e| CliError::from_query("bad catalog configuration", &e))?;
+
+    // Register each table: from saved statistics when --stats-dir holds a
+    // `<stem>.hist` for it (leniently — unusable statistics degrade the
+    // estimate instead of failing), from a fresh build otherwise.
+    for (path, ds) in [(a_path, a), (b_path, b)] {
+        let table = ds.name.clone();
+        let stats_file = stats_dir.as_ref().map(|dir| {
+            let stem = Path::new(path).file_stem().map_or_else(
+                || "dataset".to_string(),
+                |s| s.to_string_lossy().into_owned(),
+            );
+            Path::new(dir).join(format!("{stem}.hist"))
+        });
+        match stats_file {
+            Some(f) if f.exists() => {
+                let bytes = std::fs::read(&f)
+                    .map_err(|e| CliError::io(format!("failed to read {}: {e}", f.display())))?;
+                let reason = catalog
+                    .register_with_statistics_lenient(ds, &bytes)
+                    .map_err(|e| CliError::from_query("registration failed", &e))?;
+                if let Some(reason) = reason {
+                    warnings.push(format!(
+                        "statistics {} unusable for table {table:?}: {reason}; \
+                         estimation will degrade",
+                        f.display()
+                    ));
+                }
+            }
+            _ => catalog
+                .register(ds)
+                .map_err(|e| CliError::from_query("registration failed", &e))?,
+        }
+    }
+
+    let outcome = catalog
+        .estimate_join_pairs_detailed(&name_a, &name_b, &policy)
+        .map_err(|e| CliError::from_query("estimation failed", &e))?;
+
+    if outcome.is_degraded() {
+        let reasons = outcome
+            .skipped
+            .iter()
+            .map(|s| format!("{}: {}", s.tier.name(), s.reason))
+            .collect::<Vec<_>>()
+            .join("; ");
+        warnings.push(format!(
+            "estimate degraded to the {} tier ({reasons})",
+            outcome.tier
+        ));
+    }
+
+    let stdout = if json {
+        outcome_json(&outcome)
+    } else {
+        let mut out = String::new();
+        let _ = writeln!(out, "selectivity {:.6e}", outcome.selectivity);
+        let _ = writeln!(out, "estimated pairs {:.0}", outcome.pairs);
+        let _ = write!(out, "tier {}", outcome.tier);
+        for s in &outcome.skipped {
+            let _ = write!(out, "\nskipped {}: {}", s.tier.name(), s.reason);
+        }
+        out
+    };
+    Ok(CliOutput::with_warnings(stdout, warnings))
+}
+
+fn cmd_merge_histogram(args: &[String]) -> Result<CliOutput, CliError> {
     let mut args = args.to_vec();
     let out = take_flag(&mut args, "--out")?
         .ok_or_else(|| CliError::usage("merge-histogram requires --out"))?;
-    if args.len() < 2 {
-        return Err(CliError::usage(
-            "merge-histogram takes at least two histogram paths",
-        ));
-    }
-    let mut acc: Option<Box<dyn SpatialHistogram>> = None;
-    for path in &args {
-        let bytes = std::fs::read(path)
-            .map_err(|e| CliError::runtime(format!("failed to read {path}: {e}")))?;
-        let h = decode_histogram(&bytes)?;
-        match acc.as_mut() {
-            None => acc = Some(h),
-            Some(a) => a
-                .merge(h.as_ref())
-                .map_err(|e| CliError::runtime(format!("cannot merge {path}: {e}")))?,
+    let (first, rest) = match args.as_slice() {
+        [first, rest @ ..] if !rest.is_empty() => (first, rest),
+        _ => {
+            return Err(CliError::usage(
+                "merge-histogram takes at least two histogram paths",
+            ))
         }
+    };
+    let read =
+        |p: &String| std::fs::read(p).map_err(|e| CliError::io(format!("failed to read {p}: {e}")));
+    let mut acc = decode_histogram(first, &read(first)?)?;
+    for path in rest {
+        let h = decode_histogram(path, &read(path)?)?;
+        acc.merge(h.as_ref())
+            .map_err(|e| CliError::from_histogram(&format!("cannot merge {path}"), &e))?;
     }
-    let acc = acc.expect("checked at least two inputs above");
     let bytes = acc.persist();
     std::fs::write(&out, &bytes)
-        .map_err(|e| CliError::runtime(format!("failed to write {out}: {e}")))?;
-    Ok(format!(
+        .map_err(|e| CliError::io(format!("failed to write {out}: {e}")))?;
+    Ok(CliOutput::new(format!(
         "merged {} {} histograms ({} objects, {} bytes) -> {out}",
         args.len(),
         kind_label(acc.kind()),
         acc.dataset_len(),
         bytes.len()
-    ))
+    )))
 }
 
-fn cmd_exact_join(args: &[String]) -> Result<String, CliError> {
+fn cmd_exact_join(args: &[String]) -> Result<CliOutput, CliError> {
     let mut args = args.to_vec();
     let backend = take_flag(&mut args, "--backend")?.unwrap_or_else(|| "rtree".to_string());
     let par = take_threads(&mut args)?;
+    let policy = take_validation(&mut args)?;
     let [a_path, b_path] = args.as_slice() else {
         return Err(CliError::usage("exact-join takes exactly two CSV paths"));
     };
-    let (a, b) = (load_dataset(a_path)?, load_dataset(b_path)?);
+    let mut warnings = Vec::new();
+    let (a, b) = (
+        load_dataset(a_path, policy, &mut warnings)?,
+        load_dataset(b_path, policy, &mut warnings)?,
+    );
     let baseline = match backend.as_str() {
         "rtree" => JoinBaseline::compute_with_parallelism(&a, &b, RTreeConfig::default(), par),
         "sweep" => JoinBaseline::compute_with_backend_parallelism(
@@ -388,13 +762,16 @@ fn cmd_exact_join(args: &[String]) -> Result<String, CliError> {
         ),
         other => return Err(CliError::usage(format!("unknown backend {other:?}"))),
     };
-    Ok(format!(
-        "pairs {}\nselectivity {:.6e}\njoin time {:?}",
-        baseline.pairs, baseline.selectivity, baseline.join_time
+    Ok(CliOutput::with_warnings(
+        format!(
+            "pairs {}\nselectivity {:.6e}\njoin time {:?}",
+            baseline.pairs, baseline.selectivity, baseline.join_time
+        ),
+        warnings,
     ))
 }
 
-fn cmd_window_count(args: &[String]) -> Result<String, CliError> {
+fn cmd_window_count(args: &[String]) -> Result<CliOutput, CliError> {
     let mut args = args.to_vec();
     let window = take_flag(&mut args, "--window")?
         .ok_or_else(|| CliError::usage("window-count requires --window x0,y0,x1,y1"))?;
@@ -404,19 +781,23 @@ fn cmd_window_count(args: &[String]) -> Result<String, CliError> {
             "window-count takes exactly one histogram path",
         ));
     };
-    let bytes = std::fs::read(path)
-        .map_err(|e| CliError::runtime(format!("failed to read {path}: {e}")))?;
-    let h = decode_histogram(&bytes)?;
-    let gh = h.as_any().downcast_ref::<GhHistogram>().ok_or_else(|| {
-        CliError::runtime(format!(
-            "not a GH histogram file (found kind {})",
-            kind_label(h.kind())
-        ))
-    })?;
-    Ok(format!(
+    let bytes =
+        std::fs::read(path).map_err(|e| CliError::io(format!("failed to read {path}: {e}")))?;
+    let h = decode_histogram(path, &bytes)?;
+    let gh = h
+        .as_any()
+        .downcast_ref::<GhHistogram>()
+        .ok_or_else(|| CliError {
+            message: format!(
+                "{path}: not a GH histogram file (found kind {})",
+                kind_label(h.kind())
+            ),
+            code: exit_code::MISMATCH,
+        })?;
+    Ok(CliOutput::new(format!(
         "estimated objects intersecting window: {:.0}",
         gh.estimate_window_count(&window)
-    ))
+    )))
 }
 
 #[cfg(test)]
@@ -437,9 +818,9 @@ mod tests {
     fn help_and_unknown_command() {
         assert!(run(&argv(&["--help"])).unwrap().contains("USAGE"));
         let err = run(&argv(&["frobnicate"])).unwrap_err();
-        assert_eq!(err.code, 2);
+        assert_eq!(err.code, exit_code::USAGE);
         assert!(err.message.contains("unknown command"));
-        assert_eq!(run(&[]).unwrap_err().code, 2);
+        assert_eq!(run(&[]).unwrap_err().code, exit_code::USAGE);
     }
 
     #[test]
@@ -452,6 +833,7 @@ mod tests {
         assert!(out.contains("100 rects"), "{out}");
         let stats = run(&argv(&["stats", &csv])).unwrap();
         assert!(stats.contains("count          100"), "{stats}");
+        assert!(stats.warnings.is_empty(), "{:?}", stats.warnings);
     }
 
     #[test]
@@ -555,7 +937,7 @@ mod tests {
         ]))
         .unwrap();
         let err = run(&argv(&["estimate", &gh, &ph])).unwrap_err();
-        assert_eq!(err.code, 1);
+        assert_eq!(err.code, exit_code::MISMATCH);
         assert!(err.message.contains("common scheme"), "{}", err.message);
     }
 
@@ -565,29 +947,289 @@ mod tests {
             run(&argv(&["generate", "nope", "--out", "/tmp/x"]))
                 .unwrap_err()
                 .code,
-            2
+            exit_code::USAGE
         );
-        assert_eq!(run(&argv(&["generate", "ts"])).unwrap_err().code, 2);
+        assert_eq!(
+            run(&argv(&["generate", "ts"])).unwrap_err().code,
+            exit_code::USAGE
+        );
         assert_eq!(
             run(&argv(&["build-histogram", "x.csv", "--out", "y"]))
                 .unwrap_err()
                 .code,
-            2,
+            exit_code::USAGE,
             "missing --level"
         );
         assert_eq!(
             run(&argv(&["window-count", "x", "--window", "1,2,3"]))
                 .unwrap_err()
                 .code,
-            2,
+            exit_code::USAGE,
             "malformed window"
         );
         assert_eq!(
             run(&argv(&["stats", "/nonexistent/x.csv"]))
                 .unwrap_err()
                 .code,
-            1
+            exit_code::IO
         );
+    }
+
+    #[test]
+    fn threads_zero_is_a_clean_usage_error() {
+        let csv = tmp("t0.csv");
+        run(&argv(&[
+            "generate", "sura", "--scale", "0.002", "--out", &csv,
+        ]))
+        .unwrap();
+        for cmd in [
+            argv(&[
+                "build-histogram",
+                &csv,
+                "--level",
+                "3",
+                "--threads",
+                "0",
+                "--out",
+                &tmp("t0.hist"),
+            ]),
+            argv(&["exact-join", &csv, &csv, "--threads", "0"]),
+        ] {
+            let err = run(&cmd).unwrap_err();
+            assert_eq!(err.code, exit_code::USAGE, "{}", err.message);
+            assert!(err.message.contains("--threads"), "{}", err.message);
+        }
+    }
+
+    #[test]
+    fn corrupt_histogram_files_exit_with_corrupt_code() {
+        let csv = tmp("cor.csv");
+        run(&argv(&[
+            "generate", "scrc", "--scale", "0.005", "--out", &csv,
+        ]))
+        .unwrap();
+        let hist = tmp("cor.hist");
+        run(&argv(&[
+            "build-histogram",
+            &csv,
+            "--level",
+            "4",
+            "--out",
+            &hist,
+        ]))
+        .unwrap();
+
+        // Bit-flip the payload: the CRC32 must catch it, exit code 4.
+        let mut bytes = std::fs::read(&hist).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x08;
+        let flipped = tmp("cor_flipped.hist");
+        std::fs::write(&flipped, &bytes).unwrap();
+        let err = run(&argv(&["estimate", &flipped, &hist])).unwrap_err();
+        assert_eq!(err.code, exit_code::CORRUPT, "{}", err.message);
+        assert!(err.message.contains("corrupt"), "{}", err.message);
+
+        // Truncation breaks the length frame, exit code 4.
+        let full = std::fs::read(&hist).unwrap();
+        let truncated = tmp("cor_trunc.hist");
+        std::fs::write(&truncated, &full[..full.len() / 2]).unwrap();
+        let err = run(&argv(&["window-count", &truncated, "--window", "0,0,1,1"])).unwrap_err();
+        assert_eq!(err.code, exit_code::CORRUPT, "{}", err.message);
+
+        // Unreadable files are I/O errors, not corruption.
+        let err = run(&argv(&["estimate", "/nonexistent/a.hist", &hist])).unwrap_err();
+        assert_eq!(err.code, exit_code::IO);
+    }
+
+    #[test]
+    fn invalid_datasets_exit_with_data_code_and_location() {
+        let bad = tmp("bad_field.csv");
+        std::fs::write(&bad, "0,0,1,1\n0.1,0.2,oops,0.4\n").unwrap();
+        let err = run(&argv(&["stats", &bad])).unwrap_err();
+        assert_eq!(err.code, exit_code::INVALID_DATA);
+        assert!(
+            err.message.contains("line 2") && err.message.contains("field xhi"),
+            "{}",
+            err.message
+        );
+
+        let inverted = tmp("bad_inverted.csv");
+        std::fs::write(&inverted, "0,0,1,1\n0.9,0.0,0.1,1.0\n").unwrap();
+        let err = run(&argv(&["stats", &inverted])).unwrap_err();
+        assert_eq!(err.code, exit_code::INVALID_DATA);
+        assert!(err.message.contains("line 2"), "{}", err.message);
+
+        let empty = tmp("empty.csv");
+        std::fs::write(&empty, "\n\n").unwrap();
+        let err = run(&argv(&["stats", &empty])).unwrap_err();
+        assert_eq!(err.code, exit_code::INVALID_DATA);
+        assert!(err.message.contains("empty"), "{}", err.message);
+    }
+
+    #[test]
+    fn validation_policies_repair_and_skip_with_warnings() {
+        let path = tmp("val_mixed.csv");
+        std::fs::write(&path, "0,0,1,1\n0.9,0.0,0.1,1.0\nnan,0,1,1\n").unwrap();
+
+        let out = run(&argv(&["stats", &path, "--validate", "repair"])).unwrap();
+        assert!(out.contains("count          2"), "{out}");
+        assert_eq!(out.warnings.len(), 1, "{:?}", out.warnings);
+        assert!(
+            out.warnings[0].contains("1 record(s) repaired, 1 dropped"),
+            "{:?}",
+            out.warnings
+        );
+
+        let out = run(&argv(&["stats", &path, "--validate", "skip"])).unwrap();
+        assert!(out.contains("count          1"), "{out}");
+        assert!(out.warnings[0].contains("2 dropped"), "{:?}", out.warnings);
+
+        let err = run(&argv(&["stats", &path, "--validate", "lenient"])).unwrap_err();
+        assert_eq!(err.code, exit_code::USAGE);
+    }
+
+    #[test]
+    fn catalog_estimate_healthy_serves_primary() {
+        let a_csv = tmp("ce_a.csv");
+        let b_csv = tmp("ce_b.csv");
+        run(&argv(&[
+            "generate", "scrc", "--scale", "0.01", "--out", &a_csv,
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "generate", "sura", "--scale", "0.01", "--out", &b_csv,
+        ]))
+        .unwrap();
+
+        let out = run(&argv(&["catalog-estimate", &a_csv, &b_csv, "--level", "4"])).unwrap();
+        assert!(out.contains("tier primary (gh)"), "{out}");
+        assert!(out.warnings.is_empty(), "{:?}", out.warnings);
+
+        let json = run(&argv(&[
+            "catalog-estimate",
+            &a_csv,
+            &b_csv,
+            "--level",
+            "4",
+            "--json",
+        ]))
+        .unwrap();
+        assert!(json.contains("\"provenance\""), "{json}");
+        assert!(json.contains("\"tier\":\"primary\""), "{json}");
+        assert!(json.contains("\"degraded\":false"), "{json}");
+        assert!(json.contains("\"skipped\":[]"), "{json}");
+
+        // Self-join of one file works (unique table names).
+        let selfjoin = run(&argv(&["catalog-estimate", &a_csv, &a_csv, "--level", "4"])).unwrap();
+        assert!(selfjoin.contains("tier primary"), "{selfjoin}");
+    }
+
+    #[test]
+    fn catalog_estimate_degrades_on_corrupt_statistics() {
+        let a_csv = tmp("ced_a.csv");
+        let b_csv = tmp("ced_b.csv");
+        run(&argv(&[
+            "generate", "scrc", "--scale", "0.01", "--out", &a_csv,
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "generate", "sura", "--scale", "0.01", "--out", &b_csv,
+        ]))
+        .unwrap();
+
+        // A statistics directory whose `ced_a.hist` is bit-flipped.
+        let stats_dir = tmp("ced_stats");
+        std::fs::create_dir_all(&stats_dir).unwrap();
+        let a_hist = format!("{stats_dir}/ced_a.hist");
+        let b_hist = format!("{stats_dir}/ced_b.hist");
+        run(&argv(&[
+            "build-histogram",
+            &a_csv,
+            "--level",
+            "4",
+            "--out",
+            &a_hist,
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "build-histogram",
+            &b_csv,
+            "--level",
+            "4",
+            "--out",
+            &b_hist,
+        ]))
+        .unwrap();
+        let mut bytes = std::fs::read(&a_hist).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&a_hist, &bytes).unwrap();
+
+        // Default ladder: degrade to the PH rebuild with a warning.
+        let out = run(&argv(&[
+            "catalog-estimate",
+            &a_csv,
+            &b_csv,
+            "--level",
+            "4",
+            "--stats-dir",
+            &stats_dir,
+        ]))
+        .unwrap();
+        assert!(out.contains("tier ph-rebuild"), "{out}");
+        assert!(
+            out.warnings.iter().any(|w| w.contains("corrupt")),
+            "{:?}",
+            out.warnings
+        );
+        assert!(
+            out.warnings.iter().any(|w| w.contains("degraded")),
+            "{:?}",
+            out.warnings
+        );
+
+        // With the rebuild disabled the parametric tier answers; the JSON
+        // provenance names both the tier and the corruption reason.
+        let json = run(&argv(&[
+            "catalog-estimate",
+            &a_csv,
+            &b_csv,
+            "--level",
+            "4",
+            "--stats-dir",
+            &stats_dir,
+            "--no-ph-rebuild",
+            "--json",
+        ]))
+        .unwrap();
+        assert!(json.contains("\"tier\":\"parametric\""), "{json}");
+        assert!(json.contains("\"degraded\":true"), "{json}");
+        assert!(json.contains("corrupt"), "{json}");
+
+        // Everything disabled: the ladder is exhausted, exit code 7.
+        let err = run(&argv(&[
+            "catalog-estimate",
+            &a_csv,
+            &b_csv,
+            "--level",
+            "4",
+            "--stats-dir",
+            &stats_dir,
+            "--no-ph-rebuild",
+            "--no-parametric",
+            "--no-sampling",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, exit_code::EXHAUSTED, "{}", err.message);
+        assert!(err.message.contains("corrupt"), "{}", err.message);
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\ny");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 
     #[test]
@@ -631,7 +1273,7 @@ mod tests {
             &tmp("nope.hist"),
         ]))
         .unwrap_err();
-        assert_eq!(err.code, 2);
+        assert_eq!(err.code, exit_code::USAGE);
     }
 
     #[test]
@@ -701,7 +1343,7 @@ mod tests {
         let est = run(&argv(&["estimate", &merged, &hist])).unwrap();
         assert!(est.contains("selectivity"), "{est}");
 
-        // Mixed kinds refuse to merge.
+        // Mixed kinds refuse to merge with the mismatch exit code.
         let ph = tmp("mh_ph.hist");
         run(&argv(&[
             "build-histogram",
@@ -715,7 +1357,7 @@ mod tests {
         ]))
         .unwrap();
         let err = run(&argv(&["merge-histogram", &hist, &ph, "--out", &merged])).unwrap_err();
-        assert_eq!(err.code, 1);
+        assert_eq!(err.code, exit_code::MISMATCH);
         assert!(err.message.contains("common scheme"), "{}", err.message);
 
         // Fewer than two inputs is a usage error.
@@ -723,7 +1365,7 @@ mod tests {
             run(&argv(&["merge-histogram", &hist, "--out", &merged]))
                 .unwrap_err()
                 .code,
-            2
+            exit_code::USAGE
         );
     }
 
@@ -747,7 +1389,7 @@ mod tests {
         ]))
         .unwrap();
         let err = run(&argv(&["window-count", &hist, "--window", "0,0,0.5,0.5"])).unwrap_err();
-        assert_eq!(err.code, 1);
+        assert_eq!(err.code, exit_code::MISMATCH);
         assert!(
             err.message.contains("not a GH histogram"),
             "{}",
@@ -862,6 +1504,6 @@ mod format_tests {
             &tmp("ph.hist"),
         ]))
         .unwrap_err();
-        assert_eq!(err.code, 2);
+        assert_eq!(err.code, exit_code::USAGE);
     }
 }

@@ -52,13 +52,16 @@ pub use metrics::{error_pct, ratio_pct};
 pub use parallel::{parallel_map, Parallelism};
 
 // Substrate re-exports: the whole workspace is usable through sj-core.
-pub use sj_datagen::{presets, Dataset, DatasetStats, Generator, SizeModel};
-pub use sj_geo::{Extent, Point, Rect};
+pub use sj_datagen::{presets, Dataset, DatasetError, DatasetStats, Generator, SizeModel};
+pub use sj_geo::{
+    apply_policy, check_raw_rect, Extent, Point, Rect, RectIssue, Validated, ValidationPolicy,
+    ValidationReport,
+};
 pub use sj_histogram::{
     build_histogram, build_histogram_parallel, build_histogram_sharded, load_histogram,
-    load_histogram_json, parametric_selectivity, EulerHistogram, GhBasicHistogram, GhHistogram,
-    Grid, HistogramError, HistogramKind, ParametricInputs, PhHistogram, SelectivityEstimate,
-    SpatialHistogram,
+    load_histogram_json, parametric_selectivity, CorruptSection, EulerHistogram, GhBasicHistogram,
+    GhHistogram, Grid, HistogramError, HistogramKind, ParametricInputs, PhHistogram,
+    SelectivityEstimate, SpatialHistogram,
 };
 pub use sj_rtree::{
     join_count, join_count_parallel, join_pairs, mindist, RTree, RTreeConfig, SplitAlgorithm,

@@ -1,6 +1,31 @@
-use sj_geo::{Extent, Rect};
+use crate::DatasetError;
+use sj_geo::{apply_policy, Extent, Rect, Validated, ValidationPolicy, ValidationReport};
 use std::io::{self, BufRead, BufWriter, Write};
 use std::path::Path;
+
+/// Field names of one CSV record, in column order.
+const CSV_FIELDS: [&str; 4] = ["xlo", "ylo", "xhi", "yhi"];
+
+/// Parses the four corner fields of one CSV record, naming the offending
+/// field on failure. Extra trailing fields are ignored for compatibility
+/// with annotated exports.
+fn parse_csv_fields(lineno: usize, line: &str) -> Result<(f64, f64, f64, f64), DatasetError> {
+    let mut parts = line.split(',');
+    let mut vals = [0.0f64; 4];
+    for (i, field) in CSV_FIELDS.iter().enumerate() {
+        let raw = parts.next().ok_or_else(|| DatasetError::Parse {
+            line: lineno,
+            field,
+            detail: "missing field (expected 4 comma-separated values)".to_string(),
+        })?;
+        vals[i] = raw.trim().parse::<f64>().map_err(|e| DatasetError::Parse {
+            line: lineno,
+            field,
+            detail: format!("{e} (got {:?})", raw.trim()),
+        })?;
+    }
+    Ok((vals[0], vals[1], vals[2], vals[3]))
+}
 
 /// A named collection of MBRs living in an extent.
 #[derive(Debug, Clone)]
@@ -115,42 +140,105 @@ impl Dataset {
     /// Returns `InvalidData` on malformed lines and propagates I/O errors.
     pub fn read_csv<R: BufRead>(name: impl Into<String>, r: R) -> io::Result<Self> {
         let mut rects = Vec::new();
-        for (lineno, line) in r.lines().enumerate() {
+        for (i, line) in r.lines().enumerate() {
             let line = line?;
             if line.trim().is_empty() {
                 continue;
             }
-            let mut parts = line.split(',');
-            let mut next = || -> io::Result<f64> {
-                parts
-                    .next()
-                    .ok_or_else(|| {
-                        io::Error::new(
-                            io::ErrorKind::InvalidData,
-                            format!("line {}: expected 4 fields", lineno + 1),
-                        )
-                    })?
-                    .trim()
-                    .parse::<f64>()
-                    .map_err(|e| {
-                        io::Error::new(
-                            io::ErrorKind::InvalidData,
-                            format!("line {}: {e}", lineno + 1),
-                        )
-                    })
-            };
-            let (xlo, ylo, xhi, yhi) = (next()?, next()?, next()?, next()?);
-            let rect = Rect::new(xlo, ylo, xhi, yhi);
-            if !rect.is_finite() {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("line {}: non-finite rectangle", lineno + 1),
-                ));
+            let lineno = i + 1;
+            let (xlo, ylo, xhi, yhi) = parse_csv_fields(lineno, &line).map_err(io::Error::from)?;
+            for (field, v) in CSV_FIELDS.iter().zip([xlo, ylo, xhi, yhi]) {
+                if !v.is_finite() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("line {lineno}, field {field}: non-finite coordinate"),
+                    ));
+                }
             }
-            rects.push(rect);
+            rects.push(Rect::new(xlo, ylo, xhi, yhi));
         }
         let extent = Extent::of_rects(&rects).unwrap_or_else(Extent::unit);
         Ok(Self::new(name, extent, rects))
+    }
+
+    /// Reads a CSV dataset under a [`ValidationPolicy`], optionally
+    /// checking every record against a declared `extent`. Unlike
+    /// [`Dataset::read_csv`], inverted raw corners are *detected* (not
+    /// silently reordered), and an input with no surviving records is an
+    /// explicit [`DatasetError::Empty`].
+    ///
+    /// # Errors
+    /// [`DatasetError::Parse`] names the line and field of malformed
+    /// input; [`DatasetError::Invalid`] is returned under
+    /// [`ValidationPolicy::Strict`] for geometric defects;
+    /// [`DatasetError::Empty`] when nothing survives validation.
+    pub fn read_csv_validated<R: BufRead>(
+        name: impl Into<String>,
+        r: R,
+        policy: ValidationPolicy,
+        extent: Option<Extent>,
+    ) -> Result<(Self, ValidationReport), DatasetError> {
+        let mut rects = Vec::new();
+        let mut report = ValidationReport::default();
+        for (i, line) in r.lines().enumerate() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let lineno = i + 1;
+            let raw = parse_csv_fields(lineno, &line)?;
+            report.checked += 1;
+            match apply_policy(policy, raw, extent.as_ref()) {
+                Ok(Validated::Accepted(rect)) => {
+                    report.accepted += 1;
+                    rects.push(rect);
+                }
+                Ok(Validated::Repaired(rect)) => {
+                    report.repaired += 1;
+                    rects.push(rect);
+                }
+                Ok(Validated::Skipped(_)) => report.skipped += 1,
+                Err(issue) => {
+                    return Err(DatasetError::Invalid {
+                        line: lineno,
+                        issue,
+                    })
+                }
+            }
+        }
+        if rects.is_empty() {
+            return Err(DatasetError::Empty);
+        }
+        let extent = extent
+            .or_else(|| Extent::of_rects(&rects))
+            .unwrap_or_else(Extent::unit);
+        Ok((
+            Self {
+                name: name.into(),
+                extent,
+                rects,
+            },
+            report,
+        ))
+    }
+
+    /// Loads a CSV file under a [`ValidationPolicy`], naming the dataset
+    /// after the file stem. See [`Dataset::read_csv_validated`].
+    ///
+    /// # Errors
+    /// Propagates file-open errors as [`DatasetError::Io`] and all
+    /// validation errors of [`Dataset::read_csv_validated`].
+    pub fn load_csv_validated(
+        path: &Path,
+        policy: ValidationPolicy,
+        extent: Option<Extent>,
+    ) -> Result<(Self, ValidationReport), DatasetError> {
+        let name = path.file_stem().map_or_else(
+            || "dataset".to_string(),
+            |s| s.to_string_lossy().into_owned(),
+        );
+        let f = std::fs::File::open(path)?;
+        Self::read_csv_validated(name, io::BufReader::new(f), policy, extent)
     }
 
     /// Saves the dataset to a CSV file.
@@ -225,8 +313,98 @@ mod tests {
     fn csv_rejects_garbage() {
         let err = Dataset::read_csv("x", "1.0,2.0,oops,4.0\n".as_bytes()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("line 1") && err.to_string().contains("field xhi"),
+            "error must name line and field: {err}"
+        );
         let err = Dataset::read_csv("x", "1.0,2.0\n".as_bytes()).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("field xhi"), "{err}");
+    }
+
+    #[test]
+    fn validated_csv_strict_rejects_inversion_with_line() {
+        let input = "0,0,1,1\n0.9,0.0,0.1,1.0\n";
+        let err =
+            Dataset::read_csv_validated("x", input.as_bytes(), ValidationPolicy::Strict, None)
+                .unwrap_err();
+        match err {
+            DatasetError::Invalid { line, issue } => {
+                assert_eq!(line, 2);
+                assert_eq!(issue, sj_geo::RectIssue::Inverted { axis: 'x' });
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validated_csv_repair_fixes_and_reports() {
+        let input = "0,0,1,1\n0.9,0.0,0.1,1.0\nnan,0,1,1\n";
+        let (ds, report) =
+            Dataset::read_csv_validated("x", input.as_bytes(), ValidationPolicy::Repair, None)
+                .unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.rects[1], Rect::new(0.1, 0.0, 0.9, 1.0));
+        assert_eq!(report.checked, 3);
+        assert_eq!(report.accepted, 1);
+        assert_eq!(report.repaired, 1);
+        assert_eq!(report.skipped, 1);
+    }
+
+    #[test]
+    fn validated_csv_skip_drops_invalid() {
+        let input = "0,0,1,1\ninf,0,1,1\n";
+        let (ds, report) =
+            Dataset::read_csv_validated("x", input.as_bytes(), ValidationPolicy::Skip, None)
+                .unwrap();
+        assert_eq!(ds.len(), 1);
+        assert_eq!(report.skipped, 1);
+    }
+
+    #[test]
+    fn validated_csv_empty_is_an_error() {
+        assert!(matches!(
+            Dataset::read_csv_validated("x", "\n\n".as_bytes(), ValidationPolicy::Strict, None),
+            Err(DatasetError::Empty)
+        ));
+        // A file whose every record is dropped is also empty.
+        assert!(matches!(
+            Dataset::read_csv_validated(
+                "x",
+                "nan,0,1,1\n".as_bytes(),
+                ValidationPolicy::Skip,
+                None
+            ),
+            Err(DatasetError::Empty)
+        ));
+    }
+
+    #[test]
+    fn validated_csv_checks_declared_extent() {
+        let input = "0,0,1,1\n-0.5,0,0.5,0.5\n";
+        let err = Dataset::read_csv_validated(
+            "x",
+            input.as_bytes(),
+            ValidationPolicy::Strict,
+            Some(Extent::unit()),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            DatasetError::Invalid {
+                line: 2,
+                issue: sj_geo::RectIssue::OutOfExtent
+            }
+        ));
+        let (ds, report) = Dataset::read_csv_validated(
+            "x",
+            input.as_bytes(),
+            ValidationPolicy::Repair,
+            Some(Extent::unit()),
+        )
+        .unwrap();
+        assert_eq!(ds.rects[1], Rect::new(0.0, 0.0, 0.5, 0.5));
+        assert_eq!(report.repaired, 1);
     }
 
     #[test]

@@ -28,9 +28,11 @@
 
 mod dataset;
 mod distributions;
+mod error;
 mod generators;
 pub mod presets;
 
 pub use dataset::{Dataset, DatasetStats};
 pub use distributions::{exponential, lognormal, normal, sample_weighted, zipf_weights};
+pub use error::DatasetError;
 pub use generators::{ClusterField, Generator, SizeModel};

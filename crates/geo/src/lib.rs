@@ -30,10 +30,14 @@
 mod extent;
 mod point;
 mod rect;
+mod validate;
 
 pub use extent::Extent;
 pub use point::Point;
 pub use rect::{HEdge, Rect, VEdge};
+pub use validate::{
+    apply_policy, check_raw_rect, RectIssue, Validated, ValidationPolicy, ValidationReport,
+};
 
 /// Workspace-wide floating point comparison slack for geometry tests.
 ///

@@ -1,0 +1,267 @@
+//! Ingestion-time validation of raw rectangle coordinates.
+//!
+//! Parsers hand the *raw* corner fields (pre-normalization) to
+//! [`apply_policy`]; [`Rect::new`] silently reorders inverted corners, so
+//! inversion can only be detected before construction. The policy decides
+//! whether an invalid record aborts ingestion ([`ValidationPolicy::Strict`]),
+//! is fixed up where possible ([`ValidationPolicy::Repair`]), or is dropped
+//! ([`ValidationPolicy::Skip`]).
+
+use crate::{Extent, Rect};
+use std::fmt;
+
+/// How ingestion treats an invalid raw rectangle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ValidationPolicy {
+    /// Reject the whole dataset on the first invalid record (default).
+    #[default]
+    Strict,
+    /// Fix records where a fix is well-defined: reorder inverted corners,
+    /// clamp out-of-extent coordinates into the extent. Non-finite
+    /// coordinates have no meaningful repair and are dropped.
+    Repair,
+    /// Drop every invalid record and keep going.
+    Skip,
+}
+
+impl ValidationPolicy {
+    /// Parses a policy name as used by CLI flags.
+    ///
+    /// # Errors
+    /// Returns the offending string when it names no policy.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "strict" => Ok(Self::Strict),
+            "repair" => Ok(Self::Repair),
+            "skip" => Ok(Self::Skip),
+            other => Err(format!(
+                "unknown validation policy {other:?} (expected strict, repair or skip)"
+            )),
+        }
+    }
+
+    /// The canonical CLI name of the policy.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Strict => "strict",
+            Self::Repair => "repair",
+            Self::Skip => "skip",
+        }
+    }
+}
+
+/// A defect found in one raw rectangle record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RectIssue {
+    /// A coordinate is NaN or infinite; `field` names it (`"xlo"`…).
+    NonFinite {
+        /// Name of the offending field.
+        field: &'static str,
+    },
+    /// The raw corners are inverted on an axis (`'x'` or `'y'`).
+    Inverted {
+        /// Axis whose lo/hi fields are swapped.
+        axis: char,
+    },
+    /// The rectangle lies (partly) outside the declared extent.
+    OutOfExtent,
+}
+
+impl fmt::Display for RectIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NonFinite { field } => write!(f, "non-finite coordinate in field {field}"),
+            Self::Inverted { axis } => write!(f, "inverted corners on the {axis} axis"),
+            Self::OutOfExtent => write!(f, "rectangle outside the declared extent"),
+        }
+    }
+}
+
+/// Running totals of one validated ingestion pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ValidationReport {
+    /// Records inspected.
+    pub checked: usize,
+    /// Records accepted unchanged.
+    pub accepted: usize,
+    /// Records fixed up under [`ValidationPolicy::Repair`].
+    pub repaired: usize,
+    /// Records dropped under [`ValidationPolicy::Repair`] (unrepairable)
+    /// or [`ValidationPolicy::Skip`].
+    pub skipped: usize,
+}
+
+/// Checks the raw corner fields of one record, in increasing order of
+/// repairability: non-finite first, then inversion, then extent bounds.
+///
+/// # Errors
+/// Returns the first [`RectIssue`] found; `Ok` means the fields already
+/// form a valid rectangle (inside `extent`, when one is declared).
+pub fn check_raw_rect(
+    (xlo, ylo, xhi, yhi): (f64, f64, f64, f64),
+    extent: Option<&Extent>,
+) -> Result<(), RectIssue> {
+    for (field, v) in [("xlo", xlo), ("ylo", ylo), ("xhi", xhi), ("yhi", yhi)] {
+        if !v.is_finite() {
+            return Err(RectIssue::NonFinite { field });
+        }
+    }
+    if xhi < xlo {
+        return Err(RectIssue::Inverted { axis: 'x' });
+    }
+    if yhi < ylo {
+        return Err(RectIssue::Inverted { axis: 'y' });
+    }
+    if let Some(e) = extent {
+        let er = e.rect();
+        if xlo < er.xlo || ylo < er.ylo || xhi > er.xhi || yhi > er.yhi {
+            return Err(RectIssue::OutOfExtent);
+        }
+    }
+    Ok(())
+}
+
+/// What [`apply_policy`] decided about one record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Validated {
+    /// The record was valid as-is.
+    Accepted(Rect),
+    /// The record was invalid and fixed up (`Repair`).
+    Repaired(Rect),
+    /// The record was invalid and dropped (`Skip`, or unrepairable under
+    /// `Repair`).
+    Skipped(RectIssue),
+}
+
+/// Applies `policy` to the raw corner fields of one record.
+///
+/// # Errors
+/// Under [`ValidationPolicy::Strict`], any issue is returned as an error;
+/// the other policies never error.
+pub fn apply_policy(
+    policy: ValidationPolicy,
+    raw: (f64, f64, f64, f64),
+    extent: Option<&Extent>,
+) -> Result<Validated, RectIssue> {
+    match check_raw_rect(raw, extent) {
+        Ok(()) => {
+            let (xlo, ylo, xhi, yhi) = raw;
+            Ok(Validated::Accepted(Rect { xlo, ylo, xhi, yhi }))
+        }
+        Err(issue) => match policy {
+            ValidationPolicy::Strict => Err(issue),
+            ValidationPolicy::Skip => Ok(Validated::Skipped(issue)),
+            ValidationPolicy::Repair => {
+                if matches!(issue, RectIssue::NonFinite { .. }) {
+                    return Ok(Validated::Skipped(issue));
+                }
+                let (xlo, ylo, xhi, yhi) = raw;
+                let mut r = Rect::new(xlo, ylo, xhi, yhi); // reorders corners
+                if let Some(e) = extent {
+                    let er = e.rect();
+                    r = Rect {
+                        xlo: r.xlo.clamp(er.xlo, er.xhi),
+                        ylo: r.ylo.clamp(er.ylo, er.yhi),
+                        xhi: r.xhi.clamp(er.xlo, er.xhi),
+                        yhi: r.yhi.clamp(er.ylo, er.yhi),
+                    };
+                }
+                Ok(Validated::Repaired(r))
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_rect_accepted_under_every_policy() {
+        for policy in [
+            ValidationPolicy::Strict,
+            ValidationPolicy::Repair,
+            ValidationPolicy::Skip,
+        ] {
+            let v = apply_policy(policy, (0.1, 0.2, 0.3, 0.4), Some(&Extent::unit())).unwrap();
+            assert_eq!(v, Validated::Accepted(Rect::new(0.1, 0.2, 0.3, 0.4)));
+        }
+    }
+
+    #[test]
+    fn non_finite_names_the_field() {
+        let err = check_raw_rect((0.0, f64::NAN, 1.0, 1.0), None).unwrap_err();
+        assert_eq!(err, RectIssue::NonFinite { field: "ylo" });
+        let err = check_raw_rect((0.0, 0.0, f64::INFINITY, 1.0), None).unwrap_err();
+        assert_eq!(err, RectIssue::NonFinite { field: "xhi" });
+    }
+
+    #[test]
+    fn inversion_detected_per_axis() {
+        assert_eq!(
+            check_raw_rect((0.9, 0.0, 0.1, 1.0), None).unwrap_err(),
+            RectIssue::Inverted { axis: 'x' }
+        );
+        assert_eq!(
+            check_raw_rect((0.0, 0.9, 1.0, 0.1), None).unwrap_err(),
+            RectIssue::Inverted { axis: 'y' }
+        );
+    }
+
+    #[test]
+    fn out_of_extent_requires_declared_extent() {
+        let raw = (-0.5, 0.0, 0.5, 0.5);
+        assert!(check_raw_rect(raw, None).is_ok());
+        assert_eq!(
+            check_raw_rect(raw, Some(&Extent::unit())).unwrap_err(),
+            RectIssue::OutOfExtent
+        );
+    }
+
+    #[test]
+    fn strict_rejects_repair_fixes_skip_drops() {
+        let inverted = (0.9, 0.0, 0.1, 1.0);
+        assert!(apply_policy(ValidationPolicy::Strict, inverted, None).is_err());
+        assert_eq!(
+            apply_policy(ValidationPolicy::Repair, inverted, None).unwrap(),
+            Validated::Repaired(Rect::new(0.1, 0.0, 0.9, 1.0))
+        );
+        assert!(matches!(
+            apply_policy(ValidationPolicy::Skip, inverted, None).unwrap(),
+            Validated::Skipped(RectIssue::Inverted { axis: 'x' })
+        ));
+    }
+
+    #[test]
+    fn repair_clamps_out_of_extent() {
+        let v = apply_policy(
+            ValidationPolicy::Repair,
+            (-0.5, 0.2, 1.5, 0.8),
+            Some(&Extent::unit()),
+        )
+        .unwrap();
+        assert_eq!(v, Validated::Repaired(Rect::new(0.0, 0.2, 1.0, 0.8)));
+    }
+
+    #[test]
+    fn repair_cannot_fix_nan() {
+        let v = apply_policy(ValidationPolicy::Repair, (f64::NAN, 0.0, 1.0, 1.0), None).unwrap();
+        assert!(matches!(
+            v,
+            Validated::Skipped(RectIssue::NonFinite { field: "xlo" })
+        ));
+    }
+
+    #[test]
+    fn policy_names_roundtrip() {
+        for policy in [
+            ValidationPolicy::Strict,
+            ValidationPolicy::Repair,
+            ValidationPolicy::Skip,
+        ] {
+            assert_eq!(ValidationPolicy::parse(policy.name()).unwrap(), policy);
+        }
+        assert!(ValidationPolicy::parse("lenient").is_err());
+    }
+}

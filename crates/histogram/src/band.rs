@@ -46,7 +46,12 @@ pub(crate) fn build_shard_merge<H: RowBanded>(grid: Grid, rects: &[Rect], thread
         H::build_rows(grid, rects, lo, hi)
     });
     let mut bands = bands.into_iter();
-    let mut acc = bands.next().expect("at least one band");
+    // map_row_bands always yields at least one band; the fallback keeps
+    // this path panic-free regardless.
+    let mut acc = match bands.next() {
+        Some(first) => first,
+        None => H::build_rows(grid, rects, 0, grid.cells_per_axis()),
+    };
     for band in bands {
         acc.merge_same_grid(&band);
     }
@@ -80,7 +85,7 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("band worker panicked"))
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
             .collect()
     })
 }

@@ -1,0 +1,69 @@
+//! Hand-rolled CRC32 (IEEE 802.3, reflected polynomial `0xEDB88320`)
+//! used by the histogram persistence envelope. The workspace vendors no
+//! checksum crate, and the envelope needs only the one classic variant,
+//! so the 256-entry table is built at compile time right here.
+
+/// Reflected CRC32 polynomial (IEEE 802.3 / zlib / PNG).
+const POLY: u32 = 0xEDB8_8320;
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0usize;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// CRC32 checksum of `data` (init `0xFFFF_FFFF`, final XOR, reflected).
+#[must_use]
+pub(crate) fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        let idx = usize::from((crc as u8) ^ byte);
+        crc = (crc >> 8) ^ TABLE[idx];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The canonical check value of the IEEE CRC32 variant.
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn sensitive_to_any_single_bit() {
+        let base = b"selectivity".to_vec();
+        let reference = crc32(&base);
+        for pos in 0..base.len() {
+            for bit in 0..8u8 {
+                let mut flipped = base.clone();
+                flipped[pos] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), reference, "flip at {pos}:{bit}");
+            }
+        }
+    }
+}

@@ -1,5 +1,41 @@
 use std::fmt;
 
+/// Which structural section of a persisted histogram failed to decode.
+///
+/// Reported inside [`HistogramError::Corrupt`] so callers (and the CLI's
+/// JSON provenance) can tell an unreadable envelope from a failed
+/// checksum or a malformed family payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CorruptSection {
+    /// The outer envelope: magic, version, kind tag or length framing.
+    Envelope,
+    /// The CRC32 trailer did not match the envelope contents.
+    Checksum,
+    /// A family payload header (magic, grid level, extent, cardinality).
+    Header,
+    /// The per-cell statistics payload.
+    Payload,
+}
+
+impl CorruptSection {
+    /// Stable lowercase name, used in error messages and provenance.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            CorruptSection::Envelope => "envelope",
+            CorruptSection::Checksum => "checksum",
+            CorruptSection::Header => "header",
+            CorruptSection::Payload => "payload",
+        }
+    }
+}
+
+impl fmt::Display for CorruptSection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Errors produced by histogram construction, estimation and
 /// (de)serialization.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,9 +57,25 @@ pub enum HistogramError {
         right: crate::HistogramKind,
     },
     /// A histogram file failed to decode.
-    Corrupt(String),
+    Corrupt {
+        /// The structural section that failed.
+        section: CorruptSection,
+        /// What exactly was wrong with it.
+        detail: String,
+    },
     /// The requested grid level is above [`crate::Grid::MAX_LEVEL`].
     LevelTooLarge(u32),
+}
+
+impl HistogramError {
+    /// Builds a [`HistogramError::Corrupt`] for `section`.
+    #[must_use]
+    pub fn corrupt(section: CorruptSection, detail: impl Into<String>) -> Self {
+        HistogramError::Corrupt {
+            section,
+            detail: detail.into(),
+        }
+    }
 }
 
 impl fmt::Display for HistogramError {
@@ -43,7 +95,9 @@ impl fmt::Display for HistogramError {
                 left.name(),
                 right.name()
             ),
-            HistogramError::Corrupt(msg) => write!(f, "corrupt histogram file: {msg}"),
+            HistogramError::Corrupt { section, detail } => {
+                write!(f, "corrupt histogram file ({section} section): {detail}")
+            }
             HistogramError::LevelTooLarge(l) => write!(
                 f,
                 "grid level {l} exceeds the maximum of {}",

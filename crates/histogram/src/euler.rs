@@ -24,7 +24,7 @@
 
 use crate::band::RowBanded;
 use crate::grid::Grid;
-use crate::{HistogramError, SelectivityEstimate};
+use crate::{CorruptSection, HistogramError, SelectivityEstimate};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use sj_geo::Rect;
 
@@ -33,8 +33,7 @@ const MAGIC: u32 = 0x534a_4555; // "SJEU"
 /// An Euler histogram over a grid.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EulerHistogram {
-    grid_level: u32,
-    extent: sj_geo::Extent,
+    grid: Grid,
     n: u64,
     /// Per-cell coverage counts, `n × n` row-major.
     faces: Vec<u32>,
@@ -66,13 +65,13 @@ impl EulerHistogram {
     /// The grid the histogram was built on.
     #[must_use]
     pub fn grid(&self) -> Grid {
-        Grid::new(self.grid_level, self.extent).expect("level validated at build")
+        self.grid
     }
 
     /// Cardinality of the summarized dataset.
     #[must_use]
     pub fn dataset_len(&self) -> usize {
-        usize::try_from(self.n).expect("cardinality fits usize")
+        usize::try_from(self.n).unwrap_or(usize::MAX)
     }
 
     /// Counts the objects whose cell blocks intersect the cell block of
@@ -104,13 +103,13 @@ impl EulerHistogram {
             }
         }
         debug_assert!(total >= 0, "Euler sum must be non-negative");
-        u64::try_from(total.max(0)).expect("non-negative")
+        u64::try_from(total.max(0)).unwrap_or(0)
     }
 
     /// Total number of objects (full-extent query; sanity identity).
     #[must_use]
     pub fn total_count(&self) -> u64 {
-        self.count_in_window(&self.extent.rect())
+        self.count_in_window(&self.grid.extent().rect())
     }
 
     /// Counts the pairs of objects (one from each histogram) whose cell
@@ -123,10 +122,10 @@ impl EulerHistogram {
     /// # Errors
     /// Returns [`HistogramError::GridMismatch`] on incompatible grids.
     pub fn intersection_pairs(&self, other: &Self) -> Result<u64, HistogramError> {
-        if self.grid_level != other.grid_level || self.extent != other.extent {
+        if !self.grid.compatible(&other.grid) {
             return Err(HistogramError::GridMismatch {
-                left_level: self.grid_level,
-                right_level: other.grid_level,
+                left_level: self.grid.level(),
+                right_level: other.grid.level(),
             });
         }
         let mut total: i128 = 0;
@@ -175,8 +174,8 @@ impl EulerHistogram {
     pub fn to_bytes(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.size_bytes());
         buf.put_u32_le(MAGIC);
-        buf.put_u32_le(self.grid_level);
-        let e = self.extent.rect();
+        buf.put_u32_le(self.grid.level());
+        let e = self.grid.extent().rect();
         for v in [e.xlo, e.ylo, e.xhi, e.yhi] {
             buf.put_f64_le(v);
         }
@@ -194,28 +193,21 @@ impl EulerHistogram {
     /// # Errors
     /// Returns [`HistogramError::Corrupt`] on malformed input.
     pub fn from_bytes(mut data: &[u8]) -> Result<Self, HistogramError> {
-        let corrupt = |m: &str| HistogramError::Corrupt(m.to_string());
+        let corrupt = |s: CorruptSection, m: &str| HistogramError::corrupt(s, m);
         if data.remaining() < 48 {
-            return Err(corrupt("truncated header"));
+            return Err(corrupt(CorruptSection::Header, "truncated header"));
         }
         if data.get_u32_le() != MAGIC {
-            return Err(corrupt("bad magic"));
+            return Err(corrupt(CorruptSection::Header, "bad magic"));
         }
         let level = data.get_u32_le();
-        let (xlo, ylo, xhi, yhi) = (
+        let coords = (
             data.get_f64_le(),
             data.get_f64_le(),
             data.get_f64_le(),
             data.get_f64_le(),
         );
-        if !(xlo.is_finite() && ylo.is_finite() && xhi.is_finite() && yhi.is_finite())
-            || xhi <= xlo
-            || yhi <= ylo
-        {
-            return Err(corrupt("bad extent"));
-        }
-        let extent = sj_geo::Extent::new(Rect::new(xlo, ylo, xhi, yhi));
-        let grid = Grid::new(level, extent).map_err(|_| corrupt("grid level out of range"))?;
+        let grid = crate::grid::grid_from_header(level, coords)?;
         let n = data.get_u64_le();
         let cells = grid.cells_per_axis() as usize;
         let sizes = [
@@ -225,7 +217,7 @@ impl EulerHistogram {
             cells.saturating_sub(1) * cells.saturating_sub(1),
         ];
         if data.remaining() != sizes.iter().sum::<usize>() * 4 {
-            return Err(corrupt("payload size mismatch"));
+            return Err(corrupt(CorruptSection::Payload, "payload size mismatch"));
         }
         let read = |len: usize, data: &mut &[u8]| -> Vec<u32> {
             (0..len).map(|_| data.get_u32_le()).collect()
@@ -235,8 +227,7 @@ impl EulerHistogram {
         let h_edges = read(sizes[2], &mut data);
         let vertices = read(sizes[3], &mut data);
         Ok(Self {
-            grid_level: level,
-            extent,
+            grid,
             n,
             faces,
             v_edges,
@@ -293,8 +284,7 @@ impl RowBanded for EulerHistogram {
             }
         }
         Self {
-            grid_level: grid.level(),
-            extent: grid.extent(),
+            grid,
             n: count,
             faces,
             v_edges,

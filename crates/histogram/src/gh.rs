@@ -22,7 +22,7 @@
 use crate::band::RowBanded;
 use crate::grid::Grid;
 use crate::mass::Mass;
-use crate::{HistogramError, SelectivityEstimate};
+use crate::{CorruptSection, HistogramError, SelectivityEstimate};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use sj_geo::Rect;
 
@@ -32,8 +32,7 @@ const MAGIC_REVISED: u32 = 0x534a_4748; // "SJGH"
 /// Basic Geometric Histogram: per-cell integer counts (paper Eq. 4).
 #[derive(Debug, Clone, PartialEq)]
 pub struct GhBasicHistogram {
-    grid_level: u32,
-    extent: sj_geo::Extent,
+    grid: Grid,
     n: u64,
     /// Corners of MBRs falling in each cell.
     c: Vec<u32>,
@@ -63,13 +62,13 @@ impl GhBasicHistogram {
     /// The grid the histogram was built on.
     #[must_use]
     pub fn grid(&self) -> Grid {
-        Grid::new(self.grid_level, self.extent).expect("level validated at build")
+        self.grid
     }
 
     /// Cardinality of the summarized dataset.
     #[must_use]
     pub fn dataset_len(&self) -> usize {
-        usize::try_from(self.n).expect("cardinality fits usize")
+        usize::try_from(self.n).unwrap_or(usize::MAX)
     }
 
     /// Estimated number of intersection points against `other` (Eq. 4).
@@ -77,10 +76,10 @@ impl GhBasicHistogram {
     /// # Errors
     /// Returns [`HistogramError::GridMismatch`] on incompatible grids.
     pub fn intersection_points(&self, other: &Self) -> Result<f64, HistogramError> {
-        if self.grid_level != other.grid_level || self.extent != other.extent {
+        if !self.grid.compatible(&other.grid) {
             return Err(HistogramError::GridMismatch {
-                left_level: self.grid_level,
-                right_level: other.grid_level,
+                left_level: self.grid.level(),
+                right_level: other.grid.level(),
             });
         }
         let mut total = 0.0f64;
@@ -114,8 +113,8 @@ impl GhBasicHistogram {
     pub fn to_bytes(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.size_bytes());
         buf.put_u32_le(MAGIC_BASIC);
-        buf.put_u32_le(self.grid_level);
-        let e = self.extent.rect();
+        buf.put_u32_le(self.grid.level());
+        let e = self.grid.extent().rect();
         for v in [e.xlo, e.ylo, e.xhi, e.yhi] {
             buf.put_f64_le(v);
         }
@@ -133,29 +132,25 @@ impl GhBasicHistogram {
     /// # Errors
     /// Returns [`HistogramError::Corrupt`] on malformed input.
     pub fn from_bytes(mut data: &[u8]) -> Result<Self, HistogramError> {
-        let corrupt = |m: &str| HistogramError::Corrupt(m.to_string());
+        let corrupt = |s: CorruptSection, m: &str| HistogramError::corrupt(s, m);
         if data.remaining() < 48 {
-            return Err(corrupt("truncated header"));
+            return Err(corrupt(CorruptSection::Header, "truncated header"));
         }
         if data.get_u32_le() != MAGIC_BASIC {
-            return Err(corrupt("bad magic"));
+            return Err(corrupt(CorruptSection::Header, "bad magic"));
         }
         let level = data.get_u32_le();
-        let (xlo, ylo, xhi, yhi) = (
+        let coords = (
             data.get_f64_le(),
             data.get_f64_le(),
             data.get_f64_le(),
             data.get_f64_le(),
         );
-        if !(xlo.is_finite() && yhi.is_finite()) || xhi <= xlo || yhi <= ylo {
-            return Err(corrupt("bad extent"));
-        }
-        let extent = sj_geo::Extent::new(Rect::new(xlo, ylo, xhi, yhi));
-        let grid = Grid::new(level, extent).map_err(|_| corrupt("grid level out of range"))?;
+        let grid = crate::grid::grid_from_header(level, coords)?;
         let n = data.get_u64_le();
         let cells = grid.num_cells();
         if data.remaining() != cells * 16 {
-            return Err(corrupt("payload size mismatch"));
+            return Err(corrupt(CorruptSection::Payload, "payload size mismatch"));
         }
         let read =
             |data: &mut &[u8]| -> Vec<u32> { (0..cells).map(|_| data.get_u32_le()).collect() };
@@ -164,8 +159,7 @@ impl GhBasicHistogram {
         let v = read(&mut data);
         let h = read(&mut data);
         Ok(Self {
-            grid_level: level,
-            extent,
+            grid,
             n,
             c,
             i,
@@ -230,8 +224,7 @@ impl RowBanded for GhBasicHistogram {
             }
         }
         Self {
-            grid_level: grid.level(),
-            extent: grid.extent(),
+            grid,
             n,
             c,
             i,
@@ -273,8 +266,7 @@ impl RowBanded for GhBasicHistogram {
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct GhHistogram {
-    grid_level: u32,
-    extent: sj_geo::Extent,
+    grid: Grid,
     n: u64,
     /// `C(i,j)`: number of MBR corner points falling in the cell.
     c: Vec<u32>,
@@ -305,13 +297,13 @@ impl GhHistogram {
     /// The grid the histogram was built on.
     #[must_use]
     pub fn grid(&self) -> Grid {
-        Grid::new(self.grid_level, self.extent).expect("level validated at build")
+        self.grid
     }
 
     /// Cardinality of the summarized dataset.
     #[must_use]
     pub fn dataset_len(&self) -> usize {
-        usize::try_from(self.n).expect("cardinality fits usize")
+        usize::try_from(self.n).unwrap_or(usize::MAX)
     }
 
     /// Estimated number of intersection points against `other` (Eq. 5):
@@ -320,10 +312,10 @@ impl GhHistogram {
     /// # Errors
     /// Returns [`HistogramError::GridMismatch`] on incompatible grids.
     pub fn intersection_points(&self, other: &Self) -> Result<f64, HistogramError> {
-        if self.grid_level != other.grid_level || self.extent != other.extent {
+        if !self.grid.compatible(&other.grid) {
             return Err(HistogramError::GridMismatch {
-                left_level: self.grid_level,
-                right_level: other.grid_level,
+                left_level: self.grid.level(),
+                right_level: other.grid.level(),
             });
         }
         let mut total = 0.0f64;
@@ -429,10 +421,10 @@ impl GhHistogram {
         other: &Self,
         window: &Rect,
     ) -> Result<f64, HistogramError> {
-        if self.grid_level != other.grid_level || self.extent != other.extent {
+        if !self.grid.compatible(&other.grid) {
             return Err(HistogramError::GridMismatch {
-                left_level: self.grid_level,
-                right_level: other.grid_level,
+                left_level: self.grid.level(),
+                right_level: other.grid.level(),
             });
         }
         let grid = self.grid();
@@ -462,8 +454,8 @@ impl GhHistogram {
     pub fn to_bytes(&self) -> Bytes {
         let mut buf = BytesMut::with_capacity(self.size_bytes());
         buf.put_u32_le(MAGIC_REVISED);
-        buf.put_u32_le(self.grid_level);
-        let e = self.extent.rect();
+        buf.put_u32_le(self.grid.level());
+        let e = self.grid.extent().rect();
         for v in [e.xlo, e.ylo, e.xhi, e.yhi] {
             buf.put_f64_le(v);
         }
@@ -484,29 +476,25 @@ impl GhHistogram {
     /// # Errors
     /// Returns [`HistogramError::Corrupt`] on malformed input.
     pub fn from_bytes(mut data: &[u8]) -> Result<Self, HistogramError> {
-        let corrupt = |m: &str| HistogramError::Corrupt(m.to_string());
+        let corrupt = |s: CorruptSection, m: &str| HistogramError::corrupt(s, m);
         if data.remaining() < 48 {
-            return Err(corrupt("truncated header"));
+            return Err(corrupt(CorruptSection::Header, "truncated header"));
         }
         if data.get_u32_le() != MAGIC_REVISED {
-            return Err(corrupt("bad magic"));
+            return Err(corrupt(CorruptSection::Header, "bad magic"));
         }
         let level = data.get_u32_le();
-        let (xlo, ylo, xhi, yhi) = (
+        let coords = (
             data.get_f64_le(),
             data.get_f64_le(),
             data.get_f64_le(),
             data.get_f64_le(),
         );
-        if !(xlo.is_finite() && yhi.is_finite()) || xhi <= xlo || yhi <= ylo {
-            return Err(corrupt("bad extent"));
-        }
-        let extent = sj_geo::Extent::new(Rect::new(xlo, ylo, xhi, yhi));
-        let grid = Grid::new(level, extent).map_err(|_| corrupt("grid level out of range"))?;
+        let grid = crate::grid::grid_from_header(level, coords)?;
         let n = data.get_u64_le();
         let cells = grid.num_cells();
         if data.remaining() != cells * (4 + 48) {
-            return Err(corrupt("payload size mismatch"));
+            return Err(corrupt(CorruptSection::Payload, "payload size mismatch"));
         }
         let c: Vec<u32> = (0..cells).map(|_| data.get_u32_le()).collect();
         let read =
@@ -515,8 +503,7 @@ impl GhHistogram {
         let h = read(&mut data);
         let v = read(&mut data);
         Ok(Self {
-            grid_level: level,
-            extent,
+            grid,
             n,
             c,
             o,
@@ -594,8 +581,7 @@ impl RowBanded for GhHistogram {
             }
         }
         Self {
-            grid_level: grid.level(),
-            extent: grid.extent(),
+            grid,
             n,
             c,
             o,
@@ -1239,8 +1225,8 @@ impl GhHistogram {
         let occupied = self.occupied_cells();
         let mut buf = BytesMut::with_capacity(56 + occupied * 56);
         buf.put_u32_le(MAGIC_SPARSE);
-        buf.put_u32_le(self.grid_level);
-        let e = self.extent.rect();
+        buf.put_u32_le(self.grid.level());
+        let e = self.grid.extent().rect();
         for val in [e.xlo, e.ylo, e.xhi, e.yhi] {
             buf.put_f64_le(val);
         }
@@ -1252,7 +1238,9 @@ impl GhHistogram {
                 || !self.h[i].is_zero()
                 || !self.v[i].is_zero()
             {
-                buf.put_u32_le(u32::try_from(i).expect("cell index fits u32"));
+                // Cell counts top out at 4^MAX_LEVEL ≈ 4.2 M, well inside u32.
+                #[allow(clippy::cast_possible_truncation)]
+                buf.put_u32_le(i as u32);
                 buf.put_u32_le(self.c[i]);
                 self.o[i].put_le(&mut buf);
                 self.h[i].put_le(&mut buf);
@@ -1275,37 +1263,34 @@ impl GhHistogram {
     /// # Errors
     /// Returns [`HistogramError::Corrupt`] on malformed input.
     pub fn from_sparse_bytes(mut data: &[u8]) -> Result<Self, HistogramError> {
-        let corrupt = |m: &str| HistogramError::Corrupt(m.to_string());
+        let corrupt = |s: CorruptSection, m: &str| HistogramError::corrupt(s, m);
         if data.remaining() < 56 {
-            return Err(corrupt("truncated header"));
+            return Err(corrupt(CorruptSection::Header, "truncated header"));
         }
         if data.get_u32_le() != MAGIC_SPARSE {
-            return Err(corrupt("bad magic"));
+            return Err(corrupt(CorruptSection::Header, "bad magic"));
         }
         let level = data.get_u32_le();
-        let (xlo, ylo, xhi, yhi) = (
+        let coords = (
             data.get_f64_le(),
             data.get_f64_le(),
             data.get_f64_le(),
             data.get_f64_le(),
         );
-        if !(xlo.is_finite() && ylo.is_finite() && xhi.is_finite() && yhi.is_finite())
-            || xhi <= xlo
-            || yhi <= ylo
-        {
-            return Err(corrupt("bad extent"));
-        }
-        let extent = sj_geo::Extent::new(Rect::new(xlo, ylo, xhi, yhi));
-        let grid = Grid::new(level, extent).map_err(|_| corrupt("grid level out of range"))?;
+        let grid = crate::grid::grid_from_header(level, coords)?;
         let n = data.get_u64_le();
         let occupied = data.get_u64_le();
         let cells = grid.num_cells();
         if occupied > cells as u64 {
-            return Err(corrupt("occupied count exceeds cell count"));
+            return Err(corrupt(
+                CorruptSection::Payload,
+                "occupied count exceeds cell count",
+            ));
         }
-        let need = usize::try_from(occupied).expect("bounded by cells") * 56;
-        if data.remaining() != need {
-            return Err(corrupt("payload size mismatch"));
+        let occupied_cells = usize::try_from(occupied)
+            .map_err(|_| corrupt(CorruptSection::Payload, "occupied count overflows usize"))?;
+        if data.remaining() != occupied_cells * 56 {
+            return Err(corrupt(CorruptSection::Payload, "payload size mismatch"));
         }
         let mut c = vec![0u32; cells];
         let mut o = vec![Mass::ZERO; cells];
@@ -1315,10 +1300,13 @@ impl GhHistogram {
         for _ in 0..occupied {
             let idx = data.get_u32_le();
             if idx as usize >= cells {
-                return Err(corrupt("cell index out of range"));
+                return Err(corrupt(CorruptSection::Payload, "cell index out of range"));
             }
             if last_idx.is_some_and(|prev| idx <= prev) {
-                return Err(corrupt("cell indices must be strictly increasing"));
+                return Err(corrupt(
+                    CorruptSection::Payload,
+                    "cell indices must be strictly increasing",
+                ));
             }
             last_idx = Some(idx);
             c[idx as usize] = data.get_u32_le();
@@ -1327,8 +1315,7 @@ impl GhHistogram {
             v[idx as usize] = Mass::get_le(&mut data);
         }
         Ok(Self {
-            grid_level: level,
-            extent,
+            grid,
             n,
             c,
             o,

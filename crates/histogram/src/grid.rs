@@ -1,5 +1,26 @@
-use crate::HistogramError;
+use crate::{CorruptSection, HistogramError};
 use sj_geo::{Extent, Point, Rect};
+
+/// Reconstructs the grid encoded in a deserialized histogram header,
+/// validating that all four extent coordinates are finite, the corners
+/// are properly ordered with a representable positive area (so
+/// [`Extent::new`] cannot panic on decoder-controlled input), and the
+/// level is within [`Grid::MAX_LEVEL`]. Shared by every family decoder.
+pub(crate) fn grid_from_header(
+    level: u32,
+    (xlo, ylo, xhi, yhi): (f64, f64, f64, f64),
+) -> Result<Grid, HistogramError> {
+    let corrupt = |m: &str| HistogramError::corrupt(CorruptSection::Header, m);
+    if !(xlo.is_finite() && ylo.is_finite() && xhi.is_finite() && yhi.is_finite())
+        || xhi <= xlo
+        || yhi <= ylo
+        || !((xhi - xlo) * (yhi - ylo)).is_normal()
+    {
+        return Err(corrupt("bad extent"));
+    }
+    let extent = Extent::new(Rect::new(xlo, ylo, xhi, yhi));
+    Grid::new(level, extent).map_err(|_| corrupt("grid level out of range"))
+}
 
 /// A regular grid over a spatial extent: `2^level` columns × `2^level`
 /// rows, i.e. `4^level` equi-sized cells, exactly the gridding of the

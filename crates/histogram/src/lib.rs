@@ -33,8 +33,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod band;
+mod crc;
 mod error;
 mod euler;
 mod gh;
@@ -44,7 +46,7 @@ mod parametric;
 mod ph;
 mod traits;
 
-pub use error::HistogramError;
+pub use error::{CorruptSection, HistogramError};
 pub use euler::EulerHistogram;
 pub use gh::{GhBasicHistogram, GhHistogram};
 pub use grid::Grid;

@@ -18,7 +18,7 @@
 use crate::band::RowBanded;
 use crate::grid::Grid;
 use crate::mass::Mass;
-use crate::{HistogramError, SelectivityEstimate};
+use crate::{CorruptSection, HistogramError, SelectivityEstimate};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use sj_geo::Rect;
 
@@ -77,7 +77,7 @@ impl PhHistogram {
     /// Cardinality of the summarized dataset.
     #[must_use]
     pub fn dataset_len(&self) -> usize {
-        usize::try_from(self.n).expect("cardinality fits usize")
+        usize::try_from(self.n).unwrap_or(usize::MAX)
     }
 
     /// `AvgSpan`: mean number of cells spanned by boundary-crossing MBRs;
@@ -233,35 +233,28 @@ impl PhHistogram {
     /// # Errors
     /// Returns [`HistogramError::Corrupt`] on malformed input.
     pub fn from_bytes(mut data: &[u8]) -> Result<Self, HistogramError> {
-        let corrupt = |msg: &str| HistogramError::Corrupt(msg.to_string());
+        let corrupt = |s: CorruptSection, msg: &str| HistogramError::corrupt(s, msg);
         if data.remaining() < 4 + 4 + 32 + 8 + 8 + 8 {
-            return Err(corrupt("truncated header"));
+            return Err(corrupt(CorruptSection::Header, "truncated header"));
         }
         if data.get_u32_le() != MAGIC {
-            return Err(corrupt("bad magic"));
+            return Err(corrupt(CorruptSection::Header, "bad magic"));
         }
         let level = data.get_u32_le();
-        let (xlo, ylo, xhi, yhi) = (
+        let coords = (
             data.get_f64_le(),
             data.get_f64_le(),
             data.get_f64_le(),
             data.get_f64_le(),
         );
-        if !(xlo.is_finite() && ylo.is_finite() && xhi.is_finite() && yhi.is_finite())
-            || xhi <= xlo
-            || yhi <= ylo
-        {
-            return Err(corrupt("bad extent"));
-        }
-        let extent = sj_geo::Extent::new(Rect::new(xlo, ylo, xhi, yhi));
-        let grid = Grid::new(level, extent).map_err(|_| corrupt("grid level out of range"))?;
+        let grid = crate::grid::grid_from_header(level, coords)?;
         let n = data.get_u64_le();
         let span_total = data.get_u64_le();
         let span_rects = data.get_u64_le();
         let cells = grid.num_cells();
         let need = cells * (2 * 4 + 6 * 16);
         if data.remaining() != need {
-            return Err(corrupt("payload size mismatch"));
+            return Err(corrupt(CorruptSection::Payload, "payload size mismatch"));
         }
         let read_u32s =
             |data: &mut &[u8]| -> Vec<u32> { (0..cells).map(|_| data.get_u32_le()).collect() };

@@ -11,16 +11,27 @@
 //! families uniformly.
 //!
 //! Persistence wraps each family's native byte format in a small
-//! versioned envelope (magic, version, kind tag) so a single
-//! [`load_histogram`] call can revive any kind; [`persist_json`] offers
-//! the same envelope as a JSON document for text-based pipelines.
+//! versioned envelope so a single [`load_histogram`] call can revive any
+//! kind; [`persist_json`] offers the same envelope as a JSON document for
+//! text-based pipelines. The current (version 2) binary envelope is
+//! length-framed and checksummed:
+//!
+//! ```text
+//! magic u32 | version u32 | kind tag u32 | payload_len u64 | payload | crc32 u32
+//! ```
+//!
+//! The trailing CRC32 covers every preceding byte, so truncation and
+//! bit-flips surface as typed [`HistogramError::Corrupt`] values instead
+//! of panics or silently-wrong statistics. Version 1 envelopes (no frame,
+//! no checksum) still load through a legacy fallback.
 //!
 //! [`persist_json`]: SpatialHistogram::persist_json
 
 use crate::band::RowBanded;
+use crate::crc::crc32;
 use crate::{
-    EulerHistogram, GhBasicHistogram, GhHistogram, Grid, HistogramError, PhHistogram,
-    SelectivityEstimate,
+    CorruptSection, EulerHistogram, GhBasicHistogram, GhHistogram, Grid, HistogramError,
+    PhHistogram, SelectivityEstimate,
 };
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use sj_geo::Rect;
@@ -29,7 +40,10 @@ use std::any::Any;
 /// Envelope magic for persisted histograms of any kind.
 const ENVELOPE_MAGIC: u32 = 0x534a_5348; // "SJSH"
 /// Envelope format version; bump on incompatible layout changes.
-const ENVELOPE_VERSION: u32 = 1;
+/// Version 2 added the payload length frame and the trailing CRC32.
+const ENVELOPE_VERSION: u32 = 2;
+/// The pre-checksum envelope layout (magic, version, tag, payload).
+const LEGACY_ENVELOPE_VERSION: u32 = 1;
 /// `format` field value of the JSON envelope.
 const JSON_FORMAT: &str = "sjsel-histogram";
 
@@ -97,7 +111,12 @@ impl std::str::FromStr for HistogramKind {
         Self::ALL
             .into_iter()
             .find(|k| k.name() == s)
-            .ok_or_else(|| HistogramError::Corrupt(format!("unknown histogram kind {s:?}")))
+            .ok_or_else(|| {
+                HistogramError::corrupt(
+                    CorruptSection::Envelope,
+                    format!("unknown histogram kind {s:?}"),
+                )
+            })
     }
 }
 
@@ -156,14 +175,19 @@ pub trait SpatialHistogram: std::fmt::Debug + Send + Sync {
         Self: Sized;
 
     /// Serializes into the versioned kind-tagged envelope decodable by
-    /// [`load_histogram`], regardless of family.
+    /// [`load_histogram`], regardless of family: a 20-byte header (magic,
+    /// version, kind tag, payload length), the native payload, and a
+    /// trailing CRC32 over everything before it.
     fn persist(&self) -> Bytes {
         let payload = self.to_bytes();
-        let mut buf = BytesMut::with_capacity(12 + payload.len());
+        let mut buf = BytesMut::with_capacity(24 + payload.len());
         buf.put_u32_le(ENVELOPE_MAGIC);
         buf.put_u32_le(ENVELOPE_VERSION);
         buf.put_u32_le(self.kind().tag());
+        buf.put_u64_le(payload.len() as u64);
         buf.put_slice(&payload);
+        let checksum = crc32(&buf);
+        buf.put_u32_le(checksum);
         buf.freeze()
     }
 
@@ -311,13 +335,21 @@ pub fn build_histogram_sharded(
     grid: Grid,
     shards: &[&[Rect]],
 ) -> Box<dyn SpatialHistogram> {
-    let mut acc = build_histogram(kind, grid, shards.first().copied().unwrap_or(&[]));
-    for shard in shards.iter().skip(1) {
-        let part = build_histogram(kind, grid, shard);
-        acc.merge(part.as_ref())
-            .expect("same kind and grid by construction");
+    fn sharded<H: RowBanded + SpatialHistogram + Sized>(grid: Grid, shards: &[&[Rect]]) -> H {
+        let mut acc = H::build_from(grid, shards.first().copied().unwrap_or(&[]));
+        for shard in shards.iter().skip(1) {
+            // Same kind and grid by construction, so the checked `merge`
+            // entry point is unnecessary (and its error path unreachable).
+            acc.merge_same_grid(&H::build_from(grid, shard));
+        }
+        acc
     }
-    acc
+    match kind {
+        HistogramKind::Ph => Box::new(sharded::<PhHistogram>(grid, shards)),
+        HistogramKind::GhBasic => Box::new(sharded::<GhBasicHistogram>(grid, shards)),
+        HistogramKind::Gh => Box::new(sharded::<GhHistogram>(grid, shards)),
+        HistogramKind::Euler => Box::new(sharded::<EulerHistogram>(grid, shards)),
+    }
 }
 
 /// Decodes the payload of a known kind into a boxed histogram.
@@ -334,30 +366,68 @@ fn load_payload(
 }
 
 /// Decodes a histogram of any kind from the envelope written by
-/// [`SpatialHistogram::persist`].
+/// [`SpatialHistogram::persist`]. Version 2 envelopes are verified
+/// against their length frame and trailing CRC32 before the payload is
+/// touched; version 1 (pre-checksum) envelopes load through the legacy
+/// path with no integrity check beyond the payload's own structure.
 ///
 /// # Errors
 /// Returns [`HistogramError::Corrupt`] on malformed input, a bad version,
-/// or an unknown kind tag.
-pub fn load_histogram(mut data: &[u8]) -> Result<Box<dyn SpatialHistogram>, HistogramError> {
+/// an unknown kind tag, a length-frame mismatch, or a failed checksum.
+pub fn load_histogram(full: &[u8]) -> Result<Box<dyn SpatialHistogram>, HistogramError> {
+    let envelope = |detail: String| HistogramError::corrupt(CorruptSection::Envelope, detail);
+    let mut data = full;
     if data.remaining() < 12 {
-        return Err(HistogramError::Corrupt(
-            "truncated histogram envelope".to_string(),
-        ));
-    }
-    if data.get_u32_le() != ENVELOPE_MAGIC {
-        return Err(HistogramError::Corrupt("bad envelope magic".to_string()));
-    }
-    let version = data.get_u32_le();
-    if version != ENVELOPE_VERSION {
-        return Err(HistogramError::Corrupt(format!(
-            "unsupported envelope version {version}"
+        return Err(envelope(format!(
+            "truncated envelope: {} bytes, need at least 12",
+            full.len()
         )));
     }
+    if data.get_u32_le() != ENVELOPE_MAGIC {
+        return Err(envelope("bad envelope magic".to_string()));
+    }
+    let version = data.get_u32_le();
     let tag = data.get_u32_le();
     let kind = HistogramKind::from_tag(tag)
-        .ok_or_else(|| HistogramError::Corrupt(format!("unknown histogram kind tag {tag}")))?;
-    load_payload(kind, data)
+        .ok_or_else(|| envelope(format!("unknown histogram kind tag {tag}")))?;
+    match version {
+        LEGACY_ENVELOPE_VERSION => load_payload(kind, data),
+        ENVELOPE_VERSION => {
+            if data.remaining() < 12 {
+                return Err(envelope(format!(
+                    "truncated envelope: {} bytes, need at least 24",
+                    full.len()
+                )));
+            }
+            let payload_len = data.get_u64_le();
+            let framed_total = payload_len
+                .checked_add(24)
+                .ok_or_else(|| envelope(format!("absurd payload length {payload_len}")))?;
+            if framed_total != full.len() as u64 {
+                return Err(envelope(format!(
+                    "length frame mismatch: header says {payload_len} payload bytes \
+                     but the envelope holds {}",
+                    full.len()
+                )));
+            }
+            let body = &full[..full.len() - 4];
+            let stored = u32::from_le_bytes([
+                full[full.len() - 4],
+                full[full.len() - 3],
+                full[full.len() - 2],
+                full[full.len() - 1],
+            ]);
+            let computed = crc32(body);
+            if stored != computed {
+                return Err(HistogramError::corrupt(
+                    CorruptSection::Checksum,
+                    format!("CRC32 mismatch: stored {stored:#010x}, computed {computed:#010x}"),
+                ));
+            }
+            load_payload(kind, &body[20..])
+        }
+        other => Err(envelope(format!("unsupported envelope version {other}"))),
+    }
 }
 
 /// Decodes a histogram of any kind from the JSON envelope written by
@@ -367,18 +437,20 @@ pub fn load_histogram(mut data: &[u8]) -> Result<Box<dyn SpatialHistogram>, Hist
 /// Returns [`HistogramError::Corrupt`] on malformed input, a bad version,
 /// or an unknown kind name.
 pub fn load_histogram_json(json: &str) -> Result<Box<dyn SpatialHistogram>, HistogramError> {
-    let corrupt = |m: &str| HistogramError::Corrupt(m.to_string());
+    let corrupt = |m: &str| HistogramError::corrupt(CorruptSection::Envelope, m);
     let format = json_string_field(json, "format").ok_or_else(|| corrupt("missing format"))?;
     if format != JSON_FORMAT {
-        return Err(HistogramError::Corrupt(format!(
-            "unrecognized format {format:?}"
-        )));
+        return Err(HistogramError::corrupt(
+            CorruptSection::Envelope,
+            format!("unrecognized format {format:?}"),
+        ));
     }
     let version = json_u64_field(json, "version").ok_or_else(|| corrupt("missing version"))?;
-    if version != u64::from(ENVELOPE_VERSION) {
-        return Err(HistogramError::Corrupt(format!(
-            "unsupported envelope version {version}"
-        )));
+    if version != u64::from(ENVELOPE_VERSION) && version != u64::from(LEGACY_ENVELOPE_VERSION) {
+        return Err(HistogramError::corrupt(
+            CorruptSection::Envelope,
+            format!("unsupported envelope version {version}"),
+        ));
     }
     let kind: HistogramKind = json_string_field(json, "kind")
         .ok_or_else(|| corrupt("missing kind"))?
@@ -422,17 +494,17 @@ fn hex_encode(data: &[u8]) -> String {
 
 /// Inverse of [`hex_encode`].
 fn hex_decode(s: &str) -> Result<Vec<u8>, HistogramError> {
+    let corrupt = |m: &str| HistogramError::corrupt(CorruptSection::Envelope, m);
     if !s.len().is_multiple_of(2) || !s.is_ascii() {
-        return Err(HistogramError::Corrupt(
-            "payload_hex must be an even-length hex string".to_string(),
-        ));
+        return Err(corrupt("payload_hex must be an even-length hex string"));
     }
     s.as_bytes()
         .chunks(2)
         .map(|pair| {
-            u8::from_str_radix(std::str::from_utf8(pair).expect("ascii checked"), 16).map_err(
-                |_| HistogramError::Corrupt("invalid hex digit in payload_hex".to_string()),
-            )
+            std::str::from_utf8(pair)
+                .ok()
+                .and_then(|digits| u8::from_str_radix(digits, 16).ok())
+                .ok_or_else(|| corrupt("invalid hex digit in payload_hex"))
         })
         .collect()
 }
@@ -517,11 +589,51 @@ mod tests {
         assert!(load_histogram(&bad_tag).is_err());
         // A bare family file is not an envelope.
         assert!(load_histogram(&h.to_bytes()).is_err());
+        // A flipped payload byte fails the checksum with a typed error.
+        let mut bad_payload = bytes.to_vec();
+        let mid = bad_payload.len() / 2;
+        bad_payload[mid] ^= 0x10;
+        assert!(matches!(
+            load_histogram(&bad_payload),
+            Err(HistogramError::Corrupt {
+                section: CorruptSection::Checksum,
+                ..
+            })
+        ));
+        // Trailing garbage breaks the length frame.
+        let mut padded = bytes.to_vec();
+        padded.push(0);
+        assert!(matches!(
+            load_histogram(&padded),
+            Err(HistogramError::Corrupt {
+                section: CorruptSection::Envelope,
+                ..
+            })
+        ));
         // JSON with the wrong format marker or broken hex.
         assert!(load_histogram_json("{\"format\":\"other\"}").is_err());
         let json = h.persist_json();
         assert!(load_histogram_json(&json.replace("sjsel-histogram", "x")).is_err());
-        assert!(load_histogram_json(&json.replace("\"version\":1", "\"version\":9")).is_err());
+        assert!(load_histogram_json(&json.replace("\"version\":2", "\"version\":9")).is_err());
+    }
+
+    /// Version-1 envelopes (no length frame, no CRC) predate this layout
+    /// and must keep loading through the legacy fallback.
+    #[test]
+    fn legacy_v1_envelope_still_loads() {
+        let a = uniform(120, 146, 0.07);
+        for kind in HistogramKind::ALL {
+            let h = build_histogram(kind, unit_grid(3), &a);
+            let payload = h.to_bytes();
+            let mut v1 = BytesMut::with_capacity(12 + payload.len());
+            v1.put_u32_le(ENVELOPE_MAGIC);
+            v1.put_u32_le(LEGACY_ENVELOPE_VERSION);
+            v1.put_u32_le(kind.tag());
+            v1.put_slice(&payload);
+            let back = load_histogram(&v1).unwrap();
+            assert_eq!(back.kind(), kind);
+            assert_eq!(back.to_bytes(), payload, "{kind}: legacy load lossless");
+        }
     }
 
     #[test]

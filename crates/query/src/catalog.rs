@@ -1,11 +1,14 @@
+use crate::degrade::{DegradationPolicy, EstimateOutcome, EstimateTier, SkippedTier};
 use crate::error::QueryError;
 use crate::plan::{ChainJoinQuery, Plan, Planner};
 use sj_datagen::Dataset;
 use sj_geo::{Extent, Rect};
 use sj_histogram::{
-    build_histogram, load_histogram, GhHistogram, Grid, HistogramKind, SpatialHistogram,
+    build_histogram, load_histogram, parametric_result_size, GhHistogram, Grid, HistogramKind,
+    ParametricInputs, PhHistogram, SpatialHistogram,
 };
 use sj_rtree::{RTree, RTreeConfig};
+use sj_sampling::{SamplingEstimator, SamplingTechnique};
 use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 use std::sync::OnceLock;
@@ -24,6 +27,9 @@ pub struct CatalogConfig {
     /// Execution guard: abort a plan when an intermediate result exceeds
     /// this many tuples.
     pub tuple_budget: usize,
+    /// Fallback ladder for estimation when primary statistics cannot
+    /// serve (see [`DegradationPolicy`]).
+    pub degradation: DegradationPolicy,
 }
 
 impl Default for CatalogConfig {
@@ -34,13 +40,30 @@ impl Default for CatalogConfig {
             rtree: RTreeConfig::default(),
             extent: Extent::unit(),
             tuple_budget: 50_000_000,
+            degradation: DegradationPolicy::default(),
+        }
+    }
+}
+
+/// A table's statistics: usable, or recorded as unusable with the reason
+/// (so degraded tables still answer queries through the fallback ladder).
+pub(crate) enum StatsState {
+    Ready(Box<dyn SpatialHistogram>),
+    Unavailable { reason: String },
+}
+
+impl StatsState {
+    fn ready(&self) -> Result<&dyn SpatialHistogram, &str> {
+        match self {
+            Self::Ready(h) => Ok(h.as_ref()),
+            Self::Unavailable { reason } => Err(reason),
         }
     }
 }
 
 pub(crate) struct Table {
     pub(crate) dataset: Dataset,
-    pub(crate) histogram: Box<dyn SpatialHistogram>,
+    pub(crate) stats: StatsState,
     rtree: OnceLock<RTree>,
 }
 
@@ -76,17 +99,30 @@ impl Catalog {
     ///
     /// # Panics
     /// Panics if the configured grid level exceeds [`Grid::MAX_LEVEL`] —
-    /// this is static configuration, not data.
+    /// this is static configuration, not data. Use [`Catalog::try_new`]
+    /// to handle the error instead.
     #[must_use]
     pub fn new(config: CatalogConfig) -> Self {
-        let grid = Grid::new(config.grid_level, config.extent)
-            .expect("catalog grid level within Grid::MAX_LEVEL");
-        Self {
+        match Self::try_new(config) {
+            Ok(c) => c,
+            Err(e) => panic!("invalid catalog configuration: {e}"),
+        }
+    }
+
+    /// Creates a catalog with the given configuration, rejecting invalid
+    /// configurations instead of panicking.
+    ///
+    /// # Errors
+    /// Returns [`QueryError::Histogram`] when the configured grid level
+    /// exceeds [`Grid::MAX_LEVEL`].
+    pub fn try_new(config: CatalogConfig) -> Result<Self, QueryError> {
+        let grid = Grid::new(config.grid_level, config.extent)?;
+        Ok(Self {
             config,
             grid,
             tables: BTreeMap::new(),
             pending: BTreeMap::new(),
-        }
+        })
     }
 
     /// Creates a catalog over the unit extent at the given histogram
@@ -130,7 +166,7 @@ impl Catalog {
             dataset.name.clone(),
             Table {
                 dataset,
-                histogram,
+                stats: StatsState::Ready(histogram),
                 rtree: OnceLock::new(),
             },
         );
@@ -190,7 +226,7 @@ impl Catalog {
             name.to_string(),
             Table {
                 dataset,
-                histogram: p.histogram,
+                stats: StatsState::Ready(p.histogram),
                 rtree: OnceLock::new(),
             },
         );
@@ -214,9 +250,17 @@ impl Catalog {
     /// The histogram file of a table, whatever its configured family.
     ///
     /// # Errors
-    /// Returns [`QueryError::UnknownTable`] for unregistered names.
+    /// [`QueryError::UnknownTable`] for unregistered names;
+    /// [`QueryError::StatisticsUnavailable`] for tables registered
+    /// leniently whose statistics were unusable.
     pub fn histogram(&self, name: &str) -> Result<&dyn SpatialHistogram, QueryError> {
-        Ok(self.table(name)?.histogram.as_ref())
+        self.table(name)?
+            .stats
+            .ready()
+            .map_err(|reason| QueryError::StatisticsUnavailable {
+                table: name.to_string(),
+                reason: reason.to_string(),
+            })
     }
 
     /// The table's histogram downcast to the revised Geometric
@@ -256,14 +300,158 @@ impl Catalog {
         Ok(&self.table(name)?.dataset)
     }
 
-    /// Estimated number of intersecting pairs between two tables, from
-    /// their histogram files alone.
+    /// Estimated number of intersecting pairs between two tables.
+    ///
+    /// Served by the graceful-degradation ladder: the primary histogram
+    /// files when both are usable, otherwise the first fallback tier the
+    /// configured [`DegradationPolicy`] allows (PH rebuild → parametric →
+    /// sampling). Use [`Catalog::estimate_join_pairs_detailed`] to see
+    /// which tier answered.
     ///
     /// # Errors
-    /// Returns [`QueryError::UnknownTable`] for unregistered names.
+    /// [`QueryError::UnknownTable`] for unregistered names;
+    /// [`QueryError::EstimatorsExhausted`] when every tier is disabled
+    /// or failed.
     pub fn estimate_join_pairs(&self, a: &str, b: &str) -> Result<f64, QueryError> {
-        let est = self.histogram(a)?.estimate_join(self.histogram(b)?)?;
-        Ok(est.pairs)
+        Ok(self
+            .estimate_join_pairs_detailed(a, b, &self.config.degradation)?
+            .pairs)
+    }
+
+    /// Like [`Catalog::estimate_join_pairs`], with an explicit policy and
+    /// full provenance: which tier served, and which tiers were skipped
+    /// with the reasons why.
+    ///
+    /// # Errors
+    /// [`QueryError::UnknownTable`] for unregistered names;
+    /// [`QueryError::EstimatorsExhausted`] when every tier is disabled
+    /// or failed.
+    pub fn estimate_join_pairs_detailed(
+        &self,
+        a: &str,
+        b: &str,
+        policy: &DegradationPolicy,
+    ) -> Result<EstimateOutcome, QueryError> {
+        let (ta, tb) = (self.table(a)?, self.table(b)?);
+        let mut skipped = Vec::new();
+        let mut skip = |tier: EstimateTier, reason: String| {
+            skipped.push(SkippedTier { tier, reason });
+        };
+
+        // Tier 1: the primary statistics of the configured family.
+        let primary = EstimateTier::Primary(self.config.kind);
+        match (ta.stats.ready(), tb.stats.ready()) {
+            (Ok(ha), Ok(hb)) => match ha.estimate_join(hb) {
+                Ok(est) => {
+                    return Ok(EstimateOutcome {
+                        pairs: est.pairs,
+                        selectivity: est.selectivity,
+                        tier: primary,
+                        skipped,
+                    })
+                }
+                Err(e) => skip(primary, format!("primary estimation failed: {e}")),
+            },
+            (ra, rb) => {
+                for (name, r) in [(a, ra), (b, rb)] {
+                    if let Err(reason) = r {
+                        skip(primary, format!("table {name:?}: {reason}"));
+                    }
+                }
+            }
+        }
+
+        // Tier 2: rebuild Parametric Histograms from the raw datasets.
+        if !policy.allow_ph_rebuild {
+            skip(EstimateTier::PhRebuild, "disabled by policy".to_string());
+        } else {
+            match Grid::new(policy.ph_level, self.config.extent) {
+                Ok(grid) => {
+                    let ha = PhHistogram::build(grid, &ta.dataset.rects);
+                    let hb = PhHistogram::build(grid, &tb.dataset.rects);
+                    match ha.estimate(&hb) {
+                        Ok(est) => {
+                            return Ok(EstimateOutcome {
+                                pairs: est.pairs,
+                                selectivity: est.selectivity,
+                                tier: EstimateTier::PhRebuild,
+                                skipped,
+                            })
+                        }
+                        Err(e) => skip(EstimateTier::PhRebuild, format!("rebuild failed: {e}")),
+                    }
+                }
+                Err(e) => skip(EstimateTier::PhRebuild, format!("bad rebuild level: {e}")),
+            }
+        }
+
+        // Tier 3: the whole-dataset parametric model (h = 0).
+        if !policy.allow_parametric {
+            skip(EstimateTier::Parametric, "disabled by policy".to_string());
+        } else {
+            let inputs = |d: &Dataset| {
+                let s = d.stats();
+                ParametricInputs {
+                    count: s.count,
+                    coverage: s.coverage,
+                    avg_width: s.avg_width,
+                    avg_height: s.avg_height,
+                }
+            };
+            let pairs = parametric_result_size(
+                &inputs(&ta.dataset),
+                &inputs(&tb.dataset),
+                self.config.extent.area(),
+            );
+            #[allow(clippy::cast_precision_loss)]
+            let denom = ta.dataset.len() as f64 * tb.dataset.len() as f64;
+            let selectivity = if denom == 0.0 {
+                0.0
+            } else {
+                (pairs / denom).clamp(0.0, 1.0)
+            };
+            return Ok(EstimateOutcome {
+                pairs: selectivity * denom,
+                selectivity,
+                tier: EstimateTier::Parametric,
+                skipped,
+            });
+        }
+
+        // Tier 4: RSWR sampling over the raw rectangles.
+        if let Some(percent) = policy.sampling_percent {
+            if percent > 0.0 && percent <= 100.0 {
+                let outcome = SamplingEstimator::new(
+                    SamplingTechnique::RandomWithReplacement,
+                    percent,
+                    percent,
+                )
+                .estimate(
+                    &ta.dataset.rects,
+                    &tb.dataset.rects,
+                    &self.config.extent,
+                );
+                return Ok(EstimateOutcome {
+                    pairs: outcome.pairs,
+                    selectivity: outcome.selectivity,
+                    tier: EstimateTier::Sampling,
+                    skipped,
+                });
+            }
+            skip(
+                EstimateTier::Sampling,
+                format!("sample percent {percent} outside (0, 100]"),
+            );
+        } else {
+            skip(EstimateTier::Sampling, "disabled by policy".to_string());
+        }
+
+        let detail = skipped
+            .iter()
+            .map(|s| format!("{}: {}", s.tier.name(), s.reason))
+            .collect::<Vec<_>>()
+            .join("; ");
+        Err(QueryError::EstimatorsExhausted(detail))
     }
 
     /// Plans a chain join query (see [`Planner`]).
@@ -436,7 +624,10 @@ impl Catalog {
     pub fn save_statistics(&self, dir: &std::path::Path) -> std::io::Result<()> {
         std::fs::create_dir_all(dir)?;
         for (name, table) in &self.tables {
-            std::fs::write(dir.join(format!("{name}.hist")), table.histogram.persist())?;
+            // Degraded tables have nothing worth persisting.
+            if let StatsState::Ready(histogram) = &table.stats {
+                std::fs::write(dir.join(format!("{name}.hist")), histogram.persist())?;
+            }
         }
         Ok(())
     }
@@ -459,6 +650,66 @@ impl Catalog {
         if self.tables.contains_key(&dataset.name) {
             return Err(QueryError::DuplicateTable(dataset.name.clone()));
         }
+        let histogram = self.decode_statistics(&dataset, stats_file)?;
+        self.tables.insert(
+            dataset.name.clone(),
+            Table {
+                dataset,
+                stats: StatsState::Ready(histogram),
+                rtree: OnceLock::new(),
+            },
+        );
+        Ok(())
+    }
+
+    /// Like [`Catalog::register_with_statistics`], but unusable
+    /// statistics (corrupt file, wrong family or grid, stale
+    /// cardinality) do not fail the registration: the table is
+    /// registered without statistics and answers estimates through the
+    /// degradation ladder. Returns the recorded reason when statistics
+    /// were unusable, `None` when they loaded cleanly.
+    ///
+    /// # Errors
+    /// Only [`QueryError::DuplicateTable`] — statistics problems never
+    /// error here.
+    pub fn register_with_statistics_lenient(
+        &mut self,
+        dataset: Dataset,
+        stats_file: &[u8],
+    ) -> Result<Option<String>, QueryError> {
+        if self.tables.contains_key(&dataset.name) {
+            return Err(QueryError::DuplicateTable(dataset.name.clone()));
+        }
+        let (stats, reason) = match self.decode_statistics(&dataset, stats_file) {
+            Ok(h) => (StatsState::Ready(h), None),
+            Err(e) => {
+                let reason = e.to_string();
+                (
+                    StatsState::Unavailable {
+                        reason: reason.clone(),
+                    },
+                    Some(reason),
+                )
+            }
+        };
+        self.tables.insert(
+            dataset.name.clone(),
+            Table {
+                dataset,
+                stats,
+                rtree: OnceLock::new(),
+            },
+        );
+        Ok(reason)
+    }
+
+    /// Decodes and cross-checks a statistics file against this catalog's
+    /// configuration and the dataset it is claimed to describe.
+    fn decode_statistics(
+        &self,
+        dataset: &Dataset,
+        stats_file: &[u8],
+    ) -> Result<Box<dyn SpatialHistogram>, QueryError> {
         let histogram: Box<dyn SpatialHistogram> = match load_histogram(stats_file) {
             Ok(h) => h,
             // Legacy statistics predate the envelope: bare sparse GH.
@@ -483,22 +734,17 @@ impl Catalog {
         }
         if histogram.dataset_len() != dataset.len() {
             return Err(QueryError::Histogram(
-                sj_histogram::HistogramError::Corrupt(format!(
-                    "statistics cover {} objects but the dataset has {}",
-                    histogram.dataset_len(),
-                    dataset.len()
-                )),
+                sj_histogram::HistogramError::corrupt(
+                    sj_histogram::CorruptSection::Payload,
+                    format!(
+                        "statistics cover {} objects but the dataset has {}",
+                        histogram.dataset_len(),
+                        dataset.len()
+                    ),
+                ),
             ));
         }
-        self.tables.insert(
-            dataset.name.clone(),
-            Table {
-                dataset,
-                histogram,
-                rtree: OnceLock::new(),
-            },
-        );
-        Ok(())
+        Ok(histogram)
     }
 }
 
@@ -591,7 +837,7 @@ mod persistence_tests {
         assert!(matches!(
             same_grid.register_with_statistics(tiny("alpha", 41), &bytes),
             Err(QueryError::Histogram(
-                sj_histogram::HistogramError::Corrupt(_)
+                sj_histogram::HistogramError::Corrupt { .. }
             ))
         ));
 
@@ -600,5 +846,191 @@ mod persistence_tests {
         assert!(fresh
             .register_with_statistics(tiny("alpha", 40), b"nonsense")
             .is_err());
+    }
+}
+
+#[cfg(test)]
+mod degradation_tests {
+    use super::*;
+    use crate::degrade::{DegradationPolicy, EstimateTier};
+    use sj_geo::Rect;
+
+    fn tiny(name: &str, n: usize) -> Dataset {
+        let rects = (0..n)
+            .map(|i| {
+                let t = (i as f64 + 0.5) / n as f64;
+                Rect::centered(sj_geo::Point::new(t, t), 0.1, 0.1)
+            })
+            .collect();
+        Dataset::new(name, Extent::unit(), rects)
+    }
+
+    /// Builds a catalog where "alpha" has deliberately corrupted GH
+    /// statistics (registered leniently) and "beta" is healthy.
+    fn degraded_catalog() -> Catalog {
+        let mut source = Catalog::with_level(4);
+        source.register(tiny("alpha", 40)).unwrap();
+        let mut stats = source.histogram("alpha").unwrap().persist().to_vec();
+        let mid = stats.len() / 2;
+        stats[mid] ^= 0xFF; // bit-flip the payload: CRC must catch it
+
+        let mut c = Catalog::with_level(4);
+        let reason = c
+            .register_with_statistics_lenient(tiny("alpha", 40), &stats)
+            .unwrap();
+        assert!(
+            reason.as_deref().unwrap_or("").contains("corrupt"),
+            "lenient registration must record the corruption reason, got {reason:?}"
+        );
+        c.register(tiny("beta", 30)).unwrap();
+        c
+    }
+
+    #[test]
+    fn healthy_catalog_serves_primary_tier() {
+        let mut c = Catalog::with_level(4);
+        c.register(tiny("a", 20)).unwrap();
+        c.register(tiny("b", 20)).unwrap();
+        let out = c
+            .estimate_join_pairs_detailed("a", "b", &DegradationPolicy::default())
+            .unwrap();
+        assert_eq!(out.tier, EstimateTier::Primary(HistogramKind::Gh));
+        assert!(out.skipped.is_empty());
+        assert!(!out.is_degraded());
+    }
+
+    #[test]
+    fn corrupt_statistics_fall_back_to_ph_rebuild() {
+        let c = degraded_catalog();
+        let out = c
+            .estimate_join_pairs_detailed("alpha", "beta", &DegradationPolicy::default())
+            .unwrap();
+        assert_eq!(out.tier, EstimateTier::PhRebuild);
+        assert_eq!(out.skipped.len(), 1);
+        assert!(
+            out.skipped[0].reason.contains("corrupt"),
+            "{:?}",
+            out.skipped
+        );
+        assert!(out.pairs > 0.0, "fallback must still estimate: {out:?}");
+        // The plain API degrades transparently.
+        assert!(c.estimate_join_pairs("alpha", "beta").unwrap() > 0.0);
+    }
+
+    /// Pinned: a corrupt GH file with PH rebuild disabled degrades to the
+    /// parametric tier, with provenance naming the tier and the
+    /// corruption reason.
+    #[test]
+    fn corrupt_gh_degrades_to_parametric_with_provenance() {
+        let c = degraded_catalog();
+        let policy = DegradationPolicy {
+            allow_ph_rebuild: false,
+            ..DegradationPolicy::default()
+        };
+        let out = c
+            .estimate_join_pairs_detailed("alpha", "beta", &policy)
+            .unwrap();
+        assert_eq!(out.tier, EstimateTier::Parametric);
+        assert_eq!(out.tier.name(), "parametric");
+        let tiers: Vec<&str> = out.skipped.iter().map(|s| s.tier.name()).collect();
+        assert_eq!(tiers, vec!["primary", "ph-rebuild"]);
+        assert!(
+            out.skipped[0].reason.contains("corrupt"),
+            "provenance must carry the corruption reason: {:?}",
+            out.skipped[0]
+        );
+        assert!(out.pairs > 0.0);
+        assert!((0.0..=1.0).contains(&out.selectivity));
+    }
+
+    #[test]
+    fn sampling_is_the_last_rung() {
+        let c = degraded_catalog();
+        let policy = DegradationPolicy {
+            allow_ph_rebuild: false,
+            allow_parametric: false,
+            sampling_percent: Some(50.0),
+            ..DegradationPolicy::default()
+        };
+        let out = c
+            .estimate_join_pairs_detailed("alpha", "beta", &policy)
+            .unwrap();
+        assert_eq!(out.tier, EstimateTier::Sampling);
+        assert_eq!(out.skipped.len(), 3);
+        assert!(out.pairs > 0.0);
+    }
+
+    #[test]
+    fn exhausted_ladder_is_a_typed_error() {
+        let c = degraded_catalog();
+        let err = c
+            .estimate_join_pairs_detailed("alpha", "beta", &DegradationPolicy::primary_only())
+            .unwrap_err();
+        match err {
+            QueryError::EstimatorsExhausted(detail) => {
+                assert!(detail.contains("corrupt"), "{detail}");
+                assert!(detail.contains("disabled by policy"), "{detail}");
+            }
+            other => panic!("expected EstimatorsExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn degraded_table_histogram_access_is_typed() {
+        let c = degraded_catalog();
+        assert!(matches!(
+            c.histogram("alpha"),
+            Err(QueryError::StatisticsUnavailable { .. })
+        ));
+        // Healthy tables are unaffected.
+        assert!(c.histogram("beta").is_ok());
+    }
+
+    #[test]
+    fn planning_with_degraded_table_warns_but_succeeds() {
+        let c = degraded_catalog();
+        let plan = c
+            .plan(&crate::plan::ChainJoinQuery::new(["alpha", "beta"]))
+            .unwrap();
+        assert_eq!(plan.warnings.len(), 1, "{:?}", plan.warnings);
+        assert!(
+            plan.warnings[0].contains("ph-rebuild"),
+            "{:?}",
+            plan.warnings
+        );
+        assert!(
+            format!("{plan}").contains("!!"),
+            "Display must show warnings"
+        );
+        // The degraded plan still executes.
+        assert!(plan.execute(&c).is_ok());
+    }
+
+    #[test]
+    fn lenient_registration_with_good_stats_is_clean() {
+        let mut source = Catalog::with_level(4);
+        source.register(tiny("alpha", 40)).unwrap();
+        let stats = source.histogram("alpha").unwrap().persist();
+
+        let mut c = Catalog::with_level(4);
+        let reason = c
+            .register_with_statistics_lenient(tiny("alpha", 40), &stats)
+            .unwrap();
+        assert_eq!(reason, None);
+        assert!(c.histogram("alpha").is_ok());
+    }
+
+    #[test]
+    fn try_new_rejects_absurd_level() {
+        let cfg = CatalogConfig {
+            grid_level: Grid::MAX_LEVEL + 1,
+            ..CatalogConfig::default()
+        };
+        assert!(matches!(
+            Catalog::try_new(cfg),
+            Err(QueryError::Histogram(
+                sj_histogram::HistogramError::LevelTooLarge(_)
+            ))
+        ));
     }
 }

@@ -1,0 +1,130 @@
+//! The graceful-degradation estimator ladder.
+//!
+//! A production optimizer must produce *some* cardinality estimate even
+//! when a table's statistics file is missing, stale, or corrupt — a
+//! failed estimate would take the whole query down with it. The ladder
+//! walks the estimators in decreasing fidelity (and increasing cost
+//! independence from precomputed state):
+//!
+//! 1. **Primary** — the configured histogram family, loaded or built at
+//!    registration time (the paper's GH by default).
+//! 2. **PH rebuild** — a Parametric Histogram rebuilt on the fly from
+//!    the in-memory datasets at a configurable level.
+//! 3. **Parametric** — the Aref–Samet closed-form model (paper Eq. 1–2),
+//!    i.e. the `h = 0` point: needs only whole-dataset aggregates.
+//! 4. **Sampling** — RSWR sampling over the raw rectangles (paper
+//!    Section 2), the estimator of last resort.
+//!
+//! Every answer is an [`EstimateOutcome`] carrying full provenance: the
+//! tier that served, and every higher tier that was skipped with the
+//! reason why — so callers (the CLI surfaces this as stderr warnings and
+//! a JSON `provenance` field) can tell a first-class estimate from a
+//! degraded one.
+
+use sj_histogram::HistogramKind;
+
+/// Which estimator tier served an estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EstimateTier {
+    /// The configured histogram family answered from its statistics.
+    Primary(HistogramKind),
+    /// A Parametric Histogram rebuilt on the fly from the datasets.
+    PhRebuild,
+    /// The whole-dataset parametric model (`h = 0`).
+    Parametric,
+    /// RSWR sampling over the raw rectangles.
+    Sampling,
+}
+
+impl EstimateTier {
+    /// Stable lowercase name used in the CLI's JSON `provenance` field.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Primary(_) => "primary",
+            Self::PhRebuild => "ph-rebuild",
+            Self::Parametric => "parametric",
+            Self::Sampling => "sampling",
+        }
+    }
+}
+
+impl std::fmt::Display for EstimateTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Primary(kind) => write!(f, "primary ({kind})"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+/// A tier that could not serve an estimate, and why.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkippedTier {
+    /// The tier that was skipped.
+    pub tier: EstimateTier,
+    /// Human-readable reason (corruption detail, policy gate, …).
+    pub reason: String,
+}
+
+/// Configures which fallback tiers [`crate::Catalog::estimate_join_pairs`]
+/// may descend to when the primary statistics cannot serve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradationPolicy {
+    /// Allow tier 2: rebuilding a Parametric Histogram from the raw
+    /// datasets.
+    pub allow_ph_rebuild: bool,
+    /// Grid level for the tier-2 rebuild.
+    pub ph_level: u32,
+    /// Allow tier 3: the whole-dataset parametric model.
+    pub allow_parametric: bool,
+    /// Sample percentage for tier 4 (RSWR); `None` disables sampling.
+    pub sampling_percent: Option<f64>,
+}
+
+impl Default for DegradationPolicy {
+    fn default() -> Self {
+        Self {
+            allow_ph_rebuild: true,
+            ph_level: 4,
+            allow_parametric: true,
+            sampling_percent: Some(1.0),
+        }
+    }
+}
+
+impl DegradationPolicy {
+    /// A policy that never degrades: only the primary statistics may
+    /// answer, anything else is an error.
+    #[must_use]
+    pub fn primary_only() -> Self {
+        Self {
+            allow_ph_rebuild: false,
+            allow_parametric: false,
+            sampling_percent: None,
+            ..Self::default()
+        }
+    }
+}
+
+/// A join-size estimate with full provenance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimateOutcome {
+    /// Estimated number of intersecting pairs.
+    pub pairs: f64,
+    /// Estimated selectivity in `[0, 1]`.
+    pub selectivity: f64,
+    /// The tier that produced the numbers.
+    pub tier: EstimateTier,
+    /// Higher tiers that could not serve, in ladder order.
+    pub skipped: Vec<SkippedTier>,
+}
+
+impl EstimateOutcome {
+    /// `true` when a fallback tier (anything below the primary
+    /// statistics) served the estimate.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        !matches!(self.tier, EstimateTier::Primary(_))
+    }
+}

@@ -21,6 +21,17 @@ pub enum QueryError {
     },
     /// An estimation failed (grid mismatch etc.).
     Histogram(HistogramError),
+    /// A table registered leniently has no usable statistics (direct
+    /// histogram access only — estimation degrades instead).
+    StatisticsUnavailable {
+        /// The degraded table.
+        table: String,
+        /// Why its statistics were rejected at registration.
+        reason: String,
+    },
+    /// Every tier of the estimation ladder was disabled or failed; the
+    /// string lists each skipped tier with its reason.
+    EstimatorsExhausted(String),
 }
 
 impl fmt::Display for QueryError {
@@ -38,6 +49,12 @@ impl fmt::Display for QueryError {
                 "intermediate result exceeded the tuple budget ({produced} > {budget})"
             ),
             QueryError::Histogram(e) => write!(f, "estimation failed: {e}"),
+            QueryError::StatisticsUnavailable { table, reason } => {
+                write!(f, "table {table:?} has no usable statistics: {reason}")
+            }
+            QueryError::EstimatorsExhausted(detail) => {
+                write!(f, "no estimator tier could serve: {detail}")
+            }
         }
     }
 }

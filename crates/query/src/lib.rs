@@ -36,13 +36,16 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod catalog;
+mod degrade;
 mod error;
 mod exec;
 mod plan;
 
 pub use catalog::{Catalog, CatalogConfig};
+pub use degrade::{DegradationPolicy, EstimateOutcome, EstimateTier, SkippedTier};
 pub use error::QueryError;
 pub use exec::{ExecStats, QueryResult};
 pub use plan::{ChainJoinQuery, Plan, PlanStep, Planner, StarJoinQuery};

@@ -3,6 +3,30 @@ use crate::error::QueryError;
 use sj_geo::Rect;
 use std::fmt;
 
+/// Estimates one join edge through the catalog's degradation ladder,
+/// recording a warning when a fallback tier served it.
+fn estimate_edge(
+    catalog: &Catalog,
+    a: &str,
+    b: &str,
+    warnings: &mut Vec<String>,
+) -> Result<f64, QueryError> {
+    let outcome = catalog.estimate_join_pairs_detailed(a, b, &catalog.config().degradation)?;
+    if outcome.is_degraded() {
+        let reasons = outcome
+            .skipped
+            .iter()
+            .map(|s| format!("{}: {}", s.tier.name(), s.reason))
+            .collect::<Vec<_>>()
+            .join("; ");
+        warnings.push(format!(
+            "estimate for {a} ⋈ {b} degraded to the {} tier ({reasons})",
+            outcome.tier
+        ));
+    }
+    Ok(outcome.pairs)
+}
+
 /// A chain spatial join: find tuples `(o₀, …, o_{n-1})`, one object per
 /// table, where each consecutive pair of objects' MBRs intersects —
 /// optionally with every participating object intersecting a window.
@@ -72,6 +96,10 @@ pub struct Plan {
     pub window: Option<Rect>,
     /// Estimated final result size.
     pub estimated_result: f64,
+    /// Degradation warnings: one entry per edge whose estimate was not
+    /// served by the primary statistics (see
+    /// [`crate::EstimateOutcome`]).
+    pub warnings: Vec<String>,
 }
 
 impl fmt::Display for Plan {
@@ -105,6 +133,9 @@ impl fmt::Display for Plan {
                     self.tables[*table], self.tables[*via]
                 )?,
             }
+        }
+        for w in &self.warnings {
+            writeln!(f, "  !! {w}")?;
         }
         write!(f, "  => ~{:.0} result tuples", self.estimated_result)
     }
@@ -142,13 +173,17 @@ impl<'a> Planner<'a> {
             let _ = self.catalog.table(name)?;
         }
 
-        // Edge result-size estimates from the histogram files.
+        // Edge result-size estimates from the histogram files (or a
+        // fallback tier, with a warning recorded on the plan).
+        let mut warnings = Vec::new();
         let mut edge_pairs = Vec::with_capacity(n - 1);
         for i in 0..n - 1 {
-            edge_pairs.push(
-                self.catalog
-                    .estimate_join_pairs(&query.tables[i], &query.tables[i + 1])?,
-            );
+            edge_pairs.push(estimate_edge(
+                self.catalog,
+                &query.tables[i],
+                &query.tables[i + 1],
+                &mut warnings,
+            )?);
         }
         // Growth factor of attaching table b via its neighbor a: expected
         // partners in b per object of a.
@@ -162,12 +197,15 @@ impl<'a> Planner<'a> {
             })
         };
 
-        // Opening edge: the smallest estimated pair count.
-        let (start, _) = edge_pairs
+        // Opening edge: the smallest estimated pair count. (`n >= 2`
+        // guarantees at least one edge; the guard keeps this panic-free.)
+        let Some((start, _)) = edge_pairs
             .iter()
             .enumerate()
             .min_by(|a, b| a.1.total_cmp(b.1))
-            .expect("n >= 2 implies at least one edge");
+        else {
+            return Err(QueryError::TooFewTables(n));
+        };
 
         let mut steps = vec![PlanStep::JoinEdge {
             left: start,
@@ -188,15 +226,16 @@ impl<'a> Planner<'a> {
             } else {
                 None
             };
-            let go_left = match (left_growth, right_growth) {
-                (Some(l), Some(r)) => l <= r,
-                (Some(_), None) => true,
-                (None, Some(_)) => false,
-                (None, None) => unreachable!("loop condition"),
+            // Pick the cheaper extension; the loop condition guarantees
+            // at least one side is available.
+            let (g, go_left) = match (left_growth, right_growth) {
+                (Some(l), Some(r)) if l <= r => (l, true),
+                (Some(l), None) => (l, true),
+                (_, Some(r)) => (r, false),
+                (None, None) => break,
             };
+            estimate *= g;
             if go_left {
-                let g = left_growth.expect("checked");
-                estimate *= g;
                 steps.push(PlanStep::Probe {
                     table: lo - 1,
                     via: lo,
@@ -204,8 +243,6 @@ impl<'a> Planner<'a> {
                 });
                 lo -= 1;
             } else {
-                let g = right_growth.expect("checked");
-                estimate *= g;
                 steps.push(PlanStep::Probe {
                     table: hi + 1,
                     via: hi,
@@ -220,6 +257,7 @@ impl<'a> Planner<'a> {
             steps,
             window: query.window,
             estimated_result: estimate,
+            warnings,
         })
     }
 }
@@ -376,9 +414,10 @@ impl StarJoinQuery {
         let center_len = catalog.table_len(&self.center)?;
 
         // Estimated fan-out of each satellite: partners per center object.
+        let mut warnings = Vec::new();
         let mut sats: Vec<(usize, f64, f64)> = Vec::new(); // (idx, pairs, growth)
         for (i, s) in self.satellites.iter().enumerate() {
-            let pairs = catalog.estimate_join_pairs(&self.center, s)?;
+            let pairs = estimate_edge(catalog, &self.center, s, &mut warnings)?;
             #[allow(clippy::cast_precision_loss)]
             let growth = if center_len == 0 {
                 0.0
@@ -415,6 +454,7 @@ impl StarJoinQuery {
             steps,
             window: self.window,
             estimated_result: estimate,
+            warnings,
         })
     }
 }
