@@ -14,6 +14,9 @@
 //! * `--threads <n>` — worker threads for context preparation and the
 //!   experiment runners (default: available parallelism).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use sj_core::experiment::JoinContext;
 use sj_core::presets::{self, PaperJoin};
 use sj_core::{parallel_map, Parallelism};

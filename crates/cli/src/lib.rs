@@ -111,6 +111,9 @@ impl CliError {
                 exit_code::MISMATCH
             }
             HistogramError::LevelTooLarge(_) => exit_code::USAGE,
+            // Future (non_exhaustive) histogram errors: a conservative
+            // runtime failure until a dedicated exit code exists.
+            _ => exit_code::RUNTIME,
         };
         Self {
             message: format!("{context}: {e}"),
@@ -134,6 +137,8 @@ impl CliError {
             QueryError::UnknownTable(_)
             | QueryError::DuplicateTable(_)
             | QueryError::ResultTooLarge { .. } => Self::runtime(format!("{context}: {e}")),
+            // Future (non_exhaustive) query errors default to runtime.
+            _ => Self::runtime(format!("{context}: {e}")),
         }
     }
 
@@ -147,6 +152,11 @@ impl CliError {
                     code: exit_code::INVALID_DATA,
                 }
             }
+            // Future (non_exhaustive) ingestion errors count as bad data.
+            _ => Self {
+                message: format!("{path}: {e}"),
+                code: exit_code::INVALID_DATA,
+            },
         }
     }
 }
@@ -486,7 +496,7 @@ const ENVELOPE_MAGIC_LE: [u8; 4] = 0x534a_5348u32.to_le_bytes();
 fn decode_histogram(path: &str, bytes: &[u8]) -> Result<Box<dyn SpatialHistogram>, CliError> {
     match load_histogram(bytes) {
         Ok(h) => return Ok(h),
-        Err(e) if bytes.len() >= 4 && bytes[..4] == ENVELOPE_MAGIC_LE => {
+        Err(e) if bytes.get(..4) == Some(ENVELOPE_MAGIC_LE.as_slice()) => {
             return Err(CliError::from_histogram(path, &e));
         }
         Err(_) => {}

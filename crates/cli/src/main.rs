@@ -5,6 +5,10 @@
 //! [`sj_cli::exit_code`]. A closed stdout (e.g. piping into `head`) is a
 //! silent success, not a panic.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
 use std::io::Write;
 
 fn main() {

@@ -93,16 +93,22 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let next = queue.lock().expect("queue lock").next();
+                // A worker panicking mid-item poisons the lock, but the
+                // queue iterator itself is never left inconsistent:
+                // recover the guard instead of propagating a second panic.
+                let next = queue.lock().unwrap_or_else(|e| e.into_inner()).next();
                 let Some((idx, item)) = next else {
                     break;
                 };
                 let out = f(item);
-                results.lock().expect("results lock").push((idx, out));
+                results
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push((idx, out));
             });
         }
     });
-    let mut out = results.into_inner().expect("results lock");
+    let mut out = results.into_inner().unwrap_or_else(|e| e.into_inner());
     out.sort_unstable_by_key(|(idx, _)| *idx);
     out.into_iter().map(|(_, u)| u).collect()
 }

@@ -5,7 +5,11 @@ use std::fmt;
 use std::io;
 
 /// Why a dataset failed to ingest.
+///
+/// `#[non_exhaustive]`: future PRs add failure modes without a semver
+/// break; downstream matches keep a `_` arm.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum DatasetError {
     /// An underlying I/O failure.
     Io(io::Error),

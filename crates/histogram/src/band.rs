@@ -67,14 +67,15 @@ where
     T: Send,
     F: Fn(u32, u32) -> T + Sync,
 {
-    let threads = threads.max(1).min(rows.max(1) as usize);
+    let threads = threads.max(1).min(crate::grid::ix(rows.max(1)));
     if threads == 1 {
         return vec![accumulate(0, rows)];
     }
-    #[allow(clippy::cast_possible_truncation)]
-    let per_band = rows.div_ceil(threads as u32);
+    // threads <= rows <= 2^MAX_LEVEL here, so the conversion is exact;
+    // the saturating fallback keeps the math total anyway.
+    let per_band = rows.div_ceil(u32::try_from(threads).unwrap_or(u32::MAX));
     let bounds: Vec<(u32, u32)> = (0..rows)
-        .step_by(per_band as usize)
+        .step_by(crate::grid::ix(per_band))
         .map(|lo| (lo, (lo + per_band).min(rows)))
         .collect();
     let accumulate = &accumulate;

@@ -10,6 +10,7 @@ const fn build_table() -> [u32; 256] {
     let mut table = [0u32; 256];
     let mut i = 0usize;
     while i < 256 {
+        // sj-lint: allow(cast, i < 256 fits u32; u32::try_from is not const)
         let mut crc = i as u32;
         let mut bit = 0;
         while bit < 8 {
@@ -52,6 +53,30 @@ mod tests {
             crc32(b"The quick brown fox jumps over the lazy dog"),
             0x414F_A339
         );
+    }
+
+    /// All-ones and all-zeros blocks exercise the table's extremes; the
+    /// expected values are cross-checked against zlib's `crc32()`.
+    #[test]
+    fn saturated_blocks() {
+        assert_eq!(crc32(&[0xFF]), 0xFF00_0000);
+        assert_eq!(crc32(&[0xFF; 32]), 0xFF6C_AB0B);
+        assert_eq!(crc32(&[0x00; 32]), 0x190A_55AD);
+    }
+
+    /// Incremental property the envelope relies on: a CRC mismatch on a
+    /// prefix never cancels out when more bytes are appended unchanged.
+    #[test]
+    fn prefix_corruption_persists() {
+        let clean = b"header|payload|trailer".to_vec();
+        let mut dirty = clean.clone();
+        dirty[0] ^= 0x80;
+        assert_ne!(crc32(&clean), crc32(&dirty));
+        let mut clean_ext = clean;
+        let mut dirty_ext = dirty;
+        clean_ext.extend_from_slice(b"....");
+        dirty_ext.extend_from_slice(b"....");
+        assert_ne!(crc32(&clean_ext), crc32(&dirty_ext));
     }
 
     #[test]

@@ -38,7 +38,11 @@ impl fmt::Display for CorruptSection {
 
 /// Errors produced by histogram construction, estimation and
 /// (de)serialization.
+///
+/// `#[non_exhaustive]`: future PRs add failure modes (e.g. resource
+/// limits) without a semver break; downstream matches keep a `_` arm.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum HistogramError {
     /// The two histograms being combined were built on different grids
     /// (level and extent must match exactly).

@@ -82,9 +82,14 @@ impl EulerHistogram {
     #[must_use]
     pub fn count_in_window(&self, window: &Rect) -> u64 {
         let grid = self.grid();
-        let n = grid.cells_per_axis() as usize;
+        let n = crate::grid::ix(grid.cells_per_axis());
         let (c0, c1, r0, r1) = grid.cell_range(window);
-        let (c0, c1, r0, r1) = (c0 as usize, c1 as usize, r0 as usize, r1 as usize);
+        let (c0, c1, r0, r1) = (
+            crate::grid::ix(c0),
+            crate::grid::ix(c1),
+            crate::grid::ix(r0),
+            crate::grid::ix(r1),
+        );
         let mut total: i64 = 0;
         for row in r0..=r1 {
             for col in c0..=c1 {
@@ -209,23 +214,23 @@ impl EulerHistogram {
         );
         let grid = crate::grid::grid_from_header(level, coords)?;
         let n = data.get_u64_le();
-        let cells = grid.cells_per_axis() as usize;
-        let sizes = [
+        let cells = crate::grid::ix(grid.cells_per_axis());
+        let [sz_faces, sz_v_edges, sz_h_edges, sz_vertices] = [
             cells * cells,
             cells.saturating_sub(1) * cells,
             cells * cells.saturating_sub(1),
             cells.saturating_sub(1) * cells.saturating_sub(1),
         ];
-        if data.remaining() != sizes.iter().sum::<usize>() * 4 {
+        if data.remaining() != (sz_faces + sz_v_edges + sz_h_edges + sz_vertices) * 4 {
             return Err(corrupt(CorruptSection::Payload, "payload size mismatch"));
         }
         let read = |len: usize, data: &mut &[u8]| -> Vec<u32> {
             (0..len).map(|_| data.get_u32_le()).collect()
         };
-        let faces = read(sizes[0], &mut data);
-        let v_edges = read(sizes[1], &mut data);
-        let h_edges = read(sizes[2], &mut data);
-        let vertices = read(sizes[3], &mut data);
+        let faces = read(sz_faces, &mut data);
+        let v_edges = read(sz_v_edges, &mut data);
+        let h_edges = read(sz_h_edges, &mut data);
+        let vertices = read(sz_vertices, &mut data);
         Ok(Self {
             grid,
             n,
@@ -248,8 +253,8 @@ impl EulerHistogram {
 
 impl RowBanded for EulerHistogram {
     fn build_rows(grid: Grid, rects: &[Rect], lo: u32, hi: u32) -> Self {
-        let n = grid.cells_per_axis() as usize;
-        let (lo, hi) = (lo as usize, hi as usize);
+        let n = crate::grid::ix(grid.cells_per_axis());
+        let (lo, hi) = (crate::grid::ix(lo), crate::grid::ix(hi));
         let mut count = 0u64;
         let mut faces = vec![0u32; n * n];
         let mut v_edges = vec![0u32; n.saturating_sub(1) * n];
@@ -257,7 +262,12 @@ impl RowBanded for EulerHistogram {
         let mut vertices = vec![0u32; n.saturating_sub(1) * n.saturating_sub(1)];
         for r in rects {
             let (c0, c1, r0, r1) = grid.cell_range(r);
-            let (c0, c1, r0, r1) = (c0 as usize, c1 as usize, r0 as usize, r1 as usize);
+            let (c0, c1, r0, r1) = (
+                crate::grid::ix(c0),
+                crate::grid::ix(c1),
+                crate::grid::ix(r0),
+                crate::grid::ix(r1),
+            );
             if r1 < lo || r0 >= hi {
                 continue;
             }

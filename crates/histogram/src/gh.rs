@@ -1240,6 +1240,7 @@ impl GhHistogram {
             {
                 // Cell counts top out at 4^MAX_LEVEL ≈ 4.2 M, well inside u32.
                 #[allow(clippy::cast_possible_truncation)]
+                // sj-lint: allow(cast, cell index < 4^MAX_LEVEL < 2^32)
                 buf.put_u32_le(i as u32);
                 buf.put_u32_le(self.c[i]);
                 self.o[i].put_le(&mut buf);
@@ -1299,9 +1300,15 @@ impl GhHistogram {
         let mut last_idx: Option<u32> = None;
         for _ in 0..occupied {
             let idx = data.get_u32_le();
-            if idx as usize >= cells {
+            let slot = crate::grid::ix(idx);
+            let (Some(cs), Some(os), Some(hs), Some(vs)) = (
+                c.get_mut(slot),
+                o.get_mut(slot),
+                h.get_mut(slot),
+                v.get_mut(slot),
+            ) else {
                 return Err(corrupt(CorruptSection::Payload, "cell index out of range"));
-            }
+            };
             if last_idx.is_some_and(|prev| idx <= prev) {
                 return Err(corrupt(
                     CorruptSection::Payload,
@@ -1309,10 +1316,10 @@ impl GhHistogram {
                 ));
             }
             last_idx = Some(idx);
-            c[idx as usize] = data.get_u32_le();
-            o[idx as usize] = Mass::get_le(&mut data);
-            h[idx as usize] = Mass::get_le(&mut data);
-            v[idx as usize] = Mass::get_le(&mut data);
+            *cs = data.get_u32_le();
+            *os = Mass::get_le(&mut data);
+            *hs = Mass::get_le(&mut data);
+            *vs = Mass::get_le(&mut data);
         }
         Ok(Self {
             grid,

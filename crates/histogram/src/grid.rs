@@ -1,6 +1,17 @@
 use crate::{CorruptSection, HistogramError};
 use sj_geo::{Extent, Point, Rect};
 
+/// Lossless `u32` → `usize` widening for cell indices and counts.
+///
+/// Every supported target has `usize` of at least 32 bits, so this is
+/// the one sanctioned widening in cell-index math; all other integer
+/// casts in the crate go through `try_from` or carry a reasoned
+/// `sj-lint` suppression (rule R4).
+pub(crate) const fn ix(v: u32) -> usize {
+    // sj-lint: allow(cast, u32 to usize widening cannot truncate on >=32-bit targets)
+    v as usize
+}
+
 /// Reconstructs the grid encoded in a deserialized histogram header,
 /// validating that all four extent coordinates are finite, the corners
 /// are properly ordered with a representable positive area (so
@@ -83,7 +94,7 @@ impl Grid {
     /// Total number of cells (`4^h`).
     #[must_use]
     pub fn num_cells(&self) -> usize {
-        (self.cells_per_axis as usize) * (self.cells_per_axis as usize)
+        ix(self.cells_per_axis) * ix(self.cells_per_axis)
     }
 
     /// Cell width in world units.
@@ -110,6 +121,7 @@ impl Grid {
         let n = f64::from(self.cells_per_axis);
         let u = (x - self.extent.rect().xlo) / self.extent.width();
         #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        // sj-lint: allow(cast, clamped to [0, n-1] with n <= 2^MAX_LEVEL; NaN maps to 0)
         let i = (u * n).floor().clamp(0.0, n - 1.0) as u32;
         i
     }
@@ -120,6 +132,7 @@ impl Grid {
         let n = f64::from(self.cells_per_axis);
         let u = (y - self.extent.rect().ylo) / self.extent.height();
         #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        // sj-lint: allow(cast, clamped to [0, n-1] with n <= 2^MAX_LEVEL; NaN maps to 0)
         let j = (u * n).floor().clamp(0.0, n - 1.0) as u32;
         j
     }
@@ -131,10 +144,40 @@ impl Grid {
     }
 
     /// Flat index of cell `(col, row)` in row-major order.
+    ///
+    /// Out-of-grid coordinates are clamped into the last column/row, so
+    /// the returned index is always `< num_cells()` even in release
+    /// builds — corrupt or miscomputed coordinates can therefore never
+    /// index a statistics array out of contract. Callers that need to
+    /// *detect* out-of-grid coordinates (decoders) use
+    /// [`Self::checked_flat_index`] instead. The `debug_assert!` keeps
+    /// logic errors loud under `cargo test`.
     #[must_use]
     pub fn flat_index(&self, col: u32, row: u32) -> usize {
         debug_assert!(col < self.cells_per_axis && row < self.cells_per_axis);
-        (row as usize) * (self.cells_per_axis as usize) + col as usize
+        let col = col.min(self.cells_per_axis - 1);
+        let row = row.min(self.cells_per_axis - 1);
+        ix(row) * ix(self.cells_per_axis) + ix(col)
+    }
+
+    /// Flat index of cell `(col, row)`, or a typed error when the
+    /// coordinates fall outside the grid — the checked counterpart of
+    /// [`Self::flat_index`] for decoder-controlled input.
+    ///
+    /// # Errors
+    /// Returns [`HistogramError::Corrupt`] (payload section) when
+    /// `col` or `row` is out of range.
+    pub fn checked_flat_index(&self, col: u32, row: u32) -> Result<usize, HistogramError> {
+        if col >= self.cells_per_axis || row >= self.cells_per_axis {
+            return Err(HistogramError::corrupt(
+                CorruptSection::Payload,
+                format!(
+                    "cell ({col}, {row}) outside the {n}x{n} grid",
+                    n = self.cells_per_axis
+                ),
+            ));
+        }
+        Ok(ix(row) * ix(self.cells_per_axis) + ix(col))
     }
 
     /// World-space rectangle of cell `(col, row)`.
@@ -236,6 +279,36 @@ mod tests {
         assert_eq!(g.flat_index(7, 0), 7);
         assert_eq!(g.flat_index(0, 1), 8);
         assert_eq!(g.flat_index(7, 7), 63);
+    }
+
+    #[test]
+    fn flat_index_clamps_out_of_grid_coordinates_in_release() {
+        // In release builds (debug_assertions off) out-of-grid
+        // coordinates must clamp into the last cell instead of
+        // producing an index beyond num_cells(). Under `cargo test`
+        // the debug_assert fires instead, which is also the contract.
+        let g = unit_grid(2);
+        if cfg!(debug_assertions) {
+            assert!(std::panic::catch_unwind(|| g.flat_index(4, 0)).is_err());
+        } else {
+            assert_eq!(g.flat_index(4, 0), g.flat_index(3, 0));
+            assert_eq!(g.flat_index(0, 9), g.flat_index(0, 3));
+            assert!(g.flat_index(u32::MAX, u32::MAX) < g.num_cells());
+        }
+    }
+
+    #[test]
+    fn checked_flat_index_rejects_out_of_grid() {
+        let g = unit_grid(2);
+        assert_eq!(g.checked_flat_index(3, 3).unwrap(), g.num_cells() - 1);
+        assert!(matches!(
+            g.checked_flat_index(4, 0),
+            Err(HistogramError::Corrupt { .. })
+        ));
+        assert!(matches!(
+            g.checked_flat_index(0, 4),
+            Err(HistogramError::Corrupt { .. })
+        ));
     }
 
     #[test]

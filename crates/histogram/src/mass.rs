@@ -60,8 +60,8 @@ impl Mass {
     /// Panics when fewer than 16 bytes remain (callers size-check first).
     pub(crate) fn get_le(data: &mut &[u8]) -> Self {
         let lo = data.get_u64_le();
-        let hi = data.get_u64_le();
-        Self((i128::from(hi as i64) << 64) | i128::from(lo))
+        let hi = i64::from_le_bytes(data.get_u64_le().to_le_bytes());
+        Self((i128::from(hi) << 64) | i128::from(lo))
     }
 }
 

@@ -410,13 +410,12 @@ pub fn load_histogram(full: &[u8]) -> Result<Box<dyn SpatialHistogram>, Histogra
                     full.len()
                 )));
             }
-            let body = &full[..full.len() - 4];
-            let stored = u32::from_le_bytes([
-                full[full.len() - 4],
-                full[full.len() - 3],
-                full[full.len() - 2],
-                full[full.len() - 1],
-            ]);
+            // framed_total == full.len() >= 24 here, so the trailer and
+            // the 20-byte header prefix are both in range; the fallible
+            // accessors keep the decoder panic-free regardless.
+            let tail_at = full.len().saturating_sub(4);
+            let (body, tail) = full.split_at(tail_at);
+            let stored = u32::from_le_bytes(tail.try_into().unwrap_or([0; 4]));
             let computed = crc32(body);
             if stored != computed {
                 return Err(HistogramError::corrupt(
@@ -424,7 +423,10 @@ pub fn load_histogram(full: &[u8]) -> Result<Box<dyn SpatialHistogram>, Histogra
                     format!("CRC32 mismatch: stored {stored:#010x}, computed {computed:#010x}"),
                 ));
             }
-            load_payload(kind, &body[20..])
+            let payload = body
+                .get(20..)
+                .ok_or_else(|| envelope("envelope shorter than its fixed header".to_string()))?;
+            load_payload(kind, payload)
         }
         other => Err(envelope(format!("unsupported envelope version {other}"))),
     }

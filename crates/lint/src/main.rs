@@ -1,0 +1,205 @@
+//! `sj-lint` binary: `check`, `rules` and `fingerprint` subcommands.
+//!
+//! Exit codes: `0` clean, `1` deny-severity findings, `2` usage error,
+//! `3` I/O error.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
+
+use sj_lint::report::{render, Format};
+use sj_lint::rules::{RuleId, Severity};
+use sj_lint::{find_workspace_root, fingerprint, run_check, Selection, Workspace};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+sj-lint — workspace invariant checker
+
+USAGE:
+    sj-lint check [--root <dir>] [--format human|json] [--rule <r,..>]
+                  [--deny <r,..|all>] [--warn <r,..|all>]
+    sj-lint rules
+    sj-lint fingerprint [--update] [--allow-same-version] [--root <dir>]
+
+Rules are named r1..r8 or by slug (determinism, fixed-point, panic,
+cast, hygiene, error-taxonomy, persistence, docs). Suppress a single
+line with `// sj-lint: allow(<rule>, <reason>)` — the reason is
+mandatory.";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Parsed command line.
+struct Cli {
+    root: Option<PathBuf>,
+    format: Format,
+    rules: Vec<RuleId>,
+    deny: Vec<String>,
+    warn: Vec<String>,
+    update: bool,
+    allow_same_version: bool,
+}
+
+fn parse_rule_list(value: &str) -> Result<Vec<RuleId>, String> {
+    if value == "all" {
+        return Ok(RuleId::ALL.to_vec());
+    }
+    value
+        .split(',')
+        .map(|name| {
+            RuleId::parse(name)
+                .ok_or_else(|| format!("unknown rule `{name}` (see `sj-lint rules`)"))
+        })
+        .collect()
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return Ok(ExitCode::from(2));
+    };
+    let mut cli = Cli {
+        root: None,
+        format: Format::Human,
+        rules: RuleId::ALL.to_vec(),
+        deny: Vec::new(),
+        warn: Vec::new(),
+        update: false,
+        allow_same_version: false,
+    };
+    let mut it = args.iter().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--root" => cli.root = Some(PathBuf::from(value_of("--root")?)),
+            "--format" => {
+                cli.format = match value_of("--format")?.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}`")),
+                }
+            }
+            "--rule" => cli.rules = parse_rule_list(&value_of("--rule")?)?,
+            "--deny" => cli.deny.push(value_of("--deny")?),
+            "--warn" => cli.warn.push(value_of("--warn")?),
+            "--update" => cli.update = true,
+            "--allow-same-version" => cli.allow_same_version = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(ExitCode::SUCCESS);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+
+    match command.as_str() {
+        "rules" => {
+            for rule in RuleId::ALL {
+                println!("{}/{}: {}", rule.code(), rule.slug(), rule.summary());
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "check" => cmd_check(&cli),
+        "fingerprint" => cmd_fingerprint(&cli),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Loads the workspace from `--root` or by ascending from the cwd.
+fn load_workspace(cli: &Cli) -> Result<(PathBuf, Workspace), String> {
+    let root = match &cli.root {
+        Some(r) => r.clone(),
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+            find_workspace_root(&cwd)
+                .ok_or_else(|| "no workspace root found (pass --root)".to_string())?
+        }
+    };
+    let ws =
+        Workspace::load(&root).map_err(|e| format!("failed to scan {}: {e}", root.display()))?;
+    Ok((root, ws))
+}
+
+fn cmd_check(cli: &Cli) -> Result<ExitCode, String> {
+    let (_root, ws) = load_workspace(cli)?;
+    let mut selection = Selection {
+        enabled: cli.rules.clone(),
+        ..Selection::default()
+    };
+    // --warn then --deny, so an explicit deny wins over a blanket warn.
+    for spec in &cli.warn {
+        for rule in parse_rule_list(spec)? {
+            selection.set(rule, Severity::Warn);
+        }
+    }
+    for spec in &cli.deny {
+        for rule in parse_rule_list(spec)? {
+            selection.set(rule, Severity::Deny);
+        }
+    }
+    let findings = run_check(&ws, &selection);
+    print!("{}", render(&findings, cli.format));
+    let denied = findings.iter().any(|f| f.severity == Severity::Deny);
+    Ok(if denied {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn cmd_fingerprint(cli: &Cli) -> Result<ExitCode, String> {
+    let (root, ws) = load_workspace(cli)?;
+    let version = fingerprint::envelope_version(&ws);
+    let entries = fingerprint::fingerprint_entries(&ws);
+    let rendered = fingerprint::render(version, &entries);
+    if !cli.update {
+        print!("{rendered}");
+        return Ok(ExitCode::SUCCESS);
+    }
+    // Guard the easy path: an --update that changes fingerprints while
+    // the envelope version stays the same is usually a forgotten bump.
+    if let Some(old) = &ws.fingerprint {
+        let (old_version, old_entries) = fingerprint::parse(old);
+        let changed = old_entries.len() != entries.len()
+            || entries.iter().any(|e| {
+                old_entries
+                    .iter()
+                    .find(|o| o.key == e.key)
+                    .is_none_or(|o| o.crc != e.crc)
+            });
+        if changed && old_version == version && !cli.allow_same_version {
+            return Err(format!(
+                "persistence functions changed but ENVELOPE_VERSION is still {}: bump the \
+                 version first, or pass --allow-same-version if the change is provably \
+                 wire-compatible",
+                version.map_or_else(|| "unknown".to_string(), |v| v.to_string())
+            ));
+        }
+    }
+    let path = root.join(fingerprint::SCHEMA_PATH);
+    std::fs::write(&path, rendered).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    println!(
+        "updated {} ({} functions, envelope version {})",
+        fingerprint::SCHEMA_PATH,
+        entries.len(),
+        version.map_or_else(|| "unknown".to_string(), |v| v.to_string())
+    );
+    Ok(ExitCode::SUCCESS)
+}

@@ -1,0 +1,810 @@
+//! The eight named workspace invariants and their checkers.
+//!
+//! Each rule guards a promise an earlier PR made by construction:
+//!
+//! * **R1 determinism** — shard-merge equivalence and reproducible
+//!   estimates require no wall-clock or OS entropy in estimator paths.
+//! * **R2 fixed-point** — merge paths accumulate only through the exact
+//!   128-bit `Mass` type; a stray `f64 +=` silently breaks bit-identical
+//!   shard merges.
+//! * **R3 panic-freedom** — non-test library code returns typed errors;
+//!   decoders never index unchecked.
+//! * **R4 truncating casts** — histogram/grid/mass numeric code uses
+//!   `try_from` or documents why an `as` cast cannot truncate.
+//! * **R5 crate hygiene** — every crate root forbids `unsafe` and warns
+//!   on missing docs; suppressions name a real rule and a reason.
+//! * **R6 error taxonomy** — public error enums are `#[non_exhaustive]`
+//!   and implement `Display` + `Error`.
+//! * **R7 persistence discipline** — `to_bytes`/`from_bytes` bodies are
+//!   fingerprinted; changing one without bumping the envelope version
+//!   fails the check (see [`crate::fingerprint`]).
+//! * **R8 doc coverage** — public items of the estimator-facing crates
+//!   carry doc comments.
+
+use crate::scan::{find_token, has_token, Line, SourceFile};
+use crate::{CrateView, Workspace};
+
+/// Identifier of one lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// R1: no wall-clock / OS entropy outside bench and tests.
+    Determinism,
+    /// R2: no `f64` arithmetic in shard-merge paths except `Mass::from_f64`.
+    FixedPoint,
+    /// R3: no unwrap/expect/panic/unchecked decoder indexing in lib code.
+    PanicFree,
+    /// R4: no undocumented truncating `as` casts in histogram numeric code.
+    Cast,
+    /// R5: crate-root hygiene headers and suppression syntax.
+    Hygiene,
+    /// R6: public error enums are non_exhaustive + Display + Error.
+    ErrorTaxonomy,
+    /// R7: persistence schema fingerprint matches the envelope version.
+    Persistence,
+    /// R8: doc coverage on public items of sj-core/sj-histogram/sj-query.
+    Docs,
+}
+
+impl RuleId {
+    /// Every rule, in report order.
+    pub const ALL: [RuleId; 8] = [
+        RuleId::Determinism,
+        RuleId::FixedPoint,
+        RuleId::PanicFree,
+        RuleId::Cast,
+        RuleId::Hygiene,
+        RuleId::ErrorTaxonomy,
+        RuleId::Persistence,
+        RuleId::Docs,
+    ];
+
+    /// Short code (`r1`..`r8`).
+    #[must_use]
+    pub fn code(self) -> &'static str {
+        match self {
+            RuleId::Determinism => "r1",
+            RuleId::FixedPoint => "r2",
+            RuleId::PanicFree => "r3",
+            RuleId::Cast => "r4",
+            RuleId::Hygiene => "r5",
+            RuleId::ErrorTaxonomy => "r6",
+            RuleId::Persistence => "r7",
+            RuleId::Docs => "r8",
+        }
+    }
+
+    /// Human slug, also accepted in `// sj-lint: allow(<slug>, ...)`.
+    #[must_use]
+    pub fn slug(self) -> &'static str {
+        match self {
+            RuleId::Determinism => "determinism",
+            RuleId::FixedPoint => "fixed-point",
+            RuleId::PanicFree => "panic",
+            RuleId::Cast => "cast",
+            RuleId::Hygiene => "hygiene",
+            RuleId::ErrorTaxonomy => "error-taxonomy",
+            RuleId::Persistence => "persistence",
+            RuleId::Docs => "docs",
+        }
+    }
+
+    /// One-line description for `sj-lint rules`.
+    #[must_use]
+    pub fn summary(self) -> &'static str {
+        match self {
+            RuleId::Determinism => {
+                "no Instant::now/SystemTime/thread_rng/from_entropy outside crates/bench and tests"
+            }
+            RuleId::FixedPoint => {
+                "no f64 arithmetic in band.rs / RowBanded / merge paths except Mass::from_f64"
+            }
+            RuleId::PanicFree => {
+                "no unwrap/expect/panic! and no unchecked slice indexing in decoders (non-test lib code)"
+            }
+            RuleId::Cast => {
+                "no `as u32`/`as usize`/`as i64` in sj-histogram numeric code without try_from or a reasoned suppression"
+            }
+            RuleId::Hygiene => {
+                "crate roots carry #![forbid(unsafe_code)] + #![warn(missing_docs)]; suppressions name a real rule"
+            }
+            RuleId::ErrorTaxonomy => {
+                "public *Error enums are #[non_exhaustive] and implement Display + Error"
+            }
+            RuleId::Persistence => {
+                "to_bytes/from_bytes bodies match the checked-in schema fingerprint for the current envelope version"
+            }
+            RuleId::Docs => "public items of sj-core/sj-histogram/sj-query carry doc comments",
+        }
+    }
+
+    /// Resolves a user-supplied rule name (`r4` or `cast`).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<RuleId> {
+        let name = name.trim();
+        RuleId::ALL
+            .iter()
+            .copied()
+            .find(|r| r.code() == name || r.slug() == name)
+    }
+}
+
+/// How a finding affects the exit status.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Counts toward a non-zero exit.
+    Deny,
+    /// Reported but does not fail the run.
+    Warn,
+}
+
+/// One rule violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: RuleId,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// What is wrong and how to fix it.
+    pub message: String,
+    /// Effective severity under the active selection.
+    pub severity: Severity,
+}
+
+/// Crate name (directory under `crates/`) of a workspace-relative path.
+fn crate_of(rel_path: &str) -> &str {
+    let mut parts = rel_path.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => name,
+        _ => "",
+    }
+}
+
+/// Whether `line` carries an effective suppression for `rule`. Emits a
+/// finding instead when the suppression is present but missing its
+/// mandatory reason.
+fn suppressed(
+    line: &Line,
+    rule: RuleId,
+    path: &str,
+    lineno: usize,
+    out: &mut Vec<Finding>,
+) -> bool {
+    let mut hit = false;
+    for s in &line.effective_suppress {
+        if RuleId::parse(&s.rule) == Some(rule) {
+            if s.has_reason {
+                hit = true;
+            } else {
+                out.push(Finding {
+                    rule,
+                    path: path.to_string(),
+                    line: lineno,
+                    message: format!(
+                        "suppression `sj-lint: allow({})` is missing its mandatory reason: \
+                         write `// sj-lint: allow({}, <why this is safe>)`",
+                        s.rule,
+                        rule.slug()
+                    ),
+                    severity: Severity::Deny,
+                });
+                hit = true; // reported as the missing-reason finding instead
+            }
+        }
+    }
+    hit
+}
+
+/// `true` when `code` invokes the macro `name!`.
+fn has_macro(code: &str, name: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = find_token(code.get(start..).unwrap_or(""), name) {
+        let i = start + pos;
+        let end = i + name.len();
+        if code.get(end..).and_then(|s| s.chars().next()) == Some('!') {
+            return true;
+        }
+        start = end;
+    }
+    false
+}
+
+/// All whole-token occurrences of `tok` in `code`.
+fn token_positions(code: &str, tok: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    while let Some(pos) = find_token(code.get(start..).unwrap_or(""), tok) {
+        let i = start + pos;
+        out.push(i);
+        start = i + tok.len();
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// R1 — determinism
+// ---------------------------------------------------------------------
+
+/// Nondeterminism sources forbidden outside `crates/bench` and tests.
+const R1_TOKENS: [&str; 4] = ["Instant::now", "SystemTime", "thread_rng", "from_entropy"];
+
+/// R1: flags wall-clock and OS-entropy sources in non-test, non-bench
+/// library code. Timing-measurement sites document themselves with
+/// `// sj-lint: allow(determinism, <why>)`.
+pub fn check_determinism(ws: &Workspace, out: &mut Vec<Finding>) {
+    for krate in &ws.crates {
+        if krate.name == "bench" {
+            continue;
+        }
+        for file in &krate.files {
+            for (i, line) in file.lines.iter().enumerate() {
+                if line.in_test {
+                    continue;
+                }
+                for tok in R1_TOKENS {
+                    if has_token(&line.code, tok)
+                        && !suppressed(line, RuleId::Determinism, &file.rel_path, i + 1, out)
+                    {
+                        out.push(Finding {
+                            rule: RuleId::Determinism,
+                            path: file.rel_path.clone(),
+                            line: i + 1,
+                            message: format!(
+                                "nondeterministic source `{tok}` in library code: estimator \
+                                 paths must be reproducible (seeded RNG, no wall clock); \
+                                 timing-only uses need `// sj-lint: allow(determinism, <why>)`"
+                            ),
+                            severity: Severity::Deny,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R2 — fixed-point merge paths
+// ---------------------------------------------------------------------
+
+/// Whether a line lies in a shard-merge path: anywhere in `band.rs`,
+/// inside a `RowBanded` impl, inside a `merge*` function of
+/// sj-histogram, or inside `Mass`'s `AddAssign`.
+fn r2_in_scope(file: &SourceFile, line: &Line) -> bool {
+    if crate_of(&file.rel_path) != "histogram" || line.in_test {
+        return false;
+    }
+    if file.rel_path.ends_with("/band.rs") {
+        return true;
+    }
+    if line
+        .impl_header
+        .as_deref()
+        .is_some_and(|h| has_token(h, "RowBanded") || has_token(h, "AddAssign"))
+    {
+        return true;
+    }
+    line.fn_name
+        .as_deref()
+        .is_some_and(|f| f.starts_with("merge"))
+}
+
+/// `true` when `code` contains a float type or float literal after
+/// removing sanctioned `Mass::from_f64` quantization calls.
+fn has_float_use(code: &str) -> bool {
+    let cleaned = code.replace("Mass::from_f64", "");
+    if has_token(&cleaned, "f64") || has_token(&cleaned, "f32") {
+        return true;
+    }
+    // `2f64` suffix literals (no token boundary) and `1.5` literals.
+    let bytes = cleaned.as_bytes();
+    for i in 0..bytes.len() {
+        if bytes[i] == b'.'
+            && i > 0
+            && bytes.get(i - 1).is_some_and(u8::is_ascii_digit)
+            && bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+        {
+            return true;
+        }
+        if (cleaned.get(i..).is_some_and(|s| s.starts_with("f64"))
+            || cleaned.get(i..).is_some_and(|s| s.starts_with("f32")))
+            && i > 0
+            && bytes.get(i - 1).is_some_and(u8::is_ascii_digit)
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// R2: flags any `f64`/`f32` use or float literal inside the exact
+/// shard-merge paths. Merge code must stay on integers and `Mass`.
+pub fn check_fixed_point(ws: &Workspace, out: &mut Vec<Finding>) {
+    for krate in &ws.crates {
+        for file in &krate.files {
+            for (i, line) in file.lines.iter().enumerate() {
+                if r2_in_scope(file, line)
+                    && has_float_use(&line.code)
+                    && !suppressed(line, RuleId::FixedPoint, &file.rel_path, i + 1, out)
+                {
+                    out.push(Finding {
+                        rule: RuleId::FixedPoint,
+                        path: file.rel_path.clone(),
+                        line: i + 1,
+                        message: "floating-point use in a shard-merge path: merge code must \
+                                  accumulate only integers and `Mass` (quantize once via \
+                                  `Mass::from_f64` outside the merge) or bit-identical \
+                                  shard-and-merge breaks"
+                            .to_string(),
+                        severity: Severity::Deny,
+                    });
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R3 — panic-freedom
+// ---------------------------------------------------------------------
+
+/// Panicking macros forbidden in non-test library code.
+const R3_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Whether a function name marks a decoder (input under external
+/// control, where an indexing panic violates the typed-error contract
+/// pinned by `tests/fault_injection.rs`).
+fn is_decoder_fn(name: &str) -> bool {
+    name.starts_with("from_bytes") || name.starts_with("decode") || name.starts_with("load")
+}
+
+/// Keywords that may directly precede a `[`: what follows is a pattern
+/// or array expression, never an index into a place.
+const NOT_INDEX_BEFORE: [&str; 6] = ["let", "in", "return", "else", "match", "ref"];
+
+/// Byte offsets of `arr[...]`-style indexing expressions in `code`.
+fn index_sites(code: &str) -> Vec<usize> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    for i in 0..bytes.len() {
+        if bytes[i] != b'[' {
+            continue;
+        }
+        // Previous non-space char decides: identifier tail, `)` or `]`
+        // mean an index expression; `#`, `&`, `<`, `!`, operators mean
+        // attributes, slice types or macro brackets.
+        let mut j = i;
+        let mut prev = None;
+        while j > 0 {
+            j -= 1;
+            let c = bytes[j];
+            if c != b' ' {
+                prev = Some(c);
+                break;
+            }
+        }
+        if !prev.is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_' || c == b')' || c == b']') {
+            continue;
+        }
+        // Walk back over the preceding identifier: a keyword there means
+        // `[` opens a pattern (`let [a, b] = ..`) or array expression,
+        // not an index.
+        let mut start = j + 1;
+        while start > 0 && (bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_') {
+            start -= 1;
+        }
+        let word = &code[start..j + 1];
+        if NOT_INDEX_BEFORE.contains(&word) {
+            continue;
+        }
+        out.push(i);
+    }
+    out
+}
+
+/// R3: flags `.unwrap()`, `.expect(`, panicking macros, and unchecked
+/// slice indexing inside decoder functions — in non-test library code
+/// of every crate except the bench harness.
+pub fn check_panic_free(ws: &Workspace, out: &mut Vec<Finding>) {
+    for krate in &ws.crates {
+        if krate.name == "bench" {
+            continue;
+        }
+        for file in &krate.files {
+            for (i, line) in file.lines.iter().enumerate() {
+                if line.in_test {
+                    continue;
+                }
+                let mut violations: Vec<String> = Vec::new();
+                if line.code.contains(".unwrap()") {
+                    violations.push("`.unwrap()`".to_string());
+                }
+                if line.code.contains(".expect(") {
+                    violations.push("`.expect(...)`".to_string());
+                }
+                for m in R3_MACROS {
+                    if has_macro(&line.code, m) {
+                        violations.push(format!("`{m}!`"));
+                    }
+                }
+                if line.fn_name.as_deref().is_some_and(is_decoder_fn)
+                    && !index_sites(&line.code).is_empty()
+                {
+                    violations.push("unchecked slice indexing in a decoder".to_string());
+                }
+                if violations.is_empty()
+                    || suppressed(line, RuleId::PanicFree, &file.rel_path, i + 1, out)
+                {
+                    continue;
+                }
+                out.push(Finding {
+                    rule: RuleId::PanicFree,
+                    path: file.rel_path.clone(),
+                    line: i + 1,
+                    message: format!(
+                        "{} in non-test library code: corrupt statistics must surface as \
+                         typed errors, never a panic; restructure or add \
+                         `// sj-lint: allow(panic, <invariant>)`",
+                        violations.join(", ")
+                    ),
+                    severity: Severity::Deny,
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R4 — truncating casts
+// ---------------------------------------------------------------------
+
+/// Cast targets that can truncate or change signedness silently.
+const R4_TARGETS: [&str; 3] = ["u32", "usize", "i64"];
+
+/// R4: flags `as u32` / `as usize` / `as i64` in sj-histogram numeric
+/// code (grid/cell-index/mass math) unless converted to `try_from` or
+/// carrying a reasoned suppression.
+pub fn check_casts(ws: &Workspace, out: &mut Vec<Finding>) {
+    for krate in &ws.crates {
+        if krate.name != "histogram" {
+            continue;
+        }
+        for file in &krate.files {
+            for (i, line) in file.lines.iter().enumerate() {
+                if line.in_test {
+                    continue;
+                }
+                for pos in token_positions(&line.code, "as") {
+                    let rest = line.code.get(pos + 2..).unwrap_or("").trim_start();
+                    let target: String = rest
+                        .chars()
+                        .take_while(|c| c.is_ascii_alphanumeric())
+                        .collect();
+                    if R4_TARGETS.contains(&target.as_str())
+                        && !suppressed(line, RuleId::Cast, &file.rel_path, i + 1, out)
+                    {
+                        out.push(Finding {
+                            rule: RuleId::Cast,
+                            path: file.rel_path.clone(),
+                            line: i + 1,
+                            message: format!(
+                                "truncating `as {target}` cast in histogram numeric code: \
+                                 use `{target}::try_from(..)` (or document the bound with \
+                                 `// sj-lint: allow(cast, <why it cannot truncate>)`)"
+                            ),
+                            severity: Severity::Deny,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R5 — crate hygiene
+// ---------------------------------------------------------------------
+
+/// Attribute headers every crate root must carry.
+const R5_FORBID: &str = "#![forbid(unsafe_code)]";
+
+/// R5: every crate root (`src/lib.rs`, `src/main.rs`) carries the
+/// `#![forbid(unsafe_code)]` + missing-docs headers, and every
+/// suppression in the tree names a real rule.
+pub fn check_hygiene(ws: &Workspace, out: &mut Vec<Finding>) {
+    for krate in &ws.crates {
+        for file in &krate.files {
+            let root = file.rel_path == format!("crates/{}/src/lib.rs", krate.name)
+                || file.rel_path == format!("crates/{}/src/main.rs", krate.name);
+            if root {
+                let has_forbid = file.lines.iter().any(|l| l.code.contains(R5_FORBID));
+                let has_docs_gate = file.lines.iter().any(|l| {
+                    l.code.contains("#![warn(missing_docs)]")
+                        || l.code.contains("#![deny(missing_docs)]")
+                });
+                if !has_forbid {
+                    out.push(Finding {
+                        rule: RuleId::Hygiene,
+                        path: file.rel_path.clone(),
+                        line: 1,
+                        message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+                        severity: Severity::Deny,
+                    });
+                }
+                if !has_docs_gate {
+                    out.push(Finding {
+                        rule: RuleId::Hygiene,
+                        path: file.rel_path.clone(),
+                        line: 1,
+                        message: "crate root is missing `#![warn(missing_docs)]` (or the \
+                                  `deny` form)"
+                            .to_string(),
+                        severity: Severity::Deny,
+                    });
+                }
+            }
+            // Suppression syntax hygiene applies to every file.
+            for (i, line) in file.lines.iter().enumerate() {
+                for s in &line.suppress {
+                    if RuleId::parse(&s.rule).is_none() {
+                        out.push(Finding {
+                            rule: RuleId::Hygiene,
+                            path: file.rel_path.clone(),
+                            line: i + 1,
+                            message: format!(
+                                "suppression names unknown rule `{}`; known rules: {}",
+                                s.rule,
+                                RuleId::ALL
+                                    .iter()
+                                    .map(|r| r.slug())
+                                    .collect::<Vec<_>>()
+                                    .join(", ")
+                            ),
+                            severity: Severity::Deny,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R6 — error taxonomy
+// ---------------------------------------------------------------------
+
+/// R6: public enums named `*Error` must be `#[non_exhaustive]` and the
+/// defining crate must implement `Display` and `Error` for them.
+pub fn check_error_taxonomy(ws: &Workspace, out: &mut Vec<Finding>) {
+    for krate in &ws.crates {
+        for file in &krate.files {
+            for (i, line) in file.lines.iter().enumerate() {
+                if line.in_test {
+                    continue;
+                }
+                let Some(pos) = line.code.find("pub enum ") else {
+                    continue;
+                };
+                let name: String = line
+                    .code
+                    .get(pos + "pub enum ".len()..)
+                    .unwrap_or("")
+                    .chars()
+                    .take_while(|&c| c.is_ascii_alphanumeric() || c == '_')
+                    .collect();
+                if !name.ends_with("Error") || name.is_empty() {
+                    continue;
+                }
+                if suppressed(line, RuleId::ErrorTaxonomy, &file.rel_path, i + 1, out) {
+                    continue;
+                }
+                // Attributes sit on the lines directly above the item.
+                let mut has_non_exhaustive = false;
+                let mut j = i;
+                while j > 0 {
+                    j -= 1;
+                    let Some(prev) = file.lines.get(j) else { break };
+                    let t = prev.raw.trim();
+                    let attr_ish =
+                        t.starts_with("#[") || t.ends_with(")]") || t.ends_with(',') || prev.is_doc;
+                    if !attr_ish {
+                        break;
+                    }
+                    if prev.code.contains("non_exhaustive") {
+                        has_non_exhaustive = true;
+                    }
+                }
+                if !has_non_exhaustive {
+                    out.push(Finding {
+                        rule: RuleId::ErrorTaxonomy,
+                        path: file.rel_path.clone(),
+                        line: i + 1,
+                        message: format!(
+                            "public error enum `{name}` is not `#[non_exhaustive]`: new \
+                             failure modes must be addable without breaking downstream matches"
+                        ),
+                        severity: Severity::Deny,
+                    });
+                }
+                let impl_of = |trait_name: &str| {
+                    krate.files.iter().any(|f| {
+                        f.lines.iter().any(|l| {
+                            l.code.contains(&format!("{trait_name} for {name}"))
+                                && has_token(&l.code, "impl")
+                        })
+                    })
+                };
+                if !impl_of("Display") {
+                    out.push(Finding {
+                        rule: RuleId::ErrorTaxonomy,
+                        path: file.rel_path.clone(),
+                        line: i + 1,
+                        message: format!("public error enum `{name}` has no `Display` impl"),
+                        severity: Severity::Deny,
+                    });
+                }
+                if !impl_of("Error") {
+                    out.push(Finding {
+                        rule: RuleId::ErrorTaxonomy,
+                        path: file.rel_path.clone(),
+                        line: i + 1,
+                        message: format!(
+                            "public error enum `{name}` has no `std::error::Error` impl"
+                        ),
+                        severity: Severity::Deny,
+                    });
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R8 — doc coverage
+// ---------------------------------------------------------------------
+
+/// Crates whose public API must be fully documented.
+const R8_CRATES: [&str; 3] = ["core", "histogram", "query"];
+
+/// Item keywords that require a doc comment when `pub`.
+const R8_ITEMS: [&str; 8] = [
+    "fn", "struct", "enum", "trait", "const", "static", "type", "mod",
+];
+
+/// `true` when `decl` (`mod <name>;`) names a sibling module file whose
+/// first non-empty line is an inner `//!` doc. Module docs belong in the
+/// module file: outer docs on the declaration change the scope rustdoc
+/// resolves the module's own intra-doc links in.
+fn mod_file_has_inner_docs(krate: &CrateView, decl_path: &str, decl: &str) -> bool {
+    let Some(name) = decl
+        .strip_prefix("mod")
+        .map(str::trim)
+        .and_then(|r| r.strip_suffix(';'))
+        .map(str::trim)
+    else {
+        return false;
+    };
+    let Some(dir) = decl_path.rfind('/').map(|i| &decl_path[..i]) else {
+        return false;
+    };
+    let candidates = [format!("{dir}/{name}.rs"), format!("{dir}/{name}/mod.rs")];
+    krate.files.iter().any(|f| {
+        candidates.contains(&f.rel_path)
+            && f.lines
+                .iter()
+                .find(|l| !l.raw.trim().is_empty())
+                .is_some_and(|l| l.is_doc)
+    })
+}
+
+/// R8: public items of the estimator-facing crates carry doc comments.
+/// `pub(crate)` and `pub use` re-exports are exempt.
+pub fn check_docs(ws: &Workspace, out: &mut Vec<Finding>) {
+    for krate in &ws.crates {
+        if !R8_CRATES.contains(&krate.name.as_str()) {
+            continue;
+        }
+        for file in &krate.files {
+            for (i, line) in file.lines.iter().enumerate() {
+                if line.in_test {
+                    continue;
+                }
+                let t = line.code.trim_start();
+                let Some(rest) = t.strip_prefix("pub ") else {
+                    continue;
+                };
+                let mut words = rest.split_whitespace();
+                let Some(first) = words.next() else { continue };
+                // Skip modifiers to find the item keyword.
+                let kw = if matches!(first, "unsafe" | "async" | "const" | "extern") {
+                    // `pub const FOO:` is a const item; `pub const fn` is a fn.
+                    match words.next() {
+                        Some(second) if R8_ITEMS.contains(&second) => second,
+                        _ if first == "const" => "const",
+                        _ => continue,
+                    }
+                } else {
+                    first
+                };
+                if !R8_ITEMS.contains(&kw) {
+                    continue;
+                }
+                if suppressed(line, RuleId::Docs, &file.rel_path, i + 1, out) {
+                    continue;
+                }
+                // Walk back over attribute lines to the doc comment.
+                let mut documented =
+                    kw == "mod" && mod_file_has_inner_docs(krate, &file.rel_path, rest);
+                let mut j = i;
+                while j > 0 {
+                    j -= 1;
+                    let Some(prev) = file.lines.get(j) else { break };
+                    if prev.is_doc {
+                        // Inner `//!` docs document the enclosing scope,
+                        // not the item that happens to follow them.
+                        documented |= !prev.raw.trim_start().starts_with("//!");
+                        break;
+                    }
+                    let pt = prev.raw.trim();
+                    let attr_ish = pt.starts_with("#[") || pt.ends_with(")]") || pt.ends_with(',');
+                    if !attr_ish {
+                        break;
+                    }
+                }
+                if !documented {
+                    out.push(Finding {
+                        rule: RuleId::Docs,
+                        path: file.rel_path.clone(),
+                        line: i + 1,
+                        message: format!(
+                            "public `{kw}` item has no doc comment (sj-{} is an \
+                             estimator-facing API)",
+                            krate.name
+                        ),
+                        severity: Severity::Deny,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_parse_accepts_code_and_slug() {
+        assert_eq!(RuleId::parse("r4"), Some(RuleId::Cast));
+        assert_eq!(RuleId::parse("cast"), Some(RuleId::Cast));
+        assert_eq!(RuleId::parse("nope"), None);
+    }
+
+    #[test]
+    fn float_use_detection() {
+        assert!(has_float_use("let x: f64 = y;"));
+        assert!(has_float_use("acc += 0.5;"));
+        assert!(has_float_use("let x = 2f64;"));
+        assert!(!has_float_use("let m = Mass::from_f64(a);"));
+        assert!(!has_float_use("for i in 0..9 {"));
+        assert!(!has_float_use("let n = count + 1;"));
+    }
+
+    #[test]
+    fn index_site_detection() {
+        assert!(index_sites("let x: &[u8] = y;").is_empty());
+        assert_eq!(index_sites("c[idx] = v;").len(), 1);
+        assert!(index_sites("#[derive(Debug)]").is_empty());
+        assert!(index_sites("vec![0; n]").is_empty());
+        assert!(index_sites("let a: [u8; 8] = x;").is_empty());
+        assert!(!index_sites("data[..4]").is_empty());
+    }
+
+    #[test]
+    fn macro_detection() {
+        assert!(has_macro("panic!(\"boom\")", "panic"));
+        assert!(!has_macro("no_panic()", "panic"));
+        assert!(!has_macro("panicky", "panic"));
+    }
+}

@@ -1,0 +1,11 @@
+//! R1 bad: wall-clock and ambient randomness leak into library code.
+
+pub fn sloppy_seed() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn sloppy_shuffle(items: &mut Vec<u64>) {
+    let mut rng = thread_rng();
+    items.sort_by_key(|_| rng.random::<u64>());
+}

@@ -1,0 +1,18 @@
+//! R1 good: wall-clock use is either suppressed with a reason or
+//! confined to test code.
+
+pub fn report_label(work: impl FnOnce()) -> String {
+    // sj-lint: allow(determinism, wall-clock timing is reporting-only output)
+    let t0 = Instant::now();
+    work();
+    format!("{:?}", t0.elapsed())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_inside_tests_is_exempt() {
+        let t0 = Instant::now();
+        assert!(t0.elapsed().as_nanos() < u128::MAX);
+    }
+}

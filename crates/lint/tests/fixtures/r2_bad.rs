@@ -1,0 +1,7 @@
+//! R2 bad: floating point sneaks into a shard-merge path.
+
+pub fn merge_same_grid(acc: &mut [f64], inc: &[f64]) {
+    for (a, b) in acc.iter_mut().zip(inc) {
+        *a += *b * 0.5;
+    }
+}

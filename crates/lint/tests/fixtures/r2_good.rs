@@ -1,0 +1,13 @@
+//! R2 good: merge paths accumulate only integers and `Mass`.
+
+pub fn merge_same_grid(acc: &mut Vec<Mass>, inc: &[Mass]) {
+    for (a, b) in acc.iter_mut().zip(inc) {
+        *a += *b;
+    }
+}
+
+pub fn merge_counts(acc: &mut [u64], inc: &[u64]) {
+    for (a, b) in acc.iter_mut().zip(inc) {
+        *a = a.saturating_add(*b);
+    }
+}

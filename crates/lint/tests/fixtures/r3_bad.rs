@@ -1,0 +1,15 @@
+//! R3 bad: unwrap, a panicking macro, and unchecked indexing inside a
+//! decoder.
+
+pub fn first_entry(entries: &[u64]) -> u64 {
+    entries.first().copied().unwrap()
+}
+
+pub fn from_bytes(data: &[u8]) -> u64 {
+    let hi = data[0];
+    u64::from(hi)
+}
+
+pub fn todo_path() {
+    panic!("fell off the decision ladder");
+}

@@ -1,0 +1,9 @@
+//! R4 bad: undocumented truncating casts in histogram numeric code.
+
+pub fn shrink(v: u64) -> u32 {
+    v as u32
+}
+
+pub fn index_of(v: u64) -> usize {
+    v as usize
+}

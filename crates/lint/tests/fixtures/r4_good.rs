@@ -1,0 +1,10 @@
+//! R4 good: fallible conversions, or a documented widening.
+
+pub fn shrink_checked(v: u64) -> Option<u32> {
+    u32::try_from(v).ok()
+}
+
+pub fn widen(v: u32) -> usize {
+    // sj-lint: allow(cast, u32 to usize widening cannot truncate on >=32-bit targets)
+    v as usize
+}

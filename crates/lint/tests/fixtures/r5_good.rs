@@ -1,0 +1,9 @@
+//! R5 good: a crate root carrying both hygiene headers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The crate's one item.
+pub fn widget() -> u32 {
+    7
+}

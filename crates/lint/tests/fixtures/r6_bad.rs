@@ -1,0 +1,6 @@
+//! R6 bad: a bare public error enum — exhaustive, no Display, no Error.
+
+#[derive(Debug)]
+pub enum GadgetError {
+    Jammed,
+}

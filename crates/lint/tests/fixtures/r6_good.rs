@@ -1,0 +1,17 @@
+//! R6 good: a public error enum with the full taxonomy contract.
+
+/// Errors from the widget subsystem.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum WidgetError {
+    /// The widget jammed.
+    Jammed,
+}
+
+impl std::fmt::Display for WidgetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("widget jammed")
+    }
+}
+
+impl std::error::Error for WidgetError {}

@@ -1,0 +1,17 @@
+//! R7 bad: the same persistence pair as `r7_good.rs` with an edited
+//! wire format (an extra tag byte) but the *same* envelope version —
+//! exactly the drift R7 exists to catch.
+
+pub const ENVELOPE_VERSION: u32 = 2;
+
+pub fn to_bytes(v: u32) -> Vec<u8> {
+    let mut out = vec![0xAB];
+    out.extend_from_slice(&v.to_le_bytes());
+    out
+}
+
+pub fn from_bytes(data: &[u8]) -> Option<u32> {
+    let rest = data.strip_prefix(&[0xAB])?;
+    let arr: [u8; 4] = rest.try_into().ok()?;
+    Some(u32::from_le_bytes(arr))
+}

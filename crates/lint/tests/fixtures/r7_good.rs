@@ -1,0 +1,13 @@
+//! R7 good: a persistence pair whose fingerprints match the recorded
+//! schema file (the test computes the matching record from this file).
+
+pub const ENVELOPE_VERSION: u32 = 2;
+
+pub fn to_bytes(v: u32) -> Vec<u8> {
+    v.to_le_bytes().to_vec()
+}
+
+pub fn from_bytes(data: &[u8]) -> Option<u32> {
+    let arr: [u8; 4] = data.try_into().ok()?;
+    Some(u32::from_le_bytes(arr))
+}

@@ -1,0 +1,8 @@
+//! R8 bad: undocumented public items in an estimator-facing crate.
+
+pub fn estimate() -> u64 {
+    42
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct Config;

@@ -1,0 +1,20 @@
+//! R8 good: every public item of an estimator-facing crate documented.
+
+/// Estimates a thing.
+pub fn estimate() -> u64 {
+    42
+}
+
+/// Estimator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Grid level.
+    pub level: u32,
+}
+
+/// Supported estimator families.
+#[derive(Debug, Clone, Copy)]
+pub enum Family {
+    /// Geometric histogram.
+    Gh,
+}

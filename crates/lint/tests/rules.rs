@@ -1,0 +1,358 @@
+//! Fixture-driven integration tests: for every rule, one fixture that
+//! must pass clean and one that must trip the rule, exercised through
+//! the same [`sj_lint::check_sources`] path the driver uses. The final
+//! test loads the real workspace and requires it to be lint-clean —
+//! the repository itself is the ultimate "good" fixture.
+
+use sj_lint::rules::{Finding, RuleId};
+use sj_lint::{check_sources, fingerprint, run_rule, Selection, Workspace};
+
+/// Findings of `rule` over a single fixture mounted at `path`.
+fn run_fixture(rule: RuleId, path: &str, text: &str) -> Vec<Finding> {
+    check_sources(rule, &[(path, text)])
+}
+
+fn lines_of(findings: &[Finding]) -> Vec<usize> {
+    findings.iter().map(|f| f.line).collect()
+}
+
+// ------------------------------------------------------------------
+// R1 — determinism
+// ------------------------------------------------------------------
+
+#[test]
+fn r1_good_fixture_is_clean() {
+    let f = run_fixture(
+        RuleId::Determinism,
+        "crates/core/src/timer.rs",
+        include_str!("fixtures/r1_good.rs"),
+    );
+    assert_eq!(f, Vec::new(), "suppressed/test-only timing must pass");
+}
+
+#[test]
+fn r1_bad_fixture_flags_clock_and_rng() {
+    let f = run_fixture(
+        RuleId::Determinism,
+        "crates/core/src/timer.rs",
+        include_str!("fixtures/r1_bad.rs"),
+    );
+    assert_eq!(f.len(), 2, "{f:?}");
+    assert!(f[0].message.contains("Instant::now"));
+    assert!(f[1].message.contains("thread_rng"));
+}
+
+#[test]
+fn r1_bench_crate_is_exempt() {
+    let f = run_fixture(
+        RuleId::Determinism,
+        "crates/bench/src/timer.rs",
+        include_str!("fixtures/r1_bad.rs"),
+    );
+    assert_eq!(f, Vec::new(), "the bench harness may use wall clocks");
+}
+
+// ------------------------------------------------------------------
+// R2 — fixed-point merge paths
+// ------------------------------------------------------------------
+
+#[test]
+fn r2_good_fixture_is_clean() {
+    let f = run_fixture(
+        RuleId::FixedPoint,
+        "crates/histogram/src/band.rs",
+        include_str!("fixtures/r2_good.rs"),
+    );
+    assert_eq!(f, Vec::new(), "integer/Mass merges must pass");
+}
+
+#[test]
+fn r2_bad_fixture_flags_floats_in_merge() {
+    let f = run_fixture(
+        RuleId::FixedPoint,
+        "crates/histogram/src/band.rs",
+        include_str!("fixtures/r2_bad.rs"),
+    );
+    assert_eq!(f.len(), 2, "{f:?}");
+    assert_eq!(lines_of(&f), vec![3, 5], "f64 signature + 0.5 literal");
+}
+
+#[test]
+fn r2_floats_outside_merge_scope_are_fine() {
+    // The same float-heavy source under a non-merge path/function name is
+    // out of R2's scope: floats are only banned on the merge paths.
+    let src = "pub fn quantize(w: f64) -> u64 {\n    (w * 2.0) as u64\n}\n";
+    let f = run_fixture(RuleId::FixedPoint, "crates/histogram/src/gh.rs", src);
+    assert_eq!(f, Vec::new());
+}
+
+// ------------------------------------------------------------------
+// R3 — panic-freedom
+// ------------------------------------------------------------------
+
+#[test]
+fn r3_good_fixture_is_clean() {
+    let f = run_fixture(
+        RuleId::PanicFree,
+        "crates/rtree/src/codec.rs",
+        include_str!("fixtures/r3_good.rs"),
+    );
+    assert_eq!(
+        f,
+        Vec::new(),
+        "fallible accessors and reasoned expects pass"
+    );
+}
+
+#[test]
+fn r3_bad_fixture_flags_unwrap_index_and_macro() {
+    let f = run_fixture(
+        RuleId::PanicFree,
+        "crates/rtree/src/codec.rs",
+        include_str!("fixtures/r3_bad.rs"),
+    );
+    assert_eq!(f.len(), 3, "{f:?}");
+    assert!(f[0].message.contains(".unwrap()"));
+    assert!(f[1].message.contains("slice indexing"));
+    assert!(f[2].message.contains("panic!"));
+}
+
+#[test]
+fn r3_indexing_outside_decoders_is_not_flagged() {
+    let src = "pub fn hot_loop(cells: &[u64], i: usize) -> u64 {\n    cells[i]\n}\n";
+    let f = run_fixture(RuleId::PanicFree, "crates/histogram/src/gh.rs", src);
+    assert_eq!(f, Vec::new(), "indexing is only policed inside decoders");
+}
+
+// ------------------------------------------------------------------
+// R4 — truncating casts
+// ------------------------------------------------------------------
+
+#[test]
+fn r4_good_fixture_is_clean() {
+    let f = run_fixture(
+        RuleId::Cast,
+        "crates/histogram/src/cells.rs",
+        include_str!("fixtures/r4_good.rs"),
+    );
+    assert_eq!(f, Vec::new(), "try_from and documented widenings pass");
+}
+
+#[test]
+fn r4_bad_fixture_flags_truncating_casts() {
+    let f = run_fixture(
+        RuleId::Cast,
+        "crates/histogram/src/cells.rs",
+        include_str!("fixtures/r4_bad.rs"),
+    );
+    assert_eq!(f.len(), 2, "{f:?}");
+    assert!(f[0].message.contains("as u32"));
+    assert!(f[1].message.contains("as usize"));
+}
+
+#[test]
+fn r4_only_polices_the_histogram_crate() {
+    let f = run_fixture(
+        RuleId::Cast,
+        "crates/rtree/src/cells.rs",
+        include_str!("fixtures/r4_bad.rs"),
+    );
+    assert_eq!(f, Vec::new(), "R4's scope is crates/histogram/src");
+}
+
+// ------------------------------------------------------------------
+// R5 — crate hygiene
+// ------------------------------------------------------------------
+
+#[test]
+fn r5_good_fixture_is_clean() {
+    let f = run_fixture(
+        RuleId::Hygiene,
+        "crates/widget/src/lib.rs",
+        include_str!("fixtures/r5_good.rs"),
+    );
+    assert_eq!(f, Vec::new(), "headed crate root passes");
+}
+
+#[test]
+fn r5_bad_fixture_flags_headers_and_unknown_rule() {
+    let f = run_fixture(
+        RuleId::Hygiene,
+        "crates/widget/src/lib.rs",
+        include_str!("fixtures/r5_bad.rs"),
+    );
+    assert_eq!(f.len(), 3, "{f:?}");
+    assert!(f[0].message.contains("forbid(unsafe_code)"));
+    assert!(f[1].message.contains("missing_docs"));
+    assert!(f[2].message.contains("unknown rule `made-up-rule`"));
+}
+
+// ------------------------------------------------------------------
+// R6 — error taxonomy
+// ------------------------------------------------------------------
+
+#[test]
+fn r6_good_fixture_is_clean() {
+    let f = run_fixture(
+        RuleId::ErrorTaxonomy,
+        "crates/widget/src/error.rs",
+        include_str!("fixtures/r6_good.rs"),
+    );
+    assert_eq!(f, Vec::new(), "non_exhaustive + Display + Error passes");
+}
+
+#[test]
+fn r6_bad_fixture_flags_all_three_obligations() {
+    let f = run_fixture(
+        RuleId::ErrorTaxonomy,
+        "crates/widget/src/error.rs",
+        include_str!("fixtures/r6_bad.rs"),
+    );
+    assert_eq!(f.len(), 3, "{f:?}");
+    assert!(f[0].message.contains("non_exhaustive"));
+    assert!(f[1].message.contains("Display"));
+    assert!(f[2].message.contains("std::error::Error"));
+}
+
+// ------------------------------------------------------------------
+// R7 — persistence fingerprints
+// ------------------------------------------------------------------
+
+/// Renders the fingerprint record matching `text` mounted at the
+/// canonical pseudo-path, exactly as `fingerprint --update` would.
+fn record_for(text: &str) -> String {
+    let ws = Workspace::from_sources(&[("crates/histogram/src/ph.rs", text)], None);
+    fingerprint::render(
+        fingerprint::envelope_version(&ws),
+        &fingerprint::fingerprint_entries(&ws),
+    )
+}
+
+fn run_persistence(text: &str, record: Option<String>) -> Vec<Finding> {
+    let ws = Workspace::from_sources(&[("crates/histogram/src/ph.rs", text)], record);
+    let mut out = Vec::new();
+    run_rule(RuleId::Persistence, &ws, &mut out);
+    out
+}
+
+#[test]
+fn r7_good_fixture_matches_its_record() {
+    let good = include_str!("fixtures/r7_good.rs");
+    let f = run_persistence(good, Some(record_for(good)));
+    assert_eq!(f, Vec::new(), "unchanged schema fns must pass");
+}
+
+#[test]
+fn r7_bad_fixture_drifts_without_a_version_bump() {
+    // The record was taken from the good fixture; the bad fixture edits
+    // both wire functions while keeping ENVELOPE_VERSION at 2.
+    let record = record_for(include_str!("fixtures/r7_good.rs"));
+    let f = run_persistence(include_str!("fixtures/r7_bad.rs"), Some(record));
+    assert_eq!(f.len(), 2, "{f:?}");
+    for finding in &f {
+        assert!(
+            finding
+                .message
+                .contains("changed without an envelope version bump"),
+            "{finding:?}"
+        );
+    }
+}
+
+#[test]
+fn r7_missing_record_is_a_finding() {
+    let f = run_persistence(include_str!("fixtures/r7_good.rs"), None);
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert!(f[0].message.contains("is missing"));
+}
+
+#[test]
+fn r7_version_bump_is_reported_as_stale_record() {
+    let record = record_for(include_str!("fixtures/r7_good.rs"));
+    let bumped = include_str!("fixtures/r7_good.rs")
+        .replace("ENVELOPE_VERSION: u32 = 2", "ENVELOPE_VERSION: u32 = 3");
+    let f = run_persistence(&bumped, Some(record));
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert!(f[0].message.contains("recorded at version 2"), "{f:?}");
+}
+
+// ------------------------------------------------------------------
+// R8 — doc coverage
+// ------------------------------------------------------------------
+
+#[test]
+fn r8_good_fixture_is_clean() {
+    let f = run_fixture(
+        RuleId::Docs,
+        "crates/core/src/api.rs",
+        include_str!("fixtures/r8_good.rs"),
+    );
+    assert_eq!(f, Vec::new(), "documented public API passes");
+}
+
+#[test]
+fn r8_bad_fixture_flags_undocumented_items() {
+    let f = run_fixture(
+        RuleId::Docs,
+        "crates/core/src/api.rs",
+        include_str!("fixtures/r8_bad.rs"),
+    );
+    assert_eq!(f.len(), 2, "{f:?}");
+    assert_eq!(lines_of(&f), vec![3, 8], "pub fn + pub struct");
+}
+
+#[test]
+fn r8_mod_with_inner_docs_needs_no_outer_doc() {
+    // Module docs belong in the module file as `//!`; the declaration in
+    // lib.rs must not need a duplicate outer doc comment.
+    let f = check_sources(
+        RuleId::Docs,
+        &[
+            ("crates/core/src/lib.rs", "//! Crate.\npub mod api;\n"),
+            ("crates/core/src/api.rs", "//! Module docs live here.\n"),
+        ],
+    );
+    assert_eq!(f, Vec::new(), "inner //! docs satisfy R8 for `pub mod`");
+}
+
+#[test]
+fn r8_mod_without_any_docs_is_flagged() {
+    let f = check_sources(
+        RuleId::Docs,
+        &[
+            ("crates/core/src/lib.rs", "//! Crate.\npub mod api;\n"),
+            ("crates/core/src/api.rs", "fn helper() {}\n"),
+        ],
+    );
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert!(f[0].message.contains("`mod`"), "{f:?}");
+}
+
+#[test]
+fn r8_only_polices_api_crates() {
+    let f = run_fixture(
+        RuleId::Docs,
+        "crates/rtree/src/api.rs",
+        include_str!("fixtures/r8_bad.rs"),
+    );
+    assert_eq!(f, Vec::new(), "R8's scope is core/histogram/query");
+}
+
+// ------------------------------------------------------------------
+// The landed tree itself must be clean
+// ------------------------------------------------------------------
+
+#[test]
+fn real_workspace_is_lint_clean() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let ws = Workspace::load(&root).expect("workspace scans");
+    let findings = sj_lint::run_check(&ws, &Selection::default());
+    assert_eq!(
+        findings,
+        Vec::new(),
+        "the checked-in tree must satisfy every sj-lint rule"
+    );
+}

@@ -105,6 +105,7 @@ impl Catalog {
     pub fn new(config: CatalogConfig) -> Self {
         match Self::try_new(config) {
             Ok(c) => c,
+            // sj-lint: allow(panic, documented contract: static misconfiguration, try_new is the fallible path)
             Err(e) => panic!("invalid catalog configuration: {e}"),
         }
     }

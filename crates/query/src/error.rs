@@ -2,7 +2,11 @@ use sj_histogram::HistogramError;
 use std::fmt;
 
 /// Errors produced by the query engine.
+///
+/// `#[non_exhaustive]`: future PRs add failure modes without a semver
+/// break; downstream matches keep a `_` arm.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum QueryError {
     /// The query references a table the catalog does not know.
     UnknownTable(String),

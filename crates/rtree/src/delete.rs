@@ -31,6 +31,7 @@ impl RTree {
         loop {
             match root {
                 Node::Inner(ref mut children) if children.len() == 1 => {
+                    // sj-lint: allow(panic, the guard just checked len() == 1)
                     root = children.pop().expect("one child").1;
                 }
                 Node::Inner(ref children) if children.is_empty() => {

@@ -287,6 +287,7 @@ pub fn join_count_parallel(left: &RTree, right: &RTree, threads: usize) -> u64 {
         };
         let (a, b) = tasks.swap_remove(pos);
         let (Node::Inner(ca), Node::Inner(cb)) = (a, b) else {
+            // sj-lint: allow(panic, position() above selected this pair precisely because both are Inner)
             unreachable!("position() matched Inner/Inner");
         };
         let mut expanded = false;
@@ -319,7 +320,7 @@ pub fn join_count_parallel(left: &RTree, right: &RTree, threads: usize) -> u64 {
             })
             .collect();
         for h in handles {
-            total += h.join().expect("join worker panicked");
+            total += h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
         }
     });
     total

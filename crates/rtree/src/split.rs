@@ -133,8 +133,10 @@ where
         .min_by(|&&a, &&b| {
             (evals[a].best_overlap, evals[a].best_area)
                 .partial_cmp(&(evals[b].best_overlap, evals[b].best_area))
+                // sj-lint: allow(panic, metrics are sums/products of finite MBR coordinates, asserted finite on insert)
                 .expect("finite split metrics")
         })
+        // sj-lint: allow(panic, candidates is a literal two-element slice, min_by of it is Some)
         .expect("two candidates");
     let k = evals[winner].best_k;
     let in_first: Vec<bool> = {
@@ -292,6 +294,7 @@ fn distribute<T>(
             best
         } else {
             // Linear: first unassigned in input order.
+            // sj-lint: allow(panic, loop condition guarantees remaining > 0 unassigned items)
             assigned.iter().position(|a| !*a).expect("remaining > 0")
         };
 

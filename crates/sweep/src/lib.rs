@@ -59,7 +59,7 @@ pub fn sweep_join_count_parallel(a: &[Rect], b: &[Rect], threads: usize) -> u64 
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("sweep worker panicked"))
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
             .sum()
     })
 }

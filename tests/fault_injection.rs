@@ -97,12 +97,9 @@ fn random_bit_flips_never_load_silently() {
             let bit = rng.random_range(0..8u32);
             mutated[pos] ^= 1u8 << bit;
             match load_histogram(&mutated) {
-                Err(
-                    HistogramError::Corrupt { .. }
-                    | HistogramError::KindMismatch { .. }
-                    | HistogramError::GridMismatch { .. }
-                    | HistogramError::LevelTooLarge(_),
-                ) => {}
+                // Any typed error is a correctly detected corruption
+                // (HistogramError is non_exhaustive, so no variant list).
+                Err(_) => {}
                 Ok(loaded) => {
                     // Only acceptable if the flip somehow restored the
                     // exact original bytes — impossible for a single-bit
