@@ -196,6 +196,67 @@ pub fn sura(scale: f64) -> Dataset {
     .generate()
 }
 
+// ---------------------------------------------------------------------
+// Merge-equivalence verification scenarios (`sj-lint verify-merge`)
+// ---------------------------------------------------------------------
+
+/// Base cardinality of each verification scenario at `scale = 1.0` —
+/// small enough that the full verify-merge matrix runs in seconds, large
+/// enough that every cell class (contained, boundary-crossing, spanning)
+/// is populated at the levels the verifier builds.
+pub const VERIFY_COUNT: usize = 3_000;
+
+/// Seed of the skewed verification scenario's cluster field.
+const VERIFY_FIELD_SEED: u64 = 0x5652_4659; // "VRFY"
+
+/// `verify-uniform` — uniformly placed rectangles with uniform sides, the
+/// benign scenario of the merge-equivalence verifier. Deterministic:
+/// the same scale always yields the same rectangles (lint rule r1).
+#[must_use]
+pub fn verify_uniform(scale: f64) -> Dataset {
+    Generator {
+        name: "verify-uniform".into(),
+        count: scaled(VERIFY_COUNT, scale),
+        placement: Placement::Uniform,
+        size: SizeModel::UniformSides {
+            max_w: 0.06,
+            max_h: 0.06,
+        },
+        seed: 201,
+    }
+    .generate()
+}
+
+/// `verify-skewed` — heavily clustered rectangles with log-normal sides:
+/// skew concentrates many MBRs (and their clipped masses) in few cells,
+/// the regime where a broken merge would accumulate order-dependent
+/// error fastest. Deterministic like [`verify_uniform`].
+#[must_use]
+pub fn verify_skewed(scale: f64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(VERIFY_FIELD_SEED);
+    let field = ClusterField::random(&mut rng, 12, (0.01, 0.08), 1.5);
+    Generator {
+        name: "verify-skewed".into(),
+        count: scaled(VERIFY_COUNT, scale),
+        placement: Placement::Clustered(field),
+        size: SizeModel::LogNormalBox {
+            mu: -4.4,
+            sigma: 1.1,
+            aspect_sigma: 0.6,
+            max_side: 0.2,
+        },
+        seed: 202,
+    }
+    .generate()
+}
+
+/// Both seeded scenario datasets of the merge-equivalence verifier, in a
+/// stable order: uniform then skewed.
+#[must_use]
+pub fn verify_scenarios(scale: f64) -> Vec<Dataset> {
+    vec![verify_uniform(scale), verify_skewed(scale)]
+}
+
 /// The four joins evaluated in the paper's Figures 6 and 7.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PaperJoin {
@@ -267,6 +328,43 @@ mod tests {
     fn presets_are_deterministic() {
         assert_eq!(cas(0.005).rects, cas(0.005).rects);
         assert_eq!(sp(0.01).rects, sp(0.01).rects);
+    }
+
+    #[test]
+    fn verify_scenarios_are_deterministic_and_distinct() {
+        let a = verify_scenarios(0.1);
+        let b = verify_scenarios(0.1);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a[0].name, "verify-uniform");
+        assert_eq!(a[1].name, "verify-skewed");
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.rects, y.rects, "{} must be seeded", x.name);
+        }
+        assert_ne!(a[0].rects, a[1].rects);
+        assert_eq!(a[0].len(), 300);
+    }
+
+    #[test]
+    fn verify_skewed_is_more_clustered_than_uniform() {
+        // The skewed scenario must actually exercise the skew regime:
+        // its densest cells hold more mass than the uniform scenario's.
+        fn top_cell_mass(ds: &Dataset) -> f64 {
+            let mut counts = [0usize; 64];
+            for r in &ds.rects {
+                let c = r.center();
+                let i = ((c.x * 8.0) as usize).min(7);
+                let j = ((c.y * 8.0) as usize).min(7);
+                counts[j * 8 + i] += 1;
+            }
+            counts.sort_unstable_by(|a, b| b.cmp(a));
+            counts[..4].iter().sum::<usize>() as f64 / ds.len() as f64
+        }
+        let uni = top_cell_mass(&verify_uniform(0.5));
+        let skew = top_cell_mass(&verify_skewed(0.5));
+        assert!(
+            skew > 2.0 * uni,
+            "expected strong skew (uniform {uni:.3}, skewed {skew:.3})"
+        );
     }
 
     #[test]

@@ -318,6 +318,33 @@ impl RowBanded for EulerHistogram {
     }
 }
 
+impl crate::diff::StatInspect for EulerHistogram {
+    fn scalar_stats(&self) -> Vec<(&'static str, u64)> {
+        vec![("n", self.n)]
+    }
+
+    fn cell_stats(&self) -> Vec<crate::diff::StatArray<'_>> {
+        use crate::diff::{CellValues, StatArray};
+        // Each face class lives on its own lattice: interior edge and
+        // vertex arrays are one narrower/shorter than the cell grid.
+        let axis = crate::grid::ix(self.grid.cells_per_axis());
+        let interior = axis.saturating_sub(1);
+        [
+            ("faces", &self.faces, axis),
+            ("v_edges", &self.v_edges, interior),
+            ("h_edges", &self.h_edges, axis),
+            ("vertices", &self.vertices, interior),
+        ]
+        .into_iter()
+        .map(|(name, data, width)| StatArray {
+            name,
+            width,
+            values: CellValues::Counts(data),
+        })
+        .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -248,6 +248,30 @@ impl RowBanded for GhBasicHistogram {
     }
 }
 
+impl crate::diff::StatInspect for GhBasicHistogram {
+    fn scalar_stats(&self) -> Vec<(&'static str, u64)> {
+        vec![("n", self.n)]
+    }
+
+    fn cell_stats(&self) -> Vec<crate::diff::StatArray<'_>> {
+        use crate::diff::{CellValues, StatArray};
+        let width = crate::grid::ix(self.grid.cells_per_axis());
+        [
+            ("c", &self.c),
+            ("i", &self.i),
+            ("v", &self.v),
+            ("h", &self.h),
+        ]
+        .into_iter()
+        .map(|(name, data)| StatArray {
+            name,
+            width,
+            values: CellValues::Counts(data),
+        })
+        .collect()
+    }
+}
+
 /// Revised Geometric Histogram — the paper's headline "GH" scheme
 /// (Table 2, Eq. 5).
 ///
@@ -604,6 +628,32 @@ impl RowBanded for GhHistogram {
                 *a += *b;
             }
         }
+    }
+}
+
+impl crate::diff::StatInspect for GhHistogram {
+    fn scalar_stats(&self) -> Vec<(&'static str, u64)> {
+        vec![("n", self.n)]
+    }
+
+    fn cell_stats(&self) -> Vec<crate::diff::StatArray<'_>> {
+        use crate::diff::{CellValues, StatArray};
+        let width = crate::grid::ix(self.grid.cells_per_axis());
+        let masses = |name, data| StatArray {
+            name,
+            width,
+            values: CellValues::Masses(data),
+        };
+        vec![
+            StatArray {
+                name: "c",
+                width,
+                values: CellValues::Counts(&self.c),
+            },
+            masses("o", &self.o),
+            masses("h", &self.h),
+            masses("v", &self.v),
+        ]
     }
 }
 

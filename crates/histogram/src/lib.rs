@@ -37,6 +37,7 @@
 
 mod band;
 mod crc;
+mod diff;
 mod error;
 mod euler;
 mod gh;
@@ -46,10 +47,12 @@ mod parametric;
 mod ph;
 mod traits;
 
+pub use diff::{first_divergence, CellLocation, Divergence};
 pub use error::{CorruptSection, HistogramError};
 pub use euler::EulerHistogram;
 pub use gh::{GhBasicHistogram, GhHistogram};
 pub use grid::Grid;
+pub use mass::Mass;
 pub use parametric::{parametric_result_size, parametric_selectivity, ParametricInputs};
 pub use ph::PhHistogram;
 pub use traits::{

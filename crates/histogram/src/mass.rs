@@ -22,31 +22,68 @@ const FRAC_BITS: i32 = 75;
 
 /// An exactly-mergeable sum of fractional contributions, stored as a
 /// fixed-point `i128` in units of 2⁻⁷⁵.
+///
+/// Every fractional histogram statistic (clipped coverage, clipped edge
+/// length) accumulates through this type, which is what makes shard
+/// builds merge bit-identically to a serial build: each contribution is
+/// quantized *once* by [`Mass::from_f64`] and summation is then exact
+/// integer addition — associative and commutative, so the partition of
+/// the input into shards cannot change the total.
+///
+/// # Examples
+/// ```
+/// use sj_histogram::Mass;
+///
+/// // Summing in any order or grouping produces the identical value —
+/// // unlike f64, where (a + b) + c can differ from a + (b + c).
+/// let xs = [0.1, 0.7, 1e-9, 3.17159];
+/// let mut forward = Mass::ZERO;
+/// for &x in &xs {
+///     forward += Mass::from_f64(x);
+/// }
+/// let mut reverse = Mass::ZERO;
+/// for &x in xs.iter().rev() {
+///     reverse += Mass::from_f64(x);
+/// }
+/// assert_eq!(forward, reverse);
+/// assert!((forward.to_f64() - xs.iter().sum::<f64>()).abs() < 1e-12);
+/// assert!(!forward.is_zero());
+/// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
-pub(crate) struct Mass(i128);
+pub struct Mass(i128);
 
 impl Mass {
     /// The zero mass.
-    pub(crate) const ZERO: Mass = Mass(0);
+    pub const ZERO: Mass = Mass(0);
 
     /// Quantizes one `f64` contribution. Multiplying by a power of two is
     /// exact in `f64` (an exponent shift), so the only inexact step is the
     /// final round to the 2⁻⁷⁵ grid; `as` saturates out-of-range values
     /// and maps NaN to zero.
-    pub(crate) fn from_f64(x: f64) -> Self {
+    #[must_use]
+    pub fn from_f64(x: f64) -> Self {
         #[allow(clippy::cast_possible_truncation)]
         Self((x * 2f64.powi(FRAC_BITS)).round() as i128)
     }
 
     /// The closest `f64` to the exact stored sum.
     #[allow(clippy::cast_precision_loss)]
-    pub(crate) fn to_f64(self) -> f64 {
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
         self.0 as f64 * 2f64.powi(-FRAC_BITS)
     }
 
     /// Whether any mass has been accumulated.
-    pub(crate) fn is_zero(self) -> bool {
+    #[must_use]
+    pub fn is_zero(self) -> bool {
         self.0 == 0
+    }
+
+    /// The raw fixed-point value in units of 2⁻⁷⁵ — exact, used by the
+    /// divergence reporter to render masses without rounding.
+    #[must_use]
+    pub fn raw_units(self) -> i128 {
+        self.0
     }
 
     /// Serializes as 16 little-endian bytes.

@@ -397,6 +397,41 @@ impl RowBanded for PhHistogram {
     }
 }
 
+impl crate::diff::StatInspect for PhHistogram {
+    fn scalar_stats(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("n", self.n),
+            ("span_total", self.span_total),
+            ("span_rects", self.span_rects),
+        ]
+    }
+
+    fn cell_stats(&self) -> Vec<crate::diff::StatArray<'_>> {
+        use crate::diff::{CellValues, StatArray};
+        let width = crate::grid::ix(self.grid.cells_per_axis());
+        let counts = |name, data| StatArray {
+            name,
+            width,
+            values: CellValues::Counts(data),
+        };
+        let masses = |name, data| StatArray {
+            name,
+            width,
+            values: CellValues::Masses(data),
+        };
+        vec![
+            counts("num", &self.num),
+            counts("num_x", &self.num_x),
+            masses("cov", &self.cov),
+            masses("xsum", &self.xsum),
+            masses("ysum", &self.ysum),
+            masses("cov_x", &self.cov_x),
+            masses("xsum_x", &self.xsum_x),
+            masses("ysum_x", &self.ysum_x),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

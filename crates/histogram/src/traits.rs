@@ -127,6 +127,38 @@ impl std::str::FromStr for HistogramKind {
 /// Implemented by [`PhHistogram`], [`GhBasicHistogram`], [`GhHistogram`]
 /// and [`EulerHistogram`]. Merging shard builds is *bit-for-bit* equal to
 /// building serially over the concatenated input — see the row-band driver in `band.rs`.
+///
+/// # Examples
+///
+/// Build two shard histograms, merge them, and check the result is
+/// byte-identical to one serial build over all the data — then round-trip
+/// it through the persistence envelope and estimate a join:
+///
+/// ```
+/// use sj_geo::{Extent, Rect};
+/// use sj_histogram::{load_histogram, Grid, GhHistogram, SpatialHistogram};
+///
+/// let grid = Grid::new(4, Extent::unit())?;
+/// let shard_a = vec![Rect::new(0.10, 0.10, 0.22, 0.18)];
+/// let shard_b = vec![Rect::new(0.15, 0.05, 0.20, 0.30)];
+/// let all: Vec<Rect> = shard_a.iter().chain(&shard_b).copied().collect();
+///
+/// // Shard-and-merge equals the serial build, bit for bit.
+/// let mut merged = GhHistogram::build_from(grid, &shard_a);
+/// merged.merge(&GhHistogram::build_from(grid, &shard_b))?;
+/// let serial = GhHistogram::build_from(grid, &all);
+/// assert_eq!(merged.to_bytes(), serial.to_bytes());
+///
+/// // Persistence round trip through the versioned envelope.
+/// let revived = load_histogram(&merged.persist())?;
+/// assert_eq!(revived.kind(), merged.kind());
+/// assert_eq!(revived.to_bytes(), merged.to_bytes());
+///
+/// // The two crossing MBRs intersect: the join estimate sees them.
+/// let est = revived.estimate_join(&serial)?;
+/// assert!(est.pairs > 0.0);
+/// # Ok::<(), sj_histogram::HistogramError>(())
+/// ```
 pub trait SpatialHistogram: std::fmt::Debug + Send + Sync {
     /// Which family this histogram belongs to.
     fn kind(&self) -> HistogramKind;

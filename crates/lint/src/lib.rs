@@ -1,17 +1,24 @@
 //! `sj-lint` — the workspace invariant checker.
 //!
-//! A self-contained, dependency-free static-analysis driver that walks
-//! the workspace's `crates/*/src` trees and mechanically enforces the
-//! reproducibility and robustness rules the estimator stack relies on:
-//! bit-identical shard-and-merge histogram builds (no floats or
-//! nondeterminism in merge paths), panic-free statistics decoding, cast
-//! discipline in cell-index math, error-taxonomy and doc hygiene, and a
-//! fingerprinted persistence schema tied to the envelope version. See
-//! [`rules`] for the rule-by-rule rationale and DESIGN.md §10 for the
-//! full write-up.
+//! A static-analysis driver (self-contained: only in-tree workspace
+//! crates, nothing external) that walks the workspace's `crates/*/src`
+//! trees and mechanically enforces the reproducibility and robustness
+//! rules the estimator stack relies on: bit-identical shard-and-merge
+//! histogram builds (no floats or nondeterminism in merge paths),
+//! panic-free statistics decoding, cast discipline in cell-index math,
+//! error-taxonomy and doc hygiene, and a fingerprinted persistence
+//! schema tied to the envelope version. See [`rules`] for the
+//! rule-by-rule rationale and DESIGN.md §10 for the full write-up.
 //!
-//! Run it with `cargo run -p sj-lint -- check`; per-line suppressions
-//! use `// sj-lint: allow(<rule>, <reason>)` with the reason mandatory.
+//! The static rules are complemented by one *dynamic* analysis:
+//! [`verify`] builds every histogram family serially and sharded on
+//! seeded datasets and asserts the merged envelope bytes are identical,
+//! localizing any divergence to the first differing cell and statistic.
+//!
+//! Run the static rules with `cargo run -p sj-lint -- check` (per-line
+//! suppressions use `// sj-lint: allow(<rule>, <reason>)` with the
+//! reason mandatory) and the dynamic check with
+//! `cargo run -p sj-lint -- verify-merge`.
 //!
 //! The vendored `compat/*` shims are out of scope: they reproduce
 //! external crate APIs verbatim and are exercised only through the
@@ -25,6 +32,7 @@ pub mod fingerprint;
 pub mod report;
 pub mod rules;
 pub mod scan;
+pub mod verify;
 
 use rules::{Finding, RuleId, Severity};
 use scan::SourceFile;

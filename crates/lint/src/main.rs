@@ -1,7 +1,8 @@
-//! `sj-lint` binary: `check`, `rules` and `fingerprint` subcommands.
+//! `sj-lint` binary: `check`, `rules`, `fingerprint` and `verify-merge`
+//! subcommands.
 //!
-//! Exit codes: `0` clean, `1` deny-severity findings, `2` usage error,
-//! `3` I/O error.
+//! Exit codes: `0` clean, `1` deny-severity findings (or merge
+//! divergences), `2` usage error, `3` I/O error.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,11 +22,21 @@ USAGE:
                   [--deny <r,..|all>] [--warn <r,..|all>]
     sj-lint rules
     sj-lint fingerprint [--update] [--allow-same-version] [--root <dir>]
+    sj-lint verify-merge [--format human|json] [--scale <f>]
+                         [--levels <l,..>] [--shards <n,..>]
+                         [--inject drop-last-rect|nudge-first-rect]
 
 Rules are named r1..r8 or by slug (determinism, fixed-point, panic,
 cast, hygiene, error-taxonomy, persistence, docs). Suppress a single
 line with `// sj-lint: allow(<rule>, <reason>)` — the reason is
-mandatory.";
+mandatory.
+
+`verify-merge` is the dynamic companion to r2's static fixed-point
+check: it builds every histogram family serially and sharded (row-band
+and rect-range partitions, each shard count in --shards) on seeded
+datasets and exits 1 unless every merged envelope is byte-identical to
+its serial build, localizing divergences to a cell and statistic.
+--inject deliberately breaks the merged input to prove the check bites.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,6 +58,19 @@ struct Cli {
     warn: Vec<String>,
     update: bool,
     allow_same_version: bool,
+    verify: sj_lint::verify::VerifyConfig,
+}
+
+/// Parses a comma-separated numeric list for `--levels` / `--shards`.
+fn parse_num_list<T: std::str::FromStr>(flag: &str, value: &str) -> Result<Vec<T>, String> {
+    value
+        .split(',')
+        .map(|part| {
+            part.trim()
+                .parse::<T>()
+                .map_err(|_| format!("{flag}: `{part}` is not a valid number"))
+        })
+        .collect()
 }
 
 fn parse_rule_list(value: &str) -> Result<Vec<RuleId>, String> {
@@ -75,6 +99,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         warn: Vec::new(),
         update: false,
         allow_same_version: false,
+        verify: sj_lint::verify::VerifyConfig::default(),
     };
     let mut it = args.iter().skip(1);
     while let Some(arg) = it.next() {
@@ -97,6 +122,35 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             "--warn" => cli.warn.push(value_of("--warn")?),
             "--update" => cli.update = true,
             "--allow-same-version" => cli.allow_same_version = true,
+            "--scale" => {
+                let value = value_of("--scale")?;
+                cli.verify.scale = value
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|s| *s > 0.0 && s.is_finite())
+                    .ok_or_else(|| format!("--scale: `{value}` is not a positive number"))?;
+            }
+            "--levels" => {
+                cli.verify.levels = parse_num_list("--levels", &value_of("--levels")?)?;
+                if cli.verify.levels.is_empty() {
+                    return Err("--levels needs at least one level".to_string());
+                }
+            }
+            "--shards" => {
+                cli.verify.shard_counts = parse_num_list("--shards", &value_of("--shards")?)?;
+                if cli.verify.shard_counts.contains(&0) {
+                    return Err("--shards: shard counts must be positive".to_string());
+                }
+            }
+            "--inject" => {
+                let value = value_of("--inject")?;
+                cli.verify.fault =
+                    Some(sj_lint::verify::Fault::parse(&value).ok_or_else(|| {
+                        format!(
+                            "--inject: unknown fault `{value}` (drop-last-rect, nudge-first-rect)"
+                        )
+                    })?);
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return Ok(ExitCode::SUCCESS);
@@ -114,6 +168,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         }
         "check" => cmd_check(&cli),
         "fingerprint" => cmd_fingerprint(&cli),
+        "verify-merge" => cmd_verify(&cli),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -161,6 +216,17 @@ fn cmd_check(cli: &Cli) -> Result<ExitCode, String> {
         ExitCode::from(1)
     } else {
         ExitCode::SUCCESS
+    })
+}
+
+fn cmd_verify(cli: &Cli) -> Result<ExitCode, String> {
+    let report = sj_lint::verify::run_verify(&cli.verify)
+        .map_err(|e| format!("invalid verify-merge configuration: {e}"))?;
+    print!("{}", report.render(cli.format));
+    Ok(if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
     })
 }
 

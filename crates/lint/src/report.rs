@@ -53,7 +53,7 @@ fn render_human(findings: &[Finding]) -> String {
 }
 
 /// Minimal JSON string escaping (the checker is dependency-free).
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

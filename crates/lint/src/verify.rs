@@ -1,0 +1,398 @@
+//! Dynamic merge-equivalence verification — the `verify-merge`
+//! subcommand.
+//!
+//! The static rules r1/r2 guard the *lexical* preconditions of
+//! bit-identical shard-and-merge histogram builds (no nondeterminism, no
+//! floats in merge paths). This module executes the contract end-to-end:
+//! it generates seeded datasets (uniform + skewed, via `sj-datagen`),
+//! builds every [`HistogramKind`] serially and sharded across several
+//! shard counts under **both** partition schemes — row bands
+//! ([`build_histogram_parallel`]) and rectangle ranges
+//! ([`build_histogram_sharded`]) — and asserts the merged `.hist`
+//! envelope bytes equal the serial build's. A mismatch is localized with
+//! [`first_divergence`] to the first differing cell and statistic, not
+//! reported as a bare "bytes differ".
+//!
+//! Everything is deterministic (lint rule r1): datasets come from fixed
+//! seeds, the scenario matrix is a fixed product, and no wall clock or
+//! OS entropy is consulted — two runs of `sj-lint verify-merge` produce
+//! identical reports.
+//!
+//! Fault injection ([`Fault`]) deliberately breaks the merged side of
+//! every trial so the self-tests (and `--inject` on the CLI) can prove
+//! the verifier actually catches broken merges and names the right cell
+//! and statistic.
+
+use crate::report::Format;
+use sj_datagen::presets;
+use sj_geo::Rect;
+use sj_histogram::{
+    build_histogram, build_histogram_parallel, build_histogram_sharded, first_divergence,
+    Divergence, Grid, HistogramError, HistogramKind,
+};
+
+/// How the input is partitioned before the shard builds are merged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partition {
+    /// Grid rows banded across scoped worker threads
+    /// ([`build_histogram_parallel`] with `shards` threads).
+    RowBand,
+    /// The rectangle array split into contiguous ranges, each built
+    /// independently and merged ([`build_histogram_sharded`]).
+    RectRange,
+}
+
+impl Partition {
+    /// Both partition schemes, in report order.
+    pub const ALL: [Partition; 2] = [Partition::RowBand, Partition::RectRange];
+
+    /// Stable name used in reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Partition::RowBand => "row-band",
+            Partition::RectRange => "rect-range",
+        }
+    }
+}
+
+/// A deliberately broken merge, injected into the *merged* side of every
+/// trial (the serial baseline stays untouched) so self-tests can prove
+/// the verifier catches real faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Drop the final rectangle from the partitioned input — the moral
+    /// equivalent of a merge that loses one shard's boundary-group
+    /// count. Caught by every family as a scalar `n` divergence.
+    DropLastRect,
+    /// Nudge one coordinate of the first rectangle by `1e-7` — the moral
+    /// equivalent of float-accumulation drift in a fractional statistic.
+    /// Caught by the mass-carrying families (PH, revised GH) as a
+    /// cell-level divergence; the integer-only families are insensitive
+    /// to sub-cell geometry by design.
+    NudgeFirstRect,
+}
+
+impl Fault {
+    /// Stable name accepted by `--inject` and used in reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Fault::DropLastRect => "drop-last-rect",
+            Fault::NudgeFirstRect => "nudge-first-rect",
+        }
+    }
+
+    /// Resolves an `--inject` argument.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Fault> {
+        [Fault::DropLastRect, Fault::NudgeFirstRect]
+            .into_iter()
+            .find(|f| f.name() == name)
+    }
+}
+
+/// The scenario matrix the verifier runs.
+#[derive(Debug, Clone)]
+pub struct VerifyConfig {
+    /// Scale factor on the scenario cardinalities
+    /// ([`presets::VERIFY_COUNT`] at `1.0`).
+    pub scale: f64,
+    /// Grid levels to build at (`4^level` cells each).
+    pub levels: Vec<u32>,
+    /// Shard counts: thread counts for row-band partitions and range
+    /// counts for rect-range partitions.
+    pub shard_counts: Vec<usize>,
+    /// Optional fault injected into the merged side of every trial.
+    pub fault: Option<Fault>,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        VerifyConfig {
+            scale: 1.0,
+            levels: vec![3, 6],
+            shard_counts: vec![2, 3, 5, 8],
+            fault: None,
+        }
+    }
+}
+
+/// Result of one trial's byte comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// The merged `.hist` envelope is byte-identical to the serial one.
+    Identical,
+    /// The envelopes differ; the first differing cell/statistic.
+    Diverged(Divergence),
+    /// The envelopes differ but no statistic divergence was located —
+    /// envelope-level disagreement that should be unreachable.
+    BytesOnly,
+}
+
+/// One (scenario, kind, level, partition, shard-count) comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trial {
+    /// Scenario dataset name (`verify-uniform`, `verify-skewed`).
+    pub scenario: String,
+    /// Histogram family under test.
+    pub kind: HistogramKind,
+    /// Grid level of the build.
+    pub level: u32,
+    /// Partition scheme of the merged build.
+    pub partition: Partition,
+    /// Thread count (row-band) or range count (rect-range).
+    pub shards: usize,
+    /// Whether the merged bytes matched the serial bytes.
+    pub outcome: Outcome,
+}
+
+impl Trial {
+    /// `scenario/kind/L<level>/<partition>x<shards>` — the stable trial
+    /// coordinate used in reports.
+    #[must_use]
+    pub fn coordinate(&self) -> String {
+        format!(
+            "{}/{}/L{}/{}x{}",
+            self.scenario,
+            self.kind.name(),
+            self.level,
+            self.partition.name(),
+            self.shards
+        )
+    }
+}
+
+/// The full verification run: every trial in matrix order.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// All trials, in deterministic matrix order.
+    pub trials: Vec<Trial>,
+    /// The fault injected into the merged builds, if any.
+    pub fault: Option<Fault>,
+}
+
+impl VerifyReport {
+    /// Trials whose merged bytes differed from the serial build.
+    pub fn divergent(&self) -> impl Iterator<Item = &Trial> {
+        self.trials
+            .iter()
+            .filter(|t| t.outcome != Outcome::Identical)
+    }
+
+    /// Whether every trial was byte-identical.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.divergent().next().is_none()
+    }
+
+    /// Renders the report in the selected format, mirroring `check`:
+    /// one line per divergence plus a summary (human), or a single JSON
+    /// object (json).
+    #[must_use]
+    pub fn render(&self, format: Format) -> String {
+        match format {
+            Format::Human => self.render_human(),
+            Format::Json => self.render_json(),
+        }
+    }
+
+    fn render_human(&self) -> String {
+        let mut out = String::new();
+        if let Some(fault) = self.fault {
+            out.push_str(&format!(
+                "sj-lint verify-merge: injecting fault `{}` into every merged build\n",
+                fault.name()
+            ));
+        }
+        for t in self.divergent() {
+            let detail = match &t.outcome {
+                Outcome::Diverged(d) => d.to_string(),
+                _ => "persisted bytes differ but no statistic divergence was located".to_string(),
+            };
+            out.push_str(&format!(
+                "{}: error[verify-merge] merged envelope differs from serial build: {detail}\n",
+                t.coordinate()
+            ));
+        }
+        let divergent = self.divergent().count();
+        if divergent == 0 {
+            out.push_str(&format!(
+                "sj-lint verify-merge: clean ({} trials, every merged build byte-identical \
+                 to its serial build)\n",
+                self.trials.len()
+            ));
+        } else {
+            out.push_str(&format!(
+                "sj-lint verify-merge: {divergent} of {} trials diverged\n",
+                self.trials.len()
+            ));
+        }
+        out
+    }
+
+    fn render_json(&self) -> String {
+        use crate::report::escape;
+        let mut out = String::from("{\n  \"divergences\": [\n");
+        let divergent: Vec<&Trial> = self.divergent().collect();
+        for (i, t) in divergent.iter().enumerate() {
+            let (statistic, cell, left, right) = match &t.outcome {
+                Outcome::Diverged(d) => (
+                    format!("\"{}\"", escape(d.statistic)),
+                    d.cell.map_or("null".to_string(), |c| {
+                        format!(
+                            "{{\"col\": {}, \"row\": {}, \"index\": {}}}",
+                            c.col, c.row, c.index
+                        )
+                    }),
+                    format!("\"{}\"", escape(&d.left)),
+                    format!("\"{}\"", escape(&d.right)),
+                ),
+                _ => (
+                    "null".to_string(),
+                    "null".to_string(),
+                    "null".to_string(),
+                    "null".to_string(),
+                ),
+            };
+            out.push_str(&format!(
+                "    {{\"trial\": \"{}\", \"scenario\": \"{}\", \"kind\": \"{}\", \
+                 \"level\": {}, \"partition\": \"{}\", \"shards\": {}, \
+                 \"statistic\": {statistic}, \"cell\": {cell}, \
+                 \"left\": {left}, \"right\": {right}}}{}\n",
+                escape(&t.coordinate()),
+                escape(&t.scenario),
+                t.kind.name(),
+                t.level,
+                t.partition.name(),
+                t.shards,
+                if i + 1 < divergent.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!(
+            "  \"fault\": {},\n",
+            self.fault
+                .map_or("null".to_string(), |f| format!("\"{}\"", f.name()))
+        ));
+        out.push_str(&format!("  \"trials\": {},\n", self.trials.len()));
+        out.push_str(&format!("  \"divergent\": {},\n", divergent.len()));
+        out.push_str(&format!("  \"clean\": {}\n}}\n", self.is_clean()));
+        out
+    }
+}
+
+/// Applies `fault` to a copy of the merged builds' input.
+fn apply_fault(fault: Fault, rects: &[Rect]) -> Vec<Rect> {
+    let mut out = rects.to_vec();
+    match fault {
+        Fault::DropLastRect => {
+            out.pop();
+        }
+        Fault::NudgeFirstRect => {
+            if let Some(first) = out.first_mut() {
+                *first = Rect::new(first.xlo + 1e-7, first.ylo, first.xhi, first.yhi);
+            }
+        }
+    }
+    out
+}
+
+/// Runs the full scenario matrix: for every seeded scenario dataset,
+/// grid level and histogram family, builds the serial baseline once and
+/// compares it byte-for-byte against a merged build for every
+/// (partition, shard-count) combination.
+///
+/// # Errors
+/// Returns [`HistogramError`] when a configured grid level is invalid
+/// (the builds and comparisons themselves cannot fail).
+pub fn run_verify(config: &VerifyConfig) -> Result<VerifyReport, HistogramError> {
+    let mut trials = Vec::new();
+    for dataset in presets::verify_scenarios(config.scale) {
+        let tampered = config.fault.map(|f| apply_fault(f, &dataset.rects));
+        let merged_input: &[Rect] = tampered.as_deref().unwrap_or(&dataset.rects);
+        for &level in &config.levels {
+            let grid = Grid::new(level, dataset.extent)?;
+            for kind in HistogramKind::ALL {
+                let serial = build_histogram(kind, grid, &dataset.rects);
+                let serial_envelope = serial.persist();
+                for partition in Partition::ALL {
+                    for &shards in &config.shard_counts {
+                        let merged = match partition {
+                            Partition::RowBand => {
+                                build_histogram_parallel(kind, grid, merged_input, shards)
+                            }
+                            Partition::RectRange => {
+                                let chunk = merged_input.len().div_ceil(shards).max(1);
+                                let ranges: Vec<&[Rect]> = merged_input.chunks(chunk).collect();
+                                build_histogram_sharded(kind, grid, &ranges)
+                            }
+                        };
+                        let outcome = if merged.persist() == serial_envelope {
+                            Outcome::Identical
+                        } else {
+                            match first_divergence(serial.as_ref(), merged.as_ref())? {
+                                Some(d) => Outcome::Diverged(d),
+                                None => Outcome::BytesOnly,
+                            }
+                        };
+                        trials.push(Trial {
+                            scenario: dataset.name.clone(),
+                            kind,
+                            level,
+                            partition,
+                            shards,
+                            outcome,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(VerifyReport {
+        trials,
+        fault: config.fault,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small matrix for fast tests: one level, two shard counts.
+    fn small(fault: Option<Fault>) -> VerifyConfig {
+        VerifyConfig {
+            scale: 0.1,
+            levels: vec![4],
+            shard_counts: vec![2, 5],
+            fault,
+        }
+    }
+
+    #[test]
+    fn real_builds_are_merge_equivalent() {
+        let report = run_verify(&small(None)).unwrap();
+        assert_eq!(report.trials.len(), 2 * 4 * 2 * 2, "full matrix ran");
+        assert!(report.is_clean(), "{}", report.render(Format::Human));
+        let human = report.render(Format::Human);
+        assert!(human.contains("clean"), "{human}");
+        let json = report.render(Format::Json);
+        assert!(json.contains("\"clean\": true"), "{json}");
+        assert!(json.contains("\"divergent\": 0"), "{json}");
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let a = run_verify(&small(None)).unwrap();
+        let b = run_verify(&small(None)).unwrap();
+        assert_eq!(a.trials, b.trials, "rule r1: identical run-to-run");
+    }
+
+    #[test]
+    fn fault_parse_roundtrip() {
+        for fault in [Fault::DropLastRect, Fault::NudgeFirstRect] {
+            assert_eq!(Fault::parse(fault.name()), Some(fault));
+        }
+        assert_eq!(Fault::parse("nope"), None);
+    }
+}
