@@ -1,0 +1,333 @@
+//! Perf baseline for the statistics daemon: writes `BENCH_1.json`.
+//!
+//! Records, on a fixed seeded workload (SCRC ⋈ SURA at a fixed scale
+//! and grid level):
+//!
+//! - **statistics build time** — wall time to build each dataset's GH
+//!   histogram, the work a cold CLI run repeats on every invocation and
+//!   a warm server pays exactly once;
+//! - **cold-CLI estimate latency** — p50/p99 of full end-to-end
+//!   `sjsel catalog-estimate` runs (CSV parse + histogram build +
+//!   estimate) driven in-process through `sj_cli::run`;
+//! - **warm-server estimate latency** — p50/p99 of `estimate` requests
+//!   over a persistent [`sj_server::Client`] connection against a live
+//!   daemon that loaded the catalog once;
+//! - **batch amortization** — per-item latency of one `batch-estimate`
+//!   frame versus the same pairs as sequential single requests;
+//! - **merge throughput** — rectangles/sec and merges/sec of the
+//!   sharded histogram build (`build_histogram_sharded`), the merge
+//!   path `sj-lint verify-merge` proves bit-identical.
+//!
+//! The acceptance floor asserted by CI: warm-server p50 must sit at
+//! least 5× below cold-CLI p50 (`meets_5x_floor`). Residency is the
+//! entire point of the daemon; if this ratio collapses the server is
+//! not actually amortizing the build.
+//!
+//! ```sh
+//! cargo run --release -p sj-bench --bin latency_server -- --out BENCH_1.json
+//! ```
+
+use sj_datagen::presets;
+use sj_geo::Extent;
+use sj_histogram::{build_histogram, build_histogram_sharded, Grid, HistogramKind};
+use sj_server::Client;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Fixed workload parameters: everything that shapes the numbers is
+/// pinned here so two runs of the bench measure the same work.
+const SCALE: f64 = 0.02;
+const LEVEL: u32 = 6;
+const COLD_ITERS: usize = 20;
+const WARM_ITERS: usize = 2000;
+const WARM_WARMUP: usize = 100;
+const BATCH_SIZE: usize = 64;
+const MERGE_SHARDS: usize = 8;
+const MERGE_ROUNDS: usize = 5;
+
+#[derive(serde::Serialize)]
+struct LatencyStats {
+    iters: usize,
+    p50_us: f64,
+    p99_us: f64,
+    mean_us: f64,
+}
+
+impl LatencyStats {
+    fn from_samples(mut us: Vec<f64>) -> Self {
+        us.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let iters = us.len();
+        let pick = |q: f64| {
+            let idx = ((iters as f64 * q) as usize).min(iters.saturating_sub(1));
+            us.get(idx).copied().unwrap_or(f64::NAN)
+        };
+        let mean = us.iter().sum::<f64>() / iters.max(1) as f64;
+        LatencyStats {
+            iters,
+            p50_us: pick(0.50),
+            p99_us: pick(0.99),
+            mean_us: mean,
+        }
+    }
+}
+
+#[derive(serde::Serialize)]
+struct BuildStats {
+    dataset: String,
+    objects: usize,
+    build_ms: f64,
+}
+
+#[derive(serde::Serialize)]
+struct BatchStats {
+    batch_size: usize,
+    batch_per_item_us: f64,
+    single_per_item_us: f64,
+    amortization: f64,
+}
+
+#[derive(serde::Serialize)]
+struct MergeStats {
+    shards: usize,
+    rects: usize,
+    rounds: usize,
+    sharded_build_ms: f64,
+    rects_per_sec: f64,
+    merges_per_sec: f64,
+}
+
+#[derive(serde::Serialize)]
+struct Workload {
+    datasets: Vec<String>,
+    scale: f64,
+    level: u32,
+}
+
+#[derive(serde::Serialize)]
+struct Bench1 {
+    bench: String,
+    workload: Workload,
+    statistics_build: Vec<BuildStats>,
+    cold_cli: LatencyStats,
+    warm_server: LatencyStats,
+    batch: BatchStats,
+    merge: MergeStats,
+    speedup_p50: f64,
+    meets_5x_floor: bool,
+}
+
+fn secs_to_us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn argv(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| (*s).to_string()).collect()
+}
+
+fn cli(parts: &[&str]) -> sj_cli::CliOutput {
+    match sj_cli::run(&argv(parts)) {
+        Ok(out) => out,
+        Err(e) => panic!("cli {parts:?} failed: {e:?}"),
+    }
+}
+
+/// Scratch directory for the seeded CSVs and the daemon ready-file.
+fn scratch() -> PathBuf {
+    let dir = std::env::temp_dir().join("sjsel_bench_latency");
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// Boots the daemon over the CSVs on an OS-assigned port, returning the
+/// address and its join handle.
+fn boot(
+    a_csv: &str,
+    b_csv: &str,
+) -> (
+    String,
+    std::thread::JoinHandle<Result<sj_cli::CliOutput, sj_cli::CliError>>,
+) {
+    let ready = scratch().join("ready.txt");
+    drop(std::fs::remove_file(&ready));
+    let level = LEVEL.to_string();
+    let args = argv(&[
+        "serve",
+        a_csv,
+        b_csv,
+        "--level",
+        &level,
+        "--addr",
+        "127.0.0.1:0",
+        "--ready-file",
+        &ready.to_string_lossy(),
+    ]);
+    let daemon = std::thread::spawn(move || sj_cli::run(&args));
+    let mut tries = 0;
+    let addr = loop {
+        match std::fs::read_to_string(&ready) {
+            Ok(s) if s.ends_with('\n') => break s.trim().to_string(),
+            _ if tries > 1000 => panic!("server never became ready"),
+            _ => {
+                tries += 1;
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    };
+    (addr, daemon)
+}
+
+fn main() {
+    let mut out_path = "BENCH_1.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument {other:?} (only --out is accepted)"),
+        }
+    }
+
+    let dir = scratch();
+    let a_csv = dir.join("bench_a.csv").to_string_lossy().into_owned();
+    let b_csv = dir.join("bench_b.csv").to_string_lossy().into_owned();
+    let scale = SCALE.to_string();
+    let level = LEVEL.to_string();
+    cli(&["generate", "scrc", "--scale", &scale, "--out", &a_csv]);
+    cli(&["generate", "sura", "--scale", &scale, "--out", &b_csv]);
+
+    // --- statistics build time -------------------------------------
+    let grid = Grid::new(LEVEL, Extent::unit()).expect("level within bounds");
+    let a = presets::scrc(SCALE);
+    let b = presets::sura(SCALE);
+    let mut statistics_build = Vec::new();
+    for ds in [&a, &b] {
+        let t = Instant::now();
+        let h = build_histogram(HistogramKind::Gh, grid, &ds.rects);
+        let build_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(h.dataset_len(), ds.rects.len());
+        statistics_build.push(BuildStats {
+            dataset: ds.name.clone(),
+            objects: ds.rects.len(),
+            build_ms,
+        });
+        println!(
+            "build {:>6}: {} objects in {:.1} ms",
+            ds.name,
+            ds.rects.len(),
+            build_ms
+        );
+    }
+
+    // --- cold CLI: full end-to-end runs ----------------------------
+    let mut cold_us = Vec::with_capacity(COLD_ITERS);
+    for _ in 0..COLD_ITERS {
+        let t = Instant::now();
+        let out = cli(&["catalog-estimate", &a_csv, &b_csv, "--level", &level]);
+        cold_us.push(secs_to_us(t.elapsed()));
+        assert!(out.stdout.contains("selectivity"), "{}", out.stdout);
+    }
+    let cold_cli = LatencyStats::from_samples(cold_us);
+    println!(
+        "cold  cli: p50 {:.0} us  p99 {:.0} us  ({} iters)",
+        cold_cli.p50_us, cold_cli.p99_us, cold_cli.iters
+    );
+
+    // --- warm server: persistent connection ------------------------
+    let (addr, daemon) = boot(&a_csv, &b_csv);
+    let mut client = Client::connect(addr.as_str()).expect("connect");
+    for _ in 0..WARM_WARMUP {
+        client.estimate("bench_a", "bench_b").expect("warmup");
+    }
+    let mut warm_us = Vec::with_capacity(WARM_ITERS);
+    for _ in 0..WARM_ITERS {
+        let t = Instant::now();
+        let r = client.estimate("bench_a", "bench_b").expect("estimate");
+        warm_us.push(secs_to_us(t.elapsed()));
+        assert!(r.selectivity.is_finite());
+    }
+    let warm_server = LatencyStats::from_samples(warm_us);
+    println!(
+        "warm  srv: p50 {:.0} us  p99 {:.0} us  ({} iters)",
+        warm_server.p50_us, warm_server.p99_us, warm_server.iters
+    );
+
+    // --- batch amortization: one frame for N estimates --------------
+    let pairs: Vec<(String, String)> = (0..BATCH_SIZE)
+        .map(|_| ("bench_a".to_string(), "bench_b".to_string()))
+        .collect();
+    let t = Instant::now();
+    let replies = client.batch_estimate(&pairs).expect("batch");
+    let batch_per_item_us = secs_to_us(t.elapsed()) / BATCH_SIZE as f64;
+    assert!(replies.iter().all(Result::is_ok));
+    let t = Instant::now();
+    for _ in 0..BATCH_SIZE {
+        client.estimate("bench_a", "bench_b").expect("single");
+    }
+    let single_per_item_us = secs_to_us(t.elapsed()) / BATCH_SIZE as f64;
+    let batch = BatchStats {
+        batch_size: BATCH_SIZE,
+        batch_per_item_us,
+        single_per_item_us,
+        amortization: single_per_item_us / batch_per_item_us,
+    };
+    println!(
+        "batch    : {:.1} us/item batched vs {:.1} us/item single ({:.1}x)",
+        batch.batch_per_item_us, batch.single_per_item_us, batch.amortization
+    );
+
+    client.shutdown_server().expect("shutdown");
+    daemon.join().expect("join").expect("daemon exit");
+
+    // --- merge throughput: the sharded build path -------------------
+    let rects = &a.rects;
+    let chunk = rects.len().div_ceil(MERGE_SHARDS).max(1);
+    let shards: Vec<&[sj_geo::Rect]> = rects.chunks(chunk).collect();
+    let t = Instant::now();
+    for _ in 0..MERGE_ROUNDS {
+        let merged = build_histogram_sharded(HistogramKind::Gh, grid, &shards);
+        assert_eq!(merged.dataset_len(), rects.len());
+    }
+    let elapsed = t.elapsed().as_secs_f64();
+    let merge = MergeStats {
+        shards: shards.len(),
+        rects: rects.len(),
+        rounds: MERGE_ROUNDS,
+        sharded_build_ms: elapsed * 1e3 / MERGE_ROUNDS as f64,
+        rects_per_sec: (rects.len() * MERGE_ROUNDS) as f64 / elapsed,
+        merges_per_sec: (shards.len().saturating_sub(1) * MERGE_ROUNDS) as f64 / elapsed,
+    };
+    println!(
+        "merge    : {} shards, {:.1} ms/build, {:.0} rects/s",
+        merge.shards, merge.sharded_build_ms, merge.rects_per_sec
+    );
+
+    let speedup_p50 = cold_cli.p50_us / warm_server.p50_us;
+    let report = Bench1 {
+        bench: "latency_server".to_string(),
+        workload: Workload {
+            datasets: vec![a.name.clone(), b.name.clone()],
+            scale: SCALE,
+            level: LEVEL,
+        },
+        statistics_build,
+        cold_cli,
+        warm_server,
+        batch,
+        merge,
+        speedup_p50,
+        meets_5x_floor: speedup_p50 >= 5.0,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("serialize");
+    std::fs::write(&out_path, json).expect("write BENCH_1.json");
+    println!(
+        "\nspeedup p50: {speedup_p50:.1}x (floor 5x: {})\nwrote {out_path}",
+        if report.meets_5x_floor {
+            "PASS"
+        } else {
+            "FAIL"
+        }
+    );
+    assert!(
+        report.meets_5x_floor,
+        "warm-server p50 must be at least 5x below cold-CLI p50, got {speedup_p50:.2}x"
+    );
+}

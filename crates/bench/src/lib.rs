@@ -106,7 +106,10 @@ impl HarnessConfig {
                         eprintln!("bad --threads: {e}");
                         std::process::exit(2);
                     });
-                    cfg.parallelism = Parallelism::with_threads(n);
+                    cfg.parallelism = Parallelism::try_new(n).unwrap_or_else(|e| {
+                        eprintln!("bad --threads: {e}");
+                        std::process::exit(2);
+                    });
                     i += 2;
                 }
                 "--help" | "-h" => {

@@ -24,6 +24,13 @@
 //!   filter-step join.
 //! * `window-count FILE.hist --window x0,y0,x1,y1` — estimate how many
 //!   objects intersect a window (GH files only).
+//! * `serve FILES... [--addr HOST:PORT] [--stats-dir DIR]` — load the
+//!   catalog once and answer estimate requests over TCP until a client
+//!   sends `shutdown` (the paper's estimates are cheap only once the
+//!   statistics are resident; this keeps them resident).
+//! * `client --addr HOST:PORT <op> [...]` — query a running daemon;
+//!   output is byte-identical to the corresponding cold subcommand and
+//!   remote failures reuse the same exit codes.
 //!
 //! Dataset-reading commands accept `--validate strict|repair|skip`
 //! (default `strict`): CSV records with non-finite coordinates, inverted
@@ -47,9 +54,11 @@ use sj_core::{
     HistogramKind, JoinBaseline, Parallelism, PhHistogram, RTreeConfig, Rect, SpatialHistogram,
     ValidationPolicy,
 };
-use sj_query::{Catalog, CatalogConfig, DegradationPolicy, EstimateOutcome, QueryError};
+use sj_query::{Catalog, CatalogConfig, DegradationPolicy, QueryError};
+use sj_server::{CatalogService, Client, ClientError, RemoteOutcome, Server};
 use std::fmt::Write as _;
 use std::path::Path;
+use std::sync::Arc;
 
 /// Documented process exit codes. Each failure category maps to one code
 /// so scripts can react without parsing stderr text.
@@ -220,6 +229,8 @@ pub fn run(args: &[String]) -> Result<CliOutput, CliError> {
         "catalog-estimate" => cmd_catalog_estimate(rest),
         "exact-join" => cmd_exact_join(rest),
         "window-count" => cmd_window_count(rest),
+        "serve" => cmd_serve(rest),
+        "client" => cmd_client(rest),
         "--help" | "-h" | "help" => Ok(CliOutput::new(USAGE)),
         other => Err(CliError::usage(format!(
             "unknown command {other:?}\n\n{USAGE}"
@@ -245,6 +256,20 @@ USAGE:
         [--sample-percent F] [--ph-level L]
   sjsel exact-join A.csv B.csv [--backend rtree|sweep] [--threads N] [--validate P]
   sjsel window-count FILE.hist --window x0,y0,x1,y1
+  sjsel serve FILE.csv [MORE.csv ...] [--addr HOST:PORT] [--kind K] [--level L]
+        [--stats-dir DIR] [--validate P] [--ready-file PATH]
+  sjsel client --addr HOST:PORT <ping|tables|shutdown>
+  sjsel client --addr HOST:PORT estimate TABLE_A TABLE_B
+  sjsel client --addr HOST:PORT catalog-estimate TABLE_A TABLE_B [--json]
+  sjsel client --addr HOST:PORT window-count TABLE --window x0,y0,x1,y1
+  sjsel client --addr HOST:PORT explain TABLE_A TABLE_B [MORE ...]
+  sjsel client --addr HOST:PORT batch-estimate A,B [C,D ...]
+
+serve registers each dataset under its file stem as the table name and
+answers until a client sends shutdown; with --addr ending in :0 the OS
+picks the port and --ready-file receives the bound address. client
+output is byte-identical to the matching cold subcommand; remote
+failures exit with the cold path's exit code.
 
 --threads defaults to the machine's available parallelism (must be >= 1);
 results are identical at every thread count.
@@ -282,12 +307,7 @@ fn take_threads(args: &mut Vec<String>) -> Result<Parallelism, CliError> {
             let n: usize = s
                 .parse()
                 .map_err(|e| CliError::usage(format!("bad --threads: {e}")))?;
-            if n == 0 {
-                return Err(CliError::usage(
-                    "--threads must be at least 1 (0 threads cannot run anything)",
-                ));
-            }
-            Ok(Parallelism::with_threads(n))
+            Parallelism::try_new(n).map_err(|e| CliError::usage(format!("bad --threads: {e}")))
         }
         None => Ok(Parallelism::default()),
     }
@@ -565,16 +585,17 @@ fn json_escape(s: &str) -> String {
 }
 
 /// Renders a ladder outcome as the documented JSON document with its
-/// `provenance` field.
-fn outcome_json(outcome: &EstimateOutcome) -> String {
+/// `provenance` field. Takes the wire-flattened [`RemoteOutcome`] so the
+/// cold `catalog-estimate` path and the warm `client catalog-estimate`
+/// path are byte-identical by construction — both render through here.
+fn outcome_json(outcome: &RemoteOutcome) -> String {
     let skipped = outcome
         .skipped
         .iter()
-        .map(|s| {
+        .map(|(tier, reason)| {
             format!(
-                "{{\"tier\":\"{}\",\"reason\":\"{}\"}}",
-                s.tier.name(),
-                json_escape(&s.reason)
+                "{{\"tier\":\"{tier}\",\"reason\":\"{}\"}}",
+                json_escape(reason)
             )
         })
         .collect::<Vec<_>>()
@@ -582,12 +603,39 @@ fn outcome_json(outcome: &EstimateOutcome) -> String {
     format!(
         "{{\"pairs\":{},\"selectivity\":{},\"provenance\":{{\"tier\":\"{}\",\
          \"degraded\":{},\"skipped\":[{}]}}}}",
-        outcome.pairs,
-        outcome.selectivity,
-        outcome.tier.name(),
-        outcome.is_degraded(),
-        skipped
+        outcome.pairs, outcome.selectivity, outcome.tier_name, outcome.degraded, skipped
     )
+}
+
+/// Renders a ladder outcome as the documented text report (shared by the
+/// cold and warm `catalog-estimate` paths).
+fn outcome_text(outcome: &RemoteOutcome) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "selectivity {:.6e}", outcome.selectivity);
+    let _ = writeln!(out, "estimated pairs {:.0}", outcome.pairs);
+    let _ = write!(out, "tier {}", outcome.tier_display);
+    for (tier, reason) in &outcome.skipped {
+        let _ = write!(out, "\nskipped {tier}: {reason}");
+    }
+    out
+}
+
+/// The stderr warning emitted when a fallback tier served the estimate
+/// (shared by the cold and warm `catalog-estimate` paths).
+fn outcome_warning(outcome: &RemoteOutcome) -> Option<String> {
+    if !outcome.degraded {
+        return None;
+    }
+    let reasons = outcome
+        .skipped
+        .iter()
+        .map(|(tier, reason)| format!("{tier}: {reason}"))
+        .collect::<Vec<_>>()
+        .join("; ");
+    Some(format!(
+        "estimate degraded to the {} tier ({reasons})",
+        outcome.tier_display
+    ))
 }
 
 fn cmd_catalog_estimate(args: &[String]) -> Result<CliOutput, CliError> {
@@ -688,31 +736,17 @@ fn cmd_catalog_estimate(args: &[String]) -> Result<CliOutput, CliError> {
     let outcome = catalog
         .estimate_join_pairs_detailed(&name_a, &name_b, &policy)
         .map_err(|e| CliError::from_query("estimation failed", &e))?;
+    // Flatten to the wire representation so this output goes through the
+    // exact renderers the warm `client catalog-estimate` path uses.
+    let outcome = RemoteOutcome::from_outcome(&outcome);
 
-    if outcome.is_degraded() {
-        let reasons = outcome
-            .skipped
-            .iter()
-            .map(|s| format!("{}: {}", s.tier.name(), s.reason))
-            .collect::<Vec<_>>()
-            .join("; ");
-        warnings.push(format!(
-            "estimate degraded to the {} tier ({reasons})",
-            outcome.tier
-        ));
+    if let Some(w) = outcome_warning(&outcome) {
+        warnings.push(w);
     }
-
     let stdout = if json {
         outcome_json(&outcome)
     } else {
-        let mut out = String::new();
-        let _ = writeln!(out, "selectivity {:.6e}", outcome.selectivity);
-        let _ = writeln!(out, "estimated pairs {:.0}", outcome.pairs);
-        let _ = write!(out, "tier {}", outcome.tier);
-        for s in &outcome.skipped {
-            let _ = write!(out, "\nskipped {}: {}", s.tier.name(), s.reason);
-        }
-        out
+        outcome_text(&outcome)
     };
     Ok(CliOutput::with_warnings(stdout, warnings))
 }
@@ -808,6 +842,214 @@ fn cmd_window_count(args: &[String]) -> Result<CliOutput, CliError> {
         "estimated objects intersecting window: {:.0}",
         gh.estimate_window_count(&window)
     )))
+}
+
+/// The table name a dataset path registers under in `serve`: the file
+/// stem, matching the `<stem>.hist` convention of `--stats-dir`.
+fn table_name_for(path: &str) -> String {
+    Path::new(path).file_stem().map_or_else(
+        || "dataset".to_string(),
+        |s| s.to_string_lossy().into_owned(),
+    )
+}
+
+fn cmd_serve(args: &[String]) -> Result<CliOutput, CliError> {
+    let mut args = args.to_vec();
+    let addr = take_flag(&mut args, "--addr")?.unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let level: u32 = take_flag(&mut args, "--level")?.map_or(Ok(6), |s| {
+        s.parse()
+            .map_err(|e| CliError::usage(format!("bad --level: {e}")))
+    })?;
+    let kind: HistogramKind = match take_flag(&mut args, "--kind")? {
+        Some(name) => name.parse().map_err(|_| {
+            CliError::usage(format!(
+                "unknown kind {name:?} (expected ph, gh-basic, gh or euler)"
+            ))
+        })?,
+        None => HistogramKind::Gh,
+    };
+    let stats_dir = take_flag(&mut args, "--stats-dir")?;
+    let validate = take_validation(&mut args)?;
+    let ready_file = take_flag(&mut args, "--ready-file")?;
+    if args.is_empty() {
+        return Err(CliError::usage("serve takes at least one dataset path"));
+    }
+
+    // Load the catalog ONCE — the entire point of the daemon: every
+    // request after this point pays only the estimation arithmetic.
+    let mut warnings = Vec::new();
+    let mut catalog = Catalog::try_new(CatalogConfig {
+        kind,
+        grid_level: level,
+        ..CatalogConfig::default()
+    })
+    .map_err(|e| CliError::from_query("bad catalog configuration", &e))?;
+    for path in &args {
+        let mut ds = load_dataset(path, validate, &mut warnings)?;
+        let table = table_name_for(path);
+        ds.name.clone_from(&table);
+        let stats_file = stats_dir
+            .as_ref()
+            .map(|dir| Path::new(dir).join(format!("{table}.hist")));
+        match stats_file {
+            Some(f) if f.exists() => {
+                let bytes = std::fs::read(&f)
+                    .map_err(|e| CliError::io(format!("failed to read {}: {e}", f.display())))?;
+                let reason = catalog
+                    .register_with_statistics_lenient(ds, &bytes)
+                    .map_err(|e| CliError::from_query("registration failed", &e))?;
+                if let Some(reason) = reason {
+                    warnings.push(format!(
+                        "statistics {} unusable for table {table:?}: {reason}; \
+                         estimation will degrade",
+                        f.display()
+                    ));
+                }
+            }
+            _ => catalog
+                .register(ds)
+                .map_err(|e| CliError::from_query("registration failed", &e))?,
+        }
+    }
+
+    let service = CatalogService::new(Arc::new(catalog), DegradationPolicy::default());
+    let server =
+        Server::bind(addr.as_str(), service).map_err(|e| CliError::io(format!("serve: {e}")))?;
+    let local = server
+        .local_addr()
+        .map_err(|e| CliError::io(format!("serve: {e}")))?;
+    // The readiness signal for scripts and tests: written only after the
+    // bind succeeded, carrying the OS-assigned port of an `:0` bind.
+    if let Some(rf) = &ready_file {
+        std::fs::write(rf, format!("{local}\n"))
+            .map_err(|e| CliError::io(format!("failed to write {rf}: {e}")))?;
+    }
+    // Announce on stderr immediately: stdout is returned only after the
+    // daemon stops, and piping stdout must stay clean.
+    for w in &warnings {
+        eprintln!("warning: {w}");
+    }
+    warnings.clear();
+    eprintln!(
+        "sj-server listening on {local} ({} table(s)); stop with: sjsel client --addr {local} shutdown",
+        args.len()
+    );
+    server
+        .run()
+        .map_err(|e| CliError::runtime(format!("serve: {e}")))?;
+    Ok(CliOutput::new(format!("server on {local} stopped")))
+}
+
+/// Maps a client-layer failure onto the exit-code taxonomy: remote
+/// failures carry the status the cold path would have exited with, wire
+/// failures use the codec's own status mapping.
+fn from_client(e: ClientError) -> CliError {
+    match e {
+        ClientError::Remote { status, message } => CliError {
+            message,
+            code: i32::from(status),
+        },
+        ClientError::Wire(w) => CliError {
+            message: w.to_string(),
+            code: i32::from(w.status()),
+        },
+        ClientError::Protocol(why) => CliError::runtime(format!("protocol violation: {why}")),
+        // Future (non_exhaustive) client errors default to runtime.
+        _ => CliError::runtime(e.to_string()),
+    }
+}
+
+fn cmd_client(args: &[String]) -> Result<CliOutput, CliError> {
+    let mut args = args.to_vec();
+    let addr = take_flag(&mut args, "--addr")?
+        .ok_or_else(|| CliError::usage("client requires --addr HOST:PORT"))?;
+    let json = take_switch(&mut args, "--json");
+    let window = take_flag(&mut args, "--window")?;
+    let Some((op, rest)) = args.split_first() else {
+        return Err(CliError::usage(
+            "client requires an operation (ping, tables, estimate, catalog-estimate, \
+             window-count, explain, batch-estimate, shutdown)",
+        ));
+    };
+    let mut client = Client::connect(addr.as_str()).map_err(from_client)?;
+    match (op.as_str(), rest) {
+        ("ping", []) => {
+            client.ping().map_err(from_client)?;
+            Ok(CliOutput::new("pong"))
+        }
+        ("tables", []) => {
+            let names = client.tables().map_err(from_client)?;
+            Ok(CliOutput::new(names.join("\n")))
+        }
+        ("estimate", [a, b]) => {
+            let reply = client.estimate(a, b).map_err(from_client)?;
+            Ok(CliOutput::new(format!(
+                "selectivity {:.6e}\nestimated pairs {:.0}",
+                reply.selectivity, reply.pairs
+            )))
+        }
+        ("catalog-estimate", [a, b]) => {
+            let outcome = client.catalog_estimate(a, b).map_err(from_client)?;
+            let stdout = if json {
+                outcome_json(&outcome)
+            } else {
+                outcome_text(&outcome)
+            };
+            let warnings = outcome_warning(&outcome).into_iter().collect();
+            Ok(CliOutput::with_warnings(stdout, warnings))
+        }
+        ("window-count", [table]) => {
+            let window =
+                window.ok_or_else(|| CliError::usage("client window-count requires --window"))?;
+            let rect = parse_rect(&window)?;
+            let count = client.window_count(table, &rect).map_err(from_client)?;
+            Ok(CliOutput::new(format!(
+                "estimated objects intersecting window: {count:.0}"
+            )))
+        }
+        ("explain", tables) if tables.len() >= 2 => {
+            let text = client.explain(tables).map_err(from_client)?;
+            Ok(CliOutput::new(text))
+        }
+        ("batch-estimate", specs) if !specs.is_empty() => {
+            let mut pairs = Vec::with_capacity(specs.len());
+            for spec in specs {
+                let Some((a, b)) = spec.split_once(',') else {
+                    return Err(CliError::usage(format!(
+                        "batch-estimate items are TABLE_A,TABLE_B — got {spec:?}"
+                    )));
+                };
+                pairs.push((a.trim().to_string(), b.trim().to_string()));
+            }
+            let items = client.batch_estimate(&pairs).map_err(from_client)?;
+            let mut out = String::new();
+            let mut warnings = Vec::new();
+            for ((a, b), item) in pairs.iter().zip(&items) {
+                match item {
+                    Ok(reply) => {
+                        let _ = writeln!(
+                            out,
+                            "{a} {b} selectivity {:.6e} pairs {:.0}",
+                            reply.selectivity, reply.pairs
+                        );
+                    }
+                    Err(failure) => {
+                        let _ = writeln!(out, "{a} {b} error {}", failure.message);
+                        warnings.push(format!("batch item {a},{b} failed: {}", failure.message));
+                    }
+                }
+            }
+            out.truncate(out.trim_end_matches('\n').len());
+            Ok(CliOutput::with_warnings(out, warnings))
+        }
+        ("shutdown", []) => {
+            client.shutdown_server().map_err(from_client)?;
+            Ok(CliOutput::new("server shut down"))
+        }
+        (other, _) => Err(CliError::usage(format!(
+            "unknown or malformed client operation {other:?} (see sjsel --help)"
+        ))),
+    }
 }
 
 #[cfg(test)]
@@ -1232,6 +1474,134 @@ mod tests {
         .unwrap_err();
         assert_eq!(err.code, exit_code::EXHAUSTED, "{}", err.message);
         assert!(err.message.contains("corrupt"), "{}", err.message);
+    }
+
+    #[test]
+    fn wire_status_codes_mirror_exit_codes() {
+        use sj_server::status;
+        // The daemon's wire status taxonomy IS the exit-code taxonomy:
+        // a remote failure exits the client with the cold path's code.
+        assert_eq!(i32::from(status::OK), 0);
+        assert_eq!(i32::from(status::RUNTIME), exit_code::RUNTIME);
+        assert_eq!(i32::from(status::USAGE), exit_code::USAGE);
+        assert_eq!(i32::from(status::IO), exit_code::IO);
+        assert_eq!(i32::from(status::CORRUPT), exit_code::CORRUPT);
+        assert_eq!(i32::from(status::MISMATCH), exit_code::MISMATCH);
+        assert_eq!(i32::from(status::INVALID_DATA), exit_code::INVALID_DATA);
+        assert_eq!(i32::from(status::EXHAUSTED), exit_code::EXHAUSTED);
+    }
+
+    #[test]
+    fn serve_and_client_round_trip() {
+        let a_csv = tmp("srv_a.csv");
+        let b_csv = tmp("srv_b.csv");
+        run(&argv(&[
+            "generate", "scrc", "--scale", "0.01", "--out", &a_csv,
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "generate", "sura", "--scale", "0.01", "--out", &b_csv,
+        ]))
+        .unwrap();
+
+        let ready = tmp("srv_ready.txt");
+        drop(std::fs::remove_file(&ready));
+        let serve_args = argv(&[
+            "serve",
+            &a_csv,
+            &b_csv,
+            "--level",
+            "4",
+            "--addr",
+            "127.0.0.1:0",
+            "--ready-file",
+            &ready,
+        ]);
+        let daemon = std::thread::spawn(move || run(&serve_args));
+
+        // Wait for the readiness file to learn the OS-assigned port.
+        let addr = {
+            let mut tries = 0;
+            loop {
+                match std::fs::read_to_string(&ready) {
+                    Ok(s) if s.ends_with('\n') => break s.trim().to_string(),
+                    _ if tries > 500 => panic!("server never became ready"),
+                    _ => {
+                        tries += 1;
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                    }
+                }
+            }
+        };
+
+        let out = run(&argv(&["client", "--addr", &addr, "ping"])).unwrap();
+        assert_eq!(out.stdout, "pong");
+
+        let tables = run(&argv(&["client", "--addr", &addr, "tables"])).unwrap();
+        assert!(tables.contains("srv_a"), "{tables}");
+        assert!(tables.contains("srv_b"), "{tables}");
+
+        let est = run(&argv(&[
+            "client", "--addr", &addr, "estimate", "srv_a", "srv_b",
+        ]))
+        .unwrap();
+        assert!(est.contains("selectivity"), "{est}");
+
+        // Warm catalog-estimate matches the cold text shape.
+        let warm = run(&argv(&[
+            "client",
+            "--addr",
+            &addr,
+            "catalog-estimate",
+            "srv_a",
+            "srv_b",
+        ]))
+        .unwrap();
+        assert!(warm.contains("tier primary (gh)"), "{warm}");
+        assert!(warm.warnings.is_empty(), "{:?}", warm.warnings);
+
+        // Remote failures carry the cold exit code (unknown table -> 1).
+        let err = run(&argv(&[
+            "client", "--addr", &addr, "estimate", "nope", "srv_b",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, exit_code::RUNTIME, "{}", err.message);
+        assert!(err.message.contains("nope"), "{}", err.message);
+
+        // Batched estimates: per-item status wrapping.
+        let batch = run(&argv(&[
+            "client",
+            "--addr",
+            &addr,
+            "batch-estimate",
+            "srv_a,srv_b",
+            "srv_a,missing",
+        ]))
+        .unwrap();
+        assert!(batch.contains("srv_a srv_b selectivity"), "{batch}");
+        assert!(batch.contains("srv_a missing error"), "{batch}");
+        assert_eq!(batch.warnings.len(), 1, "{:?}", batch.warnings);
+
+        let stop = run(&argv(&["client", "--addr", &addr, "shutdown"])).unwrap();
+        assert_eq!(stop.stdout, "server shut down");
+        let served = daemon.join().unwrap().unwrap();
+        assert!(served.contains("stopped"), "{served}");
+    }
+
+    #[test]
+    fn client_usage_errors_do_not_need_a_server() {
+        // Missing --addr fails before any connection attempt.
+        let err = run(&argv(&["client", "ping"])).unwrap_err();
+        assert_eq!(err.code, exit_code::USAGE);
+        // Connection refused maps to the I/O exit code.
+        let err = run(&argv(&["client", "--addr", "127.0.0.1:1", "ping"])).unwrap_err();
+        assert_eq!(err.code, exit_code::IO, "{}", err.message);
+    }
+
+    #[test]
+    fn serve_requires_datasets() {
+        let err = run(&argv(&["serve", "--addr", "127.0.0.1:0"])).unwrap_err();
+        assert_eq!(err.code, exit_code::USAGE);
     }
 
     #[test]

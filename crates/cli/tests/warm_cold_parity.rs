@@ -1,0 +1,238 @@
+//! Warm-server vs cold-CLI parity.
+//!
+//! The acceptance bar for the daemon: a warm `sj-server` answers
+//! estimate requests **byte-identical** to the cold CLI, under at least
+//! four concurrent clients. Estimates here are pure functions of the
+//! statistics (the paper's Eq. 1–5 arithmetic), so residency must not
+//! change a single output byte.
+
+use sj_cli::run;
+use std::path::PathBuf;
+
+fn argv(parts: &[&str]) -> Vec<String> {
+    parts.iter().map(|s| (*s).to_string()).collect()
+}
+
+fn tmp(name: &str) -> String {
+    let dir = std::env::temp_dir().join("sjsel_parity_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name).to_string_lossy().into_owned()
+}
+
+/// Generates two datasets under a per-test prefix (tests in this binary
+/// run concurrently and must not race on shared files).
+fn datasets(prefix: &str) -> (String, String) {
+    let a_csv = tmp(&format!("{prefix}_a.csv"));
+    let b_csv = tmp(&format!("{prefix}_b.csv"));
+    run(&argv(&[
+        "generate", "scrc", "--scale", "0.01", "--out", &a_csv,
+    ]))
+    .unwrap();
+    run(&argv(&[
+        "generate", "sura", "--scale", "0.01", "--out", &b_csv,
+    ]))
+    .unwrap();
+    (a_csv, b_csv)
+}
+
+/// Boots a daemon over the given datasets on an OS-assigned port and
+/// waits for readiness; returns the address and a join handle.
+fn boot(
+    files: &[&str],
+    ready_name: &str,
+) -> (
+    String,
+    std::thread::JoinHandle<Result<sj_cli::CliOutput, sj_cli::CliError>>,
+) {
+    let ready = tmp(ready_name);
+    drop(std::fs::remove_file(&ready));
+    let mut args = vec!["serve".to_string()];
+    args.extend(files.iter().map(|f| (*f).to_string()));
+    args.extend(argv(&[
+        "--level",
+        "4",
+        "--addr",
+        "127.0.0.1:0",
+        "--ready-file",
+        &ready,
+    ]));
+    let daemon = std::thread::spawn(move || run(&args));
+    let ready_path = PathBuf::from(&ready);
+    let mut tries = 0;
+    let addr = loop {
+        match std::fs::read_to_string(&ready_path) {
+            Ok(s) if s.ends_with('\n') => break s.trim().to_string(),
+            _ if tries > 500 => panic!("server never became ready"),
+            _ => {
+                tries += 1;
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        }
+    };
+    (addr, daemon)
+}
+
+#[test]
+fn warm_answers_are_byte_identical_to_cold_under_concurrency() {
+    let (a_csv, b_csv) = datasets("parity");
+
+    // Cold path: a full process-shaped run per request, statistics
+    // rebuilt from the CSVs every time.
+    let cold_text = run(&argv(&["catalog-estimate", &a_csv, &b_csv, "--level", "4"])).unwrap();
+    let cold_json = run(&argv(&[
+        "catalog-estimate",
+        &a_csv,
+        &b_csv,
+        "--level",
+        "4",
+        "--json",
+    ]))
+    .unwrap();
+
+    // Cold primary estimate over persisted statistics files.
+    let a_hist = tmp("parity_a.hist");
+    let b_hist = tmp("parity_b.hist");
+    run(&argv(&[
+        "build-histogram",
+        &a_csv,
+        "--level",
+        "4",
+        "--out",
+        &a_hist,
+    ]))
+    .unwrap();
+    run(&argv(&[
+        "build-histogram",
+        &b_csv,
+        "--level",
+        "4",
+        "--out",
+        &b_hist,
+    ]))
+    .unwrap();
+    let cold_estimate = run(&argv(&["estimate", &a_hist, &b_hist])).unwrap();
+
+    let (addr, daemon) = boot(&[&a_csv, &b_csv], "parity_ready.txt");
+
+    // Six concurrent clients, each comparing every warm answer against
+    // the cold output bytes.
+    std::thread::scope(|scope| {
+        for _ in 0..6 {
+            let (addr, cold_text, cold_json, cold_estimate) =
+                (&addr, &cold_text, &cold_json, &cold_estimate);
+            scope.spawn(move || {
+                for _ in 0..5 {
+                    let warm_text = run(&argv(&[
+                        "client",
+                        "--addr",
+                        addr,
+                        "catalog-estimate",
+                        "parity_a",
+                        "parity_b",
+                    ]))
+                    .unwrap();
+                    assert_eq!(warm_text.stdout, cold_text.stdout, "text parity");
+                    assert_eq!(warm_text.warnings, cold_text.warnings, "warning parity");
+
+                    let warm_json = run(&argv(&[
+                        "client",
+                        "--addr",
+                        addr,
+                        "catalog-estimate",
+                        "parity_a",
+                        "parity_b",
+                        "--json",
+                    ]))
+                    .unwrap();
+                    assert_eq!(warm_json.stdout, cold_json.stdout, "json parity");
+
+                    let warm_estimate = run(&argv(&[
+                        "client", "--addr", addr, "estimate", "parity_a", "parity_b",
+                    ]))
+                    .unwrap();
+                    assert_eq!(
+                        warm_estimate.stdout, cold_estimate.stdout,
+                        "estimate parity"
+                    );
+                }
+            });
+        }
+    });
+
+    run(&argv(&["client", "--addr", &addr, "shutdown"])).unwrap();
+    daemon.join().unwrap().unwrap();
+}
+
+#[test]
+fn warm_server_reuses_saved_statistics_files() {
+    let (a_csv, b_csv) = datasets("parity2");
+    // Persist statistics under the file-stem naming convention.
+    let stats_dir = tmp("parity_stats");
+    std::fs::create_dir_all(&stats_dir).unwrap();
+    for (csv, stem) in [(&a_csv, "parity2_a"), (&b_csv, "parity2_b")] {
+        run(&argv(&[
+            "build-histogram",
+            csv,
+            "--level",
+            "4",
+            "--out",
+            &format!("{stats_dir}/{stem}.hist"),
+        ]))
+        .unwrap();
+    }
+
+    let ready = tmp("parity_stats_ready.txt");
+    drop(std::fs::remove_file(&ready));
+    let args = argv(&[
+        "serve",
+        &a_csv,
+        &b_csv,
+        "--level",
+        "4",
+        "--stats-dir",
+        &stats_dir,
+        "--addr",
+        "127.0.0.1:0",
+        "--ready-file",
+        &ready,
+    ]);
+    let daemon = std::thread::spawn(move || run(&args));
+    let mut tries = 0;
+    let addr = loop {
+        match std::fs::read_to_string(&ready) {
+            Ok(s) if s.ends_with('\n') => break s.trim().to_string(),
+            _ if tries > 500 => panic!("server never became ready"),
+            _ => {
+                tries += 1;
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+        }
+    };
+
+    // The daemon's answers over loaded statistics match the cold
+    // catalog-estimate run over the same statistics directory.
+    let cold = run(&argv(&[
+        "catalog-estimate",
+        &a_csv,
+        &b_csv,
+        "--level",
+        "4",
+        "--stats-dir",
+        &stats_dir,
+    ]))
+    .unwrap();
+    let warm = run(&argv(&[
+        "client",
+        "--addr",
+        &addr,
+        "catalog-estimate",
+        "parity2_a",
+        "parity2_b",
+    ]))
+    .unwrap();
+    assert_eq!(warm.stdout, cold.stdout);
+    assert!(warm.stdout.contains("tier primary"), "{}", warm.stdout);
+
+    run(&argv(&["client", "--addr", &addr, "shutdown"])).unwrap();
+    daemon.join().unwrap().unwrap();
+}

@@ -345,7 +345,7 @@ mod tests {
     fn parallel_runners_match_serial() {
         let c = ctx();
         let serial = fig7_rows(&c, 0..=2);
-        let par = fig7_rows_par(&c, 0..=2, Parallelism::with_threads(4));
+        let par = fig7_rows_par(&c, 0..=2, Parallelism::saturating_new(4));
         assert_eq!(serial.len(), par.len());
         for (s, p) in serial.iter().zip(&par) {
             assert_eq!((s.scheme.as_str(), s.level), (p.scheme.as_str(), p.level));
@@ -354,7 +354,7 @@ mod tests {
             assert_eq!(p.threads, 4);
         }
         let s6 = fig6_rows(&c);
-        let p6 = fig6_rows_par(&c, Parallelism::with_threads(3));
+        let p6 = fig6_rows_par(&c, Parallelism::saturating_new(3));
         assert_eq!(s6.len(), p6.len());
         for (s, p) in s6.iter().zip(&p6) {
             assert_eq!(

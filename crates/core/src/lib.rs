@@ -49,7 +49,7 @@ pub mod parallel;
 pub use estimator::{Estimate, EstimationReport, EstimatorKind};
 pub use exact::{ExactBackend, JoinBaseline};
 pub use metrics::{error_pct, ratio_pct};
-pub use parallel::{parallel_map, Parallelism};
+pub use parallel::{parallel_map, Parallelism, ParallelismError};
 
 // Substrate re-exports: the whole workspace is usable through sj-core.
 pub use sj_datagen::{presets, Dataset, DatasetError, DatasetStats, Generator, SizeModel};

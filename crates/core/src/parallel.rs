@@ -12,6 +12,30 @@
 use std::num::NonZeroUsize;
 use std::sync::Mutex;
 
+/// Errors constructing a [`Parallelism`].
+///
+/// `#[non_exhaustive]`: future constructors may add failure modes
+/// without a semver break; downstream matches keep a `_` arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParallelismError {
+    /// Zero threads cannot run anything. Callers that want "clamp to
+    /// serial" semantics must say so via [`Parallelism::saturating_new`].
+    ZeroThreads,
+}
+
+impl std::fmt::Display for ParallelismError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParallelismError::ZeroThreads => {
+                f.write_str("thread count must be at least 1 (0 threads cannot run anything)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParallelismError {}
+
 /// How many OS threads a pipeline stage may use.
 ///
 /// `Parallelism::default()` uses the machine's available parallelism;
@@ -32,9 +56,23 @@ impl Parallelism {
         }
     }
 
-    /// Exactly `threads` OS threads (`0` is treated as `1`).
+    /// Exactly `threads` OS threads.
+    ///
+    /// # Errors
+    /// [`ParallelismError::ZeroThreads`] for `threads == 0` — library
+    /// callers get the same typed rejection the CLI gives `--threads 0`,
+    /// instead of a silent behavior change to serial execution.
+    pub fn try_new(threads: usize) -> Result<Self, ParallelismError> {
+        NonZeroUsize::new(threads)
+            .map(|threads| Self { threads })
+            .ok_or(ParallelismError::ZeroThreads)
+    }
+
+    /// Exactly `threads` OS threads, with `0` *documented* to saturate
+    /// to 1 (serial). Use [`Parallelism::try_new`] when a zero from user
+    /// input should be an error rather than a silent clamp.
     #[must_use]
-    pub fn with_threads(threads: usize) -> Self {
+    pub fn saturating_new(threads: usize) -> Self {
         Self {
             threads: NonZeroUsize::new(threads).unwrap_or(NonZeroUsize::MIN),
         }
@@ -121,10 +159,21 @@ mod tests {
     fn thread_counts() {
         assert_eq!(Parallelism::serial().threads(), 1);
         assert!(Parallelism::serial().is_serial());
-        assert_eq!(Parallelism::with_threads(0).threads(), 1);
-        assert_eq!(Parallelism::with_threads(6).threads(), 6);
-        assert!(!Parallelism::with_threads(6).is_serial());
+        assert_eq!(Parallelism::saturating_new(0).threads(), 1);
+        assert_eq!(Parallelism::saturating_new(6).threads(), 6);
+        assert!(!Parallelism::saturating_new(6).is_serial());
         assert!(Parallelism::available().threads() >= 1);
+    }
+
+    #[test]
+    fn try_new_rejects_zero_with_typed_error() {
+        assert_eq!(
+            Parallelism::try_new(0).unwrap_err(),
+            ParallelismError::ZeroThreads
+        );
+        let msg = ParallelismError::ZeroThreads.to_string();
+        assert!(msg.contains("at least 1"), "{msg}");
+        assert_eq!(Parallelism::try_new(4).unwrap().threads(), 4);
     }
 
     #[test]
@@ -132,23 +181,25 @@ mod tests {
         let items: Vec<u64> = (0..257).collect();
         let expect: Vec<u64> = items.iter().map(|x| x * 3).collect();
         for threads in [1, 2, 3, 8] {
-            let got = parallel_map(items.clone(), Parallelism::with_threads(threads), |x| x * 3);
+            let got = parallel_map(items.clone(), Parallelism::saturating_new(threads), |x| {
+                x * 3
+            });
             assert_eq!(got, expect, "threads={threads}");
         }
     }
 
     #[test]
     fn parallel_map_empty_and_single() {
-        let empty: Vec<u32> = parallel_map(vec![], Parallelism::with_threads(4), |x: u32| x);
+        let empty: Vec<u32> = parallel_map(vec![], Parallelism::saturating_new(4), |x: u32| x);
         assert!(empty.is_empty());
-        let one = parallel_map(vec![9u32], Parallelism::with_threads(4), |x| x + 1);
+        let one = parallel_map(vec![9u32], Parallelism::saturating_new(4), |x| x + 1);
         assert_eq!(one, vec![10]);
     }
 
     #[test]
     #[should_panic]
     fn parallel_map_propagates_worker_panics() {
-        parallel_map(vec![0u32, 1], Parallelism::with_threads(2), |x| {
+        parallel_map(vec![0u32, 1], Parallelism::saturating_new(2), |x| {
             assert!(x != 1, "worker boom");
             x
         });

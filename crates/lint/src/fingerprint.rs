@@ -1,12 +1,15 @@
 //! R7 — persistence-schema fingerprinting.
 //!
 //! Every `to_bytes` / `from_bytes` function in `sj-histogram` defines
-//! part of the on-disk statistics format. Changing one of those bodies
-//! without bumping `ENVELOPE_VERSION` would silently break files
-//! written by older builds, so the bodies are fingerprinted (CRC32 over
-//! comment-stripped, whitespace-normalized source, string literals
-//! included — magic bytes are part of the wire format) and the
-//! fingerprints are checked in at `crates/lint/schema.fpr`.
+//! part of the on-disk statistics format, and every one in `sj-server`
+//! defines part of the daemon's wire protocol. Changing one of those
+//! bodies without bumping the owning format version (`ENVELOPE_VERSION`
+//! for `.hist` files, `WIRE_VERSION` for server frames) would silently
+//! break files written — or clients built — by older builds, so the
+//! bodies are fingerprinted (CRC32 over comment-stripped,
+//! whitespace-normalized source, string literals included — magic bytes
+//! are part of the wire format) and the fingerprints are checked in at
+//! `crates/lint/schema.fpr`.
 //!
 //! `cargo run -p sj-lint -- check` fails when a fingerprint drifts
 //! while the recorded envelope version is still current;
@@ -23,6 +26,13 @@ pub const SCHEMA_PATH: &str = "crates/lint/schema.fpr";
 
 /// Function names whose bodies define the persistence schema.
 const SCHEMA_FNS: [&str; 2] = ["to_bytes", "from_bytes"];
+
+/// Crates whose schema functions are fingerprinted, paired with the
+/// version constant that must be bumped when a body changes.
+const SCHEMA_CRATES: [(&str, &str); 2] = [
+    ("histogram", "ENVELOPE_VERSION"),
+    ("server", "WIRE_VERSION"),
+];
 
 /// One fingerprinted persistence function.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,17 +63,15 @@ pub fn crc32(data: &[u8]) -> u32 {
     !crc
 }
 
-/// Extracts the current envelope version from sj-histogram's
-/// `const ENVELOPE_VERSION: u32 = N;`.
-#[must_use]
-pub fn envelope_version(ws: &Workspace) -> Option<u32> {
+/// Extracts a `const <token>: u16/u32 = N;` value from one crate.
+fn const_version(ws: &Workspace, krate_name: &str, token: &str) -> Option<u32> {
     for krate in &ws.crates {
-        if krate.name != "histogram" {
+        if krate.name != krate_name {
             continue;
         }
         for file in &krate.files {
             for line in &file.lines {
-                if find_token(&line.code, "ENVELOPE_VERSION").is_some()
+                if find_token(&line.code, token).is_some()
                     && find_token(&line.code, "const").is_some()
                 {
                     let after_eq = line.code.split('=').nth(1)?;
@@ -80,12 +88,27 @@ pub fn envelope_version(ws: &Workspace) -> Option<u32> {
     None
 }
 
-/// Computes fingerprints for every schema function in sj-histogram.
+/// Extracts the current envelope version from sj-histogram's
+/// `const ENVELOPE_VERSION: u32 = N;`.
+#[must_use]
+pub fn envelope_version(ws: &Workspace) -> Option<u32> {
+    const_version(ws, "histogram", "ENVELOPE_VERSION")
+}
+
+/// Extracts the current daemon wire version from sj-server's
+/// `const WIRE_VERSION: u16 = N;`. `None` while the crate is absent.
+#[must_use]
+pub fn wire_version(ws: &Workspace) -> Option<u32> {
+    const_version(ws, "server", "WIRE_VERSION")
+}
+
+/// Computes fingerprints for every schema function in the fingerprinted
+/// crates (sj-histogram on-disk format, sj-server wire protocol).
 #[must_use]
 pub fn fingerprint_entries(ws: &Workspace) -> Vec<FpEntry> {
     let mut out = Vec::new();
     for krate in &ws.crates {
-        if krate.name != "histogram" {
+        if !SCHEMA_CRATES.iter().any(|(name, _)| *name == krate.name) {
             continue;
         }
         for file in &krate.files {
@@ -94,6 +117,15 @@ pub fn fingerprint_entries(ws: &Workspace) -> Vec<FpEntry> {
     }
     out.sort_by(|a, b| a.key.cmp(&b.key));
     out
+}
+
+/// Which version constant guards an entry, judged from its path.
+fn version_const_for(key: &str) -> &'static str {
+    if key.starts_with("crates/server/") {
+        "WIRE_VERSION"
+    } else {
+        "ENVELOPE_VERSION"
+    }
 }
 
 /// Collects schema-fn fingerprints from one file, numbering same-name
@@ -160,12 +192,15 @@ fn normalize(text: &str) -> String {
 
 /// Renders the fingerprint file contents.
 #[must_use]
-pub fn render(version: Option<u32>, entries: &[FpEntry]) -> String {
+pub fn render(version: Option<u32>, wire: Option<u32>, entries: &[FpEntry]) -> String {
     let mut out = String::new();
     out.push_str("# sj-lint persistence schema fingerprint (rule R7).\n");
     out.push_str("# Regenerate with: cargo run -p sj-lint -- fingerprint --update\n");
     if let Some(v) = version {
         out.push_str(&format!("envelope-version {v}\n"));
+    }
+    if let Some(v) = wire {
+        out.push_str(&format!("wire-version {v}\n"));
     }
     for e in entries {
         out.push_str(&format!("fn {:08x} {}\n", e.crc, e.key));
@@ -173,11 +208,13 @@ pub fn render(version: Option<u32>, entries: &[FpEntry]) -> String {
     out
 }
 
-/// Parses a fingerprint file: `(envelope_version, entries)`. Unknown
-/// lines are ignored so the format can grow.
+/// Parses a fingerprint file:
+/// `(envelope_version, wire_version, entries)`. Unknown lines are
+/// ignored so the format can grow.
 #[must_use]
-pub fn parse(text: &str) -> (Option<u32>, Vec<FpEntry>) {
+pub fn parse(text: &str) -> (Option<u32>, Option<u32>, Vec<FpEntry>) {
     let mut version = None;
+    let mut wire = None;
     let mut entries = Vec::new();
     for line in text.lines() {
         let line = line.trim();
@@ -186,6 +223,8 @@ pub fn parse(text: &str) -> (Option<u32>, Vec<FpEntry>) {
         }
         if let Some(v) = line.strip_prefix("envelope-version ") {
             version = v.trim().parse().ok();
+        } else if let Some(v) = line.strip_prefix("wire-version ") {
+            wire = v.trim().parse().ok();
         } else if let Some(rest) = line.strip_prefix("fn ") {
             let mut parts = rest.splitn(2, ' ');
             let crc = parts.next().and_then(|h| u32::from_str_radix(h, 16).ok());
@@ -199,12 +238,13 @@ pub fn parse(text: &str) -> (Option<u32>, Vec<FpEntry>) {
             }
         }
     }
-    (version, entries)
+    (version, wire, entries)
 }
 
 /// R7 check: compares the live fingerprints against the recorded file.
 pub fn check_persistence(ws: &Workspace, out: &mut Vec<Finding>) {
     let current_version = envelope_version(ws);
+    let current_wire = wire_version(ws);
     let current = fingerprint_entries(ws);
     let finding = |line: usize, path: &str, message: String| Finding {
         rule: RuleId::Persistence,
@@ -233,7 +273,7 @@ pub fn check_persistence(ws: &Workspace, out: &mut Vec<Finding>) {
         ));
         return;
     };
-    let (recorded_version, recorded) = parse(recorded_text);
+    let (recorded_version, recorded_wire, recorded) = parse(recorded_text);
     let Some(rec_version) = recorded_version else {
         out.push(finding(
             1,
@@ -256,14 +296,29 @@ pub fn check_persistence(ws: &Workspace, out: &mut Vec<Finding>) {
         ));
         return;
     }
+    if current_wire != recorded_wire {
+        let show = |v: Option<u32>| v.map_or_else(|| "absent".to_string(), |n| n.to_string());
+        out.push(finding(
+            1,
+            SCHEMA_PATH,
+            format!(
+                "WIRE_VERSION is {} but the schema fingerprint recorded {}; refresh it with \
+                 `cargo run -p sj-lint -- fingerprint --update`",
+                show(current_wire),
+                show(recorded_wire)
+            ),
+        ));
+        return;
+    }
     for cur in &current {
+        let vconst = version_const_for(&cur.key);
         match recorded.iter().find(|r| r.key == cur.key) {
             None => out.push(finding(
                 cur.line,
                 cur.key.split(' ').next().unwrap_or(SCHEMA_PATH),
                 format!(
                     "new persistence function `{}` is not in the schema fingerprint: bump \
-                     ENVELOPE_VERSION and run `cargo run -p sj-lint -- fingerprint --update`",
+                     {vconst} and run `cargo run -p sj-lint -- fingerprint --update`",
                     cur.key
                 ),
             )),
@@ -271,9 +326,9 @@ pub fn check_persistence(ws: &Workspace, out: &mut Vec<Finding>) {
                 cur.line,
                 cur.key.split(' ').next().unwrap_or(SCHEMA_PATH),
                 format!(
-                    "persistence function `{}` changed without an envelope version bump \
+                    "persistence function `{}` changed without a format version bump \
                      (fingerprint {:08x} -> {:08x}): any wire-format change must bump \
-                     ENVELOPE_VERSION and refresh the fingerprint \
+                     {vconst} and refresh the fingerprint \
                      (`cargo run -p sj-lint -- fingerprint --update`)",
                     cur.key, rec.crc, cur.crc
                 ),
@@ -313,6 +368,18 @@ mod tests {
     }
 
     #[test]
+    fn entry_paths_pick_their_version_constant() {
+        assert_eq!(
+            version_const_for("crates/server/src/wire.rs to_bytes#0"),
+            "WIRE_VERSION"
+        );
+        assert_eq!(
+            version_const_for("crates/histogram/src/gh.rs to_bytes#0"),
+            "ENVELOPE_VERSION"
+        );
+    }
+
+    #[test]
     fn render_parse_roundtrip() {
         let entries = vec![
             FpEntry {
@@ -326,9 +393,10 @@ mod tests {
                 line: 40,
             },
         ];
-        let text = render(Some(2), &entries);
-        let (version, parsed) = parse(&text);
+        let text = render(Some(2), Some(1), &entries);
+        let (version, wire, parsed) = parse(&text);
         assert_eq!(version, Some(2));
+        assert_eq!(wire, Some(1));
         assert_eq!(parsed.len(), 2);
         assert_eq!(parsed[0].crc, 0xDEAD_BEEF);
         assert_eq!(parsed[0].key, "crates/histogram/src/ph.rs to_bytes#0");

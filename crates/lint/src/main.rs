@@ -233,16 +233,17 @@ fn cmd_verify(cli: &Cli) -> Result<ExitCode, String> {
 fn cmd_fingerprint(cli: &Cli) -> Result<ExitCode, String> {
     let (root, ws) = load_workspace(cli)?;
     let version = fingerprint::envelope_version(&ws);
+    let wire = fingerprint::wire_version(&ws);
     let entries = fingerprint::fingerprint_entries(&ws);
-    let rendered = fingerprint::render(version, &entries);
+    let rendered = fingerprint::render(version, wire, &entries);
     if !cli.update {
         print!("{rendered}");
         return Ok(ExitCode::SUCCESS);
     }
     // Guard the easy path: an --update that changes fingerprints while
-    // the envelope version stays the same is usually a forgotten bump.
+    // both format versions stay the same is usually a forgotten bump.
     if let Some(old) = &ws.fingerprint {
-        let (old_version, old_entries) = fingerprint::parse(old);
+        let (old_version, old_wire, old_entries) = fingerprint::parse(old);
         let changed = old_entries.len() != entries.len()
             || entries.iter().any(|e| {
                 old_entries
@@ -250,12 +251,13 @@ fn cmd_fingerprint(cli: &Cli) -> Result<ExitCode, String> {
                     .find(|o| o.key == e.key)
                     .is_none_or(|o| o.crc != e.crc)
             });
-        if changed && old_version == version && !cli.allow_same_version {
+        if changed && old_version == version && old_wire == wire && !cli.allow_same_version {
             return Err(format!(
-                "persistence functions changed but ENVELOPE_VERSION is still {}: bump the \
-                 version first, or pass --allow-same-version if the change is provably \
-                 wire-compatible",
-                version.map_or_else(|| "unknown".to_string(), |v| v.to_string())
+                "persistence functions changed but ENVELOPE_VERSION is still {} and \
+                 WIRE_VERSION is still {}: bump the owning version first, or pass \
+                 --allow-same-version if the change is provably wire-compatible",
+                version.map_or_else(|| "unknown".to_string(), |v| v.to_string()),
+                wire.map_or_else(|| "unknown".to_string(), |v| v.to_string())
             ));
         }
     }

@@ -33,7 +33,7 @@ pub enum RuleId {
     FixedPoint,
     /// R3: no unwrap/expect/panic/unchecked decoder indexing in lib code.
     PanicFree,
-    /// R4: no undocumented truncating `as` casts in histogram numeric code.
+    /// R4: no undocumented truncating `as` casts in histogram/query numeric code.
     Cast,
     /// R5: crate-root hygiene headers and suppression syntax.
     Hygiene,
@@ -102,7 +102,7 @@ impl RuleId {
                 "no unwrap/expect/panic! and no unchecked slice indexing in decoders (non-test lib code)"
             }
             RuleId::Cast => {
-                "no `as u32`/`as usize`/`as i64` in sj-histogram numeric code without try_from or a reasoned suppression"
+                "no `as u32`/`as usize`/`as i64` in sj-histogram/sj-query numeric code without try_from or a reasoned suppression"
             }
             RuleId::Hygiene => {
                 "crate roots carry #![forbid(unsafe_code)] + #![warn(missing_docs)]; suppressions name a real rule"
@@ -462,12 +462,18 @@ pub fn check_panic_free(ws: &Workspace, out: &mut Vec<Finding>) {
 /// Cast targets that can truncate or change signedness silently.
 const R4_TARGETS: [&str; 3] = ["u32", "usize", "i64"];
 
-/// R4: flags `as u32` / `as usize` / `as i64` in sj-histogram numeric
-/// code (grid/cell-index/mass math) unless converted to `try_from` or
-/// carrying a reasoned suppression.
+/// Crates whose numeric code is held to the r4 cast discipline:
+/// sj-histogram (grid/cell-index/mass math) and sj-query (tuple-id
+/// indexing in the executor).
+const R4_CRATES: [&str; 2] = ["histogram", "query"];
+
+/// R4: flags `as u32` / `as usize` / `as i64` in sj-histogram and
+/// sj-query numeric code (grid/cell-index/mass math, tuple-id
+/// indexing) unless converted to `try_from` or carrying a reasoned
+/// suppression.
 pub fn check_casts(ws: &Workspace, out: &mut Vec<Finding>) {
     for krate in &ws.crates {
-        if krate.name != "histogram" {
+        if !R4_CRATES.contains(&krate.name.as_str()) {
             continue;
         }
         for file in &krate.files {
@@ -489,7 +495,7 @@ pub fn check_casts(ws: &Workspace, out: &mut Vec<Finding>) {
                             path: file.rel_path.clone(),
                             line: i + 1,
                             message: format!(
-                                "truncating `as {target}` cast in histogram numeric code: \
+                                "truncating `as {target}` cast in r4-scoped numeric code: \
                                  use `{target}::try_from(..)` (or document the bound with \
                                  `// sj-lint: allow(cast, <why it cannot truncate>)`)"
                             ),

@@ -151,13 +151,25 @@ fn r4_bad_fixture_flags_truncating_casts() {
 }
 
 #[test]
-fn r4_only_polices_the_histogram_crate() {
+fn r4_polices_the_query_crate_too() {
+    let f = run_fixture(
+        RuleId::Cast,
+        "crates/query/src/exec.rs",
+        include_str!("fixtures/r4_bad.rs"),
+    );
+    assert_eq!(f.len(), 2, "{f:?}");
+    assert!(f[0].message.contains("as u32"));
+    assert!(f[1].message.contains("as usize"));
+}
+
+#[test]
+fn r4_only_polices_the_scoped_crates() {
     let f = run_fixture(
         RuleId::Cast,
         "crates/rtree/src/cells.rs",
         include_str!("fixtures/r4_bad.rs"),
     );
-    assert_eq!(f, Vec::new(), "R4's scope is crates/histogram/src");
+    assert_eq!(f, Vec::new(), "R4's scope is histogram + query sources");
 }
 
 // ------------------------------------------------------------------
@@ -224,6 +236,7 @@ fn record_for(text: &str) -> String {
     let ws = Workspace::from_sources(&[("crates/histogram/src/ph.rs", text)], None);
     fingerprint::render(
         fingerprint::envelope_version(&ws),
+        fingerprint::wire_version(&ws),
         &fingerprint::fingerprint_entries(&ws),
     )
 }
@@ -253,10 +266,106 @@ fn r7_bad_fixture_drifts_without_a_version_bump() {
         assert!(
             finding
                 .message
-                .contains("changed without an envelope version bump"),
+                .contains("changed without a format version bump"),
             "{finding:?}"
         );
+        assert!(finding.message.contains("ENVELOPE_VERSION"), "{finding:?}");
     }
+}
+
+#[test]
+fn r7_fingerprints_the_server_wire_codec_too() {
+    // A schema fn in crates/server is fingerprinted, and drift there
+    // names WIRE_VERSION (not ENVELOPE_VERSION) as the const to bump.
+    let hist = include_str!("fixtures/r7_good.rs");
+    let server_v1 = "/// Wire version.\n\
+                     pub const WIRE_VERSION: u16 = 1;\n\
+                     /// Encodes a frame.\n\
+                     pub fn to_bytes(x: u32) -> Vec<u8> { x.to_le_bytes().to_vec() }\n";
+    let mount = |srv: &str| {
+        Workspace::from_sources(
+            &[
+                ("crates/histogram/src/ph.rs", hist),
+                ("crates/server/src/wire.rs", srv),
+            ],
+            None,
+        )
+    };
+    let ws = mount(server_v1);
+    let record = fingerprint::render(
+        fingerprint::envelope_version(&ws),
+        fingerprint::wire_version(&ws),
+        &fingerprint::fingerprint_entries(&ws),
+    );
+    assert!(record.contains("wire-version 1"), "{record}");
+    assert!(
+        record.contains("crates/server/src/wire.rs to_bytes#0"),
+        "{record}"
+    );
+
+    // Unchanged tree against its own record: clean.
+    let ws_same = Workspace::from_sources(
+        &[
+            ("crates/histogram/src/ph.rs", hist),
+            ("crates/server/src/wire.rs", server_v1),
+        ],
+        Some(record.clone()),
+    );
+    let mut clean = Vec::new();
+    run_rule(RuleId::Persistence, &ws_same, &mut clean);
+    assert_eq!(clean, Vec::new(), "unchanged wire codec must pass");
+
+    // Edit the codec body without bumping WIRE_VERSION: one finding
+    // pointing at the server file and naming WIRE_VERSION.
+    let server_drift = server_v1.replace("x.to_le_bytes()", "(x ^ 1).to_le_bytes()");
+    let ws_drift = Workspace::from_sources(
+        &[
+            ("crates/histogram/src/ph.rs", hist),
+            ("crates/server/src/wire.rs", &server_drift),
+        ],
+        Some(record),
+    );
+    let mut f = Vec::new();
+    run_rule(RuleId::Persistence, &ws_drift, &mut f);
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert_eq!(f[0].path, "crates/server/src/wire.rs");
+    assert!(f[0].message.contains("WIRE_VERSION"), "{f:?}");
+}
+
+#[test]
+fn r7_wire_version_mismatch_is_a_finding() {
+    // Record says wire-version 1; the tree bumped to 2 without
+    // refreshing the record.
+    let hist = include_str!("fixtures/r7_good.rs");
+    let srv = "/// Wire version.\npub const WIRE_VERSION: u16 = 2;\n";
+    let record_v1 = {
+        let ws = Workspace::from_sources(
+            &[
+                ("crates/histogram/src/ph.rs", hist),
+                (
+                    "crates/server/src/wire.rs",
+                    "/// Wire version.\npub const WIRE_VERSION: u16 = 1;\n",
+                ),
+            ],
+            None,
+        );
+        fingerprint::render(
+            fingerprint::envelope_version(&ws),
+            fingerprint::wire_version(&ws),
+            &fingerprint::fingerprint_entries(&ws),
+        )
+    };
+    let ws = Workspace::from_sources(
+        &[
+            ("crates/histogram/src/ph.rs", hist),
+            ("crates/server/src/wire.rs", srv),
+        ],
+        Some(record_v1),
+    );
+    let mut f = Vec::new();
+    run_rule(RuleId::Persistence, &ws, &mut f);
+    assert_eq!(f.len(), 1, "{f:?}");
+    assert!(f[0].message.contains("WIRE_VERSION is 2"), "{f:?}");
 }
 
 #[test]

@@ -36,6 +36,17 @@ pub enum QueryError {
     /// Every tier of the estimation ladder was disabled or failed; the
     /// string lists each skipped tier with its reason.
     EstimatorsExhausted(String),
+    /// A tuple slot referenced an object id outside its dataset — a
+    /// catalog-consistency bug (the dataset changed between planning and
+    /// execution), surfaced as a typed error instead of a panic.
+    TupleIdOutOfRange {
+        /// The table whose dataset was indexed.
+        table: String,
+        /// The out-of-range object id.
+        id: u64,
+        /// The dataset's actual cardinality.
+        len: usize,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -59,6 +70,10 @@ impl fmt::Display for QueryError {
             QueryError::EstimatorsExhausted(detail) => {
                 write!(f, "no estimator tier could serve: {detail}")
             }
+            QueryError::TupleIdOutOfRange { table, id, len } => write!(
+                f,
+                "tuple id {id} is out of range for table {table:?} (cardinality {len})"
+            ),
         }
     }
 }

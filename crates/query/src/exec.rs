@@ -1,8 +1,28 @@
 use crate::catalog::Catalog;
 use crate::error::QueryError;
 use crate::plan::{Plan, PlanStep};
+use sj_datagen::Dataset;
+use sj_geo::Rect;
 use sj_rtree::join_pairs;
 use std::time::{Duration, Instant};
+
+/// Resolves a tuple slot to its dataset rectangle with bounds checking.
+///
+/// Tuple ids are `u64` (R-tree entry ids); an id outside the dataset is
+/// a catalog-consistency bug (a dataset changed between planning and
+/// execution) and comes back as [`QueryError::TupleIdOutOfRange`]
+/// instead of an index panic — the same discipline sj-lint rule r4
+/// enforces on grid coordinates in sj-histogram.
+fn tuple_rect(ds: &Dataset, table: &str, id: u64) -> Result<Rect, QueryError> {
+    usize::try_from(id)
+        .ok()
+        .and_then(|i| ds.rects.get(i).copied())
+        .ok_or_else(|| QueryError::TupleIdOutOfRange {
+            table: table.to_string(),
+            id,
+            len: ds.rects.len(),
+        })
+}
 
 /// Execution statistics for one plan run.
 #[derive(Debug, Clone, Copy, Default)]
@@ -63,10 +83,15 @@ impl Plan {
                         let dl = catalog.dataset(&self.tables[left])?;
                         let dr = catalog.dataset(&self.tables[right])?;
                         let before = tuples.len();
-                        tuples.retain(|t| {
-                            dl.rects[t[left] as usize].intersects(w)
-                                && dr.rects[t[right] as usize].intersects(w)
-                        });
+                        let mut kept = Vec::with_capacity(tuples.len());
+                        for t in std::mem::take(&mut tuples) {
+                            let keep = tuple_rect(dl, &self.tables[left], t[left])?.intersects(w)
+                                && tuple_rect(dr, &self.tables[right], t[right])?.intersects(w);
+                            if keep {
+                                kept.push(t);
+                            }
+                        }
+                        tuples = kept;
                         stats.window_filtered += before - tuples.len();
                     }
                 }
@@ -75,7 +100,7 @@ impl Plan {
                     let via_ds = catalog.dataset(&self.tables[via])?;
                     let mut next: Vec<Vec<u64>> = Vec::with_capacity(tuples.len());
                     for t in &tuples {
-                        let via_rect = via_ds.rects[t[via] as usize];
+                        let via_rect = tuple_rect(via_ds, &self.tables[via], t[via])?;
                         stats.probes += 1;
                         probe_tree.query_intersecting(&via_rect, |e| {
                             if let Some(w) = &self.window {

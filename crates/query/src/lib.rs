@@ -47,5 +47,8 @@ mod plan;
 pub use catalog::{Catalog, CatalogConfig};
 pub use degrade::{DegradationPolicy, EstimateOutcome, EstimateTier, SkippedTier};
 pub use error::QueryError;
+// Re-exported so downstream crates (sj-server) can match the histogram
+// failure modes wrapped inside QueryError without a direct dependency.
 pub use exec::{ExecStats, QueryResult};
 pub use plan::{ChainJoinQuery, Plan, PlanStep, Planner, StarJoinQuery};
+pub use sj_histogram::HistogramError;

@@ -1,0 +1,267 @@
+//! The in-process client library: a blocking TCP connection speaking
+//! one request/response frame pair at a time.
+
+use crate::service::{EstimateReply, RemoteOutcome};
+use crate::wire::{self, status, Frame, Opcode, PayloadReader, WireError};
+use sj_geo::Rect;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Errors a client call can produce.
+///
+/// `#[non_exhaustive]`: the protocol will grow; downstream matches keep
+/// a `_` arm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClientError {
+    /// The socket or the frame codec failed.
+    Wire(WireError),
+    /// The server answered with a non-OK status. The status byte reuses
+    /// the `sjsel` exit-code taxonomy.
+    Remote {
+        /// The wire status code.
+        status: u8,
+        /// The server's message (the text the cold CLI would print).
+        message: String,
+    },
+    /// The server broke protocol (unexpected response opcode).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::Remote {
+                status: code,
+                message,
+            } => {
+                write!(f, "server error [{}]: {message}", status::name(*code))
+            }
+            ClientError::Protocol(why) => write!(f, "protocol violation: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// One failed item inside an otherwise-successful batch response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteFailure {
+    /// The wire status code (`sjsel` exit-code taxonomy).
+    pub status: u8,
+    /// The server's message for this item.
+    pub message: String,
+}
+
+/// A blocking connection to a running `sj-server`.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon.
+    ///
+    /// # Errors
+    /// [`ClientError::Wire`] when the TCP connect fails.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(WireError::from)?;
+        Ok(Self { stream })
+    }
+
+    /// Sends one request frame and returns the OK response payload with
+    /// the status byte stripped, mapping non-OK statuses to
+    /// [`ClientError::Remote`].
+    fn call(&mut self, op: Opcode, payload: Vec<u8>) -> Result<Vec<u8>, ClientError> {
+        Frame::request(op, payload).write_to(&mut self.stream)?;
+        let resp = Frame::read_from(&mut self.stream)?;
+        if resp.opcode != op.response() && resp.opcode != wire::ERROR_OPCODE {
+            return Err(ClientError::Protocol(format!(
+                "response opcode {:#04x} to request {:#04x}",
+                resp.opcode,
+                op.code()
+            )));
+        }
+        let mut r = PayloadReader::new(&resp.payload);
+        let code = r.u8()?;
+        if code != status::OK {
+            let message = r
+                .str()
+                .unwrap_or_else(|_| "malformed error response".to_string());
+            return Err(ClientError::Remote {
+                status: code,
+                message,
+            });
+        }
+        Ok(resp
+            .payload
+            .get(1..)
+            .map(<[u8]>::to_vec)
+            .unwrap_or_default())
+    }
+
+    /// Liveness check.
+    ///
+    /// # Errors
+    /// [`ClientError`] on wire or remote failure.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let body = self.call(Opcode::Ping, Vec::new())?;
+        expect_empty(&body)
+    }
+
+    /// Primary-statistics join estimate between two registered tables.
+    ///
+    /// # Errors
+    /// [`ClientError`] on wire or remote failure.
+    pub fn estimate(&mut self, a: &str, b: &str) -> Result<EstimateReply, ClientError> {
+        let mut p = Vec::new();
+        wire::put_str(&mut p, a);
+        wire::put_str(&mut p, b);
+        let body = self.call(Opcode::Estimate, p)?;
+        let mut r = PayloadReader::new(&body);
+        let reply = EstimateReply {
+            selectivity: r.f64()?,
+            pairs: r.f64()?,
+        };
+        r.finish()?;
+        Ok(reply)
+    }
+
+    /// Estimated number of objects of `table` intersecting `window`.
+    ///
+    /// # Errors
+    /// [`ClientError`] on wire or remote failure.
+    pub fn window_count(&mut self, table: &str, window: &Rect) -> Result<f64, ClientError> {
+        let mut p = Vec::new();
+        wire::put_str(&mut p, table);
+        wire::put_f64(&mut p, window.xlo);
+        wire::put_f64(&mut p, window.ylo);
+        wire::put_f64(&mut p, window.xhi);
+        wire::put_f64(&mut p, window.yhi);
+        let body = self.call(Opcode::WindowCount, p)?;
+        let mut r = PayloadReader::new(&body);
+        let count = r.f64()?;
+        r.finish()?;
+        Ok(count)
+    }
+
+    /// The optimizer's plan for a chain join, as text.
+    ///
+    /// # Errors
+    /// [`ClientError`] on wire or remote failure.
+    pub fn explain(&mut self, tables: &[String]) -> Result<String, ClientError> {
+        let mut p = Vec::new();
+        wire::put_u16(&mut p, u16::try_from(tables.len()).unwrap_or(u16::MAX));
+        for t in tables.iter().take(usize::from(u16::MAX)) {
+            wire::put_str(&mut p, t);
+        }
+        let body = self.call(Opcode::Explain, p)?;
+        let mut r = PayloadReader::new(&body);
+        let text = r.str()?;
+        r.finish()?;
+        Ok(text)
+    }
+
+    /// Degradation-ladder estimate with full tier provenance.
+    ///
+    /// # Errors
+    /// [`ClientError`] on wire or remote failure.
+    pub fn catalog_estimate(&mut self, a: &str, b: &str) -> Result<RemoteOutcome, ClientError> {
+        let mut p = Vec::new();
+        wire::put_str(&mut p, a);
+        wire::put_str(&mut p, b);
+        let body = self.call(Opcode::CatalogEstimate, p)?;
+        let mut r = PayloadReader::new(&body);
+        let outcome = RemoteOutcome::from_bytes(&mut r)?;
+        r.finish()?;
+        Ok(outcome)
+    }
+
+    /// Batched primary estimates: one request frame, one response frame,
+    /// each item individually status-wrapped.
+    ///
+    /// # Errors
+    /// [`ClientError`] when the batch itself fails; per-item failures
+    /// come back as `Err(RemoteFailure)` entries.
+    #[allow(clippy::type_complexity)]
+    pub fn batch_estimate(
+        &mut self,
+        pairs: &[(String, String)],
+    ) -> Result<Vec<Result<EstimateReply, RemoteFailure>>, ClientError> {
+        let mut p = Vec::new();
+        wire::put_u16(&mut p, u16::try_from(pairs.len()).unwrap_or(u16::MAX));
+        for (a, b) in pairs.iter().take(usize::from(u16::MAX)) {
+            wire::put_str(&mut p, a);
+            wire::put_str(&mut p, b);
+        }
+        let body = self.call(Opcode::BatchEstimate, p)?;
+        let mut r = PayloadReader::new(&body);
+        let n = usize::from(r.u16()?);
+        let mut items = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let code = r.u8()?;
+            if code == status::OK {
+                items.push(Ok(EstimateReply {
+                    selectivity: r.f64()?,
+                    pairs: r.f64()?,
+                }));
+            } else {
+                items.push(Err(RemoteFailure {
+                    status: code,
+                    message: r.str()?,
+                }));
+            }
+        }
+        r.finish()?;
+        Ok(items)
+    }
+
+    /// Registered table names.
+    ///
+    /// # Errors
+    /// [`ClientError`] on wire or remote failure.
+    pub fn tables(&mut self) -> Result<Vec<String>, ClientError> {
+        let body = self.call(Opcode::Tables, Vec::new())?;
+        let mut r = PayloadReader::new(&body);
+        let n = usize::from(r.u16()?);
+        let mut names = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            names.push(r.str()?);
+        }
+        r.finish()?;
+        Ok(names)
+    }
+
+    /// Asks the daemon to shut down gracefully.
+    ///
+    /// # Errors
+    /// [`ClientError`] on wire or remote failure.
+    pub fn shutdown_server(&mut self) -> Result<(), ClientError> {
+        let body = self.call(Opcode::Shutdown, Vec::new())?;
+        expect_empty(&body)
+    }
+}
+
+fn expect_empty(body: &[u8]) -> Result<(), ClientError> {
+    if body.is_empty() {
+        Ok(())
+    } else {
+        Err(ClientError::Protocol(format!(
+            "{} unexpected byte(s) in an empty-bodied response",
+            body.len()
+        )))
+    }
+}

@@ -1,0 +1,450 @@
+//! The daemon side: a TCP listener, one handler thread per connection
+//! on `std::thread::scope`, and a pure request dispatcher.
+//!
+//! Error policy, pinned by the fault-injection suite:
+//!
+//! * **Frame-level corruption** (bad magic, bad CRC, truncation,
+//!   oversized length prefix, unsupported version) — the stream can no
+//!   longer be trusted to be frame-aligned, so the server sends a
+//!   best-effort [`wire::ERROR_OPCODE`] response and closes the
+//!   connection.
+//! * **Well-framed but bad requests** (unknown opcode, malformed
+//!   payload, service errors) — a typed error response on the same
+//!   connection, which stays open for the next request.
+//! * Never a panic, never a wedged connection: a mid-request disconnect
+//!   surfaces as a typed read error and ends only that handler thread.
+
+use crate::service::{ServiceError, StatisticsService};
+use crate::wire::{self, status, Frame, Opcode, PayloadReader, WireError};
+use sj_geo::Rect;
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Errors starting or running a server.
+///
+/// `#[non_exhaustive]`: future failure modes must not break matches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServerError {
+    /// Binding, accepting or introspecting the listener failed.
+    Io(String),
+}
+
+impl std::fmt::Display for ServerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerError::Io(why) => write!(f, "server I/O error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+/// A statistics daemon bound to a TCP address.
+pub struct Server<S: StatisticsService> {
+    listener: TcpListener,
+    service: S,
+    shutdown: AtomicBool,
+    /// Cloned handles of live connections keyed by connection id, shut
+    /// down to unpark blocked reader threads when the daemon stops.
+    /// Handlers deregister their entry on exit — a lingering clone would
+    /// keep the peer's socket half-open and leak one fd per connection.
+    conns: Mutex<Vec<(u64, TcpStream)>>,
+    /// Monotonic connection id source.
+    next_conn: AtomicU64,
+}
+
+impl<S: StatisticsService> Server<S> {
+    /// Binds to `addr` (use port 0 for an OS-assigned port) without
+    /// accepting yet.
+    ///
+    /// # Errors
+    /// [`ServerError::Io`] when the bind fails.
+    pub fn bind(addr: impl ToSocketAddrs, service: S) -> Result<Self, ServerError> {
+        let listener = TcpListener::bind(addr).map_err(|e| ServerError::Io(e.to_string()))?;
+        Ok(Self {
+            listener,
+            service,
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            next_conn: AtomicU64::new(0),
+        })
+    }
+
+    /// The bound address (reports the OS-assigned port after a port-0
+    /// bind).
+    ///
+    /// # Errors
+    /// [`ServerError::Io`] when the socket cannot report its address.
+    pub fn local_addr(&self) -> Result<SocketAddr, ServerError> {
+        self.listener
+            .local_addr()
+            .map_err(|e| ServerError::Io(e.to_string()))
+    }
+
+    /// Serves until a client sends a `Shutdown` request. Each accepted
+    /// connection is handled on its own scoped thread; the call returns
+    /// only after every handler has finished.
+    ///
+    /// # Errors
+    /// [`ServerError::Io`] when `local_addr` is unavailable; accept
+    /// errors on individual connections are skipped, not fatal.
+    pub fn run(&self) -> Result<(), ServerError> {
+        // Needed for the self-connect that unblocks `accept` at shutdown.
+        let addr = self.local_addr()?;
+        std::thread::scope(|scope| {
+            for stream in self.listener.incoming() {
+                if self.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(stream) = stream else {
+                    continue; // transient accept failure
+                };
+                let id = self.next_conn.fetch_add(1, Ordering::Relaxed);
+                if let Ok(handle) = stream.try_clone() {
+                    self.conns
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push((id, handle));
+                }
+                scope.spawn(move || {
+                    self.handle_connection(stream, addr);
+                    self.forget_connection(id);
+                });
+            }
+        });
+        Ok(())
+    }
+
+    /// Requests shutdown: stops accepting and unblocks every parked
+    /// connection reader. Safe to call from any thread.
+    pub fn initiate_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Ok(addr) = self.local_addr() {
+            // Wake the blocking accept; the loop re-checks the flag first.
+            drop(TcpStream::connect(addr));
+        }
+        let conns = std::mem::take(
+            &mut *self
+                .conns
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        for (_, conn) in conns {
+            drop(conn.shutdown(std::net::Shutdown::Both));
+        }
+    }
+
+    /// Drops the registry clone of a finished connection so the kernel
+    /// can actually close the socket (and the fd is reclaimed).
+    fn forget_connection(&self, id: u64) {
+        self.conns
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .retain(|(cid, _)| *cid != id);
+    }
+
+    /// Serves one connection until it closes, a frame-level corruption
+    /// makes the stream untrustworthy, or the daemon shuts down.
+    fn handle_connection(&self, mut stream: TcpStream, _addr: SocketAddr) {
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let frame = match Frame::read_from(&mut stream) {
+                Ok(frame) => frame,
+                Err(WireError::Io(_)) => return, // disconnect
+                Err(e) => {
+                    // Corrupt framing: answer best-effort, then close —
+                    // the stream may no longer be frame-aligned.
+                    let resp = error_frame(wire::ERROR_OPCODE, e.status(), &e.to_string());
+                    drop(resp.write_to(&mut stream));
+                    drop(stream.flush());
+                    return;
+                }
+            };
+            let (resp, shutdown) = handle_request(&self.service, &frame);
+            if resp.write_to(&mut stream).is_err() {
+                return;
+            }
+            if shutdown {
+                self.initiate_shutdown();
+                return;
+            }
+        }
+    }
+}
+
+/// Builds a non-OK response frame: `status + message`.
+fn error_frame(opcode: u8, code: u8, message: &str) -> Frame {
+    let mut payload = Vec::new();
+    wire::put_u8(&mut payload, code);
+    wire::put_str(&mut payload, message);
+    Frame { opcode, payload }
+}
+
+/// Builds an OK response frame: `status 0 + result`.
+fn ok_frame(op: Opcode, result: Vec<u8>) -> Frame {
+    let mut payload = Vec::with_capacity(result.len() + 1);
+    wire::put_u8(&mut payload, status::OK);
+    payload.extend_from_slice(&result);
+    Frame {
+        opcode: op.response(),
+        payload,
+    }
+}
+
+/// Dispatches one well-framed request to the service and renders the
+/// response frame. Pure (no socket), so unit tests drive it directly.
+/// The second return is `true` when the request asked for shutdown.
+pub fn handle_request<S: StatisticsService>(service: &S, frame: &Frame) -> (Frame, bool) {
+    let Some(op) = Opcode::from_code(frame.opcode) else {
+        let e = WireError::UnknownOpcode(frame.opcode);
+        return (
+            error_frame(wire::ERROR_OPCODE, e.status(), &e.to_string()),
+            false,
+        );
+    };
+    let result = serve_opcode(service, op, &frame.payload);
+    let resp = match result {
+        Ok(body) => ok_frame(op, body),
+        Err(RequestError::Wire(e)) => error_frame(op.response(), e.status(), &e.to_string()),
+        Err(RequestError::Service(e)) => error_frame(op.response(), e.status, &e.message),
+    };
+    (resp, op == Opcode::Shutdown)
+}
+
+/// A request that could not produce a result payload.
+enum RequestError {
+    /// The payload did not parse.
+    Wire(WireError),
+    /// The service refused.
+    Service(ServiceError),
+}
+
+impl From<WireError> for RequestError {
+    fn from(e: WireError) -> Self {
+        RequestError::Wire(e)
+    }
+}
+
+impl From<ServiceError> for RequestError {
+    fn from(e: ServiceError) -> Self {
+        RequestError::Service(e)
+    }
+}
+
+/// Serves one opcode: parses the request payload, calls the service,
+/// and encodes the OK result payload (without the status byte).
+fn serve_opcode<S: StatisticsService>(
+    service: &S,
+    op: Opcode,
+    payload: &[u8],
+) -> Result<Vec<u8>, RequestError> {
+    let mut r = PayloadReader::new(payload);
+    match op {
+        Opcode::Ping | Opcode::Shutdown => {
+            r.finish()?;
+            Ok(Vec::new())
+        }
+        Opcode::Estimate => {
+            let (a, b) = (r.str()?, r.str()?);
+            r.finish()?;
+            let est = service.estimate(&a, &b)?;
+            let mut out = Vec::new();
+            wire::put_f64(&mut out, est.selectivity);
+            wire::put_f64(&mut out, est.pairs);
+            Ok(out)
+        }
+        Opcode::WindowCount => {
+            let table = r.str()?;
+            let (x0, y0, x1, y1) = (r.f64()?, r.f64()?, r.f64()?, r.f64()?);
+            r.finish()?;
+            let count = service.window_count(&table, &Rect::new(x0, y0, x1, y1))?;
+            let mut out = Vec::new();
+            wire::put_f64(&mut out, count);
+            Ok(out)
+        }
+        Opcode::Explain => {
+            let n = usize::from(r.u16()?);
+            let mut tables = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                tables.push(r.str()?);
+            }
+            r.finish()?;
+            let text = service.explain(&tables)?;
+            let mut out = Vec::new();
+            wire::put_str(&mut out, &text);
+            Ok(out)
+        }
+        Opcode::CatalogEstimate => {
+            let (a, b) = (r.str()?, r.str()?);
+            r.finish()?;
+            let outcome = service.catalog_estimate(&a, &b)?;
+            Ok(outcome.to_bytes())
+        }
+        Opcode::BatchEstimate => {
+            let n = usize::from(r.u16()?);
+            let mut pairs = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                pairs.push((r.str()?, r.str()?));
+            }
+            r.finish()?;
+            // One frame in, one frame out: each item is individually
+            // status-wrapped so a bad table name fails that item only.
+            let mut out = Vec::new();
+            wire::put_u16(&mut out, u16::try_from(pairs.len()).unwrap_or(u16::MAX));
+            for (a, b) in &pairs {
+                match service.estimate(a, b) {
+                    Ok(est) => {
+                        wire::put_u8(&mut out, status::OK);
+                        wire::put_f64(&mut out, est.selectivity);
+                        wire::put_f64(&mut out, est.pairs);
+                    }
+                    Err(e) => {
+                        wire::put_u8(&mut out, e.status);
+                        wire::put_str(&mut out, &e.message);
+                    }
+                }
+            }
+            Ok(out)
+        }
+        Opcode::Tables => {
+            r.finish()?;
+            let names = service.tables();
+            let mut out = Vec::new();
+            wire::put_u16(&mut out, u16::try_from(names.len()).unwrap_or(u16::MAX));
+            for name in names.iter().take(usize::from(u16::MAX)) {
+                wire::put_str(&mut out, name);
+            }
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{EstimateReply, RemoteOutcome};
+
+    /// A service stub with deterministic answers.
+    struct Stub;
+
+    impl StatisticsService for Stub {
+        fn estimate(&self, a: &str, b: &str) -> Result<EstimateReply, ServiceError> {
+            if a == "missing" || b == "missing" {
+                return Err(ServiceError::new(status::RUNTIME, "unknown table"));
+            }
+            Ok(EstimateReply {
+                selectivity: 0.25,
+                pairs: 42.0,
+            })
+        }
+
+        fn window_count(&self, _table: &str, w: &Rect) -> Result<f64, ServiceError> {
+            Ok(w.area())
+        }
+
+        fn explain(&self, tables: &[String]) -> Result<String, ServiceError> {
+            Ok(format!("plan over {}", tables.join(",")))
+        }
+
+        fn catalog_estimate(&self, _a: &str, _b: &str) -> Result<RemoteOutcome, ServiceError> {
+            Err(ServiceError::new(status::EXHAUSTED, "all tiers off"))
+        }
+
+        fn tables(&self) -> Vec<String> {
+            vec!["a".to_string(), "b".to_string()]
+        }
+    }
+
+    fn status_of(frame: &Frame) -> u8 {
+        frame.payload.first().copied().unwrap_or(0xEE)
+    }
+
+    #[test]
+    fn ping_round_trips() {
+        let (resp, stop) = handle_request(&Stub, &Frame::request(Opcode::Ping, Vec::new()));
+        assert_eq!(resp.opcode, Opcode::Ping.response());
+        assert_eq!(resp.payload, vec![status::OK]);
+        assert!(!stop);
+    }
+
+    #[test]
+    fn estimate_encodes_result() {
+        let mut p = Vec::new();
+        wire::put_str(&mut p, "x");
+        wire::put_str(&mut p, "y");
+        let (resp, _) = handle_request(&Stub, &Frame::request(Opcode::Estimate, p));
+        assert_eq!(status_of(&resp), status::OK);
+        let mut r = PayloadReader::new(&resp.payload);
+        r.u8().unwrap();
+        assert_eq!(r.f64().unwrap(), 0.25);
+        assert_eq!(r.f64().unwrap(), 42.0);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn service_error_keeps_connection_semantics() {
+        let mut p = Vec::new();
+        wire::put_str(&mut p, "missing");
+        wire::put_str(&mut p, "y");
+        let (resp, stop) = handle_request(&Stub, &Frame::request(Opcode::Estimate, p));
+        assert_eq!(resp.opcode, Opcode::Estimate.response());
+        assert_eq!(status_of(&resp), status::RUNTIME);
+        assert!(!stop);
+    }
+
+    #[test]
+    fn malformed_payload_is_usage_or_corrupt_never_panic() {
+        // Estimate with no strings at all: truncated payload.
+        let (resp, _) = handle_request(&Stub, &Frame::request(Opcode::Estimate, Vec::new()));
+        assert_eq!(status_of(&resp), status::CORRUPT);
+        // Trailing garbage after a valid ping payload.
+        let (resp, _) = handle_request(&Stub, &Frame::request(Opcode::Ping, vec![1, 2, 3]));
+        assert_eq!(status_of(&resp), status::USAGE);
+    }
+
+    #[test]
+    fn unknown_opcode_is_error_opcode() {
+        let (resp, stop) = handle_request(
+            &Stub,
+            &Frame {
+                opcode: 0x42,
+                payload: Vec::new(),
+            },
+        );
+        assert_eq!(resp.opcode, wire::ERROR_OPCODE);
+        assert_eq!(status_of(&resp), status::USAGE);
+        assert!(!stop);
+    }
+
+    #[test]
+    fn batch_wraps_each_item() {
+        let mut p = Vec::new();
+        wire::put_u16(&mut p, 2);
+        wire::put_str(&mut p, "x");
+        wire::put_str(&mut p, "y");
+        wire::put_str(&mut p, "missing");
+        wire::put_str(&mut p, "y");
+        let (resp, _) = handle_request(&Stub, &Frame::request(Opcode::BatchEstimate, p));
+        let mut r = PayloadReader::new(&resp.payload);
+        assert_eq!(r.u8().unwrap(), status::OK);
+        assert_eq!(r.u16().unwrap(), 2);
+        assert_eq!(r.u8().unwrap(), status::OK);
+        r.f64().unwrap();
+        r.f64().unwrap();
+        assert_eq!(r.u8().unwrap(), status::RUNTIME);
+        assert!(r.str().unwrap().contains("unknown table"));
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn shutdown_is_signalled() {
+        let (resp, stop) = handle_request(&Stub, &Frame::request(Opcode::Shutdown, Vec::new()));
+        assert_eq!(status_of(&resp), status::OK);
+        assert!(stop);
+    }
+}

@@ -1,0 +1,316 @@
+//! The service trait the server dispatches into, plus the
+//! catalog-backed implementation.
+//!
+//! The trait/implementation split mirrors the server/client module
+//! split: the connection loop in [`crate::server`] knows only
+//! [`StatisticsService`], so tests can serve a stub and the daemon can
+//! serve a shared [`Catalog`] — loaded once, answered from concurrently.
+
+use crate::wire::{self, status, PayloadReader, WireError};
+use sj_geo::Rect;
+use sj_query::{Catalog, ChainJoinQuery, DegradationPolicy, EstimateOutcome, QueryError};
+use std::sync::Arc;
+
+/// A primary-statistics estimate: the numbers `sjsel estimate` prints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimateReply {
+    /// Estimated selectivity.
+    pub selectivity: f64,
+    /// Estimated number of intersecting pairs.
+    pub pairs: f64,
+}
+
+/// A degradation-ladder outcome as it travels over the wire: tier
+/// provenance flattened to stable strings so the client can render the
+/// exact output of the cold `catalog-estimate` path without sharing the
+/// [`EstimateOutcome`] type's internals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemoteOutcome {
+    /// Estimated number of intersecting pairs.
+    pub pairs: f64,
+    /// Estimated selectivity in `[0, 1]`.
+    pub selectivity: f64,
+    /// Stable tier name (`primary`, `ph-rebuild`, `parametric`,
+    /// `sampling`) — the CLI's JSON `provenance.tier` value.
+    pub tier_name: String,
+    /// Human-facing tier label (e.g. `primary (gh)`).
+    pub tier_display: String,
+    /// Whether a fallback tier served the estimate.
+    pub degraded: bool,
+    /// Skipped tiers in ladder order: `(stable name, reason)`.
+    pub skipped: Vec<(String, String)>,
+}
+
+impl RemoteOutcome {
+    /// Flattens a ladder outcome for the wire.
+    #[must_use]
+    pub fn from_outcome(outcome: &EstimateOutcome) -> Self {
+        Self {
+            pairs: outcome.pairs,
+            selectivity: outcome.selectivity,
+            tier_name: outcome.tier.name().to_string(),
+            tier_display: outcome.tier.to_string(),
+            degraded: outcome.is_degraded(),
+            skipped: outcome
+                .skipped
+                .iter()
+                .map(|s| (s.tier.name().to_string(), s.reason.clone()))
+                .collect(),
+        }
+    }
+
+    /// Serializes the outcome as a response-payload fragment.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        wire::put_f64(&mut out, self.pairs);
+        wire::put_f64(&mut out, self.selectivity);
+        wire::put_str(&mut out, &self.tier_name);
+        wire::put_str(&mut out, &self.tier_display);
+        wire::put_u8(&mut out, u8::from(self.degraded));
+        let n = self.skipped.len().min(usize::from(u16::MAX));
+        wire::put_u16(&mut out, u16::try_from(n).unwrap_or(u16::MAX));
+        for (tier, reason) in self.skipped.iter().take(n) {
+            wire::put_str(&mut out, tier);
+            wire::put_str(&mut out, reason);
+        }
+        out
+    }
+
+    /// Decodes an outcome from a response-payload fragment.
+    ///
+    /// # Errors
+    /// Propagates the reader's typed truncation/UTF-8 errors.
+    pub fn from_bytes(r: &mut PayloadReader<'_>) -> Result<Self, WireError> {
+        let pairs = r.f64()?;
+        let selectivity = r.f64()?;
+        let tier_name = r.str()?;
+        let tier_display = r.str()?;
+        let degraded = r.u8()? != 0;
+        let n = usize::from(r.u16()?);
+        let mut skipped = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let tier = r.str()?;
+            let reason = r.str()?;
+            skipped.push((tier, reason));
+        }
+        Ok(Self {
+            pairs,
+            selectivity,
+            tier_name,
+            tier_display,
+            degraded,
+            skipped,
+        })
+    }
+}
+
+/// A service-level failure: a wire status code plus a message, produced
+/// on the server and reproduced verbatim on the client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceError {
+    /// One of the nonzero [`status`] codes.
+    pub status: u8,
+    /// Human-readable message (the same text the cold CLI prints).
+    pub message: String,
+}
+
+impl ServiceError {
+    /// Builds an error with an explicit status code.
+    #[must_use]
+    pub fn new(status: u8, message: impl Into<String>) -> Self {
+        Self {
+            status,
+            message: message.into(),
+        }
+    }
+
+    /// Maps a query-layer error onto the wire status taxonomy — the
+    /// same mapping `sjsel` uses for process exit codes, so a remote
+    /// failure exits the client with the code the cold path would have
+    /// used (equality is pinned by a test in `sj-cli`).
+    #[must_use]
+    pub fn from_query(context: &str, e: &QueryError) -> Self {
+        use sj_query::HistogramError;
+        let code = match e {
+            QueryError::Histogram(h) => match h {
+                HistogramError::Corrupt { .. } => status::CORRUPT,
+                HistogramError::KindMismatch { .. } | HistogramError::GridMismatch { .. } => {
+                    status::MISMATCH
+                }
+                HistogramError::LevelTooLarge(_) => status::USAGE,
+                _ => status::RUNTIME,
+            },
+            QueryError::EstimatorsExhausted(_) => status::EXHAUSTED,
+            QueryError::StatisticsUnavailable { .. } => status::CORRUPT,
+            QueryError::TooFewTables(_) => status::USAGE,
+            QueryError::UnknownTable(_)
+            | QueryError::DuplicateTable(_)
+            | QueryError::ResultTooLarge { .. } => status::RUNTIME,
+            // Future (non_exhaustive) query errors default to runtime.
+            _ => status::RUNTIME,
+        };
+        Self {
+            status: code,
+            message: format!("{context}: {e}"),
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}", status::name(self.status), self.message)
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// What a statistics daemon can answer. Implementations must be
+/// shareable across connection threads (`&self` methods, `Send + Sync`).
+pub trait StatisticsService: Send + Sync {
+    /// Primary-statistics join estimate between two registered tables.
+    ///
+    /// # Errors
+    /// [`ServiceError`] with the taxonomy status of the failure.
+    fn estimate(&self, a: &str, b: &str) -> Result<EstimateReply, ServiceError>;
+
+    /// Estimated number of objects of `table` intersecting `window`.
+    ///
+    /// # Errors
+    /// [`ServiceError`]; kind mismatches map to the MISMATCH status.
+    fn window_count(&self, table: &str, window: &Rect) -> Result<f64, ServiceError>;
+
+    /// The optimizer's plan for a chain join, rendered as text.
+    ///
+    /// # Errors
+    /// [`ServiceError`] for unknown tables or too-short chains.
+    fn explain(&self, tables: &[String]) -> Result<String, ServiceError>;
+
+    /// Degradation-ladder estimate with full tier provenance.
+    ///
+    /// # Errors
+    /// [`ServiceError`]; an exhausted ladder maps to EXHAUSTED.
+    fn catalog_estimate(&self, a: &str, b: &str) -> Result<RemoteOutcome, ServiceError>;
+
+    /// Registered table names, sorted.
+    fn tables(&self) -> Vec<String>;
+}
+
+/// The daemon's service: a catalog loaded once, shared read-only across
+/// every connection (histogram statistics are immutable after
+/// registration; the lazy R-tree cell is synchronized internally).
+pub struct CatalogService {
+    catalog: Arc<Catalog>,
+    policy: DegradationPolicy,
+}
+
+impl CatalogService {
+    /// Wraps a shared catalog with the degradation policy used by
+    /// [`StatisticsService::catalog_estimate`].
+    #[must_use]
+    pub fn new(catalog: Arc<Catalog>, policy: DegradationPolicy) -> Self {
+        Self { catalog, policy }
+    }
+
+    /// The shared catalog.
+    #[must_use]
+    pub fn catalog(&self) -> &Arc<Catalog> {
+        &self.catalog
+    }
+}
+
+impl StatisticsService for CatalogService {
+    fn estimate(&self, a: &str, b: &str) -> Result<EstimateReply, ServiceError> {
+        let ha = self
+            .catalog
+            .histogram(a)
+            .map_err(|e| ServiceError::from_query("estimation failed", &e))?;
+        let hb = self
+            .catalog
+            .histogram(b)
+            .map_err(|e| ServiceError::from_query("estimation failed", &e))?;
+        let est = ha
+            .estimate_join(hb)
+            .map_err(|e| ServiceError::from_query("estimation failed", &QueryError::from(e)))?;
+        Ok(EstimateReply {
+            selectivity: est.selectivity,
+            pairs: est.pairs,
+        })
+    }
+
+    fn window_count(&self, table: &str, window: &Rect) -> Result<f64, ServiceError> {
+        let gh = self
+            .catalog
+            .gh_histogram(table)
+            .map_err(|e| ServiceError::from_query("window count failed", &e))?;
+        Ok(gh.estimate_window_count(window))
+    }
+
+    fn explain(&self, tables: &[String]) -> Result<String, ServiceError> {
+        let plan = self
+            .catalog
+            .plan(&ChainJoinQuery::new(tables.iter().cloned()))
+            .map_err(|e| ServiceError::from_query("planning failed", &e))?;
+        Ok(plan.to_string())
+    }
+
+    fn catalog_estimate(&self, a: &str, b: &str) -> Result<RemoteOutcome, ServiceError> {
+        let outcome = self
+            .catalog
+            .estimate_join_pairs_detailed(a, b, &self.policy)
+            .map_err(|e| ServiceError::from_query("estimation failed", &e))?;
+        Ok(RemoteOutcome::from_outcome(&outcome))
+    }
+
+    fn tables(&self) -> Vec<String> {
+        self.catalog
+            .table_names()
+            .into_iter()
+            .map(str::to_string)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn remote_outcome_round_trips() {
+        let o = RemoteOutcome {
+            pairs: 1234.5,
+            selectivity: 1.5e-4,
+            tier_name: "ph-rebuild".to_string(),
+            tier_display: "ph-rebuild".to_string(),
+            degraded: true,
+            skipped: vec![("primary".to_string(), "file corrupt".to_string())],
+        };
+        let bytes = o.to_bytes();
+        let mut r = PayloadReader::new(&bytes);
+        let got = RemoteOutcome::from_bytes(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(got, o);
+    }
+
+    #[test]
+    fn query_errors_map_to_cli_codes() {
+        let cases = [
+            (QueryError::UnknownTable("x".to_string()), status::RUNTIME),
+            (QueryError::TooFewTables(1), status::USAGE),
+            (
+                QueryError::EstimatorsExhausted("all off".to_string()),
+                status::EXHAUSTED,
+            ),
+            (
+                QueryError::StatisticsUnavailable {
+                    table: "t".to_string(),
+                    reason: "corrupt".to_string(),
+                },
+                status::CORRUPT,
+            ),
+        ];
+        for (err, want) in cases {
+            assert_eq!(ServiceError::from_query("ctx", &err).status, want, "{err}");
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Server-side fault injection over real sockets.
+//!
+//! Pins the daemon's error policy: corrupt or hostile input yields a
+//! typed wire error (or a byte-identical answer) — never a panic, never
+//! a wedged connection, never a dead server. Each test starts a live
+//! server on an OS-assigned port, injects its fault with raw socket
+//! writes, then proves the server still answers a clean ping.
+
+use sj_server::wire::{self, put_str, HEADER_LEN};
+use sj_server::{
+    Client, ClientError, EstimateReply, Frame, Opcode, RemoteOutcome, Server, ServiceError,
+    StatisticsService,
+};
+use std::io::{Read as _, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+/// Deterministic service stub: the tests here probe the wire layer, not
+/// the estimator.
+struct Stub;
+
+impl StatisticsService for Stub {
+    fn estimate(&self, a: &str, _b: &str) -> Result<EstimateReply, ServiceError> {
+        if a == "missing" {
+            return Err(ServiceError::new(wire::status::RUNTIME, "unknown table"));
+        }
+        Ok(EstimateReply {
+            selectivity: 0.125,
+            pairs: 1024.0,
+        })
+    }
+
+    fn window_count(&self, _table: &str, w: &sj_geo::Rect) -> Result<f64, ServiceError> {
+        Ok(w.area())
+    }
+
+    fn explain(&self, tables: &[String]) -> Result<String, ServiceError> {
+        Ok(format!("plan over {}", tables.join(",")))
+    }
+
+    fn catalog_estimate(&self, _a: &str, _b: &str) -> Result<RemoteOutcome, ServiceError> {
+        Ok(RemoteOutcome {
+            pairs: 1024.0,
+            selectivity: 0.125,
+            tier_name: "primary".to_string(),
+            tier_display: "primary (gh)".to_string(),
+            degraded: false,
+            skipped: Vec::new(),
+        })
+    }
+
+    fn tables(&self) -> Vec<String> {
+        vec!["a".to_string(), "b".to_string()]
+    }
+}
+
+/// Starts a daemon on an OS-assigned port; the returned closure joins it.
+fn start() -> (SocketAddr, impl FnOnce()) {
+    let server = Arc::new(Server::bind("127.0.0.1:0", Stub).expect("bind"));
+    let addr = server.local_addr().expect("local_addr");
+    let handle = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.run().expect("run"))
+    };
+    let stop = move || {
+        let mut c = Client::connect(addr).expect("connect for shutdown");
+        c.shutdown_server().expect("shutdown");
+        handle.join().expect("join");
+    };
+    (addr, stop)
+}
+
+/// The server must still answer after a fault elsewhere.
+fn assert_alive(addr: SocketAddr) {
+    let mut c = Client::connect(addr).expect("connect after fault");
+    c.ping().expect("ping after fault");
+}
+
+/// Reads the single error frame the server sends before closing a
+/// corrupted connection, returning its status byte.
+fn read_error_status(stream: &mut TcpStream) -> u8 {
+    let frame = Frame::read_from(stream).expect("error frame");
+    assert_eq!(frame.opcode, wire::ERROR_OPCODE, "{frame:?}");
+    frame.payload.first().copied().expect("status byte")
+}
+
+fn valid_estimate_bytes() -> Vec<u8> {
+    let mut p = Vec::new();
+    put_str(&mut p, "x");
+    put_str(&mut p, "y");
+    Frame::request(Opcode::Estimate, p).to_bytes()
+}
+
+#[test]
+fn truncated_frame_gets_typed_error_and_close() {
+    let (addr, stop) = start();
+    {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        let bytes = valid_estimate_bytes();
+        // Send only half the frame, then close our write side: the
+        // server sees a mid-frame EOF.
+        s.write_all(&bytes[..bytes.len() / 2]).expect("write");
+        s.shutdown(std::net::Shutdown::Write).expect("half-close");
+        assert_eq!(read_error_status(&mut s), wire::status::CORRUPT);
+        // The connection is closed afterwards: EOF, not a hang.
+        let mut rest = Vec::new();
+        assert_eq!(s.read_to_end(&mut rest).expect("read_to_end"), 0);
+    }
+    assert_alive(addr);
+    stop();
+}
+
+#[test]
+fn bit_flipped_payload_fails_the_checksum() {
+    let (addr, stop) = start();
+    {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        let mut bytes = valid_estimate_bytes();
+        let mid = HEADER_LEN + 1; // inside the payload
+        bytes[mid] ^= 0x40;
+        s.write_all(&bytes).expect("write");
+        assert_eq!(read_error_status(&mut s), wire::status::CORRUPT);
+    }
+    assert_alive(addr);
+    stop();
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_before_allocation() {
+    let (addr, stop) = start();
+    {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        let mut header = Vec::new();
+        header.extend_from_slice(&wire::MAGIC);
+        header.extend_from_slice(&wire::WIRE_VERSION.to_le_bytes());
+        header.push(Opcode::Ping.code());
+        header.push(0);
+        header.extend_from_slice(&u32::MAX.to_le_bytes()); // absurd length
+        s.write_all(&header).expect("write");
+        assert_eq!(read_error_status(&mut s), wire::status::CORRUPT);
+    }
+    assert_alive(addr);
+    stop();
+}
+
+#[test]
+fn bad_magic_and_bad_version_are_typed() {
+    let (addr, stop) = start();
+    {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        let mut bytes = valid_estimate_bytes();
+        bytes[0] = b'X'; // corrupt the magic
+        s.write_all(&bytes).expect("write");
+        assert_eq!(read_error_status(&mut s), wire::status::CORRUPT);
+    }
+    {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        let mut bytes = valid_estimate_bytes();
+        bytes[4] = 0xEE; // claim wire version 0xEE
+        bytes[5] = 0x00;
+        s.write_all(&bytes).expect("write");
+        assert_eq!(read_error_status(&mut s), wire::status::MISMATCH);
+    }
+    assert_alive(addr);
+    stop();
+}
+
+#[test]
+fn mid_request_disconnect_leaves_the_server_healthy() {
+    let (addr, stop) = start();
+    for _ in 0..4 {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        let bytes = valid_estimate_bytes();
+        s.write_all(&bytes[..HEADER_LEN + 1]).expect("write");
+        drop(s); // vanish mid-request
+    }
+    assert_alive(addr);
+    stop();
+}
+
+#[test]
+fn well_framed_bad_request_keeps_the_connection_open() {
+    let (addr, stop) = start();
+    {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        // A perfectly framed Estimate whose payload is garbage.
+        let frame = Frame::request(Opcode::Estimate, vec![0xFF, 0xFF, 0xFF]);
+        s.write_all(&frame.to_bytes()).expect("write");
+        let resp = Frame::read_from(&mut s).expect("typed response");
+        assert_eq!(resp.opcode, Opcode::Estimate.response());
+        assert_eq!(resp.payload.first(), Some(&wire::status::CORRUPT));
+        // Same connection, next request: still served.
+        Frame::request(Opcode::Ping, Vec::new())
+            .write_to(&mut s)
+            .expect("write ping");
+        let pong = Frame::read_from(&mut s).expect("pong");
+        assert_eq!(pong.opcode, Opcode::Ping.response());
+        assert_eq!(pong.payload, vec![wire::status::OK]);
+    }
+    assert_alive(addr);
+    stop();
+}
+
+#[test]
+fn unknown_opcode_answers_error_opcode_on_an_open_connection() {
+    let (addr, stop) = start();
+    {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        let frame = Frame {
+            opcode: 0x6A,
+            payload: Vec::new(),
+        };
+        s.write_all(&frame.to_bytes()).expect("write");
+        let resp = Frame::read_from(&mut s).expect("typed response");
+        assert_eq!(resp.opcode, wire::ERROR_OPCODE);
+        assert_eq!(resp.payload.first(), Some(&wire::status::USAGE));
+        // Well-framed, so the connection survives.
+        Frame::request(Opcode::Ping, Vec::new())
+            .write_to(&mut s)
+            .expect("write ping");
+        assert_eq!(
+            Frame::read_from(&mut s).expect("pong").opcode,
+            Opcode::Ping.response()
+        );
+    }
+    assert_alive(addr);
+    stop();
+}
+
+#[test]
+fn client_surfaces_remote_errors_typed() {
+    let (addr, stop) = start();
+    let mut c = Client::connect(addr).expect("connect");
+    let err = c.estimate("missing", "y").expect_err("remote failure");
+    match err {
+        ClientError::Remote { status, message } => {
+            assert_eq!(status, wire::status::RUNTIME);
+            assert!(message.contains("unknown table"), "{message}");
+        }
+        other => panic!("expected Remote, got {other:?}"),
+    }
+    // The connection survived the typed failure.
+    c.ping().expect("ping after remote error");
+    stop();
+}
+
+#[test]
+fn garbage_flood_never_wedges_the_server() {
+    let (addr, stop) = start();
+    for seed in 0u8..8 {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        // Deterministic pseudo-random garbage, no magic prefix.
+        let garbage: Vec<u8> = (0..512u32)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+            .collect();
+        drop(s.write_all(&garbage));
+        // The server answers one typed error (or just closes) — both
+        // fine; what it must not do is hang or die.
+        let mut sink = Vec::new();
+        drop(s.read_to_end(&mut sink));
+    }
+    assert_alive(addr);
+    stop();
+}
+
+#[test]
+fn concurrent_clients_get_bitwise_identical_answers() {
+    let (addr, stop) = start();
+    let answers: Vec<(u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut c = Client::connect(addr).expect("connect");
+                    let mut last = (0u64, 0u64);
+                    for _ in 0..50 {
+                        let r = c.estimate("x", "y").expect("estimate");
+                        last = (r.selectivity.to_bits(), r.pairs.to_bits());
+                    }
+                    last
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .collect()
+    });
+    let first = answers.first().copied().expect("at least one");
+    assert!(
+        answers.iter().all(|a| *a == first),
+        "answers diverged across threads: {answers:?}"
+    );
+    assert_eq!(first, (0.125f64.to_bits(), 1024.0f64.to_bits()));
+    stop();
+}

@@ -147,7 +147,7 @@ fn baseline_pair_counts_identical_at_every_thread_count() {
             &a,
             &b,
             RTreeConfig::default(),
-            sj_core::Parallelism::with_threads(threads),
+            sj_core::Parallelism::saturating_new(threads),
         );
         assert_eq!(par.pairs, reference.pairs);
         assert_eq!(par.selectivity, reference.selectivity);
@@ -185,7 +185,7 @@ fn estimator_reports_agree_serial_vs_parallel() {
                 &a,
                 &b,
                 &extent,
-                sj_core::Parallelism::with_threads(threads),
+                sj_core::Parallelism::saturating_new(threads),
             );
             assert_eq!(
                 par.estimate.selectivity, serial.estimate.selectivity,
@@ -247,7 +247,7 @@ fn experiment_rows_identical_serial_vs_parallel() {
     let ctx = sj_core::experiment::JoinContext::prepare("CAS with CAR", a, b);
 
     let serial6 = sj_core::experiment::fig6_rows(&ctx);
-    let par6 = sj_core::experiment::fig6_rows_par(&ctx, sj_core::Parallelism::with_threads(4));
+    let par6 = sj_core::experiment::fig6_rows_par(&ctx, sj_core::Parallelism::saturating_new(4));
     assert_eq!(serial6.len(), 27, "fig6 must keep the paper's 27 rows");
     assert_eq!(serial6.len(), par6.len());
     for (s, p) in serial6.iter().zip(&par6) {
@@ -263,7 +263,7 @@ fn experiment_rows_identical_serial_vs_parallel() {
 
     let serial7 = sj_core::experiment::fig7_rows(&ctx, 0..=4);
     let par7 =
-        sj_core::experiment::fig7_rows_par(&ctx, 0..=4, sj_core::Parallelism::with_threads(3));
+        sj_core::experiment::fig7_rows_par(&ctx, 0..=4, sj_core::Parallelism::saturating_new(3));
     assert_eq!(serial7.len(), par7.len());
     for (s, p) in serial7.iter().zip(&par7) {
         assert_eq!(s.scheme, p.scheme);
