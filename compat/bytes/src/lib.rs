@@ -122,6 +122,19 @@ pub trait Buf {
         f64::from_bits(self.get_u64_le())
     }
 
+    /// Whether any bytes remain to read.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads a little-endian `i64`.
+    ///
+    /// # Panics
+    /// Panics when fewer than 8 bytes remain.
+    fn get_i64_le(&mut self) -> i64 {
+        i64::from_le_bytes(self.get_u64_le().to_le_bytes())
+    }
+
     /// Reads one byte.
     ///
     /// # Panics
@@ -130,6 +143,15 @@ pub trait Buf {
         let b = self.chunk()[0];
         self.advance(1);
         b
+    }
+
+    /// Fills `dst` from the cursor, advancing past the copied bytes.
+    ///
+    /// # Panics
+    /// Panics when fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
     }
 }
 
@@ -164,6 +186,11 @@ pub trait BufMut {
 
     /// Appends a little-endian `u64`.
     fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64) {
         self.put_slice(&v.to_le_bytes());
     }
 

@@ -1,4 +1,6 @@
-//! Perf baseline for the statistics daemon: writes `BENCH_1.json`.
+//! Perf baseline for the statistics daemon: writes `BENCH_2.json`
+//! (every `BENCH_1.json` field preserved for comparability, plus the
+//! incremental-statistics section).
 //!
 //! Records, on a fixed seeded workload (SCRC ⋈ SURA at a fixed scale
 //! and grid level):
@@ -16,20 +18,27 @@
 //!   frame versus the same pairs as sequential single requests;
 //! - **merge throughput** — rectangles/sec and merges/sec of the
 //!   sharded histogram build (`build_histogram_sharded`), the merge
-//!   path `sj-lint verify-merge` proves bit-identical.
+//!   path `sj-lint verify-merge` proves bit-identical;
+//! - **delta maintenance** — per-operation cost of the incremental
+//!   path (`HistogramDelta::build` + `apply_delta`, the path `sj-lint
+//!   verify-delta` proves rebuild-equivalent) versus a full histogram
+//!   rebuild over the mutated dataset, at several dataset scales with
+//!   a fixed small mutation batch.
 //!
-//! The acceptance floor asserted by CI: warm-server p50 must sit at
-//! least 5× below cold-CLI p50 (`meets_5x_floor`). Residency is the
-//! entire point of the daemon; if this ratio collapses the server is
-//! not actually amortizing the build.
+//! Two acceptance floors asserted by CI: warm-server p50 must sit at
+//! least 5× below cold-CLI p50 (`meets_5x_floor`) — residency is the
+//! entire point of the daemon — and delta-apply throughput must be at
+//! least 10× full-rebuild throughput at the largest benchmarked scale
+//! (`delta.meets_10x_floor`) — constant-in-|D| maintenance is the
+//! entire point of the incremental path.
 //!
 //! ```sh
-//! cargo run --release -p sj-bench --bin latency_server -- --out BENCH_1.json
+//! cargo run --release -p sj-bench --bin latency_server -- --out BENCH_2.json
 //! ```
 
 use sj_datagen::presets;
-use sj_geo::Extent;
-use sj_histogram::{build_histogram, build_histogram_sharded, Grid, HistogramKind};
+use sj_geo::{Extent, Rect};
+use sj_histogram::{build_histogram, build_histogram_sharded, Grid, HistogramDelta, HistogramKind};
 use sj_server::Client;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -44,6 +53,14 @@ const WARM_WARMUP: usize = 100;
 const BATCH_SIZE: usize = 64;
 const MERGE_SHARDS: usize = 8;
 const MERGE_ROUNDS: usize = 5;
+/// Dataset scales for the delta-maintenance section, smallest to
+/// largest; the 10× floor is asserted at the last (largest) scale,
+/// where a full rebuild is most expensive and the fixed-size batch
+/// cheapest in proportion.
+const DELTA_SCALES: [f64; 3] = [0.01, 0.05, 0.2];
+const DELTA_INSERTS: usize = 64;
+const DELTA_DELETES: usize = 32;
+const DELTA_ROUNDS: usize = 15;
 
 #[derive(serde::Serialize)]
 struct LatencyStats {
@@ -103,8 +120,36 @@ struct Workload {
     level: u32,
 }
 
+/// One dataset scale of the delta-maintenance comparison: mean cost of
+/// a full rebuild over the mutated dataset versus one incremental
+/// operation (`HistogramDelta::build` over the batch + `apply_delta`).
 #[derive(serde::Serialize)]
-struct Bench1 {
+struct DeltaScaleStats {
+    scale: f64,
+    objects: usize,
+    batch_inserts: usize,
+    batch_deletes: usize,
+    rounds: usize,
+    rebuild_ms: f64,
+    delta_apply_ms: f64,
+    rebuild_per_sec: f64,
+    delta_per_sec: f64,
+    speedup: f64,
+}
+
+#[derive(serde::Serialize)]
+struct DeltaStats {
+    kind: String,
+    level: u32,
+    scales: Vec<DeltaScaleStats>,
+    largest_scale_speedup: f64,
+    meets_10x_floor: bool,
+}
+
+/// The `BENCH_2.json` report: every `BENCH_1.json` field, unchanged,
+/// plus the `delta` section.
+#[derive(serde::Serialize)]
+struct Bench2 {
     bench: String,
     workload: Workload,
     statistics_build: Vec<BuildStats>,
@@ -114,6 +159,66 @@ struct Bench1 {
     merge: MergeStats,
     speedup_p50: f64,
     meets_5x_floor: bool,
+    delta: DeltaStats,
+}
+
+/// Measures one scale of the delta-maintenance comparison. The timed
+/// incremental operation is the whole maintenance path a WAL replay or
+/// tier append pays — build the signed delta from the batch, then
+/// apply it — alternating a forward and an inverse batch so the
+/// histogram under maintenance returns to its base state every other
+/// operation (no untimed clone in the loop).
+fn delta_scale(grid: Grid, scale: f64) -> DeltaScaleStats {
+    let base = presets::scrc(scale).rects;
+    let donor = presets::sura(scale).rects;
+    let inserts: Vec<Rect> = donor.iter().copied().take(DELTA_INSERTS).collect();
+    let deletes: Vec<Rect> = base.iter().copied().take(DELTA_DELETES).collect();
+    let target: Vec<Rect> = base
+        .iter()
+        .skip(DELTA_DELETES)
+        .chain(&inserts)
+        .copied()
+        .collect();
+
+    // Full rebuild over the mutated dataset, DELTA_ROUNDS times.
+    let t = Instant::now();
+    for _ in 0..DELTA_ROUNDS {
+        let h = build_histogram(HistogramKind::Gh, grid, &target);
+        assert_eq!(h.dataset_len(), target.len());
+    }
+    let rebuild_secs = t.elapsed().as_secs_f64() / DELTA_ROUNDS as f64;
+
+    // Incremental maintenance: forward batch, then its inverse, each a
+    // full build-delta-and-apply operation (2 ops per round).
+    let mut maintained = build_histogram(HistogramKind::Gh, grid, &base);
+    let before = maintained.persist();
+    let ops = 2 * DELTA_ROUNDS;
+    let t = Instant::now();
+    for _ in 0..DELTA_ROUNDS {
+        let forward = HistogramDelta::build(HistogramKind::Gh, grid, &inserts, &deletes);
+        maintained.apply_delta(&forward).expect("forward applies");
+        let inverse = HistogramDelta::build(HistogramKind::Gh, grid, &deletes, &inserts);
+        maintained.apply_delta(&inverse).expect("inverse applies");
+    }
+    let delta_secs = t.elapsed().as_secs_f64() / ops as f64;
+    assert_eq!(
+        maintained.persist(),
+        before,
+        "forward/inverse maintenance must return to the base state"
+    );
+
+    DeltaScaleStats {
+        scale,
+        objects: base.len(),
+        batch_inserts: inserts.len(),
+        batch_deletes: deletes.len(),
+        rounds: DELTA_ROUNDS,
+        rebuild_ms: rebuild_secs * 1e3,
+        delta_apply_ms: delta_secs * 1e3,
+        rebuild_per_sec: 1.0 / rebuild_secs,
+        delta_per_sec: 1.0 / delta_secs,
+        speedup: rebuild_secs / delta_secs,
+    }
 }
 
 fn secs_to_us(d: Duration) -> f64 {
@@ -177,7 +282,7 @@ fn boot(
 }
 
 fn main() {
-    let mut out_path = "BENCH_1.json".to_string();
+    let mut out_path = "BENCH_2.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -300,8 +405,30 @@ fn main() {
         merge.shards, merge.sharded_build_ms, merge.rects_per_sec
     );
 
+    // --- delta maintenance vs full rebuild --------------------------
+    let scales: Vec<DeltaScaleStats> = DELTA_SCALES
+        .iter()
+        .map(|&scale| {
+            let s = delta_scale(grid, scale);
+            println!(
+                "delta    : scale {:.3} ({} objects): rebuild {:.2} ms vs \
+                 delta op {:.2} ms ({:.1}x)",
+                s.scale, s.objects, s.rebuild_ms, s.delta_apply_ms, s.speedup
+            );
+            s
+        })
+        .collect();
+    let largest_scale_speedup = scales.last().map_or(0.0, |s| s.speedup);
+    let delta = DeltaStats {
+        kind: "gh".to_string(),
+        level: LEVEL,
+        scales,
+        largest_scale_speedup,
+        meets_10x_floor: largest_scale_speedup >= 10.0,
+    };
+
     let speedup_p50 = cold_cli.p50_us / warm_server.p50_us;
-    let report = Bench1 {
+    let report = Bench2 {
         bench: "latency_server".to_string(),
         workload: Workload {
             datasets: vec![a.name.clone(), b.name.clone()],
@@ -315,12 +442,20 @@ fn main() {
         merge,
         speedup_p50,
         meets_5x_floor: speedup_p50 >= 5.0,
+        delta,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize");
-    std::fs::write(&out_path, json).expect("write BENCH_1.json");
+    std::fs::write(&out_path, json).expect("write BENCH_2.json");
     println!(
-        "\nspeedup p50: {speedup_p50:.1}x (floor 5x: {})\nwrote {out_path}",
+        "\nspeedup p50: {speedup_p50:.1}x (floor 5x: {})\n\
+         delta speedup at largest scale: {largest_scale_speedup:.1}x (floor 10x: {})\n\
+         wrote {out_path}",
         if report.meets_5x_floor {
+            "PASS"
+        } else {
+            "FAIL"
+        },
+        if report.delta.meets_10x_floor {
             "PASS"
         } else {
             "FAIL"
@@ -329,5 +464,10 @@ fn main() {
     assert!(
         report.meets_5x_floor,
         "warm-server p50 must be at least 5x below cold-CLI p50, got {speedup_p50:.2}x"
+    );
+    assert!(
+        report.delta.meets_10x_floor,
+        "delta-apply throughput must be at least 10x full-rebuild throughput \
+         at the largest benchmarked scale, got {largest_scale_speedup:.2}x"
     );
 }

@@ -24,6 +24,11 @@
 //!   filter-step join.
 //! * `window-count FILE.hist --window x0,y0,x1,y1` — estimate how many
 //!   objects intersect a window (GH files only).
+//! * `apply-delta BASE.hist --inserts I.csv --deletes D.csv --out OUT` —
+//!   fold a signed insert/delete statistics delta into a histogram file
+//!   offline, byte-identical to a full rebuild over the mutated data.
+//! * `compact BASE.hist DELTA.hdelta [...] --out OUT` — fold persisted
+//!   delta envelopes into a base histogram file.
 //! * `serve FILES... [--addr HOST:PORT] [--stats-dir DIR]` — load the
 //!   catalog once and answer estimate requests over TCP until a client
 //!   sends `shutdown` (the paper's estimates are cheap only once the
@@ -49,16 +54,16 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 use sj_core::{
-    build_histogram_parallel, build_histogram_sharded, load_histogram, presets, Dataset,
-    DatasetError, EulerHistogram, Extent, GhBasicHistogram, GhHistogram, Grid, HistogramError,
-    HistogramKind, JoinBaseline, Parallelism, PhHistogram, RTreeConfig, Rect, SpatialHistogram,
-    ValidationPolicy,
+    build_histogram_parallel, build_histogram_sharded, load_delta, load_histogram, presets,
+    Dataset, DatasetError, EulerHistogram, Extent, GhBasicHistogram, GhHistogram, Grid,
+    HistogramError, HistogramKind, JoinBaseline, Parallelism, PhHistogram, RTreeConfig, Rect,
+    SpatialHistogram, ValidationPolicy,
 };
-use sj_query::{Catalog, CatalogConfig, DegradationPolicy, QueryError};
+use sj_query::{Catalog, CatalogConfig, CompactionPolicy, DegradationPolicy, QueryError};
 use sj_server::{CatalogService, Client, ClientError, RemoteOutcome, Server};
 use std::fmt::Write as _;
 use std::path::Path;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// Documented process exit codes. Each failure category maps to one code
 /// so scripts can react without parsing stderr text.
@@ -120,6 +125,7 @@ impl CliError {
                 exit_code::MISMATCH
             }
             HistogramError::LevelTooLarge(_) => exit_code::USAGE,
+            HistogramError::DeltaOutOfRange { .. } => exit_code::INVALID_DATA,
             // Future (non_exhaustive) histogram errors: a conservative
             // runtime failure until a dedicated exit code exists.
             _ => exit_code::RUNTIME,
@@ -143,6 +149,11 @@ impl CliError {
                 code: exit_code::CORRUPT,
             },
             QueryError::TooFewTables(_) => Self::usage(format!("{context}: {e}")),
+            QueryError::DeleteNotFound { .. } => Self {
+                message: format!("{context}: {e}"),
+                code: exit_code::INVALID_DATA,
+            },
+            QueryError::Io(_) => Self::io(format!("{context}: {e}")),
             QueryError::UnknownTable(_)
             | QueryError::DuplicateTable(_)
             | QueryError::ResultTooLarge { .. } => Self::runtime(format!("{context}: {e}")),
@@ -229,6 +240,8 @@ pub fn run(args: &[String]) -> Result<CliOutput, CliError> {
         "catalog-estimate" => cmd_catalog_estimate(rest),
         "exact-join" => cmd_exact_join(rest),
         "window-count" => cmd_window_count(rest),
+        "apply-delta" => cmd_apply_delta(rest),
+        "compact" => cmd_compact(rest),
         "serve" => cmd_serve(rest),
         "client" => cmd_client(rest),
         "--help" | "-h" | "help" => Ok(CliOutput::new(USAGE)),
@@ -256,6 +269,10 @@ USAGE:
         [--sample-percent F] [--ph-level L]
   sjsel exact-join A.csv B.csv [--backend rtree|sweep] [--threads N] [--validate P]
   sjsel window-count FILE.hist --window x0,y0,x1,y1
+  sjsel apply-delta BASE.hist --out FILE.hist [--inserts FILE.csv]
+        [--deletes FILE.csv] [--save-delta FILE.hdelta] [--threads N]
+        [--validate P]
+  sjsel compact BASE.hist DELTA.hdelta [MORE.hdelta ...] --out FILE.hist
   sjsel serve FILE.csv [MORE.csv ...] [--addr HOST:PORT] [--kind K] [--level L]
         [--stats-dir DIR] [--validate P] [--ready-file PATH]
   sjsel client --addr HOST:PORT <ping|tables|shutdown>
@@ -264,12 +281,23 @@ USAGE:
   sjsel client --addr HOST:PORT window-count TABLE --window x0,y0,x1,y1
   sjsel client --addr HOST:PORT explain TABLE_A TABLE_B [MORE ...]
   sjsel client --addr HOST:PORT batch-estimate A,B [C,D ...]
+  sjsel client --addr HOST:PORT insert-batch TABLE FILE.csv [--validate P]
+  sjsel client --addr HOST:PORT delete-batch TABLE FILE.csv [--validate P]
+  sjsel client --addr HOST:PORT compact TABLE
 
 serve registers each dataset under its file stem as the table name and
 answers until a client sends shutdown; with --addr ending in :0 the OS
 picks the port and --ready-file receives the bound address. client
 output is byte-identical to the matching cold subcommand; remote
 failures exit with the cold path's exit code.
+
+apply-delta builds the signed statistics delta of an insert/delete
+batch and folds it into a histogram file — byte-identical to a full
+rebuild over the mutated dataset; compact folds persisted .hdelta
+files into a base envelope the same way. client insert-batch /
+delete-batch / compact apply the same operations to a live daemon's
+tables without a restart; with --stats-dir the daemon write-ahead-logs
+every batch and replays the log on the next start.
 
 --threads defaults to the machine's available parallelism (must be >= 1);
 results are identical at every thread count.
@@ -702,16 +730,28 @@ fn cmd_catalog_estimate(args: &[String]) -> Result<CliOutput, CliError> {
 
     // Register each table: from saved statistics when --stats-dir holds a
     // `<stem>.hist` for it (leniently — unusable statistics degrade the
-    // estimate instead of failing), from a fresh build otherwise.
+    // estimate instead of failing), from a fresh build otherwise. A
+    // `<stem>.base` compaction snapshot means the daemon has folded
+    // mutations into that histogram, so it no longer describes the CSV;
+    // this cold path estimates the CSVs as given and builds fresh.
     for (path, ds) in [(a_path, a), (b_path, b)] {
         let table = ds.name.clone();
-        let stats_file = stats_dir.as_ref().map(|dir| {
-            let stem = Path::new(path).file_stem().map_or_else(
-                || "dataset".to_string(),
-                |s| s.to_string_lossy().into_owned(),
-            );
-            Path::new(dir).join(format!("{stem}.hist"))
-        });
+        let stem = Path::new(path).file_stem().map_or_else(
+            || "dataset".to_string(),
+            |s| s.to_string_lossy().into_owned(),
+        );
+        let snapshot = stats_dir
+            .as_ref()
+            .map(|dir| Path::new(dir).join(format!("{stem}.base")));
+        if snapshot.is_some_and(|f| f.exists()) {
+            catalog
+                .register(ds)
+                .map_err(|e| CliError::from_query("registration failed", &e))?;
+            continue;
+        }
+        let stats_file = stats_dir
+            .as_ref()
+            .map(|dir| Path::new(dir).join(format!("{stem}.hist")));
         match stats_file {
             Some(f) if f.exists() => {
                 let bytes = std::fs::read(&f)
@@ -853,6 +893,100 @@ fn table_name_for(path: &str) -> String {
     )
 }
 
+fn cmd_apply_delta(args: &[String]) -> Result<CliOutput, CliError> {
+    let mut args = args.to_vec();
+    let out = take_flag(&mut args, "--out")?
+        .ok_or_else(|| CliError::usage("apply-delta requires --out"))?;
+    let inserts_path = take_flag(&mut args, "--inserts")?;
+    let deletes_path = take_flag(&mut args, "--deletes")?;
+    let save_delta = take_flag(&mut args, "--save-delta")?;
+    let par = take_threads(&mut args)?;
+    let policy = take_validation(&mut args)?;
+    let [base_path] = args.as_slice() else {
+        return Err(CliError::usage(
+            "apply-delta takes exactly one base histogram path",
+        ));
+    };
+    if inserts_path.is_none() && deletes_path.is_none() {
+        return Err(CliError::usage(
+            "apply-delta requires --inserts and/or --deletes",
+        ));
+    }
+    let mut warnings = Vec::new();
+    let bytes = std::fs::read(base_path)
+        .map_err(|e| CliError::io(format!("failed to read {base_path}: {e}")))?;
+    let mut hist = decode_histogram(base_path, &bytes)?;
+    let load_batch = |path: &Option<String>, warnings: &mut Vec<String>| match path {
+        Some(p) => Ok(load_dataset(p, policy, warnings)?.rects),
+        None => Ok(Vec::new()),
+    };
+    let inserts = load_batch(&inserts_path, &mut warnings)?;
+    let deletes = load_batch(&deletes_path, &mut warnings)?;
+    let delta = sj_core::HistogramDelta::build_parallel(
+        hist.kind(),
+        hist.grid(),
+        &inserts,
+        &deletes,
+        par.threads(),
+    );
+    hist.apply_delta(&delta)
+        .map_err(|e| CliError::from_histogram(base_path, &e))?;
+    if let Some(dp) = &save_delta {
+        std::fs::write(dp, delta.persist())
+            .map_err(|e| CliError::io(format!("failed to write {dp}: {e}")))?;
+    }
+    let out_bytes = hist.persist();
+    std::fs::write(&out, &out_bytes)
+        .map_err(|e| CliError::io(format!("failed to write {out}: {e}")))?;
+    Ok(CliOutput::with_warnings(
+        format!(
+            "applied delta (+{} -{} rects) to {} ({} bytes) -> {out}",
+            delta.inserts(),
+            delta.deletes(),
+            kind_label(hist.kind()),
+            out_bytes.len()
+        ),
+        warnings,
+    ))
+}
+
+fn cmd_compact(args: &[String]) -> Result<CliOutput, CliError> {
+    let mut args = args.to_vec();
+    let out =
+        take_flag(&mut args, "--out")?.ok_or_else(|| CliError::usage("compact requires --out"))?;
+    let Some((base_path, delta_paths)) = args.split_first() else {
+        return Err(CliError::usage(
+            "compact takes a base histogram path and at least one .hdelta path",
+        ));
+    };
+    if delta_paths.is_empty() {
+        return Err(CliError::usage("compact takes at least one .hdelta path"));
+    }
+    let bytes = std::fs::read(base_path)
+        .map_err(|e| CliError::io(format!("failed to read {base_path}: {e}")))?;
+    let mut hist = decode_histogram(base_path, &bytes)?;
+    let mut inserts = 0u64;
+    let mut deletes = 0u64;
+    for dp in delta_paths {
+        let bytes =
+            std::fs::read(dp).map_err(|e| CliError::io(format!("failed to read {dp}: {e}")))?;
+        let delta = load_delta(&bytes).map_err(|e| CliError::from_histogram(dp, &e))?;
+        hist.apply_delta(&delta)
+            .map_err(|e| CliError::from_histogram(dp, &e))?;
+        inserts += delta.inserts();
+        deletes += delta.deletes();
+    }
+    let out_bytes = hist.persist();
+    std::fs::write(&out, &out_bytes)
+        .map_err(|e| CliError::io(format!("failed to write {out}: {e}")))?;
+    Ok(CliOutput::new(format!(
+        "compacted {} delta file(s) (+{inserts} -{deletes} rects) into {} ({} bytes) -> {out}",
+        delta_paths.len(),
+        kind_label(hist.kind()),
+        out_bytes.len()
+    )))
+}
+
 fn cmd_serve(args: &[String]) -> Result<CliOutput, CliError> {
     let mut args = args.to_vec();
     let addr = take_flag(&mut args, "--addr")?.unwrap_or_else(|| "127.0.0.1:7878".to_string());
@@ -888,6 +1022,19 @@ fn cmd_serve(args: &[String]) -> Result<CliOutput, CliError> {
         let mut ds = load_dataset(path, validate, &mut warnings)?;
         let table = table_name_for(path);
         ds.name.clone_from(&table);
+        // A compaction snapshot marks a table whose authoritative state
+        // lives in the statistics store (folded mutations mean the CSV
+        // and the saved histogram no longer agree): defer statistics and
+        // let open_stats_store below install the snapshotted pair.
+        let snapshot = stats_dir
+            .as_ref()
+            .map(|dir| Path::new(dir).join(format!("{table}.base")));
+        if snapshot.is_some_and(|f| f.exists()) {
+            catalog
+                .register_deferred(ds)
+                .map_err(|e| CliError::from_query("registration failed", &e))?;
+            continue;
+        }
         let stats_file = stats_dir
             .as_ref()
             .map(|dir| Path::new(dir).join(format!("{table}.hist")));
@@ -912,7 +1059,24 @@ fn cmd_serve(args: &[String]) -> Result<CliOutput, CliError> {
         }
     }
 
-    let service = CatalogService::new(Arc::new(catalog), DegradationPolicy::default());
+    // With a statistics directory the daemon keeps a per-table
+    // write-ahead delta log there: mutations survive a crash and are
+    // replayed into the in-memory statistics on the next start.
+    if let Some(dir) = &stats_dir {
+        let recovery = catalog
+            .open_stats_store(Path::new(dir), CompactionPolicy::default())
+            .map_err(|e| CliError::from_query("failed to open statistics store", &e))?;
+        if recovery.installed > 0 || recovery.replayed > 0 || recovery.torn_tails > 0 {
+            warnings.push(format!(
+                "recovered statistics from {dir}: {} snapshot(s) installed, \
+                 {} WAL record(s) replayed, {} already-folded record(s) skipped, \
+                 {} torn tail(s) discarded",
+                recovery.installed, recovery.replayed, recovery.skipped, recovery.torn_tails
+            ));
+        }
+    }
+
+    let service = CatalogService::new(Arc::new(RwLock::new(catalog)), DegradationPolicy::default());
     let server =
         Server::bind(addr.as_str(), service).map_err(|e| CliError::io(format!("serve: {e}")))?;
     let local = server
@@ -965,13 +1129,19 @@ fn cmd_client(args: &[String]) -> Result<CliOutput, CliError> {
         .ok_or_else(|| CliError::usage("client requires --addr HOST:PORT"))?;
     let json = take_switch(&mut args, "--json");
     let window = take_flag(&mut args, "--window")?;
+    let validate = take_validation(&mut args)?;
     let Some((op, rest)) = args.split_first() else {
         return Err(CliError::usage(
             "client requires an operation (ping, tables, estimate, catalog-estimate, \
-             window-count, explain, batch-estimate, shutdown)",
+             window-count, explain, batch-estimate, insert-batch, delete-batch, \
+             compact, shutdown)",
         ));
     };
-    let mut client = Client::connect(addr.as_str()).map_err(from_client)?;
+    // Retry on the fixed backoff schedule: a daemon that is still
+    // binding (scripts often start both at once) is reached without a
+    // race, while a permanently absent one still fails with the I/O
+    // exit code after the bounded schedule runs out.
+    let mut client = Client::connect_with_retry(addr.as_str()).map_err(from_client)?;
     match (op.as_str(), rest) {
         ("ping", []) => {
             client.ping().map_err(from_client)?;
@@ -1041,6 +1211,41 @@ fn cmd_client(args: &[String]) -> Result<CliOutput, CliError> {
             }
             out.truncate(out.trim_end_matches('\n').len());
             Ok(CliOutput::with_warnings(out, warnings))
+        }
+        ("insert-batch" | "delete-batch", [table, file]) => {
+            let mut warnings = Vec::new();
+            let ds = load_dataset(file, validate, &mut warnings)?;
+            let reply = if op == "insert-batch" {
+                client.insert_batch(table, &ds.rects)
+            } else {
+                client.delete_batch(table, &ds.rects)
+            }
+            .map_err(from_client)?;
+            Ok(CliOutput::with_warnings(
+                format!(
+                    "{op} applied {} rect(s) to {table}; {} pending delta tier(s){}",
+                    reply.applied,
+                    reply.pending_tiers,
+                    if reply.compacted {
+                        " (auto-compacted)"
+                    } else {
+                        ""
+                    }
+                ),
+                warnings,
+            ))
+        }
+        ("compact", [table]) => {
+            let reply = client.compact(table).map_err(from_client)?;
+            Ok(CliOutput::new(format!(
+                "compacted {table}: {} tier(s) folded{}",
+                reply.tiers_folded,
+                if reply.persisted {
+                    "; statistics file rewritten"
+                } else {
+                    ""
+                }
+            )))
         }
         ("shutdown", []) => {
             client.shutdown_server().map_err(from_client)?;
@@ -1586,6 +1791,253 @@ mod tests {
         assert_eq!(stop.stdout, "server shut down");
         let served = daemon.join().unwrap().unwrap();
         assert!(served.contains("stopped"), "{served}");
+    }
+
+    #[test]
+    fn apply_delta_and_compact_match_full_rebuild() {
+        let base_csv = tmp("delta_base.csv");
+        let extra_csv = tmp("delta_extra.csv");
+        run(&argv(&[
+            "generate", "scrc", "--scale", "0.01", "--out", &base_csv,
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "generate", "sura", "--scale", "0.005", "--out", &extra_csv,
+        ]))
+        .unwrap();
+        // The ground truth: a histogram built from base ∪ extra in one go
+        // (the CSV format is headerless rows, so concatenation unions).
+        let union_csv = tmp("delta_union.csv");
+        let both = format!(
+            "{}{}",
+            std::fs::read_to_string(&base_csv).unwrap(),
+            std::fs::read_to_string(&extra_csv).unwrap()
+        );
+        std::fs::write(&union_csv, both).unwrap();
+        for kind in ["ph", "gh-basic", "gh", "euler"] {
+            let base_hist = tmp(&format!("delta_base_{kind}.hist"));
+            let union_hist = tmp(&format!("delta_union_{kind}.hist"));
+            let updated_hist = tmp(&format!("delta_updated_{kind}.hist"));
+            let hdelta = tmp(&format!("delta_{kind}.hdelta"));
+            for (src, out) in [(&base_csv, &base_hist), (&union_csv, &union_hist)] {
+                run(&argv(&[
+                    "build-histogram",
+                    src,
+                    "--level",
+                    "4",
+                    "--kind",
+                    kind,
+                    "--out",
+                    out,
+                ]))
+                .unwrap();
+            }
+            let out = run(&argv(&[
+                "apply-delta",
+                &base_hist,
+                "--inserts",
+                &extra_csv,
+                "--out",
+                &updated_hist,
+                "--save-delta",
+                &hdelta,
+            ]))
+            .unwrap();
+            assert!(out.contains("applied delta"), "{out}");
+            assert_eq!(
+                std::fs::read(&updated_hist).unwrap(),
+                std::fs::read(&union_hist).unwrap(),
+                "apply-delta diverged from the full rebuild for {kind}"
+            );
+            // Folding the persisted .hdelta into the base file offline
+            // reaches the same bytes.
+            let compacted_hist = tmp(&format!("delta_compacted_{kind}.hist"));
+            run(&argv(&[
+                "compact",
+                &base_hist,
+                &hdelta,
+                "--out",
+                &compacted_hist,
+            ]))
+            .unwrap();
+            assert_eq!(
+                std::fs::read(&compacted_hist).unwrap(),
+                std::fs::read(&union_hist).unwrap(),
+                "compact diverged from the full rebuild for {kind}"
+            );
+            // Deleting the inserts again restores the base bytes.
+            let restored_hist = tmp(&format!("delta_restored_{kind}.hist"));
+            run(&argv(&[
+                "apply-delta",
+                &updated_hist,
+                "--deletes",
+                &extra_csv,
+                "--out",
+                &restored_hist,
+            ]))
+            .unwrap();
+            assert_eq!(
+                std::fs::read(&restored_hist).unwrap(),
+                std::fs::read(&base_hist).unwrap(),
+                "delete delta did not invert the insert delta for {kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_delta_underflow_is_typed() {
+        let base_csv = tmp("uflow_base.csv");
+        run(&argv(&[
+            "generate", "scrc", "--scale", "0.005", "--out", &base_csv,
+        ]))
+        .unwrap();
+        let base_hist = tmp("uflow_base.hist");
+        run(&argv(&[
+            "build-histogram",
+            &base_csv,
+            "--level",
+            "4",
+            "--out",
+            &base_hist,
+        ]))
+        .unwrap();
+        // Deleting the dataset twice over must underflow: typed exit
+        // code, not a panic or wrapped counters.
+        let doubled = format!(
+            "{}{}",
+            std::fs::read_to_string(&base_csv).unwrap(),
+            std::fs::read_to_string(&base_csv).unwrap()
+        );
+        let doubled_csv = tmp("uflow_doubled.csv");
+        std::fs::write(&doubled_csv, doubled).unwrap();
+        let err = run(&argv(&[
+            "apply-delta",
+            &base_hist,
+            "--deletes",
+            &doubled_csv,
+            "--out",
+            &tmp("uflow_out.hist"),
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, exit_code::INVALID_DATA, "{}", err.message);
+        assert!(
+            err.message.contains("delta application rejected"),
+            "{}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn serve_absorbs_mutations_without_restart() {
+        let a_csv = tmp("mut_a.csv");
+        let b_csv = tmp("mut_b.csv");
+        run(&argv(&[
+            "generate", "scrc", "--scale", "0.01", "--out", &a_csv,
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "generate", "sura", "--scale", "0.005", "--out", &b_csv,
+        ]))
+        .unwrap();
+        let stats_dir = tmp("mut_stats");
+        drop(std::fs::remove_dir_all(&stats_dir));
+        let ready = tmp("mut_ready.txt");
+        drop(std::fs::remove_file(&ready));
+        let serve_args = argv(&[
+            "serve",
+            &a_csv,
+            &b_csv,
+            "--level",
+            "4",
+            "--addr",
+            "127.0.0.1:0",
+            "--stats-dir",
+            &stats_dir,
+            "--ready-file",
+            &ready,
+        ]);
+        let daemon = std::thread::spawn(move || run(&serve_args));
+        let addr = {
+            let mut tries = 0;
+            loop {
+                match std::fs::read_to_string(&ready) {
+                    Ok(s) if s.ends_with('\n') => break s.trim().to_string(),
+                    _ if tries > 500 => panic!("server never became ready"),
+                    _ => {
+                        tries += 1;
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                    }
+                }
+            }
+        };
+
+        let before = run(&argv(&[
+            "client", "--addr", &addr, "estimate", "mut_a", "mut_b",
+        ]))
+        .unwrap();
+
+        // Insert the whole B dataset into table A, then estimate again:
+        // the daemon absorbed the write without restarting.
+        let ins = run(&argv(&[
+            "client",
+            "--addr",
+            &addr,
+            "insert-batch",
+            "mut_a",
+            &b_csv,
+        ]))
+        .unwrap();
+        assert!(ins.contains("insert-batch applied"), "{ins}");
+        let after = run(&argv(&[
+            "client", "--addr", &addr, "estimate", "mut_a", "mut_b",
+        ]))
+        .unwrap();
+        assert_ne!(before.stdout, after.stdout, "estimate ignored the insert");
+
+        // The WAL records the batch on disk.
+        let wal = Path::new(&stats_dir).join("mut_a.wal");
+        assert!(wal.exists(), "no WAL at {}", wal.display());
+
+        // Deleting it again restores the original estimate.
+        let del = run(&argv(&[
+            "client",
+            "--addr",
+            &addr,
+            "delete-batch",
+            "mut_a",
+            &b_csv,
+        ]))
+        .unwrap();
+        assert!(del.contains("delete-batch applied"), "{del}");
+        let restored = run(&argv(&[
+            "client", "--addr", &addr, "estimate", "mut_a", "mut_b",
+        ]))
+        .unwrap();
+        assert_eq!(before.stdout, restored.stdout);
+
+        // A delete that matches nothing is refused with the data code.
+        let err = run(&argv(&[
+            "client",
+            "--addr",
+            &addr,
+            "delete-batch",
+            "mut_b",
+            &a_csv,
+        ]))
+        .unwrap_err();
+        assert_eq!(err.code, exit_code::INVALID_DATA, "{}", err.message);
+
+        // Compaction folds the pending tiers and rewrites the base file.
+        let comp = run(&argv(&["client", "--addr", &addr, "compact", "mut_a"])).unwrap();
+        assert!(comp.contains("compacted mut_a"), "{comp}");
+        assert!(
+            Path::new(&stats_dir).join("mut_a.hist").exists(),
+            "compaction did not persist the statistics file"
+        );
+        assert!(!wal.exists(), "compaction did not truncate the WAL");
+
+        run(&argv(&["client", "--addr", &addr, "shutdown"])).unwrap();
+        daemon.join().unwrap().unwrap();
     }
 
     #[test]

@@ -146,10 +146,90 @@ fn every_documented_subcommand_is_in_the_usage_text_and_vice_versa() {
             "--help lists `sjsel {sub}` but docs/CLI.md does not document it"
         );
     }
-    for sub in ["serve", "client", "estimate", "catalog-estimate"] {
+    for sub in [
+        "serve",
+        "client",
+        "estimate",
+        "catalog-estimate",
+        "apply-delta",
+        "compact",
+    ] {
         assert!(
             documented.contains(&sub),
             "expected `sjsel {sub}` documented"
+        );
+    }
+}
+
+#[test]
+fn wire_opcode_table_matches_opcode_all() {
+    use sj_server::Opcode;
+    let doc = docs_cli_md();
+    let table = table_after(&doc, "### Wire opcodes");
+
+    let actual: Vec<(i64, String)> = Opcode::ALL
+        .iter()
+        .map(|op| (i64::from(op.code()), format!("{op:?}")))
+        .collect();
+    assert_eq!(
+        table.keys().copied().collect::<Vec<_>>(),
+        actual.iter().map(|(c, _)| *c).collect::<Vec<_>>(),
+        "documented opcodes diverge from sj_server::Opcode::ALL: {table:?}"
+    );
+    for (code, name) in &actual {
+        let documented = table[code].trim_matches('`');
+        assert_eq!(
+            documented, name,
+            "opcode {code} documented as {documented:?}, the enum calls it {name:?}"
+        );
+    }
+}
+
+#[test]
+fn subcommand_table_matches_the_usage_text() {
+    let doc = docs_cli_md();
+    // The `### Subcommands` table's first column is the subcommand in
+    // backticks; diff it against the subcommands `--help` advertises.
+    let start = doc
+        .find("### Subcommands")
+        .expect("docs/CLI.md lost its Subcommands section");
+    let mut tabled = Vec::new();
+    let mut in_table = false;
+    for line in doc[start..].lines().skip(1) {
+        let line = line.trim();
+        if line.starts_with('|') {
+            in_table = true;
+            let first = line
+                .trim_matches('|')
+                .split('|')
+                .next()
+                .unwrap_or("")
+                .trim();
+            if first.starts_with('`') {
+                tabled.push(first.trim_matches('`').to_string());
+            }
+        } else if in_table {
+            break;
+        }
+    }
+    assert!(!tabled.is_empty(), "no subcommand table rows found");
+
+    let help: Vec<&str> = sj_cli::USAGE
+        .lines()
+        .filter_map(|l| l.trim().strip_prefix("sjsel "))
+        .filter_map(|l| l.split_whitespace().next())
+        .filter(|s| s.chars().all(|c| c.is_ascii_lowercase() || c == '-'))
+        .collect();
+    for sub in &tabled {
+        assert!(
+            help.contains(&sub.as_str()),
+            "subcommand table documents `{sub}` but --help does not list it"
+        );
+    }
+    for sub in &help {
+        assert!(
+            tabled.iter().any(|t| t == sub),
+            "--help lists `sjsel {sub}` but the subcommand table lacks a row for it"
         );
     }
 }

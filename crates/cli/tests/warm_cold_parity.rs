@@ -40,6 +40,7 @@ fn datasets(prefix: &str) -> (String, String) {
 fn boot(
     files: &[&str],
     ready_name: &str,
+    extra: &[&str],
 ) -> (
     String,
     std::thread::JoinHandle<Result<sj_cli::CliOutput, sj_cli::CliError>>,
@@ -56,6 +57,7 @@ fn boot(
         "--ready-file",
         &ready,
     ]));
+    args.extend(argv(extra));
     let daemon = std::thread::spawn(move || run(&args));
     let ready_path = PathBuf::from(&ready);
     let mut tries = 0;
@@ -112,7 +114,7 @@ fn warm_answers_are_byte_identical_to_cold_under_concurrency() {
     .unwrap();
     let cold_estimate = run(&argv(&["estimate", &a_hist, &b_hist])).unwrap();
 
-    let (addr, daemon) = boot(&[&a_csv, &b_csv], "parity_ready.txt");
+    let (addr, daemon) = boot(&[&a_csv, &b_csv], "parity_ready.txt", &[]);
 
     // Six concurrent clients, each comparing every warm answer against
     // the cold output bytes.
@@ -159,6 +161,97 @@ fn warm_answers_are_byte_identical_to_cold_under_concurrency() {
         }
     });
 
+    run(&argv(&["client", "--addr", &addr, "shutdown"])).unwrap();
+    daemon.join().unwrap().unwrap();
+}
+
+/// The full daemon lifecycle across a restart: mutate, compact (which
+/// makes the source CSVs stale relative to the statistics), mutate
+/// again, shut down — then a fresh daemon over the SAME original CSVs
+/// must recover the exact state from the compaction snapshot, the base
+/// envelope, and the pending WAL. This exact sequence used to fail
+/// startup with "statistics cover N objects but the dataset has M".
+#[test]
+fn daemon_restart_after_mutations_and_compaction_recovers() {
+    let (a_csv, b_csv) = datasets("parity3");
+    let stats_dir = tmp("parity3_stats");
+    drop(std::fs::remove_dir_all(&stats_dir));
+    // Batch file: a slice of b's rectangles (guaranteed-valid data),
+    // inserted before the restart and deleted again after it.
+    let batch = tmp("parity3_batch.csv");
+    let b_text = std::fs::read_to_string(&b_csv).unwrap();
+    let slice: Vec<&str> = b_text.lines().take(50).collect();
+    std::fs::write(&batch, format!("{}\n", slice.join("\n"))).unwrap();
+
+    let stats_flag = ["--stats-dir", &stats_dir];
+    let (addr, daemon) = boot(&[&a_csv, &b_csv], "parity3_ready.txt", &stats_flag);
+    let estimate = |addr: &str| {
+        run(&argv(&[
+            "client",
+            "--addr",
+            addr,
+            "estimate",
+            "parity3_a",
+            "parity3_b",
+        ]))
+        .unwrap()
+    };
+    let baseline = estimate(&addr);
+    run(&argv(&[
+        "client",
+        "--addr",
+        &addr,
+        "insert-batch",
+        "parity3_a",
+        &batch,
+    ]))
+    .unwrap();
+    assert_ne!(estimate(&addr).stdout, baseline.stdout);
+    run(&argv(&["client", "--addr", &addr, "compact", "parity3_a"])).unwrap();
+    // A post-compaction batch left pending in the WAL across the restart.
+    run(&argv(&[
+        "client",
+        "--addr",
+        &addr,
+        "insert-batch",
+        "parity3_b",
+        &batch,
+    ]))
+    .unwrap();
+    let pre_restart = estimate(&addr);
+    run(&argv(&["client", "--addr", &addr, "shutdown"])).unwrap();
+    daemon.join().unwrap().unwrap();
+    let sd = std::path::Path::new(&stats_dir);
+    assert!(
+        sd.join("parity3_a.base").exists(),
+        "compaction must leave a dataset snapshot"
+    );
+    assert!(
+        sd.join("parity3_b.wal").exists(),
+        "the pending batch must leave a WAL"
+    );
+
+    // Restart over the original CSVs: table a's statistics no longer
+    // describe them (the folded inserts live only in the snapshot).
+    let (addr, daemon) = boot(&[&a_csv, &b_csv], "parity3_ready2.txt", &stats_flag);
+    assert_eq!(
+        estimate(&addr).stdout,
+        pre_restart.stdout,
+        "restart must not change a single output byte"
+    );
+    // Deleting the inserted rectangles restores the baseline bytes.
+    for table in ["parity3_a", "parity3_b"] {
+        run(&argv(&[
+            "client",
+            "--addr",
+            &addr,
+            "delete-batch",
+            table,
+            &batch,
+        ]))
+        .unwrap();
+    }
+    assert_eq!(estimate(&addr).stdout, baseline.stdout);
     run(&argv(&["client", "--addr", &addr, "shutdown"])).unwrap();
     daemon.join().unwrap().unwrap();
 }

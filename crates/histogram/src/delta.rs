@@ -1,0 +1,842 @@
+//! Signed histogram deltas: incremental statistics maintenance with
+//! exact equivalence to a full rebuild.
+//!
+//! Every per-cell statistic of the four families is a pure sum over the
+//! input MBRs, accumulated exactly (integer counters or fixed-point
+//! [`Mass`]). Sums form a group under exact addition, so a batch of
+//! mutations has a well-defined *signed* summary:
+//!
+//! ```text
+//! Δ = build(inserts) − build(deletes)
+//! ```
+//!
+//! and applying it to an existing histogram reproduces the full rebuild
+//! bit-for-bit:
+//!
+//! ```text
+//! apply_delta(build(D), Δ)  ≡  build(D ∪ Δ⁺ ∖ Δ⁻)
+//! ```
+//!
+//! — the identity `sj-lint verify-delta` proves dynamically across the
+//! same matrix as `verify-merge`. The insert and delete sides are built
+//! with the ordinary `band.rs` shard driver (an insert batch is just
+//! another shard), then differenced statistic-by-statistic through the
+//! same introspection order `first_divergence` walks.
+//!
+//! Signedness is what makes deletes safe: unsigned `u32` cell counters
+//! widen to `i64` inside the delta, and application range-checks every
+//! counter and scalar *before* writing anything, so a delete-heavy batch
+//! that would underflow yields a typed
+//! [`HistogramError::DeltaOutOfRange`] and leaves the histogram
+//! untouched — never a debug-panic or a silent wrap.
+//!
+//! Deltas persist in their own CRC32-framed `.hdelta` envelope,
+//! structured exactly like the version-2 `.hist` envelope and likewise
+//! covered by the r7 persistence fingerprint:
+//!
+//! ```text
+//! magic "SJHD" u32 | version u32 | kind tag u32 | payload_len u64 | payload | crc32 u32
+//! ```
+
+use crate::band::{build_shard_merge, RowBanded};
+use crate::crc::crc32;
+use crate::diff::{CellValues, StatInspect};
+use crate::mass::Mass;
+use crate::{
+    CorruptSection, EulerHistogram, GhBasicHistogram, GhHistogram, Grid, HistogramError,
+    HistogramKind, PhHistogram, SpatialHistogram,
+};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use sj_geo::Rect;
+
+/// Envelope magic for persisted histogram deltas.
+pub const DELTA_MAGIC: u32 = 0x534a_4844; // "SJHD"
+/// Delta envelope format version; bump on incompatible layout changes.
+pub const DELTA_VERSION: u32 = 1;
+
+/// Mutable twins of [`crate::diff::CellValues`]: the per-cell statistic
+/// arrays exposed for in-place delta application.
+pub(crate) enum CellValuesMut<'a> {
+    /// Integer counters.
+    Counts(&'a mut [u32]),
+    /// Exact fixed-point masses.
+    Masses(&'a mut [Mass]),
+}
+
+/// One named mutable per-cell statistic array.
+pub(crate) struct StatArrayMut<'a> {
+    pub(crate) name: &'static str,
+    pub(crate) values: CellValuesMut<'a>,
+}
+
+/// Mutable statistics introspection, implemented by each family next to
+/// its read-only [`StatInspect`] impl and in the identical order. Delta
+/// application walks both views in lockstep: the read-only view for the
+/// pre-flight range check, the mutable view for the commit.
+pub(crate) trait StatInspectMut {
+    /// Dataset-level scalar statistics, mutably, in serialization order.
+    fn scalar_stats_mut(&mut self) -> Vec<(&'static str, &mut u64)>;
+    /// Per-cell statistic arrays, mutably, in serialization order.
+    fn cell_stats_mut(&mut self) -> Vec<StatArrayMut<'_>>;
+}
+
+/// Signed per-array delta values. Counts widen from the histograms'
+/// `u32` to `i64` so a delete-side excess is representable instead of
+/// underflowing; masses are natively signed.
+#[derive(Debug, Clone, PartialEq)]
+enum DeltaValues {
+    /// Signed counter updates.
+    Counts(Vec<i64>),
+    /// Signed mass updates.
+    Masses(Vec<Mass>),
+}
+
+/// One named per-cell delta array, positionally matching the family's
+/// [`StatInspect::cell_stats`] order.
+#[derive(Debug, Clone, PartialEq)]
+struct DeltaArray {
+    name: &'static str,
+    values: DeltaValues,
+}
+
+/// A signed batch update to one histogram: the exact statistic-wise
+/// difference `build(inserts) − build(deletes)` for a fixed kind and
+/// grid.
+///
+/// # Examples
+/// ```
+/// use sj_geo::{Extent, Rect};
+/// use sj_histogram::{Grid, GhHistogram, HistogramDelta, SpatialHistogram};
+///
+/// let grid = Grid::new(3, Extent::unit())?;
+/// let base = vec![
+///     Rect::new(0.10, 0.10, 0.22, 0.18),
+///     Rect::new(0.55, 0.60, 0.70, 0.71),
+/// ];
+/// let ins = vec![Rect::new(0.30, 0.05, 0.42, 0.30)];
+/// let del = vec![base[1]];
+///
+/// // Incremental maintenance equals a full rebuild, bit for bit.
+/// let mut maintained = GhHistogram::build_from(grid, &base);
+/// maintained.apply_delta(&GhHistogram::build_delta(grid, &ins, &del))?;
+/// let rebuilt = GhHistogram::build_from(grid, &[base[0], ins[0]]);
+/// assert_eq!(maintained.to_bytes(), rebuilt.to_bytes());
+/// # Ok::<(), sj_histogram::HistogramError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramDelta {
+    kind: HistogramKind,
+    grid: Grid,
+    inserts: u64,
+    deletes: u64,
+    /// Signed deltas of the family's `u64` scalars, in serialization
+    /// order. `i128` holds the full ± range of a `u64` difference.
+    scalars: Vec<(&'static str, i128)>,
+    arrays: Vec<DeltaArray>,
+}
+
+impl HistogramDelta {
+    /// Builds the signed delta of an insert/delete batch (serial).
+    #[must_use]
+    pub fn build(kind: HistogramKind, grid: Grid, inserts: &[Rect], deletes: &[Rect]) -> Self {
+        Self::build_parallel(kind, grid, inserts, deletes, 1)
+    }
+
+    /// Builds the signed delta of an insert/delete batch, driving both
+    /// sides through the row-band shard driver with `threads` workers —
+    /// bit-identical to the serial build at every thread count.
+    #[must_use]
+    pub fn build_parallel(
+        kind: HistogramKind,
+        grid: Grid,
+        inserts: &[Rect],
+        deletes: &[Rect],
+        threads: usize,
+    ) -> Self {
+        match kind {
+            HistogramKind::Ph => build_impl::<PhHistogram>(kind, grid, inserts, deletes, threads),
+            HistogramKind::GhBasic => {
+                build_impl::<GhBasicHistogram>(kind, grid, inserts, deletes, threads)
+            }
+            HistogramKind::Gh => build_impl::<GhHistogram>(kind, grid, inserts, deletes, threads),
+            HistogramKind::Euler => {
+                build_impl::<EulerHistogram>(kind, grid, inserts, deletes, threads)
+            }
+        }
+    }
+
+    /// The family this delta updates.
+    #[must_use]
+    pub fn kind(&self) -> HistogramKind {
+        self.kind
+    }
+
+    /// The grid this delta was built on.
+    #[must_use]
+    pub fn grid(&self) -> Grid {
+        self.grid
+    }
+
+    /// Number of rectangles in the insert batch.
+    #[must_use]
+    pub fn inserts(&self) -> u64 {
+        self.inserts
+    }
+
+    /// Number of rectangles in the delete batch.
+    #[must_use]
+    pub fn deletes(&self) -> u64 {
+        self.deletes
+    }
+
+    /// Net dataset cardinality change (`inserts − deletes`).
+    #[must_use]
+    pub fn net_rects(&self) -> i64 {
+        i64::try_from(i128::from(self.inserts) - i128::from(self.deletes)).unwrap_or(i64::MAX)
+    }
+
+    /// Whether every statistic delta is zero (applying it is a no-op).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.scalars.iter().all(|(_, d)| *d == 0)
+            && self.arrays.iter().all(|a| match &a.values {
+                DeltaValues::Counts(c) => c.iter().all(|d| *d == 0),
+                DeltaValues::Masses(m) => m.iter().all(|d| d.is_zero()),
+            })
+    }
+
+    /// Size of the native serialized delta in bytes.
+    #[must_use]
+    pub fn space_bytes(&self) -> usize {
+        self.to_bytes().len()
+    }
+
+    /// Serializes the native (un-enveloped) delta payload: grid header,
+    /// batch sizes, then scalars and arrays in introspection order.
+    #[must_use]
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(self.grid.level());
+        let e = self.grid.extent().rect();
+        for v in [e.xlo, e.ylo, e.xhi, e.yhi] {
+            buf.put_f64_le(v);
+        }
+        buf.put_u64_le(self.inserts);
+        buf.put_u64_le(self.deletes);
+        buf.put_u32_le(u32::try_from(self.scalars.len()).unwrap_or(u32::MAX));
+        for (_, d) in &self.scalars {
+            buf.put_slice(&d.to_le_bytes());
+        }
+        buf.put_u32_le(u32::try_from(self.arrays.len()).unwrap_or(u32::MAX));
+        for array in &self.arrays {
+            match &array.values {
+                DeltaValues::Counts(values) => {
+                    buf.put_u8(0);
+                    buf.put_u64_le(values.len() as u64);
+                    for d in values {
+                        buf.put_i64_le(*d);
+                    }
+                }
+                DeltaValues::Masses(values) => {
+                    buf.put_u8(1);
+                    buf.put_u64_le(values.len() as u64);
+                    for d in values {
+                        d.put_le(&mut buf);
+                    }
+                }
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a native delta payload of a known kind, validating the
+    /// statistic shapes (names, representations, array lengths) against
+    /// the family's layout on the decoded grid.
+    ///
+    /// # Errors
+    /// [`HistogramError::Corrupt`] on truncation, a bad grid header, or
+    /// a shape that does not match the family's statistics.
+    pub fn from_bytes(kind: HistogramKind, mut data: &[u8]) -> Result<Self, HistogramError> {
+        let corrupt = |s: CorruptSection, m: String| HistogramError::corrupt(s, m);
+        if data.remaining() < 60 {
+            return Err(corrupt(
+                CorruptSection::Header,
+                format!(
+                    "truncated delta header: {} bytes, need 60",
+                    data.remaining()
+                ),
+            ));
+        }
+        let level = data.get_u32_le();
+        let coords = (
+            data.get_f64_le(),
+            data.get_f64_le(),
+            data.get_f64_le(),
+            data.get_f64_le(),
+        );
+        let grid = crate::grid::grid_from_header(level, coords)?;
+        let inserts = data.get_u64_le();
+        let deletes = data.get_u64_le();
+        let n_scalars = data.get_u32_le();
+
+        // The expected shape is fixed by (kind, grid): take it from an
+        // empty histogram of the family.
+        let shape = crate::build_histogram(kind, grid, &[]);
+        let (expected_scalars, expected_arrays) = inspect_shape(shape.as_ref());
+
+        if crate::grid::ix(n_scalars) != expected_scalars.len() {
+            return Err(corrupt(
+                CorruptSection::Payload,
+                format!(
+                    "delta declares {n_scalars} scalars but {} has {}",
+                    kind,
+                    expected_scalars.len()
+                ),
+            ));
+        }
+        if data.remaining() < expected_scalars.len() * 16 + 4 {
+            return Err(corrupt(
+                CorruptSection::Payload,
+                "truncated delta scalar section".to_string(),
+            ));
+        }
+        let scalars = expected_scalars
+            .iter()
+            .map(|name| {
+                let mut raw = [0u8; 16];
+                data.copy_to_slice(&mut raw);
+                (*name, i128::from_le_bytes(raw))
+            })
+            .collect();
+
+        let n_arrays = data.get_u32_le();
+        if crate::grid::ix(n_arrays) != expected_arrays.len() {
+            return Err(corrupt(
+                CorruptSection::Payload,
+                format!(
+                    "delta declares {n_arrays} cell arrays but {} has {}",
+                    kind,
+                    expected_arrays.len()
+                ),
+            ));
+        }
+        let mut arrays = Vec::with_capacity(expected_arrays.len());
+        for (name, is_mass, expected_len) in expected_arrays {
+            if data.remaining() < 9 {
+                return Err(corrupt(
+                    CorruptSection::Payload,
+                    format!("truncated delta array header for `{name}`"),
+                ));
+            }
+            let tag = data.get_u8();
+            let len = data.get_u64_le();
+            if (tag == 1) != is_mass {
+                return Err(corrupt(
+                    CorruptSection::Payload,
+                    format!("delta array `{name}` has representation tag {tag}"),
+                ));
+            }
+            if len != expected_len as u64 {
+                return Err(corrupt(
+                    CorruptSection::Payload,
+                    format!("delta array `{name}` has {len} cells, expected {expected_len}"),
+                ));
+            }
+            let elem = if is_mass { 16 } else { 8 };
+            if data.remaining() < expected_len * elem {
+                return Err(corrupt(
+                    CorruptSection::Payload,
+                    format!("truncated delta array `{name}`"),
+                ));
+            }
+            let values = if is_mass {
+                DeltaValues::Masses((0..expected_len).map(|_| Mass::get_le(&mut data)).collect())
+            } else {
+                DeltaValues::Counts((0..expected_len).map(|_| data.get_i64_le()).collect())
+            };
+            arrays.push(DeltaArray { name, values });
+        }
+        if data.has_remaining() {
+            return Err(corrupt(
+                CorruptSection::Payload,
+                format!(
+                    "{} trailing bytes after the delta payload",
+                    data.remaining()
+                ),
+            ));
+        }
+        Ok(Self {
+            kind,
+            grid,
+            inserts,
+            deletes,
+            scalars,
+            arrays,
+        })
+    }
+
+    /// Serializes into the versioned kind-tagged `.hdelta` envelope
+    /// decodable by [`load_delta`]: a 20-byte header (magic, version,
+    /// kind tag, payload length), the native payload, and a trailing
+    /// CRC32 over everything before it — the same framing as the
+    /// version-2 `.hist` envelope.
+    #[must_use]
+    pub fn persist(&self) -> Bytes {
+        let payload = self.to_bytes();
+        let mut buf = BytesMut::with_capacity(24 + payload.len());
+        buf.put_u32_le(DELTA_MAGIC);
+        buf.put_u32_le(DELTA_VERSION);
+        buf.put_u32_le(self.kind.tag());
+        buf.put_u64_le(payload.len() as u64);
+        buf.put_slice(&payload);
+        let checksum = crc32(&buf);
+        buf.put_u32_le(checksum);
+        buf.freeze()
+    }
+}
+
+/// The expected statistic shape of a family on a grid: scalar names,
+/// then `(name, is_mass, cells)` per array, in serialization order.
+#[allow(clippy::type_complexity)]
+fn inspect_shape(
+    h: &dyn SpatialHistogram,
+) -> (Vec<&'static str>, Vec<(&'static str, bool, usize)>) {
+    fn of<H: StatInspect + 'static>(
+        h: &dyn SpatialHistogram,
+    ) -> (Vec<&'static str>, Vec<(&'static str, bool, usize)>) {
+        let Some(h) = h.as_any().downcast_ref::<H>() else {
+            // Unreachable: the caller dispatched on the concrete kind.
+            return (Vec::new(), Vec::new());
+        };
+        let scalars = h.scalar_stats().iter().map(|(name, _)| *name).collect();
+        let arrays = h
+            .cell_stats()
+            .iter()
+            .map(|a| match &a.values {
+                CellValues::Counts(c) => (a.name, false, c.len()),
+                CellValues::Masses(m) => (a.name, true, m.len()),
+            })
+            .collect();
+        (scalars, arrays)
+    }
+    match h.kind() {
+        HistogramKind::Ph => of::<PhHistogram>(h),
+        HistogramKind::GhBasic => of::<GhBasicHistogram>(h),
+        HistogramKind::Gh => of::<GhHistogram>(h),
+        HistogramKind::Euler => of::<EulerHistogram>(h),
+    }
+}
+
+/// Decodes a histogram delta from the envelope written by
+/// [`HistogramDelta::persist`], verifying the length frame and trailing
+/// CRC32 before the payload is touched.
+///
+/// # Errors
+/// Returns [`HistogramError::Corrupt`] on malformed input, a bad
+/// version, an unknown kind tag, a length-frame mismatch, or a failed
+/// checksum.
+pub fn load_delta(full: &[u8]) -> Result<HistogramDelta, HistogramError> {
+    let envelope = |detail: String| HistogramError::corrupt(CorruptSection::Envelope, detail);
+    let mut data = full;
+    if data.remaining() < 12 {
+        return Err(envelope(format!(
+            "truncated delta envelope: {} bytes, need at least 12",
+            full.len()
+        )));
+    }
+    if data.get_u32_le() != DELTA_MAGIC {
+        return Err(envelope("bad delta envelope magic".to_string()));
+    }
+    let version = data.get_u32_le();
+    if version != DELTA_VERSION {
+        return Err(envelope(format!(
+            "unsupported delta envelope version {version}"
+        )));
+    }
+    let tag = data.get_u32_le();
+    let kind = HistogramKind::from_tag(tag)
+        .ok_or_else(|| envelope(format!("unknown histogram kind tag {tag}")))?;
+    if data.remaining() < 12 {
+        return Err(envelope(format!(
+            "truncated delta envelope: {} bytes, need at least 24",
+            full.len()
+        )));
+    }
+    let payload_len = data.get_u64_le();
+    let framed_total = payload_len
+        .checked_add(24)
+        .ok_or_else(|| envelope(format!("absurd payload length {payload_len}")))?;
+    if framed_total != full.len() as u64 {
+        return Err(envelope(format!(
+            "length frame mismatch: header says {payload_len} payload bytes \
+             but the envelope holds {}",
+            full.len()
+        )));
+    }
+    let tail_at = full.len().saturating_sub(4);
+    let (body, tail) = full.split_at(tail_at);
+    let stored = u32::from_le_bytes(tail.try_into().unwrap_or([0; 4]));
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(HistogramError::corrupt(
+            CorruptSection::Checksum,
+            format!("CRC32 mismatch: stored {stored:#010x}, computed {computed:#010x}"),
+        ));
+    }
+    let payload = body
+        .get(20..)
+        .ok_or_else(|| envelope("delta envelope shorter than its fixed header".to_string()))?;
+    HistogramDelta::from_bytes(kind, payload)
+}
+
+/// Builds the delta for one concrete family: both batch sides go through
+/// the shared row-band shard driver, then every statistic is differenced
+/// in introspection order.
+pub(crate) fn build_impl<H>(
+    kind: HistogramKind,
+    grid: Grid,
+    inserts: &[Rect],
+    deletes: &[Rect],
+    threads: usize,
+) -> HistogramDelta
+where
+    H: RowBanded + StatInspect,
+{
+    let ins: H = build_shard_merge(grid, inserts, threads);
+    let del: H = build_shard_merge(grid, deletes, threads);
+    let scalars = ins
+        .scalar_stats()
+        .iter()
+        .zip(&del.scalar_stats())
+        .map(|((name, iv), (_, dv))| (*name, i128::from(*iv) - i128::from(*dv)))
+        .collect();
+    let arrays = ins
+        .cell_stats()
+        .into_iter()
+        .zip(del.cell_stats())
+        .map(|(ia, da)| {
+            let values = match (&ia.values, &da.values) {
+                (CellValues::Counts(ic), CellValues::Counts(dc)) => DeltaValues::Counts(
+                    ic.iter()
+                        .zip(dc.iter())
+                        .map(|(a, b)| i64::from(*a) - i64::from(*b))
+                        .collect(),
+                ),
+                (CellValues::Masses(im), CellValues::Masses(dm)) => DeltaValues::Masses(
+                    im.iter()
+                        .zip(dm.iter())
+                        .map(|(a, b)| a.saturating_sub(*b))
+                        .collect(),
+                ),
+                // Unreachable: both sides are the same concrete family,
+                // so every position has one representation. An empty
+                // array here would be caught by apply's shape check.
+                _ => DeltaValues::Counts(Vec::new()),
+            };
+            DeltaArray {
+                name: ia.name,
+                values,
+            }
+        })
+        .collect();
+    HistogramDelta {
+        kind,
+        grid,
+        inserts: inserts.len() as u64,
+        deletes: deletes.len() as u64,
+        scalars,
+        arrays,
+    }
+}
+
+/// Checked scalar update: `u64 + i128` staying within `u64`.
+fn checked_scalar(current: u64, d: i128, statistic: &'static str) -> Result<u64, HistogramError> {
+    let value = i128::from(current) + d;
+    u64::try_from(value).map_err(|_| HistogramError::DeltaOutOfRange {
+        statistic,
+        cell: None,
+        value,
+    })
+}
+
+/// Checked counter update: `u32 + i64` staying within `u32`.
+fn checked_count(
+    current: u32,
+    d: i64,
+    statistic: &'static str,
+    cell: usize,
+) -> Result<u32, HistogramError> {
+    let value = i64::from(current) + d;
+    u32::try_from(value).map_err(|_| HistogramError::DeltaOutOfRange {
+        statistic,
+        cell: Some(cell),
+        value: i128::from(value),
+    })
+}
+
+/// Applies a delta to one concrete family, atomically: a pre-flight
+/// pass over the read-only statistics view range-checks every scalar and
+/// counter, and only a fully in-range delta is committed through the
+/// mutable view. On error the histogram is bit-for-bit untouched.
+pub(crate) fn apply_impl<H>(h: &mut H, delta: &HistogramDelta) -> Result<(), HistogramError>
+where
+    H: SpatialHistogram + StatInspect + StatInspectMut,
+{
+    if h.kind() != delta.kind {
+        return Err(HistogramError::KindMismatch {
+            left: h.kind(),
+            right: delta.kind,
+        });
+    }
+    let (left, right) = (h.grid(), delta.grid);
+    if !left.compatible(&right) {
+        return Err(HistogramError::GridMismatch {
+            left_level: left.level(),
+            right_level: right.level(),
+        });
+    }
+
+    // Pre-flight: every checked update must be in range (shape mismatch
+    // surfaces as Corrupt — only a hand-forged delta can get here with
+    // the wrong shape, since from_bytes and build fix it by kind+grid).
+    let shape_err = || {
+        HistogramError::corrupt(
+            CorruptSection::Payload,
+            "delta statistic shape does not match the histogram".to_string(),
+        )
+    };
+    {
+        let scalars = h.scalar_stats();
+        if scalars.len() != delta.scalars.len() {
+            return Err(shape_err());
+        }
+        for ((name, current), (_, d)) in scalars.iter().zip(&delta.scalars) {
+            checked_scalar(*current, *d, name)?;
+        }
+        let arrays = h.cell_stats();
+        if arrays.len() != delta.arrays.len() {
+            return Err(shape_err());
+        }
+        for (current, update) in arrays.iter().zip(&delta.arrays) {
+            match (&current.values, &update.values) {
+                (CellValues::Counts(c), DeltaValues::Counts(d)) => {
+                    if c.len() != d.len() {
+                        return Err(shape_err());
+                    }
+                    for (cell, (cur, dd)) in c.iter().zip(d.iter()).enumerate() {
+                        checked_count(*cur, *dd, current.name, cell)?;
+                    }
+                }
+                (CellValues::Masses(m), DeltaValues::Masses(d)) => {
+                    if m.len() != d.len() {
+                        return Err(shape_err());
+                    }
+                    // Masses are signed and saturating by construction;
+                    // no per-cell range check is needed.
+                }
+                _ => return Err(shape_err()),
+            }
+        }
+    }
+    // The mutable view must list statistics in the exact order the
+    // read-only pre-flight just validated — a desynchronized family
+    // impl is refused before any write, keeping application atomic.
+    if h.cell_stats_mut()
+        .iter()
+        .zip(&delta.arrays)
+        .any(|(m, u)| m.name != u.name)
+    {
+        return Err(shape_err());
+    }
+
+    // Commit: every update is in range, so the unchecked-looking writes
+    // below cannot fail (the fallbacks keep the path total anyway).
+    for ((_, slot), (_, d)) in h.scalar_stats_mut().into_iter().zip(&delta.scalars) {
+        *slot = u64::try_from(i128::from(*slot) + d).unwrap_or(*slot);
+    }
+    for (target, update) in h.cell_stats_mut().into_iter().zip(&delta.arrays) {
+        match (target.values, &update.values) {
+            (CellValuesMut::Counts(c), DeltaValues::Counts(d)) => {
+                for (slot, dd) in c.iter_mut().zip(d.iter()) {
+                    *slot = u32::try_from(i64::from(*slot) + dd).unwrap_or(*slot);
+                }
+            }
+            (CellValuesMut::Masses(m), DeltaValues::Masses(d)) => {
+                for (slot, dd) in m.iter_mut().zip(d.iter()) {
+                    *slot += *dd;
+                }
+            }
+            // Unreachable after the pre-flight shape check.
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_histogram;
+    use sj_geo::Extent;
+
+    fn unit_grid(level: u32) -> Grid {
+        Grid::new(level, Extent::unit()).unwrap()
+    }
+
+    fn uniform(n: usize, seed: u64, side: f64) -> Vec<Rect> {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let x = rng.random_range(0.0..1.0 - side);
+                let y = rng.random_range(0.0..1.0 - side);
+                Rect::new(
+                    x,
+                    y,
+                    x + rng.random_range(0.0..side),
+                    y + rng.random_range(0.0..side),
+                )
+            })
+            .collect()
+    }
+
+    /// The headline identity: apply_delta(build(D), Δ) is byte-identical
+    /// to build(D ∪ Δ⁺ ∖ Δ⁻), for every family and thread count.
+    #[test]
+    fn apply_matches_full_rebuild_every_kind() {
+        let base = uniform(300, 9001, 0.07);
+        let ins = uniform(80, 9002, 0.06);
+        let grid = unit_grid(4);
+        // Delete every third base rect.
+        let deleted: Vec<Rect> = base.iter().copied().step_by(3).collect();
+        let kept: Vec<Rect> = base
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i % 3 != 0)
+            .map(|(_, r)| *r)
+            .collect();
+        let target: Vec<Rect> = kept.iter().chain(&ins).copied().collect();
+        for kind in HistogramKind::ALL {
+            for threads in [1usize, 2, 5] {
+                let delta = HistogramDelta::build_parallel(kind, grid, &ins, &deleted, threads);
+                let mut maintained = build_histogram(kind, grid, &base);
+                maintained.apply_delta(&delta).unwrap();
+                let rebuilt = build_histogram(kind, grid, &target);
+                assert_eq!(
+                    maintained.persist(),
+                    rebuilt.persist(),
+                    "{kind} x{threads}: incremental maintenance must equal full rebuild"
+                );
+            }
+        }
+    }
+
+    /// Deleting objects the histogram never saw is a typed error, and
+    /// the failed application leaves the histogram untouched.
+    #[test]
+    fn underflow_is_typed_and_atomic() {
+        let base = uniform(40, 9003, 0.08);
+        let phantom = uniform(60, 9004, 0.08);
+        let grid = unit_grid(3);
+        for kind in HistogramKind::ALL {
+            let delta = HistogramDelta::build(kind, grid, &[], &phantom);
+            let mut h = build_histogram(kind, grid, &base);
+            let before = h.persist();
+            let err = h.apply_delta(&delta).unwrap_err();
+            assert!(
+                matches!(err, HistogramError::DeltaOutOfRange { .. }),
+                "{kind}: expected DeltaOutOfRange, got {err:?}"
+            );
+            assert_eq!(h.persist(), before, "{kind}: failed apply must not mutate");
+        }
+    }
+
+    /// Insert-then-delete of the same batch is an exact no-op.
+    #[test]
+    fn delta_of_identical_batches_is_empty() {
+        let batch = uniform(50, 9005, 0.05);
+        let grid = unit_grid(4);
+        for kind in HistogramKind::ALL {
+            let delta = HistogramDelta::build(kind, grid, &batch, &batch);
+            assert!(delta.is_empty(), "{kind}");
+            assert_eq!(delta.net_rects(), 0);
+            let mut h = build_histogram(kind, grid, &batch);
+            let before = h.persist();
+            h.apply_delta(&delta).unwrap();
+            assert_eq!(h.persist(), before, "{kind}: empty delta is a no-op");
+        }
+    }
+
+    #[test]
+    fn envelope_roundtrip_every_kind() {
+        let ins = uniform(70, 9006, 0.06);
+        let del = uniform(20, 9007, 0.06);
+        let grid = unit_grid(5);
+        for kind in HistogramKind::ALL {
+            let delta = HistogramDelta::build(kind, grid, &ins, &del);
+            let revived = load_delta(&delta.persist()).unwrap();
+            assert_eq!(revived, delta, "{kind}: envelope must be lossless");
+            assert_eq!(revived.inserts(), 70);
+            assert_eq!(revived.deletes(), 20);
+            assert_eq!(revived.net_rects(), 50);
+        }
+    }
+
+    #[test]
+    fn envelope_rejects_corruption() {
+        let delta = HistogramDelta::build(
+            HistogramKind::Gh,
+            unit_grid(3),
+            &uniform(30, 9008, 0.07),
+            &[],
+        );
+        let bytes = delta.persist();
+        assert!(load_delta(&bytes[..8]).is_err());
+        let mut bad_magic = bytes.to_vec();
+        bad_magic[0] ^= 1;
+        assert!(load_delta(&bad_magic).is_err());
+        let mut bad_version = bytes.to_vec();
+        bad_version[4] = 99;
+        assert!(load_delta(&bad_version).is_err());
+        let mut bad_tag = bytes.to_vec();
+        bad_tag[8] = 99;
+        assert!(load_delta(&bad_tag).is_err());
+        let mut flipped = bytes.to_vec();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x10;
+        assert!(matches!(
+            load_delta(&flipped),
+            Err(HistogramError::Corrupt {
+                section: CorruptSection::Checksum,
+                ..
+            })
+        ));
+        let mut padded = bytes.to_vec();
+        padded.push(0);
+        assert!(matches!(
+            load_delta(&padded),
+            Err(HistogramError::Corrupt {
+                section: CorruptSection::Envelope,
+                ..
+            })
+        ));
+    }
+
+    /// Applying a delta of the wrong kind or grid is a typed mismatch.
+    #[test]
+    fn mismatches_are_typed() {
+        let rects = uniform(20, 9009, 0.06);
+        let delta = HistogramDelta::build(HistogramKind::Ph, unit_grid(3), &rects, &[]);
+        let mut gh = build_histogram(HistogramKind::Gh, unit_grid(3), &rects);
+        assert!(matches!(
+            gh.apply_delta(&delta),
+            Err(HistogramError::KindMismatch { .. })
+        ));
+        let other = HistogramDelta::build(HistogramKind::Gh, unit_grid(4), &rects, &[]);
+        assert!(matches!(
+            gh.apply_delta(&other),
+            Err(HistogramError::GridMismatch { .. })
+        ));
+    }
+}

@@ -69,6 +69,19 @@ pub enum HistogramError {
     },
     /// The requested grid level is above [`crate::Grid::MAX_LEVEL`].
     LevelTooLarge(u32),
+    /// Applying a signed delta would push a statistic outside its
+    /// representable range — e.g. a delete batch covering objects the
+    /// histogram never counted would drive a per-cell counter below
+    /// zero. The application is rejected atomically (the histogram is
+    /// left untouched), never wrapped or debug-panicked.
+    DeltaOutOfRange {
+        /// Field name of the out-of-range statistic.
+        statistic: &'static str,
+        /// Row-major index of the offending cell; `None` for scalars.
+        cell: Option<usize>,
+        /// The value the update would have produced.
+        value: i128,
+    },
 }
 
 impl HistogramError {
@@ -107,6 +120,22 @@ impl fmt::Display for HistogramError {
                 "grid level {l} exceeds the maximum of {}",
                 crate::Grid::MAX_LEVEL
             ),
+            HistogramError::DeltaOutOfRange {
+                statistic,
+                cell,
+                value,
+            } => match cell {
+                Some(index) => write!(
+                    f,
+                    "delta application rejected: statistic `{statistic}` at cell index \
+                     {index} would become {value}, outside its representable range"
+                ),
+                None => write!(
+                    f,
+                    "delta application rejected: scalar statistic `{statistic}` would \
+                     become {value}, outside its representable range"
+                ),
+            },
         }
     }
 }

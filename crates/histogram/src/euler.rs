@@ -345,6 +345,28 @@ impl crate::diff::StatInspect for EulerHistogram {
     }
 }
 
+impl crate::delta::StatInspectMut for EulerHistogram {
+    fn scalar_stats_mut(&mut self) -> Vec<(&'static str, &mut u64)> {
+        vec![("n", &mut self.n)]
+    }
+
+    fn cell_stats_mut(&mut self) -> Vec<crate::delta::StatArrayMut<'_>> {
+        use crate::delta::{CellValuesMut, StatArrayMut};
+        [
+            ("faces", &mut self.faces),
+            ("v_edges", &mut self.v_edges),
+            ("h_edges", &mut self.h_edges),
+            ("vertices", &mut self.vertices),
+        ]
+        .into_iter()
+        .map(|(name, data)| StatArrayMut {
+            name,
+            values: CellValuesMut::Counts(data),
+        })
+        .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -272,6 +272,28 @@ impl crate::diff::StatInspect for GhBasicHistogram {
     }
 }
 
+impl crate::delta::StatInspectMut for GhBasicHistogram {
+    fn scalar_stats_mut(&mut self) -> Vec<(&'static str, &mut u64)> {
+        vec![("n", &mut self.n)]
+    }
+
+    fn cell_stats_mut(&mut self) -> Vec<crate::delta::StatArrayMut<'_>> {
+        use crate::delta::{CellValuesMut, StatArrayMut};
+        [
+            ("c", &mut self.c),
+            ("i", &mut self.i),
+            ("v", &mut self.v),
+            ("h", &mut self.h),
+        ]
+        .into_iter()
+        .map(|(name, data)| StatArrayMut {
+            name,
+            values: CellValuesMut::Counts(data),
+        })
+        .collect()
+    }
+}
+
 /// Revised Geometric Histogram — the paper's headline "GH" scheme
 /// (Table 2, Eq. 5).
 ///
@@ -653,6 +675,34 @@ impl crate::diff::StatInspect for GhHistogram {
             masses("o", &self.o),
             masses("h", &self.h),
             masses("v", &self.v),
+        ]
+    }
+}
+
+impl crate::delta::StatInspectMut for GhHistogram {
+    fn scalar_stats_mut(&mut self) -> Vec<(&'static str, &mut u64)> {
+        vec![("n", &mut self.n)]
+    }
+
+    fn cell_stats_mut(&mut self) -> Vec<crate::delta::StatArrayMut<'_>> {
+        use crate::delta::{CellValuesMut, StatArrayMut};
+        vec![
+            StatArrayMut {
+                name: "c",
+                values: CellValuesMut::Counts(&mut self.c),
+            },
+            StatArrayMut {
+                name: "o",
+                values: CellValuesMut::Masses(&mut self.o),
+            },
+            StatArrayMut {
+                name: "h",
+                values: CellValuesMut::Masses(&mut self.h),
+            },
+            StatArrayMut {
+                name: "v",
+                values: CellValuesMut::Masses(&mut self.v),
+            },
         ]
     }
 }

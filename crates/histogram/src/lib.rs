@@ -37,6 +37,7 @@
 
 mod band;
 mod crc;
+mod delta;
 mod diff;
 mod error;
 mod euler;
@@ -47,6 +48,7 @@ mod parametric;
 mod ph;
 mod traits;
 
+pub use delta::{load_delta, HistogramDelta, DELTA_MAGIC, DELTA_VERSION};
 pub use diff::{first_divergence, CellLocation, Divergence};
 pub use error::{CorruptSection, HistogramError};
 pub use euler::EulerHistogram;

@@ -86,6 +86,29 @@ impl Mass {
         self.0
     }
 
+    /// Exact negation, or `None` for the one unrepresentable case
+    /// (`i128::MIN`). Delta application subtracts masses; the checked
+    /// form keeps that path free of silent wrapping.
+    ///
+    /// # Examples
+    /// ```
+    /// use sj_histogram::Mass;
+    /// let m = Mass::from_f64(0.5);
+    /// assert_eq!(m.checked_neg().unwrap().to_f64(), -0.5);
+    /// ```
+    #[must_use]
+    pub fn checked_neg(self) -> Option<Mass> {
+        self.0.checked_neg().map(Self)
+    }
+
+    /// Subtracts `rhs`, saturating at the `i128` extremes instead of
+    /// wrapping — the subtractive mirror of the saturating `+=` used by
+    /// merges, so pathological magnitudes clamp explicitly.
+    #[must_use]
+    pub fn saturating_sub(self, rhs: Mass) -> Mass {
+        Self(self.0.saturating_sub(rhs.0))
+    }
+
     /// Serializes as 16 little-endian bytes.
     pub(crate) fn put_le(self, buf: &mut impl BufMut) {
         buf.put_slice(&self.0.to_le_bytes());
@@ -105,6 +128,12 @@ impl Mass {
 impl std::ops::AddAssign for Mass {
     fn add_assign(&mut self, rhs: Self) {
         self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl std::ops::SubAssign for Mass {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = self.saturating_sub(rhs);
     }
 }
 
@@ -157,6 +186,47 @@ mod tests {
         sum += huge;
         assert_eq!(sum.0, i128::MAX, "saturates instead of wrapping");
         assert_eq!(Mass::from_f64(f64::NEG_INFINITY).0, i128::MIN);
+    }
+
+    /// Mirrors `pathological_inputs_saturate_or_zero` for the subtractive
+    /// helpers: saturation stays explicit, never wrapping.
+    #[test]
+    fn subtraction_saturates_and_negation_is_checked() {
+        let a = Mass::from_f64(1.5);
+        let b = Mass::from_f64(0.25);
+        assert_eq!(a.saturating_sub(b).to_f64(), 1.25);
+        let mut sub = a;
+        sub -= b;
+        assert_eq!(sub, a.saturating_sub(b));
+
+        // Saturation at both extremes instead of wrapping.
+        assert_eq!(Mass(i128::MIN).saturating_sub(Mass(1)).0, i128::MIN);
+        assert_eq!(Mass(i128::MAX).saturating_sub(Mass(-1)).0, i128::MAX);
+
+        // Checked negation: exact everywhere except the asymmetric MIN.
+        assert_eq!(
+            Mass::from_f64(0.75).checked_neg(),
+            Some(Mass::from_f64(-0.75))
+        );
+        assert_eq!(Mass(i128::MAX).checked_neg(), Some(Mass(-i128::MAX)));
+        assert_eq!(Mass(i128::MIN).checked_neg(), None);
+        assert_eq!(Mass::ZERO.checked_neg(), Some(Mass::ZERO));
+    }
+
+    /// Subtracting what was added restores the exact original value —
+    /// the inverse property delta application relies on.
+    #[test]
+    fn subtraction_inverts_addition_exactly() {
+        let xs = [0.1, 0.7, 1e-9, 3.17159, -2.5];
+        let mut acc = Mass::from_f64(12.375);
+        let original = acc;
+        for &x in &xs {
+            acc += Mass::from_f64(x);
+        }
+        for &x in &xs {
+            acc -= Mass::from_f64(x);
+        }
+        assert_eq!(acc, original);
     }
 
     #[test]

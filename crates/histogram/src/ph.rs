@@ -432,6 +432,38 @@ impl crate::diff::StatInspect for PhHistogram {
     }
 }
 
+impl crate::delta::StatInspectMut for PhHistogram {
+    fn scalar_stats_mut(&mut self) -> Vec<(&'static str, &mut u64)> {
+        vec![
+            ("n", &mut self.n),
+            ("span_total", &mut self.span_total),
+            ("span_rects", &mut self.span_rects),
+        ]
+    }
+
+    fn cell_stats_mut(&mut self) -> Vec<crate::delta::StatArrayMut<'_>> {
+        use crate::delta::{CellValuesMut, StatArrayMut};
+        let counts = |name, data| StatArrayMut {
+            name,
+            values: CellValuesMut::Counts(data),
+        };
+        let masses = |name, data| StatArrayMut {
+            name,
+            values: CellValuesMut::Masses(data),
+        };
+        vec![
+            counts("num", &mut self.num),
+            counts("num_x", &mut self.num_x),
+            masses("cov", &mut self.cov),
+            masses("xsum", &mut self.xsum),
+            masses("ysum", &mut self.ysum),
+            masses("cov_x", &mut self.cov_x),
+            masses("xsum_x", &mut self.xsum_x),
+            masses("ysum_x", &mut self.ysum_x),
+        ]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

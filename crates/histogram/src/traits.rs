@@ -29,6 +29,7 @@
 
 use crate::band::RowBanded;
 use crate::crc::crc32;
+use crate::delta::HistogramDelta;
 use crate::{
     CorruptSection, EulerHistogram, GhBasicHistogram, GhHistogram, Grid, HistogramError,
     PhHistogram, SelectivityEstimate,
@@ -200,9 +201,35 @@ pub trait SpatialHistogram: std::fmt::Debug + Send + Sync {
     /// Clones into a boxed trait object.
     fn clone_box(&self) -> Box<dyn SpatialHistogram>;
 
+    /// Applies a signed batch delta in place, exactly: after this
+    /// returns `Ok`, the histogram is byte-identical to a fresh build
+    /// over the mutated dataset (`build(D ∪ Δ⁺ ∖ Δ⁻)`).
+    ///
+    /// Application is atomic — every statistic update is range-checked
+    /// before any is written, so on error the histogram is untouched.
+    ///
+    /// # Errors
+    /// [`HistogramError::KindMismatch`] / [`HistogramError::GridMismatch`]
+    /// when the delta was built for a different family or grid;
+    /// [`HistogramError::DeltaOutOfRange`] when an update would push a
+    /// counter or scalar outside its representable range (e.g. a
+    /// delete batch covering objects this histogram never counted);
+    /// [`HistogramError::Corrupt`] when a hand-forged delta's statistic
+    /// shape does not match the family.
+    fn apply_delta(&mut self, delta: &HistogramDelta) -> Result<(), HistogramError>;
+
     /// Builds the histogram of `rects` on `grid` (serial).
     #[must_use]
     fn build_from(grid: Grid, rects: &[Rect]) -> Self
+    where
+        Self: Sized;
+
+    /// Builds the signed delta of an insert/delete batch for this
+    /// family on `grid` — the statistic-wise difference
+    /// `build(inserts) − build(deletes)`, suitable for
+    /// [`Self::apply_delta`].
+    #[must_use]
+    fn build_delta(grid: Grid, inserts: &[Rect], deletes: &[Rect]) -> HistogramDelta
     where
         Self: Sized;
 
@@ -317,8 +344,16 @@ macro_rules! impl_spatial_histogram {
                 Box::new(self.clone())
             }
 
+            fn apply_delta(&mut self, delta: &HistogramDelta) -> Result<(), HistogramError> {
+                crate::delta::apply_impl(self, delta)
+            }
+
             fn build_from(grid: Grid, rects: &[Rect]) -> Self {
                 <$ty>::build(grid, rects)
+            }
+
+            fn build_delta(grid: Grid, inserts: &[Rect], deletes: &[Rect]) -> HistogramDelta {
+                crate::delta::build_impl::<$ty>($kind, grid, inserts, deletes, 1)
             }
         }
     };

@@ -33,6 +33,7 @@ pub mod report;
 pub mod rules;
 pub mod scan;
 pub mod verify;
+pub mod verify_delta;
 
 use rules::{Finding, RuleId, Severity};
 use scan::SourceFile;

@@ -1,5 +1,5 @@
-//! `sj-lint` binary: `check`, `rules`, `fingerprint` and `verify-merge`
-//! subcommands.
+//! `sj-lint` binary: `check`, `rules`, `fingerprint`, `verify-merge`
+//! and `verify-delta` subcommands.
 //!
 //! Exit codes: `0` clean, `1` deny-severity findings (or merge
 //! divergences), `2` usage error, `3` I/O error.
@@ -25,6 +25,9 @@ USAGE:
     sj-lint verify-merge [--format human|json] [--scale <f>]
                          [--levels <l,..>] [--shards <n,..>]
                          [--inject drop-last-rect|nudge-first-rect]
+    sj-lint verify-delta [--format human|json] [--scale <f>]
+                         [--levels <l,..>] [--shards <n,..>]
+                         [--inject drop-last-rect|nudge-first-rect]
 
 Rules are named r1..r8 or by slug (determinism, fixed-point, panic,
 cast, hygiene, error-taxonomy, persistence, docs). Suppress a single
@@ -36,7 +39,14 @@ check: it builds every histogram family serially and sharded (row-band
 and rect-range partitions, each shard count in --shards) on seeded
 datasets and exits 1 unless every merged envelope is byte-identical to
 its serial build, localizing divergences to a cell and statistic.
---inject deliberately breaks the merged input to prove the check bites.";
+--inject deliberately breaks the merged input to prove the check bites.
+
+`verify-delta` does the same for the incremental-statistics path: it
+derives insert/delete batches (mixed and delete-heavy styles) from the
+seeded scenarios and exits 1 unless apply_delta(build(D), delta) is
+byte-identical to a full rebuild over the mutated data, for every
+family, level and shard count. --inject tampers the delta's insert
+batch to prove the check bites.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -169,6 +179,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "check" => cmd_check(&cli),
         "fingerprint" => cmd_fingerprint(&cli),
         "verify-merge" => cmd_verify(&cli),
+        "verify-delta" => cmd_verify_delta(&cli),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -222,6 +233,17 @@ fn cmd_check(cli: &Cli) -> Result<ExitCode, String> {
 fn cmd_verify(cli: &Cli) -> Result<ExitCode, String> {
     let report = sj_lint::verify::run_verify(&cli.verify)
         .map_err(|e| format!("invalid verify-merge configuration: {e}"))?;
+    print!("{}", report.render(cli.format));
+    Ok(if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn cmd_verify_delta(cli: &Cli) -> Result<ExitCode, String> {
+    let report = sj_lint::verify_delta::run_verify_delta(&cli.verify)
+        .map_err(|e| format!("invalid verify-delta configuration: {e}"))?;
     print!("{}", report.render(cli.format));
     Ok(if report.is_clean() {
         ExitCode::SUCCESS

@@ -282,8 +282,9 @@ impl VerifyReport {
     }
 }
 
-/// Applies `fault` to a copy of the merged builds' input.
-fn apply_fault(fault: Fault, rects: &[Rect]) -> Vec<Rect> {
+/// Applies `fault` to a copy of the merged builds' input (also reused
+/// by `verify-delta` on the delta's insert batch).
+pub(crate) fn apply_fault(fault: Fault, rects: &[Rect]) -> Vec<Rect> {
     let mut out = rects.to_vec();
     match fault {
         Fault::DropLastRect => {

@@ -64,7 +64,7 @@ impl StatsState {
 pub(crate) struct Table {
     pub(crate) dataset: Dataset,
     pub(crate) stats: StatsState,
-    rtree: OnceLock<RTree>,
+    pub(crate) rtree: OnceLock<RTree>,
 }
 
 /// A table still being assembled from shards (see
@@ -88,10 +88,11 @@ struct PendingTable {
 /// byte-identical to a direct [`Catalog::register`] over the
 /// concatenated shards.
 pub struct Catalog {
-    config: CatalogConfig,
-    grid: Grid,
-    tables: BTreeMap<String, Table>,
+    pub(crate) config: CatalogConfig,
+    pub(crate) grid: Grid,
+    pub(crate) tables: BTreeMap<String, Table>,
     pending: BTreeMap<String, PendingTable>,
+    pub(crate) store: crate::store::StatsStore,
 }
 
 impl Catalog {
@@ -123,6 +124,7 @@ impl Catalog {
             grid,
             tables: BTreeMap::new(),
             pending: BTreeMap::new(),
+            store: crate::store::StatsStore::default(),
         })
     }
 
@@ -651,7 +653,7 @@ impl Catalog {
         if self.tables.contains_key(&dataset.name) {
             return Err(QueryError::DuplicateTable(dataset.name.clone()));
         }
-        let histogram = self.decode_statistics(&dataset, stats_file)?;
+        let histogram = self.decode_statistics(dataset.len(), stats_file)?;
         self.tables.insert(
             dataset.name.clone(),
             Table {
@@ -681,7 +683,7 @@ impl Catalog {
         if self.tables.contains_key(&dataset.name) {
             return Err(QueryError::DuplicateTable(dataset.name.clone()));
         }
-        let (stats, reason) = match self.decode_statistics(&dataset, stats_file) {
+        let (stats, reason) = match self.decode_statistics(dataset.len(), stats_file) {
             Ok(h) => (StatsState::Ready(h), None),
             Err(e) => {
                 let reason = e.to_string();
@@ -704,11 +706,42 @@ impl Catalog {
         Ok(reason)
     }
 
+    /// Registers a dataset *without* building statistics: the table is
+    /// degraded until statistics are installed by
+    /// [`Catalog::open_stats_store`] from a compaction snapshot
+    /// (`<table>.base`). Callers that find such a snapshot should prefer
+    /// this over building statistics the snapshot will supersede, and
+    /// over [`Catalog::register_with_statistics_lenient`] with the
+    /// paired histogram (whose cardinality reflects folded mutations,
+    /// not the registration source).
+    ///
+    /// # Errors
+    /// Returns [`QueryError::DuplicateTable`] if the name is taken.
+    pub fn register_deferred(&mut self, dataset: Dataset) -> Result<(), QueryError> {
+        if self.tables.contains_key(&dataset.name) {
+            return Err(QueryError::DuplicateTable(dataset.name.clone()));
+        }
+        self.tables.insert(
+            dataset.name.clone(),
+            Table {
+                dataset,
+                stats: StatsState::Unavailable {
+                    reason: "statistics deferred to the statistics store \
+                             (compaction snapshot not installed)"
+                        .to_string(),
+                },
+                rtree: OnceLock::new(),
+            },
+        );
+        Ok(())
+    }
+
     /// Decodes and cross-checks a statistics file against this catalog's
-    /// configuration and the dataset it is claimed to describe.
-    fn decode_statistics(
+    /// configuration and the cardinality of the dataset it is claimed to
+    /// describe.
+    pub(crate) fn decode_statistics(
         &self,
-        dataset: &Dataset,
+        expected_len: usize,
         stats_file: &[u8],
     ) -> Result<Box<dyn SpatialHistogram>, QueryError> {
         let histogram: Box<dyn SpatialHistogram> = match load_histogram(stats_file) {
@@ -733,14 +766,13 @@ impl Catalog {
                 },
             ));
         }
-        if histogram.dataset_len() != dataset.len() {
+        if histogram.dataset_len() != expected_len {
             return Err(QueryError::Histogram(
                 sj_histogram::HistogramError::corrupt(
                     sj_histogram::CorruptSection::Payload,
                     format!(
-                        "statistics cover {} objects but the dataset has {}",
+                        "statistics cover {} objects but the dataset has {expected_len}",
                         histogram.dataset_len(),
-                        dataset.len()
                     ),
                 ),
             ));

@@ -36,6 +36,18 @@ pub enum QueryError {
     /// Every tier of the estimation ladder was disabled or failed; the
     /// string lists each skipped tier with its reason.
     EstimatorsExhausted(String),
+    /// A delete batch referenced a rectangle the table does not
+    /// currently contain; the whole batch is rejected without mutating
+    /// anything (see [`crate::Catalog::apply_delta`]).
+    DeleteNotFound {
+        /// The table the batch targeted.
+        table: String,
+        /// Position of the unmatched rectangle within the delete batch.
+        index: usize,
+    },
+    /// A filesystem operation failed (statistics directory, WAL append,
+    /// compaction swap).
+    Io(String),
     /// A tuple slot referenced an object id outside its dataset — a
     /// catalog-consistency bug (the dataset changed between planning and
     /// execution), surfaced as a typed error instead of a panic.
@@ -70,6 +82,12 @@ impl fmt::Display for QueryError {
             QueryError::EstimatorsExhausted(detail) => {
                 write!(f, "no estimator tier could serve: {detail}")
             }
+            QueryError::DeleteNotFound { table, index } => write!(
+                f,
+                "delete batch entry {index} matches no object in table {table:?}; \
+                 nothing was applied"
+            ),
+            QueryError::Io(detail) => write!(f, "statistics I/O failure: {detail}"),
             QueryError::TupleIdOutOfRange { table, id, len } => write!(
                 f,
                 "tuple id {id} is out of range for table {table:?} (cardinality {len})"

@@ -43,10 +43,14 @@ mod degrade;
 mod error;
 mod exec;
 mod plan;
+mod store;
 
 pub use catalog::{Catalog, CatalogConfig};
 pub use degrade::{DegradationPolicy, EstimateOutcome, EstimateTier, SkippedTier};
 pub use error::QueryError;
+pub use store::{
+    CompactReceipt, CompactionPolicy, DeltaReceipt, StatsProvenance, TierInfo, WalRecovery,
+};
 // Re-exported so downstream crates (sj-server) can match the histogram
 // failure modes wrapped inside QueryError without a direct dependency.
 pub use exec::{ExecStats, QueryResult};

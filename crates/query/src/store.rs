@@ -1,0 +1,1308 @@
+//! Incremental statistics maintenance for the catalog: write-ahead
+//! delta logging, in-memory delta tiers, and LSM-style compaction.
+//!
+//! Registration still builds each table's base histogram in one shot,
+//! but the catalog no longer has to rebuild on every mutation. Instead,
+//! an insert/delete batch flows through three layers:
+//!
+//! 1. **WAL** — when a statistics directory is attached
+//!    ([`Catalog::open_stats_store`]), the raw batch is appended to
+//!    `<dir>/<table>.wal` *before* the in-memory state changes, so a
+//!    crash between mutation and compaction loses nothing: on the next
+//!    open, pending records replay on top of the base `.hist` envelope.
+//! 2. **Tiers** — the batch's signed [`HistogramDelta`] is applied to
+//!    the table's live histogram (exactly: the result is byte-identical
+//!    to a full rebuild) and retained as a pending tier with provenance
+//!    ([`TierInfo`]): sequence number, batch sizes, delta bytes.
+//! 3. **Compaction** — when the [`CompactionPolicy`] thresholds trip
+//!    (tier count or pending delta bytes), or on an explicit
+//!    [`Catalog::compact`], the effective histogram is written to
+//!    `<table>.hist.tmp` and atomically renamed over the base envelope,
+//!    a *dataset snapshot* (`<table>.base`) capturing the exact
+//!    rectangles that envelope describes is swapped in the same way,
+//!    the WAL is deleted, and the tiers are cleared. Readers never see
+//!    a torn base file: every swap is write-new + rename.
+//!
+//! The snapshot is what makes recovery independent of the caller's
+//! registration source: after a compaction has folded inserts into the
+//! base, the original source files no longer match the statistics, so
+//! [`Catalog::open_stats_store`] installs the snapshot's dataset and the
+//! paired histogram over whatever was registered, then replays only the
+//! WAL records the snapshot's sequence fence has not folded yet.
+//!
+//! Read paths need no changes — the live histogram *is* base ⊕ pending
+//! deltas at all times — but [`Catalog::stats_provenance`] exposes the
+//! tier structure so callers can tell a freshly-compacted table from one
+//! carrying uncheckpointed writes.
+//!
+//! WAL record layout (little-endian, one record per applied batch):
+//!
+//! ```text
+//! magic "SJWL" u32 | version u32 | seq u64 | n_ins u32 | n_del u32
+//!   | (n_ins + n_del) rects × 4 f64 | crc32 u32
+//! ```
+//!
+//! The CRC32 covers every preceding byte of the record. A torn tail
+//! (crash mid-append) is tolerated and reported; a checksum or magic
+//! mismatch before the tail is a typed corruption error.
+//!
+//! Snapshot file layout (`<table>.base`, little-endian):
+//!
+//! ```text
+//! magic "SJSB" u32 | version u32 | next_seq u64 | hist_crc u32
+//!   | n u64 | n rects × 4 f64 | crc32 u32
+//! ```
+//!
+//! `next_seq` is the first WAL sequence number *not* folded into the
+//! paired `<table>.hist`; `hist_crc` is the CRC32 of that file's bytes
+//! minus its own CRC trailer (see [`hist_pair_crc`] for why the trailer
+//! must be excluded), tying the pair together so a crash between the
+//! two renames is detected (and finished) on the next open instead of
+//! silently mixing generations.
+
+use crate::catalog::StatsState;
+use crate::error::QueryError;
+use crate::Catalog;
+use sj_geo::Rect;
+use sj_histogram::{build_histogram, CorruptSection, HistogramDelta, HistogramError};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Magic prefix of every WAL record.
+pub(crate) const WAL_MAGIC: u32 = 0x534a_574c; // "SJWL"
+/// WAL record format version; bump on incompatible layout changes.
+pub(crate) const WAL_VERSION: u32 = 1;
+/// Fixed bytes of a WAL record before its rectangles: magic, version,
+/// sequence number, and the two batch lengths.
+const WAL_HEADER_LEN: usize = 24;
+/// Magic prefix of a dataset snapshot (`<table>.base`) file.
+pub(crate) const SNAPSHOT_MAGIC: u32 = 0x534a_5342; // "SJSB"
+/// Snapshot format version; bump on incompatible layout changes.
+pub(crate) const SNAPSHOT_VERSION: u32 = 1;
+/// Fixed bytes of a snapshot before its rectangles: magic, version,
+/// sequence fence, paired-histogram CRC, and the rectangle count.
+const SNAPSHOT_HEADER_LEN: usize = 28;
+
+/// When pending delta tiers fold into the base envelope.
+///
+/// Both thresholds are checked after every applied batch; crossing
+/// either triggers an automatic [`Catalog::compact`] of that table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionPolicy {
+    /// Compact when a table accumulates this many pending tiers.
+    pub max_tiers: usize,
+    /// Compact when a table's pending deltas exceed this many bytes.
+    pub max_pending_bytes: usize,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        Self {
+            max_tiers: 4,
+            max_pending_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Provenance of one pending delta tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierInfo {
+    /// Monotone per-table sequence number (also recorded in the WAL).
+    pub seq: u64,
+    /// Rectangles inserted by this batch.
+    pub inserts: u64,
+    /// Rectangles deleted by this batch.
+    pub deletes: u64,
+    /// Serialized size of the tier's delta.
+    pub bytes: usize,
+}
+
+/// What [`Catalog::apply_delta`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaReceipt {
+    /// Rectangles inserted.
+    pub inserts: usize,
+    /// Rectangles deleted.
+    pub deletes: usize,
+    /// Pending tiers on the table after this batch (0 right after an
+    /// automatic compaction).
+    pub pending_tiers: usize,
+    /// Whether the batch tripped the compaction policy.
+    pub compacted: bool,
+}
+
+/// What [`Catalog::compact`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactReceipt {
+    /// Pending tiers folded into the base envelope.
+    pub tiers_folded: usize,
+    /// Whether a new base `.hist` envelope was atomically swapped in
+    /// (`false` when no statistics directory is attached).
+    pub persisted: bool,
+}
+
+/// Tier structure of one table's statistics, from
+/// [`Catalog::stats_provenance`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsProvenance {
+    /// Pending (uncompacted) tiers, oldest first.
+    pub pending: Vec<TierInfo>,
+    /// Total serialized bytes across the pending tiers.
+    pub pending_bytes: usize,
+}
+
+impl StatsProvenance {
+    /// Whether every applied batch has been folded into the base.
+    #[must_use]
+    pub fn is_compacted(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+/// Result of replaying write-ahead logs in [`Catalog::open_stats_store`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WalRecovery {
+    /// WAL records replayed across all tables.
+    pub replayed: usize,
+    /// Records dropped because the final one was torn mid-append.
+    pub torn_tails: usize,
+    /// Records skipped because a snapshot's sequence fence showed them
+    /// already folded into the compacted base (a stale WAL left by a
+    /// crash between the snapshot swap and the WAL unlink).
+    pub skipped: usize,
+    /// Tables whose dataset and statistics were installed from a
+    /// compaction snapshot (`<table>.base`), superseding whatever the
+    /// caller registered them with.
+    pub installed: usize,
+}
+
+/// One pending delta tier: provenance plus the retained signed delta.
+struct Tier {
+    info: TierInfo,
+    #[allow(dead_code)] // retained for inspection; stats are applied live
+    delta: HistogramDelta,
+}
+
+/// Per-table incremental state.
+#[derive(Default)]
+struct TableStore {
+    tiers: Vec<Tier>,
+    pending_bytes: usize,
+    next_seq: u64,
+}
+
+/// The catalog's incremental-statistics layer: an optional on-disk
+/// directory (base envelopes + WALs) and per-table pending tiers.
+#[derive(Default)]
+pub(crate) struct StatsStore {
+    dir: Option<PathBuf>,
+    policy: CompactionPolicy,
+    tables: BTreeMap<String, TableStore>,
+}
+
+impl StatsStore {
+    fn table(&mut self, name: &str) -> &mut TableStore {
+        self.tables.entry(name.to_string()).or_default()
+    }
+}
+
+fn io_err(context: &str, e: &std::io::Error) -> QueryError {
+    QueryError::Io(format!("{context}: {e}"))
+}
+
+/// Encodes one WAL record for an applied batch.
+fn encode_wal_record(seq: u64, inserts: &[Rect], deletes: &[Rect]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(WAL_HEADER_LEN + (inserts.len() + deletes.len()) * 32 + 4);
+    buf.extend_from_slice(&WAL_MAGIC.to_le_bytes());
+    buf.extend_from_slice(&WAL_VERSION.to_le_bytes());
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(&(u32::try_from(inserts.len()).unwrap_or(u32::MAX)).to_le_bytes());
+    buf.extend_from_slice(&(u32::try_from(deletes.len()).unwrap_or(u32::MAX)).to_le_bytes());
+    for r in inserts.iter().chain(deletes) {
+        for v in [r.xlo, r.ylo, r.xhi, r.yhi] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// One decoded WAL record.
+struct WalRecord {
+    seq: u64,
+    inserts: Vec<Rect>,
+    deletes: Vec<Rect>,
+}
+
+/// Decodes a WAL file into its records. A truncated final record (torn
+/// mid-append by a crash) is tolerated and counted; corruption anywhere
+/// else — bad magic, bad version, failed CRC — is a typed error.
+fn decode_wal(data: &[u8]) -> Result<(Vec<WalRecord>, usize), QueryError> {
+    let corrupt = |detail: String| {
+        QueryError::Histogram(HistogramError::corrupt(CorruptSection::Payload, detail))
+    };
+    let u32_at = |at: usize| -> Option<u32> {
+        data.get(at..at + 4)
+            .and_then(|s| s.try_into().ok())
+            .map(u32::from_le_bytes)
+    };
+    let u64_at = |at: usize| -> Option<u64> {
+        data.get(at..at + 8)
+            .and_then(|s| s.try_into().ok())
+            .map(u64::from_le_bytes)
+    };
+    let f64_at = |at: usize| -> Option<f64> {
+        data.get(at..at + 8)
+            .and_then(|s| s.try_into().ok())
+            .map(f64::from_le_bytes)
+    };
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    while offset < data.len() {
+        if data.len() - offset < WAL_HEADER_LEN {
+            return Ok((records, 1)); // torn tail: header cut short
+        }
+        let magic = u32_at(offset).unwrap_or(0);
+        if magic != WAL_MAGIC {
+            return Err(corrupt(format!(
+                "WAL record at offset {offset} has bad magic {magic:#010x}"
+            )));
+        }
+        let version = u32_at(offset + 4).unwrap_or(0);
+        if version != WAL_VERSION {
+            return Err(corrupt(format!(
+                "WAL record at offset {offset} has unsupported version {version}"
+            )));
+        }
+        let seq = u64_at(offset + 8).unwrap_or(0);
+        // sj-lint: allow(cast, u32 always fits in usize on supported targets)
+        let n_ins = u32_at(offset + 16).unwrap_or(0) as usize;
+        // sj-lint: allow(cast, u32 always fits in usize on supported targets)
+        let n_del = u32_at(offset + 20).unwrap_or(0) as usize;
+        let body_len = WAL_HEADER_LEN + (n_ins + n_del) * 32;
+        let Some(total) = body_len.checked_add(4) else {
+            return Err(corrupt(format!(
+                "WAL record at offset {offset} declares an absurd batch size"
+            )));
+        };
+        if data.len() - offset < total {
+            return Ok((records, 1)); // torn tail: body or CRC cut short
+        }
+        let body = data
+            .get(offset..offset + body_len)
+            .ok_or_else(|| corrupt("WAL record slice out of bounds".to_string()))?;
+        let stored = u32_at(offset + body_len).unwrap_or(0);
+        let computed = crc32(body);
+        if stored != computed {
+            return Err(corrupt(format!(
+                "WAL record at offset {offset} failed its checksum \
+                 (stored {stored:#010x}, computed {computed:#010x})"
+            )));
+        }
+        let mut rects = Vec::with_capacity(n_ins + n_del);
+        for i in 0..n_ins + n_del {
+            let at = offset + WAL_HEADER_LEN + i * 32;
+            let (Some(xlo), Some(ylo), Some(xhi), Some(yhi)) =
+                (f64_at(at), f64_at(at + 8), f64_at(at + 16), f64_at(at + 24))
+            else {
+                return Err(corrupt("WAL rectangle slice out of bounds".to_string()));
+            };
+            rects.push(Rect::new(xlo, ylo, xhi, yhi));
+        }
+        let deletes = rects.split_off(n_ins);
+        records.push(WalRecord {
+            seq,
+            inserts: rects,
+            deletes,
+        });
+        offset += total;
+    }
+    Ok((records, 0))
+}
+
+/// A decoded dataset snapshot: the exact rectangles the paired
+/// compacted histogram describes, plus the data fencing the stale part
+/// of a surviving WAL off the already-folded part.
+struct Snapshot {
+    /// First WAL sequence number *not* folded into the paired base.
+    next_seq: u64,
+    /// [`hist_pair_crc`] of the `<table>.hist` bytes written by the
+    /// same compaction.
+    hist_crc: u32,
+    rects: Vec<Rect>,
+}
+
+/// Encodes a dataset snapshot (`<table>.base`).
+fn encode_snapshot(next_seq: u64, hist_crc: u32, rects: &[Rect]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(SNAPSHOT_HEADER_LEN + rects.len() * 32 + 4);
+    buf.extend_from_slice(&SNAPSHOT_MAGIC.to_le_bytes());
+    buf.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    buf.extend_from_slice(&next_seq.to_le_bytes());
+    buf.extend_from_slice(&hist_crc.to_le_bytes());
+    buf.extend_from_slice(&(rects.len() as u64).to_le_bytes());
+    for r in rects {
+        for v in [r.xlo, r.ylo, r.xhi, r.yhi] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// Decodes a dataset snapshot. Unlike the WAL, a snapshot is written
+/// atomically (write-new + rename), so *any* damage — truncation, bad
+/// magic, failed CRC — is a typed corruption error, never tolerated.
+fn decode_snapshot(data: &[u8]) -> Result<Snapshot, QueryError> {
+    let corrupt = |detail: String| {
+        QueryError::Histogram(HistogramError::corrupt(
+            CorruptSection::Payload,
+            format!("dataset snapshot {detail}"),
+        ))
+    };
+    let u32_at = |at: usize| -> Option<u32> {
+        data.get(at..at + 4)
+            .and_then(|s| s.try_into().ok())
+            .map(u32::from_le_bytes)
+    };
+    let u64_at = |at: usize| -> Option<u64> {
+        data.get(at..at + 8)
+            .and_then(|s| s.try_into().ok())
+            .map(u64::from_le_bytes)
+    };
+    let f64_at = |at: usize| -> Option<f64> {
+        data.get(at..at + 8)
+            .and_then(|s| s.try_into().ok())
+            .map(f64::from_le_bytes)
+    };
+    if data.len() < SNAPSHOT_HEADER_LEN + 4 {
+        return Err(corrupt("is shorter than its fixed header".to_string()));
+    }
+    let magic = u32_at(0).unwrap_or(0);
+    if magic != SNAPSHOT_MAGIC {
+        return Err(corrupt(format!("has bad magic {magic:#010x}")));
+    }
+    let version = u32_at(4).unwrap_or(0);
+    if version != SNAPSHOT_VERSION {
+        return Err(corrupt(format!("has unsupported version {version}")));
+    }
+    let next_seq = u64_at(8).unwrap_or(0);
+    let hist_crc = u32_at(16).unwrap_or(0);
+    let n = usize::try_from(u64_at(20).unwrap_or(0))
+        .map_err(|_| corrupt("declares an absurd rectangle count".to_string()))?;
+    let Some(body_len) = n
+        .checked_mul(32)
+        .and_then(|b| b.checked_add(SNAPSHOT_HEADER_LEN))
+    else {
+        return Err(corrupt("declares an absurd rectangle count".to_string()));
+    };
+    if body_len.checked_add(4) != Some(data.len()) {
+        return Err(corrupt(format!(
+            "length mismatch: {n} rectangles need {} bytes, file has {}",
+            body_len + 4,
+            data.len()
+        )));
+    }
+    let body = data
+        .get(..body_len)
+        .ok_or_else(|| corrupt("slice out of bounds".to_string()))?;
+    let stored = u32_at(body_len).unwrap_or(0);
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(corrupt(format!(
+            "failed its checksum (stored {stored:#010x}, computed {computed:#010x})"
+        )));
+    }
+    let mut rects = Vec::with_capacity(n);
+    for i in 0..n {
+        let at = SNAPSHOT_HEADER_LEN + i * 32;
+        let (Some(xlo), Some(ylo), Some(xhi), Some(yhi)) =
+            (f64_at(at), f64_at(at + 8), f64_at(at + 16), f64_at(at + 24))
+        else {
+            return Err(corrupt("rectangle slice out of bounds".to_string()));
+        };
+        rects.push(Rect::new(xlo, ylo, xhi, yhi));
+    }
+    Ok(Snapshot {
+        next_seq,
+        hist_crc,
+        rects,
+    })
+}
+
+/// The CRC binding a snapshot to its paired histogram file. Histogram
+/// envelopes end with their own CRC32 trailer, and any message suffixed
+/// with its own CRC has the same constant overall CRC (the residue
+/// property), so hashing the whole file could not tell one generation
+/// from another — hash everything *before* the trailer instead.
+fn hist_pair_crc(hist_bytes: &[u8]) -> u32 {
+    let end = hist_bytes.len().saturating_sub(4);
+    crc32(hist_bytes.get(..end).unwrap_or(hist_bytes))
+}
+
+/// CRC32 (IEEE, reflected) — the same polynomial as the histogram
+/// envelopes, computed bytewise; WAL records are small and rare enough
+/// that a table-free implementation is plenty.
+fn crc32(data: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &byte in data {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+impl Catalog {
+    /// Attaches a statistics directory and recovers each registered
+    /// table to its exact pre-shutdown state:
+    ///
+    /// 1. When a compaction snapshot (`<table>.base`) exists, its
+    ///    dataset and the paired `<table>.hist` statistics are installed
+    ///    over whatever the caller registered — after a compaction has
+    ///    folded inserts into the base, the original source files no
+    ///    longer describe the statistics, so the snapshot is the only
+    ///    trustworthy base state. A crash that interrupted the
+    ///    compaction between its two renames is detected by the
+    ///    snapshot's recorded histogram CRC and finished here.
+    /// 2. Pending WAL records then re-apply their insert/delete batches
+    ///    (without re-logging); records the snapshot's sequence fence
+    ///    shows as already folded are skipped.
+    ///
+    /// Also directs future [`Catalog::apply_delta`] calls to log to
+    /// `<dir>/<table>.wal` and future compactions to atomically rewrite
+    /// the `<dir>/<table>.hist` + `<dir>/<table>.base` pair.
+    ///
+    /// # Errors
+    /// [`QueryError::Io`] on filesystem failures, or a typed corruption
+    /// error when a WAL record before the tail fails its checksum, a
+    /// snapshot is damaged, or a snapshot and its paired statistics
+    /// disagree. A torn final WAL record (crash mid-append) is tolerated
+    /// and counted in the returned [`WalRecovery`].
+    pub fn open_stats_store(
+        &mut self,
+        dir: impl AsRef<Path>,
+        policy: CompactionPolicy,
+    ) -> Result<WalRecovery, QueryError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(|e| io_err("creating statistics directory", &e))?;
+        self.store.dir = Some(dir.to_path_buf());
+        self.store.policy = policy;
+        let mut recovery = WalRecovery::default();
+        for name in self
+            .table_names()
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+        {
+            // Replay only records at or past this fence (None: all).
+            let mut fence = None;
+            let base_path = dir.join(format!("{name}.base"));
+            if base_path.exists() {
+                let snap_bytes = std::fs::read(&base_path)
+                    .map_err(|e| io_err("reading dataset snapshot", &e))?;
+                let snapshot = decode_snapshot(&snap_bytes)?;
+                let hist_bytes = std::fs::read(dir.join(format!("{name}.hist")))
+                    .map_err(|e| io_err("reading snapshotted base statistics", &e))?;
+                recovery.installed += 1;
+                if hist_pair_crc(&hist_bytes) == snapshot.hist_crc {
+                    let histogram = self.decode_statistics(snapshot.rects.len(), &hist_bytes)?;
+                    self.install_base(&name, snapshot.rects, histogram, snapshot.next_seq);
+                    fence = Some(snapshot.next_seq);
+                } else {
+                    // Crash between the histogram swap and the snapshot
+                    // swap: the histogram is one fold AHEAD of the
+                    // snapshot, and the WAL still holds the batches that
+                    // fold consumed.
+                    self.recover_mid_compaction(&name, dir, snapshot, &hist_bytes, &mut recovery)?;
+                    continue;
+                }
+            }
+            let wal = dir.join(format!("{name}.wal"));
+            if !wal.exists() {
+                continue;
+            }
+            let data = std::fs::read(&wal).map_err(|e| io_err("reading WAL", &e))?;
+            let (records, torn) = decode_wal(&data)?;
+            recovery.torn_tails += torn;
+            // With no snapshot the WAL's base state is the registered
+            // dataset itself. Replay needs live statistics to apply
+            // batches to, so if registration left them unusable (e.g. a
+            // lenient registration over a half-compacted histogram),
+            // rebuild them from that dataset.
+            if !records.is_empty() && fence.is_none() {
+                self.ensure_stats_ready(&name);
+            }
+            for record in &records {
+                if fence.is_some_and(|s| record.seq < s) {
+                    recovery.skipped += 1;
+                    continue;
+                }
+                self.apply_delta_inner(&name, &record.inserts, &record.deletes, false)?;
+                recovery.replayed += 1;
+            }
+        }
+        Ok(recovery)
+    }
+
+    /// Installs a recovered base state: the snapshot's dataset, the
+    /// paired statistics, a reset lazy index, and the sequence fence —
+    /// with no pending tiers (the base is, by construction, compacted).
+    fn install_base(
+        &mut self,
+        name: &str,
+        rects: Vec<Rect>,
+        histogram: Box<dyn sj_histogram::SpatialHistogram>,
+        next_seq: u64,
+    ) {
+        if let Some(table) = self.tables.get_mut(name) {
+            table.dataset.rects = rects;
+            table.stats = StatsState::Ready(histogram);
+            table.rtree = std::sync::OnceLock::new();
+        }
+        let entry = self.store.table(name);
+        entry.next_seq = next_seq;
+        entry.tiers.clear();
+        entry.pending_bytes = 0;
+    }
+
+    /// Rebuilds a table's statistics from its registered dataset when
+    /// registration left them unusable — WAL replay with no snapshot
+    /// treats that dataset as the base state, so statistics over it are
+    /// exactly what the pending batches expect to apply to.
+    fn ensure_stats_ready(&mut self, name: &str) {
+        if let Some(table) = self.tables.get_mut(name) {
+            if matches!(table.stats, StatsState::Unavailable { .. }) {
+                table.stats = StatsState::Ready(build_histogram(
+                    self.config.kind,
+                    self.grid,
+                    &table.dataset.rects,
+                ));
+                table.rtree = std::sync::OnceLock::new();
+            }
+        }
+    }
+
+    /// Finishes a compaction that crashed between renaming the new
+    /// histogram and renaming its snapshot: the on-disk histogram
+    /// already contains the folded batches, the snapshot is one fold
+    /// behind, and the WAL still holds exactly the batches in between.
+    /// Reconstructs the dataset by applying those batches (dataset
+    /// only — the statistics come from the new histogram wholesale),
+    /// cross-checks the result against the histogram's cardinality, and
+    /// re-runs the compaction to leave the directory consistent.
+    fn recover_mid_compaction(
+        &mut self,
+        name: &str,
+        dir: &Path,
+        snapshot: Snapshot,
+        hist_bytes: &[u8],
+        recovery: &mut WalRecovery,
+    ) -> Result<(), QueryError> {
+        let corrupt = |detail: String| {
+            QueryError::Histogram(HistogramError::corrupt(CorruptSection::Payload, detail))
+        };
+        let wal_path = dir.join(format!("{name}.wal"));
+        if !wal_path.exists() {
+            return Err(corrupt(format!(
+                "snapshot for table {name:?} does not match its base statistics \
+                 and no WAL remains to reconcile them"
+            )));
+        }
+        let data = std::fs::read(&wal_path).map_err(|e| io_err("reading WAL", &e))?;
+        let (records, torn) = decode_wal(&data)?;
+        recovery.torn_tails += torn;
+        let mut rects = snapshot.rects;
+        let mut next_seq = snapshot.next_seq;
+        for record in &records {
+            if record.seq < snapshot.next_seq {
+                recovery.skipped += 1;
+                continue;
+            }
+            // Mirror apply_delta_inner exactly: first match wins, order
+            // preserved, inserts appended — so the reconstructed dataset
+            // is byte-for-byte what the crashed process held.
+            let mut live = vec![true; rects.len()];
+            for del in &record.deletes {
+                match rects
+                    .iter()
+                    .enumerate()
+                    .position(|(i, r)| live[i] && r == del)
+                {
+                    Some(i) => live[i] = false,
+                    None => {
+                        return Err(corrupt(format!(
+                            "WAL batch {} deletes a rectangle absent from table {name:?}'s \
+                             snapshotted dataset",
+                            record.seq
+                        )))
+                    }
+                }
+            }
+            let mut kept: Vec<Rect> = rects
+                .iter()
+                .zip(&live)
+                .filter(|(_, keep)| **keep)
+                .map(|(r, _)| *r)
+                .collect();
+            kept.extend_from_slice(&record.inserts);
+            rects = kept;
+            next_seq = record.seq + 1;
+            recovery.replayed += 1;
+        }
+        let histogram = self.decode_statistics(rects.len(), hist_bytes)?;
+        self.install_base(name, rects, histogram, next_seq);
+        // Resume the interrupted compaction: rewrite the snapshot to
+        // pair with the already-swapped histogram and drop the WAL.
+        self.compact(name)?;
+        Ok(())
+    }
+
+    /// The active compaction policy.
+    #[must_use]
+    pub fn compaction_policy(&self) -> CompactionPolicy {
+        self.store.policy
+    }
+
+    /// Applies an insert/delete batch to a table incrementally: the
+    /// batch is WAL-logged (when a statistics directory is attached),
+    /// its signed [`HistogramDelta`] is applied to the live histogram —
+    /// byte-identical to a full rebuild over the mutated dataset — the
+    /// raw dataset and lazy index are updated, and the delta is retained
+    /// as a pending tier. Crossing the [`CompactionPolicy`] thresholds
+    /// triggers an automatic [`Catalog::compact`].
+    ///
+    /// Every rectangle in `deletes` must currently exist in the table
+    /// (exact coordinates); one matching object is removed per delete
+    /// rectangle. A failed validation mutates nothing.
+    ///
+    /// # Errors
+    /// [`QueryError::UnknownTable`] for unregistered names;
+    /// [`QueryError::StatisticsUnavailable`] when the table carries no
+    /// usable statistics; [`QueryError::DeleteNotFound`] when a delete
+    /// rectangle matches no object; [`QueryError::Io`] on WAL append
+    /// failures; [`QueryError::Histogram`] when the delta cannot apply.
+    pub fn apply_delta(
+        &mut self,
+        name: &str,
+        inserts: &[Rect],
+        deletes: &[Rect],
+    ) -> Result<DeltaReceipt, QueryError> {
+        self.apply_delta_inner(name, inserts, deletes, true)
+    }
+
+    fn apply_delta_inner(
+        &mut self,
+        name: &str,
+        inserts: &[Rect],
+        deletes: &[Rect],
+        log_to_wal: bool,
+    ) -> Result<DeltaReceipt, QueryError> {
+        // Validate against the current dataset before touching anything.
+        let table = self
+            .tables
+            .get(name)
+            .ok_or_else(|| QueryError::UnknownTable(name.to_string()))?;
+        if let StatsState::Unavailable { reason } = &table.stats {
+            return Err(QueryError::StatisticsUnavailable {
+                table: name.to_string(),
+                reason: reason.clone(),
+            });
+        }
+        // Resolve each delete to one currently-live object, first match
+        // wins; duplicates in the batch consume duplicates in the data.
+        let mut live: Vec<bool> = vec![true; table.dataset.rects.len()];
+        for (index, del) in deletes.iter().enumerate() {
+            let found = table
+                .dataset
+                .rects
+                .iter()
+                .enumerate()
+                .position(|(i, r)| live[i] && r == del);
+            match found {
+                Some(i) => live[i] = false,
+                None => {
+                    return Err(QueryError::DeleteNotFound {
+                        table: name.to_string(),
+                        index,
+                    })
+                }
+            }
+        }
+
+        // Exact signed delta for this batch: both sides run through the
+        // same shard driver as every other build in the workspace.
+        let delta = HistogramDelta::build(self.config.kind, self.grid, inserts, deletes);
+
+        // WAL first: once the record is durable, the in-memory update
+        // below is recoverable even if we crash halfway through it.
+        let seq = self.store.table(name).next_seq;
+        if log_to_wal {
+            if let Some(dir) = &self.store.dir {
+                use std::io::Write;
+                let record = encode_wal_record(seq, inserts, deletes);
+                let mut file = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(dir.join(format!("{name}.wal")))
+                    .map_err(|e| io_err("opening WAL", &e))?;
+                file.write_all(&record)
+                    .and_then(|()| file.sync_all())
+                    .map_err(|e| io_err("appending WAL record", &e))?;
+            }
+        }
+
+        // Commit: histogram (atomic apply), dataset, index.
+        let table = self
+            .tables
+            .get_mut(name)
+            .ok_or_else(|| QueryError::UnknownTable(name.to_string()))?;
+        if let StatsState::Ready(h) = &mut table.stats {
+            h.apply_delta(&delta)?;
+        }
+        let mut rects =
+            Vec::with_capacity(table.dataset.rects.len() - deletes.len() + inserts.len());
+        rects.extend(
+            table
+                .dataset
+                .rects
+                .iter()
+                .zip(&live)
+                .filter(|(_, keep)| **keep)
+                .map(|(r, _)| *r),
+        );
+        rects.extend_from_slice(inserts);
+        table.dataset.rects = rects;
+        table.rtree = std::sync::OnceLock::new();
+
+        // Tier bookkeeping, then the compaction policy.
+        let policy = self.store.policy;
+        let entry = self.store.table(name);
+        entry.next_seq = seq + 1;
+        let bytes = delta.space_bytes();
+        entry.pending_bytes += bytes;
+        entry.tiers.push(Tier {
+            info: TierInfo {
+                seq,
+                inserts: inserts.len() as u64,
+                deletes: deletes.len() as u64,
+                bytes,
+            },
+            delta,
+        });
+        let mut receipt = DeltaReceipt {
+            inserts: inserts.len(),
+            deletes: deletes.len(),
+            pending_tiers: entry.tiers.len(),
+            compacted: false,
+        };
+        if entry.tiers.len() >= policy.max_tiers || entry.pending_bytes >= policy.max_pending_bytes
+        {
+            self.compact(name)?;
+            receipt.pending_tiers = 0;
+            receipt.compacted = true;
+        }
+        Ok(receipt)
+    }
+
+    /// Folds a table's pending delta tiers into its base envelope. The
+    /// live histogram already *is* base ⊕ pending deltas, so folding
+    /// persists it: the effective envelope is written to
+    /// `<dir>/<table>.hist.tmp` and atomically renamed over
+    /// `<dir>/<table>.hist`, a dataset snapshot is swapped into
+    /// `<dir>/<table>.base` the same way, the WAL is deleted, and the
+    /// tiers are cleared. Without an attached statistics directory only
+    /// the in-memory tiers are cleared.
+    ///
+    /// A crash anywhere in that sequence recovers exactly on the next
+    /// [`Catalog::open_stats_store`]: before the histogram rename the
+    /// old hist/base pair plus the WAL reproduce the state; between the
+    /// two renames the snapshot's recorded histogram CRC no longer
+    /// matches and the fold is finished from the surviving WAL; after
+    /// the snapshot rename a stale WAL is fenced off by sequence number.
+    ///
+    /// # Errors
+    /// [`QueryError::UnknownTable`] for unregistered names;
+    /// [`QueryError::Io`] on filesystem failures.
+    pub fn compact(&mut self, name: &str) -> Result<CompactReceipt, QueryError> {
+        let table = self
+            .tables
+            .get(name)
+            .ok_or_else(|| QueryError::UnknownTable(name.to_string()))?;
+        let next_seq = self.store.tables.get(name).map_or(0, |t| t.next_seq);
+        let mut persisted = false;
+        if let (Some(dir), StatsState::Ready(h)) = (&self.store.dir, &table.stats) {
+            let hist_bytes = h.persist();
+            let tmp = dir.join(format!("{name}.hist.tmp"));
+            let dst = dir.join(format!("{name}.hist"));
+            std::fs::write(&tmp, &hist_bytes)
+                .map_err(|e| io_err("writing compacted statistics", &e))?;
+            std::fs::rename(&tmp, &dst).map_err(|e| io_err("swapping compacted statistics", &e))?;
+            let snap = encode_snapshot(next_seq, hist_pair_crc(&hist_bytes), &table.dataset.rects);
+            let tmp = dir.join(format!("{name}.base.tmp"));
+            let dst = dir.join(format!("{name}.base"));
+            std::fs::write(&tmp, snap).map_err(|e| io_err("writing dataset snapshot", &e))?;
+            std::fs::rename(&tmp, &dst).map_err(|e| io_err("swapping dataset snapshot", &e))?;
+            // Only now is the WAL redundant: everything it holds is in
+            // the hist/base pair or fenced off by the sequence number.
+            match std::fs::remove_file(dir.join(format!("{name}.wal"))) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(io_err("removing compacted WAL", &e)),
+            }
+            persisted = true;
+        }
+        let entry = self.store.table(name);
+        let tiers_folded = entry.tiers.len();
+        entry.tiers.clear();
+        entry.pending_bytes = 0;
+        Ok(CompactReceipt {
+            tiers_folded,
+            persisted,
+        })
+    }
+
+    /// The tier structure behind a table's statistics: which applied
+    /// batches are still pending (uncompacted), oldest first.
+    ///
+    /// # Errors
+    /// [`QueryError::UnknownTable`] for unregistered names.
+    pub fn stats_provenance(&self, name: &str) -> Result<StatsProvenance, QueryError> {
+        if !self.tables.contains_key(name) {
+            return Err(QueryError::UnknownTable(name.to_string()));
+        }
+        let (pending, pending_bytes) = match self.store.tables.get(name) {
+            Some(t) => (
+                t.tiers.iter().map(|tier| tier.info).collect(),
+                t.pending_bytes,
+            ),
+            None => (Vec::new(), 0),
+        };
+        Ok(StatsProvenance {
+            pending,
+            pending_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_datagen::Dataset;
+    use sj_geo::Extent;
+    use sj_histogram::HistogramKind;
+
+    fn rects(n: usize, offset: f64) -> Vec<Rect> {
+        (0..n)
+            .map(|i| {
+                let t = (i as f64 + 0.5) / n as f64 * 0.8 + offset;
+                Rect::new(t, t * 0.9, t + 0.05, t * 0.9 + 0.04)
+            })
+            .collect()
+    }
+
+    fn catalog_with(name: &str, n: usize, kind: HistogramKind) -> Catalog {
+        let mut c = Catalog::with_kind(kind, 4);
+        c.register(Dataset::new(name, Extent::unit(), rects(n, 0.0)))
+            .unwrap();
+        c
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("sj_store_test_{tag}"));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    /// The store invariant: after any batch sequence, the live histogram
+    /// is byte-identical to a catalog freshly registered over the
+    /// mutated dataset.
+    #[test]
+    fn incremental_equals_rebuild_every_kind() {
+        for kind in HistogramKind::ALL {
+            let mut c = catalog_with("t", 50, kind);
+            let ins = rects(20, 0.1);
+            let del: Vec<Rect> = rects(50, 0.0).into_iter().step_by(5).collect();
+            let receipt = c.apply_delta("t", &ins, &del).unwrap();
+            assert_eq!(receipt.inserts, 20);
+            assert_eq!(receipt.deletes, 10);
+            assert_eq!(c.table_len("t").unwrap(), 60);
+
+            let mut fresh = Catalog::with_kind(kind, 4);
+            fresh
+                .register(Dataset::new(
+                    "t",
+                    Extent::unit(),
+                    c.dataset("t").unwrap().rects.clone(),
+                ))
+                .unwrap();
+            assert_eq!(
+                c.histogram("t").unwrap().to_bytes(),
+                fresh.histogram("t").unwrap().to_bytes(),
+                "{kind}: incremental maintenance must equal full rebuild"
+            );
+        }
+    }
+
+    #[test]
+    fn deleting_unknown_object_is_typed_and_mutates_nothing() {
+        let mut c = catalog_with("t", 10, HistogramKind::Gh);
+        let before = c.histogram("t").unwrap().to_bytes();
+        let err = c
+            .apply_delta("t", &[], &[Rect::new(0.9, 0.9, 0.95, 0.95)])
+            .unwrap_err();
+        assert!(matches!(err, QueryError::DeleteNotFound { index: 0, .. }));
+        assert_eq!(c.histogram("t").unwrap().to_bytes(), before);
+        assert_eq!(c.table_len("t").unwrap(), 10);
+        assert!(c.stats_provenance("t").unwrap().is_compacted());
+    }
+
+    #[test]
+    fn duplicate_objects_are_deleted_one_per_delete() {
+        let r = Rect::new(0.2, 0.2, 0.3, 0.3);
+        let mut c = Catalog::with_level(3);
+        c.register(Dataset::new("t", Extent::unit(), vec![r, r, r]))
+            .unwrap();
+        c.apply_delta("t", &[], &[r, r]).unwrap();
+        assert_eq!(c.table_len("t").unwrap(), 1);
+        // A third and fourth delete: one succeeds, one has no match left.
+        let err = c.apply_delta("t", &[], &[r, r]).unwrap_err();
+        assert!(matches!(err, QueryError::DeleteNotFound { index: 1, .. }));
+        assert_eq!(c.table_len("t").unwrap(), 1, "failed batch must not apply");
+    }
+
+    #[test]
+    fn tiers_accumulate_and_policy_compacts() {
+        let mut c = catalog_with("t", 30, HistogramKind::Gh);
+        let dir = temp_dir("policy");
+        c.open_stats_store(
+            &dir,
+            CompactionPolicy {
+                max_tiers: 3,
+                max_pending_bytes: usize::MAX,
+            },
+        )
+        .unwrap();
+        for round in 0..2 {
+            let receipt = c
+                .apply_delta("t", &rects(3, 0.02 * f64::from(round)), &[])
+                .unwrap();
+            assert!(!receipt.compacted);
+            assert_eq!(receipt.pending_tiers, round as usize + 1);
+        }
+        let prov = c.stats_provenance("t").unwrap();
+        assert_eq!(prov.pending.len(), 2);
+        assert_eq!(prov.pending[0].seq, 0);
+        assert_eq!(prov.pending[1].seq, 1);
+        assert!(prov.pending_bytes > 0);
+        assert!(dir.join("t.wal").exists());
+
+        // The third tier trips max_tiers: automatic compaction.
+        let receipt = c.apply_delta("t", &rects(3, 0.06), &[]).unwrap();
+        assert!(receipt.compacted);
+        assert_eq!(receipt.pending_tiers, 0);
+        assert!(c.stats_provenance("t").unwrap().is_compacted());
+        assert!(
+            !dir.join("t.wal").exists(),
+            "compaction must delete the WAL"
+        );
+        assert!(dir.join("t.hist").exists());
+        assert!(!dir.join("t.hist.tmp").exists(), "swap must be atomic");
+        assert!(
+            dir.join("t.base").exists(),
+            "compaction must snapshot the dataset"
+        );
+        assert!(!dir.join("t.base.tmp").exists(), "swap must be atomic");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The restart hazard the snapshot exists to prevent: once a
+    /// compaction folds inserts into the base, the original source no
+    /// longer matches the statistics. A new process registering from
+    /// that source must still recover the exact pre-shutdown state.
+    #[test]
+    fn restart_after_compaction_recovers_exact_state() {
+        let dir = temp_dir("restart");
+        let mut c1 = catalog_with("t", 40, HistogramKind::Gh);
+        c1.open_stats_store(&dir, CompactionPolicy::default())
+            .unwrap();
+        c1.apply_delta("t", &rects(8, 0.1), &[]).unwrap();
+        c1.compact("t").unwrap();
+        let del: Vec<Rect> = rects(40, 0.0).into_iter().step_by(9).collect();
+        c1.apply_delta("t", &[], &del).unwrap();
+        let expected = c1.histogram("t").unwrap().to_bytes();
+        let expected_rects = c1.dataset("t").unwrap().rects.clone();
+        drop(c1);
+
+        // Next process: registration defers to the snapshot.
+        let mut c2 = Catalog::with_kind(HistogramKind::Gh, 4);
+        c2.register_deferred(Dataset::new("t", Extent::unit(), rects(40, 0.0)))
+            .unwrap();
+        let recovery = c2
+            .open_stats_store(&dir, CompactionPolicy::default())
+            .unwrap();
+        assert_eq!(recovery.installed, 1);
+        assert_eq!(recovery.replayed, 1, "the post-compaction delete batch");
+        assert_eq!(recovery.skipped, 0);
+        assert_eq!(c2.dataset("t").unwrap().rects, expected_rects);
+        assert_eq!(
+            c2.histogram("t").unwrap().to_bytes(),
+            expected,
+            "snapshot + fenced WAL replay must reproduce the exact state"
+        );
+
+        // A plain registration (statistics built from the stale source)
+        // recovers identically: the snapshot supersedes it.
+        let mut c3 = Catalog::with_kind(HistogramKind::Gh, 4);
+        c3.register(Dataset::new("t", Extent::unit(), rects(40, 0.0)))
+            .unwrap();
+        c3.open_stats_store(&dir, CompactionPolicy::default())
+            .unwrap();
+        assert_eq!(c3.histogram("t").unwrap().to_bytes(), expected);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Crash between the histogram swap and the snapshot swap: the
+    /// snapshot's recorded CRC no longer matches the histogram, and the
+    /// fold is reconstructed from the surviving WAL and finished.
+    #[test]
+    fn crash_between_histogram_and_snapshot_swap_is_finished_on_open() {
+        let dir = temp_dir("midcompact");
+        let mut c1 = catalog_with("t", 30, HistogramKind::Gh);
+        c1.open_stats_store(&dir, CompactionPolicy::default())
+            .unwrap();
+        c1.apply_delta("t", &rects(5, 0.1), &[]).unwrap();
+        c1.compact("t").unwrap();
+        // One more mixed batch, then a compaction that "crashes" after
+        // swapping the histogram but before swapping the snapshot:
+        // simulated by overwriting the base with the live histogram
+        // while keeping the old snapshot and the WAL.
+        let del: Vec<Rect> = rects(30, 0.0).into_iter().step_by(11).collect();
+        c1.apply_delta("t", &rects(4, 0.2), &del).unwrap();
+        let expected = c1.histogram("t").unwrap().to_bytes();
+        let expected_rects = c1.dataset("t").unwrap().rects.clone();
+        std::fs::write(dir.join("t.hist"), c1.histogram("t").unwrap().persist()).unwrap();
+        drop(c1);
+
+        let mut c2 = Catalog::with_kind(HistogramKind::Gh, 4);
+        c2.register_deferred(Dataset::new("t", Extent::unit(), rects(30, 0.0)))
+            .unwrap();
+        let recovery = c2
+            .open_stats_store(&dir, CompactionPolicy::default())
+            .unwrap();
+        assert_eq!(recovery.installed, 1);
+        assert_eq!(recovery.replayed, 1);
+        assert_eq!(c2.dataset("t").unwrap().rects, expected_rects);
+        assert_eq!(c2.histogram("t").unwrap().to_bytes(), expected);
+        // The interrupted compaction was finished: the WAL is gone and
+        // the snapshot now pairs with the histogram, so a further
+        // reopen has nothing to replay.
+        assert!(!dir.join("t.wal").exists());
+        let mut c3 = Catalog::with_kind(HistogramKind::Gh, 4);
+        c3.register_deferred(Dataset::new("t", Extent::unit(), rects(30, 0.0)))
+            .unwrap();
+        let r3 = c3
+            .open_stats_store(&dir, CompactionPolicy::default())
+            .unwrap();
+        assert_eq!((r3.replayed, r3.skipped), (0, 0));
+        assert_eq!(c3.histogram("t").unwrap().to_bytes(), expected);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Crash between the snapshot swap and the WAL unlink: the folded
+    /// WAL survives, and every record in it is fenced off by sequence
+    /// number instead of being applied twice.
+    #[test]
+    fn stale_wal_left_by_crash_after_snapshot_swap_is_fenced_off() {
+        let dir = temp_dir("fence");
+        let mut c1 = catalog_with("t", 25, HistogramKind::Gh);
+        c1.open_stats_store(&dir, CompactionPolicy::default())
+            .unwrap();
+        c1.apply_delta("t", &rects(6, 0.1), &[]).unwrap();
+        let stale = std::fs::read(dir.join("t.wal")).unwrap();
+        c1.compact("t").unwrap();
+        let expected = c1.histogram("t").unwrap().to_bytes();
+        drop(c1);
+        std::fs::write(dir.join("t.wal"), &stale).unwrap();
+
+        let mut c2 = Catalog::with_kind(HistogramKind::Gh, 4);
+        c2.register_deferred(Dataset::new("t", Extent::unit(), rects(25, 0.0)))
+            .unwrap();
+        let recovery = c2
+            .open_stats_store(&dir, CompactionPolicy::default())
+            .unwrap();
+        assert_eq!(recovery.skipped, 1, "folded record must not re-apply");
+        assert_eq!(recovery.replayed, 0);
+        assert_eq!(c2.histogram("t").unwrap().to_bytes(), expected);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A first-ever compaction crashing between its renames leaves a
+    /// folded histogram with no snapshot at all; the WAL then still
+    /// holds every batch since registration, so rebuilding statistics
+    /// from the registered dataset and replaying recovers exactly.
+    #[test]
+    fn half_compacted_histogram_without_snapshot_recovers_from_source() {
+        let dir = temp_dir("firstcrash");
+        let mut c1 = catalog_with("t", 20, HistogramKind::Gh);
+        c1.open_stats_store(&dir, CompactionPolicy::default())
+            .unwrap();
+        c1.apply_delta("t", &rects(5, 0.1), &[]).unwrap();
+        let expected = c1.histogram("t").unwrap().to_bytes();
+        std::fs::write(dir.join("t.hist"), c1.histogram("t").unwrap().persist()).unwrap();
+        drop(c1);
+
+        // A lenient registration rejects the half-compacted histogram
+        // (it covers 25 objects, the source has 20) ...
+        let mut c2 = Catalog::with_kind(HistogramKind::Gh, 4);
+        let reason = c2
+            .register_with_statistics_lenient(
+                Dataset::new("t", Extent::unit(), rects(20, 0.0)),
+                &std::fs::read(dir.join("t.hist")).unwrap(),
+            )
+            .unwrap();
+        assert!(reason.is_some());
+        // ... but recovery rebuilds base statistics from the dataset
+        // and replays the full WAL on top.
+        let recovery = c2
+            .open_stats_store(&dir, CompactionPolicy::default())
+            .unwrap();
+        assert_eq!(recovery.replayed, 1);
+        assert_eq!(c2.table_len("t").unwrap(), 25);
+        assert_eq!(c2.histogram("t").unwrap().to_bytes(), expected);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Snapshots are swapped atomically, so unlike the WAL any damage —
+    /// a flipped byte, a short file — is a typed error, never tolerated.
+    #[test]
+    fn corrupt_snapshot_is_a_typed_error() {
+        let dir = temp_dir("badsnap");
+        let mut c1 = catalog_with("t", 20, HistogramKind::Gh);
+        c1.open_stats_store(&dir, CompactionPolicy::default())
+            .unwrap();
+        c1.apply_delta("t", &rects(3, 0.1), &[]).unwrap();
+        c1.compact("t").unwrap();
+        drop(c1);
+        let good = std::fs::read(dir.join("t.base")).unwrap();
+
+        let reopen = |dir: &std::path::Path| {
+            let mut c = Catalog::with_kind(HistogramKind::Gh, 4);
+            c.register_deferred(Dataset::new("t", Extent::unit(), rects(20, 0.0)))
+                .unwrap();
+            c.open_stats_store(dir, CompactionPolicy::default())
+        };
+        let mut flipped = good.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x01;
+        std::fs::write(dir.join("t.base"), &flipped).unwrap();
+        let err = reopen(&dir).unwrap_err();
+        assert!(
+            matches!(err, QueryError::Histogram(HistogramError::Corrupt { .. })),
+            "flipped snapshot byte must be typed, got {err:?}"
+        );
+
+        std::fs::write(dir.join("t.base"), &good[..good.len() - 9]).unwrap();
+        let err = reopen(&dir).unwrap_err();
+        assert!(
+            matches!(err, QueryError::Histogram(HistogramError::Corrupt { .. })),
+            "truncated snapshot must be typed, got {err:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Crash recovery: base envelope + WAL replay reproduces the exact
+    /// pre-crash statistics, and a torn trailing record is tolerated.
+    #[test]
+    fn wal_replay_recovers_pre_crash_state() {
+        let dir = temp_dir("replay");
+        let ins = rects(8, 0.1);
+        let del: Vec<Rect> = rects(40, 0.0).into_iter().step_by(7).collect();
+
+        // Session 1: register, persist base, mutate (logged to WAL), "crash".
+        let mut c1 = catalog_with("t", 40, HistogramKind::Gh);
+        c1.save_statistics(&dir).unwrap();
+        c1.open_stats_store(&dir, CompactionPolicy::default())
+            .unwrap();
+        c1.apply_delta("t", &ins, &del).unwrap();
+        let expected = c1.histogram("t").unwrap().to_bytes();
+        let expected_len = c1.table_len("t").unwrap();
+
+        // Session 2: reload the base envelope, then replay the WAL.
+        let mut c2 = Catalog::with_kind(HistogramKind::Gh, 4);
+        let base = std::fs::read(dir.join("t.hist")).unwrap();
+        c2.register_with_statistics(Dataset::new("t", Extent::unit(), rects(40, 0.0)), &base)
+            .unwrap();
+        let recovery = c2
+            .open_stats_store(&dir, CompactionPolicy::default())
+            .unwrap();
+        assert_eq!(recovery.replayed, 1);
+        assert_eq!(recovery.torn_tails, 0);
+        assert_eq!(c2.table_len("t").unwrap(), expected_len);
+        assert_eq!(
+            c2.histogram("t").unwrap().to_bytes(),
+            expected,
+            "WAL replay must reproduce the pre-crash statistics exactly"
+        );
+        // Replay did not re-log: the WAL still holds exactly one record.
+        let wal_len = std::fs::metadata(dir.join("t.wal")).unwrap().len();
+
+        // Session 3: torn tail — append half a record; replay tolerates it.
+        let mut torn = std::fs::read(dir.join("t.wal")).unwrap();
+        torn.extend_from_slice(&torn.clone()[..WAL_HEADER_LEN + 7]);
+        std::fs::write(dir.join("t.wal"), &torn).unwrap();
+        let mut c3 = Catalog::with_kind(HistogramKind::Gh, 4);
+        c3.register_with_statistics(
+            Dataset::new("t", Extent::unit(), rects(40, 0.0)),
+            &std::fs::read(dir.join("t.hist")).unwrap(),
+        )
+        .unwrap();
+        let recovery = c3
+            .open_stats_store(&dir, CompactionPolicy::default())
+            .unwrap();
+        assert_eq!(recovery.replayed, 1);
+        assert_eq!(recovery.torn_tails, 1);
+        assert_eq!(c3.histogram("t").unwrap().to_bytes(), expected);
+
+        // Mid-file corruption, by contrast, is a typed error.
+        let mut bad = std::fs::read(dir.join("t.wal")).unwrap();
+        bad[WAL_HEADER_LEN + 3] ^= 0x40;
+        bad.truncate(wal_len as usize);
+        std::fs::write(dir.join("t.wal"), &bad).unwrap();
+        let mut c4 = Catalog::with_kind(HistogramKind::Gh, 4);
+        c4.register_with_statistics(
+            Dataset::new("t", Extent::unit(), rects(40, 0.0)),
+            &std::fs::read(dir.join("t.hist")).unwrap(),
+        )
+        .unwrap();
+        let err = c4
+            .open_stats_store(&dir, CompactionPolicy::default())
+            .unwrap_err();
+        assert!(
+            matches!(err, QueryError::Histogram(HistogramError::Corrupt { .. })),
+            "checksum failure must be typed, got {err:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn estimates_track_incremental_mutations() {
+        let mut c = Catalog::with_level(4);
+        c.register(Dataset::new("a", Extent::unit(), rects(30, 0.0)))
+            .unwrap();
+        c.register(Dataset::new("b", Extent::unit(), rects(30, 0.05)))
+            .unwrap();
+        let before = c.estimate_join_pairs("a", "b").unwrap();
+        c.apply_delta("a", &rects(30, 0.02), &[]).unwrap();
+        let after = c.estimate_join_pairs("a", "b").unwrap();
+        assert!(
+            after > before,
+            "doubling a table must raise the estimate ({before} -> {after})"
+        );
+        // The lazy index rebuilt over the mutated dataset.
+        assert_eq!(c.rtree("a").unwrap().len(), 60);
+    }
+}

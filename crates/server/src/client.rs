@@ -1,10 +1,23 @@
 //! The in-process client library: a blocking TCP connection speaking
 //! one request/response frame pair at a time.
 
-use crate::service::{EstimateReply, RemoteOutcome};
+use crate::service::{CompactReply, EstimateReply, MutationReply, RemoteOutcome};
 use crate::wire::{self, status, Frame, Opcode, PayloadReader, WireError};
 use sj_geo::Rect;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// The deterministic backoff schedule used by [`Client::connect_with_retry`]:
+/// the pause taken before each re-attempt after a failed connect. Fixed
+/// durations — no clocks, no jitter — so the retry behaviour is exactly
+/// reproducible: at most `RETRY_BACKOFF.len() + 1` connect attempts and
+/// at most 375 ms of sleeping before the final error surfaces.
+pub const RETRY_BACKOFF: [Duration; 4] = [
+    Duration::from_millis(25),
+    Duration::from_millis(50),
+    Duration::from_millis(100),
+    Duration::from_millis(200),
+];
 
 /// Errors a client call can produce.
 ///
@@ -80,6 +93,29 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
         let stream = TcpStream::connect(addr).map_err(WireError::from)?;
         Ok(Self { stream })
+    }
+
+    /// Connects like [`Client::connect`], but retries transient connect
+    /// failures (a daemon still binding its socket) on the fixed
+    /// [`RETRY_BACKOFF`] schedule before giving up. Bounded: one initial
+    /// attempt plus one per schedule entry, then the last connect error
+    /// surfaces unchanged — a permanently absent server still fails with
+    /// the same [`ClientError::Wire`] a single attempt would produce.
+    ///
+    /// # Errors
+    /// [`ClientError::Wire`] when every attempt fails.
+    pub fn connect_with_retry(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let mut last: Option<ClientError> = None;
+        for pause in std::iter::once(None).chain(RETRY_BACKOFF.iter().copied().map(Some)) {
+            if let Some(pause) = pause {
+                std::thread::sleep(pause);
+            }
+            match Self::connect(&addr) {
+                Ok(client) => return Ok(client),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.unwrap_or_else(|| ClientError::Protocol("empty retry schedule".to_string())))
     }
 
     /// Sends one request frame and returns the OK response payload with
@@ -245,6 +281,54 @@ impl Client {
         Ok(names)
     }
 
+    /// Inserts a batch of rectangles into a registered table; the daemon
+    /// folds a signed histogram delta into its statistics without a
+    /// restart.
+    ///
+    /// # Errors
+    /// [`ClientError`] on wire or remote failure.
+    pub fn insert_batch(
+        &mut self,
+        table: &str,
+        rects: &[Rect],
+    ) -> Result<MutationReply, ClientError> {
+        let body = self.call(Opcode::InsertBatch, mutation_payload(table, rects))?;
+        decode_mutation_reply(&body)
+    }
+
+    /// Deletes a batch of rectangles from a registered table. Every
+    /// rectangle must match an object exactly or the daemon rejects the
+    /// whole batch without mutating anything.
+    ///
+    /// # Errors
+    /// [`ClientError`] on wire or remote failure.
+    pub fn delete_batch(
+        &mut self,
+        table: &str,
+        rects: &[Rect],
+    ) -> Result<MutationReply, ClientError> {
+        let body = self.call(Opcode::DeleteBatch, mutation_payload(table, rects))?;
+        decode_mutation_reply(&body)
+    }
+
+    /// Forces a compaction: pending delta tiers fold into the table's
+    /// base statistics and the write-ahead log is truncated.
+    ///
+    /// # Errors
+    /// [`ClientError`] on wire or remote failure.
+    pub fn compact(&mut self, table: &str) -> Result<CompactReply, ClientError> {
+        let mut p = Vec::new();
+        wire::put_str(&mut p, table);
+        let body = self.call(Opcode::Compact, p)?;
+        let mut r = PayloadReader::new(&body);
+        let reply = CompactReply {
+            tiers_folded: r.u16()?,
+            persisted: r.u8()? != 0,
+        };
+        r.finish()?;
+        Ok(reply)
+    }
+
     /// Asks the daemon to shut down gracefully.
     ///
     /// # Errors
@@ -253,6 +337,32 @@ impl Client {
         let body = self.call(Opcode::Shutdown, Vec::new())?;
         expect_empty(&body)
     }
+}
+
+/// Encodes the shared `insert-batch`/`delete-batch` request payload.
+fn mutation_payload(table: &str, rects: &[Rect]) -> Vec<u8> {
+    let mut p = Vec::new();
+    wire::put_str(&mut p, table);
+    wire::put_u32(&mut p, u32::try_from(rects.len()).unwrap_or(u32::MAX));
+    for r in rects.iter().take(u32::MAX as usize) {
+        wire::put_f64(&mut p, r.xlo);
+        wire::put_f64(&mut p, r.ylo);
+        wire::put_f64(&mut p, r.xhi);
+        wire::put_f64(&mut p, r.yhi);
+    }
+    p
+}
+
+/// Decodes the shared `insert-batch`/`delete-batch` response payload.
+fn decode_mutation_reply(body: &[u8]) -> Result<MutationReply, ClientError> {
+    let mut r = PayloadReader::new(body);
+    let reply = MutationReply {
+        applied: r.u32()?,
+        pending_tiers: r.u16()?,
+        compacted: r.u8()? != 0,
+    };
+    r.finish()?;
+    Ok(reply)
 }
 
 fn expect_empty(body: &[u8]) -> Result<(), ClientError> {

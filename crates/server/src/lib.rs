@@ -34,7 +34,10 @@ pub mod server;
 pub mod service;
 pub mod wire;
 
-pub use client::{Client, ClientError, RemoteFailure};
+pub use client::{Client, ClientError, RemoteFailure, RETRY_BACKOFF};
 pub use server::{handle_request, Server, ServerError};
-pub use service::{CatalogService, EstimateReply, RemoteOutcome, ServiceError, StatisticsService};
+pub use service::{
+    CatalogService, CompactReply, EstimateReply, MutationReply, RemoteOutcome, ServiceError,
+    StatisticsService,
+};
 pub use wire::{status, Frame, Opcode, WireError, MAX_PAYLOAD, WIRE_VERSION};

@@ -321,13 +321,52 @@ fn serve_opcode<S: StatisticsService>(
             }
             Ok(out)
         }
+        Opcode::InsertBatch | Opcode::DeleteBatch => {
+            let (table, rects) = read_mutation(&mut r)?;
+            let reply = if op == Opcode::InsertBatch {
+                service.insert_batch(&table, &rects)?
+            } else {
+                service.delete_batch(&table, &rects)?
+            };
+            let mut out = Vec::new();
+            wire::put_u32(&mut out, reply.applied);
+            wire::put_u16(&mut out, reply.pending_tiers);
+            wire::put_u8(&mut out, u8::from(reply.compacted));
+            Ok(out)
+        }
+        Opcode::Compact => {
+            let table = r.str()?;
+            r.finish()?;
+            let reply = service.compact(&table)?;
+            let mut out = Vec::new();
+            wire::put_u16(&mut out, reply.tiers_folded);
+            wire::put_u8(&mut out, u8::from(reply.persisted));
+            Ok(out)
+        }
     }
+}
+
+/// Parses the shared `insert-batch`/`delete-batch` request payload:
+/// table name, rectangle count, then that many `(xlo, ylo, xhi, yhi)`
+/// quadruples. The 16 MiB frame cap already bounds the count; the
+/// capacity pre-allocation is clamped anyway so a lying prefix cannot
+/// balloon memory before the reader hits truncation.
+fn read_mutation(r: &mut PayloadReader<'_>) -> Result<(String, Vec<Rect>), RequestError> {
+    let table = r.str()?;
+    let n = r.u32()? as usize;
+    let mut rects = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        let (x0, y0, x1, y1) = (r.f64()?, r.f64()?, r.f64()?, r.f64()?);
+        rects.push(Rect::new(x0, y0, x1, y1));
+    }
+    r.finish()?;
+    Ok((table, rects))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::service::{EstimateReply, RemoteOutcome};
+    use crate::service::{CompactReply, EstimateReply, MutationReply, RemoteOutcome};
 
     /// A service stub with deterministic answers.
     struct Stub;
@@ -357,6 +396,38 @@ mod tests {
 
         fn tables(&self) -> Vec<String> {
             vec!["a".to_string(), "b".to_string()]
+        }
+
+        fn insert_batch(&self, table: &str, rects: &[Rect]) -> Result<MutationReply, ServiceError> {
+            if table == "missing" {
+                return Err(ServiceError::new(status::RUNTIME, "unknown table"));
+            }
+            Ok(MutationReply {
+                applied: u32::try_from(rects.len()).unwrap_or(u32::MAX),
+                pending_tiers: 1,
+                compacted: false,
+            })
+        }
+
+        fn delete_batch(&self, table: &str, rects: &[Rect]) -> Result<MutationReply, ServiceError> {
+            if table == "missing" {
+                return Err(ServiceError::new(status::INVALID_DATA, "no such object"));
+            }
+            Ok(MutationReply {
+                applied: u32::try_from(rects.len()).unwrap_or(u32::MAX),
+                pending_tiers: 2,
+                compacted: true,
+            })
+        }
+
+        fn compact(&self, table: &str) -> Result<CompactReply, ServiceError> {
+            if table == "missing" {
+                return Err(ServiceError::new(status::RUNTIME, "unknown table"));
+            }
+            Ok(CompactReply {
+                tiers_folded: 3,
+                persisted: true,
+            })
         }
     }
 
@@ -438,6 +509,65 @@ mod tests {
         r.f64().unwrap();
         assert_eq!(r.u8().unwrap(), status::RUNTIME);
         assert!(r.str().unwrap().contains("unknown table"));
+        r.finish().unwrap();
+    }
+
+    fn mutation_payload(table: &str, rects: &[(f64, f64, f64, f64)]) -> Vec<u8> {
+        let mut p = Vec::new();
+        wire::put_str(&mut p, table);
+        wire::put_u32(&mut p, u32::try_from(rects.len()).unwrap());
+        for &(x0, y0, x1, y1) in rects {
+            wire::put_f64(&mut p, x0);
+            wire::put_f64(&mut p, y0);
+            wire::put_f64(&mut p, x1);
+            wire::put_f64(&mut p, y1);
+        }
+        p
+    }
+
+    #[test]
+    fn insert_batch_encodes_receipt() {
+        let p = mutation_payload("a", &[(0.0, 0.0, 1.0, 1.0), (2.0, 2.0, 3.0, 3.0)]);
+        let (resp, stop) = handle_request(&Stub, &Frame::request(Opcode::InsertBatch, p));
+        assert!(!stop);
+        let mut r = PayloadReader::new(&resp.payload);
+        assert_eq!(r.u8().unwrap(), status::OK);
+        assert_eq!(r.u32().unwrap(), 2); // applied
+        assert_eq!(r.u16().unwrap(), 1); // pending tiers
+        assert_eq!(r.u8().unwrap(), 0); // not compacted
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn delete_batch_error_is_well_framed() {
+        let p = mutation_payload("missing", &[(0.0, 0.0, 1.0, 1.0)]);
+        let (resp, _) = handle_request(&Stub, &Frame::request(Opcode::DeleteBatch, p));
+        assert_eq!(resp.opcode, Opcode::DeleteBatch.response());
+        assert_eq!(status_of(&resp), status::INVALID_DATA);
+    }
+
+    #[test]
+    fn truncated_mutation_payload_is_typed() {
+        // Count claims 3 rects but only one follows: CORRUPT, no panic.
+        let mut p = Vec::new();
+        wire::put_str(&mut p, "a");
+        wire::put_u32(&mut p, 3);
+        for _ in 0..4 {
+            wire::put_f64(&mut p, 0.5);
+        }
+        let (resp, _) = handle_request(&Stub, &Frame::request(Opcode::InsertBatch, p));
+        assert_eq!(status_of(&resp), status::CORRUPT);
+    }
+
+    #[test]
+    fn compact_encodes_receipt() {
+        let mut p = Vec::new();
+        wire::put_str(&mut p, "a");
+        let (resp, _) = handle_request(&Stub, &Frame::request(Opcode::Compact, p));
+        let mut r = PayloadReader::new(&resp.payload);
+        assert_eq!(r.u8().unwrap(), status::OK);
+        assert_eq!(r.u16().unwrap(), 3); // tiers folded
+        assert_eq!(r.u8().unwrap(), 1); // persisted
         r.finish().unwrap();
     }
 

@@ -9,7 +9,7 @@
 use crate::wire::{self, status, PayloadReader, WireError};
 use sj_geo::Rect;
 use sj_query::{Catalog, ChainJoinQuery, DegradationPolicy, EstimateOutcome, QueryError};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// A primary-statistics estimate: the numbers `sjsel estimate` prints.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -139,11 +139,14 @@ impl ServiceError {
                     status::MISMATCH
                 }
                 HistogramError::LevelTooLarge(_) => status::USAGE,
+                HistogramError::DeltaOutOfRange { .. } => status::INVALID_DATA,
                 _ => status::RUNTIME,
             },
             QueryError::EstimatorsExhausted(_) => status::EXHAUSTED,
             QueryError::StatisticsUnavailable { .. } => status::CORRUPT,
             QueryError::TooFewTables(_) => status::USAGE,
+            QueryError::DeleteNotFound { .. } => status::INVALID_DATA,
+            QueryError::Io(_) => status::IO,
             QueryError::UnknownTable(_)
             | QueryError::DuplicateTable(_)
             | QueryError::ResultTooLarge { .. } => status::RUNTIME,
@@ -194,13 +197,54 @@ pub trait StatisticsService: Send + Sync {
 
     /// Registered table names, sorted.
     fn tables(&self) -> Vec<String>;
+
+    /// Applies an insert batch to a table's statistics incrementally.
+    ///
+    /// # Errors
+    /// [`ServiceError`]; a batch that cannot apply maps to INVALID_DATA.
+    fn insert_batch(&self, table: &str, rects: &[Rect]) -> Result<MutationReply, ServiceError>;
+
+    /// Applies a delete batch. Every rectangle must currently exist in
+    /// the table, or the whole batch is rejected without applying.
+    ///
+    /// # Errors
+    /// [`ServiceError`]; an unmatched delete maps to INVALID_DATA.
+    fn delete_batch(&self, table: &str, rects: &[Rect]) -> Result<MutationReply, ServiceError>;
+
+    /// Folds a table's pending delta tiers into its base envelope.
+    ///
+    /// # Errors
+    /// [`ServiceError`]; filesystem failures map to IO.
+    fn compact(&self, table: &str) -> Result<CompactReply, ServiceError>;
 }
 
-/// The daemon's service: a catalog loaded once, shared read-only across
-/// every connection (histogram statistics are immutable after
-/// registration; the lazy R-tree cell is synchronized internally).
+/// What an [`StatisticsService::insert_batch`] /
+/// [`StatisticsService::delete_batch`] call did, as it travels the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MutationReply {
+    /// Rectangles applied by the batch.
+    pub applied: u32,
+    /// Pending delta tiers on the table afterwards.
+    pub pending_tiers: u16,
+    /// Whether the batch tripped an automatic compaction.
+    pub compacted: bool,
+}
+
+/// What a [`StatisticsService::compact`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactReply {
+    /// Pending tiers folded into the base envelope.
+    pub tiers_folded: u16,
+    /// Whether a new base envelope was atomically swapped onto disk.
+    pub persisted: bool,
+}
+
+/// The daemon's service: a shared catalog behind a read/write lock —
+/// estimates and plans take read locks and run concurrently; the
+/// mutation opcodes take the write lock, so the daemon absorbs writes
+/// without restarting while readers always see a consistent catalog.
 pub struct CatalogService {
-    catalog: Arc<Catalog>,
+    catalog: Arc<RwLock<Catalog>>,
     policy: DegradationPolicy,
 }
 
@@ -208,25 +252,57 @@ impl CatalogService {
     /// Wraps a shared catalog with the degradation policy used by
     /// [`StatisticsService::catalog_estimate`].
     #[must_use]
-    pub fn new(catalog: Arc<Catalog>, policy: DegradationPolicy) -> Self {
+    pub fn new(catalog: Arc<RwLock<Catalog>>, policy: DegradationPolicy) -> Self {
         Self { catalog, policy }
     }
 
     /// The shared catalog.
     #[must_use]
-    pub fn catalog(&self) -> &Arc<Catalog> {
+    pub fn catalog(&self) -> &Arc<RwLock<Catalog>> {
         &self.catalog
+    }
+
+    /// Read access to the catalog. A poisoned lock (a panicking writer)
+    /// is recovered rather than propagated: the catalog's mutation paths
+    /// are atomic (validate before write), so the data is consistent.
+    fn read(&self) -> RwLockReadGuard<'_, Catalog> {
+        self.catalog
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Write access to the catalog (see [`Self::read`] on poisoning).
+    fn write(&self) -> RwLockWriteGuard<'_, Catalog> {
+        self.catalog
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn mutate(
+        &self,
+        table: &str,
+        inserts: &[Rect],
+        deletes: &[Rect],
+    ) -> Result<MutationReply, ServiceError> {
+        let receipt = self
+            .write()
+            .apply_delta(table, inserts, deletes)
+            .map_err(|e| ServiceError::from_query("mutation failed", &e))?;
+        Ok(MutationReply {
+            applied: u32::try_from(inserts.len() + deletes.len()).unwrap_or(u32::MAX),
+            pending_tiers: u16::try_from(receipt.pending_tiers).unwrap_or(u16::MAX),
+            compacted: receipt.compacted,
+        })
     }
 }
 
 impl StatisticsService for CatalogService {
     fn estimate(&self, a: &str, b: &str) -> Result<EstimateReply, ServiceError> {
-        let ha = self
-            .catalog
+        let catalog = self.read();
+        let ha = catalog
             .histogram(a)
             .map_err(|e| ServiceError::from_query("estimation failed", &e))?;
-        let hb = self
-            .catalog
+        let hb = catalog
             .histogram(b)
             .map_err(|e| ServiceError::from_query("estimation failed", &e))?;
         let est = ha
@@ -239,8 +315,8 @@ impl StatisticsService for CatalogService {
     }
 
     fn window_count(&self, table: &str, window: &Rect) -> Result<f64, ServiceError> {
-        let gh = self
-            .catalog
+        let catalog = self.read();
+        let gh = catalog
             .gh_histogram(table)
             .map_err(|e| ServiceError::from_query("window count failed", &e))?;
         Ok(gh.estimate_window_count(window))
@@ -248,7 +324,7 @@ impl StatisticsService for CatalogService {
 
     fn explain(&self, tables: &[String]) -> Result<String, ServiceError> {
         let plan = self
-            .catalog
+            .read()
             .plan(&ChainJoinQuery::new(tables.iter().cloned()))
             .map_err(|e| ServiceError::from_query("planning failed", &e))?;
         Ok(plan.to_string())
@@ -256,18 +332,37 @@ impl StatisticsService for CatalogService {
 
     fn catalog_estimate(&self, a: &str, b: &str) -> Result<RemoteOutcome, ServiceError> {
         let outcome = self
-            .catalog
+            .read()
             .estimate_join_pairs_detailed(a, b, &self.policy)
             .map_err(|e| ServiceError::from_query("estimation failed", &e))?;
         Ok(RemoteOutcome::from_outcome(&outcome))
     }
 
     fn tables(&self) -> Vec<String> {
-        self.catalog
+        self.read()
             .table_names()
             .into_iter()
             .map(str::to_string)
             .collect()
+    }
+
+    fn insert_batch(&self, table: &str, rects: &[Rect]) -> Result<MutationReply, ServiceError> {
+        self.mutate(table, rects, &[])
+    }
+
+    fn delete_batch(&self, table: &str, rects: &[Rect]) -> Result<MutationReply, ServiceError> {
+        self.mutate(table, &[], rects)
+    }
+
+    fn compact(&self, table: &str) -> Result<CompactReply, ServiceError> {
+        let receipt = self
+            .write()
+            .compact(table)
+            .map_err(|e| ServiceError::from_query("compaction failed", &e))?;
+        Ok(CompactReply {
+            tiers_folded: u16::try_from(receipt.tiers_folded).unwrap_or(u16::MAX),
+            persisted: receipt.persisted,
+        })
     }
 }
 

@@ -28,7 +28,9 @@ pub const MAGIC: [u8; 4] = *b"SJWF";
 
 /// Wire protocol version. Bump on any frame or payload layout change —
 /// the r7 persistence fingerprint pins the codec bodies to this number.
-pub const WIRE_VERSION: u16 = 1;
+/// Version 2 added the mutation opcodes (`InsertBatch`, `DeleteBatch`,
+/// `Compact`).
+pub const WIRE_VERSION: u16 = 2;
 
 /// Upper bound on a frame payload (16 MiB). A length prefix above this
 /// is treated as corruption, not an allocation request.
@@ -107,13 +109,25 @@ pub enum Opcode {
     BatchEstimate,
     /// Registered table names: empty → `u16 n + n×str`.
     Tables,
+    /// Incremental insert batch: `str table + u32 n + n×4×f64 rects` →
+    /// `u32 applied + u16 pending_tiers + u8 compacted`. The daemon
+    /// updates the table's statistics exactly (byte-identical to a full
+    /// rebuild) without restarting.
+    InsertBatch,
+    /// Incremental delete batch; same payloads as [`Opcode::InsertBatch`].
+    /// Every rectangle must currently exist in the table, or the whole
+    /// batch is rejected without applying anything.
+    DeleteBatch,
+    /// Fold a table's pending delta tiers into its base envelope:
+    /// `str table` → `u16 tiers_folded + u8 persisted`.
+    Compact,
     /// Graceful server shutdown; empty payload both ways.
     Shutdown,
 }
 
 impl Opcode {
     /// Every request opcode.
-    pub const ALL: [Opcode; 8] = [
+    pub const ALL: [Opcode; 11] = [
         Opcode::Ping,
         Opcode::Estimate,
         Opcode::WindowCount,
@@ -121,6 +135,9 @@ impl Opcode {
         Opcode::CatalogEstimate,
         Opcode::BatchEstimate,
         Opcode::Tables,
+        Opcode::InsertBatch,
+        Opcode::DeleteBatch,
+        Opcode::Compact,
         Opcode::Shutdown,
     ];
 
@@ -135,6 +152,9 @@ impl Opcode {
             Opcode::CatalogEstimate => 0x05,
             Opcode::BatchEstimate => 0x06,
             Opcode::Tables => 0x07,
+            Opcode::InsertBatch => 0x08,
+            Opcode::DeleteBatch => 0x09,
+            Opcode::Compact => 0x0A,
             Opcode::Shutdown => 0x0F,
         }
     }
@@ -494,6 +514,11 @@ pub fn put_u16(out: &mut Vec<u8>, v: u16) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
+/// Appends a `u32` (LE).
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
 /// Appends an `f64` as its LE bit pattern (exact round-trip).
 pub fn put_f64(out: &mut Vec<u8>, v: f64) {
     out.extend_from_slice(&v.to_bits().to_le_bytes());
@@ -552,6 +577,14 @@ impl<'a> PayloadReader<'a> {
     /// [`WireError::Truncated`] past the end of the payload.
     pub fn u16(&mut self) -> Result<u16, WireError> {
         Ok(u16::from_le_bytes(le2(self.take(2)?)?))
+    }
+
+    /// Reads a `u32` (LE).
+    ///
+    /// # Errors
+    /// [`WireError::Truncated`] past the end of the payload.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(le4(self.take(4)?)?))
     }
 
     /// Reads an `f64` from its LE bit pattern.

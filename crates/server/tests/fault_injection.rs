@@ -8,8 +8,8 @@
 
 use sj_server::wire::{self, put_str, HEADER_LEN};
 use sj_server::{
-    Client, ClientError, EstimateReply, Frame, Opcode, RemoteOutcome, Server, ServiceError,
-    StatisticsService,
+    Client, ClientError, CompactReply, EstimateReply, Frame, MutationReply, Opcode, RemoteOutcome,
+    Server, ServiceError, StatisticsService,
 };
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpStream};
@@ -51,6 +51,49 @@ impl StatisticsService for Stub {
 
     fn tables(&self) -> Vec<String> {
         vec!["a".to_string(), "b".to_string()]
+    }
+
+    fn insert_batch(
+        &self,
+        table: &str,
+        rects: &[sj_geo::Rect],
+    ) -> Result<MutationReply, ServiceError> {
+        if table == "missing" {
+            return Err(ServiceError::new(wire::status::RUNTIME, "unknown table"));
+        }
+        Ok(MutationReply {
+            applied: u32::try_from(rects.len()).unwrap_or(u32::MAX),
+            pending_tiers: 1,
+            compacted: false,
+        })
+    }
+
+    fn delete_batch(
+        &self,
+        table: &str,
+        rects: &[sj_geo::Rect],
+    ) -> Result<MutationReply, ServiceError> {
+        if table == "missing" {
+            return Err(ServiceError::new(
+                wire::status::INVALID_DATA,
+                "delete batch entry 0 matches no object",
+            ));
+        }
+        Ok(MutationReply {
+            applied: u32::try_from(rects.len()).unwrap_or(u32::MAX),
+            pending_tiers: 0,
+            compacted: true,
+        })
+    }
+
+    fn compact(&self, table: &str) -> Result<CompactReply, ServiceError> {
+        if table == "missing" {
+            return Err(ServiceError::new(wire::status::RUNTIME, "unknown table"));
+        }
+        Ok(CompactReply {
+            tiers_folded: 2,
+            persisted: false,
+        })
     }
 }
 
@@ -261,6 +304,72 @@ fn garbage_flood_never_wedges_the_server() {
     }
     assert_alive(addr);
     stop();
+}
+
+#[test]
+fn mutation_opcodes_round_trip_and_reject_typed() {
+    let (addr, stop) = start();
+    let mut c = Client::connect(addr).expect("connect");
+    let rects = [
+        sj_geo::Rect::new(0.0, 0.0, 0.1, 0.1),
+        sj_geo::Rect::new(0.5, 0.5, 0.6, 0.6),
+    ];
+    let ins = c.insert_batch("a", &rects).expect("insert");
+    assert_eq!(ins.applied, 2);
+    assert_eq!(ins.pending_tiers, 1);
+    assert!(!ins.compacted);
+    let del = c.delete_batch("a", &rects[..1]).expect("delete");
+    assert_eq!(del.applied, 1);
+    assert!(del.compacted);
+    let comp = c.compact("a").expect("compact");
+    assert_eq!(comp.tiers_folded, 2);
+    assert!(!comp.persisted);
+    // Typed rejection leaves the connection serviceable.
+    let err = c
+        .delete_batch("missing", &rects[..1])
+        .expect_err("typed delete failure");
+    match err {
+        ClientError::Remote { status, .. } => assert_eq!(status, wire::status::INVALID_DATA),
+        other => panic!("expected Remote, got {other:?}"),
+    }
+    c.ping().expect("ping after typed mutation failure");
+    stop();
+}
+
+#[test]
+fn connect_with_retry_reaches_a_late_binding_server() {
+    // Reserve a port, free it, then bind the real server only after the
+    // client has already started retrying against the refused address.
+    let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("probe bind");
+    let addr = probe.local_addr().expect("probe addr");
+    drop(probe);
+    let server_thread = std::thread::spawn(move || {
+        // Hold the port closed past the client's first attempt; the
+        // fixed backoff schedule gives it 375 ms of patience in total.
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        let server = Arc::new(Server::bind(addr, Stub).expect("late bind"));
+        let run = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.run().expect("run"))
+        };
+        run.join().expect("join run");
+    });
+    let mut c = Client::connect_with_retry(addr).expect("retry until the server appears");
+    c.ping().expect("ping");
+    c.shutdown_server().expect("shutdown");
+    server_thread.join().expect("join server thread");
+}
+
+#[test]
+fn connect_with_retry_still_fails_typed_with_no_server() {
+    let probe = std::net::TcpListener::bind("127.0.0.1:0").expect("probe bind");
+    let addr = probe.local_addr().expect("probe addr");
+    drop(probe);
+    let err = Client::connect_with_retry(addr).expect_err("no server ever binds");
+    assert!(
+        matches!(err, ClientError::Wire(_)),
+        "expected a wire-level connect failure, got {err:?}"
+    );
 }
 
 #[test]
