@@ -1,6 +1,6 @@
-//! Perf baseline for the statistics daemon: writes `BENCH_2.json`
-//! (every `BENCH_1.json` field preserved for comparability, plus the
-//! incremental-statistics section).
+//! Perf baseline for the statistics daemon: writes `BENCH_3.json`
+//! (every `BENCH_2.json` field preserved for comparability, plus the
+//! mutation-path overhead section).
 //!
 //! Records, on a fixed seeded workload (SCRC ⋈ SURA at a fixed scale
 //! and grid level):
@@ -23,23 +23,33 @@
 //!   path (`HistogramDelta::build` + `apply_delta`, the path `sj-lint
 //!   verify-delta` proves rebuild-equivalent) versus a full histogram
 //!   rebuild over the mutated dataset, at several dataset scales with
-//!   a fixed small mutation batch.
+//!   a fixed small mutation batch;
+//! - **mutation-path overhead** — warm per-op `insert-batch` /
+//!   `delete-batch` latency through the hardened path (client-stamped
+//!   mutation IDs, the retrying client, server deadlines and a
+//!   connection ceiling — DESIGN.md §14) versus the unstamped,
+//!   no-deadline baseline, measured in interleaved rounds against two
+//!   live daemons so clock drift cancels.
 //!
-//! Two acceptance floors asserted by CI: warm-server p50 must sit at
+//! Three acceptance gates asserted by CI: warm-server p50 must sit at
 //! least 5× below cold-CLI p50 (`meets_5x_floor`) — residency is the
-//! entire point of the daemon — and delta-apply throughput must be at
+//! entire point of the daemon; delta-apply throughput must be at
 //! least 10× full-rebuild throughput at the largest benchmarked scale
 //! (`delta.meets_10x_floor`) — constant-in-|D| maintenance is the
-//! entire point of the incremental path.
+//! entire point of the incremental path; and the hardened mutation
+//! path must cost at most 5% over the baseline
+//! (`mutation_path.meets_5pct_ceiling`) — durability and exactly-once
+//! semantics must not tax the common case.
 //!
 //! ```sh
-//! cargo run --release -p sj-bench --bin latency_server -- --out BENCH_2.json
+//! cargo run --release -p sj-bench --bin latency_server -- --out BENCH_3.json
 //! ```
 
 use sj_datagen::presets;
 use sj_geo::{Extent, Rect};
 use sj_histogram::{build_histogram, build_histogram_sharded, Grid, HistogramDelta, HistogramKind};
-use sj_server::Client;
+use sj_server::{wire, Client, Frame, Opcode};
+use std::net::TcpStream;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
@@ -61,6 +71,13 @@ const DELTA_SCALES: [f64; 3] = [0.01, 0.05, 0.2];
 const DELTA_INSERTS: usize = 64;
 const DELTA_DELETES: usize = 32;
 const DELTA_ROUNDS: usize = 15;
+/// Mutation-path overhead section: batch size per operation, measured
+/// insert+delete pairs per interleaved round, rounds, and warmup pairs
+/// per path before any sample is kept.
+const MUT_BATCH: usize = 32;
+const MUT_PAIRS_PER_ROUND: usize = 5;
+const MUT_ROUNDS: usize = 40;
+const MUT_WARMUP_PAIRS: usize = 20;
 
 #[derive(serde::Serialize)]
 struct LatencyStats {
@@ -146,10 +163,24 @@ struct DeltaStats {
     meets_10x_floor: bool,
 }
 
-/// The `BENCH_2.json` report: every `BENCH_1.json` field, unchanged,
-/// plus the `delta` section.
+/// The hardened-vs-baseline mutation comparison (DESIGN.md §14.3):
+/// per-op latency of stamped, deadline-bounded `insert-batch` /
+/// `delete-batch` requests against an admission-limited daemon, versus
+/// unstamped requests with no deadlines against a default daemon.
 #[derive(serde::Serialize)]
-struct Bench2 {
+struct MutationPathStats {
+    batch_size: usize,
+    ops_per_path: usize,
+    baseline: LatencyStats,
+    hardened: LatencyStats,
+    overhead_ratio_p50: f64,
+    meets_5pct_ceiling: bool,
+}
+
+/// The `BENCH_3.json` report: every `BENCH_2.json` field, unchanged,
+/// plus the `mutation_path` section.
+#[derive(serde::Serialize)]
+struct Bench3 {
     bench: String,
     workload: Workload,
     statistics_build: Vec<BuildStats>,
@@ -160,6 +191,7 @@ struct Bench2 {
     speedup_p50: f64,
     meets_5x_floor: bool,
     delta: DeltaStats,
+    mutation_path: MutationPathStats,
 }
 
 /// Measures one scale of the delta-maintenance comparison. The timed
@@ -225,6 +257,66 @@ fn secs_to_us(d: Duration) -> f64 {
     d.as_secs_f64() * 1e6
 }
 
+/// The mutation batch both paths insert and then delete: fresh
+/// rectangles in a band the seeded datasets leave sparse, so each
+/// forward+inverse pair returns the daemon to its base state.
+fn mutation_batch() -> Vec<Rect> {
+    (0..MUT_BATCH)
+        .map(|j| {
+            let x = (j as f64 * 0.0171) % 0.9 + 0.01;
+            Rect::new(x, 0.93, x + 0.012, 0.96)
+        })
+        .collect()
+}
+
+/// One timed round-trip of the **baseline** mutation path: a hand-built
+/// wire-v3 frame with the unstamped `(0, 0)` mutation ID — exactly the
+/// bytes the pre-hardening client sent — over a plain socket with no
+/// deadlines, against a daemon with no admission limits. Encoding sits
+/// inside the timed region to mirror what the real client pays.
+fn baseline_mutation_us(stream: &mut TcpStream, op: Opcode, table: &str, rects: &[Rect]) -> f64 {
+    let t = Instant::now();
+    let mut p = Vec::new();
+    wire::put_str(&mut p, table);
+    wire::put_u64(&mut p, 0); // unstamped token
+    wire::put_u64(&mut p, 0); // unstamped seq
+    wire::put_u32(
+        &mut p,
+        u32::try_from(rects.len()).expect("batch fits in u32"),
+    );
+    for r in rects {
+        wire::put_f64(&mut p, r.xlo);
+        wire::put_f64(&mut p, r.ylo);
+        wire::put_f64(&mut p, r.xhi);
+        wire::put_f64(&mut p, r.yhi);
+    }
+    Frame::request(op, p)
+        .write_to(stream)
+        .expect("write request");
+    let reply = Frame::read_from(stream).expect("read reply");
+    assert_eq!(
+        reply.opcode,
+        op.response(),
+        "baseline mutation must answer with its success opcode"
+    );
+    secs_to_us(t.elapsed())
+}
+
+/// One timed round-trip of the **hardened** mutation path: the real
+/// client stamps a fresh mutation ID, wraps the call in the retry loop,
+/// and both sides run under I/O deadlines.
+fn hardened_mutation_us(client: &mut Client, insert: bool, table: &str, rects: &[Rect]) -> f64 {
+    let t = Instant::now();
+    let reply = if insert {
+        client.insert_batch_with_retry(table, rects)
+    } else {
+        client.delete_batch_with_retry(table, rects)
+    }
+    .expect("hardened mutation must succeed");
+    assert!(!reply.deduplicated, "fresh stamps never dedup");
+    secs_to_us(t.elapsed())
+}
+
 fn argv(parts: &[&str]) -> Vec<String> {
     parts.iter().map(|s| (*s).to_string()).collect()
 }
@@ -252,10 +344,25 @@ fn boot(
     String,
     std::thread::JoinHandle<Result<sj_cli::CliOutput, sj_cli::CliError>>,
 ) {
-    let ready = scratch().join("ready.txt");
+    boot_with(a_csv, b_csv, &[], "ready.txt")
+}
+
+/// [`boot`] with extra `serve` flags and a caller-chosen ready-file
+/// name, so two daemons (baseline and hardened) can run side by side.
+fn boot_with(
+    a_csv: &str,
+    b_csv: &str,
+    extra: &[&str],
+    ready_name: &str,
+) -> (
+    String,
+    std::thread::JoinHandle<Result<sj_cli::CliOutput, sj_cli::CliError>>,
+) {
+    let ready = scratch().join(ready_name);
     drop(std::fs::remove_file(&ready));
     let level = LEVEL.to_string();
-    let args = argv(&[
+    let ready_path = ready.to_string_lossy().into_owned();
+    let mut parts = vec![
         "serve",
         a_csv,
         b_csv,
@@ -264,8 +371,10 @@ fn boot(
         "--addr",
         "127.0.0.1:0",
         "--ready-file",
-        &ready.to_string_lossy(),
-    ]);
+        &ready_path,
+    ];
+    parts.extend_from_slice(extra);
+    let args = argv(&parts);
     let daemon = std::thread::spawn(move || sj_cli::run(&args));
     let mut tries = 0;
     let addr = loop {
@@ -282,7 +391,7 @@ fn boot(
 }
 
 fn main() {
-    let mut out_path = "BENCH_2.json".to_string();
+    let mut out_path = "BENCH_3.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -379,6 +488,86 @@ fn main() {
         batch.batch_per_item_us, batch.single_per_item_us, batch.amortization
     );
 
+    // --- mutation-path overhead: hardened vs baseline ----------------
+    // A second daemon runs with the full hardening switched on; the
+    // first (default-config) daemon doubles as the baseline target.
+    // Rounds interleave the two paths so clock drift and cache state
+    // cancel instead of biasing one side.
+    let (hard_addr, hard_daemon) = boot_with(
+        &a_csv,
+        &b_csv,
+        &["--max-connections", "64", "--io-timeout-ms", "5000"],
+        "ready_hardened.txt",
+    );
+    let mut hardened_client = Client::connect(hard_addr.as_str()).expect("connect hardened");
+    hardened_client
+        .set_io_timeout(Some(Duration::from_millis(5000)))
+        .expect("client deadline");
+    let mut baseline_stream = TcpStream::connect(addr.as_str()).expect("connect baseline");
+    let rects = mutation_batch();
+    for _ in 0..MUT_WARMUP_PAIRS {
+        baseline_mutation_us(&mut baseline_stream, Opcode::InsertBatch, "bench_a", &rects);
+        baseline_mutation_us(&mut baseline_stream, Opcode::DeleteBatch, "bench_a", &rects);
+        hardened_mutation_us(&mut hardened_client, true, "bench_a", &rects);
+        hardened_mutation_us(&mut hardened_client, false, "bench_a", &rects);
+    }
+    let ops_per_path = MUT_ROUNDS * MUT_PAIRS_PER_ROUND * 2;
+    let mut base_us = Vec::with_capacity(ops_per_path);
+    let mut hard_us = Vec::with_capacity(ops_per_path);
+    for _ in 0..MUT_ROUNDS {
+        for _ in 0..MUT_PAIRS_PER_ROUND {
+            base_us.push(baseline_mutation_us(
+                &mut baseline_stream,
+                Opcode::InsertBatch,
+                "bench_a",
+                &rects,
+            ));
+            base_us.push(baseline_mutation_us(
+                &mut baseline_stream,
+                Opcode::DeleteBatch,
+                "bench_a",
+                &rects,
+            ));
+        }
+        for _ in 0..MUT_PAIRS_PER_ROUND {
+            hard_us.push(hardened_mutation_us(
+                &mut hardened_client,
+                true,
+                "bench_a",
+                &rects,
+            ));
+            hard_us.push(hardened_mutation_us(
+                &mut hardened_client,
+                false,
+                "bench_a",
+                &rects,
+            ));
+        }
+    }
+    drop(baseline_stream);
+    hardened_client
+        .shutdown_server()
+        .expect("shutdown hardened");
+    hard_daemon
+        .join()
+        .expect("join hardened")
+        .expect("hardened daemon exit");
+    let baseline = LatencyStats::from_samples(base_us);
+    let hardened = LatencyStats::from_samples(hard_us);
+    let overhead_ratio_p50 = hardened.p50_us / baseline.p50_us;
+    println!(
+        "mutation : baseline p50 {:.1} us vs hardened p50 {:.1} us ({:.3}x)",
+        baseline.p50_us, hardened.p50_us, overhead_ratio_p50
+    );
+    let mutation_path = MutationPathStats {
+        batch_size: MUT_BATCH,
+        ops_per_path,
+        baseline,
+        hardened,
+        overhead_ratio_p50,
+        meets_5pct_ceiling: overhead_ratio_p50 <= 1.05,
+    };
+
     client.shutdown_server().expect("shutdown");
     daemon.join().expect("join").expect("daemon exit");
 
@@ -428,7 +617,7 @@ fn main() {
     };
 
     let speedup_p50 = cold_cli.p50_us / warm_server.p50_us;
-    let report = Bench2 {
+    let report = Bench3 {
         bench: "latency_server".to_string(),
         workload: Workload {
             datasets: vec![a.name.clone(), b.name.clone()],
@@ -443,12 +632,15 @@ fn main() {
         speedup_p50,
         meets_5x_floor: speedup_p50 >= 5.0,
         delta,
+        mutation_path,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize");
-    std::fs::write(&out_path, json).expect("write BENCH_2.json");
+    std::fs::write(&out_path, json).expect("write BENCH_3.json");
+    let overhead = report.mutation_path.overhead_ratio_p50;
     println!(
         "\nspeedup p50: {speedup_p50:.1}x (floor 5x: {})\n\
          delta speedup at largest scale: {largest_scale_speedup:.1}x (floor 10x: {})\n\
+         hardened mutation overhead p50: {overhead:.3}x (ceiling 1.05x: {})\n\
          wrote {out_path}",
         if report.meets_5x_floor {
             "PASS"
@@ -456,6 +648,11 @@ fn main() {
             "FAIL"
         },
         if report.delta.meets_10x_floor {
+            "PASS"
+        } else {
+            "FAIL"
+        },
+        if report.mutation_path.meets_5pct_ceiling {
             "PASS"
         } else {
             "FAIL"
@@ -469,5 +666,10 @@ fn main() {
         report.delta.meets_10x_floor,
         "delta-apply throughput must be at least 10x full-rebuild throughput \
          at the largest benchmarked scale, got {largest_scale_speedup:.2}x"
+    );
+    assert!(
+        report.mutation_path.meets_5pct_ceiling,
+        "the hardened mutation path must cost at most 5% over the \
+         unstamped/no-deadline baseline, got {overhead:.3}x"
     );
 }

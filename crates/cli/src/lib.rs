@@ -60,7 +60,7 @@ use sj_core::{
     SpatialHistogram, ValidationPolicy,
 };
 use sj_query::{Catalog, CatalogConfig, CompactionPolicy, DegradationPolicy, QueryError};
-use sj_server::{CatalogService, Client, ClientError, RemoteOutcome, Server};
+use sj_server::{CatalogService, Client, ClientError, RemoteOutcome, Server, ServerConfig};
 use std::fmt::Write as _;
 use std::path::Path;
 use std::sync::{Arc, RwLock};
@@ -84,6 +84,9 @@ pub mod exit_code {
     pub const INVALID_DATA: i32 = 6;
     /// Every tier of the estimation ladder was disabled or failed.
     pub const EXHAUSTED: i32 = 7;
+    /// The statistics daemon refused the connection at its admission
+    /// ceiling (wire status `overloaded`).
+    pub const OVERLOADED: i32 = 8;
 }
 
 /// A CLI failure: message for stderr plus an exit code.
@@ -275,7 +278,8 @@ USAGE:
   sjsel compact BASE.hist DELTA.hdelta [MORE.hdelta ...] --out FILE.hist
   sjsel serve FILE.csv [MORE.csv ...] [--addr HOST:PORT] [--kind K] [--level L]
         [--stats-dir DIR] [--validate P] [--ready-file PATH]
-  sjsel client --addr HOST:PORT <ping|tables|shutdown>
+        [--max-connections N] [--io-timeout-ms MS]
+  sjsel client --addr HOST:PORT [--timeout-ms MS] <ping|tables|shutdown>
   sjsel client --addr HOST:PORT estimate TABLE_A TABLE_B
   sjsel client --addr HOST:PORT catalog-estimate TABLE_A TABLE_B [--json]
   sjsel client --addr HOST:PORT window-count TABLE --window x0,y0,x1,y1
@@ -302,9 +306,16 @@ every batch and replays the log on the next start.
 --threads defaults to the machine's available parallelism (must be >= 1);
 results are identical at every thread count.
 
+serve admits at most --max-connections concurrent clients (default 64;
+excess connections get a typed `overloaded` error) and, with
+--io-timeout-ms, disconnects a client that stalls a read or write past
+the deadline. client --timeout-ms bounds each request round-trip the
+same way. All three must be >= 1.
+
 EXIT CODES:
   0 success       1 runtime failure   2 usage error      3 I/O failure
-  4 corrupt file  5 kind/grid mismatch  6 invalid dataset  7 estimators exhausted";
+  4 corrupt file  5 kind/grid mismatch  6 invalid dataset  7 estimators exhausted
+  8 server overloaded";
 
 /// Pulls the value following a `--flag`, removing both from `args`.
 fn take_flag(args: &mut Vec<String>, flag: &str) -> Result<Option<String>, CliError> {
@@ -338,6 +349,23 @@ fn take_threads(args: &mut Vec<String>) -> Result<Parallelism, CliError> {
             Parallelism::try_new(n).map_err(|e| CliError::usage(format!("bad --threads: {e}")))
         }
         None => Ok(Parallelism::default()),
+    }
+}
+
+/// Parses a positive-integer flag. Zero is a usage error, not a silent
+/// clamp — the `--threads 0` precedent.
+fn take_positive(args: &mut Vec<String>, flag: &str) -> Result<Option<u64>, CliError> {
+    match take_flag(args, flag)? {
+        Some(s) => {
+            let n: u64 = s
+                .parse()
+                .map_err(|e| CliError::usage(format!("bad {flag}: {e}")))?;
+            if n == 0 {
+                return Err(CliError::usage(format!("bad {flag}: must be >= 1")));
+            }
+            Ok(Some(n))
+        }
+        None => Ok(None),
     }
 }
 
@@ -1005,6 +1033,14 @@ fn cmd_serve(args: &[String]) -> Result<CliOutput, CliError> {
     let stats_dir = take_flag(&mut args, "--stats-dir")?;
     let validate = take_validation(&mut args)?;
     let ready_file = take_flag(&mut args, "--ready-file")?;
+    let mut server_config = ServerConfig::default();
+    if let Some(n) = take_positive(&mut args, "--max-connections")? {
+        server_config.max_connections = usize::try_from(n)
+            .map_err(|_| CliError::usage("bad --max-connections: value too large"))?;
+    }
+    if let Some(ms) = take_positive(&mut args, "--io-timeout-ms")? {
+        server_config.io_timeout = Some(std::time::Duration::from_millis(ms));
+    }
     if args.is_empty() {
         return Err(CliError::usage("serve takes at least one dataset path"));
     }
@@ -1077,8 +1113,8 @@ fn cmd_serve(args: &[String]) -> Result<CliOutput, CliError> {
     }
 
     let service = CatalogService::new(Arc::new(RwLock::new(catalog)), DegradationPolicy::default());
-    let server =
-        Server::bind(addr.as_str(), service).map_err(|e| CliError::io(format!("serve: {e}")))?;
+    let server = Server::bind_with_config(addr.as_str(), service, server_config)
+        .map_err(|e| CliError::io(format!("serve: {e}")))?;
     let local = server
         .local_addr()
         .map_err(|e| CliError::io(format!("serve: {e}")))?;
@@ -1130,6 +1166,7 @@ fn cmd_client(args: &[String]) -> Result<CliOutput, CliError> {
     let json = take_switch(&mut args, "--json");
     let window = take_flag(&mut args, "--window")?;
     let validate = take_validation(&mut args)?;
+    let timeout_ms = take_positive(&mut args, "--timeout-ms")?;
     let Some((op, rest)) = args.split_first() else {
         return Err(CliError::usage(
             "client requires an operation (ping, tables, estimate, catalog-estimate, \
@@ -1142,6 +1179,11 @@ fn cmd_client(args: &[String]) -> Result<CliOutput, CliError> {
     // race, while a permanently absent one still fails with the I/O
     // exit code after the bounded schedule runs out.
     let mut client = Client::connect_with_retry(addr.as_str()).map_err(from_client)?;
+    if let Some(ms) = timeout_ms {
+        client
+            .set_io_timeout(Some(std::time::Duration::from_millis(ms)))
+            .map_err(from_client)?;
+    }
     match (op.as_str(), rest) {
         ("ping", []) => {
             client.ping().map_err(from_client)?;
@@ -1215,19 +1257,27 @@ fn cmd_client(args: &[String]) -> Result<CliOutput, CliError> {
         ("insert-batch" | "delete-batch", [table, file]) => {
             let mut warnings = Vec::new();
             let ds = load_dataset(file, validate, &mut warnings)?;
+            // The retrying path: the batch is stamped once and resent
+            // verbatim after an ambiguous connection failure, and the
+            // server's dedup ring makes the retry exactly-once.
             let reply = if op == "insert-batch" {
-                client.insert_batch(table, &ds.rects)
+                client.insert_batch_with_retry(table, &ds.rects)
             } else {
-                client.delete_batch(table, &ds.rects)
+                client.delete_batch_with_retry(table, &ds.rects)
             }
             .map_err(from_client)?;
             Ok(CliOutput::with_warnings(
                 format!(
-                    "{op} applied {} rect(s) to {table}; {} pending delta tier(s){}",
+                    "{op} applied {} rect(s) to {table}; {} pending delta tier(s){}{}",
                     reply.applied,
                     reply.pending_tiers,
                     if reply.compacted {
                         " (auto-compacted)"
+                    } else {
+                        ""
+                    },
+                    if reply.deduplicated {
+                        " (already applied; retry deduplicated)"
                     } else {
                         ""
                     }
@@ -1455,6 +1505,41 @@ mod tests {
             let err = run(&cmd).unwrap_err();
             assert_eq!(err.code, exit_code::USAGE, "{}", err.message);
             assert!(err.message.contains("--threads"), "{}", err.message);
+        }
+    }
+
+    #[test]
+    fn admission_flags_reject_zero_and_garbage() {
+        // All three parse before any socket or file is touched, so a
+        // bad value is a clean usage error even with no daemon running.
+        for (cmd, flag) in [
+            (
+                argv(&["serve", "absent.csv", "--max-connections", "0"]),
+                "--max-connections",
+            ),
+            (
+                argv(&["serve", "absent.csv", "--io-timeout-ms", "0"]),
+                "--io-timeout-ms",
+            ),
+            (
+                argv(&["serve", "absent.csv", "--max-connections", "lots"]),
+                "--max-connections",
+            ),
+            (
+                argv(&[
+                    "client",
+                    "--addr",
+                    "127.0.0.1:1",
+                    "--timeout-ms",
+                    "0",
+                    "ping",
+                ]),
+                "--timeout-ms",
+            ),
+        ] {
+            let err = run(&cmd).unwrap_err();
+            assert_eq!(err.code, exit_code::USAGE, "{}", err.message);
+            assert!(err.message.contains(flag), "{}", err.message);
         }
     }
 

@@ -63,6 +63,7 @@ fn exit_code_table_matches_the_exit_code_module() {
             "invalid dataset",
         ),
         (i64::from(sj_cli::exit_code::EXHAUSTED), "tier"),
+        (i64::from(sj_cli::exit_code::OVERLOADED), "overloaded"),
     ];
     assert_eq!(
         table.keys().copied().collect::<Vec<_>>(),
@@ -94,6 +95,7 @@ fn wire_status_table_matches_the_wire_status_module() {
         status::MISMATCH,
         status::INVALID_DATA,
         status::EXHAUSTED,
+        status::OVERLOADED,
     ];
     assert_eq!(
         table.keys().copied().collect::<Vec<_>>(),
@@ -157,6 +159,24 @@ fn every_documented_subcommand_is_in_the_usage_text_and_vice_versa() {
         assert!(
             documented.contains(&sub),
             "expected `sjsel {sub}` documented"
+        );
+    }
+}
+
+#[test]
+fn admission_control_flags_are_documented_everywhere() {
+    // The serve/client admission flags must appear in both the
+    // in-binary usage text and docs/CLI.md — a flag that exists in only
+    // one place is doc drift.
+    let doc = docs_cli_md();
+    for flag in ["--max-connections", "--io-timeout-ms", "--timeout-ms"] {
+        assert!(
+            sj_cli::USAGE.contains(flag),
+            "sjsel --help lost the {flag} flag"
+        );
+        assert!(
+            doc.contains(flag),
+            "docs/CLI.md does not document the {flag} flag"
         );
     }
 }

@@ -34,6 +34,7 @@ pub mod rules;
 pub mod scan;
 pub mod verify;
 pub mod verify_delta;
+pub mod verify_recovery;
 
 use rules::{Finding, RuleId, Severity};
 use scan::SourceFile;

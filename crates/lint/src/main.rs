@@ -1,5 +1,5 @@
-//! `sj-lint` binary: `check`, `rules`, `fingerprint`, `verify-merge`
-//! and `verify-delta` subcommands.
+//! `sj-lint` binary: `check`, `rules`, `fingerprint`, `verify-merge`,
+//! `verify-delta` and `verify-recovery` subcommands.
 //!
 //! Exit codes: `0` clean, `1` deny-severity findings (or merge
 //! divergences), `2` usage error, `3` I/O error.
@@ -28,6 +28,9 @@ USAGE:
     sj-lint verify-delta [--format human|json] [--scale <f>]
                          [--levels <l,..>] [--shards <n,..>]
                          [--inject drop-last-rect|nudge-first-rect]
+    sj-lint verify-recovery [--format human|json] [--scale <f>]
+                            [--levels <l>]
+                            [--inject drop-wal-tail|skip-wal-replay]
 
 Rules are named r1..r8 or by slug (determinism, fixed-point, panic,
 cast, hygiene, error-taxonomy, persistence, docs). Suppress a single
@@ -46,7 +49,16 @@ derives insert/delete batches (mixed and delete-heavy styles) from the
 seeded scenarios and exits 1 unless apply_delta(build(D), delta) is
 byte-identical to a full rebuild over the mutated data, for every
 family, level and shard count. --inject tampers the delta's insert
-batch to prove the check bites.";
+batch to prove the check bites.
+
+`verify-recovery` crash-tests the statistics store: it runs a fixed
+WAL → tier → compaction workload under an injectable I/O layer,
+simulates a process death at every mutating store operation (before,
+torn and after), reopens the store over the surviving bytes, and exits
+1 unless every recovery is byte-identical to a crash-free prefix no
+older than the last acknowledged batch. --inject sabotages the
+recovery input (truncating or hiding the WAL) to prove the check
+bites.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -69,6 +81,13 @@ struct Cli {
     update: bool,
     allow_same_version: bool,
     verify: sj_lint::verify::VerifyConfig,
+    /// Raw `--inject` argument; each verify-* command parses it against
+    /// its own fault vocabulary.
+    inject: Option<String>,
+    /// Whether `--scale` / `--levels` were given explicitly — the
+    /// recovery verifier has its own defaults.
+    scale_explicit: bool,
+    levels_explicit: bool,
 }
 
 /// Parses a comma-separated numeric list for `--levels` / `--shards`.
@@ -110,6 +129,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         update: false,
         allow_same_version: false,
         verify: sj_lint::verify::VerifyConfig::default(),
+        inject: None,
+        scale_explicit: false,
+        levels_explicit: false,
     };
     let mut it = args.iter().skip(1);
     while let Some(arg) = it.next() {
@@ -139,12 +161,14 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     .ok()
                     .filter(|s| *s > 0.0 && s.is_finite())
                     .ok_or_else(|| format!("--scale: `{value}` is not a positive number"))?;
+                cli.scale_explicit = true;
             }
             "--levels" => {
                 cli.verify.levels = parse_num_list("--levels", &value_of("--levels")?)?;
                 if cli.verify.levels.is_empty() {
                     return Err("--levels needs at least one level".to_string());
                 }
+                cli.levels_explicit = true;
             }
             "--shards" => {
                 cli.verify.shard_counts = parse_num_list("--shards", &value_of("--shards")?)?;
@@ -152,15 +176,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     return Err("--shards: shard counts must be positive".to_string());
                 }
             }
-            "--inject" => {
-                let value = value_of("--inject")?;
-                cli.verify.fault =
-                    Some(sj_lint::verify::Fault::parse(&value).ok_or_else(|| {
-                        format!(
-                            "--inject: unknown fault `{value}` (drop-last-rect, nudge-first-rect)"
-                        )
-                    })?);
-            }
+            "--inject" => cli.inject = Some(value_of("--inject")?),
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return Ok(ExitCode::SUCCESS);
@@ -180,6 +196,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "fingerprint" => cmd_fingerprint(&cli),
         "verify-merge" => cmd_verify(&cli),
         "verify-delta" => cmd_verify_delta(&cli),
+        "verify-recovery" => cmd_verify_recovery(&cli),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -230,8 +247,19 @@ fn cmd_check(cli: &Cli) -> Result<ExitCode, String> {
     })
 }
 
+/// Resolves `--inject` against the merge/delta fault vocabulary.
+fn merge_config(cli: &Cli) -> Result<sj_lint::verify::VerifyConfig, String> {
+    let mut config = cli.verify.clone();
+    if let Some(name) = &cli.inject {
+        config.fault = Some(sj_lint::verify::Fault::parse(name).ok_or_else(|| {
+            format!("--inject: unknown fault `{name}` (drop-last-rect, nudge-first-rect)")
+        })?);
+    }
+    Ok(config)
+}
+
 fn cmd_verify(cli: &Cli) -> Result<ExitCode, String> {
-    let report = sj_lint::verify::run_verify(&cli.verify)
+    let report = sj_lint::verify::run_verify(&merge_config(cli)?)
         .map_err(|e| format!("invalid verify-merge configuration: {e}"))?;
     print!("{}", report.render(cli.format));
     Ok(if report.is_clean() {
@@ -242,8 +270,39 @@ fn cmd_verify(cli: &Cli) -> Result<ExitCode, String> {
 }
 
 fn cmd_verify_delta(cli: &Cli) -> Result<ExitCode, String> {
-    let report = sj_lint::verify_delta::run_verify_delta(&cli.verify)
+    let report = sj_lint::verify_delta::run_verify_delta(&merge_config(cli)?)
         .map_err(|e| format!("invalid verify-delta configuration: {e}"))?;
+    print!("{}", report.render(cli.format));
+    Ok(if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn cmd_verify_recovery(cli: &Cli) -> Result<ExitCode, String> {
+    let mut config = sj_lint::verify_recovery::RecoveryConfig::default();
+    if cli.scale_explicit {
+        config.scale = cli.verify.scale;
+    }
+    if cli.levels_explicit {
+        // The crash matrix is one build per trial — a single level.
+        config.level = *cli
+            .verify
+            .levels
+            .first()
+            .ok_or_else(|| "--levels needs at least one level".to_string())?;
+    }
+    if let Some(name) = &cli.inject {
+        config.fault = Some(
+            sj_lint::verify_recovery::RecoveryFault::parse(name).ok_or_else(|| {
+                format!(
+                    "--inject: unknown recovery fault `{name}` (drop-wal-tail, skip-wal-replay)"
+                )
+            })?,
+        );
+    }
+    let report = sj_lint::verify_recovery::run_verify_recovery(&config)?;
     print!("{}", report.render(cli.format));
     Ok(if report.is_clean() {
         ExitCode::SUCCESS

@@ -38,19 +38,31 @@
 //! WAL record layout (little-endian, one record per applied batch):
 //!
 //! ```text
-//! magic "SJWL" u32 | version u32 | seq u64 | n_ins u32 | n_del u32
+//! magic "SJWL" u32 | version u32 (= 2) | seq u64
+//!   | id_token u64 | id_seq u64 | n_ins u32 | n_del u32
 //!   | (n_ins + n_del) rects × 4 f64 | crc32 u32
 //! ```
 //!
 //! The CRC32 covers every preceding byte of the record. A torn tail
 //! (crash mid-append) is tolerated and reported; a checksum or magic
-//! mismatch before the tail is a typed corruption error.
+//! mismatch before the tail is a typed corruption error. Version-1
+//! records (no `id_token`/`id_seq` fields) are still decoded, with an
+//! unstamped [`MutationId`].
+//!
+//! `id_token`/`id_seq` are the client-stamped [`MutationId`] of the
+//! batch (zero for unstamped batches). Stamped IDs are remembered in a
+//! bounded per-table ring and deduplicated both on apply and on replay,
+//! so a client retrying a mutation after an ambiguous failure (the
+//! connection died after the server applied the batch but before the
+//! reply arrived) cannot double-apply it — see
+//! [`Catalog::apply_delta_idempotent`].
 //!
 //! Snapshot file layout (`<table>.base`, little-endian):
 //!
 //! ```text
-//! magic "SJSB" u32 | version u32 | next_seq u64 | hist_crc u32
-//!   | n u64 | n rects × 4 f64 | crc32 u32
+//! magic "SJSB" u32 | version u32 (= 2) | next_seq u64 | hist_crc u32
+//!   | n u64 | n rects × 4 f64 | n_ids u32 | n_ids × (token u64, seq u64)
+//!   | crc32 u32
 //! ```
 //!
 //! `next_seq` is the first WAL sequence number *not* folded into the
@@ -58,30 +70,198 @@
 //! minus its own CRC trailer (see [`hist_pair_crc`] for why the trailer
 //! must be excluded), tying the pair together so a crash between the
 //! two renames is detected (and finished) on the next open instead of
-//! silently mixing generations.
+//! silently mixing generations. The trailing ID section persists the
+//! mutation-ID dedup ring: compaction deletes the WAL, so without it a
+//! retry that straddles a compaction would lose its duplicate guard.
+//! Version-1 snapshots (no ID section) are still decoded.
+//!
+//! All file I/O in this module flows through the [`StoreIo`] trait
+//! ([`RealStoreIo`] in production), so a fault-injecting implementation
+//! can deterministically simulate process death, torn writes, and lost
+//! unsynced data at every crash point — that is what
+//! `sj-lint -- verify-recovery` does.
 
 use crate::catalog::StatsState;
 use crate::error::QueryError;
 use crate::Catalog;
 use sj_geo::Rect;
 use sj_histogram::{build_histogram, CorruptSection, HistogramDelta, HistogramError};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Magic prefix of every WAL record.
 pub(crate) const WAL_MAGIC: u32 = 0x534a_574c; // "SJWL"
 /// WAL record format version; bump on incompatible layout changes.
-pub(crate) const WAL_VERSION: u32 = 1;
-/// Fixed bytes of a WAL record before its rectangles: magic, version,
-/// sequence number, and the two batch lengths.
-const WAL_HEADER_LEN: usize = 24;
+/// Version 2 added the mutation-ID fields; version-1 records are still
+/// decoded (with an unstamped ID).
+pub(crate) const WAL_VERSION: u32 = 2;
+/// Fixed bytes of a version-1 WAL record before its rectangles: magic,
+/// version, sequence number, and the two batch lengths.
+const WAL_V1_HEADER_LEN: usize = 24;
+/// Fixed bytes of a version-2 WAL record before its rectangles: the
+/// version-1 header plus the 16-byte mutation ID.
+const WAL_HEADER_LEN: usize = 40;
 /// Magic prefix of a dataset snapshot (`<table>.base`) file.
 pub(crate) const SNAPSHOT_MAGIC: u32 = 0x534a_5342; // "SJSB"
 /// Snapshot format version; bump on incompatible layout changes.
-pub(crate) const SNAPSHOT_VERSION: u32 = 1;
+/// Version 2 appended the mutation-ID dedup ring; version-1 snapshots
+/// are still decoded (with an empty ring).
+pub(crate) const SNAPSHOT_VERSION: u32 = 2;
 /// Fixed bytes of a snapshot before its rectangles: magic, version,
 /// sequence fence, paired-histogram CRC, and the rectangle count.
 const SNAPSHOT_HEADER_LEN: usize = 28;
+/// How many applied mutation IDs each table remembers for retry
+/// deduplication. A retry lands within the client's bounded
+/// `RETRY_BACKOFF` window, so a ring this deep outlives any plausible
+/// in-flight duplicate by orders of magnitude.
+pub const REMEMBERED_MUTATIONS: usize = 1024;
+
+/// A client-stamped identity for one mutation batch, carried in wire
+/// frames and WAL records so a retried batch is applied exactly once.
+///
+/// The all-zero value is *unstamped*: such batches are never
+/// deduplicated (local callers that cannot retry don't pay for a
+/// guard). Stamped IDs pair a per-client `token` with a per-client
+/// monotone `seq`, which makes them deterministic — no randomness — yet
+/// unique across the clients of one daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MutationId {
+    /// Identifies the stamping client (stable across its reconnects).
+    pub token: u64,
+    /// Monotone per-client counter, starting at 1 for stamped IDs.
+    pub seq: u64,
+}
+
+impl MutationId {
+    /// The "no identity" value: batches carrying it skip deduplication.
+    pub const UNSTAMPED: MutationId = MutationId { token: 0, seq: 0 };
+
+    /// Builds a stamped ID.
+    #[must_use]
+    pub fn new(token: u64, seq: u64) -> Self {
+        Self { token, seq }
+    }
+
+    /// Whether this ID participates in deduplication.
+    #[must_use]
+    pub fn is_stamped(&self) -> bool {
+        *self != Self::UNSTAMPED
+    }
+}
+
+/// The filesystem surface of the statistics store.
+///
+/// Every file operation the store performs — WAL appends, tier folds,
+/// tmp-file writes, renames, fsyncs — goes through this trait, so a
+/// test harness can substitute an implementation that injects crashes,
+/// torn writes, and lost unsynced data at deterministic points
+/// (`sj-lint -- verify-recovery`). [`RealStoreIo`] is the production
+/// implementation.
+pub trait StoreIo: Send + Sync {
+    /// Creates a directory and any missing parents.
+    ///
+    /// # Errors
+    /// Propagates the underlying filesystem error.
+    fn create_dir_all(&self, dir: &Path) -> std::io::Result<()>;
+
+    /// Whether a path currently exists.
+    fn exists(&self, path: &Path) -> bool;
+
+    /// Reads a whole file.
+    ///
+    /// # Errors
+    /// Propagates the underlying filesystem error.
+    fn read(&self, path: &Path) -> std::io::Result<Vec<u8>>;
+
+    /// Appends `record` to `path` (creating it if absent) and makes the
+    /// append durable before returning — the WAL's one-op contract.
+    ///
+    /// # Errors
+    /// Propagates the underlying filesystem error.
+    fn append_wal(&self, path: &Path, record: &[u8]) -> std::io::Result<()>;
+
+    /// Writes a whole file (create or truncate), *without* any
+    /// durability guarantee — pair with [`StoreIo::sync_file`].
+    ///
+    /// # Errors
+    /// Propagates the underlying filesystem error.
+    fn write(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()>;
+
+    /// Flushes a previously written file's data to stable storage.
+    ///
+    /// # Errors
+    /// Propagates the underlying filesystem error.
+    fn sync_file(&self, path: &Path) -> std::io::Result<()>;
+
+    /// Atomically renames `from` to `to`.
+    ///
+    /// # Errors
+    /// Propagates the underlying filesystem error.
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()>;
+
+    /// Removes a file.
+    ///
+    /// # Errors
+    /// Propagates the underlying filesystem error (including
+    /// `NotFound`, which callers may choose to tolerate).
+    fn remove(&self, path: &Path) -> std::io::Result<()>;
+
+    /// Best-effort fsync of a directory, making completed renames in it
+    /// durable on filesystems that require it.
+    ///
+    /// # Errors
+    /// Propagates the underlying filesystem error.
+    fn sync_dir(&self, dir: &Path) -> std::io::Result<()>;
+}
+
+/// The production [`StoreIo`]: plain `std::fs`, with real fsyncs.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealStoreIo;
+
+impl StoreIo for RealStoreIo {
+    fn create_dir_all(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn append_wal(&self, path: &Path, record: &[u8]) -> std::io::Result<()> {
+        use std::io::Write;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        file.write_all(record)?;
+        file.sync_all()
+    }
+
+    fn write(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        std::fs::write(path, bytes)
+    }
+
+    fn sync_file(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::File::open(path)?.sync_all()
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::File::open(dir)?.sync_all()
+    }
+}
 
 /// When pending delta tiers fold into the base envelope.
 ///
@@ -129,6 +309,9 @@ pub struct DeltaReceipt {
     pub pending_tiers: usize,
     /// Whether the batch tripped the compaction policy.
     pub compacted: bool,
+    /// Whether the batch's [`MutationId`] had already been applied, so
+    /// this call mutated nothing (a detected retry duplicate).
+    pub deduplicated: bool,
 }
 
 /// What [`Catalog::compact`] did.
@@ -174,6 +357,9 @@ pub struct WalRecovery {
     /// compaction snapshot (`<table>.base`), superseding whatever the
     /// caller registered them with.
     pub installed: usize,
+    /// Records skipped because their [`MutationId`] was already applied
+    /// (a duplicate WAL append left by a crashed retry).
+    pub deduplicated: usize,
 }
 
 /// One pending delta tier: provenance plus the retained signed delta.
@@ -189,15 +375,50 @@ struct TableStore {
     tiers: Vec<Tier>,
     pending_bytes: usize,
     next_seq: u64,
+    /// The last [`REMEMBERED_MUTATIONS`] applied stamped mutation IDs,
+    /// oldest first, with a set index for O(log n) duplicate checks.
+    recent_ids: VecDeque<MutationId>,
+    id_index: BTreeSet<MutationId>,
+}
+
+impl TableStore {
+    /// Whether a stamped ID has already been applied.
+    fn is_applied(&self, id: MutationId) -> bool {
+        id.is_stamped() && self.id_index.contains(&id)
+    }
+
+    /// Records a stamped ID in the bounded ring.
+    fn remember(&mut self, id: MutationId) {
+        if !id.is_stamped() || !self.id_index.insert(id) {
+            return;
+        }
+        self.recent_ids.push_back(id);
+        while self.recent_ids.len() > REMEMBERED_MUTATIONS {
+            if let Some(evicted) = self.recent_ids.pop_front() {
+                self.id_index.remove(&evicted);
+            }
+        }
+    }
 }
 
 /// The catalog's incremental-statistics layer: an optional on-disk
 /// directory (base envelopes + WALs) and per-table pending tiers.
-#[derive(Default)]
 pub(crate) struct StatsStore {
     dir: Option<PathBuf>,
     policy: CompactionPolicy,
     tables: BTreeMap<String, TableStore>,
+    io: Arc<dyn StoreIo>,
+}
+
+impl Default for StatsStore {
+    fn default() -> Self {
+        Self {
+            dir: None,
+            policy: CompactionPolicy::default(),
+            tables: BTreeMap::new(),
+            io: Arc::new(RealStoreIo),
+        }
+    }
 }
 
 impl StatsStore {
@@ -211,11 +432,13 @@ fn io_err(context: &str, e: &std::io::Error) -> QueryError {
 }
 
 /// Encodes one WAL record for an applied batch.
-fn encode_wal_record(seq: u64, inserts: &[Rect], deletes: &[Rect]) -> Vec<u8> {
+fn encode_wal_record(seq: u64, id: MutationId, inserts: &[Rect], deletes: &[Rect]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(WAL_HEADER_LEN + (inserts.len() + deletes.len()) * 32 + 4);
     buf.extend_from_slice(&WAL_MAGIC.to_le_bytes());
     buf.extend_from_slice(&WAL_VERSION.to_le_bytes());
     buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(&id.token.to_le_bytes());
+    buf.extend_from_slice(&id.seq.to_le_bytes());
     buf.extend_from_slice(&(u32::try_from(inserts.len()).unwrap_or(u32::MAX)).to_le_bytes());
     buf.extend_from_slice(&(u32::try_from(deletes.len()).unwrap_or(u32::MAX)).to_le_bytes());
     for r in inserts.iter().chain(deletes) {
@@ -231,6 +454,7 @@ fn encode_wal_record(seq: u64, inserts: &[Rect], deletes: &[Rect]) -> Vec<u8> {
 /// One decoded WAL record.
 struct WalRecord {
     seq: u64,
+    id: MutationId,
     inserts: Vec<Rect>,
     deletes: Vec<Rect>,
 }
@@ -260,8 +484,8 @@ fn decode_wal(data: &[u8]) -> Result<(Vec<WalRecord>, usize), QueryError> {
     let mut records = Vec::new();
     let mut offset = 0usize;
     while offset < data.len() {
-        if data.len() - offset < WAL_HEADER_LEN {
-            return Ok((records, 1)); // torn tail: header cut short
+        if data.len() - offset < 8 {
+            return Ok((records, 1)); // torn tail: magic/version cut short
         }
         let magic = u32_at(offset).unwrap_or(0);
         if magic != WAL_MAGIC {
@@ -270,17 +494,34 @@ fn decode_wal(data: &[u8]) -> Result<(Vec<WalRecord>, usize), QueryError> {
             )));
         }
         let version = u32_at(offset + 4).unwrap_or(0);
-        if version != WAL_VERSION {
-            return Err(corrupt(format!(
-                "WAL record at offset {offset} has unsupported version {version}"
-            )));
+        // Version 1 lacked the 16-byte mutation ID; decode both.
+        let header_len = match version {
+            1 => WAL_V1_HEADER_LEN,
+            WAL_VERSION => WAL_HEADER_LEN,
+            other => {
+                return Err(corrupt(format!(
+                    "WAL record at offset {offset} has unsupported version {other}"
+                )))
+            }
+        };
+        if data.len() - offset < header_len {
+            return Ok((records, 1)); // torn tail: header cut short
         }
         let seq = u64_at(offset + 8).unwrap_or(0);
+        let id = if version == 1 {
+            MutationId::UNSTAMPED
+        } else {
+            MutationId::new(
+                u64_at(offset + 16).unwrap_or(0),
+                u64_at(offset + 24).unwrap_or(0),
+            )
+        };
+        let counts_at = offset + header_len - 8;
         // sj-lint: allow(cast, u32 always fits in usize on supported targets)
-        let n_ins = u32_at(offset + 16).unwrap_or(0) as usize;
+        let n_ins = u32_at(counts_at).unwrap_or(0) as usize;
         // sj-lint: allow(cast, u32 always fits in usize on supported targets)
-        let n_del = u32_at(offset + 20).unwrap_or(0) as usize;
-        let body_len = WAL_HEADER_LEN + (n_ins + n_del) * 32;
+        let n_del = u32_at(counts_at + 4).unwrap_or(0) as usize;
+        let body_len = header_len + (n_ins + n_del) * 32;
         let Some(total) = body_len.checked_add(4) else {
             return Err(corrupt(format!(
                 "WAL record at offset {offset} declares an absurd batch size"
@@ -302,7 +543,7 @@ fn decode_wal(data: &[u8]) -> Result<(Vec<WalRecord>, usize), QueryError> {
         }
         let mut rects = Vec::with_capacity(n_ins + n_del);
         for i in 0..n_ins + n_del {
-            let at = offset + WAL_HEADER_LEN + i * 32;
+            let at = offset + header_len + i * 32;
             let (Some(xlo), Some(ylo), Some(xhi), Some(yhi)) =
                 (f64_at(at), f64_at(at + 8), f64_at(at + 16), f64_at(at + 24))
             else {
@@ -313,12 +554,46 @@ fn decode_wal(data: &[u8]) -> Result<(Vec<WalRecord>, usize), QueryError> {
         let deletes = rects.split_off(n_ins);
         records.push(WalRecord {
             seq,
+            id,
             inserts: rects,
             deletes,
         });
         offset += total;
     }
     Ok((records, 0))
+}
+
+/// End offsets of the complete records in a WAL image, in file order.
+/// A torn tail is ignored, exactly as recovery would ignore it; the
+/// offsets let external harnesses (the `verify-recovery` sabotage
+/// fault) truncate a WAL on a record boundary without re-implementing
+/// the record layout.
+///
+/// # Errors
+/// The same typed corruption errors as recovery itself: bad magic, bad
+/// version, or a failed checksum before the tail.
+pub fn wal_record_ends(data: &[u8]) -> Result<Vec<usize>, QueryError> {
+    let (records, _torn) = decode_wal(data)?;
+    let mut ends = Vec::with_capacity(records.len());
+    let mut offset = 0usize;
+    for record in &records {
+        let header_len = if record.id.is_stamped() || wal_header_is_v2(data, offset) {
+            WAL_HEADER_LEN
+        } else {
+            WAL_V1_HEADER_LEN
+        };
+        offset += header_len + (record.inserts.len() + record.deletes.len()) * 32 + 4;
+        ends.push(offset);
+    }
+    Ok(ends)
+}
+
+/// Whether the record starting at `offset` carries a version-2 header.
+fn wal_header_is_v2(data: &[u8], offset: usize) -> bool {
+    data.get(offset + 4..offset + 8)
+        .and_then(|s| s.try_into().ok())
+        .map(u32::from_le_bytes)
+        == Some(WAL_VERSION)
 }
 
 /// A decoded dataset snapshot: the exact rectangles the paired
@@ -331,11 +606,14 @@ struct Snapshot {
     /// same compaction.
     hist_crc: u32,
     rects: Vec<Rect>,
+    /// The mutation-ID dedup ring at compaction time, oldest first.
+    ids: Vec<MutationId>,
 }
 
 /// Encodes a dataset snapshot (`<table>.base`).
-fn encode_snapshot(next_seq: u64, hist_crc: u32, rects: &[Rect]) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(SNAPSHOT_HEADER_LEN + rects.len() * 32 + 4);
+fn encode_snapshot(next_seq: u64, hist_crc: u32, rects: &[Rect], ids: &[MutationId]) -> Vec<u8> {
+    let mut buf =
+        Vec::with_capacity(SNAPSHOT_HEADER_LEN + rects.len() * 32 + 4 + ids.len() * 16 + 4);
     buf.extend_from_slice(&SNAPSHOT_MAGIC.to_le_bytes());
     buf.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
     buf.extend_from_slice(&next_seq.to_le_bytes());
@@ -345,6 +623,11 @@ fn encode_snapshot(next_seq: u64, hist_crc: u32, rects: &[Rect]) -> Vec<u8> {
         for v in [r.xlo, r.ylo, r.xhi, r.yhi] {
             buf.extend_from_slice(&v.to_le_bytes());
         }
+    }
+    buf.extend_from_slice(&(u32::try_from(ids.len()).unwrap_or(u32::MAX)).to_le_bytes());
+    for id in ids {
+        buf.extend_from_slice(&id.token.to_le_bytes());
+        buf.extend_from_slice(&id.seq.to_le_bytes());
     }
     let crc = crc32(&buf);
     buf.extend_from_slice(&crc.to_le_bytes());
@@ -384,22 +667,36 @@ fn decode_snapshot(data: &[u8]) -> Result<Snapshot, QueryError> {
         return Err(corrupt(format!("has bad magic {magic:#010x}")));
     }
     let version = u32_at(4).unwrap_or(0);
-    if version != SNAPSHOT_VERSION {
+    // Version 1 lacked the trailing mutation-ID section; decode both.
+    if version != 1 && version != SNAPSHOT_VERSION {
         return Err(corrupt(format!("has unsupported version {version}")));
     }
     let next_seq = u64_at(8).unwrap_or(0);
     let hist_crc = u32_at(16).unwrap_or(0);
     let n = usize::try_from(u64_at(20).unwrap_or(0))
         .map_err(|_| corrupt("declares an absurd rectangle count".to_string()))?;
-    let Some(body_len) = n
+    let Some(rects_end) = n
         .checked_mul(32)
         .and_then(|b| b.checked_add(SNAPSHOT_HEADER_LEN))
     else {
         return Err(corrupt("declares an absurd rectangle count".to_string()));
     };
+    let n_ids = if version == 1 {
+        0
+    } else {
+        let declared = u32_at(rects_end)
+            .ok_or_else(|| corrupt("is truncated before its mutation-ID count".to_string()))?;
+        usize::try_from(declared)
+            .map_err(|_| corrupt("declares an absurd mutation-ID count".to_string()))?
+    };
+    let id_section = if version == 1 { 0 } else { 4 + n_ids * 16 };
+    let Some(body_len) = rects_end.checked_add(id_section) else {
+        return Err(corrupt("declares an absurd mutation-ID count".to_string()));
+    };
     if body_len.checked_add(4) != Some(data.len()) {
         return Err(corrupt(format!(
-            "length mismatch: {n} rectangles need {} bytes, file has {}",
+            "length mismatch: {n} rectangles and {n_ids} mutation IDs need {} bytes, \
+             file has {}",
             body_len + 4,
             data.len()
         )));
@@ -424,10 +721,19 @@ fn decode_snapshot(data: &[u8]) -> Result<Snapshot, QueryError> {
         };
         rects.push(Rect::new(xlo, ylo, xhi, yhi));
     }
+    let mut ids = Vec::with_capacity(n_ids);
+    for i in 0..n_ids {
+        let at = rects_end + 4 + i * 16;
+        let (Some(token), Some(seq)) = (u64_at(at), u64_at(at + 8)) else {
+            return Err(corrupt("mutation-ID slice out of bounds".to_string()));
+        };
+        ids.push(MutationId::new(token, seq));
+    }
     Ok(Snapshot {
         next_seq,
         hist_crc,
         rects,
+        ids,
     })
 }
 
@@ -487,10 +793,28 @@ impl Catalog {
         dir: impl AsRef<Path>,
         policy: CompactionPolicy,
     ) -> Result<WalRecovery, QueryError> {
+        self.open_stats_store_with_io(dir, policy, Arc::new(RealStoreIo))
+    }
+
+    /// [`Catalog::open_stats_store`] with an explicit [`StoreIo`]
+    /// implementation. All subsequent store I/O (WAL appends,
+    /// compaction folds) goes through `io` as well; production callers
+    /// want [`RealStoreIo`], fault harnesses substitute their own.
+    ///
+    /// # Errors
+    /// As [`Catalog::open_stats_store`].
+    pub fn open_stats_store_with_io(
+        &mut self,
+        dir: impl AsRef<Path>,
+        policy: CompactionPolicy,
+        io: Arc<dyn StoreIo>,
+    ) -> Result<WalRecovery, QueryError> {
         let dir = dir.as_ref();
-        std::fs::create_dir_all(dir).map_err(|e| io_err("creating statistics directory", &e))?;
+        io.create_dir_all(dir)
+            .map_err(|e| io_err("creating statistics directory", &e))?;
         self.store.dir = Some(dir.to_path_buf());
         self.store.policy = policy;
+        self.store.io = Arc::clone(&io);
         let mut recovery = WalRecovery::default();
         for name in self
             .table_names()
@@ -501,16 +825,24 @@ impl Catalog {
             // Replay only records at or past this fence (None: all).
             let mut fence = None;
             let base_path = dir.join(format!("{name}.base"));
-            if base_path.exists() {
-                let snap_bytes = std::fs::read(&base_path)
+            if io.exists(&base_path) {
+                let snap_bytes = io
+                    .read(&base_path)
                     .map_err(|e| io_err("reading dataset snapshot", &e))?;
                 let snapshot = decode_snapshot(&snap_bytes)?;
-                let hist_bytes = std::fs::read(dir.join(format!("{name}.hist")))
+                let hist_bytes = io
+                    .read(&dir.join(format!("{name}.hist")))
                     .map_err(|e| io_err("reading snapshotted base statistics", &e))?;
                 recovery.installed += 1;
                 if hist_pair_crc(&hist_bytes) == snapshot.hist_crc {
                     let histogram = self.decode_statistics(snapshot.rects.len(), &hist_bytes)?;
-                    self.install_base(&name, snapshot.rects, histogram, snapshot.next_seq);
+                    self.install_base(
+                        &name,
+                        snapshot.rects,
+                        histogram,
+                        snapshot.next_seq,
+                        &snapshot.ids,
+                    );
                     fence = Some(snapshot.next_seq);
                 } else {
                     // Crash between the histogram swap and the snapshot
@@ -522,10 +854,10 @@ impl Catalog {
                 }
             }
             let wal = dir.join(format!("{name}.wal"));
-            if !wal.exists() {
+            if !io.exists(&wal) {
                 continue;
             }
-            let data = std::fs::read(&wal).map_err(|e| io_err("reading WAL", &e))?;
+            let data = io.read(&wal).map_err(|e| io_err("reading WAL", &e))?;
             let (records, torn) = decode_wal(&data)?;
             recovery.torn_tails += torn;
             // With no snapshot the WAL's base state is the registered
@@ -541,22 +873,34 @@ impl Catalog {
                     recovery.skipped += 1;
                     continue;
                 }
-                self.apply_delta_inner(&name, &record.inserts, &record.deletes, false)?;
-                recovery.replayed += 1;
+                let receipt = self.apply_delta_inner(
+                    &name,
+                    &record.inserts,
+                    &record.deletes,
+                    record.id,
+                    false,
+                )?;
+                if receipt.deduplicated {
+                    recovery.deduplicated += 1;
+                } else {
+                    recovery.replayed += 1;
+                }
             }
         }
         Ok(recovery)
     }
 
     /// Installs a recovered base state: the snapshot's dataset, the
-    /// paired statistics, a reset lazy index, and the sequence fence —
-    /// with no pending tiers (the base is, by construction, compacted).
+    /// paired statistics, a reset lazy index, the sequence fence, and
+    /// the snapshotted mutation-ID dedup ring — with no pending tiers
+    /// (the base is, by construction, compacted).
     fn install_base(
         &mut self,
         name: &str,
         rects: Vec<Rect>,
         histogram: Box<dyn sj_histogram::SpatialHistogram>,
         next_seq: u64,
+        ids: &[MutationId],
     ) {
         if let Some(table) = self.tables.get_mut(name) {
             table.dataset.rects = rects;
@@ -567,6 +911,11 @@ impl Catalog {
         entry.next_seq = next_seq;
         entry.tiers.clear();
         entry.pending_bytes = 0;
+        entry.recent_ids.clear();
+        entry.id_index.clear();
+        for id in ids {
+            entry.remember(*id);
+        }
     }
 
     /// Rebuilds a table's statistics from its registered dataset when
@@ -605,18 +954,20 @@ impl Catalog {
         let corrupt = |detail: String| {
             QueryError::Histogram(HistogramError::corrupt(CorruptSection::Payload, detail))
         };
+        let io = Arc::clone(&self.store.io);
         let wal_path = dir.join(format!("{name}.wal"));
-        if !wal_path.exists() {
+        if !io.exists(&wal_path) {
             return Err(corrupt(format!(
                 "snapshot for table {name:?} does not match its base statistics \
                  and no WAL remains to reconcile them"
             )));
         }
-        let data = std::fs::read(&wal_path).map_err(|e| io_err("reading WAL", &e))?;
+        let data = io.read(&wal_path).map_err(|e| io_err("reading WAL", &e))?;
         let (records, torn) = decode_wal(&data)?;
         recovery.torn_tails += torn;
         let mut rects = snapshot.rects;
         let mut next_seq = snapshot.next_seq;
+        let mut ids = snapshot.ids;
         for record in &records {
             if record.seq < snapshot.next_seq {
                 recovery.skipped += 1;
@@ -651,10 +1002,13 @@ impl Catalog {
             kept.extend_from_slice(&record.inserts);
             rects = kept;
             next_seq = record.seq + 1;
+            if record.id.is_stamped() {
+                ids.push(record.id);
+            }
             recovery.replayed += 1;
         }
         let histogram = self.decode_statistics(rects.len(), hist_bytes)?;
-        self.install_base(name, rects, histogram, next_seq);
+        self.install_base(name, rects, histogram, next_seq, &ids);
         // Resume the interrupted compaction: rewrite the snapshot to
         // pair with the already-swapped histogram and drop the WAL.
         self.compact(name)?;
@@ -691,7 +1045,27 @@ impl Catalog {
         inserts: &[Rect],
         deletes: &[Rect],
     ) -> Result<DeltaReceipt, QueryError> {
-        self.apply_delta_inner(name, inserts, deletes, true)
+        self.apply_delta_inner(name, inserts, deletes, MutationId::UNSTAMPED, true)
+    }
+
+    /// [`Catalog::apply_delta`] with a client-stamped [`MutationId`]: a
+    /// stamped ID that has already been applied (it is in the table's
+    /// bounded dedup ring, populated on apply, on WAL replay, and from
+    /// compaction snapshots) short-circuits to a receipt with
+    /// [`DeltaReceipt::deduplicated`] set and mutates nothing, so a
+    /// retried batch lands exactly once. Unstamped IDs behave exactly
+    /// like [`Catalog::apply_delta`].
+    ///
+    /// # Errors
+    /// As [`Catalog::apply_delta`].
+    pub fn apply_delta_idempotent(
+        &mut self,
+        name: &str,
+        inserts: &[Rect],
+        deletes: &[Rect],
+        id: MutationId,
+    ) -> Result<DeltaReceipt, QueryError> {
+        self.apply_delta_inner(name, inserts, deletes, id, true)
     }
 
     fn apply_delta_inner(
@@ -699,6 +1073,7 @@ impl Catalog {
         name: &str,
         inserts: &[Rect],
         deletes: &[Rect],
+        id: MutationId,
         log_to_wal: bool,
     ) -> Result<DeltaReceipt, QueryError> {
         // Validate against the current dataset before touching anything.
@@ -706,6 +1081,24 @@ impl Catalog {
             .tables
             .get(name)
             .ok_or_else(|| QueryError::UnknownTable(name.to_string()))?;
+        // Duplicate detection precedes every other effect: a retry of
+        // an already-applied batch must succeed without touching the
+        // WAL, the histogram, or the dataset — its deletes may no
+        // longer resolve, and re-validating them would wrongly fail.
+        if self
+            .store
+            .tables
+            .get(name)
+            .is_some_and(|t| t.is_applied(id))
+        {
+            return Ok(DeltaReceipt {
+                inserts: inserts.len(),
+                deletes: deletes.len(),
+                pending_tiers: self.store.tables.get(name).map_or(0, |t| t.tiers.len()),
+                compacted: false,
+                deduplicated: true,
+            });
+        }
         if let StatsState::Unavailable { reason } = &table.stats {
             return Err(QueryError::StatisticsUnavailable {
                 table: name.to_string(),
@@ -742,15 +1135,10 @@ impl Catalog {
         let seq = self.store.table(name).next_seq;
         if log_to_wal {
             if let Some(dir) = &self.store.dir {
-                use std::io::Write;
-                let record = encode_wal_record(seq, inserts, deletes);
-                let mut file = std::fs::OpenOptions::new()
-                    .create(true)
-                    .append(true)
-                    .open(dir.join(format!("{name}.wal")))
-                    .map_err(|e| io_err("opening WAL", &e))?;
-                file.write_all(&record)
-                    .and_then(|()| file.sync_all())
+                let record = encode_wal_record(seq, id, inserts, deletes);
+                self.store
+                    .io
+                    .append_wal(&dir.join(format!("{name}.wal")), &record)
                     .map_err(|e| io_err("appending WAL record", &e))?;
             }
         }
@@ -778,9 +1166,12 @@ impl Catalog {
         table.dataset.rects = rects;
         table.rtree = std::sync::OnceLock::new();
 
-        // Tier bookkeeping, then the compaction policy.
+        // Tier bookkeeping, then the compaction policy. The ID is
+        // remembered only now: a batch that failed validation above
+        // must stay retryable under the same ID.
         let policy = self.store.policy;
         let entry = self.store.table(name);
+        entry.remember(id);
         entry.next_seq = seq + 1;
         let bytes = delta.space_bytes();
         entry.pending_bytes += bytes;
@@ -798,6 +1189,7 @@ impl Catalog {
             deletes: deletes.len(),
             pending_tiers: entry.tiers.len(),
             compacted: false,
+            deduplicated: false,
         };
         if entry.tiers.len() >= policy.max_tiers || entry.pending_bytes >= policy.max_pending_bytes
         {
@@ -833,22 +1225,51 @@ impl Catalog {
             .get(name)
             .ok_or_else(|| QueryError::UnknownTable(name.to_string()))?;
         let next_seq = self.store.tables.get(name).map_or(0, |t| t.next_seq);
+        let ids: Vec<MutationId> = self
+            .store
+            .tables
+            .get(name)
+            .map(|t| t.recent_ids.iter().copied().collect())
+            .unwrap_or_default();
         let mut persisted = false;
         if let (Some(dir), StatsState::Ready(h)) = (&self.store.dir, &table.stats) {
+            let io = Arc::clone(&self.store.io);
             let hist_bytes = h.persist();
             let tmp = dir.join(format!("{name}.hist.tmp"));
             let dst = dir.join(format!("{name}.hist"));
-            std::fs::write(&tmp, &hist_bytes)
+            // fsync before each rename: rename is atomic in the
+            // namespace, but renaming a file whose data is still in the
+            // page cache lets a power loss surface a torn target — the
+            // one corruption the write-new + rename contract promises
+            // readers never see.
+            io.write(&tmp, &hist_bytes)
                 .map_err(|e| io_err("writing compacted statistics", &e))?;
-            std::fs::rename(&tmp, &dst).map_err(|e| io_err("swapping compacted statistics", &e))?;
-            let snap = encode_snapshot(next_seq, hist_pair_crc(&hist_bytes), &table.dataset.rects);
+            io.sync_file(&tmp)
+                .map_err(|e| io_err("syncing compacted statistics", &e))?;
+            io.rename(&tmp, &dst)
+                .map_err(|e| io_err("swapping compacted statistics", &e))?;
+            let snap = encode_snapshot(
+                next_seq,
+                hist_pair_crc(&hist_bytes),
+                &table.dataset.rects,
+                &ids,
+            );
             let tmp = dir.join(format!("{name}.base.tmp"));
             let dst = dir.join(format!("{name}.base"));
-            std::fs::write(&tmp, snap).map_err(|e| io_err("writing dataset snapshot", &e))?;
-            std::fs::rename(&tmp, &dst).map_err(|e| io_err("swapping dataset snapshot", &e))?;
+            io.write(&tmp, &snap)
+                .map_err(|e| io_err("writing dataset snapshot", &e))?;
+            io.sync_file(&tmp)
+                .map_err(|e| io_err("syncing dataset snapshot", &e))?;
+            io.rename(&tmp, &dst)
+                .map_err(|e| io_err("swapping dataset snapshot", &e))?;
+            // Best effort: make the renames themselves durable on
+            // filesystems that require a directory fsync. Failure is
+            // tolerated — recovery handles a vanished rename the same
+            // way it handles a crash just before it.
+            let _ = io.sync_dir(dir);
             // Only now is the WAL redundant: everything it holds is in
             // the hist/base pair or fenced off by the sequence number.
-            match std::fs::remove_file(dir.join(format!("{name}.wal"))) {
+            match io.remove(&dir.join(format!("{name}.wal"))) {
                 Ok(()) => {}
                 Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
                 Err(e) => return Err(io_err("removing compacted WAL", &e)),
@@ -1284,6 +1705,245 @@ mod tests {
         assert!(
             matches!(err, QueryError::Histogram(HistogramError::Corrupt { .. })),
             "checksum failure must be typed, got {err:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Retrying a stamped batch applies exactly once; the duplicate is
+    /// reported, mutates nothing, and a *different* ID with identical
+    /// content still applies (dedup is keyed by ID, not content).
+    #[test]
+    fn stamped_retry_is_deduplicated() {
+        let mut c = catalog_with("t", 20, HistogramKind::Gh);
+        let ins = rects(5, 0.1);
+        let id = MutationId::new(7, 1);
+        let first = c.apply_delta_idempotent("t", &ins, &[], id).unwrap();
+        assert!(!first.deduplicated);
+        assert_eq!(c.table_len("t").unwrap(), 25);
+        let after_first = c.histogram("t").unwrap().to_bytes();
+
+        let retry = c.apply_delta_idempotent("t", &ins, &[], id).unwrap();
+        assert!(retry.deduplicated);
+        assert_eq!(c.table_len("t").unwrap(), 25, "retry must not double-apply");
+        assert_eq!(c.histogram("t").unwrap().to_bytes(), after_first);
+
+        let fresh = c
+            .apply_delta_idempotent("t", &ins, &[], MutationId::new(7, 2))
+            .unwrap();
+        assert!(
+            !fresh.deduplicated,
+            "a new ID applies even with identical content"
+        );
+        assert_eq!(c.table_len("t").unwrap(), 30);
+    }
+
+    /// A failed batch must stay retryable under the same ID: validation
+    /// failures happen before the ID is remembered.
+    #[test]
+    fn failed_batch_does_not_burn_its_id() {
+        let mut c = catalog_with("t", 10, HistogramKind::Gh);
+        let id = MutationId::new(3, 1);
+        let missing = Rect::new(0.9, 0.9, 0.95, 0.95);
+        let err = c
+            .apply_delta_idempotent("t", &[], &[missing], id)
+            .unwrap_err();
+        assert!(matches!(err, QueryError::DeleteNotFound { .. }));
+        let ok = c
+            .apply_delta_idempotent("t", &rects(2, 0.1), &[], id)
+            .unwrap();
+        assert!(
+            !ok.deduplicated,
+            "the failed attempt must not have burned the ID"
+        );
+    }
+
+    /// The crash that motivates idempotency: the WAL holds the batch
+    /// (the server applied it), the client never saw a reply and
+    /// retries against a restarted server. Replay populates the dedup
+    /// ring, so the retry lands exactly once.
+    #[test]
+    fn retry_after_crash_recovery_is_deduplicated() {
+        let dir = temp_dir("retrycrash");
+        let mut c1 = catalog_with("t", 20, HistogramKind::Gh);
+        c1.save_statistics(&dir).unwrap();
+        c1.open_stats_store(&dir, CompactionPolicy::default())
+            .unwrap();
+        let ins = rects(4, 0.1);
+        let id = MutationId::new(11, 1);
+        c1.apply_delta_idempotent("t", &ins, &[], id).unwrap();
+        let expected = c1.histogram("t").unwrap().to_bytes();
+        drop(c1); // crash before the reply reached the client
+
+        let mut c2 = Catalog::with_kind(HistogramKind::Gh, 4);
+        c2.register_with_statistics(
+            Dataset::new("t", Extent::unit(), rects(20, 0.0)),
+            &std::fs::read(dir.join("t.hist")).unwrap(),
+        )
+        .unwrap();
+        let recovery = c2
+            .open_stats_store(&dir, CompactionPolicy::default())
+            .unwrap();
+        assert_eq!(recovery.replayed, 1);
+        let retry = c2.apply_delta_idempotent("t", &ins, &[], id).unwrap();
+        assert!(retry.deduplicated, "replay must arm the dedup ring");
+        assert_eq!(c2.table_len("t").unwrap(), 24);
+        assert_eq!(c2.histogram("t").unwrap().to_bytes(), expected);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Compaction deletes the WAL, so the dedup ring rides in the
+    /// snapshot: a retry that straddles compaction + restart still
+    /// lands exactly once.
+    #[test]
+    fn dedup_ring_survives_compaction_and_restart() {
+        let dir = temp_dir("dedupsnap");
+        let mut c1 = catalog_with("t", 20, HistogramKind::Gh);
+        c1.open_stats_store(&dir, CompactionPolicy::default())
+            .unwrap();
+        let ins = rects(4, 0.1);
+        let id = MutationId::new(21, 5);
+        c1.apply_delta_idempotent("t", &ins, &[], id).unwrap();
+        c1.compact("t").unwrap();
+        assert!(!dir.join("t.wal").exists());
+        drop(c1);
+
+        let mut c2 = Catalog::with_kind(HistogramKind::Gh, 4);
+        c2.register_deferred(Dataset::new("t", Extent::unit(), rects(20, 0.0)))
+            .unwrap();
+        c2.open_stats_store(&dir, CompactionPolicy::default())
+            .unwrap();
+        let retry = c2.apply_delta_idempotent("t", &ins, &[], id).unwrap();
+        assert!(retry.deduplicated, "snapshot must carry the dedup ring");
+        assert_eq!(c2.table_len("t").unwrap(), 24);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The ring is bounded: the oldest IDs are evicted once more than
+    /// [`REMEMBERED_MUTATIONS`] stamped batches have applied.
+    #[test]
+    fn dedup_ring_is_bounded() {
+        let mut store = TableStore::default();
+        for seq in 1..=(REMEMBERED_MUTATIONS as u64 + 10) {
+            store.remember(MutationId::new(1, seq));
+        }
+        assert_eq!(store.recent_ids.len(), REMEMBERED_MUTATIONS);
+        assert_eq!(store.id_index.len(), REMEMBERED_MUTATIONS);
+        assert!(!store.is_applied(MutationId::new(1, 1)), "oldest evicted");
+        assert!(store.is_applied(MutationId::new(1, 11)));
+        assert!(!store.is_applied(MutationId::UNSTAMPED));
+    }
+
+    /// Version-1 WAL records (pre-mutation-ID) still replay, as
+    /// unstamped batches.
+    #[test]
+    fn v1_wal_records_still_decode() {
+        // Hand-encode a v1 record: the v2 layout minus the 16 ID bytes.
+        let ins = rects(3, 0.1);
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&WAL_MAGIC.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        buf.extend_from_slice(&3u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        for r in &ins {
+            for v in [r.xlo, r.ylo, r.xhi, r.yhi] {
+                buf.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        let crc = crc32(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+
+        let (records, torn) = decode_wal(&buf).unwrap();
+        assert_eq!(torn, 0);
+        assert_eq!(records.len(), 1);
+        assert_eq!(records[0].id, MutationId::UNSTAMPED);
+        assert_eq!(records[0].inserts, ins);
+
+        // And a v2 record appended after it decodes too.
+        buf.extend_from_slice(&encode_wal_record(1, MutationId::new(9, 9), &ins, &[]));
+        let (records, _) = decode_wal(&buf).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[1].id, MutationId::new(9, 9));
+        assert_eq!(
+            wal_record_ends(&buf).unwrap(),
+            vec![
+                WAL_V1_HEADER_LEN + 3 * 32 + 4,
+                WAL_V1_HEADER_LEN + WAL_HEADER_LEN + 6 * 32 + 8,
+            ]
+        );
+    }
+
+    /// The compaction swap leaves no tmp files and (with `RealStoreIo`)
+    /// fsyncs data before each rename; this pins the call order via a
+    /// recording [`StoreIo`].
+    #[test]
+    fn compaction_syncs_before_renaming() {
+        use std::sync::Mutex;
+        struct Recording(Mutex<Vec<String>>, RealStoreIo);
+        impl StoreIo for Recording {
+            fn create_dir_all(&self, d: &Path) -> std::io::Result<()> {
+                self.1.create_dir_all(d)
+            }
+            fn exists(&self, p: &Path) -> bool {
+                self.1.exists(p)
+            }
+            fn read(&self, p: &Path) -> std::io::Result<Vec<u8>> {
+                self.1.read(p)
+            }
+            fn append_wal(&self, p: &Path, r: &[u8]) -> std::io::Result<()> {
+                self.log("append", p);
+                self.1.append_wal(p, r)
+            }
+            fn write(&self, p: &Path, b: &[u8]) -> std::io::Result<()> {
+                self.log("write", p);
+                self.1.write(p, b)
+            }
+            fn sync_file(&self, p: &Path) -> std::io::Result<()> {
+                self.log("sync", p);
+                self.1.sync_file(p)
+            }
+            fn rename(&self, f: &Path, t: &Path) -> std::io::Result<()> {
+                self.log("rename", t);
+                self.1.rename(f, t)
+            }
+            fn remove(&self, p: &Path) -> std::io::Result<()> {
+                self.log("remove", p);
+                self.1.remove(p)
+            }
+            fn sync_dir(&self, d: &Path) -> std::io::Result<()> {
+                self.log("syncdir", d);
+                self.1.sync_dir(d)
+            }
+        }
+        impl Recording {
+            fn log(&self, op: &str, p: &Path) {
+                let name = p.file_name().and_then(|n| n.to_str()).unwrap_or("?");
+                self.0.lock().unwrap().push(format!("{op} {name}"));
+            }
+        }
+
+        let dir = temp_dir("synced");
+        let io = Arc::new(Recording(Mutex::new(Vec::new()), RealStoreIo));
+        let mut c = catalog_with("t", 15, HistogramKind::Gh);
+        c.open_stats_store_with_io(&dir, CompactionPolicy::default(), io.clone())
+            .unwrap();
+        c.apply_delta("t", &rects(2, 0.1), &[]).unwrap();
+        c.compact("t").unwrap();
+        let ops = io.0.lock().unwrap().clone();
+        assert_eq!(
+            ops,
+            vec![
+                "append t.wal",
+                "write t.hist.tmp",
+                "sync t.hist.tmp",
+                "rename t.hist",
+                "write t.base.tmp",
+                "sync t.base.tmp",
+                "rename t.base",
+                "syncdir sj_store_test_synced",
+                "remove t.wal",
+            ],
+            "every tmp file must be fsynced before its rename"
         );
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -4,8 +4,16 @@
 use crate::service::{CompactReply, EstimateReply, MutationReply, RemoteOutcome};
 use crate::wire::{self, status, Frame, Opcode, PayloadReader, WireError};
 use sj_geo::Rect;
-use std::net::{TcpStream, ToSocketAddrs};
+use sj_query::MutationId;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// Distinguishes clients created in the same process: combined with the
+/// process id and the socket's local port into the mutation-id token,
+/// so two clients opened back-to-back never collide even if the OS
+/// recycles a port.
+static CLIENT_INSTANCES: AtomicU64 = AtomicU64::new(0);
 
 /// The deterministic backoff schedule used by [`Client::connect_with_retry`]:
 /// the pause taken before each re-attempt after a failed connect. Fixed
@@ -83,6 +91,19 @@ pub struct RemoteFailure {
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
+    /// The daemon's resolved address, kept so retry-safe mutations can
+    /// reconnect after an ambiguous connection failure.
+    addr: SocketAddr,
+    /// Deterministic mutation-id namespace for this client instance:
+    /// `pid << 32 | first local port << 16 | instance counter`. No
+    /// clocks, no randomness — replayable and collision-free within the
+    /// daemon's dedup window.
+    token: u64,
+    /// Next mutation sequence number; each stamped mutation consumes
+    /// one, and a retry of the same logical mutation reuses it.
+    next_seq: u64,
+    /// Socket deadline re-applied after every reconnect.
+    io_timeout: Option<Duration>,
 }
 
 impl Client {
@@ -92,7 +113,69 @@ impl Client {
     /// [`ClientError::Wire`] when the TCP connect fails.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
         let stream = TcpStream::connect(addr).map_err(WireError::from)?;
-        Ok(Self { stream })
+        let addr = stream.peer_addr().map_err(WireError::from)?;
+        let port = stream
+            .local_addr()
+            .map(|a| u64::from(a.port()))
+            .unwrap_or(0);
+        let instance = CLIENT_INSTANCES.fetch_add(1, Ordering::Relaxed) & 0xFFFF;
+        let token = (u64::from(std::process::id()) << 32) | (port << 16) | instance;
+        Ok(Self {
+            stream,
+            addr,
+            token,
+            next_seq: 1,
+            io_timeout: None,
+        })
+    }
+
+    /// Sets (or clears) the read/write deadline on the underlying socket.
+    /// Also re-applied after every retry reconnect.
+    ///
+    /// # Errors
+    /// [`ClientError::Wire`] when the socket refuses the deadline.
+    pub fn set_io_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ClientError> {
+        self.stream
+            .set_read_timeout(timeout)
+            .map_err(WireError::from)?;
+        self.stream
+            .set_write_timeout(timeout)
+            .map_err(WireError::from)?;
+        self.io_timeout = timeout;
+        Ok(())
+    }
+
+    /// Overrides the mutation-id token, e.g. to make a test's ids
+    /// predictable or to resume a logical client identity.
+    pub fn set_mutation_token(&mut self, token: u64) {
+        self.token = token;
+    }
+
+    /// The mutation-id token stamped on this client's mutations.
+    #[must_use]
+    pub fn mutation_token(&self) -> u64 {
+        self.token
+    }
+
+    /// Stamps the next mutation id in this client's sequence.
+    fn next_mutation_id(&mut self) -> MutationId {
+        let id = MutationId::new(self.token, self.next_seq);
+        self.next_seq += 1;
+        id
+    }
+
+    /// Replaces the connection after an ambiguous failure, re-applying
+    /// the configured socket deadline.
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        let stream = TcpStream::connect(self.addr).map_err(WireError::from)?;
+        stream
+            .set_read_timeout(self.io_timeout)
+            .map_err(WireError::from)?;
+        stream
+            .set_write_timeout(self.io_timeout)
+            .map_err(WireError::from)?;
+        self.stream = stream;
+        Ok(())
     }
 
     /// Connects like [`Client::connect`], but retries transient connect
@@ -283,7 +366,9 @@ impl Client {
 
     /// Inserts a batch of rectangles into a registered table; the daemon
     /// folds a signed histogram delta into its statistics without a
-    /// restart.
+    /// restart. Stamped with a fresh mutation id so the daemon can
+    /// recognize a duplicate, but does not retry on its own — see
+    /// [`Client::insert_batch_with_retry`].
     ///
     /// # Errors
     /// [`ClientError`] on wire or remote failure.
@@ -292,13 +377,15 @@ impl Client {
         table: &str,
         rects: &[Rect],
     ) -> Result<MutationReply, ClientError> {
-        let body = self.call(Opcode::InsertBatch, mutation_payload(table, rects))?;
+        let id = self.next_mutation_id();
+        let body = self.call(Opcode::InsertBatch, mutation_payload(table, id, rects))?;
         decode_mutation_reply(&body)
     }
 
     /// Deletes a batch of rectangles from a registered table. Every
     /// rectangle must match an object exactly or the daemon rejects the
-    /// whole batch without mutating anything.
+    /// whole batch without mutating anything. Stamped like
+    /// [`Client::insert_batch`].
     ///
     /// # Errors
     /// [`ClientError`] on wire or remote failure.
@@ -307,8 +394,73 @@ impl Client {
         table: &str,
         rects: &[Rect],
     ) -> Result<MutationReply, ClientError> {
-        let body = self.call(Opcode::DeleteBatch, mutation_payload(table, rects))?;
+        let id = self.next_mutation_id();
+        let body = self.call(Opcode::DeleteBatch, mutation_payload(table, id, rects))?;
         decode_mutation_reply(&body)
+    }
+
+    /// Like [`Client::insert_batch`], but survives ambiguous connection
+    /// failures: the mutation id is stamped once, and on a wire error
+    /// (connection died before, during, or after the server applied the
+    /// batch) the client reconnects on the [`RETRY_BACKOFF`] schedule
+    /// and resends the *same* id — the daemon's dedup window turns the
+    /// resend into a no-op if the first attempt landed, so the mutation
+    /// is applied exactly once. Remote (typed) errors are never retried.
+    ///
+    /// # Errors
+    /// [`ClientError`] when every attempt fails, or immediately on a
+    /// remote/protocol error.
+    pub fn insert_batch_with_retry(
+        &mut self,
+        table: &str,
+        rects: &[Rect],
+    ) -> Result<MutationReply, ClientError> {
+        self.mutate_with_retry(Opcode::InsertBatch, table, rects)
+    }
+
+    /// Like [`Client::delete_batch`], but retry-safe — see
+    /// [`Client::insert_batch_with_retry`] for the exactly-once
+    /// contract.
+    ///
+    /// # Errors
+    /// [`ClientError`] when every attempt fails, or immediately on a
+    /// remote/protocol error.
+    pub fn delete_batch_with_retry(
+        &mut self,
+        table: &str,
+        rects: &[Rect],
+    ) -> Result<MutationReply, ClientError> {
+        self.mutate_with_retry(Opcode::DeleteBatch, table, rects)
+    }
+
+    /// Shared retry loop: one stamped id across all attempts; only
+    /// [`ClientError::Wire`] triggers a reconnect-and-resend.
+    fn mutate_with_retry(
+        &mut self,
+        op: Opcode,
+        table: &str,
+        rects: &[Rect],
+    ) -> Result<MutationReply, ClientError> {
+        let id = self.next_mutation_id();
+        let payload = mutation_payload(table, id, rects);
+        let mut last = match self.call(op, payload.clone()) {
+            Ok(body) => return decode_mutation_reply(&body),
+            Err(e @ ClientError::Wire(_)) => e,
+            Err(e) => return Err(e),
+        };
+        for pause in RETRY_BACKOFF {
+            std::thread::sleep(pause);
+            if let Err(e) = self.reconnect() {
+                last = e;
+                continue;
+            }
+            match self.call(op, payload.clone()) {
+                Ok(body) => return decode_mutation_reply(&body),
+                Err(e @ ClientError::Wire(_)) => last = e,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last)
     }
 
     /// Forces a compaction: pending delta tiers fold into the table's
@@ -339,10 +491,13 @@ impl Client {
     }
 }
 
-/// Encodes the shared `insert-batch`/`delete-batch` request payload.
-fn mutation_payload(table: &str, rects: &[Rect]) -> Vec<u8> {
+/// Encodes the shared `insert-batch`/`delete-batch` request payload
+/// (wire v3: table, mutation id, rects).
+fn mutation_payload(table: &str, id: MutationId, rects: &[Rect]) -> Vec<u8> {
     let mut p = Vec::new();
     wire::put_str(&mut p, table);
+    wire::put_u64(&mut p, id.token);
+    wire::put_u64(&mut p, id.seq);
     wire::put_u32(&mut p, u32::try_from(rects.len()).unwrap_or(u32::MAX));
     for r in rects.iter().take(u32::MAX as usize) {
         wire::put_f64(&mut p, r.xlo);
@@ -360,6 +515,7 @@ fn decode_mutation_reply(body: &[u8]) -> Result<MutationReply, ClientError> {
         applied: r.u32()?,
         pending_tiers: r.u16()?,
         compacted: r.u8()? != 0,
+        deduplicated: r.u8()? != 0,
     };
     r.finish()?;
     Ok(reply)

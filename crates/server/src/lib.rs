@@ -35,9 +35,12 @@ pub mod service;
 pub mod wire;
 
 pub use client::{Client, ClientError, RemoteFailure, RETRY_BACKOFF};
-pub use server::{handle_request, Server, ServerError};
+pub use server::{handle_request, Server, ServerConfig, ServerError};
 pub use service::{
     CatalogService, CompactReply, EstimateReply, MutationReply, RemoteOutcome, ServiceError,
     StatisticsService,
 };
+// Re-exported so wire-level callers can stamp mutation ids without a
+// direct sj-query dependency.
+pub use sj_query::MutationId;
 pub use wire::{status, Frame, Opcode, WireError, MAX_PAYLOAD, WIRE_VERSION};

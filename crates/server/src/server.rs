@@ -17,10 +17,45 @@
 use crate::service::{ServiceError, StatisticsService};
 use crate::wire::{self, status, Frame, Opcode, PayloadReader, WireError};
 use sj_geo::Rect;
+use sj_query::MutationId;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
+
+/// Admission-control knobs for a [`Server`].
+///
+/// The defaults keep historical behavior for embedded test servers:
+/// a generous connection ceiling and no socket deadlines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Hard ceiling on concurrently served connections. An accept past
+    /// the ceiling is answered with a best-effort [`status::OVERLOADED`]
+    /// error frame and closed immediately instead of pinning a handler
+    /// thread.
+    pub max_connections: usize,
+    /// Per-connection read *and* write deadline. `None` (the default)
+    /// means blocking sockets with no deadline; a stalled peer then pins
+    /// its handler until shutdown.
+    pub io_timeout: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_connections: 64,
+            io_timeout: None,
+        }
+    }
+}
+
+/// Deterministic backoff schedule (milliseconds) for consecutive
+/// transient accept failures, so a persistent error (fd exhaustion,
+/// netns teardown) cannot spin the accept loop hot. Indexed by the
+/// number of consecutive failures, saturating at the last entry; a
+/// successful accept resets the index.
+const ACCEPT_BACKOFF_MS: [u64; 6] = [1, 2, 5, 10, 25, 50];
 
 /// Errors starting or running a server.
 ///
@@ -46,11 +81,14 @@ impl std::error::Error for ServerError {}
 pub struct Server<S: StatisticsService> {
     listener: TcpListener,
     service: S,
+    config: ServerConfig,
     shutdown: AtomicBool,
     /// Cloned handles of live connections keyed by connection id, shut
     /// down to unpark blocked reader threads when the daemon stops.
     /// Handlers deregister their entry on exit — a lingering clone would
     /// keep the peer's socket half-open and leak one fd per connection.
+    /// Doubles as the admission-control census: its length is the live
+    /// connection count checked against `config.max_connections`.
     conns: Mutex<Vec<(u64, TcpStream)>>,
     /// Monotonic connection id source.
     next_conn: AtomicU64,
@@ -58,15 +96,28 @@ pub struct Server<S: StatisticsService> {
 
 impl<S: StatisticsService> Server<S> {
     /// Binds to `addr` (use port 0 for an OS-assigned port) without
-    /// accepting yet.
+    /// accepting yet, with default admission control.
     ///
     /// # Errors
     /// [`ServerError::Io`] when the bind fails.
     pub fn bind(addr: impl ToSocketAddrs, service: S) -> Result<Self, ServerError> {
+        Self::bind_with_config(addr, service, ServerConfig::default())
+    }
+
+    /// Binds with explicit admission-control settings.
+    ///
+    /// # Errors
+    /// [`ServerError::Io`] when the bind fails.
+    pub fn bind_with_config(
+        addr: impl ToSocketAddrs,
+        service: S,
+        config: ServerConfig,
+    ) -> Result<Self, ServerError> {
         let listener = TcpListener::bind(addr).map_err(|e| ServerError::Io(e.to_string()))?;
         Ok(Self {
             listener,
             service,
+            config,
             shutdown: AtomicBool::new(false),
             conns: Mutex::new(Vec::new()),
             next_conn: AtomicU64::new(0),
@@ -95,13 +146,36 @@ impl<S: StatisticsService> Server<S> {
         // Needed for the self-connect that unblocks `accept` at shutdown.
         let addr = self.local_addr()?;
         std::thread::scope(|scope| {
+            let mut accept_failures = 0usize;
             for stream in self.listener.incoming() {
                 if self.shutdown.load(Ordering::SeqCst) {
                     break;
                 }
                 let Ok(stream) = stream else {
-                    continue; // transient accept failure
+                    // Transient accept failure: back off on a bounded
+                    // deterministic schedule instead of spinning hot.
+                    let slot = accept_failures.min(ACCEPT_BACKOFF_MS.len() - 1);
+                    accept_failures = accept_failures.saturating_add(1);
+                    std::thread::sleep(Duration::from_millis(ACCEPT_BACKOFF_MS[slot]));
+                    continue;
                 };
+                accept_failures = 0;
+                let live = self
+                    .conns
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .len();
+                if live >= self.config.max_connections {
+                    reject_overloaded(stream, self.config.max_connections);
+                    continue;
+                }
+                if self.config.io_timeout.is_some() {
+                    // A deadline miss surfaces as a read/write error in
+                    // the handler, which closes the connection — exactly
+                    // the "stalled peer cannot pin a thread" contract.
+                    drop(stream.set_read_timeout(self.config.io_timeout));
+                    drop(stream.set_write_timeout(self.config.io_timeout));
+                }
                 let id = self.next_conn.fetch_add(1, Ordering::Relaxed);
                 if let Ok(handle) = stream.try_clone() {
                     self.conns
@@ -175,6 +249,21 @@ impl<S: StatisticsService> Server<S> {
             }
         }
     }
+}
+
+/// Answers a connection past the admission ceiling: a best-effort
+/// [`status::OVERLOADED`] error frame, then an immediate close. The
+/// write is fire-and-forget — the peer may already be gone, and the
+/// whole point is not to block the accept loop on a slow client.
+fn reject_overloaded(mut stream: TcpStream, ceiling: usize) {
+    drop(stream.set_write_timeout(Some(Duration::from_millis(100))));
+    let resp = error_frame(
+        wire::ERROR_OPCODE,
+        status::OVERLOADED,
+        &format!("server at connection limit ({ceiling})"),
+    );
+    drop(resp.write_to(&mut stream));
+    drop(stream.flush());
 }
 
 /// Builds a non-OK response frame: `status + message`.
@@ -322,16 +411,17 @@ fn serve_opcode<S: StatisticsService>(
             Ok(out)
         }
         Opcode::InsertBatch | Opcode::DeleteBatch => {
-            let (table, rects) = read_mutation(&mut r)?;
+            let (table, id, rects) = read_mutation(&mut r)?;
             let reply = if op == Opcode::InsertBatch {
-                service.insert_batch(&table, &rects)?
+                service.insert_batch(&table, &rects, id)?
             } else {
-                service.delete_batch(&table, &rects)?
+                service.delete_batch(&table, &rects, id)?
             };
             let mut out = Vec::new();
             wire::put_u32(&mut out, reply.applied);
             wire::put_u16(&mut out, reply.pending_tiers);
             wire::put_u8(&mut out, u8::from(reply.compacted));
+            wire::put_u8(&mut out, u8::from(reply.deduplicated));
             Ok(out)
         }
         Opcode::Compact => {
@@ -346,13 +436,17 @@ fn serve_opcode<S: StatisticsService>(
     }
 }
 
-/// Parses the shared `insert-batch`/`delete-batch` request payload:
-/// table name, rectangle count, then that many `(xlo, ylo, xhi, yhi)`
-/// quadruples. The 16 MiB frame cap already bounds the count; the
-/// capacity pre-allocation is clamped anyway so a lying prefix cannot
-/// balloon memory before the reader hits truncation.
-fn read_mutation(r: &mut PayloadReader<'_>) -> Result<(String, Vec<Rect>), RequestError> {
+/// Parses the shared `insert-batch`/`delete-batch` request payload
+/// (wire v3): table name, mutation-id token and sequence (all-zero =
+/// unstamped, no dedup), rectangle count, then that many `(xlo, ylo,
+/// xhi, yhi)` quadruples. The 16 MiB frame cap already bounds the
+/// count; the capacity pre-allocation is clamped anyway so a lying
+/// prefix cannot balloon memory before the reader hits truncation.
+fn read_mutation(
+    r: &mut PayloadReader<'_>,
+) -> Result<(String, MutationId, Vec<Rect>), RequestError> {
     let table = r.str()?;
+    let id = MutationId::new(r.u64()?, r.u64()?);
     let n = r.u32()? as usize;
     let mut rects = Vec::with_capacity(n.min(4096));
     for _ in 0..n {
@@ -360,7 +454,7 @@ fn read_mutation(r: &mut PayloadReader<'_>) -> Result<(String, Vec<Rect>), Reque
         rects.push(Rect::new(x0, y0, x1, y1));
     }
     r.finish()?;
-    Ok((table, rects))
+    Ok((table, id, rects))
 }
 
 #[cfg(test)]
@@ -398,7 +492,12 @@ mod tests {
             vec!["a".to_string(), "b".to_string()]
         }
 
-        fn insert_batch(&self, table: &str, rects: &[Rect]) -> Result<MutationReply, ServiceError> {
+        fn insert_batch(
+            &self,
+            table: &str,
+            rects: &[Rect],
+            id: MutationId,
+        ) -> Result<MutationReply, ServiceError> {
             if table == "missing" {
                 return Err(ServiceError::new(status::RUNTIME, "unknown table"));
             }
@@ -406,10 +505,17 @@ mod tests {
                 applied: u32::try_from(rects.len()).unwrap_or(u32::MAX),
                 pending_tiers: 1,
                 compacted: false,
+                // Lets wire tests observe that the id survived parsing.
+                deduplicated: id == MutationId::new(7, 7),
             })
         }
 
-        fn delete_batch(&self, table: &str, rects: &[Rect]) -> Result<MutationReply, ServiceError> {
+        fn delete_batch(
+            &self,
+            table: &str,
+            rects: &[Rect],
+            _id: MutationId,
+        ) -> Result<MutationReply, ServiceError> {
             if table == "missing" {
                 return Err(ServiceError::new(status::INVALID_DATA, "no such object"));
             }
@@ -417,6 +523,7 @@ mod tests {
                 applied: u32::try_from(rects.len()).unwrap_or(u32::MAX),
                 pending_tiers: 2,
                 compacted: true,
+                deduplicated: false,
             })
         }
 
@@ -512,9 +619,11 @@ mod tests {
         r.finish().unwrap();
     }
 
-    fn mutation_payload(table: &str, rects: &[(f64, f64, f64, f64)]) -> Vec<u8> {
+    fn mutation_payload(table: &str, id: MutationId, rects: &[(f64, f64, f64, f64)]) -> Vec<u8> {
         let mut p = Vec::new();
         wire::put_str(&mut p, table);
+        wire::put_u64(&mut p, id.token);
+        wire::put_u64(&mut p, id.seq);
         wire::put_u32(&mut p, u32::try_from(rects.len()).unwrap());
         for &(x0, y0, x1, y1) in rects {
             wire::put_f64(&mut p, x0);
@@ -527,7 +636,11 @@ mod tests {
 
     #[test]
     fn insert_batch_encodes_receipt() {
-        let p = mutation_payload("a", &[(0.0, 0.0, 1.0, 1.0), (2.0, 2.0, 3.0, 3.0)]);
+        let p = mutation_payload(
+            "a",
+            MutationId::UNSTAMPED,
+            &[(0.0, 0.0, 1.0, 1.0), (2.0, 2.0, 3.0, 3.0)],
+        );
         let (resp, stop) = handle_request(&Stub, &Frame::request(Opcode::InsertBatch, p));
         assert!(!stop);
         let mut r = PayloadReader::new(&resp.payload);
@@ -535,12 +648,28 @@ mod tests {
         assert_eq!(r.u32().unwrap(), 2); // applied
         assert_eq!(r.u16().unwrap(), 1); // pending tiers
         assert_eq!(r.u8().unwrap(), 0); // not compacted
+        assert_eq!(r.u8().unwrap(), 0); // not deduplicated
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn mutation_id_reaches_the_service() {
+        // The stub reports deduplicated only for id (7, 7): seeing the
+        // flag back proves the token/seq pair survived payload parsing.
+        let p = mutation_payload("a", MutationId::new(7, 7), &[(0.0, 0.0, 1.0, 1.0)]);
+        let (resp, _) = handle_request(&Stub, &Frame::request(Opcode::InsertBatch, p));
+        let mut r = PayloadReader::new(&resp.payload);
+        assert_eq!(r.u8().unwrap(), status::OK);
+        r.u32().unwrap();
+        r.u16().unwrap();
+        r.u8().unwrap();
+        assert_eq!(r.u8().unwrap(), 1); // deduplicated echo
         r.finish().unwrap();
     }
 
     #[test]
     fn delete_batch_error_is_well_framed() {
-        let p = mutation_payload("missing", &[(0.0, 0.0, 1.0, 1.0)]);
+        let p = mutation_payload("missing", MutationId::UNSTAMPED, &[(0.0, 0.0, 1.0, 1.0)]);
         let (resp, _) = handle_request(&Stub, &Frame::request(Opcode::DeleteBatch, p));
         assert_eq!(resp.opcode, Opcode::DeleteBatch.response());
         assert_eq!(status_of(&resp), status::INVALID_DATA);
@@ -551,12 +680,34 @@ mod tests {
         // Count claims 3 rects but only one follows: CORRUPT, no panic.
         let mut p = Vec::new();
         wire::put_str(&mut p, "a");
+        wire::put_u64(&mut p, 0);
+        wire::put_u64(&mut p, 0);
         wire::put_u32(&mut p, 3);
         for _ in 0..4 {
             wire::put_f64(&mut p, 0.5);
         }
         let (resp, _) = handle_request(&Stub, &Frame::request(Opcode::InsertBatch, p));
         assert_eq!(status_of(&resp), status::CORRUPT);
+    }
+
+    #[test]
+    fn v2_mutation_payload_without_id_is_typed_not_applied() {
+        // A v2-style payload (no token/seq) misparses deterministically:
+        // the count and rect bytes are consumed as the id, leaving the
+        // reader truncated or with trailing garbage — a typed error
+        // either way, never a silent partial apply.
+        let mut p = Vec::new();
+        wire::put_str(&mut p, "a");
+        wire::put_u32(&mut p, 1);
+        for _ in 0..4 {
+            wire::put_f64(&mut p, 0.5);
+        }
+        let (resp, _) = handle_request(&Stub, &Frame::request(Opcode::InsertBatch, p));
+        let s = status_of(&resp);
+        assert!(
+            s == status::CORRUPT || s == status::USAGE,
+            "expected typed parse error, got status {s}"
+        );
     }
 
     #[test]

@@ -8,7 +8,9 @@
 
 use crate::wire::{self, status, PayloadReader, WireError};
 use sj_geo::Rect;
-use sj_query::{Catalog, ChainJoinQuery, DegradationPolicy, EstimateOutcome, QueryError};
+use sj_query::{
+    Catalog, ChainJoinQuery, DegradationPolicy, EstimateOutcome, MutationId, QueryError,
+};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// A primary-statistics estimate: the numbers `sjsel estimate` prints.
@@ -199,17 +201,31 @@ pub trait StatisticsService: Send + Sync {
     fn tables(&self) -> Vec<String>;
 
     /// Applies an insert batch to a table's statistics incrementally.
+    /// A stamped `id` is applied at most once (retry deduplication);
+    /// [`MutationId::UNSTAMPED`] skips the guard.
     ///
     /// # Errors
     /// [`ServiceError`]; a batch that cannot apply maps to INVALID_DATA.
-    fn insert_batch(&self, table: &str, rects: &[Rect]) -> Result<MutationReply, ServiceError>;
+    fn insert_batch(
+        &self,
+        table: &str,
+        rects: &[Rect],
+        id: MutationId,
+    ) -> Result<MutationReply, ServiceError>;
 
     /// Applies a delete batch. Every rectangle must currently exist in
     /// the table, or the whole batch is rejected without applying.
+    /// Stamped IDs deduplicate exactly as in
+    /// [`StatisticsService::insert_batch`].
     ///
     /// # Errors
     /// [`ServiceError`]; an unmatched delete maps to INVALID_DATA.
-    fn delete_batch(&self, table: &str, rects: &[Rect]) -> Result<MutationReply, ServiceError>;
+    fn delete_batch(
+        &self,
+        table: &str,
+        rects: &[Rect],
+        id: MutationId,
+    ) -> Result<MutationReply, ServiceError>;
 
     /// Folds a table's pending delta tiers into its base envelope.
     ///
@@ -228,6 +244,9 @@ pub struct MutationReply {
     pub pending_tiers: u16,
     /// Whether the batch tripped an automatic compaction.
     pub compacted: bool,
+    /// Whether the batch's stamped [`MutationId`] had already been
+    /// applied, so this call was a detected retry and mutated nothing.
+    pub deduplicated: bool,
 }
 
 /// What a [`StatisticsService::compact`] call did.
@@ -283,15 +302,17 @@ impl CatalogService {
         table: &str,
         inserts: &[Rect],
         deletes: &[Rect],
+        id: MutationId,
     ) -> Result<MutationReply, ServiceError> {
         let receipt = self
             .write()
-            .apply_delta(table, inserts, deletes)
+            .apply_delta_idempotent(table, inserts, deletes, id)
             .map_err(|e| ServiceError::from_query("mutation failed", &e))?;
         Ok(MutationReply {
             applied: u32::try_from(inserts.len() + deletes.len()).unwrap_or(u32::MAX),
             pending_tiers: u16::try_from(receipt.pending_tiers).unwrap_or(u16::MAX),
             compacted: receipt.compacted,
+            deduplicated: receipt.deduplicated,
         })
     }
 }
@@ -346,12 +367,22 @@ impl StatisticsService for CatalogService {
             .collect()
     }
 
-    fn insert_batch(&self, table: &str, rects: &[Rect]) -> Result<MutationReply, ServiceError> {
-        self.mutate(table, rects, &[])
+    fn insert_batch(
+        &self,
+        table: &str,
+        rects: &[Rect],
+        id: MutationId,
+    ) -> Result<MutationReply, ServiceError> {
+        self.mutate(table, rects, &[], id)
     }
 
-    fn delete_batch(&self, table: &str, rects: &[Rect]) -> Result<MutationReply, ServiceError> {
-        self.mutate(table, &[], rects)
+    fn delete_batch(
+        &self,
+        table: &str,
+        rects: &[Rect],
+        id: MutationId,
+    ) -> Result<MutationReply, ServiceError> {
+        self.mutate(table, &[], rects, id)
     }
 
     fn compact(&self, table: &str) -> Result<CompactReply, ServiceError> {

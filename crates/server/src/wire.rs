@@ -29,8 +29,10 @@ pub const MAGIC: [u8; 4] = *b"SJWF";
 /// Wire protocol version. Bump on any frame or payload layout change —
 /// the r7 persistence fingerprint pins the codec bodies to this number.
 /// Version 2 added the mutation opcodes (`InsertBatch`, `DeleteBatch`,
-/// `Compact`).
-pub const WIRE_VERSION: u16 = 2;
+/// `Compact`). Version 3 added the client-stamped mutation ID to the
+/// `InsertBatch`/`DeleteBatch` payloads, the `deduplicated` flag to
+/// their replies, and the `Overloaded` status.
+pub const WIRE_VERSION: u16 = 3;
 
 /// Upper bound on a frame payload (16 MiB). A length prefix above this
 /// is treated as corruption, not an allocation request.
@@ -70,6 +72,9 @@ pub mod status {
     pub const INVALID_DATA: u8 = 6;
     /// Every estimation tier was disabled or failed.
     pub const EXHAUSTED: u8 = 7;
+    /// The server refused the connection at its admission limit; retry
+    /// later. Extends the exit-code taxonomy numerically (exit code 8).
+    pub const OVERLOADED: u8 = 8;
 
     /// Human-readable name of a status code.
     #[must_use]
@@ -83,6 +88,7 @@ pub mod status {
             MISMATCH => "mismatch",
             INVALID_DATA => "invalid-data",
             EXHAUSTED => "exhausted",
+            OVERLOADED => "overloaded",
             _ => "unknown",
         }
     }
@@ -109,10 +115,14 @@ pub enum Opcode {
     BatchEstimate,
     /// Registered table names: empty → `u16 n + n×str`.
     Tables,
-    /// Incremental insert batch: `str table + u32 n + n×4×f64 rects` →
-    /// `u32 applied + u16 pending_tiers + u8 compacted`. The daemon
-    /// updates the table's statistics exactly (byte-identical to a full
-    /// rebuild) without restarting.
+    /// Incremental insert batch: `str table + u64 id_token + u64
+    /// id_seq + u32 n + n×4×f64 rects` → `u32 applied + u16
+    /// pending_tiers + u8 compacted + u8 deduplicated`. The daemon
+    /// updates the table's statistics exactly (byte-identical to a
+    /// full rebuild) without restarting. A nonzero `(id_token, id_seq)`
+    /// pair is the batch's [`MutationId`](sj_query::MutationId): the
+    /// daemon applies each stamped ID at most once, so clients retry
+    /// ambiguous failures safely.
     InsertBatch,
     /// Incremental delete batch; same payloads as [`Opcode::InsertBatch`].
     /// Every rectangle must currently exist in the table, or the whole
@@ -519,6 +529,11 @@ pub fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
+/// Appends a `u64` (LE).
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
 /// Appends an `f64` as its LE bit pattern (exact round-trip).
 pub fn put_f64(out: &mut Vec<u8>, v: f64) {
     out.extend_from_slice(&v.to_bits().to_le_bytes());
@@ -585,6 +600,19 @@ impl<'a> PayloadReader<'a> {
     /// [`WireError::Truncated`] past the end of the payload.
     pub fn u32(&mut self) -> Result<u32, WireError> {
         Ok(u32::from_le_bytes(le4(self.take(4)?)?))
+    }
+
+    /// Reads a `u64` (LE).
+    ///
+    /// # Errors
+    /// [`WireError::Truncated`] past the end of the payload.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        let raw = self.take(8)?;
+        let bytes = <[u8; 8]>::try_from(raw).map_err(|_| WireError::Truncated {
+            needed: 8,
+            got: raw.len(),
+        })?;
+        Ok(u64::from_le_bytes(bytes))
     }
 
     /// Reads an `f64` from its LE bit pattern.
@@ -775,9 +803,24 @@ mod tests {
 
     #[test]
     fn status_codes_have_names() {
-        for code in 0..=7u8 {
+        for code in 0..=8u8 {
             assert_ne!(status::name(code), "unknown", "code {code}");
         }
         assert_eq!(status::name(200), "unknown");
+    }
+
+    #[test]
+    fn u64_round_trips() {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, u64::MAX - 7);
+        put_u64(&mut buf, 0);
+        let mut r = PayloadReader::new(&buf);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 7);
+        assert_eq!(r.u64().unwrap(), 0);
+        r.finish().unwrap();
+        assert!(matches!(
+            PayloadReader::new(&buf[..5]).u64(),
+            Err(WireError::Truncated { .. })
+        ));
     }
 }

@@ -8,8 +8,8 @@
 
 use sj_server::wire::{self, put_str, HEADER_LEN};
 use sj_server::{
-    Client, ClientError, CompactReply, EstimateReply, Frame, MutationReply, Opcode, RemoteOutcome,
-    Server, ServiceError, StatisticsService,
+    Client, ClientError, CompactReply, EstimateReply, Frame, MutationId, MutationReply, Opcode,
+    RemoteOutcome, Server, ServerConfig, ServiceError, StatisticsService,
 };
 use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpStream};
@@ -57,6 +57,7 @@ impl StatisticsService for Stub {
         &self,
         table: &str,
         rects: &[sj_geo::Rect],
+        _id: MutationId,
     ) -> Result<MutationReply, ServiceError> {
         if table == "missing" {
             return Err(ServiceError::new(wire::status::RUNTIME, "unknown table"));
@@ -65,6 +66,7 @@ impl StatisticsService for Stub {
             applied: u32::try_from(rects.len()).unwrap_or(u32::MAX),
             pending_tiers: 1,
             compacted: false,
+            deduplicated: false,
         })
     }
 
@@ -72,6 +74,7 @@ impl StatisticsService for Stub {
         &self,
         table: &str,
         rects: &[sj_geo::Rect],
+        _id: MutationId,
     ) -> Result<MutationReply, ServiceError> {
         if table == "missing" {
             return Err(ServiceError::new(
@@ -83,6 +86,7 @@ impl StatisticsService for Stub {
             applied: u32::try_from(rects.len()).unwrap_or(u32::MAX),
             pending_tiers: 0,
             compacted: true,
+            deduplicated: false,
         })
     }
 
@@ -370,6 +374,84 @@ fn connect_with_retry_still_fails_typed_with_no_server() {
         matches!(err, ClientError::Wire(_)),
         "expected a wire-level connect failure, got {err:?}"
     );
+}
+
+#[test]
+fn overloaded_server_answers_typed_and_drops() {
+    let server = Arc::new(
+        Server::bind_with_config(
+            "127.0.0.1:0",
+            Stub,
+            ServerConfig {
+                max_connections: 1,
+                io_timeout: None,
+            },
+        )
+        .expect("bind"),
+    );
+    let addr = server.local_addr().expect("local_addr");
+    let run = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.run().expect("run"))
+    };
+    // Occupy the single slot; the ping round-trip guarantees the accept
+    // loop has registered the connection before we try the second one.
+    let mut first = Client::connect(addr).expect("first connect");
+    first.ping().expect("first ping");
+    // The second connection must get an Overloaded error frame, then EOF.
+    let mut s = TcpStream::connect(addr).expect("second connect");
+    let frame = Frame::read_from(&mut s).expect("overload frame");
+    assert_eq!(frame.opcode, wire::ERROR_OPCODE);
+    assert_eq!(frame.payload.first(), Some(&wire::status::OVERLOADED));
+    let mut rest = Vec::new();
+    assert_eq!(s.read_to_end(&mut rest).expect("read_to_end"), 0);
+    // Releasing the slot restores service. The handler deregisters
+    // asynchronously, so poll with fresh connections until a ping lands.
+    drop(first);
+    let mut served = false;
+    for _ in 0..50 {
+        if let Ok(mut again) = Client::connect(addr) {
+            if again.ping().is_ok() {
+                served = true;
+                break;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(served, "server never freed the connection slot");
+    server.initiate_shutdown();
+    run.join().expect("join");
+}
+
+#[test]
+fn stalled_client_is_disconnected_by_the_io_deadline() {
+    let server = Arc::new(
+        Server::bind_with_config(
+            "127.0.0.1:0",
+            Stub,
+            ServerConfig {
+                max_connections: 4,
+                io_timeout: Some(std::time::Duration::from_millis(100)),
+            },
+        )
+        .expect("bind"),
+    );
+    let addr = server.local_addr().expect("local_addr");
+    let run = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.run().expect("run"))
+    };
+    // Connect and send nothing: the read deadline must close us out
+    // instead of pinning the handler thread forever.
+    let mut s = TcpStream::connect(addr).expect("connect");
+    let mut sink = Vec::new();
+    assert_eq!(s.read_to_end(&mut sink).expect("read_to_end"), 0);
+    // A prompt client is still served afterwards.
+    let mut c = Client::connect(addr).expect("connect after stall");
+    c.ping().expect("ping after stall");
+    drop(c);
+    server.initiate_shutdown();
+    run.join().expect("join");
 }
 
 #[test]

@@ -1,0 +1,146 @@
+//! Concurrent-mutation soak: N clients hammer one daemon with
+//! insert/delete/compact traffic and the final statistics must be
+//! byte-identical to the same batches applied on a serial schedule.
+//!
+//! This holds because the histogram cell statistics are fixed-point
+//! accumulators (lint rule r2 bans floats from merge paths), so batch
+//! application commutes — any interleaving of disjoint batches folds to
+//! the same bytes. Each client works a disjoint coordinate band and
+//! deletes only rectangles it inserted itself, so every delete resolves
+//! regardless of interleaving; the dataset is compared as a multiset
+//! (thread arrival order is scheduler-dependent, the *contents* are
+//! not).
+
+use sj_geo::{Extent, Rect};
+use sj_query::{Catalog, DegradationPolicy};
+use sj_server::{CatalogService, Client, Server};
+use std::sync::{Arc, RwLock};
+
+const TABLE: &str = "t";
+const BASE_N: usize = 50;
+const THREADS: usize = 4;
+const ROUNDS: usize = 6;
+const BATCH: usize = 4;
+
+fn base_rects() -> Vec<Rect> {
+    (0..BASE_N)
+        .map(|i| {
+            let x = (i % 10) as f64 * 0.04 + 0.002;
+            let y = (i / 10) as f64 * 0.04 + 0.002;
+            Rect::new(x, y, x + 0.03, y + 0.03)
+        })
+        .collect()
+}
+
+/// Thread `t`'s insert batch for round `r`: confined to the thread's own
+/// y-band so no two threads ever produce an identical rectangle.
+fn thread_batch(t: usize, r: usize) -> Vec<Rect> {
+    (0..BATCH)
+        .map(|j| {
+            let x = (r * BATCH + j) as f64 * 0.03 + 0.001;
+            let y = 0.5 + t as f64 * 0.12;
+            Rect::new(x, y, x + 0.02, y + 0.02 + j as f64 * 1e-3)
+        })
+        .collect()
+}
+
+fn fresh_catalog() -> Catalog {
+    let mut c = Catalog::with_level(4);
+    c.register(sj_datagen::Dataset::new(
+        TABLE,
+        Extent::unit(),
+        base_rects(),
+    ))
+    .expect("register");
+    c
+}
+
+/// Sorted copy for multiset comparison.
+fn sorted(rects: &[Rect]) -> Vec<Rect> {
+    let mut v = rects.to_vec();
+    v.sort_by(|a, b| {
+        (a.xlo, a.ylo, a.xhi, a.yhi)
+            .partial_cmp(&(b.xlo, b.ylo, b.xhi, b.yhi))
+            .expect("finite coordinates")
+    });
+    v
+}
+
+#[test]
+fn concurrent_mutations_match_the_serial_schedule() {
+    // The daemon under load.
+    let catalog = Arc::new(RwLock::new(fresh_catalog()));
+    let service = CatalogService::new(Arc::clone(&catalog), DegradationPolicy::default());
+    let server = Arc::new(Server::bind("127.0.0.1:0", service).expect("bind"));
+    let addr = server.local_addr().expect("local_addr");
+    let run = {
+        let server = Arc::clone(&server);
+        std::thread::spawn(move || server.run().expect("run"))
+    };
+
+    // N clients, each: insert its round batch, delete the batch's first
+    // half two rounds later, compact every third round. All through the
+    // stamped retrying client path.
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect_with_retry(addr).expect("connect");
+                for r in 0..ROUNDS {
+                    let batch = thread_batch(t, r);
+                    let reply = client
+                        .insert_batch_with_retry(TABLE, &batch)
+                        .expect("insert");
+                    assert!(!reply.deduplicated, "fresh stamps never dedup");
+                    if r >= 2 {
+                        let earlier = thread_batch(t, r - 2);
+                        client
+                            .delete_batch_with_retry(TABLE, &earlier[..BATCH / 2])
+                            .expect("delete own earlier inserts");
+                    }
+                    if r % 3 == 2 {
+                        client.compact(TABLE).expect("compact");
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker");
+    }
+    server.initiate_shutdown();
+    // Unblock the accept loop so the run thread exits.
+    drop(Client::connect(addr));
+    run.join().expect("server thread");
+
+    // The serial reference: the same batches, thread-major order, no
+    // concurrency, no wire.
+    let mut serial = fresh_catalog();
+    for t in 0..THREADS {
+        for r in 0..ROUNDS {
+            serial
+                .apply_delta(TABLE, &thread_batch(t, r), &[])
+                .expect("serial insert");
+            if r >= 2 {
+                let earlier = thread_batch(t, r - 2);
+                serial
+                    .apply_delta(TABLE, &[], &earlier[..BATCH / 2])
+                    .expect("serial delete");
+            }
+            if r % 3 == 2 {
+                serial.compact(TABLE).expect("serial compact");
+            }
+        }
+    }
+
+    let soaked = catalog.read().expect("lock");
+    assert_eq!(
+        soaked.histogram(TABLE).expect("stats").persist().to_vec(),
+        serial.histogram(TABLE).expect("stats").persist().to_vec(),
+        "statistics after the soak must be byte-identical to the serial schedule"
+    );
+    assert_eq!(
+        sorted(&soaked.dataset(TABLE).expect("ds").rects),
+        sorted(&serial.dataset(TABLE).expect("ds").rects),
+        "dataset contents must match as a multiset"
+    );
+}
