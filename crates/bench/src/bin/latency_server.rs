@@ -1,6 +1,6 @@
-//! Perf baseline for the statistics daemon: writes `BENCH_3.json`
-//! (every `BENCH_2.json` field preserved for comparability, plus the
-//! mutation-path overhead section).
+//! Perf baseline for the statistics daemon: writes `BENCH_4.json`
+//! (every `BENCH_3.json` field preserved for comparability, plus the
+//! ranked-lock `sync_layer` section).
 //!
 //! Records, on a fixed seeded workload (SCRC ⋈ SURA at a fixed scale
 //! and grid level):
@@ -29,20 +29,28 @@
 //!   mutation IDs, the retrying client, server deadlines and a
 //!   connection ceiling — DESIGN.md §14) versus the unstamped,
 //!   no-deadline baseline, measured in interleaved rounds against two
-//!   live daemons so clock drift cancels.
+//!   live daemons so clock drift cancels;
+//! - **sync-layer overhead** — per-op lock/unlock cost of the ranked
+//!   `sj_core::sync::OrderedMutex` (DESIGN.md §15) versus a raw
+//!   `std::sync::Mutex`, min-of-trials so scheduler noise cannot
+//!   inflate either side.
 //!
-//! Three acceptance gates asserted by CI: warm-server p50 must sit at
+//! Four acceptance gates asserted by CI: warm-server p50 must sit at
 //! least 5× below cold-CLI p50 (`meets_5x_floor`) — residency is the
 //! entire point of the daemon; delta-apply throughput must be at
 //! least 10× full-rebuild throughput at the largest benchmarked scale
 //! (`delta.meets_10x_floor`) — constant-in-|D| maintenance is the
-//! entire point of the incremental path; and the hardened mutation
+//! entire point of the incremental path; the hardened mutation
 //! path must cost at most 5% over the baseline
 //! (`mutation_path.meets_5pct_ceiling`) — durability and exactly-once
-//! semantics must not tax the common case.
+//! semantics must not tax the common case; and in release builds the
+//! ranked wrapper must cost at most 2% over the raw lock
+//! (`sync_layer.meets_2pct_ceiling`, with a small absolute-ns guard
+//! against timer granularity) — the debug-only rank discipline must
+//! compile away where performance counts.
 //!
 //! ```sh
-//! cargo run --release -p sj-bench --bin latency_server -- --out BENCH_3.json
+//! cargo run --release -p sj-bench --bin latency_server -- --out BENCH_4.json
 //! ```
 
 use sj_datagen::presets;
@@ -78,6 +86,15 @@ const MUT_BATCH: usize = 32;
 const MUT_PAIRS_PER_ROUND: usize = 5;
 const MUT_ROUNDS: usize = 40;
 const MUT_WARMUP_PAIRS: usize = 20;
+/// Sync-layer microbench: uncontended lock/unlock pairs per trial and
+/// trial count (the best trial wins — the floor is the honest signal
+/// for an uncontended fast path; means smear in scheduler noise).
+const SYNC_OPS: usize = 1_000_000;
+const SYNC_TRIALS: usize = 7;
+/// Absolute-ns guard on the 2% gate: at single-digit-ns per op, a 2%
+/// relative window is below timer granularity, so a difference this
+/// small passes regardless of the ratio.
+const SYNC_NOISE_NS: f64 = 2.0;
 
 #[derive(serde::Serialize)]
 struct LatencyStats {
@@ -177,10 +194,27 @@ struct MutationPathStats {
     meets_5pct_ceiling: bool,
 }
 
-/// The `BENCH_3.json` report: every `BENCH_2.json` field, unchanged,
-/// plus the `mutation_path` section.
+/// The ranked-lock overhead comparison (DESIGN.md §15): per-op cost of
+/// an uncontended `OrderedMutex` lock/unlock versus a raw
+/// `std::sync::Mutex`. In release builds the wrapper is a type alias
+/// over the std lock and must measure free; debug builds carry the
+/// rank discipline and report honestly without gating.
 #[derive(serde::Serialize)]
-struct Bench3 {
+struct SyncLayerStats {
+    ops: usize,
+    trials: usize,
+    raw_ns_per_op: f64,
+    ordered_ns_per_op: f64,
+    overhead_ratio: f64,
+    overhead_ns_per_op: f64,
+    release_mode: bool,
+    meets_2pct_ceiling: bool,
+}
+
+/// The `BENCH_4.json` report: every `BENCH_3.json` field, unchanged,
+/// plus the `sync_layer` section.
+#[derive(serde::Serialize)]
+struct Bench4 {
     bench: String,
     workload: Workload,
     statistics_build: Vec<BuildStats>,
@@ -192,6 +226,53 @@ struct Bench3 {
     meets_5x_floor: bool,
     delta: DeltaStats,
     mutation_path: MutationPathStats,
+    sync_layer: SyncLayerStats,
+}
+
+/// Measures the sync-layer overhead. Both sides run the identical
+/// loop shape — acquire, mutate the protected counter, release — and
+/// trials interleave raw/ordered so thermal drift cancels. The best
+/// (minimum) per-op time of each side is compared.
+fn sync_layer() -> SyncLayerStats {
+    use sj_core::sync::{LockRank, OrderedMutex};
+    // sj-lint: allow(lock-discipline, the raw std lock IS the benchmark's comparison baseline; ranking it would measure the wrapper against itself)
+    let raw = std::sync::Mutex::new(0u64);
+    let ordered = OrderedMutex::new(LockRank::Catalog, "bench.sync_layer", 0u64);
+    let mut raw_best_ns = f64::INFINITY;
+    let mut ordered_best_ns = f64::INFINITY;
+    for _ in 0..SYNC_TRIALS {
+        let t = Instant::now();
+        for i in 0..SYNC_OPS {
+            *raw.lock().expect("bench mutex") += i as u64 & 1;
+        }
+        raw_best_ns = raw_best_ns.min(t.elapsed().as_secs_f64() * 1e9 / SYNC_OPS as f64);
+        let t = Instant::now();
+        for i in 0..SYNC_OPS {
+            *ordered.lock() += i as u64 & 1;
+        }
+        ordered_best_ns = ordered_best_ns.min(t.elapsed().as_secs_f64() * 1e9 / SYNC_OPS as f64);
+    }
+    // Keep the counters observable so the loops cannot be elided.
+    let raw_total = *std::hint::black_box(&raw).lock().expect("bench mutex");
+    let ordered_total = *std::hint::black_box(&ordered).lock();
+    assert_eq!(raw_total, ordered_total, "both sides did the same work");
+    let overhead_ratio = ordered_best_ns / raw_best_ns;
+    let overhead_ns_per_op = ordered_best_ns - raw_best_ns;
+    let release_mode = !cfg!(debug_assertions);
+    SyncLayerStats {
+        ops: SYNC_OPS,
+        trials: SYNC_TRIALS,
+        raw_ns_per_op: raw_best_ns,
+        ordered_ns_per_op: ordered_best_ns,
+        overhead_ratio,
+        overhead_ns_per_op,
+        release_mode,
+        // The gate is a release-build contract: debug builds carry the
+        // rank discipline by design and only report.
+        meets_2pct_ceiling: !release_mode
+            || overhead_ratio <= 1.02
+            || overhead_ns_per_op <= SYNC_NOISE_NS,
+    }
 }
 
 /// Measures one scale of the delta-maintenance comparison. The timed
@@ -391,7 +472,7 @@ fn boot_with(
 }
 
 fn main() {
-    let mut out_path = "BENCH_3.json".to_string();
+    let mut out_path = "BENCH_4.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -616,8 +697,22 @@ fn main() {
         meets_10x_floor: largest_scale_speedup >= 10.0,
     };
 
+    // --- sync-layer overhead: ranked wrapper vs raw std lock ---------
+    let sync_stats = sync_layer();
+    println!(
+        "sync     : raw {:.2} ns/op vs ordered {:.2} ns/op ({:.3}x, {})",
+        sync_stats.raw_ns_per_op,
+        sync_stats.ordered_ns_per_op,
+        sync_stats.overhead_ratio,
+        if sync_stats.release_mode {
+            "release"
+        } else {
+            "debug"
+        }
+    );
+
     let speedup_p50 = cold_cli.p50_us / warm_server.p50_us;
-    let report = Bench3 {
+    let report = Bench4 {
         bench: "latency_server".to_string(),
         workload: Workload {
             datasets: vec![a.name.clone(), b.name.clone()],
@@ -633,14 +728,17 @@ fn main() {
         meets_5x_floor: speedup_p50 >= 5.0,
         delta,
         mutation_path,
+        sync_layer: sync_stats,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize");
-    std::fs::write(&out_path, json).expect("write BENCH_3.json");
+    std::fs::write(&out_path, json).expect("write BENCH_4.json");
     let overhead = report.mutation_path.overhead_ratio_p50;
+    let sync_overhead = report.sync_layer.overhead_ratio;
     println!(
         "\nspeedup p50: {speedup_p50:.1}x (floor 5x: {})\n\
          delta speedup at largest scale: {largest_scale_speedup:.1}x (floor 10x: {})\n\
          hardened mutation overhead p50: {overhead:.3}x (ceiling 1.05x: {})\n\
+         sync-layer overhead: {sync_overhead:.3}x (release ceiling 1.02x: {})\n\
          wrote {out_path}",
         if report.meets_5x_floor {
             "PASS"
@@ -653,6 +751,11 @@ fn main() {
             "FAIL"
         },
         if report.mutation_path.meets_5pct_ceiling {
+            "PASS"
+        } else {
+            "FAIL"
+        },
+        if report.sync_layer.meets_2pct_ceiling {
             "PASS"
         } else {
             "FAIL"
@@ -671,5 +774,10 @@ fn main() {
         report.mutation_path.meets_5pct_ceiling,
         "the hardened mutation path must cost at most 5% over the \
          unstamped/no-deadline baseline, got {overhead:.3}x"
+    );
+    assert!(
+        report.sync_layer.meets_2pct_ceiling,
+        "the ranked lock wrapper must cost at most 2% over the raw std \
+         lock in release builds, got {sync_overhead:.3}x"
     );
 }

@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
+use sj_core::sync::{LockRank, OrderedRwLock};
 use sj_core::{
     build_histogram_parallel, build_histogram_sharded, load_delta, load_histogram, presets,
     Dataset, DatasetError, EulerHistogram, Extent, GhBasicHistogram, GhHistogram, Grid,
@@ -63,7 +64,7 @@ use sj_query::{Catalog, CatalogConfig, CompactionPolicy, DegradationPolicy, Quer
 use sj_server::{CatalogService, Client, ClientError, RemoteOutcome, Server, ServerConfig};
 use std::fmt::Write as _;
 use std::path::Path;
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 
 /// Documented process exit codes. Each failure category maps to one code
 /// so scripts can react without parsing stderr text.
@@ -1112,7 +1113,14 @@ fn cmd_serve(args: &[String]) -> Result<CliOutput, CliError> {
         }
     }
 
-    let service = CatalogService::new(Arc::new(RwLock::new(catalog)), DegradationPolicy::default());
+    let service = CatalogService::new(
+        Arc::new(OrderedRwLock::new(
+            LockRank::Catalog,
+            "serve.catalog",
+            catalog,
+        )),
+        DegradationPolicy::default(),
+    );
     let server = Server::bind_with_config(addr.as_str(), service, server_config)
         .map_err(|e| CliError::io(format!("serve: {e}")))?;
     let local = server

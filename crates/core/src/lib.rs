@@ -45,11 +45,18 @@ pub mod exact;
 pub mod experiment;
 pub mod metrics;
 pub mod parallel;
+pub mod sync;
 
 pub use estimator::{Estimate, EstimationReport, EstimatorKind};
 pub use exact::{ExactBackend, JoinBaseline};
 pub use metrics::{error_pct, ratio_pct};
 pub use parallel::{parallel_map, Parallelism, ParallelismError};
+pub use sync::{LockRank, OrderedMutex, OrderedRwLock};
+
+/// The workspace's single CRC32-IEEE implementation (canonical home:
+/// `sj_histogram::crc`, re-exported here so every crate shares one
+/// table and one set of known-answer tests).
+pub use sj_histogram::crc;
 
 // Substrate re-exports: the whole workspace is usable through sj-core.
 pub use sj_datagen::{presets, Dataset, DatasetError, DatasetStats, Generator, SizeModel};

@@ -9,8 +9,8 @@
 //! behind `threads == 1` so results can be equality-checked against the
 //! serial oracle.
 
+use crate::sync::{LockRank, OrderedMutex};
 use std::num::NonZeroUsize;
-use std::sync::Mutex;
 
 /// Errors constructing a [`Parallelism`].
 ///
@@ -126,27 +126,30 @@ where
     if workers <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let queue = Mutex::new(items.into_iter().enumerate());
-    let results = Mutex::new(Vec::new());
+    // Ranked above every daemon lock (DESIGN.md §15): an estimate path
+    // may fan out here while holding a catalog read guard. A worker
+    // panicking mid-item poisons the std lock underneath, but the queue
+    // iterator itself is never left inconsistent: the wrappers recover
+    // the guard instead of propagating a second panic.
+    let queue = OrderedMutex::new(
+        LockRank::WorkQueue,
+        "parallel.queue",
+        items.into_iter().enumerate(),
+    );
+    let results = OrderedMutex::new(LockRank::WorkResults, "parallel.results", Vec::new());
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                // A worker panicking mid-item poisons the lock, but the
-                // queue iterator itself is never left inconsistent:
-                // recover the guard instead of propagating a second panic.
-                let next = queue.lock().unwrap_or_else(|e| e.into_inner()).next();
+                let next = queue.lock().next();
                 let Some((idx, item)) = next else {
                     break;
                 };
                 let out = f(item);
-                results
-                    .lock()
-                    .unwrap_or_else(|e| e.into_inner())
-                    .push((idx, out));
+                results.lock().push((idx, out));
             });
         }
     });
-    let mut out = results.into_inner().unwrap_or_else(|e| e.into_inner());
+    let mut out = results.into_inner();
     out.sort_unstable_by_key(|(idx, _)| *idx);
     out.into_iter().map(|(_, u)| u).collect()
 }

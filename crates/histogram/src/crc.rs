@@ -1,7 +1,11 @@
 //! Hand-rolled CRC32 (IEEE 802.3, reflected polynomial `0xEDB88320`)
-//! used by the histogram persistence envelope. The workspace vendors no
-//! checksum crate, and the envelope needs only the one classic variant,
-//! so the 256-entry table is built at compile time right here.
+//! used by the histogram persistence envelope, the server wire frames
+//! and the statistics store. The workspace vendors no checksum crate,
+//! and it needs only the one classic variant, so the 256-entry table is
+//! built at compile time right here — this module is the workspace's
+//! single CRC32 implementation, re-exported as `sj_core::crc` (the
+//! self-contained copy in `sj_lint::fingerprint` is deliberate: the
+//! checker of this code must not depend on it).
 
 /// Reflected CRC32 polynomial (IEEE 802.3 / zlib / PNG).
 const POLY: u32 = 0xEDB8_8320;
@@ -31,7 +35,7 @@ static TABLE: [u32; 256] = build_table();
 
 /// CRC32 checksum of `data` (init `0xFFFF_FFFF`, final XOR, reflected).
 #[must_use]
-pub(crate) fn crc32(data: &[u8]) -> u32 {
+pub fn crc32(data: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &byte in data {
         let idx = usize::from((crc as u8) ^ byte);

@@ -36,7 +36,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod band;
-mod crc;
+pub mod crc;
 mod delta;
 mod diff;
 mod error;

@@ -10,15 +10,22 @@
 //! schema tied to the envelope version. See [`rules`] for the
 //! rule-by-rule rationale and DESIGN.md §10 for the full write-up.
 //!
-//! The static rules are complemented by one *dynamic* analysis:
-//! [`verify`] builds every histogram family serially and sharded on
-//! seeded datasets and asserts the merged envelope bytes are identical,
-//! localizing any divergence to the first differing cell and statistic.
+//! The static rules are complemented by *dynamic* analyses: [`verify`]
+//! builds every histogram family serially and sharded on seeded
+//! datasets and asserts the merged envelope bytes are identical
+//! (localizing any divergence to the first differing cell and
+//! statistic), [`verify_delta`] does the same for incremental updates,
+//! [`verify_recovery`] crash-tests the statistics store's durability,
+//! and [`verify_locks`] replays a concurrent daemon workload under the
+//! ranked-lock instrumentation of `sj_core::sync` and rejects rank
+//! inversions, observed lock-order cycles and file I/O under the
+//! catalog lock.
 //!
 //! Run the static rules with `cargo run -p sj-lint -- check` (per-line
 //! suppressions use `// sj-lint: allow(<rule>, <reason>)` with the
-//! reason mandatory) and the dynamic check with
-//! `cargo run -p sj-lint -- verify-merge`.
+//! reason mandatory) and the dynamic checks with
+//! `cargo run -p sj-lint -- verify-merge` (and its `verify-delta`,
+//! `verify-recovery`, `verify-locks` siblings).
 //!
 //! The vendored `compat/*` shims are out of scope: they reproduce
 //! external crate APIs verbatim and are exercised only through the
@@ -34,6 +41,7 @@ pub mod rules;
 pub mod scan;
 pub mod verify;
 pub mod verify_delta;
+pub mod verify_locks;
 pub mod verify_recovery;
 
 use rules::{Finding, RuleId, Severity};
@@ -217,6 +225,9 @@ pub fn run_rule(rule: RuleId, ws: &Workspace, out: &mut Vec<Finding>) {
         RuleId::ErrorTaxonomy => rules::check_error_taxonomy(ws, out),
         RuleId::Persistence => fingerprint::check_persistence(ws, out),
         RuleId::Docs => rules::check_docs(ws, out),
+        RuleId::LockDiscipline => rules::check_lock_construction(ws, out),
+        RuleId::IoUnderLock => rules::check_io_under_lock(ws, out),
+        RuleId::AtomicOrdering => rules::check_atomic_ordering(ws, out),
     }
 }
 

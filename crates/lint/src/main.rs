@@ -1,5 +1,5 @@
 //! `sj-lint` binary: `check`, `rules`, `fingerprint`, `verify-merge`,
-//! `verify-delta` and `verify-recovery` subcommands.
+//! `verify-delta`, `verify-recovery` and `verify-locks` subcommands.
 //!
 //! Exit codes: `0` clean, `1` deny-severity findings (or merge
 //! divergences), `2` usage error, `3` I/O error.
@@ -31,11 +31,13 @@ USAGE:
     sj-lint verify-recovery [--format human|json] [--scale <f>]
                             [--levels <l>]
                             [--inject drop-wal-tail|skip-wal-replay]
+    sj-lint verify-locks [--format human|json] [--scale <f>]
+                         [--inject invert-ranks|hold-across-fsync]
 
-Rules are named r1..r8 or by slug (determinism, fixed-point, panic,
-cast, hygiene, error-taxonomy, persistence, docs). Suppress a single
-line with `// sj-lint: allow(<rule>, <reason>)` — the reason is
-mandatory.
+Rules are named r1..r11 or by slug (determinism, fixed-point, panic,
+cast, hygiene, error-taxonomy, persistence, docs, lock-discipline,
+io-under-lock, atomic-ordering). Suppress a single line with
+`// sj-lint: allow(<rule>, <reason>)` — the reason is mandatory.
 
 `verify-merge` is the dynamic companion to r2's static fixed-point
 check: it builds every histogram family serially and sharded (row-band
@@ -58,7 +60,17 @@ torn and after), reopens the store over the surviving bytes, and exits
 1 unless every recovery is byte-identical to a crash-free prefix no
 older than the last acknowledged batch. --inject sabotages the
 recovery input (truncating or hiding the WAL) to prove the check
-bites.";
+bites.
+
+`verify-locks` is the dynamic companion to r9/r10's static lock
+discipline: it runs a fixed concurrent workload (stamped mutations,
+estimates and a mid-workload compaction) against an in-process daemon
+with the ranked-lock instrumentation observing, and exits 1 on any
+rank inversion, observed lock-order cycle, or WAL/fsync I/O performed
+while the catalog lock was held — localized to the lock pair (ranks
+and acquisition sites) or the offending operation. --inject commits a
+deliberate discipline break to prove the check bites. Debug builds
+only: release compiles the instrumentation away.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -197,6 +209,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         "verify-merge" => cmd_verify(&cli),
         "verify-delta" => cmd_verify_delta(&cli),
         "verify-recovery" => cmd_verify_recovery(&cli),
+        "verify-locks" => cmd_verify_locks(&cli),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -303,6 +316,27 @@ fn cmd_verify_recovery(cli: &Cli) -> Result<ExitCode, String> {
         );
     }
     let report = sj_lint::verify_recovery::run_verify_recovery(&config)?;
+    print!("{}", report.render(cli.format));
+    Ok(if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    })
+}
+
+fn cmd_verify_locks(cli: &Cli) -> Result<ExitCode, String> {
+    let mut config = sj_lint::verify_locks::LocksConfig::default();
+    if cli.scale_explicit {
+        config.scale = cli.verify.scale;
+    }
+    if let Some(name) = &cli.inject {
+        config.fault = Some(
+            sj_lint::verify_locks::LockFault::parse(name).ok_or_else(|| {
+                format!("--inject: unknown lock fault `{name}` (invert-ranks, hold-across-fsync)")
+            })?,
+        );
+    }
+    let report = sj_lint::verify_locks::run_verify_locks(&config)?;
     print!("{}", report.render(cli.format));
     Ok(if report.is_clean() {
         ExitCode::SUCCESS

@@ -1,4 +1,4 @@
-//! The eight named workspace invariants and their checkers.
+//! The eleven named workspace invariants and their checkers.
 //!
 //! Each rule guards a promise an earlier PR made by construction:
 //!
@@ -20,6 +20,16 @@
 //!   fails the check (see [`crate::fingerprint`]).
 //! * **R8 doc coverage** — public items of the estimator-facing crates
 //!   carry doc comments.
+//! * **R9 lock discipline** — non-test library code constructs no raw
+//!   `std::sync` locks; everything goes through the ranked
+//!   `sj_core::sync` wrappers so the hierarchy (DESIGN.md §15) is
+//!   total.
+//! * **R10 I/O under lock** — no blocking file/socket I/O lexically
+//!   inside a live lock-guard region; fsyncs under the catalog lock
+//!   stall every reader.
+//! * **R11 atomic ordering** — every atomic `Ordering::` argument is
+//!   `SeqCst` unless a suppression names the invariant that makes a
+//!   weaker ordering sound.
 
 use crate::scan::{find_token, has_token, Line, SourceFile};
 use crate::{CrateView, Workspace};
@@ -43,11 +53,18 @@ pub enum RuleId {
     Persistence,
     /// R8: doc coverage on public items of sj-core/sj-histogram/sj-query.
     Docs,
+    /// R9: no raw `std::sync::{Mutex,RwLock}` construction outside the
+    /// ranked `sj_core::sync` wrappers.
+    LockDiscipline,
+    /// R10: no blocking file/socket I/O inside a live lock-guard region.
+    IoUnderLock,
+    /// R11: atomic `Ordering::` arguments are `SeqCst` or justified.
+    AtomicOrdering,
 }
 
 impl RuleId {
     /// Every rule, in report order.
-    pub const ALL: [RuleId; 8] = [
+    pub const ALL: [RuleId; 11] = [
         RuleId::Determinism,
         RuleId::FixedPoint,
         RuleId::PanicFree,
@@ -56,6 +73,9 @@ impl RuleId {
         RuleId::ErrorTaxonomy,
         RuleId::Persistence,
         RuleId::Docs,
+        RuleId::LockDiscipline,
+        RuleId::IoUnderLock,
+        RuleId::AtomicOrdering,
     ];
 
     /// Short code (`r1`..`r8`).
@@ -70,6 +90,9 @@ impl RuleId {
             RuleId::ErrorTaxonomy => "r6",
             RuleId::Persistence => "r7",
             RuleId::Docs => "r8",
+            RuleId::LockDiscipline => "r9",
+            RuleId::IoUnderLock => "r10",
+            RuleId::AtomicOrdering => "r11",
         }
     }
 
@@ -85,6 +108,9 @@ impl RuleId {
             RuleId::ErrorTaxonomy => "error-taxonomy",
             RuleId::Persistence => "persistence",
             RuleId::Docs => "docs",
+            RuleId::LockDiscipline => "lock-discipline",
+            RuleId::IoUnderLock => "io-under-lock",
+            RuleId::AtomicOrdering => "atomic-ordering",
         }
     }
 
@@ -114,6 +140,15 @@ impl RuleId {
                 "to_bytes/from_bytes bodies match the checked-in schema fingerprint for the current envelope version"
             }
             RuleId::Docs => "public items of sj-core/sj-histogram/sj-query carry doc comments",
+            RuleId::LockDiscipline => {
+                "no raw std::sync::{Mutex,RwLock} construction in non-test lib code outside sj_core::sync"
+            }
+            RuleId::IoUnderLock => {
+                "no blocking I/O (File::, TcpStream::, sync_all, read_to_end, write_all) inside a live lock-guard region"
+            }
+            RuleId::AtomicOrdering => {
+                "atomic Ordering:: arguments are SeqCst unless a suppression names the weaker-ordering invariant"
+            }
         }
     }
 
@@ -770,6 +805,204 @@ pub fn check_docs(ws: &Workspace, out: &mut Vec<Finding>) {
                         ),
                         severity: Severity::Deny,
                     });
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R9 — lock discipline
+// ---------------------------------------------------------------------
+
+/// The one file allowed to construct raw `std::sync` locks: the ranked
+/// wrapper layer itself (which also hosts the tracker's internal log
+/// mutex — a ranked wrapper there would recurse into itself).
+const R9_EXEMPT_FILE: &str = "crates/core/src/sync.rs";
+
+/// Raw lock constructors forbidden outside [`R9_EXEMPT_FILE`].
+const R9_TOKENS: [&str; 2] = ["Mutex::new", "RwLock::new"];
+
+/// R9: non-test library code constructs no raw `std::sync` locks — a
+/// lock outside the ranked `sj_core::sync` wrappers is invisible to the
+/// hierarchy check and to `verify-locks`, so the deadlock-freedom
+/// argument (DESIGN.md §15) no longer covers it. `find_token` is
+/// identifier-boundary-aware, so `OrderedMutex::new` does not match.
+pub fn check_lock_construction(ws: &Workspace, out: &mut Vec<Finding>) {
+    for krate in &ws.crates {
+        for file in &krate.files {
+            if file.rel_path == R9_EXEMPT_FILE {
+                continue;
+            }
+            for (i, line) in file.lines.iter().enumerate() {
+                if line.in_test {
+                    continue;
+                }
+                for tok in R9_TOKENS {
+                    if has_token(&line.code, tok)
+                        && !suppressed(line, RuleId::LockDiscipline, &file.rel_path, i + 1, out)
+                    {
+                        out.push(Finding {
+                            rule: RuleId::LockDiscipline,
+                            path: file.rel_path.clone(),
+                            line: i + 1,
+                            message: format!(
+                                "raw `{tok}` in library code: construct an \
+                                 `sj_core::sync::Ordered{tok}` with a `LockRank` instead, so \
+                                 the lock participates in the hierarchy check and \
+                                 `verify-locks`; deliberate exceptions need \
+                                 `// sj-lint: allow(lock-discipline, <why>)`"
+                            ),
+                            severity: Severity::Deny,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R10 — blocking I/O under a held lock guard
+// ---------------------------------------------------------------------
+
+/// Blocking file/socket I/O calls forbidden inside a guard region.
+const R10_IO_TOKENS: [&str; 5] = [
+    "File::",
+    "TcpStream::",
+    "sync_all",
+    "read_to_end",
+    "write_all",
+];
+
+/// Guard-producing calls whose retained `let` bindings open a region.
+const R10_LOCK_CALLS: [&str; 3] = [".lock()", ".read()", ".write()"];
+
+/// Poison-recovery chains that may trail a lock call without making the
+/// binding a temporary.
+const R10_POISON_CHAINS: [&str; 3] = [
+    ".unwrap_or_else(std::sync::PoisonError::into_inner)",
+    ".unwrap_or_else(PoisonError::into_inner)",
+    ".unwrap_or_else(|e| e.into_inner())",
+];
+
+/// Whether `code` is a retained guard binding: a `let` whose right-hand
+/// side *ends* with a lock call (temporaries like `queue.lock().next()`
+/// release before the expression finishes and are not regions).
+fn is_guard_binding(code: &str) -> bool {
+    let t = code.trim();
+    if !t.starts_with("let ") {
+        return false;
+    }
+    let mut rest = t.to_string();
+    for chain in R10_POISON_CHAINS {
+        rest = rest.replace(chain, "");
+    }
+    let Some(pos) = R10_LOCK_CALLS
+        .iter()
+        .filter_map(|c| rest.rfind(c).map(|p| p + c.len()))
+        .max()
+    else {
+        return false;
+    };
+    rest.get(pos..).unwrap_or("?").trim() == ";"
+}
+
+/// Net brace-depth tracking over blanked `code` (strings and comments
+/// are already erased by the scanner, so every brace is structural).
+fn brace_delta(code: &str) -> (usize, usize) {
+    let opens = code.bytes().filter(|&b| b == b'{').count();
+    let closes = code.bytes().filter(|&b| b == b'}').count();
+    (opens, closes)
+}
+
+/// R10: flags blocking I/O calls lexically inside a live lock-guard
+/// region. A region opens at a retained `let guard = ...lock();`
+/// binding and closes when the brace depth drops below the binding's —
+/// a lexical approximation: `drop(guard)` early releases are invisible
+/// and need a reasoned suppression at the I/O site.
+pub fn check_io_under_lock(ws: &Workspace, out: &mut Vec<Finding>) {
+    for krate in &ws.crates {
+        for file in &krate.files {
+            // Depth at which each currently-open guard region began.
+            let mut regions: Vec<usize> = Vec::new();
+            let mut depth = 0usize;
+            for (i, line) in file.lines.iter().enumerate() {
+                if !regions.is_empty() && !line.in_test {
+                    for tok in R10_IO_TOKENS {
+                        if line.code.contains(tok)
+                            && !suppressed(line, RuleId::IoUnderLock, &file.rel_path, i + 1, out)
+                        {
+                            out.push(Finding {
+                                rule: RuleId::IoUnderLock,
+                                path: file.rel_path.clone(),
+                                line: i + 1,
+                                message: format!(
+                                    "blocking I/O `{tok}` inside a lock-guard region: an \
+                                     fsync or socket wait under a held lock stalls every \
+                                     contender — release the guard first (the catalog's \
+                                     three-phase mutation path exists for exactly this), or \
+                                     explain the early release with \
+                                     `// sj-lint: allow(io-under-lock, <why>)`"
+                                ),
+                                severity: Severity::Deny,
+                            });
+                            break;
+                        }
+                    }
+                }
+                if !line.in_test && is_guard_binding(&line.code) {
+                    regions.push(depth);
+                }
+                let (opens, closes) = brace_delta(&line.code);
+                depth = (depth + opens).saturating_sub(closes);
+                regions.retain(|&d| depth >= d);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// R11 — atomic ordering discipline
+// ---------------------------------------------------------------------
+
+/// Weaker-than-`SeqCst` atomic orderings that need a justification.
+/// `SeqCst` itself is always clean; `cmp::Ordering` variants are not in
+/// this list, so fully-qualified comparison code never collides.
+const R11_TOKENS: [&str; 4] = [
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+];
+
+/// R11: every atomic `Ordering::` argument in non-test library code is
+/// `SeqCst` unless a suppression names the invariant that makes the
+/// weaker ordering sound. Lock-free subtlety must be opt-in and
+/// documented, never the accidental default.
+pub fn check_atomic_ordering(ws: &Workspace, out: &mut Vec<Finding>) {
+    for krate in &ws.crates {
+        for file in &krate.files {
+            for (i, line) in file.lines.iter().enumerate() {
+                if line.in_test {
+                    continue;
+                }
+                for tok in R11_TOKENS {
+                    if has_token(&line.code, tok)
+                        && !suppressed(line, RuleId::AtomicOrdering, &file.rel_path, i + 1, out)
+                    {
+                        out.push(Finding {
+                            rule: RuleId::AtomicOrdering,
+                            path: file.rel_path.clone(),
+                            line: i + 1,
+                            message: format!(
+                                "weak atomic ordering `{tok}`: use `Ordering::SeqCst`, or \
+                                 document the invariant that makes the relaxation sound with \
+                                 `// sj-lint: allow(atomic-ordering, <invariant>)`"
+                            ),
+                            severity: Severity::Deny,
+                        });
+                    }
                 }
             }
         }

@@ -347,6 +347,7 @@ impl FaultIo {
     pub fn new(plan: Option<CrashPoint>) -> Self {
         FaultIo {
             plan,
+            // sj-lint: allow(lock-discipline, the fault harness holds exactly one lock and runs only inside the verifier; ranking it would drag the harness into the hierarchy it exists to test)
             state: Mutex::new(FaultState {
                 ops: 0,
                 crashed: false,

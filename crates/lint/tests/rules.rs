@@ -448,6 +448,129 @@ fn r8_only_polices_api_crates() {
 }
 
 // ------------------------------------------------------------------
+// R9 — lock discipline
+// ------------------------------------------------------------------
+
+#[test]
+fn r9_bad_fixture_flags_raw_lock_construction() {
+    let src = "pub fn build() {\n\
+               \x20   let m = std::sync::Mutex::new(0);\n\
+               \x20   let r = RwLock::new(Vec::new());\n\
+               }\n";
+    let f = run_fixture(RuleId::LockDiscipline, "crates/server/src/state.rs", src);
+    assert_eq!(lines_of(&f), vec![2, 3], "{f:?}");
+    assert!(f[0].message.contains("LockRank"), "{f:?}");
+}
+
+#[test]
+fn r9_ranked_wrappers_and_tests_are_clean() {
+    let src = "pub fn build() {\n\
+               \x20   let m = OrderedMutex::new(LockRank::Catalog, \"x\", 0);\n\
+               }\n\
+               #[cfg(test)]\n\
+               mod tests {\n\
+               \x20   fn t() { let _m = std::sync::Mutex::new(0); }\n\
+               }\n";
+    let f = run_fixture(RuleId::LockDiscipline, "crates/server/src/state.rs", src);
+    assert_eq!(f, Vec::new(), "OrderedMutex::new must not token-match");
+}
+
+#[test]
+fn r9_exempts_the_wrapper_layer_and_honors_suppressions() {
+    let wrapper = "pub fn inner() { let m = std::sync::Mutex::new(0); }\n";
+    let f = run_fixture(RuleId::LockDiscipline, "crates/core/src/sync.rs", wrapper);
+    assert_eq!(f, Vec::new(), "sj_core::sync itself wraps the std locks");
+    let sup = "pub fn harness() {\n\
+               \x20   // sj-lint: allow(lock-discipline, single-lock fixture)\n\
+               \x20   let m = Mutex::new(0);\n\
+               }\n";
+    let f = run_fixture(RuleId::LockDiscipline, "crates/lint/src/harness.rs", sup);
+    assert_eq!(f, Vec::new(), "reasoned suppression is honored");
+}
+
+// ------------------------------------------------------------------
+// R10 — blocking I/O under a held lock guard
+// ------------------------------------------------------------------
+
+#[test]
+fn r10_bad_fixture_flags_fsync_under_guard() {
+    let src = "pub fn persist(&self) {\n\
+               \x20   let guard = self.catalog.write();\n\
+               \x20   let f = File::create(path);\n\
+               \x20   f.sync_all();\n\
+               }\n";
+    let f = run_fixture(RuleId::IoUnderLock, "crates/query/src/store.rs", src);
+    assert_eq!(lines_of(&f), vec![3, 4], "{f:?}");
+    assert!(f[0].message.contains("lock-guard region"), "{f:?}");
+}
+
+#[test]
+fn r10_region_ends_with_the_enclosing_block() {
+    let src = "pub fn ok(&self) {\n\
+               \x20   {\n\
+               \x20       let guard = self.catalog.read();\n\
+               \x20       let n = guard.len();\n\
+               \x20   }\n\
+               \x20   let f = File::create(path);\n\
+               \x20   f.sync_all();\n\
+               }\n";
+    let f = run_fixture(RuleId::IoUnderLock, "crates/query/src/store.rs", src);
+    assert_eq!(f, Vec::new(), "I/O after the guard's block is fine");
+}
+
+#[test]
+fn r10_temporary_guards_are_not_regions() {
+    // The guard of `queue.lock().next()` drops at the semicolon; only a
+    // retained `let g = x.lock();` binding opens a region.
+    let src = "pub fn pump(&self) {\n\
+               \x20   let next = self.queue.lock().next();\n\
+               \x20   let f = File::create(path);\n\
+               }\n";
+    let f = run_fixture(RuleId::IoUnderLock, "crates/core/src/parallel.rs", src);
+    assert_eq!(f, Vec::new(), "temporary guards must not open regions");
+}
+
+#[test]
+fn r10_suppression_documents_an_early_release() {
+    let src = "pub fn tricky(&self) {\n\
+               \x20   let guard = self.catalog.write();\n\
+               \x20   drop(guard);\n\
+               \x20   // sj-lint: allow(io-under-lock, guard dropped on the line above)\n\
+               \x20   let f = File::create(path);\n\
+               }\n";
+    let f = run_fixture(RuleId::IoUnderLock, "crates/query/src/store.rs", src);
+    assert_eq!(f, Vec::new(), "drop(guard) sites document themselves");
+}
+
+// ------------------------------------------------------------------
+// R11 — atomic ordering discipline
+// ------------------------------------------------------------------
+
+#[test]
+fn r11_bad_fixture_flags_weak_orderings() {
+    let src = "pub fn bump(c: &AtomicU64, f: &AtomicBool) {\n\
+               \x20   c.fetch_add(1, Ordering::Relaxed);\n\
+               \x20   f.store(true, Ordering::Release);\n\
+               \x20   c.load(Ordering::SeqCst);\n\
+               }\n";
+    let f = run_fixture(RuleId::AtomicOrdering, "crates/server/src/server.rs", src);
+    assert_eq!(lines_of(&f), vec![2, 3], "SeqCst is always clean: {f:?}");
+}
+
+#[test]
+fn r11_cmp_ordering_and_suppressions_are_clean() {
+    let src = "pub fn sort_key(a: u64, b: u64) -> std::cmp::Ordering {\n\
+               \x20   if a < b { std::cmp::Ordering::Less } else { std::cmp::Ordering::Greater }\n\
+               }\n\
+               pub fn bump(c: &AtomicU64) {\n\
+               \x20   // sj-lint: allow(atomic-ordering, monotonic counter needs no cross-variable ordering)\n\
+               \x20   c.fetch_add(1, Ordering::Relaxed);\n\
+               }\n";
+    let f = run_fixture(RuleId::AtomicOrdering, "crates/server/src/server.rs", src);
+    assert_eq!(f, Vec::new(), "{f:?}");
+}
+
+// ------------------------------------------------------------------
 // The landed tree itself must be clean
 // ------------------------------------------------------------------
 

@@ -49,8 +49,9 @@ pub use catalog::{Catalog, CatalogConfig};
 pub use degrade::{DegradationPolicy, EstimateOutcome, EstimateTier, SkippedTier};
 pub use error::QueryError;
 pub use store::{
-    wal_record_ends, CompactReceipt, CompactionPolicy, DeltaReceipt, MutationId, RealStoreIo,
-    StatsProvenance, StoreIo, TierInfo, WalRecovery, REMEMBERED_MUTATIONS,
+    wal_record_ends, CompactReceipt, CompactionPlan, CompactionPolicy, DeltaReceipt, MutationId,
+    PreparedDelta, PreparedOutcome, RealStoreIo, StatsProvenance, StoreIo, TierInfo, WalRecovery,
+    REMEMBERED_MUTATIONS,
 };
 // Re-exported so downstream crates (sj-server) can match the histogram
 // failure modes wrapped inside QueryError without a direct dependency.

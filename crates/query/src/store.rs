@@ -219,8 +219,15 @@ pub trait StoreIo: Send + Sync {
 #[derive(Debug, Default, Clone, Copy)]
 pub struct RealStoreIo;
 
+// Every blocking operation reports itself to the lock-event log via
+// `sj_core::sync::note_blocking_io` (a no-op outside observe mode), so
+// the dynamic verifier `sj-lint verify-locks` can see file I/O that
+// runs while ranked locks are held — an fsync under the catalog lock is
+// the latency bug this workspace's mutation pipeline is structured to
+// avoid (DESIGN.md §15).
 impl StoreIo for RealStoreIo {
     fn create_dir_all(&self, dir: &Path) -> std::io::Result<()> {
+        sj_core::sync::note_blocking_io("create_dir_all");
         std::fs::create_dir_all(dir)
     }
 
@@ -229,11 +236,13 @@ impl StoreIo for RealStoreIo {
     }
 
     fn read(&self, path: &Path) -> std::io::Result<Vec<u8>> {
+        sj_core::sync::note_blocking_io("read");
         std::fs::read(path)
     }
 
     fn append_wal(&self, path: &Path, record: &[u8]) -> std::io::Result<()> {
         use std::io::Write;
+        sj_core::sync::note_blocking_io("append_wal");
         let mut file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
@@ -243,22 +252,27 @@ impl StoreIo for RealStoreIo {
     }
 
     fn write(&self, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+        sj_core::sync::note_blocking_io("write");
         std::fs::write(path, bytes)
     }
 
     fn sync_file(&self, path: &Path) -> std::io::Result<()> {
+        sj_core::sync::note_blocking_io("sync_file");
         std::fs::File::open(path)?.sync_all()
     }
 
     fn rename(&self, from: &Path, to: &Path) -> std::io::Result<()> {
+        sj_core::sync::note_blocking_io("rename");
         std::fs::rename(from, to)
     }
 
     fn remove(&self, path: &Path) -> std::io::Result<()> {
+        sj_core::sync::note_blocking_io("remove");
         std::fs::remove_file(path)
     }
 
     fn sync_dir(&self, dir: &Path) -> std::io::Result<()> {
+        sj_core::sync::note_blocking_io("sync_dir");
         std::fs::File::open(dir)?.sync_all()
     }
 }
@@ -322,6 +336,134 @@ pub struct CompactReceipt {
     /// Whether a new base `.hist` envelope was atomically swapped in
     /// (`false` when no statistics directory is attached).
     pub persisted: bool,
+}
+
+/// Outcome of [`Catalog::prepare_delta`]: either the batch was already
+/// applied (retry duplicate — nothing further to do) or it validated
+/// and is staged for the WAL-append and commit phases.
+///
+/// No `Debug` impl: the staged WAL handle is an opaque `dyn` [`StoreIo`].
+pub enum PreparedOutcome {
+    /// The batch's [`MutationId`] was already applied; the receipt is
+    /// final and no further phase may run.
+    Duplicate(DeltaReceipt),
+    /// The batch validated; drive it through
+    /// [`PreparedDelta::append_wal`] and [`Catalog::commit_prepared`].
+    /// Boxed: the staged batch (delta, liveness mask, WAL record) dwarfs
+    /// the duplicate receipt.
+    Fresh(Box<PreparedDelta>),
+}
+
+/// A validated, staged mutation batch between the prepare and commit
+/// phases of the three-phase mutation path (DESIGN.md §15).
+///
+/// Produced under a shared catalog borrow by [`Catalog::prepare_delta`];
+/// carries everything the later phases need so the WAL fsync
+/// ([`PreparedDelta::append_wal`]) runs without any catalog borrow at
+/// all, and the commit ([`Catalog::commit_prepared`]) is pure in-memory
+/// work. The caller must serialize mutations across all three phases —
+/// the staged sequence number and delete resolution are only valid
+/// against the state observed at prepare time.
+pub struct PreparedDelta {
+    table: String,
+    id: MutationId,
+    seq: u64,
+    delta: HistogramDelta,
+    /// Liveness mask over the dataset at prepare time: `false` marks
+    /// the rectangles this batch's deletes resolved to.
+    live: Vec<bool>,
+    inserts: Vec<Rect>,
+    deletes_len: usize,
+    /// WAL destination and encoded record, absent when no statistics
+    /// directory is attached (or during replay, which must not re-log).
+    wal: Option<(Arc<dyn StoreIo>, PathBuf, Vec<u8>)>,
+}
+
+impl PreparedDelta {
+    /// The table this batch mutates.
+    #[must_use]
+    pub fn table(&self) -> &str {
+        &self.table
+    }
+
+    /// Phase 2 of the mutation path: appends the staged WAL record —
+    /// the only file I/O on the mutation path. Once this returns, the
+    /// batch is durable and [`Catalog::commit_prepared`] is recoverable
+    /// even if the process dies before it runs. A no-op when no
+    /// statistics directory is attached.
+    ///
+    /// # Errors
+    /// [`QueryError::Io`] when the append fails; the batch was not made
+    /// durable and must not be committed.
+    pub fn append_wal(&self) -> Result<(), QueryError> {
+        if let Some((io, path, record)) = &self.wal {
+            io.append_wal(path, record)
+                .map_err(|e| io_err("appending WAL record", &e))?;
+        }
+        Ok(())
+    }
+}
+
+/// A staged compaction between the plan and finish phases of the
+/// three-phase compaction path (DESIGN.md §15).
+///
+/// Produced under a shared catalog borrow by
+/// [`Catalog::plan_compaction`]; owns byte-exact copies of everything
+/// [`CompactionPlan::persist`] writes, so the fsync-heavy persistence
+/// runs without any catalog borrow. The caller must serialize
+/// mutations/compactions across the phases so the snapshot cannot go
+/// stale between plan and finish.
+pub struct CompactionPlan {
+    table: String,
+    io: Arc<dyn StoreIo>,
+    dir: PathBuf,
+    hist_bytes: Vec<u8>,
+    snap_bytes: Vec<u8>,
+}
+
+impl CompactionPlan {
+    /// Phase 2 of the compaction path: writes the compacted histogram
+    /// envelope and dataset snapshot (each write-new + fsync + atomic
+    /// rename), best-effort-syncs the directory, then removes the
+    /// now-folded WAL (tolerating its absence).
+    ///
+    /// The operation order is load-bearing: the fault-injection matrix
+    /// in `verify-recovery` kills the process at every one of these I/O
+    /// operations and asserts recovery, so reordering or coalescing
+    /// them changes the crash surface.
+    ///
+    /// # Errors
+    /// [`QueryError::Io`] on any filesystem failure; the old base pair
+    /// stays intact (every swap is write-new + rename) and the catalog
+    /// is unchanged until [`Catalog::finish_compaction`] runs.
+    pub fn persist(&self) -> Result<(), QueryError> {
+        let name = &self.table;
+        let io = &self.io;
+        let dir = &self.dir;
+        let tmp = dir.join(format!("{name}.hist.tmp"));
+        let dst = dir.join(format!("{name}.hist"));
+        io.write(&tmp, &self.hist_bytes)
+            .map_err(|e| io_err("writing compacted statistics", &e))?;
+        io.sync_file(&tmp)
+            .map_err(|e| io_err("syncing compacted statistics", &e))?;
+        io.rename(&tmp, &dst)
+            .map_err(|e| io_err("swapping compacted statistics", &e))?;
+        let snap_tmp = dir.join(format!("{name}.base.tmp"));
+        let snap_dst = dir.join(format!("{name}.base"));
+        io.write(&snap_tmp, &self.snap_bytes)
+            .map_err(|e| io_err("writing dataset snapshot", &e))?;
+        io.sync_file(&snap_tmp)
+            .map_err(|e| io_err("syncing dataset snapshot", &e))?;
+        io.rename(&snap_tmp, &snap_dst)
+            .map_err(|e| io_err("swapping dataset snapshot", &e))?;
+        let _ = io.sync_dir(dir);
+        match io.remove(&dir.join(format!("{name}.wal"))) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(io_err("removing compacted WAL", &e)),
+        }
+        Ok(())
+    }
 }
 
 /// Tier structure of one table's statistics, from
@@ -747,20 +889,10 @@ fn hist_pair_crc(hist_bytes: &[u8]) -> u32 {
     crc32(hist_bytes.get(..end).unwrap_or(hist_bytes))
 }
 
-/// CRC32 (IEEE, reflected) — the same polynomial as the histogram
-/// envelopes, computed bytewise; WAL records are small and rare enough
-/// that a table-free implementation is plenty.
-fn crc32(data: &[u8]) -> u32 {
-    let mut crc = !0u32;
-    for &byte in data {
-        crc ^= u32::from(byte);
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
-    }
-    !crc
-}
+// CRC32 (IEEE, reflected) — the workspace's single shared
+// implementation, the same polynomial and table as the histogram
+// envelopes whose trailers these records sit next to on disk.
+use sj_core::crc::crc32;
 
 impl Catalog {
     /// Attaches a statistics directory and recovers each registered
@@ -1076,6 +1208,57 @@ impl Catalog {
         id: MutationId,
         log_to_wal: bool,
     ) -> Result<DeltaReceipt, QueryError> {
+        // The single-threaded composition of the three-phase mutation
+        // path below (prepare → WAL append → commit), byte-identical to
+        // the historical monolithic sequence. The daemon drives the
+        // same three phases under different locks (DESIGN.md §15) so
+        // the catalog is never held across the fsync.
+        let prepared = match self.prepare_delta_inner(name, inserts, deletes, id, log_to_wal)? {
+            PreparedOutcome::Duplicate(receipt) => return Ok(receipt),
+            PreparedOutcome::Fresh(p) => *p,
+        };
+        prepared.append_wal()?;
+        let mut receipt = self.commit_prepared(prepared)?;
+        if self.compaction_needed(name) {
+            self.compact(name)?;
+            receipt.pending_tiers = 0;
+            receipt.compacted = true;
+        }
+        Ok(receipt)
+    }
+
+    /// Phase 1 of the mutation path: validates the batch against the
+    /// current state and stages everything the later phases need —
+    /// without mutating the catalog or touching a file. Callable under
+    /// a shared (read) lock.
+    ///
+    /// The caller must serialize mutations (the daemon holds its
+    /// pipeline mutex across all three phases; the single-threaded CLI
+    /// is serial by construction): the staged sequence number and
+    /// delete resolution are computed against the state at prepare
+    /// time.
+    ///
+    /// # Errors
+    /// As [`Catalog::apply_delta`], except WAL/commit failures which
+    /// belong to the later phases.
+    pub fn prepare_delta(
+        &self,
+        name: &str,
+        inserts: &[Rect],
+        deletes: &[Rect],
+        id: MutationId,
+    ) -> Result<PreparedOutcome, QueryError> {
+        self.prepare_delta_inner(name, inserts, deletes, id, true)
+    }
+
+    fn prepare_delta_inner(
+        &self,
+        name: &str,
+        inserts: &[Rect],
+        deletes: &[Rect],
+        id: MutationId,
+        log_to_wal: bool,
+    ) -> Result<PreparedOutcome, QueryError> {
         // Validate against the current dataset before touching anything.
         let table = self
             .tables
@@ -1091,13 +1274,13 @@ impl Catalog {
             .get(name)
             .is_some_and(|t| t.is_applied(id))
         {
-            return Ok(DeltaReceipt {
+            return Ok(PreparedOutcome::Duplicate(DeltaReceipt {
                 inserts: inserts.len(),
                 deletes: deletes.len(),
                 pending_tiers: self.store.tables.get(name).map_or(0, |t| t.tiers.len()),
                 compacted: false,
                 deduplicated: true,
-            });
+            }));
         }
         if let StatsState::Unavailable { reason } = &table.stats {
             return Err(QueryError::StatisticsUnavailable {
@@ -1130,29 +1313,59 @@ impl Catalog {
         // same shard driver as every other build in the workspace.
         let delta = HistogramDelta::build(self.config.kind, self.grid, inserts, deletes);
 
-        // WAL first: once the record is durable, the in-memory update
-        // below is recoverable even if we crash halfway through it.
-        let seq = self.store.table(name).next_seq;
-        if log_to_wal {
-            if let Some(dir) = &self.store.dir {
-                let record = encode_wal_record(seq, id, inserts, deletes);
-                self.store
-                    .io
-                    .append_wal(&dir.join(format!("{name}.wal")), &record)
-                    .map_err(|e| io_err("appending WAL record", &e))?;
-            }
-        }
+        let seq = self.store.tables.get(name).map_or(0, |t| t.next_seq);
+        let wal = match (&self.store.dir, log_to_wal) {
+            (Some(dir), true) => Some((
+                Arc::clone(&self.store.io),
+                dir.join(format!("{name}.wal")),
+                encode_wal_record(seq, id, inserts, deletes),
+            )),
+            _ => None,
+        };
+        Ok(PreparedOutcome::Fresh(Box::new(PreparedDelta {
+            table: name.to_string(),
+            id,
+            seq,
+            delta,
+            live,
+            inserts: inserts.to_vec(),
+            deletes_len: deletes.len(),
+            wal,
+        })))
+    }
 
+    /// Phase 3 of the mutation path: folds a [`PreparedDelta`] into the
+    /// live statistics, dataset and tier bookkeeping. Pure in-memory
+    /// work — no file I/O — so the daemon can run it under the catalog
+    /// write lock without blocking readers behind an fsync. Never
+    /// compacts; the caller checks [`Catalog::compaction_needed`]
+    /// afterwards (exactly-once mutation semantics are preserved
+    /// because the ID is remembered here, after the batch is known to
+    /// apply).
+    ///
+    /// # Errors
+    /// [`QueryError::UnknownTable`] when the table vanished between the
+    /// phases; [`QueryError::Histogram`] when the delta cannot apply.
+    pub fn commit_prepared(&mut self, prepared: PreparedDelta) -> Result<DeltaReceipt, QueryError> {
+        let PreparedDelta {
+            table: name,
+            id,
+            seq,
+            delta,
+            live,
+            inserts,
+            deletes_len,
+            wal: _,
+        } = prepared;
         // Commit: histogram (atomic apply), dataset, index.
         let table = self
             .tables
-            .get_mut(name)
-            .ok_or_else(|| QueryError::UnknownTable(name.to_string()))?;
+            .get_mut(&name)
+            .ok_or_else(|| QueryError::UnknownTable(name.clone()))?;
         if let StatsState::Ready(h) = &mut table.stats {
             h.apply_delta(&delta)?;
         }
-        let mut rects =
-            Vec::with_capacity(table.dataset.rects.len() - deletes.len() + inserts.len());
+        let mut rects = Vec::with_capacity(table.dataset.rects.len() - deletes_len + inserts.len());
         rects.extend(
             table
                 .dataset
@@ -1162,15 +1375,14 @@ impl Catalog {
                 .filter(|(_, keep)| **keep)
                 .map(|(r, _)| *r),
         );
-        rects.extend_from_slice(inserts);
+        rects.extend_from_slice(&inserts);
         table.dataset.rects = rects;
         table.rtree = std::sync::OnceLock::new();
 
-        // Tier bookkeeping, then the compaction policy. The ID is
-        // remembered only now: a batch that failed validation above
-        // must stay retryable under the same ID.
-        let policy = self.store.policy;
-        let entry = self.store.table(name);
+        // Tier bookkeeping. The ID is remembered only now: a batch that
+        // failed validation in prepare must stay retryable under the
+        // same ID.
+        let entry = self.store.table(&name);
         entry.remember(id);
         entry.next_seq = seq + 1;
         let bytes = delta.space_bytes();
@@ -1179,25 +1391,29 @@ impl Catalog {
             info: TierInfo {
                 seq,
                 inserts: inserts.len() as u64,
-                deletes: deletes.len() as u64,
+                deletes: deletes_len as u64,
                 bytes,
             },
             delta,
         });
-        let mut receipt = DeltaReceipt {
+        Ok(DeltaReceipt {
             inserts: inserts.len(),
-            deletes: deletes.len(),
+            deletes: deletes_len,
             pending_tiers: entry.tiers.len(),
             compacted: false,
             deduplicated: false,
-        };
-        if entry.tiers.len() >= policy.max_tiers || entry.pending_bytes >= policy.max_pending_bytes
-        {
-            self.compact(name)?;
-            receipt.pending_tiers = 0;
-            receipt.compacted = true;
-        }
-        Ok(receipt)
+        })
+    }
+
+    /// Whether the table's pending tiers have crossed the
+    /// [`CompactionPolicy`] thresholds and [`Catalog::compact`] should
+    /// run. Unregistered or tier-free tables answer `false`.
+    #[must_use]
+    pub fn compaction_needed(&self, name: &str) -> bool {
+        let policy = self.store.policy;
+        self.store.tables.get(name).is_some_and(|t| {
+            t.tiers.len() >= policy.max_tiers || t.pending_bytes >= policy.max_pending_bytes
+        })
     }
 
     /// Folds a table's pending delta tiers into its base envelope. The
@@ -1220,6 +1436,35 @@ impl Catalog {
     /// [`QueryError::UnknownTable`] for unregistered names;
     /// [`QueryError::Io`] on filesystem failures.
     pub fn compact(&mut self, name: &str) -> Result<CompactReceipt, QueryError> {
+        // The single-threaded composition of the three-phase compaction
+        // path (plan → persist → finish) the daemon drives under
+        // different locks so readers are never blocked behind the
+        // fsyncs (DESIGN.md §15).
+        let plan = self.plan_compaction(name)?;
+        let persisted = match &plan {
+            Some(plan) => {
+                plan.persist()?;
+                true
+            }
+            None => false,
+        };
+        Ok(self.finish_compaction(name, persisted))
+    }
+
+    /// Phase 1 of the compaction path: snapshots everything
+    /// [`CompactionPlan::persist`] will write — the effective histogram
+    /// envelope and the dataset snapshot bytes — under a shared catalog
+    /// borrow. Returns `Ok(None)` when there is nothing to persist (no
+    /// statistics directory attached, or the table's statistics are
+    /// unavailable); the caller still runs
+    /// [`Catalog::finish_compaction`] to clear the in-memory tiers.
+    ///
+    /// The caller must serialize mutations/compactions across all three
+    /// phases; the plan is only valid against the state observed here.
+    ///
+    /// # Errors
+    /// [`QueryError::UnknownTable`] for unregistered names.
+    pub fn plan_compaction(&self, name: &str) -> Result<Option<CompactionPlan>, QueryError> {
         let table = self
             .tables
             .get(name)
@@ -1231,59 +1476,45 @@ impl Catalog {
             .get(name)
             .map(|t| t.recent_ids.iter().copied().collect())
             .unwrap_or_default();
-        let mut persisted = false;
-        if let (Some(dir), StatsState::Ready(h)) = (&self.store.dir, &table.stats) {
-            let io = Arc::clone(&self.store.io);
-            let hist_bytes = h.persist();
-            let tmp = dir.join(format!("{name}.hist.tmp"));
-            let dst = dir.join(format!("{name}.hist"));
-            // fsync before each rename: rename is atomic in the
-            // namespace, but renaming a file whose data is still in the
-            // page cache lets a power loss surface a torn target — the
-            // one corruption the write-new + rename contract promises
-            // readers never see.
-            io.write(&tmp, &hist_bytes)
-                .map_err(|e| io_err("writing compacted statistics", &e))?;
-            io.sync_file(&tmp)
-                .map_err(|e| io_err("syncing compacted statistics", &e))?;
-            io.rename(&tmp, &dst)
-                .map_err(|e| io_err("swapping compacted statistics", &e))?;
-            let snap = encode_snapshot(
-                next_seq,
-                hist_pair_crc(&hist_bytes),
-                &table.dataset.rects,
-                &ids,
-            );
-            let tmp = dir.join(format!("{name}.base.tmp"));
-            let dst = dir.join(format!("{name}.base"));
-            io.write(&tmp, &snap)
-                .map_err(|e| io_err("writing dataset snapshot", &e))?;
-            io.sync_file(&tmp)
-                .map_err(|e| io_err("syncing dataset snapshot", &e))?;
-            io.rename(&tmp, &dst)
-                .map_err(|e| io_err("swapping dataset snapshot", &e))?;
-            // Best effort: make the renames themselves durable on
-            // filesystems that require a directory fsync. Failure is
-            // tolerated — recovery handles a vanished rename the same
-            // way it handles a crash just before it.
-            let _ = io.sync_dir(dir);
-            // Only now is the WAL redundant: everything it holds is in
-            // the hist/base pair or fenced off by the sequence number.
-            match io.remove(&dir.join(format!("{name}.wal"))) {
-                Ok(()) => {}
-                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
-                Err(e) => return Err(io_err("removing compacted WAL", &e)),
-            }
-            persisted = true;
-        }
+        let (Some(dir), StatsState::Ready(h)) = (&self.store.dir, &table.stats) else {
+            return Ok(None);
+        };
+        // fsync before each rename (in persist): rename is atomic in
+        // the namespace, but renaming a file whose data is still in the
+        // page cache lets a power loss surface a torn target — the one
+        // corruption the write-new + rename contract promises readers
+        // never see.
+        let hist_bytes = h.persist().to_vec();
+        let snap_bytes = encode_snapshot(
+            next_seq,
+            hist_pair_crc(&hist_bytes),
+            &table.dataset.rects,
+            &ids,
+        );
+        Ok(Some(CompactionPlan {
+            table: name.to_string(),
+            io: Arc::clone(&self.store.io),
+            dir: dir.clone(),
+            hist_bytes,
+            snap_bytes,
+        }))
+    }
+
+    /// Phase 3 of the compaction path: clears the table's pending tiers
+    /// after the plan was persisted (or skipped). Pure in-memory work —
+    /// infallible, so the daemon can run it under the catalog write
+    /// lock without blocking readers behind file I/O. `persisted` is
+    /// echoed into the receipt; pass `false` when there was no plan to
+    /// persist.
+    pub fn finish_compaction(&mut self, name: &str, persisted: bool) -> CompactReceipt {
         let entry = self.store.table(name);
         let tiers_folded = entry.tiers.len();
         entry.tiers.clear();
         entry.pending_bytes = 0;
-        Ok(CompactReceipt {
+        CompactReceipt {
             tiers_folded,
             persisted,
-        })
+        }
     }
 
     /// The tier structure behind a table's statistics: which applied

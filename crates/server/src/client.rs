@@ -118,6 +118,7 @@ impl Client {
             .local_addr()
             .map(|a| u64::from(a.port()))
             .unwrap_or(0);
+        // sj-lint: allow(atomic-ordering, the counter only disambiguates concurrently created clients; token uniqueness needs no cross-variable ordering)
         let instance = CLIENT_INSTANCES.fetch_add(1, Ordering::Relaxed) & 0xFFFF;
         let token = (u64::from(std::process::id()) << 32) | (port << 16) | instance;
         Ok(Self {

@@ -16,12 +16,12 @@
 
 use crate::service::{ServiceError, StatisticsService};
 use crate::wire::{self, status, Frame, Opcode, PayloadReader, WireError};
+use sj_core::sync::{LockRank, OrderedMutex};
 use sj_geo::Rect;
 use sj_query::MutationId;
 use std::io::Write as _;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Duration;
 
 /// Admission-control knobs for a [`Server`].
@@ -89,7 +89,7 @@ pub struct Server<S: StatisticsService> {
     /// keep the peer's socket half-open and leak one fd per connection.
     /// Doubles as the admission-control census: its length is the live
     /// connection count checked against `config.max_connections`.
-    conns: Mutex<Vec<(u64, TcpStream)>>,
+    conns: OrderedMutex<Vec<(u64, TcpStream)>>,
     /// Monotonic connection id source.
     next_conn: AtomicU64,
 }
@@ -119,7 +119,7 @@ impl<S: StatisticsService> Server<S> {
             service,
             config,
             shutdown: AtomicBool::new(false),
-            conns: Mutex::new(Vec::new()),
+            conns: OrderedMutex::new(LockRank::ConnRegistry, "server.conns", Vec::new()),
             next_conn: AtomicU64::new(0),
         })
     }
@@ -160,11 +160,7 @@ impl<S: StatisticsService> Server<S> {
                     continue;
                 };
                 accept_failures = 0;
-                let live = self
-                    .conns
-                    .lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .len();
+                let live = self.conns.lock().len();
                 if live >= self.config.max_connections {
                     reject_overloaded(stream, self.config.max_connections);
                     continue;
@@ -176,12 +172,10 @@ impl<S: StatisticsService> Server<S> {
                     drop(stream.set_read_timeout(self.config.io_timeout));
                     drop(stream.set_write_timeout(self.config.io_timeout));
                 }
+                // sj-lint: allow(atomic-ordering, monotonic id allocation needs only per-counter uniqueness; no other memory is published under this counter)
                 let id = self.next_conn.fetch_add(1, Ordering::Relaxed);
                 if let Ok(handle) = stream.try_clone() {
-                    self.conns
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner)
-                        .push((id, handle));
+                    self.conns.lock().push((id, handle));
                 }
                 scope.spawn(move || {
                     self.handle_connection(stream, addr);
@@ -200,12 +194,7 @@ impl<S: StatisticsService> Server<S> {
             // Wake the blocking accept; the loop re-checks the flag first.
             drop(TcpStream::connect(addr));
         }
-        let conns = std::mem::take(
-            &mut *self
-                .conns
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner),
-        );
+        let conns = std::mem::take(&mut *self.conns.lock());
         for (_, conn) in conns {
             drop(conn.shutdown(std::net::Shutdown::Both));
         }
@@ -214,10 +203,7 @@ impl<S: StatisticsService> Server<S> {
     /// Drops the registry clone of a finished connection so the kernel
     /// can actually close the socket (and the fd is reclaimed).
     fn forget_connection(&self, id: u64) {
-        self.conns
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .retain(|(cid, _)| *cid != id);
+        self.conns.lock().retain(|(cid, _)| *cid != id);
     }
 
     /// Serves one connection until it closes, a frame-level corruption

@@ -7,11 +7,13 @@
 //! serve a shared [`Catalog`] — loaded once, answered from concurrently.
 
 use crate::wire::{self, status, PayloadReader, WireError};
+use sj_core::sync::{LockRank, OrderedMutex, OrderedRwLock};
 use sj_geo::Rect;
 use sj_query::{
-    Catalog, ChainJoinQuery, DegradationPolicy, EstimateOutcome, MutationId, QueryError,
+    Catalog, ChainJoinQuery, CompactReceipt, DegradationPolicy, EstimateOutcome, MutationId,
+    PreparedOutcome, QueryError,
 };
-use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::Arc;
 
 /// A primary-statistics estimate: the numbers `sjsel estimate` prints.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -258,43 +260,46 @@ pub struct CompactReply {
     pub persisted: bool,
 }
 
-/// The daemon's service: a shared catalog behind a read/write lock —
-/// estimates and plans take read locks and run concurrently; the
-/// mutation opcodes take the write lock, so the daemon absorbs writes
-/// without restarting while readers always see a consistent catalog.
+/// The daemon's service: a shared catalog behind a ranked read/write
+/// lock — estimates and plans take read locks and run concurrently;
+/// mutations run the catalog's three-phase pipeline (DESIGN.md §15) so
+/// the catalog write lock is only held for in-memory commits and
+/// readers are never blocked behind a WAL fsync.
+///
+/// Two auxiliary ranked mutexes structure the pipeline:
+///
+/// * `pipeline` (rank [`LockRank::StatsStore`]) serializes whole
+///   mutations/compactions end to end, so a prepared batch cannot go
+///   stale between its prepare and commit phases.
+/// * `wal_io` (rank [`LockRank::WalFile`]) brackets every store file
+///   I/O (WAL appends, compaction persistence). Its rank sits *above*
+///   the catalog's, so holding the catalog across an fsync is a rank
+///   inversion — the discipline `sj-lint -- verify-locks` enforces
+///   dynamically.
 pub struct CatalogService {
-    catalog: Arc<RwLock<Catalog>>,
+    catalog: Arc<OrderedRwLock<Catalog>>,
     policy: DegradationPolicy,
+    pipeline: OrderedMutex<()>,
+    wal_io: OrderedMutex<()>,
 }
 
 impl CatalogService {
     /// Wraps a shared catalog with the degradation policy used by
     /// [`StatisticsService::catalog_estimate`].
     #[must_use]
-    pub fn new(catalog: Arc<RwLock<Catalog>>, policy: DegradationPolicy) -> Self {
-        Self { catalog, policy }
+    pub fn new(catalog: Arc<OrderedRwLock<Catalog>>, policy: DegradationPolicy) -> Self {
+        Self {
+            catalog,
+            policy,
+            pipeline: OrderedMutex::new(LockRank::StatsStore, "service.pipeline", ()),
+            wal_io: OrderedMutex::new(LockRank::WalFile, "service.wal_io", ()),
+        }
     }
 
     /// The shared catalog.
     #[must_use]
-    pub fn catalog(&self) -> &Arc<RwLock<Catalog>> {
+    pub fn catalog(&self) -> &Arc<OrderedRwLock<Catalog>> {
         &self.catalog
-    }
-
-    /// Read access to the catalog. A poisoned lock (a panicking writer)
-    /// is recovered rather than propagated: the catalog's mutation paths
-    /// are atomic (validate before write), so the data is consistent.
-    fn read(&self) -> RwLockReadGuard<'_, Catalog> {
-        self.catalog
-            .read()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-    }
-
-    /// Write access to the catalog (see [`Self::read`] on poisoning).
-    fn write(&self) -> RwLockWriteGuard<'_, Catalog> {
-        self.catalog
-            .write()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     fn mutate(
@@ -304,16 +309,65 @@ impl CatalogService {
         deletes: &[Rect],
         id: MutationId,
     ) -> Result<MutationReply, ServiceError> {
-        let receipt = self
-            .write()
-            .apply_delta_idempotent(table, inserts, deletes, id)
-            .map_err(|e| ServiceError::from_query("mutation failed", &e))?;
-        Ok(MutationReply {
+        let reply = |receipt: &sj_query::DeltaReceipt| MutationReply {
             applied: u32::try_from(inserts.len() + deletes.len()).unwrap_or(u32::MAX),
             pending_tiers: u16::try_from(receipt.pending_tiers).unwrap_or(u16::MAX),
             compacted: receipt.compacted,
             deduplicated: receipt.deduplicated,
-        })
+        };
+        // Serialize the whole three-phase pipeline: the prepared batch
+        // (sequence number, delete resolution) is only valid against
+        // the state observed under the read lock below.
+        let _pipeline = self.pipeline.lock();
+        let prepared = self
+            .catalog
+            .read()
+            .prepare_delta(table, inserts, deletes, id)
+            .map_err(|e| ServiceError::from_query("mutation failed", &e))?;
+        let prepared = match prepared {
+            PreparedOutcome::Duplicate(receipt) => return Ok(reply(&receipt)),
+            PreparedOutcome::Fresh(p) => *p,
+        };
+        {
+            // The fsync runs under wal_io only — estimates proceed on
+            // the catalog read lock while the record hits the disk.
+            let _io = self.wal_io.lock();
+            prepared
+                .append_wal()
+                .map_err(|e| ServiceError::from_query("mutation failed", &e))?;
+        }
+        let mut receipt = self
+            .catalog
+            .write()
+            .commit_prepared(prepared)
+            .map_err(|e| ServiceError::from_query("mutation failed", &e))?;
+        if self.catalog.read().compaction_needed(table) {
+            self.run_compaction(table)
+                .map_err(|e| ServiceError::from_query("mutation failed", &e))?;
+            receipt.pending_tiers = 0;
+            receipt.compacted = true;
+        }
+        Ok(reply(&receipt))
+    }
+
+    /// Drives the catalog's three-phase compaction under the daemon's
+    /// lock structure. The caller must hold `pipeline`.
+    fn run_compaction(&self, table: &str) -> Result<CompactReceipt, QueryError> {
+        let plan = self.catalog.read().plan_compaction(table)?;
+        let persisted = match &plan {
+            Some(plan) => {
+                let _io = self.wal_io.lock();
+                plan.persist()?;
+                true
+            }
+            None => false,
+        };
+        Ok(self.catalog.write().finish_compaction(table, persisted))
+    }
+
+    /// Read access to the catalog (poison recovered by the wrapper).
+    fn read(&self) -> sj_core::sync::OrderedReadGuard<'_, Catalog> {
+        self.catalog.read()
     }
 }
 
@@ -386,9 +440,9 @@ impl StatisticsService for CatalogService {
     }
 
     fn compact(&self, table: &str) -> Result<CompactReply, ServiceError> {
+        let _pipeline = self.pipeline.lock();
         let receipt = self
-            .write()
-            .compact(table)
+            .run_compaction(table)
             .map_err(|e| ServiceError::from_query("compaction failed", &e))?;
         Ok(CompactReply {
             tiers_folded: u16::try_from(receipt.tiers_folded).unwrap_or(u16::MAX),

@@ -280,45 +280,14 @@ impl From<std::io::Error> for WireError {
 }
 
 // ---------------------------------------------------------------------
-// CRC32 (IEEE 802.3, reflected 0xEDB88320) — same variant as the .hist
-// envelope; the workspace vendors no checksum crate.
+// CRC32 (IEEE 802.3, reflected 0xEDB88320) — same variant and same
+// implementation as the .hist envelope: the workspace's single CRC32
+// lives in `sj_histogram::crc` (re-exported as `sj_core::crc`). The
+// byte-for-byte wire format is unchanged; `fingerprint.rs` keeps its
+// own copy so the checker stays dependency-free.
 // ---------------------------------------------------------------------
 
-const CRC_POLY: u32 = 0xEDB8_8320;
-
-const fn build_crc_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0usize;
-    while i < 256 {
-        // Cast bound: i < 256 fits u32; u32::try_from is not const.
-        let mut crc = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            crc = if crc & 1 != 0 {
-                (crc >> 1) ^ CRC_POLY
-            } else {
-                crc >> 1
-            };
-            bit += 1;
-        }
-        table[i] = crc;
-        i += 1;
-    }
-    table
-}
-
-static CRC_TABLE: [u32; 256] = build_crc_table();
-
-/// CRC32 checksum of `data` (init `0xFFFF_FFFF`, final XOR, reflected).
-#[must_use]
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &byte in data {
-        let idx = usize::from((crc as u8) ^ byte);
-        crc = (crc >> 8) ^ CRC_TABLE[idx];
-    }
-    !crc
-}
+pub use sj_core::crc::crc32;
 
 // ---------------------------------------------------------------------
 // Frame

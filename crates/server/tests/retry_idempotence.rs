@@ -8,11 +8,12 @@
 //! exactly once), while a fresh stamp of the same content applies
 //! again.
 
+use sj_core::sync::{LockRank, OrderedRwLock};
 use sj_geo::{Extent, Rect};
 use sj_query::{Catalog, DegradationPolicy};
 use sj_server::{handle_request, CatalogService, Client, Frame};
 use std::net::TcpListener;
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 
 const TABLE: &str = "t";
 const BASE_N: usize = 40;
@@ -36,7 +37,7 @@ fn fresh_rects(n: usize) -> Vec<Rect> {
         .collect()
 }
 
-fn shared_catalog() -> Arc<RwLock<Catalog>> {
+fn shared_catalog() -> Arc<OrderedRwLock<Catalog>> {
     let mut c = Catalog::with_level(4);
     c.register(sj_datagen::Dataset::new(
         TABLE,
@@ -44,7 +45,7 @@ fn shared_catalog() -> Arc<RwLock<Catalog>> {
         base_rects(),
     ))
     .expect("register");
-    Arc::new(RwLock::new(c))
+    Arc::new(OrderedRwLock::new(LockRank::Catalog, "test.catalog", c))
 }
 
 /// The acceptance-criteria scenario: kill the connection after the
@@ -87,13 +88,7 @@ fn mid_reply_kill_then_retry_applies_exactly_once() {
         "the retried batch was already applied and must be detected as a duplicate"
     );
     assert_eq!(
-        catalog
-            .read()
-            .expect("lock")
-            .dataset(TABLE)
-            .expect("ds")
-            .rects
-            .len(),
+        catalog.read().dataset(TABLE).expect("ds").rects.len(),
         BASE_N + batch.len(),
         "the batch must land exactly once despite the retry"
     );
@@ -108,13 +103,7 @@ fn mid_reply_kill_then_retry_applies_exactly_once() {
         "a fresh stamp of identical content is a new mutation"
     );
     assert_eq!(
-        catalog
-            .read()
-            .expect("lock")
-            .dataset(TABLE)
-            .expect("ds")
-            .rects
-            .len(),
+        catalog.read().dataset(TABLE).expect("ds").rects.len(),
         BASE_N + 2 * batch.len()
     );
 
@@ -159,13 +148,7 @@ fn mid_reply_kill_then_retried_delete_is_deduplicated() {
         "retried delete must be a detected duplicate"
     );
     assert_eq!(
-        catalog
-            .read()
-            .expect("lock")
-            .dataset(TABLE)
-            .expect("ds")
-            .rects
-            .len(),
+        catalog.read().dataset(TABLE).expect("ds").rects.len(),
         BASE_N - victims.len(),
         "the delete must land exactly once"
     );

@@ -11,10 +11,11 @@
 //! (thread arrival order is scheduler-dependent, the *contents* are
 //! not).
 
+use sj_core::sync::{LockRank, OrderedRwLock};
 use sj_geo::{Extent, Rect};
 use sj_query::{Catalog, DegradationPolicy};
 use sj_server::{CatalogService, Client, Server};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 
 const TABLE: &str = "t";
 const BASE_N: usize = 50;
@@ -69,7 +70,11 @@ fn sorted(rects: &[Rect]) -> Vec<Rect> {
 #[test]
 fn concurrent_mutations_match_the_serial_schedule() {
     // The daemon under load.
-    let catalog = Arc::new(RwLock::new(fresh_catalog()));
+    let catalog = Arc::new(OrderedRwLock::new(
+        LockRank::Catalog,
+        "test.catalog",
+        fresh_catalog(),
+    ));
     let service = CatalogService::new(Arc::clone(&catalog), DegradationPolicy::default());
     let server = Arc::new(Server::bind("127.0.0.1:0", service).expect("bind"));
     let addr = server.local_addr().expect("local_addr");
@@ -132,7 +137,7 @@ fn concurrent_mutations_match_the_serial_schedule() {
         }
     }
 
-    let soaked = catalog.read().expect("lock");
+    let soaked = catalog.read();
     assert_eq!(
         soaked.histogram(TABLE).expect("stats").persist().to_vec(),
         serial.histogram(TABLE).expect("stats").persist().to_vec(),
