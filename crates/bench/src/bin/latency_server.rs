@@ -1,6 +1,12 @@
-//! Perf baseline for the statistics daemon: writes `BENCH_4.json`
-//! (every `BENCH_3.json` field preserved for comparability, plus the
-//! ranked-lock `sync_layer` section).
+//! Perf baseline for the statistics daemon: writes `BENCH_5.json`
+//! (every `BENCH_4.json` field preserved for comparability, plus the
+//! SoA-kernel `kernels` section).
+//!
+//! `BENCH_<n>.json` naming rule (see [`sj_bench::BENCH5_SECTIONS`]):
+//! each PR that adds a section bumps `<n>` and carries every prior
+//! section forward unchanged. `BENCH_3.json` is the one on-disk gap —
+//! the lock-rank PR renamed that report to `BENCH_4.json` rather than
+//! leaving both files; the schema lineage skips nothing.
 //!
 //! Records, on a fixed seeded workload (SCRC ⋈ SURA at a fixed scale
 //! and grid level):
@@ -33,9 +39,16 @@
 //! - **sync-layer overhead** — per-op lock/unlock cost of the ranked
 //!   `sj_core::sync::OrderedMutex` (DESIGN.md §15) versus a raw
 //!   `std::sync::Mutex`, min-of-trials so scheduler noise cannot
-//!   inflate either side.
+//!   inflate either side;
+//! - **kernel speedups** — p50/p99 estimate latency of the SoA kernel
+//!   path (`sj_histogram::kernel`, DESIGN.md §16) with the views built
+//!   once and reused, versus the retained scalar reference loops
+//!   (`estimate_scalar`), per histogram family and dataset scale, plus
+//!   build throughput through the `BinGrid`-hoisted binning kernels;
+//!   every timed kernel estimate is asserted bit-identical to its
+//!   scalar twin before either side is clocked.
 //!
-//! Four acceptance gates asserted by CI: warm-server p50 must sit at
+//! Five acceptance gates asserted by CI: warm-server p50 must sit at
 //! least 5× below cold-CLI p50 (`meets_5x_floor`) — residency is the
 //! entire point of the daemon; delta-apply throughput must be at
 //! least 10× full-rebuild throughput at the largest benchmarked scale
@@ -47,10 +60,13 @@
 //! ranked wrapper must cost at most 2% over the raw lock
 //! (`sync_layer.meets_2pct_ceiling`, with a small absolute-ns guard
 //! against timer granularity) — the debug-only rank discipline must
-//! compile away where performance counts.
+//! compile away where performance counts; and the kernel estimate path
+//! must run at least 1.5× faster than the scalar loop at the largest
+//! benchmarked scale (`kernels.meets_1_5x_floor`) — the SoA layer must
+//! pay for its existence where occupancy is densest.
 //!
 //! ```sh
-//! cargo run --release -p sj-bench --bin latency_server -- --out BENCH_4.json
+//! cargo run --release -p sj-bench --bin latency_server -- --out BENCH_5.json
 //! ```
 
 use sj_datagen::presets;
@@ -95,6 +111,18 @@ const SYNC_TRIALS: usize = 7;
 /// relative window is below timer granularity, so a difference this
 /// small passes regardless of the ratio.
 const SYNC_NOISE_NS: f64 = 2.0;
+/// Kernel-vs-scalar microbench (DESIGN.md §16): dataset scales smallest
+/// to largest — the ≥1.5× floor is asserted at the last scale, where
+/// occupancy is densest and the bitmap skip helps least, making it the
+/// honest worst case for the kernel — plus calls per timed sample
+/// (short estimates are batched so timer granularity cannot dominate),
+/// samples per side, warmup calls, and build-throughput rounds.
+const KERNEL_SCALES: [f64; 2] = [0.005, 0.02];
+const KERNEL_REPS: usize = 8;
+const KERNEL_SAMPLES: usize = 200;
+const KERNEL_WARMUP: usize = 32;
+const KERNEL_BUILD_ROUNDS: usize = 3;
+const KERNEL_FLOOR: f64 = 1.5;
 
 #[derive(serde::Serialize)]
 struct LatencyStats {
@@ -211,10 +239,54 @@ struct SyncLayerStats {
     meets_2pct_ceiling: bool,
 }
 
-/// The `BENCH_4.json` report: every `BENCH_3.json` field, unchanged,
-/// plus the `sync_layer` section.
+/// One family × scale cell of the kernel-vs-scalar estimate comparison
+/// (DESIGN.md §16): the retained scalar reference loop versus the SoA
+/// kernel path with the views built once and reused — the way a warm
+/// server holds statistics resident.
 #[derive(serde::Serialize)]
-struct Bench4 {
+struct KernelEstimateStats {
+    family: String,
+    scale: f64,
+    cells: usize,
+    occupied_left: usize,
+    occupied_right: usize,
+    scalar: LatencyStats,
+    kernel: LatencyStats,
+    speedup_p50: f64,
+}
+
+/// Build throughput through the `BinGrid`-hoisted binning kernels (the
+/// only build path — the hoisting itself is what the SoA layer buys the
+/// build side, so this is a throughput record, not an A/B).
+#[derive(serde::Serialize)]
+struct KernelBuildStats {
+    family: String,
+    scale: f64,
+    objects: usize,
+    build_ms: f64,
+    rects_per_sec: f64,
+}
+
+/// The `kernels` section: per-family estimate A/B and build throughput,
+/// gated at the largest scale.
+#[derive(serde::Serialize)]
+struct KernelStats {
+    level: u32,
+    scales: Vec<f64>,
+    reps_per_sample: usize,
+    estimate: Vec<KernelEstimateStats>,
+    build: Vec<KernelBuildStats>,
+    floor: f64,
+    gated_family: String,
+    largest_scale_speedup_p50: f64,
+    meets_1_5x_floor: bool,
+}
+
+/// The `BENCH_5.json` report: every `BENCH_4.json` field, unchanged,
+/// plus the `kernels` section. Field order is pinned by
+/// [`sj_bench::BENCH5_SECTIONS`] and asserted at run time.
+#[derive(serde::Serialize)]
+struct Bench5 {
     bench: String,
     workload: Workload,
     statistics_build: Vec<BuildStats>,
@@ -227,6 +299,7 @@ struct Bench4 {
     delta: DeltaStats,
     mutation_path: MutationPathStats,
     sync_layer: SyncLayerStats,
+    kernels: KernelStats,
 }
 
 /// Measures the sync-layer overhead. Both sides run the identical
@@ -272,6 +345,174 @@ fn sync_layer() -> SyncLayerStats {
         meets_2pct_ceiling: !release_mode
             || overhead_ratio <= 1.02
             || overhead_ns_per_op <= SYNC_NOISE_NS,
+    }
+}
+
+/// Times a short operation: `KERNEL_REPS` calls per sample so timer
+/// granularity cannot dominate sub-microsecond kernel estimates, with a
+/// warmup pass before any sample is kept.
+fn time_kernel_us<F: FnMut()>(mut f: F) -> LatencyStats {
+    for _ in 0..KERNEL_WARMUP {
+        f();
+    }
+    let mut us = Vec::with_capacity(KERNEL_SAMPLES);
+    for _ in 0..KERNEL_SAMPLES {
+        let t = Instant::now();
+        for _ in 0..KERNEL_REPS {
+            f();
+        }
+        us.push(secs_to_us(t.elapsed()) / KERNEL_REPS as f64);
+    }
+    LatencyStats::from_samples(us)
+}
+
+/// Times one family's typed build over `rects`, returning the
+/// throughput record for the `BinGrid`-hoisted binning path.
+fn kernel_build_stats<H>(
+    family: &str,
+    scale: f64,
+    rects: &[Rect],
+    build: impl Fn() -> H,
+) -> KernelBuildStats {
+    let t = Instant::now();
+    for _ in 0..KERNEL_BUILD_ROUNDS {
+        std::hint::black_box(build());
+    }
+    let secs = t.elapsed().as_secs_f64() / KERNEL_BUILD_ROUNDS as f64;
+    #[allow(clippy::cast_precision_loss)]
+    let rects_per_sec = rects.len() as f64 / secs;
+    KernelBuildStats {
+        family: family.to_string(),
+        scale,
+        objects: rects.len(),
+        build_ms: secs * 1e3,
+        rects_per_sec,
+    }
+}
+
+/// Measures the SoA-kernel estimate path against the retained scalar
+/// reference loops (DESIGN.md §16), per histogram family and dataset
+/// scale, plus build throughput. Each kernel result is asserted
+/// bit-identical to its scalar twin before either side is clocked — a
+/// fast wrong kernel must fail here, not report a speedup.
+fn kernels(grid: Grid) -> KernelStats {
+    use sj_histogram::kernel::{GhBasicView, GhView, PhView};
+    use sj_histogram::{GhBasicHistogram, GhHistogram, PhHistogram};
+    let mut estimate = Vec::new();
+    let mut build = Vec::new();
+    for &scale in &KERNEL_SCALES {
+        let a = presets::scrc(scale).rects;
+        let b = presets::sura(scale).rects;
+
+        let (h1, h2) = (PhHistogram::build(grid, &a), PhHistogram::build(grid, &b));
+        let (v1, v2) = (PhView::new(&h1), PhView::new(&h2));
+        let scalar_est = h1.estimate_scalar(&h2).expect("grids match");
+        let kernel_est = v1.estimate(&v2).expect("grids match");
+        assert_eq!(
+            kernel_est.selectivity.to_bits(),
+            scalar_est.selectivity.to_bits(),
+            "PH kernel estimate must be bit-identical to the scalar loop"
+        );
+        let scalar = time_kernel_us(|| {
+            std::hint::black_box(h1.estimate_scalar(&h2).expect("grids match"));
+        });
+        let kernel = time_kernel_us(|| {
+            std::hint::black_box(v1.estimate(&v2).expect("grids match"));
+        });
+        estimate.push(KernelEstimateStats {
+            family: "ph".to_string(),
+            scale,
+            cells: grid.num_cells(),
+            occupied_left: v1.occupied_cells(),
+            occupied_right: v2.occupied_cells(),
+            speedup_p50: scalar.p50_us / kernel.p50_us,
+            scalar,
+            kernel,
+        });
+        build.push(kernel_build_stats("ph", scale, &a, || {
+            PhHistogram::build(grid, &a)
+        }));
+
+        let (g1, g2) = (GhHistogram::build(grid, &a), GhHistogram::build(grid, &b));
+        let (w1, w2) = (GhView::new(&g1), GhView::new(&g2));
+        let scalar_est = g1.estimate_scalar(&g2).expect("grids match");
+        let kernel_est = w1.estimate(&w2).expect("grids match");
+        assert_eq!(
+            kernel_est.selectivity.to_bits(),
+            scalar_est.selectivity.to_bits(),
+            "GH kernel estimate must be bit-identical to the scalar loop"
+        );
+        let scalar = time_kernel_us(|| {
+            std::hint::black_box(g1.estimate_scalar(&g2).expect("grids match"));
+        });
+        let kernel = time_kernel_us(|| {
+            std::hint::black_box(w1.estimate(&w2).expect("grids match"));
+        });
+        estimate.push(KernelEstimateStats {
+            family: "gh".to_string(),
+            scale,
+            cells: grid.num_cells(),
+            occupied_left: w1.occupied_cells(),
+            occupied_right: w2.occupied_cells(),
+            speedup_p50: scalar.p50_us / kernel.p50_us,
+            scalar,
+            kernel,
+        });
+        build.push(kernel_build_stats("gh", scale, &a, || {
+            GhHistogram::build(grid, &a)
+        }));
+
+        let (k1, k2) = (
+            GhBasicHistogram::build(grid, &a),
+            GhBasicHistogram::build(grid, &b),
+        );
+        let (u1, u2) = (GhBasicView::new(&k1), GhBasicView::new(&k2));
+        let scalar_est = k1.estimate_scalar(&k2).expect("grids match");
+        let kernel_est = u1.estimate(&u2).expect("grids match");
+        assert_eq!(
+            kernel_est.selectivity.to_bits(),
+            scalar_est.selectivity.to_bits(),
+            "basic-GH kernel estimate must be bit-identical to the scalar loop"
+        );
+        let scalar = time_kernel_us(|| {
+            std::hint::black_box(k1.estimate_scalar(&k2).expect("grids match"));
+        });
+        let kernel = time_kernel_us(|| {
+            std::hint::black_box(u1.estimate(&u2).expect("grids match"));
+        });
+        estimate.push(KernelEstimateStats {
+            family: "gh_basic".to_string(),
+            scale,
+            cells: grid.num_cells(),
+            occupied_left: u1.occupied_cells(),
+            occupied_right: u2.occupied_cells(),
+            speedup_p50: scalar.p50_us / kernel.p50_us,
+            scalar,
+            kernel,
+        });
+        build.push(kernel_build_stats("gh_basic", scale, &a, || {
+            GhBasicHistogram::build(grid, &a)
+        }));
+    }
+    // The gate reads the revised GH family — the paper's headline
+    // estimator and the production estimate path — at the last
+    // (largest, densest) scale.
+    let gated_family = "gh";
+    let largest_scale = KERNEL_SCALES[KERNEL_SCALES.len() - 1];
+    let largest_scale_speedup_p50 = estimate
+        .iter()
+        .find(|e| e.family == gated_family && e.scale == largest_scale)
+        .map_or(0.0, |e| e.speedup_p50);
+    KernelStats {
+        level: grid.level(),
+        scales: KERNEL_SCALES.to_vec(),
+        reps_per_sample: KERNEL_REPS,
+        estimate,
+        build,
+        floor: KERNEL_FLOOR,
+        gated_family: gated_family.to_string(),
+        largest_scale_speedup_p50,
+        meets_1_5x_floor: largest_scale_speedup_p50 >= KERNEL_FLOOR,
     }
 }
 
@@ -472,7 +713,7 @@ fn boot_with(
 }
 
 fn main() {
-    let mut out_path = "BENCH_4.json".to_string();
+    let mut out_path = "BENCH_5.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -711,8 +952,30 @@ fn main() {
         }
     );
 
+    // --- kernel estimate/build: SoA views vs scalar loops ------------
+    let kernel_stats = kernels(grid);
+    for e in &kernel_stats.estimate {
+        println!(
+            "kernels  : {:>8} scale {:.3}: scalar p50 {:.2} us vs kernel p50 {:.2} us ({:.2}x, {}+{} of {} cells occupied)",
+            e.family,
+            e.scale,
+            e.scalar.p50_us,
+            e.kernel.p50_us,
+            e.speedup_p50,
+            e.occupied_left,
+            e.occupied_right,
+            e.cells
+        );
+    }
+    for bs in &kernel_stats.build {
+        println!(
+            "kernels  : {:>8} scale {:.3}: build {:.1} ms ({:.0} rects/s)",
+            bs.family, bs.scale, bs.build_ms, bs.rects_per_sec
+        );
+    }
+
     let speedup_p50 = cold_cli.p50_us / warm_server.p50_us;
-    let report = Bench4 {
+    let report = Bench5 {
         bench: "latency_server".to_string(),
         workload: Workload {
             datasets: vec![a.name.clone(), b.name.clone()],
@@ -729,16 +992,31 @@ fn main() {
         delta,
         mutation_path,
         sync_layer: sync_stats,
+        kernels: kernel_stats,
     };
     let json = serde_json::to_string_pretty(&report).expect("serialize");
-    std::fs::write(&out_path, json).expect("write BENCH_4.json");
+    // Top-level keys of the pretty JSON sit at exactly two spaces of
+    // indentation; pin them against the documented section list so a
+    // silent schema drift fails here and in the docs-sync test alike.
+    let keys: Vec<&str> = json
+        .lines()
+        .filter_map(|l| l.strip_prefix("  \"")?.split_once('"').map(|(k, _)| k))
+        .collect();
+    assert_eq!(
+        keys,
+        sj_bench::BENCH5_SECTIONS,
+        "BENCH_5.json top-level sections drifted from sj_bench::BENCH5_SECTIONS"
+    );
+    std::fs::write(&out_path, json).expect("write BENCH_5.json");
     let overhead = report.mutation_path.overhead_ratio_p50;
     let sync_overhead = report.sync_layer.overhead_ratio;
+    let kernel_speedup = report.kernels.largest_scale_speedup_p50;
     println!(
         "\nspeedup p50: {speedup_p50:.1}x (floor 5x: {})\n\
          delta speedup at largest scale: {largest_scale_speedup:.1}x (floor 10x: {})\n\
          hardened mutation overhead p50: {overhead:.3}x (ceiling 1.05x: {})\n\
          sync-layer overhead: {sync_overhead:.3}x (release ceiling 1.02x: {})\n\
+         kernel estimate speedup at largest scale: {kernel_speedup:.2}x (floor 1.5x: {})\n\
          wrote {out_path}",
         if report.meets_5x_floor {
             "PASS"
@@ -756,6 +1034,11 @@ fn main() {
             "FAIL"
         },
         if report.sync_layer.meets_2pct_ceiling {
+            "PASS"
+        } else {
+            "FAIL"
+        },
+        if report.kernels.meets_1_5x_floor {
             "PASS"
         } else {
             "FAIL"
@@ -779,5 +1062,10 @@ fn main() {
         report.sync_layer.meets_2pct_ceiling,
         "the ranked lock wrapper must cost at most 2% over the raw std \
          lock in release builds, got {sync_overhead:.3}x"
+    );
+    assert!(
+        report.kernels.meets_1_5x_floor,
+        "the SoA kernel estimate path must run at least 1.5x faster than \
+         the scalar loop at the largest benchmarked scale, got {kernel_speedup:.2}x"
     );
 }

@@ -109,8 +109,16 @@ impl JoinBaseline {
             ExactBackend::PlaneSweep => {
                 // sj-lint: allow(determinism, wall-clock measures reported join cost, never join input)
                 let t0 = Instant::now();
-                let pairs =
-                    sj_sweep::sweep_join_count_parallel(&left.rects, &right.rects, par.threads());
+                // Partition-based parallel plane sweep: tile the joint
+                // extent, sweep tiles independently through the shared
+                // `parallel_map` pool, dedup by reference point. Pair
+                // counts are integers, so the result is identical to the
+                // serial sweep at every thread count.
+                let plan = sj_sweep::tile_sweep(&left.rects, &right.rects, 4 * par.threads());
+                let tiles = plan.into_tiles();
+                let pairs: u64 = crate::parallel_map(tiles, par, |tile| tile.count())
+                    .into_iter()
+                    .sum();
                 let join_time = t0.elapsed();
                 Self::from_parts(pairs, left.len(), right.len(), Duration::ZERO, join_time, 0)
             }

@@ -78,5 +78,6 @@ pub use sj_sampling::{
     ALL_TECHNIQUES, PAPER_TECHNIQUES,
 };
 pub use sj_sweep::{
-    sweep_join_count, sweep_join_count_parallel, sweep_join_pairs, sweep_join_selectivity,
+    sweep_join_count, sweep_join_count_parallel, sweep_join_count_tiled, sweep_join_pairs,
+    sweep_join_selectivity, tile_sweep, SweepTile, TiledSweep,
 };

@@ -33,15 +33,17 @@ const MAGIC_REVISED: u32 = 0x534a_4748; // "SJGH"
 #[derive(Debug, Clone, PartialEq)]
 pub struct GhBasicHistogram {
     grid: Grid,
-    n: u64,
+    // `pub(crate)` so `kernel::GhBasicView` can decode the counts into
+    // SoA slices.
+    pub(crate) n: u64,
     /// Corners of MBRs falling in each cell.
-    c: Vec<u32>,
+    pub(crate) c: Vec<u32>,
     /// MBRs intersecting each cell.
-    i: Vec<u32>,
+    pub(crate) i: Vec<u32>,
     /// Vertical MBR edges passing through each cell.
-    v: Vec<u32>,
+    pub(crate) v: Vec<u32>,
     /// Horizontal MBR edges passing through each cell.
-    h: Vec<u32>,
+    pub(crate) h: Vec<u32>,
 }
 
 impl GhBasicHistogram {
@@ -73,9 +75,26 @@ impl GhBasicHistogram {
 
     /// Estimated number of intersection points against `other` (Eq. 4).
     ///
+    /// Dispatches through the SoA kernel layer
+    /// ([`crate::kernel::GhBasicView`], DESIGN.md §16); bit-identical to
+    /// [`Self::intersection_points_scalar`].
+    ///
     /// # Errors
     /// Returns [`HistogramError::GridMismatch`] on incompatible grids.
     pub fn intersection_points(&self, other: &Self) -> Result<f64, HistogramError> {
+        crate::kernel::GhBasicView::new(self)
+            .intersection_points(&crate::kernel::GhBasicView::new(other))
+    }
+
+    /// The retained scalar reference loop of
+    /// [`Self::intersection_points`]: iterates every cell of the dense
+    /// count vectors directly. Kept (and exercised by the
+    /// `kernel_agreement` test plus the BENCH_5 `kernels` section) as the
+    /// oracle the kernel path must match bit-for-bit.
+    ///
+    /// # Errors
+    /// Returns [`HistogramError::GridMismatch`] on incompatible grids.
+    pub fn intersection_points_scalar(&self, other: &Self) -> Result<f64, HistogramError> {
         if !self.grid.compatible(&other.grid) {
             return Err(HistogramError::GridMismatch {
                 left_level: self.grid.level(),
@@ -90,6 +109,23 @@ impl GhBasicHistogram {
                 + f64::from(self.h[idx]) * f64::from(other.v[idx]);
         }
         Ok(total)
+    }
+
+    /// Scalar-path estimate: [`Self::intersection_points_scalar`] with the
+    /// same `/ 4 / (N₁·N₂)` tail as [`Self::estimate`].
+    ///
+    /// # Errors
+    /// Returns [`HistogramError::GridMismatch`] on incompatible grids.
+    pub fn estimate_scalar(&self, other: &Self) -> Result<SelectivityEstimate, HistogramError> {
+        let ip = self.intersection_points_scalar(other)?;
+        #[allow(clippy::cast_precision_loss)]
+        let denom = (self.n as f64) * (other.n as f64);
+        let raw = if denom == 0.0 { 0.0 } else { ip / 4.0 / denom };
+        Ok(SelectivityEstimate::from_selectivity(
+            raw,
+            self.dataset_len(),
+            other.dataset_len(),
+        ))
     }
 
     /// Estimates the join selectivity: intersection points / 4 / (N₁·N₂).
@@ -178,6 +214,7 @@ impl GhBasicHistogram {
 impl RowBanded for GhBasicHistogram {
     fn build_rows(grid: Grid, rects: &[Rect], lo: u32, hi: u32) -> Self {
         let cells = grid.num_cells();
+        let bg = crate::kernel::BinGrid::new(&grid);
         let mut n = 0u64;
         let mut c = vec![0u32; cells];
         let mut i = vec![0u32; cells];
@@ -201,25 +238,17 @@ impl RowBanded for GhBasicHistogram {
                     c[grid.flat_index(col, row)] += 1;
                 }
             }
-            for row in r0.max(lo)..=r1.min(hi - 1) {
-                for col in c0..=c1 {
-                    i[grid.flat_index(col, row)] += 1;
-                }
-            }
+            crate::kernel::bin_count_block(&bg, (c0, c1), (r0.max(lo), r1.min(hi - 1)), &mut i);
             // Two vertical edges: each occupies one column, rows r0..=r1.
             for edge in r.v_edges() {
                 let col = grid.col_of(edge.x);
-                for row in r0.max(lo)..=r1.min(hi - 1) {
-                    v[grid.flat_index(col, row)] += 1;
-                }
+                crate::kernel::bin_count_col(&bg, col, (r0.max(lo), r1.min(hi - 1)), &mut v);
             }
             // Two horizontal edges: each occupies one row, cols c0..=c1.
             for edge in r.h_edges() {
                 let row = grid.row_of(edge.y);
                 if (lo..hi).contains(&row) {
-                    for col in c0..=c1 {
-                        h[grid.flat_index(col, row)] += 1;
-                    }
+                    crate::kernel::bin_count_row(&bg, (c0, c1), row, &mut h);
                 }
             }
         }
@@ -313,15 +342,17 @@ impl crate::delta::StatInspectMut for GhBasicHistogram {
 #[derive(Debug, Clone, PartialEq)]
 pub struct GhHistogram {
     grid: Grid,
-    n: u64,
+    // `pub(crate)` so `kernel::GhView` can decode the masses into SoA
+    // slices.
+    pub(crate) n: u64,
     /// `C(i,j)`: number of MBR corner points falling in the cell.
-    c: Vec<u32>,
+    pub(crate) c: Vec<u32>,
     /// `O(i,j)`: Σ (area of MBR ∩ cell) / cell area, exactly accumulated.
-    o: Vec<Mass>,
+    pub(crate) o: Vec<Mass>,
     /// `H(i,j)`: Σ (length of horizontal edge ∩ cell) / cell width.
-    h: Vec<Mass>,
+    pub(crate) h: Vec<Mass>,
     /// `V(i,j)`: Σ (length of vertical edge ∩ cell) / cell height.
-    v: Vec<Mass>,
+    pub(crate) v: Vec<Mass>,
 }
 
 impl GhHistogram {
@@ -355,9 +386,26 @@ impl GhHistogram {
     /// Estimated number of intersection points against `other` (Eq. 5):
     /// `IP = Σ C₁·O₂ + C₂·O₁ + H₁·V₂ + H₂·V₁`.
     ///
+    /// Dispatches through the SoA kernel layer
+    /// ([`crate::kernel::GhView`], DESIGN.md §16); bit-identical to
+    /// [`Self::intersection_points_scalar`].
+    ///
     /// # Errors
     /// Returns [`HistogramError::GridMismatch`] on incompatible grids.
     pub fn intersection_points(&self, other: &Self) -> Result<f64, HistogramError> {
+        crate::kernel::GhView::new(self).intersection_points(&crate::kernel::GhView::new(other))
+    }
+
+    /// The retained scalar reference loop of
+    /// [`Self::intersection_points`]: iterates every cell of the dense
+    /// mass vectors directly, decoding the fixed-point masses on the fly.
+    /// Kept (and exercised by the `kernel_agreement` test plus the
+    /// BENCH_5 `kernels` section) as the oracle the kernel path must
+    /// match bit-for-bit.
+    ///
+    /// # Errors
+    /// Returns [`HistogramError::GridMismatch`] on incompatible grids.
+    pub fn intersection_points_scalar(&self, other: &Self) -> Result<f64, HistogramError> {
         if !self.grid.compatible(&other.grid) {
             return Err(HistogramError::GridMismatch {
                 left_level: self.grid.level(),
@@ -372,6 +420,23 @@ impl GhHistogram {
                 + other.h[idx].to_f64() * self.v[idx].to_f64();
         }
         Ok(total)
+    }
+
+    /// Scalar-path estimate: [`Self::intersection_points_scalar`] with the
+    /// same `/ 4 / (N₁·N₂)` tail as [`Self::estimate`].
+    ///
+    /// # Errors
+    /// Returns [`HistogramError::GridMismatch`] on incompatible grids.
+    pub fn estimate_scalar(&self, other: &Self) -> Result<SelectivityEstimate, HistogramError> {
+        let ip = self.intersection_points_scalar(other)?;
+        #[allow(clippy::cast_precision_loss)]
+        let denom = (self.n as f64) * (other.n as f64);
+        let raw = if denom == 0.0 { 0.0 } else { ip / 4.0 / denom };
+        Ok(SelectivityEstimate::from_selectivity(
+            raw,
+            self.dataset_len(),
+            other.dataset_len(),
+        ))
     }
 
     /// Estimates the join selectivity: `IP / 4 / (N₁·N₂)`.
@@ -581,9 +646,9 @@ impl GhHistogram {
 impl RowBanded for GhHistogram {
     fn build_rows(grid: Grid, rects: &[Rect], lo: u32, hi: u32) -> Self {
         let cells = grid.num_cells();
-        let cell_area = grid.cell_area();
-        let cell_w = grid.cell_width();
-        let cell_h = grid.cell_height();
+        // Flattened grid geometry: cell sizes and row bases hoisted out of
+        // the per-cell binning loops (same expressions, so bit-identical).
+        let bg = crate::kernel::BinGrid::new(&grid);
         let mut n = 0u64;
         let mut c = vec![0u32; cells];
         let mut o = vec![Mass::ZERO; cells];
@@ -603,27 +668,16 @@ impl RowBanded for GhHistogram {
                     c[grid.flat_index(col, row)] += 1;
                 }
             }
-            for row in r0.max(lo)..=r1.min(hi - 1) {
-                for col in c0..=c1 {
-                    o[grid.flat_index(col, row)] +=
-                        Mass::from_f64(r.intersection_area(&grid.cell_rect(col, row)) / cell_area);
-                }
-            }
+            crate::kernel::bin_gh_overlap(&bg, r, (c0, c1), (r0.max(lo), r1.min(hi - 1)), &mut o);
             for edge in r.h_edges() {
                 let row = grid.row_of(edge.y);
                 if (lo..hi).contains(&row) {
-                    for col in c0..=c1 {
-                        h[grid.flat_index(col, row)] +=
-                            Mass::from_f64(edge.clipped_len(&grid.cell_rect(col, row)) / cell_w);
-                    }
+                    crate::kernel::bin_gh_hedge(&bg, &edge, (c0, c1), row, &mut h);
                 }
             }
             for edge in r.v_edges() {
                 let col = grid.col_of(edge.x);
-                for row in r0.max(lo)..=r1.min(hi - 1) {
-                    v[grid.flat_index(col, row)] +=
-                        Mass::from_f64(edge.clipped_len(&grid.cell_rect(col, row)) / cell_h);
-                }
+                crate::kernel::bin_gh_vedge(&bg, &edge, col, (r0.max(lo), r1.min(hi - 1)), &mut v);
             }
         }
         Self {

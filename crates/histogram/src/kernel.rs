@@ -1,0 +1,869 @@
+//! Cache-conscious SoA estimate/build kernels (DESIGN.md §16).
+//!
+//! The histogram structs store their per-cell statistics as one vector
+//! per statistic already, but the hot estimate loops still pay a
+//! fixed-point decode (`Mass::to_f64`) and an average derivation per
+//! cell *per estimate*. This module provides flat structure-of-arrays
+//! **views** — one contiguous `f64` slice per statistic, decoded once —
+//! plus a per-row occupancy bitmap ([`RowMask`]) so the Eq. 4/5
+//! corner×overlap and edge×edge products run over contiguous slices and
+//! skip empty-cell runs in 64-cell strides.
+//!
+//! Three views cover the gridded families:
+//!
+//! * [`PhView`] — PH `Cont`/`Isect` groups (Table 1) with the averages
+//!   `Xavg`/`Yavg` pre-derived, plus the scalar `AvgSpan` statistics;
+//! * [`GhView`] — revised GH `{C, O, H, V}` masses (Table 2, Eq. 5);
+//! * [`GhBasicView`] — basic GH `{C, I, V, H}` counts (Eq. 4).
+//!
+//! # Bit-identity with the scalar paths
+//!
+//! `estimate` on the structs dispatches through these kernels, and the
+//! result is **bit-identical** to the retained scalar reference loops
+//! ([`crate::PhHistogram::estimate_scalar`] and friends): the views
+//! pre-compute exactly the `f64` values the scalar loop derives per
+//! cell, cells are visited in the same ascending flat-index order, and
+//! the only cells skipped are those whose contribution is exactly
+//! `+0.0` (adding `+0.0` to the non-negative accumulator cannot change
+//! its bits). DESIGN.md §16 spells the argument out; the
+//! `kernel_agreement` integration test pins it across the verify-merge
+//! scenario matrix.
+//!
+//! The build side is served by the crate-internal `BinGrid`, a
+//! flattened view of the grid geometry (hoisted cell sizes, row-base
+//! flat indices) used by the `bin_*` binning loops that
+//! `build`/`build_parallel` delegate to. Those loops stay under lint
+//! rule r2: they accumulate only integers and `Mass` (quantizing once
+//! via `Mass::from_f64`), which is what keeps shard merges bit-exact.
+
+use crate::grid::ix;
+use crate::grid::Grid;
+use crate::mass::Mass;
+use crate::{GhBasicHistogram, GhHistogram, HistogramError, PhHistogram, SelectivityEstimate};
+use sj_geo::{HEdge, Rect, VEdge};
+
+// ---------------------------------------------------------------------
+// Occupancy bitmaps
+// ---------------------------------------------------------------------
+
+/// Per-row occupancy bitmap over the grid cells of a view.
+///
+/// Each grid row is encoded as `ceil(cols / 64)` little-endian `u64`
+/// words (bit `c % 64` of word `c / 64` covers column `c`); rows are
+/// concatenated in ascending order, so for grids of 64+ columns the
+/// encoding coincides with a flat row-major bitmap. The estimate
+/// kernels AND the two operands' masks word-by-word: a zero word skips
+/// 64 cells at once, a full word runs a branch-free contiguous pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowMask {
+    cols: usize,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl RowMask {
+    /// An all-empty mask for a `rows × cols` grid.
+    #[must_use]
+    pub fn empty(rows: usize, cols: usize) -> Self {
+        let words_per_row = cols.div_ceil(64);
+        Self {
+            cols,
+            words_per_row,
+            words: vec![0u64; rows * words_per_row],
+        }
+    }
+
+    /// Marks cell `(row, col)` occupied.
+    pub fn set(&mut self, row: usize, col: usize) {
+        self.words[row * self.words_per_row + col / 64] |= 1u64 << (col % 64);
+    }
+
+    /// `true` when cell `(row, col)` is occupied.
+    #[must_use]
+    pub fn is_set(&self, row: usize, col: usize) -> bool {
+        self.words[row * self.words_per_row + col / 64] & (1u64 << (col % 64)) != 0
+    }
+
+    /// Number of occupied cells.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| ix(w.count_ones())).sum()
+    }
+}
+
+/// Calls `f` with the flat index of every cell occupied in **both**
+/// masks, in ascending flat-index order.
+///
+/// This is the shared sweep of all three estimate kernels: zero words
+/// (empty 64-cell runs) are skipped without touching the statistic
+/// slices, and all-ones words take a contiguous branch-free inner loop.
+fn for_each_joint(a: &RowMask, b: &RowMask, mut f: impl FnMut(usize)) {
+    debug_assert_eq!(a.cols, b.cols);
+    debug_assert_eq!(a.words.len(), b.words.len());
+    let wpr = a.words_per_row.max(1);
+    for (w_idx, (wa, wb)) in a.words.iter().zip(&b.words).enumerate() {
+        let mut bits = wa & wb;
+        if bits == 0 {
+            continue;
+        }
+        let row = w_idx / wpr;
+        let word_in_row = w_idx % wpr;
+        let base = row * a.cols + word_in_row * 64;
+        if bits == u64::MAX {
+            for idx in base..base + 64 {
+                f(idx);
+            }
+            continue;
+        }
+        while bits != 0 {
+            f(base + ix(bits.trailing_zeros()));
+            bits &= bits - 1;
+        }
+    }
+}
+
+fn grid_check(a: Grid, b: Grid) -> Result<(), HistogramError> {
+    if a.compatible(&b) {
+        Ok(())
+    } else {
+        Err(HistogramError::GridMismatch {
+            left_level: a.level(),
+            right_level: b.level(),
+        })
+    }
+}
+
+/// Table 1 averages, derived on the fly from the stored sums — the
+/// exact expression of the scalar estimate loop.
+fn avg(sum: Mass, count: u32) -> f64 {
+    if count == 0 {
+        0.0
+    } else {
+        sum.to_f64() / f64::from(count)
+    }
+}
+
+// ---------------------------------------------------------------------
+// PH view (Table 1 / Eq. 3)
+// ---------------------------------------------------------------------
+
+/// Flat SoA view of a [`PhHistogram`] for repeated estimation.
+///
+/// Decodes the per-cell `Cont`/`Isect` statistics into eight contiguous
+/// `f64` slices (counts, coverages and pre-derived `Xavg`/`Yavg`
+/// averages per group) plus a [`RowMask`], once; every subsequent
+/// [`PhView::estimate`] then runs the four-case `Sa..Sd` sweep over the
+/// slices with empty cells skipped. The result is bit-identical to
+/// [`PhHistogram::estimate_scalar`] on the backing histograms.
+///
+/// ```
+/// use sj_geo::{Extent, Rect};
+/// use sj_histogram::kernel::PhView;
+/// use sj_histogram::{Grid, PhHistogram, SpatialHistogram};
+///
+/// let grid = Grid::new(3, Extent::unit())?;
+/// let a: Vec<Rect> = (0..40)
+///     .map(|i| {
+///         let t = f64::from(i) * 0.02;
+///         Rect::new(t, t, t + 0.06, t + 0.05)
+///     })
+///     .collect();
+/// let b: Vec<Rect> = (0..30)
+///     .map(|i| {
+///         let t = f64::from(i) * 0.03;
+///         Rect::new(t, 0.9 - t, t + 0.05, 0.97 - t)
+///     })
+///     .collect();
+/// let (ha, hb) = (PhHistogram::build(grid, &a), PhHistogram::build(grid, &b));
+///
+/// // Decode once, estimate many times (the warm-serving pattern).
+/// let (va, vb) = (PhView::new(&ha), PhView::new(&hb));
+/// let kernel = va.estimate(&vb)?;
+///
+/// // The trait path dispatches through the same kernel: bit-identical.
+/// let trait_path = ha.estimate_join(&hb)?;
+/// assert_eq!(kernel.selectivity.to_bits(), trait_path.selectivity.to_bits());
+/// assert_eq!(kernel.pairs.to_bits(), trait_path.pairs.to_bits());
+/// # Ok::<(), sj_histogram::HistogramError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhView {
+    grid: Grid,
+    len: usize,
+    n_f64: f64,
+    avg_span: f64,
+    cell_area: f64,
+    // Cont group: count, coverage, average width, average height.
+    n: Vec<f64>,
+    c: Vec<f64>,
+    w: Vec<f64>,
+    h: Vec<f64>,
+    // Isect group, over clipped intersections.
+    nx: Vec<f64>,
+    cx: Vec<f64>,
+    wx: Vec<f64>,
+    hx: Vec<f64>,
+    occ: RowMask,
+}
+
+impl PhView {
+    /// Decodes `hist` into the flat SoA form.
+    #[must_use]
+    pub fn new(hist: &PhHistogram) -> Self {
+        let grid = hist.grid();
+        let cpa = ix(grid.cells_per_axis());
+        let cells = grid.num_cells();
+        #[allow(clippy::cast_precision_loss)]
+        let n_f64 = hist.n as f64;
+        let mut view = Self {
+            grid,
+            len: hist.dataset_len(),
+            n_f64,
+            avg_span: hist.avg_span(),
+            cell_area: grid.cell_area(),
+            n: Vec::with_capacity(cells),
+            c: Vec::with_capacity(cells),
+            w: Vec::with_capacity(cells),
+            h: Vec::with_capacity(cells),
+            nx: Vec::with_capacity(cells),
+            cx: Vec::with_capacity(cells),
+            wx: Vec::with_capacity(cells),
+            hx: Vec::with_capacity(cells),
+            occ: RowMask::empty(cpa, cpa),
+        };
+        for idx in 0..cells {
+            let n = f64::from(hist.num[idx]);
+            let c = hist.cov[idx].to_f64();
+            let w = avg(hist.xsum[idx], hist.num[idx]);
+            let h = avg(hist.ysum[idx], hist.num[idx]);
+            let nx = f64::from(hist.num_x[idx]);
+            let cx = hist.cov_x[idx].to_f64();
+            let wx = avg(hist.xsum_x[idx], hist.num_x[idx]);
+            let hx = avg(hist.ysum_x[idx], hist.num_x[idx]);
+            if n != 0.0
+                || c != 0.0
+                || w != 0.0
+                || h != 0.0
+                || nx != 0.0
+                || cx != 0.0
+                || wx != 0.0
+                || hx != 0.0
+            {
+                view.occ.set(idx / cpa, idx % cpa);
+            }
+            view.n.push(n);
+            view.c.push(c);
+            view.w.push(w);
+            view.h.push(h);
+            view.nx.push(nx);
+            view.cx.push(cx);
+            view.wx.push(wx);
+            view.hx.push(hx);
+        }
+        view
+    }
+
+    /// The grid the backing histogram was built on.
+    #[must_use]
+    pub fn grid(&self) -> Grid {
+        self.grid
+    }
+
+    /// Cardinality of the summarized dataset.
+    #[must_use]
+    pub fn dataset_len(&self) -> usize {
+        self.len
+    }
+
+    /// Occupied cells (any non-zero `Cont`/`Isect` statistic).
+    #[must_use]
+    pub fn occupied_cells(&self) -> usize {
+        self.occ.count()
+    }
+
+    /// Kernel-path PH estimate (paper Eq. 3 with the `AvgSpan`
+    /// correction); bit-identical to [`PhHistogram::estimate`].
+    ///
+    /// # Errors
+    /// Returns [`HistogramError::GridMismatch`] when the backing
+    /// histograms were built on different grids.
+    pub fn estimate(&self, other: &PhView) -> Result<SelectivityEstimate, HistogramError> {
+        self.estimate_with(other, true)
+    }
+
+    /// Kernel-path variant of [`PhHistogram::estimate_uncorrected`].
+    ///
+    /// # Errors
+    /// Returns [`HistogramError::GridMismatch`] when the backing
+    /// histograms were built on different grids.
+    pub fn estimate_uncorrected(
+        &self,
+        other: &PhView,
+    ) -> Result<SelectivityEstimate, HistogramError> {
+        self.estimate_with(other, false)
+    }
+
+    pub(crate) fn estimate_with(
+        &self,
+        other: &PhView,
+        correct_spans: bool,
+    ) -> Result<SelectivityEstimate, HistogramError> {
+        grid_check(self.grid, other.grid)?;
+        let cell_area = self.cell_area;
+        // The parametric kernel of Eq. 1 — identical expression (and
+        // therefore rounding) to the scalar reference loop.
+        let kernel = |n1: f64, c1: f64, w1: f64, h1: f64, n2: f64, c2: f64, w2: f64, h2: f64| {
+            n1 * c2 + c1 * n2 + n1 * n2 * (w1 * h2 + w2 * h1) / cell_area
+        };
+        let mut sum_abc = 0.0f64;
+        let mut sum_d = 0.0f64;
+        for_each_joint(&self.occ, &other.occ, |idx| {
+            let (n1, c1, w1, h1) = (self.n[idx], self.c[idx], self.w[idx], self.h[idx]);
+            let (n1x, c1x, w1x, h1x) = (self.nx[idx], self.cx[idx], self.wx[idx], self.hx[idx]);
+            let (n2, c2, w2, h2) = (other.n[idx], other.c[idx], other.w[idx], other.h[idx]);
+            let (n2x, c2x, w2x, h2x) = (other.nx[idx], other.cx[idx], other.wx[idx], other.hx[idx]);
+            // Sa: Cont1 × Cont2; Sb: Cont1 × Isect2; Sc: Isect1 × Cont2.
+            sum_abc += kernel(n1, c1, w1, h1, n2, c2, w2, h2);
+            sum_abc += kernel(n1, c1, w1, h1, n2x, c2x, w2x, h2x);
+            sum_abc += kernel(n1x, c1x, w1x, h1x, n2, c2, w2, h2);
+            // Sd: Isect1 × Isect2 — the only multi-counted case.
+            sum_d += kernel(n1x, c1x, w1x, h1x, n2x, c2x, w2x, h2x);
+        });
+        let span_correction = if correct_spans {
+            (self.avg_span + other.avg_span) / 2.0
+        } else {
+            1.0
+        };
+        let size = sum_abc + sum_d / span_correction;
+        let denom = self.n_f64 * other.n_f64;
+        let raw = if denom == 0.0 { 0.0 } else { size / denom };
+        Ok(SelectivityEstimate::from_selectivity(
+            raw, self.len, other.len,
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Revised GH view (Table 2 / Eq. 5)
+// ---------------------------------------------------------------------
+
+/// Flat SoA view of a [`GhHistogram`] for repeated estimation.
+///
+/// Decodes `{C, O, H, V}` into four contiguous `f64` slices plus a
+/// [`RowMask`], once; [`GhView::intersection_points`] then runs the
+/// Eq. 5 corner×overlap and edge×edge products over the slices with
+/// empty-cell runs skipped. Bit-identical to
+/// [`GhHistogram::intersection_points_scalar`].
+///
+/// ```
+/// use sj_geo::{Extent, Rect};
+/// use sj_histogram::kernel::GhView;
+/// use sj_histogram::{GhHistogram, Grid, SpatialHistogram};
+///
+/// let grid = Grid::new(5, Extent::unit())?;
+/// let streams = vec![Rect::new(0.10, 0.10, 0.30, 0.12)];
+/// let roads = vec![Rect::new(0.12, 0.05, 0.14, 0.40)];
+/// let hs = GhHistogram::build(grid, &streams);
+/// let hr = GhHistogram::build(grid, &roads);
+///
+/// let (vs, vr) = (GhView::new(&hs), GhView::new(&hr));
+/// let kernel = vs.estimate(&vr)?;
+/// let trait_path = hs.estimate_join(&hr)?;
+/// assert_eq!(kernel.pairs.to_bits(), trait_path.pairs.to_bits());
+/// assert!(kernel.pairs > 0.9 && kernel.pairs < 1.1, "one crossing pair");
+/// # Ok::<(), sj_histogram::HistogramError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GhView {
+    grid: Grid,
+    len: usize,
+    n_f64: f64,
+    c: Vec<f64>,
+    o: Vec<f64>,
+    h: Vec<f64>,
+    v: Vec<f64>,
+    occ: RowMask,
+}
+
+impl GhView {
+    /// Decodes `hist` into the flat SoA form.
+    #[must_use]
+    pub fn new(hist: &GhHistogram) -> Self {
+        let grid = hist.grid();
+        let cpa = ix(grid.cells_per_axis());
+        let cells = grid.num_cells();
+        #[allow(clippy::cast_precision_loss)]
+        let n_f64 = hist.n as f64;
+        let mut view = Self {
+            grid,
+            len: hist.dataset_len(),
+            n_f64,
+            c: Vec::with_capacity(cells),
+            o: Vec::with_capacity(cells),
+            h: Vec::with_capacity(cells),
+            v: Vec::with_capacity(cells),
+            occ: RowMask::empty(cpa, cpa),
+        };
+        for idx in 0..cells {
+            let c = f64::from(hist.c[idx]);
+            let o = hist.o[idx].to_f64();
+            let h = hist.h[idx].to_f64();
+            let v = hist.v[idx].to_f64();
+            if c != 0.0 || o != 0.0 || h != 0.0 || v != 0.0 {
+                view.occ.set(idx / cpa, idx % cpa);
+            }
+            view.c.push(c);
+            view.o.push(o);
+            view.h.push(h);
+            view.v.push(v);
+        }
+        view
+    }
+
+    /// The grid the backing histogram was built on.
+    #[must_use]
+    pub fn grid(&self) -> Grid {
+        self.grid
+    }
+
+    /// Cardinality of the summarized dataset.
+    #[must_use]
+    pub fn dataset_len(&self) -> usize {
+        self.len
+    }
+
+    /// Occupied cells (any non-zero `{C, O, H, V}` mass).
+    #[must_use]
+    pub fn occupied_cells(&self) -> usize {
+        self.occ.count()
+    }
+
+    /// Kernel-path Eq. 5 intersection-point total; bit-identical to
+    /// [`GhHistogram::intersection_points_scalar`].
+    ///
+    /// # Errors
+    /// Returns [`HistogramError::GridMismatch`] when the backing
+    /// histograms were built on different grids.
+    pub fn intersection_points(&self, other: &GhView) -> Result<f64, HistogramError> {
+        grid_check(self.grid, other.grid)?;
+        let mut total = 0.0f64;
+        for_each_joint(&self.occ, &other.occ, |idx| {
+            total += self.c[idx] * other.o[idx]
+                + other.c[idx] * self.o[idx]
+                + self.h[idx] * other.v[idx]
+                + other.h[idx] * self.v[idx];
+        });
+        Ok(total)
+    }
+
+    /// Kernel-path revised-GH estimate: `IP / 4 / (N₁·N₂)`;
+    /// bit-identical to [`GhHistogram::estimate`].
+    ///
+    /// # Errors
+    /// Returns [`HistogramError::GridMismatch`] when the backing
+    /// histograms were built on different grids.
+    pub fn estimate(&self, other: &GhView) -> Result<SelectivityEstimate, HistogramError> {
+        let ip = self.intersection_points(other)?;
+        let denom = self.n_f64 * other.n_f64;
+        let raw = if denom == 0.0 { 0.0 } else { ip / 4.0 / denom };
+        Ok(SelectivityEstimate::from_selectivity(
+            raw, self.len, other.len,
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Basic GH view (Eq. 4)
+// ---------------------------------------------------------------------
+
+/// Flat SoA view of a [`GhBasicHistogram`] for repeated estimation.
+///
+/// Same layout discipline as [`GhView`], over the integer `{C, I, V,
+/// H}` counts of Eq. 4. Bit-identical to
+/// [`GhBasicHistogram::intersection_points_scalar`].
+///
+/// ```
+/// use sj_geo::{Extent, Rect};
+/// use sj_histogram::kernel::GhBasicView;
+/// use sj_histogram::{GhBasicHistogram, Grid, SpatialHistogram};
+///
+/// let grid = Grid::new(3, Extent::unit())?;
+/// let a = vec![Rect::new(0.1, 0.1, 0.6, 0.6)];
+/// let b = vec![Rect::new(0.4, 0.4, 0.9, 0.9)];
+/// let (ha, hb) = (
+///     GhBasicHistogram::build(grid, &a),
+///     GhBasicHistogram::build(grid, &b),
+/// );
+/// let (va, vb) = (GhBasicView::new(&ha), GhBasicView::new(&hb));
+/// let ip = va.intersection_points(&vb)?;
+/// assert!((ip - 4.0).abs() < 1e-12, "one resolved pair = 4 points");
+/// let trait_path = ha.estimate_join(&hb)?;
+/// assert_eq!(
+///     va.estimate(&vb)?.selectivity.to_bits(),
+///     trait_path.selectivity.to_bits(),
+/// );
+/// # Ok::<(), sj_histogram::HistogramError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GhBasicView {
+    grid: Grid,
+    len: usize,
+    n_f64: f64,
+    c: Vec<f64>,
+    i: Vec<f64>,
+    v: Vec<f64>,
+    h: Vec<f64>,
+    occ: RowMask,
+}
+
+impl GhBasicView {
+    /// Decodes `hist` into the flat SoA form.
+    #[must_use]
+    pub fn new(hist: &GhBasicHistogram) -> Self {
+        let grid = hist.grid();
+        let cpa = ix(grid.cells_per_axis());
+        let cells = grid.num_cells();
+        #[allow(clippy::cast_precision_loss)]
+        let n_f64 = hist.n as f64;
+        let mut view = Self {
+            grid,
+            len: hist.dataset_len(),
+            n_f64,
+            c: Vec::with_capacity(cells),
+            i: Vec::with_capacity(cells),
+            v: Vec::with_capacity(cells),
+            h: Vec::with_capacity(cells),
+            occ: RowMask::empty(cpa, cpa),
+        };
+        for idx in 0..cells {
+            let c = f64::from(hist.c[idx]);
+            let i = f64::from(hist.i[idx]);
+            let v = f64::from(hist.v[idx]);
+            let h = f64::from(hist.h[idx]);
+            if c != 0.0 || i != 0.0 || v != 0.0 || h != 0.0 {
+                view.occ.set(idx / cpa, idx % cpa);
+            }
+            view.c.push(c);
+            view.i.push(i);
+            view.v.push(v);
+            view.h.push(h);
+        }
+        view
+    }
+
+    /// The grid the backing histogram was built on.
+    #[must_use]
+    pub fn grid(&self) -> Grid {
+        self.grid
+    }
+
+    /// Cardinality of the summarized dataset.
+    #[must_use]
+    pub fn dataset_len(&self) -> usize {
+        self.len
+    }
+
+    /// Occupied cells (any non-zero `{C, I, V, H}` count).
+    #[must_use]
+    pub fn occupied_cells(&self) -> usize {
+        self.occ.count()
+    }
+
+    /// Kernel-path Eq. 4 intersection-point total; bit-identical to
+    /// [`GhBasicHistogram::intersection_points_scalar`].
+    ///
+    /// # Errors
+    /// Returns [`HistogramError::GridMismatch`] when the backing
+    /// histograms were built on different grids.
+    pub fn intersection_points(&self, other: &GhBasicView) -> Result<f64, HistogramError> {
+        grid_check(self.grid, other.grid)?;
+        let mut total = 0.0f64;
+        for_each_joint(&self.occ, &other.occ, |idx| {
+            total += self.c[idx] * other.i[idx]
+                + self.i[idx] * other.c[idx]
+                + self.v[idx] * other.h[idx]
+                + self.h[idx] * other.v[idx];
+        });
+        Ok(total)
+    }
+
+    /// Kernel-path basic-GH estimate: `IP / 4 / (N₁·N₂)`;
+    /// bit-identical to [`GhBasicHistogram::estimate`].
+    ///
+    /// # Errors
+    /// Returns [`HistogramError::GridMismatch`] when the backing
+    /// histograms were built on different grids.
+    pub fn estimate(&self, other: &GhBasicView) -> Result<SelectivityEstimate, HistogramError> {
+        let ip = self.intersection_points(other)?;
+        let denom = self.n_f64 * other.n_f64;
+        let raw = if denom == 0.0 { 0.0 } else { ip / 4.0 / denom };
+        Ok(SelectivityEstimate::from_selectivity(
+            raw, self.len, other.len,
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Build-side binning view
+// ---------------------------------------------------------------------
+
+/// Flattened grid geometry for the binning loops: cell sizes hoisted
+/// out of the per-cell iteration, flat indices derived from a per-row
+/// base instead of re-multiplying per cell. Every derived value is the
+/// same expression [`Grid`] evaluates, so the quantized `Mass`
+/// contributions — and therefore the built histograms — are
+/// bit-identical to binning through [`Grid`] directly.
+pub(crate) struct BinGrid {
+    cpa: usize,
+    xlo: f64,
+    ylo: f64,
+    cell_w: f64,
+    cell_h: f64,
+    cell_area: f64,
+}
+
+impl BinGrid {
+    pub(crate) fn new(grid: &Grid) -> Self {
+        let r = grid.extent().rect();
+        Self {
+            cpa: ix(grid.cells_per_axis()),
+            xlo: r.xlo,
+            ylo: r.ylo,
+            cell_w: grid.cell_width(),
+            cell_h: grid.cell_height(),
+            cell_area: grid.cell_area(),
+        }
+    }
+
+    /// Flat index of the first cell of `row` (row-major).
+    pub(crate) fn row_base(&self, row: u32) -> usize {
+        ix(row) * self.cpa
+    }
+
+    /// World-space rectangle of cell `(col, row)` — the same expression
+    /// as [`Grid::cell_rect`], with the division hoisted.
+    pub(crate) fn cell_rect(&self, col: u32, row: u32) -> Rect {
+        let x0 = self.xlo + f64::from(col) * self.cell_w;
+        let y0 = self.ylo + f64::from(row) * self.cell_h;
+        Rect::new(x0, y0, x0 + self.cell_w, y0 + self.cell_h)
+    }
+
+    /// `r.area()` as a fraction of one cell's area.
+    pub(crate) fn area_ratio(&self, r: &Rect) -> f64 {
+        r.area() / self.cell_area
+    }
+
+    /// Clipped overlap of `r` with cell `(col, row)` as an area ratio
+    /// (revised GH `O`).
+    pub(crate) fn overlap_ratio(&self, r: &Rect, col: u32, row: u32) -> f64 {
+        r.intersection_area(&self.cell_rect(col, row)) / self.cell_area
+    }
+
+    /// Clipped horizontal-edge length over cell width (revised GH `H`).
+    pub(crate) fn h_ratio(&self, edge: &HEdge, col: u32, row: u32) -> f64 {
+        edge.clipped_len(&self.cell_rect(col, row)) / self.cell_w
+    }
+
+    /// Clipped vertical-edge length over cell height (revised GH `V`).
+    pub(crate) fn v_ratio(&self, edge: &VEdge, col: u32, row: u32) -> f64 {
+        edge.clipped_len(&self.cell_rect(col, row)) / self.cell_h
+    }
+}
+
+/// PH `Cont` binning of one fully-contained rect into cell `(col, row)`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn bin_ph_cont(
+    bg: &BinGrid,
+    r: &Rect,
+    col: u32,
+    row: u32,
+    num: &mut [u32],
+    cov: &mut [Mass],
+    xsum: &mut [Mass],
+    ysum: &mut [Mass],
+) {
+    let idx = bg.row_base(row) + ix(col);
+    num[idx] += 1;
+    cov[idx] += Mass::from_f64(bg.area_ratio(r));
+    xsum[idx] += Mass::from_f64(r.width());
+    ysum[idx] += Mass::from_f64(r.height());
+}
+
+/// PH `Isect` binning of one boundary-crossing rect over the banded
+/// cell block `(c0..=c1) × (row_lo..=row_hi)`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn bin_ph_isect(
+    bg: &BinGrid,
+    r: &Rect,
+    (c0, c1): (u32, u32),
+    (row_lo, row_hi): (u32, u32),
+    num_x: &mut [u32],
+    cov_x: &mut [Mass],
+    xsum_x: &mut [Mass],
+    ysum_x: &mut [Mass],
+) {
+    for row in row_lo..=row_hi {
+        let base = bg.row_base(row);
+        for col in c0..=c1 {
+            let idx = base + ix(col);
+            let cell = bg.cell_rect(col, row);
+            // The cell range guarantees a (possibly degenerate) closed
+            // intersection exists.
+            let clip = r
+                .intersection(&cell)
+                .unwrap_or_else(|| Rect::from_point(cell.center()));
+            num_x[idx] += 1;
+            cov_x[idx] += Mass::from_f64(bg.area_ratio(&clip));
+            xsum_x[idx] += Mass::from_f64(clip.width());
+            ysum_x[idx] += Mass::from_f64(clip.height());
+        }
+    }
+}
+
+/// Revised-GH overlap-mass binning of one rect over a banded block.
+pub(crate) fn bin_gh_overlap(
+    bg: &BinGrid,
+    r: &Rect,
+    (c0, c1): (u32, u32),
+    (row_lo, row_hi): (u32, u32),
+    o: &mut [Mass],
+) {
+    for row in row_lo..=row_hi {
+        let base = bg.row_base(row);
+        for col in c0..=c1 {
+            o[base + ix(col)] += Mass::from_f64(bg.overlap_ratio(r, col, row));
+        }
+    }
+}
+
+/// Revised-GH horizontal-edge binning along one row.
+pub(crate) fn bin_gh_hedge(
+    bg: &BinGrid,
+    edge: &HEdge,
+    (c0, c1): (u32, u32),
+    row: u32,
+    h: &mut [Mass],
+) {
+    let base = bg.row_base(row);
+    for col in c0..=c1 {
+        h[base + ix(col)] += Mass::from_f64(bg.h_ratio(edge, col, row));
+    }
+}
+
+/// Revised-GH vertical-edge binning along one banded column.
+pub(crate) fn bin_gh_vedge(
+    bg: &BinGrid,
+    edge: &VEdge,
+    col: u32,
+    (row_lo, row_hi): (u32, u32),
+    v: &mut [Mass],
+) {
+    for row in row_lo..=row_hi {
+        v[bg.row_base(row) + ix(col)] += Mass::from_f64(bg.v_ratio(edge, col, row));
+    }
+}
+
+/// Counter binning over a banded block (basic GH `I`).
+pub(crate) fn bin_count_block(
+    bg: &BinGrid,
+    (c0, c1): (u32, u32),
+    (row_lo, row_hi): (u32, u32),
+    out: &mut [u32],
+) {
+    for row in row_lo..=row_hi {
+        let base = bg.row_base(row);
+        for col in c0..=c1 {
+            out[base + ix(col)] += 1;
+        }
+    }
+}
+
+/// Counter binning along one row (basic GH `H`).
+pub(crate) fn bin_count_row(bg: &BinGrid, (c0, c1): (u32, u32), row: u32, out: &mut [u32]) {
+    let base = bg.row_base(row);
+    for col in c0..=c1 {
+        out[base + ix(col)] += 1;
+    }
+}
+
+/// Counter binning along one banded column (basic GH `V`).
+pub(crate) fn bin_count_col(bg: &BinGrid, col: u32, (row_lo, row_hi): (u32, u32), out: &mut [u32]) {
+    for row in row_lo..=row_hi {
+        out[bg.row_base(row) + ix(col)] += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sj_geo::Extent;
+
+    #[test]
+    fn row_mask_set_and_count() {
+        let mut m = RowMask::empty(8, 8);
+        assert_eq!(m.count(), 0);
+        m.set(0, 0);
+        m.set(3, 7);
+        m.set(7, 7);
+        assert_eq!(m.count(), 3);
+        assert!(m.is_set(3, 7));
+        assert!(!m.is_set(3, 6));
+    }
+
+    #[test]
+    fn joint_iteration_is_ascending_and_intersects() {
+        let mut a = RowMask::empty(3, 70); // two words per row
+        let mut b = RowMask::empty(3, 70);
+        for col in [0usize, 1, 63, 64, 69] {
+            a.set(1, col);
+        }
+        for col in [1usize, 63, 64, 65] {
+            b.set(1, col);
+        }
+        a.set(0, 5);
+        b.set(2, 5);
+        let mut seen = Vec::new();
+        for_each_joint(&a, &b, |idx| seen.push(idx));
+        // Row 1 starts at flat index 70.
+        assert_eq!(seen, vec![71, 133, 134]);
+    }
+
+    #[test]
+    fn joint_iteration_dense_word_fast_path() {
+        let mut a = RowMask::empty(2, 64);
+        let mut b = RowMask::empty(2, 64);
+        for col in 0..64 {
+            a.set(0, col);
+            b.set(0, col);
+        }
+        let mut seen = Vec::new();
+        for_each_joint(&a, &b, |idx| seen.push(idx));
+        assert_eq!(seen, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bin_grid_matches_grid_geometry() {
+        let e = Extent::new(Rect::new(-10.0, 20.0, 30.0, 40.0));
+        let grid = Grid::new(3, e).unwrap();
+        let bg = BinGrid::new(&grid);
+        for row in 0..8 {
+            for col in 0..8 {
+                assert_eq!(bg.cell_rect(col, row), grid.cell_rect(col, row));
+                assert_eq!(bg.row_base(row) + ix(col), grid.flat_index(col, row));
+            }
+        }
+    }
+
+    #[test]
+    fn view_occupancy_matches_histogram() {
+        let grid = Grid::new(4, Extent::unit()).unwrap();
+        let rects = vec![
+            Rect::new(0.1, 0.1, 0.11, 0.11),
+            Rect::new(0.5, 0.5, 0.8, 0.8),
+        ];
+        let gh = GhHistogram::build(grid, &rects);
+        let view = GhView::new(&gh);
+        assert_eq!(view.occupied_cells(), gh.occupied_cells());
+        assert!(view.occupied_cells() < grid.num_cells());
+    }
+}

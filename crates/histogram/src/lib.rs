@@ -43,6 +43,7 @@ mod error;
 mod euler;
 mod gh;
 mod grid;
+pub mod kernel;
 mod mass;
 mod parametric;
 mod ph;

@@ -34,23 +34,24 @@ const MAGIC: u32 = 0x534a_5048; // "SJPH"
 #[derive(Debug, Clone, PartialEq)]
 pub struct PhHistogram {
     grid: Grid,
-    /// Dataset cardinality.
-    n: u64,
+    /// Dataset cardinality (read by the SoA kernel views).
+    pub(crate) n: u64,
     /// Total cells spanned by boundary-crossing MBRs (`AvgSpan`
     /// numerator).
     span_total: u64,
     /// Number of boundary-crossing MBRs (`AvgSpan` denominator).
     span_rects: u64,
     // Cont group, per cell: count, coverage sum, width/height sums.
-    num: Vec<u32>,
-    cov: Vec<Mass>,
-    xsum: Vec<Mass>,
-    ysum: Vec<Mass>,
+    // `pub(crate)` so `kernel::PhView` can decode them into SoA slices.
+    pub(crate) num: Vec<u32>,
+    pub(crate) cov: Vec<Mass>,
+    pub(crate) xsum: Vec<Mass>,
+    pub(crate) ysum: Vec<Mass>,
     // Isect group, per cell, over clipped intersections.
-    num_x: Vec<u32>,
-    cov_x: Vec<Mass>,
-    xsum_x: Vec<Mass>,
-    ysum_x: Vec<Mass>,
+    pub(crate) num_x: Vec<u32>,
+    pub(crate) cov_x: Vec<Mass>,
+    pub(crate) xsum_x: Vec<Mass>,
+    pub(crate) ysum_x: Vec<Mass>,
 }
 
 impl PhHistogram {
@@ -95,11 +96,14 @@ impl PhHistogram {
     /// Estimates the join selectivity between the datasets summarized by
     /// `self` and `other` (paper Eq. 3, with the `AvgSpan` correction).
     ///
+    /// Dispatches through the SoA kernel layer ([`crate::kernel::PhView`],
+    /// DESIGN.md §16); bit-identical to [`Self::estimate_scalar`].
+    ///
     /// # Errors
     /// Returns [`HistogramError::GridMismatch`] when the histograms were
     /// built on different grids.
     pub fn estimate(&self, other: &PhHistogram) -> Result<SelectivityEstimate, HistogramError> {
-        self.estimate_inner(other, true)
+        crate::kernel::PhView::new(self).estimate(&crate::kernel::PhView::new(other))
     }
 
     /// Estimates *without* dividing the `Sd` sum by the mean `AvgSpan` —
@@ -112,6 +116,34 @@ impl PhHistogram {
     /// Returns [`HistogramError::GridMismatch`] when the histograms were
     /// built on different grids.
     pub fn estimate_uncorrected(
+        &self,
+        other: &PhHistogram,
+    ) -> Result<SelectivityEstimate, HistogramError> {
+        crate::kernel::PhView::new(self).estimate_uncorrected(&crate::kernel::PhView::new(other))
+    }
+
+    /// The retained scalar reference loop of [`Self::estimate`]: iterates
+    /// every cell of the dense per-statistic vectors directly. Kept (and
+    /// exercised by the `kernel_agreement` test plus the BENCH_5 `kernels`
+    /// section) as the oracle the kernel path must match bit-for-bit.
+    ///
+    /// # Errors
+    /// Returns [`HistogramError::GridMismatch`] when the histograms were
+    /// built on different grids.
+    pub fn estimate_scalar(
+        &self,
+        other: &PhHistogram,
+    ) -> Result<SelectivityEstimate, HistogramError> {
+        self.estimate_inner(other, true)
+    }
+
+    /// Scalar reference loop of [`Self::estimate_uncorrected`]; see
+    /// [`Self::estimate_scalar`].
+    ///
+    /// # Errors
+    /// Returns [`HistogramError::GridMismatch`] when the histograms were
+    /// built on different grids.
+    pub fn estimate_uncorrected_scalar(
         &self,
         other: &PhHistogram,
     ) -> Result<SelectivityEstimate, HistogramError> {
@@ -305,7 +337,9 @@ impl PhHistogram {
 impl RowBanded for PhHistogram {
     fn build_rows(grid: Grid, rects: &[Rect], lo: u32, hi: u32) -> Self {
         let cells = grid.num_cells();
-        let cell_area = grid.cell_area();
+        // Flattened grid geometry: cell sizes and row bases hoisted out of
+        // the per-cell binning loops (same expressions, so bit-identical).
+        let bg = crate::kernel::BinGrid::new(&grid);
         let mut n = 0u64;
         let mut span_total = 0u64;
         let mut span_rects = 0u64;
@@ -333,28 +367,21 @@ impl RowBanded for PhHistogram {
             }
             if c0 == c1 && r0 == r1 {
                 if (lo..hi).contains(&r0) {
-                    let idx = grid.flat_index(c0, r0);
-                    num[idx] += 1;
-                    cov[idx] += Mass::from_f64(r.area() / cell_area);
-                    xsum[idx] += Mass::from_f64(r.width());
-                    ysum[idx] += Mass::from_f64(r.height());
+                    crate::kernel::bin_ph_cont(
+                        &bg, r, c0, r0, &mut num, &mut cov, &mut xsum, &mut ysum,
+                    );
                 }
             } else {
-                for row in r0.max(lo)..=r1.min(hi - 1) {
-                    for col in c0..=c1 {
-                        let idx = grid.flat_index(col, row);
-                        let cell = grid.cell_rect(col, row);
-                        // The cell range guarantees a (possibly degenerate)
-                        // closed intersection exists.
-                        let clip = r
-                            .intersection(&cell)
-                            .unwrap_or_else(|| Rect::from_point(cell.center()));
-                        num_x[idx] += 1;
-                        cov_x[idx] += Mass::from_f64(clip.area() / cell_area);
-                        xsum_x[idx] += Mass::from_f64(clip.width());
-                        ysum_x[idx] += Mass::from_f64(clip.height());
-                    }
-                }
+                crate::kernel::bin_ph_isect(
+                    &bg,
+                    r,
+                    (c0, c1),
+                    (r0.max(lo), r1.min(hi - 1)),
+                    &mut num_x,
+                    &mut cov_x,
+                    &mut xsum_x,
+                    &mut ysum_x,
+                );
             }
         }
         Self {

@@ -1,0 +1,6 @@
+//! R2 kernel fixture (bad): raw float accumulation in a binning kernel.
+
+pub(crate) fn bin_gh_overlap(bg: &BinGrid, o: &mut [f64], row: u32) {
+    let base = bg.row_base(row);
+    o[base] += 0.5;
+}

@@ -1,0 +1,16 @@
+//! R2 kernel fixture (good): binning kernels accumulate only integers
+//! and `Mass`, quantizing exactly once through `Mass::from_f64`.
+
+pub(crate) fn bin_gh_overlap(bg: &BinGrid, r: &Rect, cols: (u32, u32), row: u32, o: &mut [Mass]) {
+    let base = bg.row_base(row);
+    for col in cols.0..=cols.1 {
+        o[base + ix(col)] += Mass::from_f64(bg.overlap_ratio(r, col, row));
+    }
+}
+
+pub(crate) fn bin_count_row(bg: &BinGrid, cols: (u32, u32), row: u32, out: &mut [u32]) {
+    let base = bg.row_base(row);
+    for col in cols.0..=cols.1 {
+        out[base + ix(col)] += 1;
+    }
+}

@@ -78,6 +78,37 @@ fn r2_bad_fixture_flags_floats_in_merge() {
 }
 
 #[test]
+fn r2_kernel_good_fixture_is_clean() {
+    let f = run_fixture(
+        RuleId::FixedPoint,
+        "crates/histogram/src/kernel.rs",
+        include_str!("fixtures/r2_kernel_good.rs"),
+    );
+    assert_eq!(f, Vec::new(), "Mass-only bin_* kernels must pass");
+}
+
+#[test]
+fn r2_kernel_bad_fixture_flags_floats_in_bin_fns() {
+    let f = run_fixture(
+        RuleId::FixedPoint,
+        "crates/histogram/src/kernel.rs",
+        include_str!("fixtures/r2_kernel_bad.rs"),
+    );
+    assert_eq!(f.len(), 2, "{f:?}");
+    assert_eq!(lines_of(&f), vec![3, 5], "f64 signature + 0.5 literal");
+}
+
+#[test]
+fn r2_kernel_estimate_views_are_out_of_scope() {
+    // The estimate-side SoA kernels decode Mass to f64 by design — only
+    // the bin_* accumulation kernels carry the fixed-point contract.
+    let src =
+        "impl PhView {\n    pub fn estimate(&self) -> f64 {\n        self.c[0] * 2.0\n    }\n}\n";
+    let f = run_fixture(RuleId::FixedPoint, "crates/histogram/src/kernel.rs", src);
+    assert_eq!(f, Vec::new());
+}
+
+#[test]
 fn r2_floats_outside_merge_scope_are_fine() {
     // The same float-heavy source under a non-merge path/function name is
     // out of R2's scope: floats are only banned on the merge paths.

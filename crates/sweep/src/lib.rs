@@ -106,6 +106,216 @@ pub fn sweep_join_pairs<F: FnMut(usize, usize)>(a: &[Rect], b: &[Rect], mut emit
     }
 }
 
+// ---------------------------------------------------------------------
+// Partition-based parallel plane sweep (Tsitsigkos & Mamoulis)
+// ---------------------------------------------------------------------
+
+/// The tile grid geometry of a [`TiledSweep`] plan: a `t × t` grid over
+/// the joint bounding box of both inputs.
+#[derive(Debug, Clone, Copy)]
+struct TileGrid {
+    xmin: f64,
+    ymin: f64,
+    dx: f64,
+    dy: f64,
+    t: u32,
+}
+
+impl TileGrid {
+    /// Tile index along one axis, clamped into `0..t`. A degenerate axis
+    /// (`d == 0`, or non-finite ratios) maps everything to tile 0, which
+    /// keeps the partition total (every point owned by exactly one tile).
+    fn axis_tile(v: f64, min: f64, d: f64, t: u32) -> u32 {
+        let tf = f64::from(t);
+        let u = (v - min) / d;
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let i = u.floor().clamp(0.0, tf - 1.0) as u32;
+        i
+    }
+
+    fn tile_of(&self, x: f64, y: f64) -> (u32, u32) {
+        (
+            Self::axis_tile(x, self.xmin, self.dx, self.t),
+            Self::axis_tile(y, self.ymin, self.dy, self.t),
+        )
+    }
+}
+
+/// One tile of a [`TiledSweep`] partition plan: the rectangles of both
+/// inputs replicated into this tile, plus the tile's own grid
+/// coordinates for reference-point deduplication.
+#[derive(Debug, Clone)]
+pub struct SweepTile {
+    grid: TileGrid,
+    ti: u32,
+    tj: u32,
+    a: Vec<Rect>,
+    b: Vec<Rect>,
+}
+
+impl SweepTile {
+    /// Counts the intersecting pairs owned by this tile: a local
+    /// [`sweep_join_pairs`] over the replicated rectangles, counting a
+    /// pair only when its *reference point* — the bottom-left corner of
+    /// the pairwise intersection, `(max(xlo), max(ylo))` — falls in this
+    /// tile. The reference point lies inside both rectangles, so exactly
+    /// one tile across the plan counts each pair; summing tile counts
+    /// equals the serial [`sweep_join_count`] exactly (integer counts, no
+    /// rounding to argue about).
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        let mut n = 0u64;
+        sweep_join_pairs(&self.a, &self.b, |i, j| {
+            let (ra, rb) = (&self.a[i], &self.b[j]);
+            let rx = ra.xlo.max(rb.xlo);
+            let ry = ra.ylo.max(rb.ylo);
+            if self.grid.tile_of(rx, ry) == (self.ti, self.tj) {
+                n += 1;
+            }
+        });
+        n
+    }
+
+    /// Number of rectangles replicated into this tile, `(|a|, |b|)`.
+    #[must_use]
+    pub fn sizes(&self) -> (usize, usize) {
+        (self.a.len(), self.b.len())
+    }
+}
+
+/// A partition-based parallel plane-sweep plan (Tsitsigkos & Mamoulis,
+/// "Parallel In-Memory Evaluation of Spatial Joins"): the joint bounding
+/// box is tiled, every rectangle is replicated into each tile it
+/// overlaps, and each tile is swept *independently* — no shared state —
+/// with duplicates suppressed by the reference-point rule (see
+/// [`SweepTile::count`]). Callers map [`SweepTile::count`] over
+/// [`TiledSweep::into_tiles`] with whatever executor they own (sj-core
+/// feeds it through its `Parallelism` layer) and sum.
+#[derive(Debug, Clone)]
+pub struct TiledSweep {
+    tiles: Vec<SweepTile>,
+}
+
+impl TiledSweep {
+    /// The per-tile work items. Tiles with either side empty are already
+    /// pruned (they cannot own a pair).
+    #[must_use]
+    pub fn into_tiles(self) -> Vec<SweepTile> {
+        self.tiles
+    }
+
+    /// Number of (non-empty) tiles in the plan.
+    #[must_use]
+    pub fn num_tiles(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Sums [`SweepTile::count`] serially — the single-threaded reference
+    /// evaluation of the plan.
+    #[must_use]
+    pub fn count_serial(&self) -> u64 {
+        self.tiles.iter().map(SweepTile::count).sum()
+    }
+}
+
+/// Builds a [`TiledSweep`] plan over `a` and `b` with roughly
+/// `tiles_hint` tiles (rounded up to a `t × t` grid, `t` capped at 64).
+///
+/// ```
+/// use sj_geo::Rect;
+/// let a = vec![Rect::new(0.0, 0.0, 1.0, 1.0), Rect::new(2.0, 2.0, 3.0, 3.0)];
+/// let b = vec![Rect::new(0.5, 0.5, 2.5, 2.5)];
+/// let plan = sj_sweep::tile_sweep(&a, &b, 16);
+/// let total: u64 = plan.into_tiles().iter().map(|t| t.count()).sum();
+/// assert_eq!(total, sj_sweep::sweep_join_count(&a, &b));
+/// ```
+#[must_use]
+pub fn tile_sweep(a: &[Rect], b: &[Rect], tiles_hint: usize) -> TiledSweep {
+    if a.is_empty() || b.is_empty() {
+        return TiledSweep { tiles: Vec::new() };
+    }
+    // Joint bounding box of both inputs.
+    let mut xmin = f64::INFINITY;
+    let mut ymin = f64::INFINITY;
+    let mut xmax = f64::NEG_INFINITY;
+    let mut ymax = f64::NEG_INFINITY;
+    for r in a.iter().chain(b) {
+        xmin = xmin.min(r.xlo);
+        ymin = ymin.min(r.ylo);
+        xmax = xmax.max(r.xhi);
+        ymax = ymax.max(r.yhi);
+    }
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let t = ((tiles_hint.max(1) as f64).sqrt().ceil() as u32).clamp(1, 64);
+    let grid = TileGrid {
+        xmin,
+        ymin,
+        dx: (xmax - xmin) / f64::from(t),
+        dy: (ymax - ymin) / f64::from(t),
+        t,
+    };
+    let ts = t as usize;
+    let mut tiles: Vec<SweepTile> = (0..t * t)
+        .map(|k| SweepTile {
+            grid,
+            ti: k % t,
+            tj: k / t,
+            a: Vec::new(),
+            b: Vec::new(),
+        })
+        .collect();
+    // Replicate each rectangle into every tile it overlaps.
+    let mut scatter = |rects: &[Rect], pick_a: bool| {
+        for r in rects {
+            let (i0, j0) = grid.tile_of(r.xlo, r.ylo);
+            let (i1, j1) = grid.tile_of(r.xhi, r.yhi);
+            for tj in j0..=j1 {
+                for ti in i0..=i1 {
+                    let tile = &mut tiles[tj as usize * ts + ti as usize];
+                    if pick_a {
+                        tile.a.push(*r);
+                    } else {
+                        tile.b.push(*r);
+                    }
+                }
+            }
+        }
+    };
+    scatter(a, true);
+    scatter(b, false);
+    tiles.retain(|tile| !tile.a.is_empty() && !tile.b.is_empty());
+    TiledSweep { tiles }
+}
+
+/// Counts intersecting pairs via a [`tile_sweep`] plan evaluated on
+/// `threads` scoped worker threads (`4 × threads` tiles for load
+/// balance). Integer tile counts and reference-point deduplication make
+/// the result exactly equal to the serial [`sweep_join_count`] for every
+/// thread count; `threads <= 1` evaluates the plan serially.
+///
+/// This is the standalone entry point; `sj-core`'s exact oracle builds
+/// the same plan and maps it over its own `Parallelism` layer instead.
+#[must_use]
+pub fn sweep_join_count_tiled(a: &[Rect], b: &[Rect], threads: usize) -> u64 {
+    let threads = threads.max(1);
+    let plan = tile_sweep(a, b, 4 * threads);
+    if threads == 1 || plan.num_tiles() <= 1 {
+        return plan.count_serial();
+    }
+    let tiles = plan.into_tiles();
+    let chunk_len = tiles.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = tiles
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(move || chunk.iter().map(SweepTile::count).sum::<u64>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .sum()
+    })
+}
+
 /// Naive `O(n·m)` join, for validating the sweep on small inputs and as a
 /// last-resort backend for tiny samples.
 #[must_use]
@@ -233,6 +443,78 @@ mod tests {
         assert!((sel - 0.01).abs() < 1e-12);
     }
 
+    #[test]
+    fn tiled_matches_serial_for_all_thread_counts() {
+        let a = random_rects(400, 41, 0.06);
+        let b = random_rects(350, 42, 0.09);
+        let serial = sweep_join_count(&a, &b);
+        for threads in [1, 2, 3, 8] {
+            assert_eq!(
+                sweep_join_count_tiled(&a, &b, threads),
+                serial,
+                "threads={threads}"
+            );
+        }
+        assert_eq!(sweep_join_count_tiled(&[], &b, 4), 0);
+        assert_eq!(sweep_join_count_tiled(&a, &[], 4), 0);
+    }
+
+    #[test]
+    fn tiled_plan_partitions_pairs_exactly() {
+        // Large rects replicate into many tiles; reference-point dedup
+        // must still count every pair exactly once.
+        let a = random_rects(250, 43, 0.4);
+        let b = random_rects(250, 44, 0.4);
+        for hint in [1, 4, 16, 100] {
+            let plan = tile_sweep(&a, &b, hint);
+            assert_eq!(
+                plan.count_serial(),
+                sweep_join_count(&a, &b),
+                "tiles_hint={hint}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiled_handles_boundary_and_degenerate_geometry() {
+        // Corner-touching pair whose reference point sits exactly on a
+        // tile boundary.
+        let a = vec![Rect::new(0.0, 0.0, 1.0, 1.0)];
+        let b = vec![Rect::new(1.0, 1.0, 2.0, 2.0)];
+        assert_eq!(sweep_join_count_tiled(&a, &b, 4), 1);
+        // Identical rects: all pairs, counted once each.
+        let a = vec![Rect::new(0.25, 0.25, 0.75, 0.75); 13];
+        let b = vec![Rect::new(0.5, 0.5, 0.9, 0.9); 7];
+        assert_eq!(sweep_join_count_tiled(&a, &b, 8), 13 * 7);
+        // Point datasets: degenerate extents on the y axis (all zero
+        // height) still partition correctly.
+        let pts: Vec<Rect> = (0..100)
+            .map(|i| Rect::new(f64::from(i), 0.0, f64::from(i), 0.0))
+            .collect();
+        assert_eq!(sweep_join_count_tiled(&pts, &pts, 8), 100);
+        // Single coincident point: fully degenerate bounding box.
+        let p = vec![Rect::new(0.5, 0.5, 0.5, 0.5)];
+        assert_eq!(sweep_join_count_tiled(&p, &p, 8), 1);
+    }
+
+    #[test]
+    fn tiled_clustered_data() {
+        // Heavy clustering stresses uneven tile occupancy.
+        let mut rng = StdRng::seed_from_u64(45);
+        let clustered: Vec<Rect> = (0..600)
+            .map(|i| {
+                let (cx, cy) = if i % 3 == 0 { (0.2, 0.2) } else { (0.8, 0.7) };
+                let x = cx + rng.random_range(-0.05..0.05);
+                let y = cy + rng.random_range(-0.05..0.05);
+                Rect::new(x, y, x + 0.02, y + 0.02)
+            })
+            .collect();
+        let other = random_rects(500, 46, 0.05);
+        let serial = sweep_join_count(&clustered, &other);
+        assert_eq!(sweep_join_count_tiled(&clustered, &other, 4), serial);
+        assert_eq!(sweep_join_count_tiled(&clustered, &other, 16), serial);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
         #[test]
@@ -243,6 +525,20 @@ mod tests {
             let a = random_rects(na, seed_a, 0.3);
             let b = random_rects(nb, seed_b, 0.3);
             prop_assert_eq!(sweep_join_count(&a, &b), brute_force_count(&a, &b));
+        }
+
+        #[test]
+        fn prop_tiled_equals_serial(
+            seed_a in 0u64..500, seed_b in 0u64..500,
+            na in 0usize..60, nb in 0usize..60,
+            hint in 1usize..40,
+        ) {
+            let a = random_rects(na, seed_a, 0.3);
+            let b = random_rects(nb, seed_b, 0.3);
+            prop_assert_eq!(
+                tile_sweep(&a, &b, hint).count_serial(),
+                sweep_join_count(&a, &b)
+            );
         }
     }
 }
